@@ -1,0 +1,28 @@
+PYTHON ?= python
+
+.PHONY: install test bench report templates examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.experiments.report > EXPERIMENTS.md
+
+templates:
+	$(PYTHON) -m repro.workload.reference > docs/TEMPLATES.md
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "=== $$ex"; \
+		$(PYTHON) $$ex || exit 1; \
+	done
+
+clean:
+	rm -rf benchmarks/.cache .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,37 @@
+"""Benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the paper at the
+paper's full experimental scale (25 templates, all pairs at MPL 2, four
+LHS runs at MPLs 3-5).  The sampling campaign is collected once per
+session and cached on disk under ``benchmarks/.cache`` so re-runs only
+pay for the modeling, not the simulation.
+
+Each benchmark prints the regenerated rows/series (run pytest with
+``-s`` to see them inline; they are also echoed into the benchmark's
+``extra_info``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+CACHE_DIR = Path(__file__).parent / ".cache"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    context = ExperimentContext(cache_dir=CACHE_DIR)
+    context.training_data()  # pay for the campaign up front
+    return context
+
+
+def report(benchmark, result) -> str:
+    """Print and attach a runner's formatted table."""
+    table = result.format_table()
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+    return table

@@ -1,0 +1,58 @@
+"""Design-choice ablation benches (DESIGN.md §5).
+
+Not paper figures — these validate that the modeling terms earn their
+keep on the substrate:
+
+* without synchronized scans the positive-interaction terms stop being
+  a large win (they model real sharing, not noise);
+* the spoiler KNN is robust across small k;
+* steady-state trimming does not hurt model quality.
+"""
+
+from benchmarks.conftest import report
+from repro.core.cqi import CQIVariant
+from repro.experiments import ablations
+
+
+def test_shared_scan_ablation(benchmark, ctx):
+    result = benchmark.pedantic(
+        ablations.run_shared_scan_ablation, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    gain_with = (
+        result.with_sharing[CQIVariant.BASELINE_IO]
+        - result.with_sharing[CQIVariant.FULL]
+    )
+    gain_without = (
+        result.without_sharing[CQIVariant.BASELINE_IO]
+        - result.without_sharing[CQIVariant.FULL]
+    )
+    # The sharing terms help much more when the substrate really shares.
+    assert gain_with > gain_without
+
+
+def test_knn_k_ablation(benchmark, ctx):
+    result = benchmark.pedantic(
+        ablations.run_knn_k_ablation, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    assert set(result.mre_by_k) == {1, 2, 3, 5, 7}
+    assert all(v < 0.5 for v in result.mre_by_k.values())
+
+
+def test_hardware_ablation(benchmark, ctx):
+    result = benchmark.pedantic(
+        ablations.run_hardware_ablation, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    # Retrained per profile, the framework stays accurate everywhere.
+    assert all(v < 0.20 for v in result.mre_by_profile.values())
+
+
+def test_trim_ablation(benchmark, ctx):
+    result = benchmark.pedantic(
+        ablations.run_trim_ablation, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    assert result.trimmed_mre < 0.25
+    assert result.untrimmed_mre < 0.35

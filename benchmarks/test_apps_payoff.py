@@ -1,0 +1,57 @@
+"""Application-payoff benches: do the predictions earn their keep?
+
+The Sec. 1 motivation list claims CQPP enables better scheduling and
+placement decisions.  These benches make the claim falsifiable on the
+simulator: the prediction-driven decision must beat the blind one on
+*measured* outcomes.
+"""
+
+from benchmarks.conftest import report as report_table  # noqa: F401
+from repro.apps.placement import balanced_placement
+from repro.apps.scheduling import greedy_pairing
+from repro.apps.simulate import execute_batches, measure_placement
+
+BATCH = [26, 33, 61, 71, 82, 22, 62, 65]
+TENANTS = (26, 33, 71, 62, 65, 90)
+
+
+def test_scheduling_payoff(benchmark, ctx):
+    contender = ctx.contender()
+
+    def decide_and_execute():
+        naive = [(BATCH[i], BATCH[i + 1]) for i in range(0, len(BATCH), 2)]
+        smart = greedy_pairing(contender, BATCH)
+        return (
+            execute_batches(ctx.catalog, naive).makespan,
+            execute_batches(ctx.catalog, smart).makespan,
+        )
+
+    naive_makespan, smart_makespan = benchmark.pedantic(
+        decide_and_execute, iterations=1, rounds=1
+    )
+    print(
+        f"\nbatch makespan: naive {naive_makespan:,.0f}s vs "
+        f"contender {smart_makespan:,.0f}s "
+        f"({1 - smart_makespan / naive_makespan:.1%} saved)"
+    )
+    assert smart_makespan < naive_makespan
+
+
+def test_placement_payoff(benchmark, ctx):
+    contender = ctx.contender()
+
+    def decide_and_execute():
+        round_robin = (TENANTS[0::2], TENANTS[1::2])
+        smart = balanced_placement(contender, TENANTS, num_servers=2)
+        rr = max(measure_placement(ctx.catalog, round_robin).values())
+        best = max(measure_placement(ctx.catalog, smart).values())
+        return rr, best
+
+    rr_worst, smart_worst = benchmark.pedantic(
+        decide_and_execute, iterations=1, rounds=1
+    )
+    print(
+        f"\nworst tenant slowdown: round-robin {rr_worst:.2f}x vs "
+        f"contender {smart_worst:.2f}x"
+    )
+    assert smart_worst <= rr_worst + 1e-9

@@ -1,0 +1,22 @@
+"""Baseline bench: Contender vs prior-work mix regression [8].
+
+The paper's Sec. 6.3 comparison: similar known-template accuracy, but
+the prior approach needs 2*m*k mix experiments per new template and has
+no new-template path at all.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import baseline_prior_work
+
+
+def test_baseline_prior_work(benchmark, ctx):
+    result = benchmark.pedantic(
+        baseline_prior_work.run, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    # Comparable accuracy regimes on known templates...
+    assert result.prior_work_mre < 0.30
+    assert abs(result.contender_mre - result.prior_work_mre) < 0.10
+    # ...with wildly different onboarding costs.
+    assert result.contender_new_template_runs == 1
+    assert result.prior_work_new_template_runs >= 100

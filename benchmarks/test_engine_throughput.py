@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Unlike the experiment benches (which regenerate the paper's results
+once), these measure the cost of the primitives a deployment would call
+repeatedly: simulating a mix, computing a CQI, fitting a QS model,
+producing a prediction, and drawing an LHS design.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cqi import CQICalculator
+from repro.core.qs import fit_qs_model
+from repro.sampling.lhs import latin_hypercube
+from repro.sampling.steady_state import SteadyStateConfig, run_steady_state
+from repro.workload.catalog import TemplateCatalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return TemplateCatalog()
+
+
+@pytest.fixture(scope="module")
+def trained(ctx):
+    data = ctx.training_data()
+    calc = CQICalculator(
+        profiles=data.profiles, scan_seconds=data.scan_seconds
+    )
+    return data, calc
+
+
+def test_perf_steady_state_mix(benchmark, catalog):
+    """Simulate one steady-state MPL-2 mix end to end."""
+    cfg = SteadyStateConfig(samples_per_stream=5)
+    rng = np.random.default_rng(0)
+    result = benchmark(
+        run_steady_state, catalog, (26, 71), cfg, rng
+    )
+    assert result.mean_latency(26) > 0
+
+
+def test_perf_isolated_run(benchmark, catalog):
+    """One cold-cache isolated execution."""
+    stats = benchmark(catalog.run_isolated, 26)
+    assert stats.latency > 0
+
+
+def test_perf_cqi_computation(benchmark, trained):
+    """One CQI evaluation at MPL 5 (the predict-time hot path)."""
+    data, calc = trained
+    mix = (26, 71, 22, 65, 17)
+    value = benchmark(calc.intensity, 26, mix)
+    assert 0.0 <= value <= 1.0
+
+
+def test_perf_qs_fit(benchmark, trained):
+    """Fitting one template's QS reference model from its samples."""
+    data, calc = trained
+    model = benchmark(fit_qs_model, data, calc, 26, 2)
+    assert model.num_samples > 2
+
+
+def test_perf_prediction(benchmark, ctx):
+    """One known-template latency prediction (models cached)."""
+    contender = ctx.contender()
+    contender.predict_known(26, (26, 65))  # warm the caches
+    latency = benchmark(contender.predict_known, 26, (26, 65))
+    assert latency > 0
+
+
+def test_perf_lhs_design(benchmark, catalog):
+    """Drawing one MPL-5 LHS design over the full workload."""
+    rng = np.random.default_rng(1)
+    design = benchmark(
+        latin_hypercube, list(catalog.template_ids), 5, rng
+    )
+    assert len(design) == 25
+
+
+def test_perf_plan_compile(benchmark, catalog):
+    """Compiling one template's plan to a resource profile."""
+    profile = benchmark(catalog.profile, 2)
+    assert profile.phases

@@ -1,0 +1,21 @@
+"""Extension bench: expanding database (paper future work #2).
+
+Scaling laws fitted at SF 40/70/100 must extrapolate isolated latency
+to SF 140 accurately, and the extrapolated profiles must drive usable
+*concurrent* predictions on the grown database — which was never
+sampled at any MPL.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import ext_database_growth
+
+
+def test_ext_database_growth(benchmark, ctx):
+    result = benchmark.pedantic(
+        ext_database_growth.run, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    assert result.isolated_mre < 0.05
+    for mix, (primary, predicted, observed) in result.concurrent.items():
+        error = abs(observed - predicted) / observed
+        assert error < 0.30, f"mix {mix}: {error:.1%}"

@@ -1,0 +1,20 @@
+"""Extension bench: distributed CQPP (paper future work #3).
+
+Asserts the composed predictor (per-host Contender x straggler +
+assembly) tracks full cluster simulations within a usable band, and
+that the substrate exhibits sane sub-linear scale-out.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import ext_distributed
+
+
+def test_ext_distributed(benchmark, ctx):
+    result = benchmark.pedantic(
+        ext_distributed.run, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    for hosts in (2, 4):
+        assert result.mre[hosts] < 0.20
+        assert result.speedups[hosts] > 0.6 * hosts  # sub-linear but real
+        assert result.speedups[hosts] < hosts + 0.2

@@ -1,0 +1,25 @@
+"""Extension bench: operator-level CQPP (paper future work #1).
+
+Asserts the expected trade: the white-box per-operator model is coarser
+than the per-template QS fit on known templates, but it carries over to
+unseen templates essentially unchanged (no per-template training at
+all), staying within a usable error band.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import ext_operator_model
+
+
+def test_ext_operator_model(benchmark, ctx):
+    result = benchmark.pedantic(
+        ext_operator_model.run, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    for mpl in result.mpls:
+        # Per-template QS beats the global white-box model on templates
+        # it was fitted on...
+        assert result.qs_known[mpl] < result.operator_known[mpl]
+        # ...but the white-box model barely degrades on NEW templates.
+        degradation = result.operator_new[mpl] - result.operator_known[mpl]
+        assert degradation < 0.05
+        assert result.operator_new[mpl] < 0.35

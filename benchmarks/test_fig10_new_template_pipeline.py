@@ -1,0 +1,27 @@
+"""Figure 10 bench: end-to-end new-template prediction.
+
+Paper: KNN Spoiler (the full constant-time Contender) lands near Known
+Spoiler, both far ahead of feeding the pipeline with simulated isolated
+statistics (Isolated Prediction, the worst series).  T2 is excluded, as
+in the paper.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import fig10_new_templates
+
+
+def test_fig10_new_template_pipeline(benchmark, ctx):
+    result = benchmark.pedantic(
+        fig10_new_templates.run, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    known = result.average("Known Spoiler")
+    knn = result.average("KNN Spoiler")
+    isolated = result.average("Isolated Prediction")
+    # Isolated Prediction is the worst series, as in the paper.
+    assert isolated > knn
+    assert isolated > known
+    # KNN Spoiler stays close to Known Spoiler (paper: 'sufficiently
+    # close such that it did not significantly impact' accuracy).
+    assert abs(knn - known) < 0.06
+    assert knn < 0.30

@@ -1,0 +1,13 @@
+"""Figure 1 bench: Latin Hypercube Sampling design construction."""
+
+from benchmarks.conftest import report
+from repro.experiments import fig1_lhs
+
+
+def test_fig1_lhs(benchmark, ctx):
+    result = benchmark(fig1_lhs.run, ctx, 5)
+    table = report(benchmark, result)
+    grid = result.grid()
+    assert all(sum(row) == 1 for row in grid)
+    assert all(sum(col) == 1 for col in zip(*grid))
+    assert table.count("X") == 5

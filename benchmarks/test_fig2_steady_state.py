@@ -1,0 +1,14 @@
+"""Figure 2 bench: steady-state execution of one MPL-2 mix."""
+
+from benchmarks.conftest import report
+from repro.experiments import fig2_steady_state
+
+
+def test_fig2_steady_state(benchmark, ctx):
+    result = benchmark(fig2_steady_state.run, ctx, (26, 71))
+    report(benchmark, result)
+    assert result.mix == (26, 71)
+    # The mix is held constant: both streams produced trimmed samples.
+    assert all(any(t.kept) for t in result.timelines)
+    # Sec. 6.1 artifact rate stays small.
+    assert result.outlier_rate < 0.25

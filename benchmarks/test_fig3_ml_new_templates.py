@@ -1,0 +1,22 @@
+"""Figure 3 bench: ML baselines on previously unseen templates.
+
+Paper: neither KCCA nor SVM is usable on new templates (errors
+frequently past 50 %), except where a structural twin exists in the
+training set (e.g. templates 56/60) — the motivation for Contender.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import sec3_ml
+
+
+def test_fig3_ml_new_templates(benchmark, ctx):
+    result = benchmark.pedantic(
+        sec3_ml.run_new_templates, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    # New templates break the learners...
+    assert result.average("kcca") > 0.30
+    assert result.average("svm") > 0.30
+    # ...except the structural twins, which stay accurate.
+    assert result.kcca[56] < 0.20
+    assert result.kcca[60] < 0.20

@@ -1,0 +1,19 @@
+"""Figure 4 bench: the QS slope/intercept relationship.
+
+Paper: the coefficients of the per-template QS models lie near a single
+trend line, enabling b to be recovered from µ for new templates.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import fig4_coefficients
+
+
+def test_fig4_qs_coefficients(benchmark, ctx):
+    result = benchmark.pedantic(
+        fig4_coefficients.run, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    assert len(result.points) == 25
+    # Negative relationship: higher intercepts go with lower slopes.
+    assert result.correlation < -0.3
+    assert result.trend_slope < 0

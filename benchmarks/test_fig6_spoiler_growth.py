@@ -1,0 +1,23 @@
+"""Figure 6 bench: spoiler latency vs simulated MPL.
+
+Paper: three growth regimes — light (T62, slow), medium (T71, modest
+linear), heavy (T22, fast, driven by swapping) — all roughly linear;
+a line fitted on MPLs 1-3 predicts MPLs 4-5 within ~8 %.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import fig6_spoiler_growth
+
+
+def test_fig6_spoiler_growth(benchmark, ctx):
+    result = benchmark.pedantic(
+        fig6_spoiler_growth.run, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+
+    def growth(tid):
+        curve = result.curves[tid]
+        return curve[5] / curve[1]
+
+    assert growth(62) < growth(71) < growth(22)
+    assert result.extrapolation_mre < 0.10

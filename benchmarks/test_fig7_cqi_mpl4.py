@@ -1,0 +1,23 @@
+"""Figure 7 bench: per-template CQI-model error at MPL 4.
+
+Paper: 19 % average; extremely I/O-bound templates under 10 %;
+random-I/O templates noisier (seek variance); memory-bound worst-ish.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import fig7_cqi_mpl4
+
+
+def test_fig7_cqi_mpl4(benchmark, ctx):
+    result = benchmark.pedantic(
+        fig7_cqi_mpl4.run, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    assert len(result.per_template) == 25
+    # Headline: the per-template models are accurate on average (the
+    # paper reports 19 % on real hardware; the simulator is cleaner).
+    assert result.average < 0.20
+    # Extremely I/O-bound templates are modeled at least as well as the
+    # workload average.
+    io_mean = result.category_mean((26, 61, 62))
+    assert io_mean < result.average * 1.1

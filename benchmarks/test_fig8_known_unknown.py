@@ -1,0 +1,21 @@
+"""Figure 8 bench: known vs unknown templates, MPL 2-5.
+
+Paper: Known ~19 % < Unknown-Y ~23 % < Unknown-QS ~25 % — the full
+zero-concurrent-samples pipeline costs a few points of accuracy.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import fig8_known_unknown
+
+
+def test_fig8_known_unknown(benchmark, ctx):
+    result = benchmark.pedantic(
+        fig8_known_unknown.run, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    known = result.average("Known-Templates")
+    unknown_y = result.average("Unknown-Y")
+    unknown_qs = result.average("Unknown-QS")
+    assert known < unknown_y < unknown_qs
+    assert known < 0.20
+    assert unknown_qs < 0.30

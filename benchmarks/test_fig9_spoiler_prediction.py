@@ -1,0 +1,18 @@
+"""Figure 9 bench: spoiler-latency prediction for new templates.
+
+Paper: KNN over (working set, I/O time) ~15 % beats the single-feature
+I/O-Time regression ~20 %, at every MPL.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import fig9_spoiler_prediction
+
+
+def test_fig9_spoiler_prediction(benchmark, ctx):
+    result = benchmark.pedantic(
+        fig9_spoiler_prediction.run, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    for mpl in result.mpls:
+        assert result.mre["KNN"][mpl] < result.mre["I/O Time"][mpl], f"MPL {mpl}"
+    assert result.average("KNN") < 0.20

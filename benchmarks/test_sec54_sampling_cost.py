@@ -1,0 +1,28 @@
+"""Sec. 5.4 bench: sampling-cost accounting for new templates.
+
+Paper: prior work needs polynomially many steady-state mix experiments
+(their ML-baseline onboarding cost averaged 109 testbed hours);
+Contender needs one spoiler run per MPL (linear), or one isolated run
+(constant, with the KNN spoiler predictor).
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import sec54_sampling_cost
+
+
+def test_sec54_sampling_cost(benchmark, ctx):
+    result = benchmark.pedantic(
+        sec54_sampling_cost.run, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    costs = {name: secs for name, (secs, _) in result.per_approach.items()}
+    prior = costs["prior work [8] (LHS mix sampling)"]
+    linear = costs["Contender linear (spoiler/MPL)"]
+    constant = costs["Contender constant (KNN spoiler)"]
+    assert constant < linear < prior
+    # Prior work is in the paper's 'order of a hundred hours' regime.
+    assert prior / 3600.0 > 100
+    # Contender's onboarding stays under an hour of testbed time
+    # (constant) / a few hours (linear).
+    assert constant / 3600.0 < 1.0
+    assert linear / 3600.0 < 10.0

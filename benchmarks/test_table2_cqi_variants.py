@@ -1,0 +1,19 @@
+"""Table 2 bench: CQI ablations (Baseline I/O, Positive I/O, full CQI).
+
+Paper: 25.4 % / 20.4 % / 20.2 % — each interaction term helps, the
+concurrent-concurrent term slightly.
+"""
+
+from benchmarks.conftest import report
+from repro.core.cqi import CQIVariant
+from repro.experiments import table2_cqi
+
+
+def test_table2_cqi_variants(benchmark, ctx):
+    result = benchmark.pedantic(
+        table2_cqi.run, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    mre = result.mre
+    assert mre[CQIVariant.BASELINE_IO] > mre[CQIVariant.POSITIVE_IO]
+    assert mre[CQIVariant.POSITIVE_IO] >= mre[CQIVariant.FULL] - 0.005

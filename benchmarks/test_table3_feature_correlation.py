@@ -1,0 +1,22 @@
+"""Table 3 bench: template features vs QS coefficients.
+
+Paper shape: isolated latency is the strongest usable predictor of the
+slope (inverse correlation); I/O fraction and working set carry little
+signal.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import table3_features
+
+
+def test_table3_feature_correlation(benchmark, ctx):
+    result = benchmark.pedantic(
+        table3_features.run, args=(ctx,), iterations=1, rounds=1
+    )
+    report(benchmark, result)
+    rows = {name: (rb, rm) for name, rb, rm in result.rows}
+    # Inverse correlation between isolated latency and slope.
+    assert rows["Isolated latency"][1] < -0.3
+    # The fine-grained features stay weak, as in the paper.
+    assert abs(rows["% execution time spent on I/O"][1]) < 0.3
+    assert abs(rows["Max working set"][1]) < 0.3

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Query-to-server assignment with CQPP (the paper's cloud application).
+
+"With CQPP, cloud-based database applications would be able to make
+more informed resource provisioning and query-to-server assignment
+plans."  (Sec. 1)
+
+Six tenant queries must be placed on two identical database servers,
+three per server (MPL 3 each).  We compare:
+
+* round-robin  — blind placement;
+* contender    — enumerate the balanced placements and pick the one
+                 minimizing the worst predicted per-query slowdown.
+
+Both placements are then executed on the simulator.
+
+Run:  python examples/cloud_provisioning.py
+"""
+
+import statistics
+from typing import List, Sequence, Tuple
+
+from repro.apps.placement import balanced_placement, predicted_slowdowns
+from repro.core import Contender, collect_training_data
+from repro.sampling import SteadyStateConfig, run_steady_state
+from repro.workload import TemplateCatalog
+
+TENANTS = [26, 33, 71, 62, 65, 90]
+PER_SERVER = 3
+
+
+def best_placement(
+    contender: Contender, tenants: Sequence[int]
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Balanced 2-server placement minimizing the worst slowdown."""
+    return balanced_placement(contender, tenants, num_servers=2)
+
+
+def measure_placement(
+    catalog: TemplateCatalog,
+    placement: Tuple[Tuple[int, ...], Tuple[int, ...]],
+) -> Tuple[float, float]:
+    """(worst, mean) measured slowdown across both servers."""
+    steady = SteadyStateConfig(samples_per_stream=2)
+    slowdowns = []
+    for server_mix in placement:
+        result = run_steady_state(catalog, server_mix, config=steady)
+        for tenant in server_mix:
+            observed = result.mean_latency(tenant)
+            isolated = catalog.run_isolated(tenant).latency
+            slowdowns.append(observed / isolated)
+    return max(slowdowns), statistics.fmean(slowdowns)
+
+
+def main() -> None:
+    catalog = TemplateCatalog()
+    print("Collecting training campaign (MPL 2-3)...")
+    data = collect_training_data(catalog, mpls=(2, 3), lhs_runs_per_mpl=2)
+    contender = Contender(data)
+
+    round_robin = (tuple(TENANTS[0::2]), tuple(TENANTS[1::2]))
+    smart = best_placement(contender, TENANTS)
+
+    print(f"\ntenants            : {TENANTS}")
+    print(f"round-robin servers: {round_robin}")
+    print(f"contender servers  : {smart}")
+
+    for name, placement in (("round-robin", round_robin), ("contender", smart)):
+        worst, mean = measure_placement(catalog, placement)
+        print(
+            f"{name:<12} measured slowdown: worst {worst:5.2f}x  "
+            f"mean {mean:5.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

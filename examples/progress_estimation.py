@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Mix-aware completion-time estimates (the progress-indicator use case).
+
+"High quality predictions would also pave the way for more refined
+query progress indicators by analyzing in real time how resource
+availability affects a query's estimated completion time."  (Sec. 1)
+
+A long analytical query runs while the concurrent mix around it
+changes.  A naive progress indicator assumes isolated speed; a
+Contender-backed one re-estimates the remaining time from the current
+mix's CQI whenever the mix changes.
+
+Run:  python examples/progress_estimation.py
+"""
+
+from repro.apps.progress import ProgressEstimator
+from repro.core import Contender, collect_training_data
+from repro.workload import TemplateCatalog
+
+PRIMARY = 71  # a long, I/O-bound query
+PHASES = [
+    ("alone", (PRIMARY,)),
+    ("light CPU-bound company", (PRIMARY, 65)),
+    ("heavy disjoint I/O", (PRIMARY, 17, 25)),
+    ("shared-scan company", (PRIMARY, 33)),
+]
+
+
+def main() -> None:
+    catalog = TemplateCatalog()
+    print("Collecting training campaign (MPL 2-3)...")
+    data = collect_training_data(catalog, mpls=(2, 3), lhs_runs_per_mpl=2)
+    contender = Contender(data)
+
+    estimator = ProgressEstimator(contender)
+    isolated = data.profile(PRIMARY).isolated_latency
+    print(f"\nprimary: T{PRIMARY}, isolated latency {isolated:.0f}s")
+    print(f"{'mix phase':<26} {'est. total (s)':>14} {'vs isolated':>12}")
+
+    for label, mix in PHASES:
+        estimate = estimator.estimate(PRIMARY, mix, fraction_done=0.0)
+        total = estimate.total_seconds
+        print(f"{label:<26} {total:>14.1f} {total / isolated:>11.2f}x")
+
+    print(
+        "\nA fixed-speed progress bar would report the 'alone' estimate in "
+        "every phase; the CQI-aware estimate tracks the changing mix."
+    )
+
+
+if __name__ == "__main__":
+    main()

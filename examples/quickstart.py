@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: predict concurrent query latency with Contender.
+
+Walks the whole public API in one sitting:
+
+1. build the simulated PostgreSQL/TPC-DS testbed,
+2. collect the training campaign (isolated runs, spoiler runs,
+   steady-state mix samples),
+3. fit Contender,
+4. predict the latency of a *known* template in an unseen mix,
+5. predict the latency of a *new* template the framework has never
+   sampled under concurrency — using only one isolated run.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    Contender,
+    SpoilerMode,
+    collect_training_data,
+    measure_template_profile,
+)
+from repro.sampling import run_steady_state
+from repro.workload import TemplateCatalog
+
+
+def main() -> None:
+    # --- 1. The testbed: a simulated 8-core/8 GB PostgreSQL host with a
+    # 100 GB TPC-DS-like database and 25 query templates.
+    catalog = TemplateCatalog()
+    print("Workload:")
+    print(catalog.describe())
+
+    # --- 2. Train on a *subset* pretending template 71 does not exist
+    # yet; it will arrive later as the "new" ad-hoc template.
+    new_template = 71
+    known = [t for t in catalog.template_ids if t != new_template]
+    training_catalog = catalog.subset(known)
+    print("\nCollecting training campaign (all pairs at MPL 2)...")
+    data = collect_training_data(training_catalog, mpls=(2,), lhs_runs_per_mpl=1)
+
+    # --- 3. Fit.
+    contender = Contender(data)
+
+    # --- 4. Known template in a fresh mix.
+    primary, buddy = 26, 65
+    predicted = contender.predict_known(primary, (primary, buddy))
+    observed = run_steady_state(catalog, (primary, buddy)).mean_latency(primary)
+    isolated = data.profile(primary).isolated_latency
+    print(f"\nKnown template T{primary} running with T{buddy}:")
+    print(f"  isolated latency : {isolated:8.1f} s")
+    print(f"  predicted        : {predicted:8.1f} s")
+    print(f"  observed         : {observed:8.1f} s")
+    print(f"  relative error   : {abs(observed - predicted) / observed:8.1%}")
+
+    # --- 5. A new template arrives.  One isolated run is all we sample.
+    profile = measure_template_profile(catalog, new_template)
+    mix = (new_template, 26)
+    predicted = contender.predict_new(
+        profile, mix, spoiler_mode=SpoilerMode.KNN
+    )
+    observed = run_steady_state(catalog, mix).mean_latency(new_template)
+    print(f"\nNew template T{new_template} (never sampled under concurrency)")
+    print(f"running with T{mix[1]}:")
+    print(f"  isolated latency : {profile.isolated_latency:8.1f} s")
+    print(f"  predicted        : {predicted:8.1f} s")
+    print(f"  observed         : {observed:8.1f} s")
+    print(f"  relative error   : {abs(observed - predicted) / observed:8.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Maintainer tool: calibration tables for the evaluation workload.
+
+The 25 template definitions carry selectivities, CPU factors, and
+projections calibrated so that the workload matches the paper's
+behavioural notes (see ``repro.workload.templates``).  When touching
+the engine's cost constants or the template builders, run this script
+and check the REQUIREMENTS column stays green.
+
+    python scripts/calibrate_workload.py
+"""
+
+from repro.engine.spoiler import measure_spoiler_latency
+from repro.units import fmt_bytes
+from repro.workload import TemplateCatalog
+
+#: Behavioural requirements from the paper (template id -> check).
+REQUIREMENTS = {
+    "latency band": lambda rows: all(130 <= r["latency"] <= 1100 for r in rows.values()),
+    "io-bound >= 96%": lambda rows: all(
+        rows[t]["io"] >= 0.96 for t in (26, 33, 61, 71)
+    ),
+    "cpu templates < 60% io": lambda rows: all(
+        rows[t]["io"] < 0.60 for t in (65, 90)
+    ),
+    "memory ws > 2 GiB": lambda rows: all(
+        rows[t]["ws"] > 2 * 1024**3 for t in (2, 22)
+    ),
+    "spoiler growth order 62 < 71 < 22": lambda rows: (
+        rows[62]["growth5"] < rows[71]["growth5"] < rows[22]["growth5"]
+    ),
+}
+
+
+def main() -> None:
+    catalog = TemplateCatalog()
+    rows = {}
+    print(f"{'id':>4} {'latency':>9} {'io%':>6} {'ws':>10} {'growth@5':>9}  cat")
+    for tid in catalog.template_ids:
+        stats = catalog.run_isolated(tid)
+        growth5 = (
+            measure_spoiler_latency(catalog.profile(tid), 5, catalog.config).latency
+            / stats.latency
+        )
+        rows[tid] = {
+            "latency": stats.latency,
+            "io": stats.io_fraction,
+            "ws": stats.working_set_bytes,
+            "growth5": growth5,
+        }
+        print(
+            f"{tid:>4} {stats.latency:>8.1f}s {stats.io_fraction:>5.1%} "
+            f"{fmt_bytes(stats.working_set_bytes):>10} {growth5:>8.2f}x  "
+            f"{catalog.spec(tid).category}"
+        )
+
+    print("\nrequirements:")
+    failures = 0
+    for name, check in REQUIREMENTS.items():
+        ok = check(rows)
+        failures += not ok
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+    raise SystemExit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

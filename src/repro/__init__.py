@@ -1,0 +1,62 @@
+"""Contender: concurrent query performance prediction (EDBT 2014).
+
+A full reproduction of *Contender: A Resource Modeling Approach for
+Concurrent Query Performance Prediction* (Duggan, Papaemmanouil,
+Cetintemel, Upfal — EDBT 2014), including the analytical-DBMS resource
+simulator it is evaluated on.
+
+Public API highlights:
+
+* :class:`repro.workload.TemplateCatalog` — the TPC-DS-like workload.
+* :class:`repro.core.Contender` — fit on a known workload, predict
+  concurrent latency for known and previously unseen templates.
+* :mod:`repro.sampling` — Latin Hypercube Sampling and steady-state mix
+  execution.
+* :mod:`repro.experiments` — one runner per table/figure of the paper.
+"""
+
+from .config import DEFAULT_CONFIG, HardwareSpec, SimulationConfig, SystemConfig
+
+from .errors import (
+    ConfigurationError,
+    ModelError,
+    NotFittedError,
+    ReproError,
+    SamplingError,
+    SimulationError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Contender",
+    "DEFAULT_CONFIG",
+    "ConfigurationError",
+    "HardwareSpec",
+    "ModelError",
+    "NotFittedError",
+    "ReproError",
+    "SamplingError",
+    "SimulationConfig",
+    "SimulationError",
+    "SystemConfig",
+    "TemplateCatalog",
+    "WorkloadError",
+    "__version__",
+]
+def __getattr__(name):
+    """Lazy top-level conveniences: the two classes everyone reaches for.
+
+    ``repro.Contender`` and ``repro.TemplateCatalog`` resolve without
+    importing the whole stack at package-import time.
+    """
+    if name == "Contender":
+        from .core.contender import Contender
+
+        return Contender
+    if name == "TemplateCatalog":
+        from .workload.catalog import TemplateCatalog
+
+        return TemplateCatalog
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

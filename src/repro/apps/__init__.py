@@ -1,0 +1,37 @@
+"""CQPP-driven applications (the paper's Sec. 1 motivation list).
+
+Accurate concurrent-query performance prediction pays off through the
+decisions it enables; this subpackage turns the paper's motivating
+applications into library APIs:
+
+* :mod:`repro.apps.scheduling` — batch pairing and makespan-aware
+  scheduling ("better scheduling decisions for large query batches").
+* :mod:`repro.apps.placement` — query-to-server assignment ("more
+  informed resource provisioning and query-to-server assignment plans").
+* :mod:`repro.apps.admission` — SLA-aware admission control.
+* :mod:`repro.apps.progress` — mix-aware completion-time estimation
+  ("more refined query progress indicators").
+
+The runnable scripts under ``examples/`` are thin drivers over these.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .placement import balanced_placement, placement_cost
+from .progress import ProgressEstimate, ProgressEstimator
+from .scheduling import greedy_pairing, predicted_makespan, predicted_pair_cost
+from .simulate import BatchExecution, execute_batches, measure_placement
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BatchExecution",
+    "ProgressEstimate",
+    "ProgressEstimator",
+    "balanced_placement",
+    "execute_batches",
+    "greedy_pairing",
+    "measure_placement",
+    "placement_cost",
+    "predicted_makespan",
+    "predicted_pair_cost",
+]

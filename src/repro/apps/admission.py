@@ -1,0 +1,112 @@
+"""SLA-aware admission control on top of CQPP predictions.
+
+Before admitting a queued query into the running mix, simulate the
+admission through the predictor: admit only if every member of the
+resulting mix — the newcomer included — is predicted to stay within its
+SLA (a multiple of its isolated latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.contender import Contender
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check.
+
+    Attributes:
+        admitted: Whether the candidate may join.
+        candidate: The candidate template.
+        mix_after: The mix that was evaluated (current + candidate).
+        worst_ratio: Worst predicted latency/SLA-bound ratio in the
+            evaluated mix (> 1 means some member would violate).
+        limiting_template: The member closest to (or past) its bound.
+    """
+
+    admitted: bool
+    candidate: int
+    mix_after: Tuple[int, ...]
+    worst_ratio: float
+    limiting_template: int
+
+
+class AdmissionController:
+    """Admit queries while every predicted latency respects the SLA.
+
+    Args:
+        contender: Fitted predictor; all workload templates known.
+        sla_factor: Allowed latency as a multiple of isolated latency.
+        max_mpl: Hard concurrency cap regardless of predictions.
+    """
+
+    def __init__(
+        self, contender: Contender, sla_factor: float = 1.5, max_mpl: int = 5
+    ):
+        if sla_factor < 1.0:
+            raise ModelError("sla_factor must be >= 1")
+        if max_mpl < 1:
+            raise ModelError("max_mpl must be >= 1")
+        self._contender = contender
+        self._sla = sla_factor
+        self._max_mpl = max_mpl
+
+    @property
+    def sla_factor(self) -> float:
+        return self._sla
+
+    def check(
+        self, running: Sequence[int], candidate: int
+    ) -> AdmissionDecision:
+        """Would admitting *candidate* into *running* keep the SLA?"""
+        mix = (*running, candidate)
+        if len(mix) > self._max_mpl:
+            return AdmissionDecision(
+                admitted=False,
+                candidate=candidate,
+                mix_after=mix,
+                worst_ratio=float("inf"),
+                limiting_template=candidate,
+            )
+        if len(mix) == 1:
+            return AdmissionDecision(
+                admitted=True,
+                candidate=candidate,
+                mix_after=mix,
+                worst_ratio=1.0 / self._sla,
+                limiting_template=candidate,
+            )
+        worst_ratio = 0.0
+        limiting = candidate
+        for primary in mix:
+            predicted = self._contender.predict_known(primary, mix)
+            isolated = self._contender.data.profile(primary).isolated_latency
+            ratio = predicted / (self._sla * isolated)
+            if ratio > worst_ratio:
+                worst_ratio = ratio
+                limiting = primary
+        return AdmissionDecision(
+            admitted=worst_ratio <= 1.0,
+            candidate=candidate,
+            mix_after=mix,
+            worst_ratio=worst_ratio,
+            limiting_template=limiting,
+        )
+
+    def plan_batches(self, queue: Sequence[int]) -> List[Tuple[int, ...]]:
+        """Group a FIFO queue into consecutive admission batches."""
+        batches: List[Tuple[int, ...]] = []
+        pending = list(queue)
+        while pending:
+            batch: List[int] = [pending.pop(0)]
+            while pending:
+                decision = self.check(batch, pending[0])
+                if not decision.admitted:
+                    break
+                batch.append(pending.pop(0))
+            batches.append(tuple(batch))
+        return batches

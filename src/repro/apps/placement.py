@@ -1,0 +1,82 @@
+"""Query-to-server placement on top of CQPP predictions.
+
+"With CQPP, cloud-based database applications would be able to make
+more informed resource provisioning and query-to-server assignment
+plans."  (Sec. 1)
+
+Given tenants to spread over identical servers, enumerate the balanced
+placements (exact for the small tenant counts the decision concerns)
+and pick the one minimizing the worst predicted per-query slowdown.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence, Tuple
+
+from ..core.contender import Contender
+from ..errors import ModelError
+
+Placement = Tuple[Tuple[int, ...], ...]
+
+
+def predicted_slowdowns(
+    contender: Contender, mix: Sequence[int]
+) -> List[float]:
+    """Predicted latency over isolated latency for every mix member."""
+    out: List[float] = []
+    for primary in mix:
+        predicted = contender.predict_known(primary, tuple(mix))
+        isolated = contender.data.profile(primary).isolated_latency
+        out.append(predicted / isolated)
+    return out
+
+
+def placement_cost(contender: Contender, placement: Placement) -> float:
+    """Worst predicted slowdown across all servers of a placement."""
+    worst = 0.0
+    for server_mix in placement:
+        if len(server_mix) < 2:
+            continue  # a lone query runs at its isolated speed
+        worst = max(worst, max(predicted_slowdowns(contender, server_mix)))
+    return worst
+
+
+def balanced_placement(
+    contender: Contender, tenants: Sequence[int], num_servers: int
+) -> Placement:
+    """The balanced placement minimizing the worst predicted slowdown.
+
+    Args:
+        contender: Fitted predictor (all tenants known).
+        tenants: Template ids to place; must divide evenly.
+        num_servers: Identical servers.
+
+    Returns:
+        One mix per server.
+    """
+    if num_servers < 1:
+        raise ModelError("num_servers must be >= 1")
+    if len(tenants) % num_servers != 0:
+        raise ModelError("tenants must divide evenly across servers")
+    per_server = len(tenants) // num_servers
+
+    def candidates(pool: Tuple[int, ...]) -> List[Placement]:
+        if not pool:
+            return [()]
+        head = pool[0]
+        out: List[Placement] = []
+        rest_pool = pool[1:]
+        for others in itertools.combinations(rest_pool, per_server - 1):
+            server = (head, *others)
+            leftover = list(rest_pool)
+            for t in others:
+                leftover.remove(t)
+            for tail in candidates(tuple(leftover)):
+                out.append((server, *tail))
+        return out
+
+    options = candidates(tuple(tenants))
+    if not options:
+        raise ModelError("no feasible placement")
+    return min(options, key=lambda p: placement_cost(contender, p))

@@ -1,0 +1,90 @@
+"""Mix-aware query progress estimation.
+
+"High quality predictions would also pave the way for more refined
+query progress indicators by analyzing in real time how resource
+availability affects a query's estimated completion time."  (Sec. 1)
+
+A running query has completed some fraction of its work; its remaining
+time depends on the *current* mix.  The estimator converts the
+predicted full-mix latency into a rate and prices the remaining
+fraction at that rate — re-estimating whenever the mix changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..core.contender import Contender
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class ProgressEstimate:
+    """A completion estimate for a running query.
+
+    Attributes:
+        primary: The running template.
+        mix: The mix the estimate assumed.
+        fraction_done: Work fraction already completed.
+        remaining_seconds: Estimated time to completion under the mix.
+        total_seconds: Estimated end-to-end latency under the mix.
+    """
+
+    primary: int
+    mix: Tuple[int, ...]
+    fraction_done: float
+    remaining_seconds: float
+    total_seconds: float
+
+
+class ProgressEstimator:
+    """Completion-time estimates that track the changing mix.
+
+    Args:
+        contender: Fitted predictor over the known workload.
+    """
+
+    def __init__(self, contender: Contender):
+        self._contender = contender
+
+    def estimate(
+        self,
+        primary: int,
+        mix: Sequence[int],
+        fraction_done: float,
+    ) -> ProgressEstimate:
+        """Estimate remaining time for *primary* under *mix*.
+
+        Args:
+            primary: Running template (must appear in *mix*).
+            mix: The current concurrent mix; a 1-tuple means the query
+                now runs alone.
+            fraction_done: Completed work fraction in [0, 1].
+        """
+        if not 0.0 <= fraction_done <= 1.0:
+            raise ModelError("fraction_done must be in [0, 1]")
+        if primary not in mix:
+            raise ModelError(f"primary {primary} not in mix {tuple(mix)}")
+        if len(mix) == 1:
+            total = self._contender.data.profile(primary).isolated_latency
+        else:
+            total = self._contender.predict_known(primary, mix)
+        remaining = (1.0 - fraction_done) * total
+        return ProgressEstimate(
+            primary=primary,
+            mix=tuple(mix),
+            fraction_done=fraction_done,
+            remaining_seconds=remaining,
+            total_seconds=total,
+        )
+
+    def replan(
+        self,
+        previous: ProgressEstimate,
+        new_mix: Sequence[int],
+    ) -> ProgressEstimate:
+        """Re-estimate after a mix change, keeping the progress made."""
+        return self.estimate(
+            previous.primary, new_mix, previous.fraction_done
+        )

@@ -1,0 +1,78 @@
+"""Batch scheduling on top of CQPP predictions.
+
+"This knowledge would allow system administrators to make better
+scheduling decisions for large query batches, reducing the completion
+time of individual queries and that of the entire batch."  (Sec. 1)
+
+The scheduler here targets MPL-2 batch execution: pair the batch's
+queries so that the *predicted* combined latency of each pair — and so
+the batch makespan — is minimized.  Greedy pairing is the classic
+baseline and already captures most of the win on analytical batches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.contender import Contender
+from ..errors import ModelError
+
+Pair = Tuple[int, int]
+
+
+def predicted_pair_cost(contender: Contender, a: int, b: int) -> float:
+    """Predicted cost of running templates *a* and *b* together.
+
+    The pair's makespan contribution is bounded below by the slower
+    member and above by the sum; the sum is the robust greedy criterion
+    (it penalizes pairs that hurt each other on both sides).
+    """
+    mix = (a, b)
+    return contender.predict_known(a, mix) + contender.predict_known(b, mix)
+
+
+def greedy_pairing(
+    contender: Contender, batch: Sequence[int]
+) -> List[Pair]:
+    """Pair a batch greedily by predicted combined cost.
+
+    Args:
+        contender: Fitted predictor; every batch template must be known.
+        batch: Template ids, even count.
+
+    Returns:
+        Pairs in scheduling order.
+
+    Raises:
+        ModelError: On an odd batch or unknown templates.
+    """
+    if len(batch) % 2 != 0:
+        raise ModelError("batch must contain an even number of queries")
+    unknown = [t for t in batch if t not in contender.data.profiles]
+    if unknown:
+        raise ModelError(f"templates not in the training data: {unknown}")
+
+    remaining = list(batch)
+    pairs: List[Pair] = []
+    while remaining:
+        head = remaining.pop(0)
+        best_idx = min(
+            range(len(remaining)),
+            key=lambda i: predicted_pair_cost(contender, head, remaining[i]),
+        )
+        pairs.append((head, remaining.pop(best_idx)))
+    return pairs
+
+
+def predicted_makespan(
+    contender: Contender, pairs: Sequence[Pair]
+) -> float:
+    """Predicted batch makespan: pairs run back to back, each lasting as
+    long as its slower member."""
+    total = 0.0
+    for a, b in pairs:
+        mix = (a, b)
+        total += max(
+            contender.predict_known(a, mix), contender.predict_known(b, mix)
+        )
+    return total

@@ -1,0 +1,112 @@
+"""Measured execution of application decisions.
+
+The application modules *decide* (pairings, placements, admissions)
+from predictions; this module *executes* those decisions on the
+simulator and reports what actually happened — the ground truth the
+examples and tests compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..sampling.steady_state import SteadyStateConfig, run_steady_state
+from ..workload.catalog import TemplateCatalog
+
+#: One query per stream, nothing trimmed: the batch-execution protocol.
+ONE_SHOT = SteadyStateConfig(samples_per_stream=1, warmup=0, cooldown=0)
+
+
+@dataclass(frozen=True)
+class BatchExecution:
+    """Measured outcome of running consecutive batches.
+
+    Attributes:
+        makespan: Total wall time across batches.
+        latencies: (batch index, template, measured latency) per query.
+    """
+
+    makespan: float
+    latencies: Tuple[Tuple[int, int, float], ...]
+
+    def worst_slowdown(self, catalog: TemplateCatalog) -> float:
+        """Worst measured latency over isolated latency."""
+        worst = 0.0
+        for _, template, latency in self.latencies:
+            isolated = catalog.run_isolated(template).latency
+            worst = max(worst, latency / isolated)
+        return worst
+
+    def sla_violations(
+        self, catalog: TemplateCatalog, sla_factor: float
+    ) -> int:
+        """Queries whose measured latency exceeded the SLA bound."""
+        if sla_factor < 1.0:
+            raise WorkloadError("sla_factor must be >= 1")
+        violations = 0
+        for _, template, latency in self.latencies:
+            isolated = catalog.run_isolated(template).latency
+            if latency > sla_factor * isolated:
+                violations += 1
+        return violations
+
+
+def execute_batches(
+    catalog: TemplateCatalog, batches: Sequence[Sequence[int]]
+) -> BatchExecution:
+    """Run *batches* back to back; measure makespan and per-query latency.
+
+    A batch of one query runs isolated; larger batches run as a
+    one-shot concurrent mix.
+    """
+    if not batches:
+        raise WorkloadError("need at least one batch")
+    makespan = 0.0
+    latencies: List[Tuple[int, int, float]] = []
+    for index, batch in enumerate(batches):
+        if not batch:
+            raise WorkloadError(f"batch {index} is empty")
+        if len(batch) == 1:
+            stats = catalog.run_isolated(batch[0])
+            makespan += stats.latency
+            latencies.append((index, batch[0], stats.latency))
+            continue
+        result = run_steady_state(catalog, tuple(batch), config=ONE_SHOT)
+        batch_end = max(
+            s.end_time for slot in result.samples for s in slot
+        )
+        makespan += batch_end
+        for template in batch:
+            latencies.append(
+                (index, template, result.mean_latency(template))
+            )
+    return BatchExecution(makespan=makespan, latencies=tuple(latencies))
+
+
+def measure_placement(
+    catalog: TemplateCatalog,
+    placement: Sequence[Sequence[int]],
+    steady_config: SteadyStateConfig = None,
+) -> Dict[int, float]:
+    """Measured slowdown per tenant for a multi-server placement."""
+    if not placement:
+        raise WorkloadError("placement has no servers")
+    cfg = steady_config if steady_config is not None else SteadyStateConfig(
+        samples_per_stream=2
+    )
+    out: Dict[int, float] = {}
+    for server_mix in placement:
+        if not server_mix:
+            raise WorkloadError("a server has no tenants")
+        if len(server_mix) == 1:
+            tenant = server_mix[0]
+            out[tenant] = 1.0
+            continue
+        result = run_steady_state(catalog, tuple(server_mix), config=cfg)
+        for tenant in server_mix:
+            observed = result.mean_latency(tenant)
+            isolated = catalog.run_isolated(tenant).latency
+            out[tenant] = observed / isolated
+    return out

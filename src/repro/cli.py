@@ -1,0 +1,294 @@
+"""Command-line interface.
+
+Everything a user needs to poke the reproduction without writing code::
+
+    repro workload                      # list the 25 templates
+    repro sql 71                        # one SQL instance of template 71
+    repro isolated 26                   # cold-cache isolated run
+    repro mix 26 71                     # steady-state mix execution
+    repro spoiler 22 --mpl 5            # worst-case latency at MPL 5
+    repro train --out campaign.pkl      # collect the sampling campaign
+    repro predict campaign.pkl 26 65    # known-template prediction
+    repro predict-new campaign.pkl 71 26   # Fig. 5 pipeline (71 is new)
+    repro experiment table2             # regenerate one table/figure
+    repro report                        # the full EXPERIMENTS.md content
+
+Installed as the ``repro`` console script; also runs as
+``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .core.contender import Contender, SpoilerMode
+from .core.training import (
+    TrainingData,
+    collect_training_data,
+    measure_spoiler_curve,
+    measure_template_profile,
+)
+from .engine.spoiler import measure_spoiler_latency
+from .errors import ReproError
+from .sampling.steady_state import run_steady_state
+from .units import fmt_bytes, fmt_duration
+from .workload.catalog import TemplateCatalog
+from .workload.sql import render_sql
+
+#: Experiment-name aliases for the ``experiment`` subcommand.
+EXPERIMENTS = {
+    "fig1": "fig1_lhs",
+    "fig2": "fig2_steady_state",
+    "fig4": "fig4_coefficients",
+    "fig6": "fig6_spoiler_growth",
+    "fig7": "fig7_cqi_mpl4",
+    "fig8": "fig8_known_unknown",
+    "fig9": "fig9_spoiler_prediction",
+    "fig10": "fig10_new_templates",
+    "table2": "table2_cqi",
+    "ext-operator": "ext_operator_model",
+    "ext-growth": "ext_database_growth",
+    "ext-distributed": "ext_distributed",
+    "table3": "table3_features",
+    "sec54": "sec54_sampling_cost",
+    "prior-work": "baseline_prior_work",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Contender (EDBT 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workload", help="describe the 25-template workload")
+
+    p = sub.add_parser("sql", help="render one SQL instance of a template")
+    p.add_argument("template", type=int)
+    p.add_argument("--seed", type=int, default=None)
+
+    p = sub.add_parser("isolated", help="run a template alone (cold cache)")
+    p.add_argument("template", type=int)
+
+    p = sub.add_parser("mix", help="run a mix in steady state")
+    p.add_argument("templates", type=int, nargs="+")
+    p.add_argument("--samples", type=int, default=5)
+
+    p = sub.add_parser("spoiler", help="measure spoiler latency")
+    p.add_argument("template", type=int)
+    p.add_argument("--mpl", type=int, default=2)
+
+    p = sub.add_parser("train", help="collect the sampling campaign")
+    p.add_argument("--out", type=Path, required=True)
+    p.add_argument("--mpls", type=str, default="2,3,4,5")
+    p.add_argument("--lhs-runs", type=int, default=4)
+
+    p = sub.add_parser("predict", help="predict a known template in a mix")
+    p.add_argument("data", type=Path)
+    p.add_argument("primary", type=int)
+    p.add_argument("concurrent", type=int, nargs="+")
+
+    p = sub.add_parser(
+        "predict-new", help="predict a new template (Fig. 5 pipeline)"
+    )
+    p.add_argument("data", type=Path)
+    p.add_argument("template", type=int)
+    p.add_argument("concurrent", type=int, nargs="+")
+    p.add_argument(
+        "--spoiler",
+        choices=[m.value for m in SpoilerMode],
+        default=SpoilerMode.KNN.value,
+    )
+
+    p = sub.add_parser("diagnose", help="QS model diagnostics per template")
+    p.add_argument("data", type=Path)
+    p.add_argument("--mpl", type=int, default=2)
+
+    p = sub.add_parser("experiment", help="run one experiment runner")
+    p.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    p = sub.add_parser("report", help="regenerate the full report")
+    p.add_argument("--skip-ml", action="store_true")
+
+    return parser
+
+
+def _cmd_workload(_: argparse.Namespace) -> int:
+    catalog = TemplateCatalog()
+    print(catalog.describe())
+    return 0
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed) if args.seed is not None else None
+    print(render_sql(args.template, rng))
+    return 0
+
+
+def _cmd_isolated(args: argparse.Namespace) -> int:
+    catalog = TemplateCatalog()
+    profile = measure_template_profile(catalog, args.template)
+    print(f"template          : {args.template}")
+    print(f"isolated latency  : {fmt_duration(profile.isolated_latency)}")
+    print(f"I/O fraction      : {profile.io_fraction:.1%}")
+    print(f"working set       : {fmt_bytes(profile.working_set_bytes)}")
+    print(f"records accessed  : {profile.records_accessed:,.0f}")
+    print(f"plan steps        : {profile.plan_steps}")
+    print(f"fact scans        : {', '.join(sorted(profile.fact_scans)) or '-'}")
+    return 0
+
+
+def _cmd_mix(args: argparse.Namespace) -> int:
+    from .sampling.steady_state import SteadyStateConfig
+
+    catalog = TemplateCatalog()
+    cfg = SteadyStateConfig(samples_per_stream=args.samples)
+    result = run_steady_state(catalog, tuple(args.templates), config=cfg)
+    print(f"mix {result.mix} (steady state, {args.samples} samples/stream)")
+    for template in sorted(set(result.mix)):
+        latency = result.mean_latency(template)
+        isolated = catalog.run_isolated(template).latency
+        print(
+            f"  T{template:<3} mean latency {fmt_duration(latency):>10}  "
+            f"({latency / isolated:4.2f}x isolated)"
+        )
+    return 0
+
+
+def _cmd_spoiler(args: argparse.Namespace) -> int:
+    catalog = TemplateCatalog()
+    stats = measure_spoiler_latency(
+        catalog.profile(args.template), args.mpl, catalog.config
+    )
+    isolated = catalog.run_isolated(args.template).latency
+    print(
+        f"T{args.template} spoiler latency at MPL {args.mpl}: "
+        f"{fmt_duration(stats.latency)} ({stats.latency / isolated:.2f}x isolated)"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    mpls = tuple(int(m) for m in args.mpls.split(","))
+    catalog = TemplateCatalog()
+    print(f"collecting campaign for MPLs {mpls} (LHS runs: {args.lhs_runs})...")
+    data = collect_training_data(
+        catalog, mpls=mpls, lhs_runs_per_mpl=args.lhs_runs
+    )
+    data.save(args.out)
+    observations = sum(len(v) for v in data.observations.values())
+    print(
+        f"saved {args.out}: {len(data.profiles)} templates, "
+        f"{observations} mix observations"
+    )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    data = TrainingData.load(args.data)
+    contender = Contender(data)
+    mix = (args.primary, *args.concurrent)
+    latency = contender.predict_known(args.primary, mix)
+    print(
+        f"T{args.primary} in mix {mix}: predicted {fmt_duration(latency)} "
+        f"(isolated {fmt_duration(data.profile(args.primary).isolated_latency)})"
+    )
+    return 0
+
+
+def _cmd_predict_new(args: argparse.Namespace) -> int:
+    data = TrainingData.load(args.data)
+    if args.template in data.profiles:
+        # Honour the 'new template' semantics even when the campaign
+        # happens to contain it: scrub it from the training side.
+        data = data.restricted_to(
+            [t for t in data.template_ids if t != args.template]
+        )
+    contender = Contender(data)
+    catalog = TemplateCatalog()
+    profile = measure_template_profile(catalog, args.template)
+    mode = SpoilerMode(args.spoiler)
+    mix = (args.template, *args.concurrent)
+    measured = None
+    if mode is SpoilerMode.MEASURED:
+        measured = measure_spoiler_curve(catalog, args.template, [len(mix)])
+    latency = contender.predict_new(
+        profile, mix, spoiler_mode=mode, measured_spoiler=measured
+    )
+    print(
+        f"new T{args.template} in mix {mix}: predicted {fmt_duration(latency)} "
+        f"(isolated {fmt_duration(profile.isolated_latency)}, "
+        f"spoiler mode {mode.value})"
+    )
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from .core.diagnostics import diagnose_workload
+
+    data = TrainingData.load(args.data)
+    contender = Contender(data)
+    print(diagnose_workload(contender, mpl=args.mpl).format_table())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    from .experiments.harness import ExperimentContext
+
+    module = importlib.import_module(
+        f".experiments.{EXPERIMENTS[args.name]}", package=__package__
+    )
+    ctx = ExperimentContext(cache_dir=Path("benchmarks/.cache"))
+    result = module.run(ctx)
+    print(result.format_table())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.harness import ExperimentContext
+    from .experiments.report import generate
+
+    ctx = ExperimentContext(cache_dir=Path("benchmarks/.cache"))
+    sys.stdout.write(generate(ctx, include_ml=not args.skip_ml))
+    return 0
+
+
+_HANDLERS = {
+    "workload": _cmd_workload,
+    "sql": _cmd_sql,
+    "isolated": _cmd_isolated,
+    "mix": _cmd_mix,
+    "spoiler": _cmd_spoiler,
+    "train": _cmd_train,
+    "predict": _cmd_predict,
+    "predict-new": _cmd_predict_new,
+    "diagnose": _cmd_diagnose,
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (head, less).
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,138 @@
+"""Hardware and simulation configuration.
+
+The paper's testbed is PostgreSQL 8.4.3 on an 8-core Intel i7 with 8 GB of
+RAM and a single magnetic disk (Sec. 6.1).  :class:`HardwareSpec` captures
+the resources the Contender model reasons about — I/O bandwidth, random
+IOPS, RAM — and :class:`SimulationConfig` the knobs of the discrete-event
+executor that stands in for the real DBMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigurationError
+from .units import GB, MB
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Resources of the simulated database host.
+
+    Attributes:
+        cores: CPU cores.  The paper assumes cores >= MPL, so the CPU is
+            never the contended resource; we keep the count anyway so the
+            executor can model CPU saturation if a caller pushes past it.
+        ram_bytes: Physical memory available to the DBMS and OS cache.
+        seq_bandwidth: Sequential disk read bandwidth, bytes/second,
+            aggregate across all streams.
+        random_iops: Random-read operations per second the disk sustains.
+        random_io_variance: Multiplicative spread of random-seek service
+            time under concurrency.  Prior work observed up to an order of
+            magnitude per-page variance ([8], quoted in Sec. 6.2); the
+            executor draws a per-phase factor in
+            ``[1/(1+v), 1+v]`` under contention.
+    """
+
+    cores: int = 8
+    ram_bytes: float = GB(8)
+    seq_bandwidth: float = MB(130)
+    random_iops: float = 180.0
+    random_io_variance: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError(f"cores must be >= 1, got {self.cores}")
+        if self.ram_bytes <= 0:
+            raise ConfigurationError("ram_bytes must be positive")
+        if self.seq_bandwidth <= 0:
+            raise ConfigurationError("seq_bandwidth must be positive")
+        if self.random_iops <= 0:
+            raise ConfigurationError("random_iops must be positive")
+        if self.random_io_variance < 0:
+            raise ConfigurationError("random_io_variance must be >= 0")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Behavioural knobs of the discrete-event executor.
+
+    Attributes:
+        shared_scans: Model synchronized (shared) sequential scans: queries
+            concurrently scanning the same table form a single disk stream
+            whose progress credits every member.  PostgreSQL >= 8.3 behaviour
+            and the source of the paper's "positive interactions".
+        scan_share_window: Fraction of a table scan during which a newly
+            arriving scan can join an in-flight scan group.  1.0 means scans
+            always coalesce; lower values model the synchronization window.
+        spill_multiplier: Extra I/O generated per byte of working set that
+            does not fit in the query's memory share (one write + one read
+            pass ~= 2.0).
+        spill_thrash: Super-linear penalty as the deficit grows relative
+            to the memory actually available: the effective spill volume
+            is ``multiplier * deficit * (1 + thrash * deficit/available)``,
+            modeling recursive partitioning / multi-pass external sorts
+            once the working set exceeds memory by a wide margin.
+        restart_cost: Fixed seconds charged when a steady-state stream
+            restarts a template (planning + dimension re-caching, Sec. 6.1).
+        dimension_cache: Whether dimension tables stay buffer-resident after
+            first touch within an experiment (hot dimensions are why fact
+            scans dominate analytical I/O).
+        cache_eviction: Buffer-cache policy for dimension tables:
+            ``'none'`` (first-resident wins) or ``'lru'``.
+        cpu_io_overlap: Fraction of a phase's CPU work that overlaps its own
+            I/O (asynchronous prefetch).  0 = strictly serial, 1 = perfect
+            overlap; the effective phase demand interpolates between the two.
+        time_epsilon: Smallest time advance the event loop will make;
+            guards against floating-point stalls.
+        max_events: Safety valve: the executor raises SimulationError if a
+            single run exceeds this many events.
+        seed: Base RNG seed for all stochastic components (parameter jitter,
+            random-I/O variance).
+    """
+
+    shared_scans: bool = True
+    scan_share_window: float = 1.0
+    spill_multiplier: float = 2.0
+    spill_thrash: float = 1.0
+    restart_cost: float = 2.5
+    dimension_cache: bool = True
+    cache_eviction: str = "none"
+    cpu_io_overlap: float = 0.7
+    time_epsilon: float = 1e-9
+    max_events: int = 2_000_000
+    seed: int = 20140324  # EDBT 2014 opening day.
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.scan_share_window <= 1.0:
+            raise ConfigurationError("scan_share_window must be in [0, 1]")
+        if self.spill_multiplier < 0:
+            raise ConfigurationError("spill_multiplier must be >= 0")
+        if self.spill_thrash < 0:
+            raise ConfigurationError("spill_thrash must be >= 0")
+        if self.restart_cost < 0:
+            raise ConfigurationError("restart_cost must be >= 0")
+        if self.cache_eviction not in ("none", "lru"):
+            raise ConfigurationError("cache_eviction must be 'none' or 'lru'")
+        if not 0.0 <= self.cpu_io_overlap <= 1.0:
+            raise ConfigurationError("cpu_io_overlap must be in [0, 1]")
+        if self.time_epsilon <= 0:
+            raise ConfigurationError("time_epsilon must be positive")
+        if self.max_events < 1:
+            raise ConfigurationError("max_events must be >= 1")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete simulated system: hardware plus executor behaviour."""
+
+    hardware: HardwareSpec = field(default_factory=HardwareSpec)
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+
+    def with_seed(self, seed: int) -> "SystemConfig":
+        """Return a copy whose simulation RNG seed is *seed*."""
+        return replace(self, simulation=replace(self.simulation, seed=seed))
+
+
+#: The default configuration mirrors the paper's testbed.
+DEFAULT_CONFIG = SystemConfig()

@@ -1,0 +1,107 @@
+"""Contender's predictive core.
+
+The pipeline (paper Fig. 5):
+
+1. Measure each known template's isolated latency, I/O fraction, and
+   spoiler latency per MPL (:mod:`repro.core.training`).
+2. Compute the Concurrent Query Intensity of each sampled mix
+   (:mod:`repro.core.cqi`), the continuum point of each observation
+   (:mod:`repro.core.continuum`), and fit per-template Query Sensitivity
+   models (:mod:`repro.core.qs`).
+3. For a new template, estimate its QS coefficients from the reference
+   models (:mod:`repro.core.coefficients`) and its spoiler latency from
+   isolated statistics (:mod:`repro.core.spoiler_model`), then predict.
+
+:class:`repro.core.contender.Contender` wraps the whole thing.
+"""
+
+from .cqi import CQICalculator, CQIVariant
+from .continuum import continuum_point, latency_from_point
+from .contender import Contender, ContenderOptions, NewTemplateVariant, SpoilerMode
+from .coefficients import CoefficientModel
+from .qs import QSModel, fit_qs_model
+from .spoiler_model import (
+    IOTimeSpoilerPredictor,
+    KNNSpoilerPredictor,
+    SpoilerGrowthModel,
+)
+from .isolated import perturb_profile
+from .operator_model import OperatorLatencyModel, PhaseEstimate
+from .distributed import (
+    DistributedContender,
+    DistributedPrediction,
+    evaluate_distributed,
+)
+from .prior_work import PriorWorkPredictor
+from .diagnostics import (
+    TemplateDiagnosis,
+    WorkloadDiagnostics,
+    diagnose_template,
+    diagnose_workload,
+)
+from .whatif import (
+    SlowdownAttribution,
+    WhatIfReport,
+    attribute_slowdown,
+    best_swap,
+)
+from .growth import (
+    GrowthModel,
+    ScalingLaw,
+    default_catalog_factory,
+    fit_growth_model,
+    validate_growth_model,
+)
+from .training import (
+    MixObservation,
+    SpoilerCurve,
+    TemplateProfile,
+    TrainingData,
+    collect_training_data,
+    measure_spoiler_curve,
+    measure_template_profile,
+)
+
+__all__ = [
+    "CQICalculator",
+    "CQIVariant",
+    "CoefficientModel",
+    "GrowthModel",
+    "Contender",
+    "ContenderOptions",
+    "DistributedContender",
+    "DistributedPrediction",
+    "IOTimeSpoilerPredictor",
+    "KNNSpoilerPredictor",
+    "MixObservation",
+    "NewTemplateVariant",
+    "OperatorLatencyModel",
+    "PhaseEstimate",
+    "PriorWorkPredictor",
+    "QSModel",
+    "SpoilerCurve",
+    "SpoilerMode",
+    "TemplateDiagnosis",
+    "ScalingLaw",
+    "SlowdownAttribution",
+    "SpoilerGrowthModel",
+    "TemplateProfile",
+    "TrainingData",
+    "WhatIfReport",
+    "WorkloadDiagnostics",
+    "attribute_slowdown",
+    "best_swap",
+    "collect_training_data",
+    "continuum_point",
+    "default_catalog_factory",
+    "diagnose_template",
+    "diagnose_workload",
+    "evaluate_distributed",
+    "fit_growth_model",
+    "fit_qs_model",
+    "latency_from_point",
+    "measure_spoiler_curve",
+    "measure_template_profile",
+    "perturb_profile",
+    "validate_growth_model",
+]

@@ -1,0 +1,159 @@
+"""Learning QS coefficients for new templates — Sec. 5.3.
+
+Two empirical observations let Contender synthesize a QS model for a
+template it has never sampled under concurrency:
+
+1. Across templates, the QS slope µ and intercept b are strongly
+   linearly related (Fig. 4).
+2. The slope is predictable from the template's *isolated latency*
+   (Table 3: the best single feature, inversely correlated — light
+   queries are more sensitive to I/O availability).
+
+``Unknown-QS`` (the full Contender path) regresses µ from isolated
+latency, then b from the estimated µ.  ``Unknown-Y`` is the paper's
+partial-information comparison: it takes the *true* µ (from a fitted QS
+model) and predicts only b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import ModelError
+from ..metrics.fit import signed_r_squared
+from ..ml.linreg import SimpleLinearRegression
+from .qs import QSModel
+from .training import TemplateProfile
+
+
+@dataclass(frozen=True)
+class CoefficientModel:
+    """Regressions linking reference QS models to template features.
+
+    Attributes:
+        mpl: MPL of the reference models.
+        slope_from_latency: µ as a function of isolated latency.
+        intercept_from_slope: b as a function of µ (Fig. 4 trend line).
+    """
+
+    mpl: int
+    slope_from_latency: SimpleLinearRegression
+    intercept_from_slope: SimpleLinearRegression
+
+    @staticmethod
+    def fit(
+        reference_models: Sequence[QSModel],
+        profiles: Mapping[int, TemplateProfile],
+    ) -> "CoefficientModel":
+        """Fit both regressions from reference QS models.
+
+        Raises:
+            ModelError: With fewer than two reference models, or models
+                from mixed MPLs.
+        """
+        models = list(reference_models)
+        if len(models) < 2:
+            raise ModelError("need at least two reference QS models")
+        mpls = {m.mpl for m in models}
+        if len(mpls) != 1:
+            raise ModelError(f"reference models span several MPLs: {sorted(mpls)}")
+        latencies: List[float] = []
+        slopes: List[float] = []
+        intercepts: List[float] = []
+        for model in models:
+            if model.template_id not in profiles:
+                raise ModelError(
+                    f"no profile for reference template {model.template_id}"
+                )
+            latencies.append(profiles[model.template_id].isolated_latency)
+            slopes.append(model.slope)
+            intercepts.append(model.intercept)
+        return CoefficientModel(
+            mpl=mpls.pop(),
+            slope_from_latency=SimpleLinearRegression().fit(latencies, slopes),
+            intercept_from_slope=SimpleLinearRegression().fit(slopes, intercepts),
+        )
+
+    def synthesize_unknown_qs(
+        self, template_id: int, isolated_latency: float
+    ) -> QSModel:
+        """Full Contender path: µ from isolated latency, b from µ."""
+        if isolated_latency <= 0:
+            raise ModelError("isolated_latency must be positive")
+        slope = self.slope_from_latency.predict(isolated_latency)
+        intercept = self.intercept_from_slope.predict(slope)
+        return QSModel(
+            template_id=template_id,
+            mpl=self.mpl,
+            slope=slope,
+            intercept=intercept,
+            num_samples=0,
+        )
+
+    def synthesize_unknown_y(self, template_id: int, true_slope: float) -> QSModel:
+        """Unknown-Y comparison: true µ, predicted b (Sec. 6.3)."""
+        intercept = self.intercept_from_slope.predict(true_slope)
+        return QSModel(
+            template_id=template_id,
+            mpl=self.mpl,
+            slope=true_slope,
+            intercept=intercept,
+            num_samples=0,
+        )
+
+
+#: The Table 3 feature extractors, in the paper's row order.
+TABLE3_FEATURES: Dict[str, object] = {
+    "% execution time spent on I/O": lambda p: p.io_fraction,
+    "Max working set": lambda p: p.working_set_bytes,
+    "Query plan steps": lambda p: float(p.plan_steps),
+    "Records accessed": lambda p: p.records_accessed,
+    "Isolated latency": lambda p: p.isolated_latency,
+}
+
+
+def coefficient_feature_study(
+    reference_models: Sequence[QSModel],
+    profiles: Mapping[int, TemplateProfile],
+    spoiler_latency: Mapping[int, float],
+) -> List[Tuple[str, float, float]]:
+    """Reproduce Table 3: signed R² of each feature vs b and µ.
+
+    Args:
+        reference_models: Fitted QS models (one per template, one MPL).
+        profiles: Isolated statistics per template.
+        spoiler_latency: Measured spoiler latency per template at the
+            reference MPL (for the spoiler-latency/slowdown rows).
+
+    Returns:
+        Rows of (feature name, signed R² vs intercept, signed R² vs
+        slope), in the paper's order.
+    """
+    models = [m for m in reference_models if m.template_id in profiles]
+    if len(models) < 3:
+        raise ModelError("need at least three reference models for the study")
+    intercepts = [m.intercept for m in models]
+    slopes = [m.slope for m in models]
+
+    def row(name: str, values: List[float]) -> Tuple[str, float, float]:
+        return (
+            name,
+            signed_r_squared(values, intercepts),
+            signed_r_squared(values, slopes),
+        )
+
+    rows: List[Tuple[str, float, float]] = []
+    for name, extract in TABLE3_FEATURES.items():
+        values = [extract(profiles[m.template_id]) for m in models]
+        rows.append(row(name, values))
+
+    spoiler_values = [spoiler_latency[m.template_id] for m in models]
+    rows.append(row("Spoiler latency", spoiler_values))
+    slowdowns = [
+        spoiler_latency[m.template_id]
+        / profiles[m.template_id].isolated_latency
+        for m in models
+    ]
+    rows.append(row("Spoiler slowdown", slowdowns))
+    return rows

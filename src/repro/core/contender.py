@@ -1,0 +1,288 @@
+"""The Contender façade — the paper's Fig. 5 pipeline, end to end.
+
+Fit once on a known workload's :class:`~repro.core.training.TrainingData`
+(isolated + spoiler + steady-state mix samples), then:
+
+* :meth:`Contender.predict_known` — latency of a known template in a new
+  mix: compute the mix's CQI, apply the template's reference QS model,
+  scale by its measured continuum.
+* :meth:`Contender.predict_new` — latency of a *previously unseen*
+  template: synthesize its QS model from the reference models
+  (Unknown-QS), optionally predict its spoiler latency by KNN over
+  isolated statistics, and only then proceed as above.  Requires zero
+  concurrent samples of the new template.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from .coefficients import CoefficientModel
+from .cqi import CQICalculator, CQIVariant
+from .qs import QSModel, fit_qs_model
+from .spoiler_model import (
+    IOTimeSpoilerPredictor,
+    KNNSpoilerPredictor,
+)
+from .training import SpoilerCurve, TemplateProfile, TrainingData
+
+Mix = Tuple[int, ...]
+
+
+class SpoilerMode(enum.Enum):
+    """How a new template's continuum upper bound is obtained (Fig. 10)."""
+
+    MEASURED = "measured"  # Known Spoiler: linear-time sampling
+    KNN = "knn"  # KNN Spoiler: constant-time sampling
+    IO_TIME = "io_time"  # the Fig. 9 regression baseline
+
+
+class NewTemplateVariant(enum.Enum):
+    """How a new template's QS coefficients are obtained (Sec. 6.3)."""
+
+    UNKNOWN_QS = "unknown_qs"  # µ from isolated latency, b from µ
+    UNKNOWN_Y = "unknown_y"  # true µ, b from µ
+
+
+@dataclass(frozen=True)
+class ContenderOptions:
+    """Tunables of the framework.
+
+    Attributes:
+        cqi_variant: Intensity metric (Table 2 ablations).
+        knn_k: Neighbours for the spoiler KNN predictor.
+        drop_outliers: Exclude over-continuum training observations
+            (Sec. 6.1 restart artifacts).
+    """
+
+    cqi_variant: CQIVariant = CQIVariant.FULL
+    knn_k: int = 3
+    drop_outliers: bool = True
+
+
+class Contender:
+    """Concurrent query performance prediction with low training cost.
+
+    Args:
+        data: Training data for the known workload.
+        options: Framework tunables.
+    """
+
+    def __init__(
+        self, data: TrainingData, options: Optional[ContenderOptions] = None
+    ):
+        if not data.profiles:
+            raise ModelError("training data contains no templates")
+        self._data = data
+        self._options = options if options is not None else ContenderOptions()
+        self._calculator = CQICalculator(
+            profiles=data.profiles, scan_seconds=data.scan_seconds
+        )
+        self._qs_cache: Dict[Tuple[int, int], QSModel] = {}
+        self._coeff_cache: Dict[int, CoefficientModel] = {}
+        self._knn_spoiler: Optional[KNNSpoilerPredictor] = None
+        self._io_time_spoiler: Optional[IOTimeSpoilerPredictor] = None
+
+    # ------------------------------------------------------------------
+    # Accessors.
+
+    @property
+    def data(self) -> TrainingData:
+        """The training data the framework was fitted on."""
+        return self._data
+
+    @property
+    def options(self) -> ContenderOptions:
+        """Framework tunables."""
+        return self._options
+
+    @property
+    def template_ids(self) -> List[int]:
+        """Known templates."""
+        return self._data.template_ids
+
+    def calculator(self) -> CQICalculator:
+        """The CQI calculator over the known workload."""
+        return self._calculator
+
+    def cqi(self, primary: int, mix: Sequence[int]) -> float:
+        """The CQI of *mix* for *primary* under the configured variant."""
+        return self._calculator.intensity(
+            primary, mix, self._options.cqi_variant
+        )
+
+    # ------------------------------------------------------------------
+    # Known templates (Sec. 5.2).
+
+    def qs_model(self, template_id: int, mpl: int) -> QSModel:
+        """The reference QS model of a known template at *mpl* (cached)."""
+        key = (template_id, mpl)
+        if key not in self._qs_cache:
+            self._qs_cache[key] = fit_qs_model(
+                self._data,
+                self._calculator,
+                template_id,
+                mpl,
+                self._options.cqi_variant,
+            )
+        return self._qs_cache[key]
+
+    def reference_models(self, mpl: int) -> List[QSModel]:
+        """Reference QS models of every known template at *mpl*."""
+        return [self.qs_model(t, mpl) for t in self.template_ids]
+
+    def predict_known(self, primary: int, mix: Sequence[int]) -> float:
+        """Latency of a known template in *mix* (Sec. 5.2).
+
+        Args:
+            primary: A template present in the training workload.
+            mix: The full concurrent mix (primary included); its length
+                is the MPL.
+        """
+        mpl = len(mix)
+        model = self.qs_model(primary, mpl)
+        profile = self._data.profile(primary)
+        l_max = self._data.spoiler(primary).latency_at(mpl)
+        return model.predict_latency(
+            self.cqi(primary, mix), profile.isolated_latency, l_max
+        )
+
+    def predict_known_interval(
+        self, primary: int, mix: Sequence[int], sigmas: float = 2.0
+    ) -> Tuple[float, float, float]:
+        """(low, predicted, high) latency band for a known template.
+
+        The band width comes from the QS fit's residual spread — it is
+        exactly the per-template uncertainty the paper reports as the
+        standard-deviation whiskers of Fig. 10.
+        """
+        mpl = len(mix)
+        model = self.qs_model(primary, mpl)
+        profile = self._data.profile(primary)
+        l_max = self._data.spoiler(primary).latency_at(mpl)
+        return model.predict_interval(
+            self.cqi(primary, mix), profile.isolated_latency, l_max, sigmas
+        )
+
+    # ------------------------------------------------------------------
+    # New templates (Sec. 5.3-5.5, Fig. 5).
+
+    def coefficient_model(self, mpl: int) -> CoefficientModel:
+        """Regressions from reference models at *mpl* (cached)."""
+        if mpl not in self._coeff_cache:
+            self._coeff_cache[mpl] = CoefficientModel.fit(
+                self.reference_models(mpl), self._data.profiles
+            )
+        return self._coeff_cache[mpl]
+
+    def spoiler_predictor(self, mode: SpoilerMode):
+        """The fitted spoiler predictor for *mode* (cached)."""
+        if mode is SpoilerMode.KNN:
+            if self._knn_spoiler is None:
+                self._knn_spoiler = KNNSpoilerPredictor(
+                    k=self._options.knn_k
+                ).fit(self._data.profiles, self._data.spoilers)
+            return self._knn_spoiler
+        if mode is SpoilerMode.IO_TIME:
+            if self._io_time_spoiler is None:
+                self._io_time_spoiler = IOTimeSpoilerPredictor().fit(
+                    self._data.profiles, self._data.spoilers
+                )
+            return self._io_time_spoiler
+        raise ModelError(f"no predictor for spoiler mode {mode}")
+
+    def spoiler_latency_for(
+        self,
+        profile: TemplateProfile,
+        mpl: int,
+        mode: SpoilerMode,
+        measured: Optional[SpoilerCurve] = None,
+    ) -> float:
+        """Continuum upper bound for a (possibly new) template at *mpl*."""
+        if mode is SpoilerMode.MEASURED:
+            curve = measured
+            if curve is None and profile.template_id in self._data.spoilers:
+                curve = self._data.spoiler(profile.template_id)
+            if curve is None:
+                raise ModelError(
+                    "SpoilerMode.MEASURED needs a measured SpoilerCurve"
+                )
+            return curve.latency_at(mpl)
+        return self.spoiler_predictor(mode).predict(profile, mpl)
+
+    def synthesize_qs(
+        self,
+        profile: TemplateProfile,
+        mpl: int,
+        variant: NewTemplateVariant = NewTemplateVariant.UNKNOWN_QS,
+        true_slope: Optional[float] = None,
+    ) -> QSModel:
+        """QS model for a template never sampled under concurrency."""
+        coeff = self.coefficient_model(mpl)
+        if variant is NewTemplateVariant.UNKNOWN_QS:
+            return coeff.synthesize_unknown_qs(
+                profile.template_id, profile.isolated_latency
+            )
+        if true_slope is None:
+            raise ModelError("UNKNOWN_Y requires the template's true slope")
+        return coeff.synthesize_unknown_y(profile.template_id, true_slope)
+
+    def predict_new(
+        self,
+        profile: TemplateProfile,
+        mix: Sequence[int],
+        spoiler_mode: SpoilerMode = SpoilerMode.KNN,
+        variant: NewTemplateVariant = NewTemplateVariant.UNKNOWN_QS,
+        measured_spoiler: Optional[SpoilerCurve] = None,
+        true_slope: Optional[float] = None,
+    ) -> float:
+        """Latency of a new template in *mix* — the full Fig. 5 pipeline.
+
+        Args:
+            profile: Isolated statistics of the new template (one
+                isolated run plus its query plan; no concurrent samples).
+            mix: The concurrent mix; every *other* member must be a
+                known template.  Use the new template's id for its slot.
+            spoiler_mode: How to obtain the continuum upper bound.
+            variant: How to obtain the QS coefficients.
+            measured_spoiler: Spoiler curve when ``spoiler_mode`` is
+                MEASURED and the template is not in the training data.
+            true_slope: The template's true QS slope (UNKNOWN_Y only).
+        """
+        mpl = len(mix)
+        if profile.template_id not in mix:
+            raise ModelError(
+                f"new template {profile.template_id} must occupy a slot in the mix"
+            )
+        unknown_others = [
+            t
+            for t in mix
+            if t != profile.template_id and t not in self._data.profiles
+        ]
+        if unknown_others:
+            raise ModelError(
+                f"concurrent templates not in the training data: {unknown_others}"
+            )
+
+        profiles: Dict[int, TemplateProfile] = dict(self._data.profiles)
+        profiles[profile.template_id] = profile
+        calculator = CQICalculator(
+            profiles=profiles, scan_seconds=self._data.scan_seconds
+        )
+        cqi = calculator.intensity(
+            profile.template_id, mix, self._options.cqi_variant
+        )
+
+        model = self.synthesize_qs(profile, mpl, variant, true_slope)
+        l_max = self.spoiler_latency_for(
+            profile, mpl, spoiler_mode, measured_spoiler
+        )
+        l_min = profile.isolated_latency
+        if l_max <= l_min:
+            # A badly under-predicted spoiler collapses the continuum;
+            # fall back to a minimal range so the prediction stays finite.
+            l_max = 1.05 * l_min
+        return model.predict_latency(cqi, l_min, l_max)

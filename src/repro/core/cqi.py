@@ -1,0 +1,142 @@
+"""Concurrent Query Intensity (CQI) — Sec. 4 of the paper.
+
+CQI quantifies how aggressively the concurrent queries of a mix compete
+with the primary for the I/O bus.  For each concurrent query ``c`` it
+starts from the query's baseline I/O demand and subtracts the I/O it will
+*share*:
+
+* ``p_c``    — fraction of c's isolated execution time spent on I/O;
+* ``ω_c``    — I/O time c spends on fact-table scans it shares with the
+  primary (Eq. 2);
+* ``τ_c``    — I/O time c spends on fact-table scans shared with other
+  non-primary queries, discounted by the group size (Eq. 3);
+* ``r_c``    — (l_min_c * p_c - ω_c - τ_c) / l_min_c, truncated at zero
+  (Eq. 4);
+* ``r_{t,m}``— the CQI of mix m for primary t: the mean r_c over the
+  concurrent queries (Eq. 5).
+
+The two ablations of Table 2 are the same computation with fewer terms:
+``BASELINE_IO`` keeps only ``p_c``; ``POSITIVE_IO`` adds ``ω_c``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import ModelError
+from .training import TemplateProfile
+
+
+class CQIVariant(enum.Enum):
+    """Which interaction terms the intensity metric includes (Table 2)."""
+
+    BASELINE_IO = "baseline"
+    POSITIVE_IO = "positive"
+    FULL = "cqi"
+
+
+@dataclass(frozen=True)
+class CQICalculator:
+    """Computes CQI and its ablations from template-level metadata.
+
+    Attributes:
+        profiles: Isolated statistics per template (``p_c``, ``l_min_c``,
+            fact-scan sets).
+        scan_seconds: Isolated scan time per fact table (``s_f``).
+    """
+
+    profiles: Mapping[int, TemplateProfile]
+    scan_seconds: Mapping[str, float]
+
+    def _profile(self, template_id: int) -> TemplateProfile:
+        try:
+            return self.profiles[template_id]
+        except KeyError:
+            raise ModelError(
+                f"no isolated profile for template {template_id}"
+            ) from None
+
+    def omega(self, concurrent: int, primary: int) -> float:
+        """``ω_c`` (Eq. 2): I/O time c shares with the primary.
+
+        The sum of scan times of every fact table both templates scan.
+        """
+        shared = (
+            self._profile(concurrent).fact_scans
+            & self._profile(primary).fact_scans
+        )
+        return sum(self.scan_seconds.get(f, 0.0) for f in shared)
+
+    def tau(
+        self, concurrent: int, primary: int, concurrent_set: Sequence[int]
+    ) -> float:
+        """``τ_c`` (Eq. 3): I/O time shared among non-primary queries.
+
+        For each fact table f that c scans, that the primary does *not*
+        scan, and that ``h_f > 1`` concurrent queries scan, c saves
+        ``(1 - 1/h_f) * s_f`` — the model assumes the group splits the
+        scan cost equally.
+        """
+        primary_scans = self._profile(primary).fact_scans
+        c_scans = self._profile(concurrent).fact_scans
+
+        h: Counter = Counter()
+        for other in concurrent_set:
+            for table in self._profile(other).fact_scans:
+                h[table] += 1
+
+        saved = 0.0
+        for table in c_scans:
+            if table in primary_scans:
+                continue  # counted by omega; avoid double counting
+            if h[table] > 1:
+                saved += (1.0 - 1.0 / h[table]) * self.scan_seconds.get(table, 0.0)
+        return saved
+
+    def r_c(
+        self,
+        concurrent: int,
+        primary: int,
+        concurrent_set: Sequence[int],
+        variant: CQIVariant = CQIVariant.FULL,
+    ) -> float:
+        """``r_c`` (Eq. 4): fraction of c's time competing with the primary."""
+        prof = self._profile(concurrent)
+        io_time = prof.isolated_latency * prof.io_fraction
+        if variant is not CQIVariant.BASELINE_IO:
+            io_time -= self.omega(concurrent, primary)
+        if variant is CQIVariant.FULL:
+            io_time -= self.tau(concurrent, primary, concurrent_set)
+        # "We truncate all negative I/O estimates to zero" (Sec. 4.1).
+        return max(io_time, 0.0) / prof.isolated_latency
+
+    def intensity(
+        self,
+        primary: int,
+        mix: Sequence[int],
+        variant: CQIVariant = CQIVariant.FULL,
+    ) -> float:
+        """``r_{t,m}`` (Eq. 5): the mix's CQI for *primary*.
+
+        Args:
+            primary: The primary template (must occur in *mix*).
+            mix: The full mix, the primary's slot included.
+            variant: Which ablation to compute (Table 2).
+
+        Returns:
+            Mean competing-I/O fraction over the concurrent queries; 0.0
+            for an MPL-1 "mix" (no concurrency).
+        """
+        if primary not in mix:
+            raise ModelError(f"primary {primary} not in mix {tuple(mix)}")
+        concurrent_set = list(mix)
+        concurrent_set.remove(primary)
+        if not concurrent_set:
+            return 0.0
+        values = [
+            self.r_c(c, primary, concurrent_set, variant) for c in concurrent_set
+        ]
+        return sum(values) / len(values)

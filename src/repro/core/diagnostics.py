@@ -1,0 +1,159 @@
+"""Model diagnostics: which templates the framework models well or badly.
+
+The paper's error analysis (Sec. 6.2) is qualitative: extremely
+I/O-bound templates fit CQI best, random-I/O templates are noisy,
+memory-intensive ones break the linear model.  This module turns that
+analysis into a first-class report a practitioner can run on their own
+workload: per-template QS fit quality, residual spread, CQI coverage,
+and flags for the failure modes the paper names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModelError
+from ..metrics.fit import r_squared
+from .contender import Contender
+from .qs import qs_training_pairs
+
+
+@dataclass(frozen=True)
+class TemplateDiagnosis:
+    """Fit diagnostics for one template at one MPL.
+
+    Attributes:
+        template_id: The template.
+        mpl: MPL of the diagnosed QS model.
+        r2: Coefficient of determination of the QS fit.
+        residual_std: Spread of the continuum-point residuals.
+        cqi_range: (min, max) CQI seen in training — a narrow range
+            means the model extrapolates for most new mixes.
+        num_samples: Training mixes behind the fit.
+        flags: Human-readable warnings (paper failure modes).
+    """
+
+    template_id: int
+    mpl: int
+    r2: float
+    residual_std: float
+    cqi_range: Tuple[float, float]
+    num_samples: int
+    flags: Tuple[str, ...]
+
+    @property
+    def healthy(self) -> bool:
+        """True when no warning flags fired."""
+        return not self.flags
+
+
+#: Thresholds behind the warning flags.
+LOW_R2 = 0.4
+HIGH_RESIDUAL = 0.15
+NARROW_CQI = 0.15
+MEMORY_WORKING_SET_FRACTION = 0.25
+
+
+def diagnose_template(
+    contender: Contender, template_id: int, mpl: int
+) -> TemplateDiagnosis:
+    """Diagnose one template's QS model."""
+    data = contender.data
+    model = contender.qs_model(template_id, mpl)
+    pairs = qs_training_pairs(
+        data,
+        contender.calculator(),
+        template_id,
+        mpl,
+        contender.options.cqi_variant,
+    )
+    if len(pairs) < 2:
+        raise ModelError(
+            f"template {template_id} at MPL {mpl}: too few samples to diagnose"
+        )
+    cqis = [p[0] for p in pairs]
+    points = [p[1] for p in pairs]
+    predicted = [model.predict_point(c) for c in cqis]
+    fit_r2 = r_squared(points, predicted)
+    cqi_range = (min(cqis), max(cqis))
+
+    flags: List[str] = []
+    if fit_r2 < LOW_R2:
+        flags.append(f"weak linear fit (R²={fit_r2:.2f})")
+    if model.residual_std > HIGH_RESIDUAL:
+        flags.append(
+            f"wide residuals (σ={model.residual_std:.2f} of the continuum)"
+        )
+    if cqi_range[1] - cqi_range[0] < NARROW_CQI:
+        flags.append(
+            "narrow CQI coverage — most predictions will extrapolate"
+        )
+    profile = data.profile(template_id)
+    # The paper's memory-template caveat: working sets near the RAM size
+    # change behaviour under pressure and break the linear model.
+    ram_fraction_hint = profile.working_set_bytes
+    if ram_fraction_hint > 0:
+        # TrainingData does not carry the hardware spec; flag on the
+        # absolute scale the paper's testbed implies (multi-GB).
+        from ..units import GB
+
+        if profile.working_set_bytes > 2 * GB(1):
+            flags.append("memory-intensive (multi-GB working set)")
+    return TemplateDiagnosis(
+        template_id=template_id,
+        mpl=mpl,
+        r2=fit_r2,
+        residual_std=model.residual_std,
+        cqi_range=cqi_range,
+        num_samples=len(pairs),
+        flags=tuple(flags),
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadDiagnostics:
+    """Diagnostics for a whole workload at one MPL."""
+
+    mpl: int
+    rows: Tuple[TemplateDiagnosis, ...]
+
+    def flagged(self) -> List[TemplateDiagnosis]:
+        """Templates with at least one warning, worst R² first."""
+        return sorted(
+            (row for row in self.rows if row.flags), key=lambda r: r.r2
+        )
+
+    def format_table(self) -> str:
+        lines = [
+            f"QS model diagnostics at MPL {self.mpl}",
+            f"{'template':>8} {'R²':>6} {'resid σ':>8} {'CQI range':>13} "
+            f"{'n':>4}  flags",
+        ]
+        for row in self.rows:
+            span = f"{row.cqi_range[0]:.2f}-{row.cqi_range[1]:.2f}"
+            flags = "; ".join(row.flags) if row.flags else "-"
+            lines.append(
+                f"{row.template_id:>8} {row.r2:>6.2f} {row.residual_std:>8.3f} "
+                f"{span:>13} {row.num_samples:>4}  {flags}"
+            )
+        healthy = sum(1 for row in self.rows if row.healthy)
+        lines.append(f"{healthy}/{len(self.rows)} templates unflagged")
+        return "\n".join(lines)
+
+
+def diagnose_workload(
+    contender: Contender,
+    mpl: int = 2,
+    template_ids: Optional[Sequence[int]] = None,
+) -> WorkloadDiagnostics:
+    """Diagnose every template's QS model at *mpl*."""
+    ids = (
+        list(template_ids)
+        if template_ids is not None
+        else contender.template_ids
+    )
+    rows = tuple(diagnose_template(contender, t, mpl) for t in ids)
+    return WorkloadDiagnostics(mpl=mpl, rows=rows)

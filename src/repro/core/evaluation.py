@@ -1,0 +1,226 @@
+"""Shared evaluation procedures for the paper's experiments.
+
+The experiment runners in :mod:`repro.experiments` all reduce to a small
+set of procedures: cross-validated known-template prediction error,
+leave-one-template-out new-template error, and leave-one-out spoiler
+prediction error.  They live here so tests can exercise them directly.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModelError
+from ..ml.crossval import kfold_indices, leave_one_out
+from ..ml.linreg import SimpleLinearRegression
+from .contender import Contender, NewTemplateVariant, SpoilerMode
+from .continuum import continuum_point, exceeds_continuum, latency_from_point
+from .cqi import CQICalculator, CQIVariant
+from .spoiler_model import IOTimeSpoilerPredictor, KNNSpoilerPredictor
+from .training import MixObservation, TrainingData
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    """One prediction against its observation."""
+
+    primary: int
+    mix: Tuple[int, ...]
+    observed: float
+    predicted: float
+
+    @property
+    def relative_error(self) -> float:
+        return abs(self.observed - self.predicted) / self.observed
+
+
+def _usable_observations(
+    data: TrainingData, template_id: int, mpl: int
+) -> List[MixObservation]:
+    """The template's observations at *mpl* minus over-continuum outliers."""
+    l_max = data.spoiler(template_id).latency_at(mpl)
+    return [
+        obs
+        for obs in data.observations_for(template_id, mpl)
+        if not exceeds_continuum(obs.latency, l_max)
+    ]
+
+
+def evaluate_known_templates(
+    data: TrainingData,
+    mpls: Sequence[int],
+    variant: CQIVariant = CQIVariant.FULL,
+    folds: int = 5,
+    rng: Optional[np.random.Generator] = None,
+) -> List[PredictionRecord]:
+    """k-fold cross-validated QS predictions for known templates.
+
+    For each template and MPL, the observations are split into *folds*;
+    the QS model is fitted on the training folds and evaluated on the
+    held-out mixes (Sec. 6.2/6.3 "Known-Templates").
+    """
+    calc = CQICalculator(profiles=data.profiles, scan_seconds=data.scan_seconds)
+    records: List[PredictionRecord] = []
+    for mpl in mpls:
+        for tid in data.template_ids:
+            obs = _usable_observations(data, tid, mpl)
+            if len(obs) < max(folds, 3):
+                continue
+            prof = data.profile(tid)
+            l_min = prof.isolated_latency
+            l_max = data.spoiler(tid).latency_at(mpl)
+            pairs = [
+                (calc.intensity(tid, o.mix, variant), o) for o in obs
+            ]
+            for train_idx, test_idx in kfold_indices(len(pairs), folds, rng):
+                xs = [pairs[i][0] for i in train_idx]
+                ys = [
+                    continuum_point(pairs[i][1].latency, l_min, l_max)
+                    for i in train_idx
+                ]
+                reg = SimpleLinearRegression().fit(xs, ys)
+                for i in test_idx:
+                    cqi, o = pairs[i]
+                    pred = latency_from_point(reg.predict(cqi), l_min, l_max)
+                    records.append(
+                        PredictionRecord(
+                            primary=tid,
+                            mix=o.mix,
+                            observed=o.latency,
+                            predicted=pred,
+                        )
+                    )
+    return records
+
+
+def evaluate_new_templates(
+    data: TrainingData,
+    mpls: Sequence[int],
+    variant: NewTemplateVariant = NewTemplateVariant.UNKNOWN_QS,
+    spoiler_mode: SpoilerMode = SpoilerMode.MEASURED,
+    cqi_variant: CQIVariant = CQIVariant.FULL,
+    exclude: Sequence[int] = (),
+    profile_transform: Optional[Callable] = None,
+) -> List[PredictionRecord]:
+    """Leave-one-template-out evaluation of the new-template pipeline.
+
+    For every held-out template, a Contender instance is fitted on the
+    remaining workload (its observations, profiles, spoiler curves — the
+    held-out template is scrubbed from everything, including mixes it
+    participates in), then asked to predict the held-out template's
+    latency in each of its sampled mixes.
+
+    Args:
+        data: Full training data (held-out included; we restrict per fold).
+        mpls: MPLs to evaluate.
+        variant: UNKNOWN_QS (full Contender) or UNKNOWN_Y.
+        spoiler_mode: MEASURED (Known Spoiler), KNN, or IO_TIME.
+        cqi_variant: CQI ablation used throughout.
+        exclude: Templates never used as the held-out primary (the paper
+            drops T2, its most memory-intensive template, in Fig. 10).
+        profile_transform: Optional function (profile -> profile) applied
+            to the held-out template's isolated profile before prediction
+            — the hook for the Isolated Prediction perturbation.
+    """
+    full = Contender(data)
+    records: List[PredictionRecord] = []
+    for rest_ids, held in leave_one_out(data.template_ids):
+        if held in exclude:
+            continue
+        rest = data.restricted_to(rest_ids)
+        con = Contender(rest)
+        profile = data.profile(held)
+        if profile_transform is not None:
+            profile = profile_transform(profile)
+        for mpl in mpls:
+            true_slope: Optional[float] = None
+            if variant is NewTemplateVariant.UNKNOWN_Y:
+                true_slope = full.qs_model(held, mpl).slope
+            for obs in _usable_observations(data, held, mpl):
+                if held in obs.concurrent():
+                    # Self-mixes would put the 'new' template among the
+                    # known concurrents; the pipeline forbids that.
+                    continue
+                pred = con.predict_new(
+                    profile,
+                    obs.mix,
+                    spoiler_mode=spoiler_mode,
+                    variant=variant,
+                    measured_spoiler=data.spoiler(held),
+                    true_slope=true_slope,
+                )
+                records.append(
+                    PredictionRecord(
+                        primary=held,
+                        mix=obs.mix,
+                        observed=obs.latency,
+                        predicted=pred,
+                    )
+                )
+    return records
+
+
+def evaluate_spoiler_predictors(
+    data: TrainingData, mpls: Sequence[int]
+) -> Dict[str, Dict[int, float]]:
+    """Leave-one-out spoiler-latency prediction MRE (Fig. 9).
+
+    Returns:
+        ``{'KNN': {mpl: mre}, 'I/O Time': {mpl: mre}}``.
+    """
+    makers: Dict[str, Callable] = {
+        "KNN": lambda: KNNSpoilerPredictor(k=3),
+        "I/O Time": IOTimeSpoilerPredictor,
+    }
+    out: Dict[str, Dict[int, float]] = {}
+    for name, make in makers.items():
+        per_mpl: Dict[int, List[float]] = {mpl: [] for mpl in mpls}
+        for rest_ids, held in leave_one_out(data.template_ids):
+            predictor = make().fit(data.profiles, data.spoilers, rest_ids)
+            for mpl in mpls:
+                observed = data.spoiler(held).latency_at(mpl)
+                predicted = predictor.predict(data.profile(held), mpl)
+                per_mpl[mpl].append(abs(observed - predicted) / observed)
+        out[name] = {
+            mpl: float(statistics.fmean(v)) for mpl, v in per_mpl.items()
+        }
+    return out
+
+
+def summarize_by_mpl(
+    records: Sequence[PredictionRecord],
+) -> Dict[int, Tuple[float, float]]:
+    """Per-MPL (mean relative error, std of relative errors)."""
+    grouped: Dict[int, List[float]] = {}
+    for rec in records:
+        grouped.setdefault(len(rec.mix), []).append(rec.relative_error)
+    return {
+        mpl: (
+            float(np.mean(errs)),
+            float(np.std(errs)),
+        )
+        for mpl, errs in sorted(grouped.items())
+    }
+
+
+def summarize_by_template(
+    records: Sequence[PredictionRecord],
+) -> Dict[int, float]:
+    """Per-template mean relative error."""
+    grouped: Dict[int, List[float]] = {}
+    for rec in records:
+        grouped.setdefault(rec.primary, []).append(rec.relative_error)
+    return {
+        tid: float(np.mean(errs)) for tid, errs in sorted(grouped.items())
+    }
+
+
+def overall_mre(records: Sequence[PredictionRecord]) -> float:
+    """Mean relative error across all records."""
+    if not records:
+        raise ModelError("no prediction records to summarize")
+    return float(np.mean([r.relative_error for r in records]))

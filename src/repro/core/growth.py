@@ -1,0 +1,180 @@
+"""Predicting performance on an expanding database — future work #2.
+
+Sec. 8: "Another interesting direction for this work is developing
+models for predicting query performance on an expanding database.  As
+database writes accumulate, this would enable the predictor to continue
+to provide important information to database users."
+
+The extension measures each template's isolated statistics at a few
+historical database sizes (scale factors), fits per-template scaling
+laws, and extrapolates the statistics — isolated latency, I/O fraction,
+working-set size — to a future size.  The extrapolated profile then
+drops straight into Contender's constant-time new-template pipeline
+(KNN spoiler + synthesized QS), giving concurrent-latency predictions
+for a database size that has never been sampled at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from ..config import SystemConfig
+from ..errors import ModelError
+from ..ml.linreg import SimpleLinearRegression
+from ..workload.catalog import TemplateCatalog
+from ..workload.schema import build_schema
+from .training import TemplateProfile, measure_template_profile
+
+#: Factory producing a catalog at a given scale factor.
+CatalogFactory = Callable[[float], TemplateCatalog]
+
+
+def default_catalog_factory(config: SystemConfig) -> CatalogFactory:
+    """Catalogs over the standard schema at arbitrary scale factors."""
+
+    def factory(scale_factor: float) -> TemplateCatalog:
+        return TemplateCatalog(
+            config=config, schema=build_schema(scale_factor)
+        )
+
+    return factory
+
+
+@dataclass(frozen=True)
+class ScalingLaw:
+    """Per-template linear scaling of isolated statistics with SF.
+
+    Analytical latencies are dominated by fact-table scans, which grow
+    linearly with the scale factor, so a line per statistic is the right
+    functional form (validated by :func:`fit_growth_model`'s holdout).
+    """
+
+    template_id: int
+    latency: SimpleLinearRegression
+    io_fraction: SimpleLinearRegression
+    working_set: SimpleLinearRegression
+
+    def profile_at(
+        self, scale_factor: float, reference: TemplateProfile
+    ) -> TemplateProfile:
+        """Extrapolated isolated profile at *scale_factor*.
+
+        Plan-shape statistics (steps, fact scans) come from *reference*;
+        records scale linearly with the fact tables.
+        """
+        if scale_factor <= 0:
+            raise ModelError("scale_factor must be positive")
+        latency = max(self.latency.predict(scale_factor), 1e-3)
+        io_fraction = float(
+            min(max(self.io_fraction.predict(scale_factor), 0.0), 1.0)
+        )
+        working_set = max(self.working_set.predict(scale_factor), 0.0)
+        return TemplateProfile(
+            template_id=self.template_id,
+            isolated_latency=latency,
+            io_fraction=io_fraction,
+            working_set_bytes=working_set,
+            records_accessed=reference.records_accessed,
+            plan_steps=reference.plan_steps,
+            fact_scans=reference.fact_scans,
+        )
+
+
+@dataclass
+class GrowthModel:
+    """Scaling laws for a workload, fitted on historical sizes.
+
+    Attributes:
+        scale_factors: The historical sizes the laws were fitted on.
+        laws: Per-template scaling law.
+        reference_profiles: Profiles at the largest historical size
+            (source of the plan-shape statistics).
+    """
+
+    scale_factors: Sequence[float]
+    laws: Dict[int, ScalingLaw]
+    reference_profiles: Dict[int, TemplateProfile]
+
+    def predict_profile(
+        self, template_id: int, scale_factor: float
+    ) -> TemplateProfile:
+        """Extrapolated isolated profile of a template at *scale_factor*."""
+        try:
+            law = self.laws[template_id]
+        except KeyError:
+            raise ModelError(
+                f"no scaling law for template {template_id}"
+            ) from None
+        return law.profile_at(
+            scale_factor, self.reference_profiles[template_id]
+        )
+
+
+def fit_growth_model(
+    factory: CatalogFactory,
+    scale_factors: Sequence[float],
+    template_ids: Optional[Sequence[int]] = None,
+) -> GrowthModel:
+    """Measure the workload at each historical size and fit the laws.
+
+    Args:
+        factory: Produces a catalog at a given scale factor.
+        scale_factors: Historical database sizes (>= 2 required).
+        template_ids: Templates to model (defaults to the catalog's).
+
+    Returns:
+        A fitted :class:`GrowthModel`.
+    """
+    sizes = sorted(scale_factors)
+    if len(sizes) < 2:
+        raise ModelError("need at least two historical scale factors")
+
+    measured: Dict[float, Dict[int, TemplateProfile]] = {}
+    for sf in sizes:
+        catalog = factory(sf)
+        ids = (
+            list(template_ids)
+            if template_ids is not None
+            else list(catalog.template_ids)
+        )
+        measured[sf] = {
+            t: measure_template_profile(catalog, t) for t in ids
+        }
+
+    ids = sorted(measured[sizes[0]])
+    laws: Dict[int, ScalingLaw] = {}
+    for tid in ids:
+        lat = [measured[sf][tid].isolated_latency for sf in sizes]
+        io = [measured[sf][tid].io_fraction for sf in sizes]
+        ws = [measured[sf][tid].working_set_bytes for sf in sizes]
+        laws[tid] = ScalingLaw(
+            template_id=tid,
+            latency=SimpleLinearRegression().fit(sizes, lat),
+            io_fraction=SimpleLinearRegression().fit(sizes, io),
+            working_set=SimpleLinearRegression().fit(sizes, ws),
+        )
+    return GrowthModel(
+        scale_factors=tuple(sizes),
+        laws=laws,
+        reference_profiles=dict(measured[sizes[-1]]),
+    )
+
+
+def validate_growth_model(
+    model: GrowthModel,
+    factory: CatalogFactory,
+    holdout_scale_factor: float,
+) -> Dict[int, float]:
+    """Relative isolated-latency error at an unseen database size.
+
+    Returns:
+        Per-template relative error at *holdout_scale_factor*.
+    """
+    catalog = factory(holdout_scale_factor)
+    errors: Dict[int, float] = {}
+    for tid in sorted(model.laws):
+        observed = measure_template_profile(catalog, tid).isolated_latency
+        predicted = model.predict_profile(tid, holdout_scale_factor)
+        errors[tid] = abs(observed - predicted.isolated_latency) / observed
+    return errors

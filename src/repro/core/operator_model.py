@@ -1,0 +1,235 @@
+"""Operator-level CQPP — the paper's first future-work direction.
+
+Sec. 8: "In future work, we would like to explore CQPP at the
+granularity of individual query execution plan nodes.  This would make
+our models more flexible and finer-grained."
+
+This extension predicts a query's concurrent latency *white-box*, by
+pricing each compiled phase of its plan under the mix's expected
+contention instead of fitting one black-box line per template:
+
+* The mix's expected number of competing disk streams is
+  ``S = 1 + Σ r_c`` — each concurrent query contends for the
+  :mod:`CQI <repro.core.cqi>` fraction ``r_c`` of its time.
+* A sequential phase on table ``f`` that some concurrent query also
+  scans is discounted by that query's duty cycle on ``f`` (the carousel
+  serves part of the scan for free).
+* Random-I/O phases are priced in IOPS under the same stream count;
+  CPU phases are contention-free (cores exceed the MPL).
+
+A single global calibration line (per MPL) maps the composed white-box
+estimate to observed latencies.  Because the calibration is *not*
+per-template, the model transfers to unseen templates with zero
+concurrent samples — trading some accuracy for structure, exactly the
+trade the paper anticipates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..engine.profile import ResourceProfile
+from ..errors import ModelError
+from ..ml.linreg import SimpleLinearRegression
+from .cqi import CQICalculator
+from .training import TemplateProfile, TrainingData
+
+Mix = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PhaseEstimate:
+    """Predicted duration of one phase under a mix."""
+
+    label: str
+    seconds: float
+    kind: str  # 'seq', 'rand', 'cpu', 'mixed'
+
+
+class OperatorLatencyModel:
+    """White-box per-operator latency composition with global calibration.
+
+    Args:
+        data: Training data (profiles + observations) of the known
+            workload.
+        config: The simulated system (disk rates).
+    """
+
+    def __init__(self, data: TrainingData, config: SystemConfig):
+        if not data.profiles:
+            raise ModelError("training data contains no templates")
+        self._data = data
+        self._config = config
+        self._calculator = CQICalculator(
+            profiles=data.profiles, scan_seconds=data.scan_seconds
+        )
+        self._calibration: Dict[int, SimpleLinearRegression] = {}
+
+    # ------------------------------------------------------------------
+    # White-box composition.
+
+    def _duty_cycle(self, template_id: int, table: str) -> float:
+        """Fraction of a template's lifetime spent scanning *table*."""
+        profile = self._data.profile(template_id)
+        scan = self._data.scan_seconds.get(table, 0.0)
+        if table not in profile.fact_scans or profile.isolated_latency <= 0:
+            return 0.0
+        return min(scan / profile.isolated_latency, 1.0)
+
+    def _calculator_with(self, primary_stats: TemplateProfile) -> CQICalculator:
+        """A CQI calculator that also knows the (possibly new) primary."""
+        if primary_stats.template_id in self._data.profiles:
+            return self._calculator
+        profiles = dict(self._data.profiles)
+        profiles[primary_stats.template_id] = primary_stats
+        return CQICalculator(
+            profiles=profiles, scan_seconds=self._data.scan_seconds
+        )
+
+    def expected_streams(
+        self,
+        primary: int,
+        mix: Sequence[int],
+        calculator: Optional[CQICalculator] = None,
+    ) -> float:
+        """``S = 1 + Σ r_c``: expected concurrent disk streams."""
+        calc = calculator if calculator is not None else self._calculator
+        concurrent = list(mix)
+        concurrent.remove(primary)
+        total = 1.0
+        for c in concurrent:
+            total += calc.r_c(c, primary, concurrent)
+        return total
+
+    def compose(
+        self,
+        profile: ResourceProfile,
+        primary_stats: TemplateProfile,
+        mix: Sequence[int],
+    ) -> List[PhaseEstimate]:
+        """Price each phase of *profile* under *mix*.
+
+        Args:
+            profile: Compiled plan of the primary (its phases).
+            primary_stats: The primary's isolated statistics (only used
+                for membership in the CQI computation).
+            mix: Full mix; members other than the primary must be known.
+        """
+        hw = self._config.hardware
+        calculator = self._calculator_with(primary_stats)
+        streams = self.expected_streams(
+            primary_stats.template_id, mix, calculator
+        )
+        concurrent = list(mix)
+        concurrent.remove(primary_stats.template_id)
+
+        estimates: List[PhaseEstimate] = []
+        for phase in profile.phases:
+            seq_time = 0.0
+            if phase.seq_bytes > 0:
+                effective = streams
+                if phase.relation is not None:
+                    # Shared-scan discount: contenders scanning the same
+                    # table serve part of this phase from the carousel.
+                    shared_duty = sum(
+                        self._duty_cycle(c, phase.relation) for c in concurrent
+                    )
+                    effective = max(1.0, streams - shared_duty)
+                seq_time = phase.seq_bytes * effective / hw.seq_bandwidth
+            rand_time = 0.0
+            if phase.rand_ops > 0:
+                rand_time = phase.rand_ops * streams / hw.random_iops
+            cpu_time = phase.cpu_seconds
+
+            io_time = seq_time + rand_time
+            seconds = max(io_time, cpu_time) if io_time > 0 else cpu_time
+            if io_time > 0 and cpu_time > 0:
+                kind = "mixed"
+            elif seq_time > 0:
+                kind = "seq"
+            elif rand_time > 0:
+                kind = "rand"
+            else:
+                kind = "cpu"
+            estimates.append(
+                PhaseEstimate(label=phase.label, seconds=seconds, kind=kind)
+            )
+        return estimates
+
+    def raw_estimate(
+        self,
+        profile: ResourceProfile,
+        primary_stats: TemplateProfile,
+        mix: Sequence[int],
+    ) -> float:
+        """Uncalibrated white-box latency: the sum of phase estimates."""
+        return sum(
+            est.seconds for est in self.compose(profile, primary_stats, mix)
+        )
+
+    # ------------------------------------------------------------------
+    # Calibration against observed mixes.
+
+    def fit(
+        self,
+        profiles_by_template: Mapping[int, ResourceProfile],
+        mpls: Sequence[int],
+        template_ids: Optional[Sequence[int]] = None,
+    ) -> "OperatorLatencyModel":
+        """Fit the per-MPL calibration lines; returns self.
+
+        Args:
+            profiles_by_template: Compiled canonical profile per template.
+            mpls: MPLs to calibrate.
+            template_ids: Templates whose observations feed the
+                calibration (defaults to all; leave-one-out studies pass
+                the training subset).
+        """
+        ids = (
+            list(template_ids)
+            if template_ids is not None
+            else self._data.template_ids
+        )
+        for mpl in mpls:
+            raw: List[float] = []
+            observed: List[float] = []
+            for tid in ids:
+                if tid not in profiles_by_template:
+                    raise ModelError(f"no compiled profile for template {tid}")
+                stats = self._data.profile(tid)
+                for obs in self._data.observations_for(tid, mpl):
+                    if any(t not in self._data.profiles for t in obs.mix):
+                        continue
+                    raw.append(
+                        self.raw_estimate(
+                            profiles_by_template[tid], stats, obs.mix
+                        )
+                    )
+                    observed.append(obs.latency)
+            if len(raw) < 2:
+                raise ModelError(
+                    f"not enough observations to calibrate MPL {mpl}"
+                )
+            self._calibration[mpl] = SimpleLinearRegression().fit(raw, observed)
+        return self
+
+    def predict(
+        self,
+        profile: ResourceProfile,
+        primary_stats: TemplateProfile,
+        mix: Sequence[int],
+    ) -> float:
+        """Calibrated latency prediction for the primary in *mix*.
+
+        Works identically for known and *new* templates: nothing here is
+        fitted per template.
+        """
+        mpl = len(mix)
+        calibration = self._calibration.get(mpl)
+        if calibration is None:
+            raise ModelError(f"model not calibrated for MPL {mpl}")
+        raw = self.raw_estimate(profile, primary_stats, mix)
+        predicted = calibration.predict(raw)
+        return max(predicted, 0.05 * primary_stats.isolated_latency)

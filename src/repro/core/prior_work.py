@@ -1,0 +1,147 @@
+"""A prior-work-style CQPP baseline ([8], Duggan et al., SIGMOD'11).
+
+The paper positions Contender against its authors' earlier system,
+which learns per-template regression models directly from sampled query
+mixes: the mix's *composition* is the feature vector, so supporting a
+template requires LHS samples of that template with the whole workload
+(the polynomial sampling cost of Sec. 5.4), and new templates cannot be
+predicted at all.
+
+This module implements that modeling style faithfully enough to compare
+against: one ridge regression per (template, MPL) over
+occurrence-counts-of-concurrent-templates features.  Accuracy on known
+templates is competitive — the point of the comparison is the training
+cost and the missing new-template path, not a quality gap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+from ..ml.crossval import kfold_indices
+from ..ml.linreg import LinearRegression
+from .training import MixObservation, TrainingData
+
+Mix = Tuple[int, ...]
+
+
+def mix_composition_vector(
+    template_ids: Sequence[int], primary: int, mix: Sequence[int]
+) -> np.ndarray:
+    """Occurrence counts of each known template in the concurrent set."""
+    concurrent = list(mix)
+    try:
+        concurrent.remove(primary)
+    except ValueError:
+        raise ModelError(f"primary {primary} not in mix {tuple(mix)}") from None
+    index = {t: i for i, t in enumerate(template_ids)}
+    out = np.zeros(len(template_ids))
+    for t in concurrent:
+        if t not in index:
+            raise ModelError(f"template {t} unknown to the baseline")
+        out[index[t]] += 1.0
+    return out
+
+
+class PriorWorkPredictor:
+    """Per-template mix-composition regression (the [8] modeling style).
+
+    Args:
+        data: Training data; every template to predict needs its own
+            sampled mixes — exactly the requirement Contender removes.
+        ridge: L2 regularization (the feature space is as wide as the
+            workload, so a little shrinkage is standard).
+    """
+
+    def __init__(self, data: TrainingData, ridge: float = 1.0):
+        if not data.profiles:
+            raise ModelError("training data contains no templates")
+        self._data = data
+        self._ridge = ridge
+        self._template_ids = list(data.template_ids)
+        self._models: Dict[Tuple[int, int], LinearRegression] = {}
+
+    @property
+    def template_ids(self) -> List[int]:
+        return list(self._template_ids)
+
+    def _observations(
+        self, template_id: int, mpl: int
+    ) -> List[MixObservation]:
+        return self._data.observations_for(template_id, mpl)
+
+    def fit(self, mpls: Sequence[int]) -> "PriorWorkPredictor":
+        """Fit one model per (template, MPL); returns self.
+
+        Raises:
+            ModelError: When a template lacks mix samples at some MPL —
+                the baseline simply cannot cover it.
+        """
+        for mpl in mpls:
+            for tid in self._template_ids:
+                obs = self._observations(tid, mpl)
+                if len(obs) < 3:
+                    raise ModelError(
+                        f"template {tid} has only {len(obs)} sampled mixes "
+                        f"at MPL {mpl}; the prior-work baseline needs its "
+                        "own samples per template"
+                    )
+                X = [
+                    mix_composition_vector(self._template_ids, tid, o.mix)
+                    for o in obs
+                ]
+                y = [o.latency for o in obs]
+                self._models[(tid, mpl)] = LinearRegression(
+                    ridge=self._ridge
+                ).fit(X, y)
+        return self
+
+    def predict(self, primary: int, mix: Sequence[int]) -> float:
+        """Latency of a *known* template in *mix*."""
+        key = (primary, len(mix))
+        model = self._models.get(key)
+        if model is None:
+            raise NotFittedError(
+                f"no prior-work model for template {primary} at MPL {len(mix)}"
+            )
+        vec = mix_composition_vector(self._template_ids, primary, mix)
+        predicted = float(model.predict([vec])[0])
+        floor = 0.05 * self._data.profile(primary).isolated_latency
+        return max(predicted, floor)
+
+    def cross_validated_mre(
+        self,
+        mpls: Sequence[int],
+        folds: int = 5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """k-fold MRE over every template's sampled mixes."""
+        errors: List[float] = []
+        for mpl in mpls:
+            for tid in self._template_ids:
+                obs = self._observations(tid, mpl)
+                if len(obs) < max(folds, 3):
+                    continue
+                X = np.array(
+                    [
+                        mix_composition_vector(self._template_ids, tid, o.mix)
+                        for o in obs
+                    ]
+                )
+                y = np.array([o.latency for o in obs])
+                for train, test in kfold_indices(len(obs), folds, rng):
+                    model = LinearRegression(ridge=self._ridge).fit(
+                        X[train], y[train]
+                    )
+                    preds = model.predict(X[test])
+                    errors.extend(np.abs(y[test] - preds) / y[test])
+        if not errors:
+            raise ModelError("no observations to cross-validate")
+        return float(np.mean(errors))
+
+    def samples_required_for_new_template(self, mpls: Sequence[int], k: int) -> int:
+        """Sampling bill to onboard one template: 2*m*k mixes (Sec. 5.4)."""
+        return 2 * len(list(mpls)) * k

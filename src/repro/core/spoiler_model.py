@@ -1,0 +1,202 @@
+"""Predicting spoiler latency — Sec. 5.5, Eq. 8.
+
+Spoiler latency grows linearly with the simulated MPL, so per template
+
+    l_max(n) = µ * n + b.
+
+For *new* templates Contender predicts the *growth rate* curve
+``g(n) = l_max(n) / l_min`` (scale-independent) by averaging the growth
+coefficients of the k nearest known templates in the two-dimensional
+(working-set size, I/O fraction) space.  The paper's baseline predicts
+the same coefficients from the I/O fraction alone with two linear
+regressions ("I/O Time", Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from ..ml.knn import KNNRegressor
+from ..ml.linreg import SimpleLinearRegression
+from .training import SpoilerCurve, TemplateProfile
+
+
+@dataclass(frozen=True)
+class SpoilerGrowthModel:
+    """Linear spoiler model of one template: latency or growth vs MPL.
+
+    Attributes:
+        template_id: The template (or -1 for a synthesized model).
+        slope: µ of Eq. 8.
+        intercept: b of Eq. 8.
+        scale: Multiplier applied to the line's output — 1.0 when the
+            model predicts latency directly, ``l_min`` when the fitted
+            quantity was the growth rate.
+    """
+
+    template_id: int
+    slope: float
+    intercept: float
+    scale: float = 1.0
+
+    def predict(self, mpl: int) -> float:
+        """Predicted spoiler latency at *mpl*."""
+        if mpl < 1:
+            raise ModelError(f"mpl must be >= 1, got {mpl}")
+        return (self.slope * mpl + self.intercept) * self.scale
+
+    @staticmethod
+    def fit_latency(
+        curve: SpoilerCurve, mpls: Optional[Sequence[int]] = None
+    ) -> "SpoilerGrowthModel":
+        """Fit Eq. 8 on measured spoiler latencies.
+
+        Args:
+            curve: Measured spoiler latencies.
+            mpls: Which MPLs to train on (defaults to all measured; the
+                paper's validation trains on 1-3 and tests on 4-5).
+        """
+        levels = list(mpls) if mpls is not None else curve.mpls
+        if len(levels) < 2:
+            raise ModelError("need spoiler samples at >= 2 MPLs")
+        lat = [curve.latency_at(m) for m in levels]
+        reg = SimpleLinearRegression().fit([float(m) for m in levels], lat)
+        return SpoilerGrowthModel(
+            template_id=curve.template_id,
+            slope=reg.slope,
+            intercept=reg.intercept,
+        )
+
+    @staticmethod
+    def fit_growth(
+        curve: SpoilerCurve,
+        isolated_latency: float,
+        mpls: Optional[Sequence[int]] = None,
+    ) -> "SpoilerGrowthModel":
+        """Fit Eq. 8 on growth rates (latency / isolated latency)."""
+        levels = list(mpls) if mpls is not None else curve.mpls
+        if len(levels) < 2:
+            raise ModelError("need spoiler samples at >= 2 MPLs")
+        growth = [curve.growth_rate(m, isolated_latency) for m in levels]
+        reg = SimpleLinearRegression().fit([float(m) for m in levels], growth)
+        return SpoilerGrowthModel(
+            template_id=curve.template_id,
+            slope=reg.slope,
+            intercept=reg.intercept,
+            scale=isolated_latency,
+        )
+
+
+def _growth_coefficients(
+    profiles: Mapping[int, TemplateProfile],
+    curves: Mapping[int, SpoilerCurve],
+    template_ids: Sequence[int],
+) -> Dict[int, SpoilerGrowthModel]:
+    out: Dict[int, SpoilerGrowthModel] = {}
+    for t in template_ids:
+        if t not in profiles or t not in curves:
+            raise ModelError(f"missing profile or spoiler curve for template {t}")
+        out[t] = SpoilerGrowthModel.fit_growth(
+            curves[t], profiles[t].isolated_latency
+        )
+    return out
+
+
+class KNNSpoilerPredictor:
+    """Contender's spoiler predictor (Sec. 5.5).
+
+    Projects known templates into (working-set size, I/O fraction) space,
+    finds the k nearest to the new template, and averages their growth
+    coefficients.
+
+    Args:
+        k: Neighbours to average (the paper uses 3).
+    """
+
+    def __init__(self, k: int = 3):
+        self._k = k
+        self._knn: Optional[KNNRegressor] = None
+
+    def fit(
+        self,
+        profiles: Mapping[int, TemplateProfile],
+        curves: Mapping[int, SpoilerCurve],
+        template_ids: Optional[Sequence[int]] = None,
+    ) -> "KNNSpoilerPredictor":
+        """Fit on known templates; returns self."""
+        ids = list(template_ids) if template_ids is not None else sorted(profiles)
+        if len(ids) < 1:
+            raise ModelError("need at least one known template")
+        coeffs = _growth_coefficients(profiles, curves, ids)
+        X = [
+            [profiles[t].working_set_bytes, profiles[t].io_fraction]
+            for t in ids
+        ]
+        y = [[coeffs[t].slope, coeffs[t].intercept] for t in ids]
+        self._knn = KNNRegressor(k=self._k).fit(X, y)
+        return self
+
+    def model_for(self, profile: TemplateProfile) -> SpoilerGrowthModel:
+        """Synthesized growth model for a new template."""
+        if self._knn is None:
+            raise ModelError("KNNSpoilerPredictor not fitted")
+        slope, intercept = self._knn.predict(
+            [profile.working_set_bytes, profile.io_fraction]
+        )
+        return SpoilerGrowthModel(
+            template_id=profile.template_id,
+            slope=float(slope),
+            intercept=float(intercept),
+            scale=profile.isolated_latency,
+        )
+
+    def predict(self, profile: TemplateProfile, mpl: int) -> float:
+        """Predicted spoiler latency of a new template at *mpl*."""
+        return self.model_for(profile).predict(mpl)
+
+
+class IOTimeSpoilerPredictor:
+    """The Fig. 9 baseline: growth coefficients regressed on ``p_t`` only."""
+
+    def __init__(self) -> None:
+        self._slope_reg: Optional[SimpleLinearRegression] = None
+        self._intercept_reg: Optional[SimpleLinearRegression] = None
+
+    def fit(
+        self,
+        profiles: Mapping[int, TemplateProfile],
+        curves: Mapping[int, SpoilerCurve],
+        template_ids: Optional[Sequence[int]] = None,
+    ) -> "IOTimeSpoilerPredictor":
+        """Fit both coefficient regressions; returns self."""
+        ids = list(template_ids) if template_ids is not None else sorted(profiles)
+        if len(ids) < 2:
+            raise ModelError("need at least two known templates")
+        coeffs = _growth_coefficients(profiles, curves, ids)
+        pts = [profiles[t].io_fraction for t in ids]
+        self._slope_reg = SimpleLinearRegression().fit(
+            pts, [coeffs[t].slope for t in ids]
+        )
+        self._intercept_reg = SimpleLinearRegression().fit(
+            pts, [coeffs[t].intercept for t in ids]
+        )
+        return self
+
+    def model_for(self, profile: TemplateProfile) -> SpoilerGrowthModel:
+        """Synthesized growth model for a new template."""
+        if self._slope_reg is None or self._intercept_reg is None:
+            raise ModelError("IOTimeSpoilerPredictor not fitted")
+        return SpoilerGrowthModel(
+            template_id=profile.template_id,
+            slope=self._slope_reg.predict(profile.io_fraction),
+            intercept=self._intercept_reg.predict(profile.io_fraction),
+            scale=profile.isolated_latency,
+        )
+
+    def predict(self, profile: TemplateProfile, mpl: int) -> float:
+        """Predicted spoiler latency of a new template at *mpl*."""
+        return self.model_for(profile).predict(mpl)

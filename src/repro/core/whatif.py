@@ -1,0 +1,167 @@
+"""What-if analysis: who is slowing my query down?
+
+CQI is additive over the concurrent queries (Eq. 5 is a mean of per-
+contender terms), so a mix's predicted slowdown decomposes naturally:
+each contender's contribution is its marginal effect on the primary's
+predicted latency.  This module exposes that decomposition — the
+analysis a DBA actually wants when a report is late — plus counterfactual
+helpers ("what if I evicted this query / swapped it for another?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from .contender import Contender
+
+
+@dataclass(frozen=True)
+class SlowdownAttribution:
+    """One contender's share of the primary's predicted slowdown.
+
+    Attributes:
+        contender: The concurrent template.
+        r_c: Its competing-I/O fraction (Eq. 4) within the mix.
+        marginal_seconds: Predicted latency increase versus the mix
+            without this contender (its slot removed, MPL reduced).
+    """
+
+    contender: int
+    r_c: float
+    marginal_seconds: float
+
+
+@dataclass(frozen=True)
+class WhatIfReport:
+    """Predicted decomposition of a primary's latency in a mix.
+
+    Attributes:
+        primary: The analyzed template.
+        mix: The analyzed mix.
+        predicted: Predicted latency in the full mix.
+        isolated: The primary's isolated latency.
+        attributions: Per-contender analysis, largest marginal first.
+    """
+
+    primary: int
+    mix: Tuple[int, ...]
+    predicted: float
+    isolated: float
+    attributions: Tuple[SlowdownAttribution, ...]
+
+    @property
+    def slowdown(self) -> float:
+        """Predicted latency over isolated latency."""
+        return self.predicted / self.isolated
+
+    def worst_contender(self) -> int:
+        """The template with the largest marginal impact."""
+        if not self.attributions:
+            raise ModelError("an MPL-1 mix has no contenders")
+        return self.attributions[0].contender
+
+    def format_table(self) -> str:
+        lines = [
+            f"what-if analysis: T{self.primary} in mix {self.mix}",
+            f"predicted {self.predicted:.1f}s "
+            f"({self.slowdown:.2f}x isolated {self.isolated:.1f}s)",
+            f"{'contender':>9} {'r_c':>6} {'marginal':>10}",
+        ]
+        for item in self.attributions:
+            lines.append(
+                f"{item.contender:>9} {item.r_c:>6.2f} "
+                f"{item.marginal_seconds:>9.1f}s"
+            )
+        return "\n".join(lines)
+
+
+def _predict_at_any_mpl(
+    contender: Contender, primary: int, mix: Sequence[int]
+) -> float:
+    """Prediction that degrades to the isolated latency at MPL 1."""
+    if len(mix) == 1:
+        return contender.data.profile(primary).isolated_latency
+    return contender.predict_known(primary, tuple(mix))
+
+
+def attribute_slowdown(
+    contender: Contender, primary: int, mix: Sequence[int]
+) -> WhatIfReport:
+    """Decompose the primary's predicted slowdown over its contenders.
+
+    Each contender's marginal impact is the prediction difference
+    between the full mix and the mix with that contender's slot removed.
+    (Marginals need QS models at MPL ``len(mix) - 1``; the training data
+    must cover both levels, or the full mix must be a pair.)
+    """
+    mix = tuple(mix)
+    if primary not in mix:
+        raise ModelError(f"primary {primary} not in mix {mix}")
+    predicted = _predict_at_any_mpl(contender, primary, mix)
+    isolated = contender.data.profile(primary).isolated_latency
+
+    calculator = contender.calculator()
+    concurrent = list(mix)
+    concurrent.remove(primary)
+
+    attributions: List[SlowdownAttribution] = []
+    for index, other in enumerate(concurrent):
+        reduced = list(mix)
+        # Remove exactly one occurrence of this contender.
+        reduced.remove(other)
+        without = _predict_at_any_mpl(contender, primary, reduced)
+        attributions.append(
+            SlowdownAttribution(
+                contender=other,
+                r_c=calculator.r_c(other, primary, concurrent),
+                marginal_seconds=predicted - without,
+            )
+        )
+    attributions.sort(key=lambda a: a.marginal_seconds, reverse=True)
+    return WhatIfReport(
+        primary=primary,
+        mix=mix,
+        predicted=predicted,
+        isolated=isolated,
+        attributions=tuple(attributions),
+    )
+
+
+def best_swap(
+    contender: Contender,
+    primary: int,
+    mix: Sequence[int],
+    candidates: Sequence[int],
+    victim: Optional[int] = None,
+) -> Tuple[int, float]:
+    """The candidate that, swapped in for *victim*, minimizes the
+    primary's predicted latency.
+
+    Args:
+        contender: Fitted predictor.
+        primary: The query being protected.
+        mix: Current mix.
+        candidates: Replacement templates to consider.
+        victim: Contender to swap out; defaults to the worst one.
+
+    Returns:
+        (best candidate, predicted latency with the swap).
+    """
+    mix = tuple(mix)
+    if not candidates:
+        raise ModelError("need at least one candidate")
+    report = attribute_slowdown(contender, primary, mix)
+    target = victim if victim is not None else report.worst_contender()
+    if target not in mix or target == primary:
+        raise ModelError(f"victim {target} is not a contender in {mix}")
+
+    best: Optional[Tuple[int, float]] = None
+    for candidate in candidates:
+        swapped = list(mix)
+        swapped[swapped.index(target)] = candidate
+        predicted = _predict_at_any_mpl(contender, primary, swapped)
+        if best is None or predicted < best[1]:
+            best = (candidate, predicted)
+    return best

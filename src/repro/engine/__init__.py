@@ -1,0 +1,105 @@
+"""Simulated analytical-DBMS substrate.
+
+The paper ran PostgreSQL 8.4.3 on an 8-core/8 GB host; this subpackage is
+the stand-in: an event-driven resource simulator whose contended resources
+are exactly the ones Contender models — the I/O bus (sequential bandwidth
+plus random IOPS) and memory.  Queries are operator trees compiled into
+phase-structured resource profiles and executed under processor-sharing
+with synchronized shared scans, a dimension buffer cache, and spill-to-disk
+under memory pressure.
+"""
+
+from .relation import Relation, RelationKind
+from .operators import (
+    Aggregate,
+    BitmapHeapScan,
+    CTEScan,
+    HashJoin,
+    IndexScan,
+    Materialize,
+    MergeJoin,
+    NestedLoopJoin,
+    PlanNode,
+    SeqScan,
+    Sort,
+    WindowAgg,
+)
+from .plans import QueryPlan
+from .profile import Phase, ResourceProfile, compile_plan
+from .executor import (
+    ConcurrentExecutor,
+    QueryResult,
+    RunResult,
+    SingleShotStream,
+    Stream,
+)
+from .spoiler import Spoiler, measure_spoiler_latency
+from .trace import IntervalSample, UtilizationTrace
+from .stats import QueryStats
+
+__all__ = [
+    "Aggregate",
+    "ClusterSpec",
+    "DistributedRun",
+    "BitmapHeapScan",
+    "CTEScan",
+    "ConcurrentExecutor",
+    "HashJoin",
+    "IndexScan",
+    "IntervalSample",
+    "Materialize",
+    "MergeJoin",
+    "NestedLoopJoin",
+    "Phase",
+    "PlanNode",
+    "QueryPlan",
+    "QueryResult",
+    "QueryStats",
+    "Relation",
+    "RelationKind",
+    "ResourceProfile",
+    "RunResult",
+    "SeqScan",
+    "SingleShotStream",
+    "Sort",
+    "Spoiler",
+    "Stream",
+    "UtilizationTrace",
+    "WindowAgg",
+    "assembly_seconds",
+    "compile_plan",
+    "host_catalog",
+    "measure_spoiler_latency",
+    "partition_schema",
+    "run_distributed_steady_state",
+]
+
+
+# The cluster substrate sits above the workload package (it partitions
+# catalogs), so importing it eagerly here would be circular.  PEP 562
+# lazy exports keep `from repro.engine import ClusterSpec` working.
+_LAZY_EXPORTS = {
+    "parse_plan": ".plan_parser",
+}
+
+_CLUSTER_EXPORTS = {
+    "ClusterSpec",
+    "DistributedRun",
+    "assembly_seconds",
+    "host_catalog",
+    "partition_schema",
+    "run_distributed_steady_state",
+}
+
+
+def __getattr__(name):
+    if name in _CLUSTER_EXPORTS:
+        from . import cluster
+
+        return getattr(cluster, name)
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_LAZY_EXPORTS[name], __name__)
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

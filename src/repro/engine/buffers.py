@@ -1,0 +1,92 @@
+"""Buffer-cache model for dimension tables.
+
+Fact tables at the paper's 100 GB scale dwarf RAM, so their pages never
+stay resident — sharing happens only through synchronized scans, which the
+disk model handles.  Dimension tables are small and hot: after the first
+touch within an experiment they are served from memory.  This asymmetry is
+why "fact tables are the largest source of I/O for analytical queries"
+(Sec. 4.1) holds in the simulator too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from ..errors import SimulationError
+
+#: Supported eviction policies.
+EVICTION_POLICIES = ("none", "lru")
+
+
+@dataclass
+class BufferCache:
+    """Tracks which dimension relations are buffer-resident.
+
+    Attributes:
+        capacity_bytes: Total cache budget for dimension tables (a slice
+            of shared_buffers + OS cache).
+        cold: When True the cache starts empty (the paper's cold-cache
+            isolated runs); steady-state experiments warm it up naturally.
+        eviction: ``'none'`` (first-resident wins; the default — hot
+            dimensions never churn in analytical workloads) or ``'lru'``
+            (least-recently-touched relations make room for admissions).
+    """
+
+    capacity_bytes: float
+    cold: bool = True
+    eviction: str = "none"
+    _resident: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 0:
+            raise SimulationError("capacity_bytes must be non-negative")
+        if self.eviction not in EVICTION_POLICIES:
+            raise SimulationError(
+                f"eviction must be one of {EVICTION_POLICIES}"
+            )
+
+    @property
+    def used_bytes(self) -> float:
+        """Bytes of cached dimension data."""
+        return sum(self._resident.values())
+
+    def is_resident(self, relation: str) -> bool:
+        """True when *relation* is fully cached (an LRU touch)."""
+        if relation in self._resident:
+            if self.eviction == "lru":
+                # Re-insert to mark recency (dicts preserve order).
+                self._resident[relation] = self._resident.pop(relation)
+            return True
+        return False
+
+    def admit(self, relation: str, size_bytes: float) -> bool:
+        """Try to cache *relation* after a full scan; returns success.
+
+        Under the default ``'none'`` policy, relations that do not fit
+        in the remaining budget are simply not cached.  Under ``'lru'``,
+        least-recently-touched residents are evicted to make room (the
+        admission still fails if the relation exceeds the whole budget).
+        """
+        if size_bytes < 0:
+            raise SimulationError("size_bytes must be non-negative")
+        if relation in self._resident:
+            return True
+        if size_bytes > self.capacity_bytes:
+            return False
+        if self.eviction == "lru":
+            while self.used_bytes + size_bytes > self.capacity_bytes:
+                oldest = next(iter(self._resident))
+                del self._resident[oldest]
+        elif self.used_bytes + size_bytes > self.capacity_bytes:
+            return False
+        self._resident[relation] = size_bytes
+        return True
+
+    def resident_relations(self) -> Set[str]:
+        """Names of cached relations."""
+        return set(self._resident)
+
+    def clear(self) -> None:
+        """Drop everything (simulate a cache flush between experiments)."""
+        self._resident.clear()

@@ -1,0 +1,165 @@
+"""A shared-nothing cluster substrate for distributed analytical plans.
+
+The paper's third future-work direction (Sec. 8): "modeling interactions
+for distributed analytical workloads.  Distributed query plans call for
+modeling their sub-plans as they are assigned to individual hosts as
+well as the time associated with assembling intermediate results ...
+incorporating the cost of network traffic and coordination overhead."
+
+The substrate here is the standard parallel-warehouse layout: fact
+tables hash-partitioned across ``num_hosts`` identical hosts, dimension
+tables replicated, every host executing the same sub-plan over its
+partition, and a final assembly step that ships each host's partial
+result to a coordinator over the interconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import ConfigurationError, WorkloadError
+from ..units import MB
+from ..workload.catalog import TemplateCatalog
+from ..workload.schema import Schema
+from .relation import Relation
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous shared-nothing cluster.
+
+    Attributes:
+        num_hosts: Hosts (each with its own disk, RAM, and cores).
+        host_config: Per-host system configuration.
+        network_bandwidth: Interconnect bandwidth available to one
+            query's assembly, bytes/second.
+        coordination_overhead: Fixed seconds per distributed query
+            (scheduling, sub-plan dispatch, final merge bookkeeping).
+    """
+
+    num_hosts: int
+    host_config: SystemConfig
+    network_bandwidth: float = MB(250)
+    coordination_overhead: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.num_hosts < 1:
+            raise ConfigurationError("num_hosts must be >= 1")
+        if self.network_bandwidth <= 0:
+            raise ConfigurationError("network_bandwidth must be positive")
+        if self.coordination_overhead < 0:
+            raise ConfigurationError("coordination_overhead must be >= 0")
+
+
+def partition_schema(schema: Schema, num_hosts: int) -> Schema:
+    """One host's view: fact tables 1/N-partitioned, dimensions replicated."""
+    if num_hosts < 1:
+        raise WorkloadError("num_hosts must be >= 1")
+    tables: Dict[str, Relation] = {}
+    for rel in schema:
+        if rel.is_fact:
+            tables[rel.name] = Relation(
+                name=rel.name,
+                size_bytes=rel.size_bytes / num_hosts,
+                row_count=max(rel.row_count // num_hosts, 1),
+                kind=rel.kind,
+            )
+        else:
+            tables[rel.name] = rel
+    return Schema(scale_factor=schema.scale_factor / num_hosts, tables=tables)
+
+
+def host_catalog(
+    catalog: TemplateCatalog, spec: ClusterSpec
+) -> TemplateCatalog:
+    """The catalog as seen by one host of the cluster."""
+    return TemplateCatalog(
+        config=spec.host_config,
+        schema=partition_schema(catalog.schema, spec.num_hosts),
+        template_ids=list(catalog.template_ids),
+    )
+
+
+def assembly_seconds(
+    catalog: TemplateCatalog, template_id: int, spec: ClusterSpec
+) -> float:
+    """Time to gather and merge the per-host partial results.
+
+    Every host ships its partial result (the root operator's output) to
+    the coordinator; with N hosts the coordinator receives N-1 remote
+    partials over the interconnect, plus the fixed coordination
+    overhead.
+    """
+    plan = catalog.canonical_plan(template_id)
+    result_bytes = plan.root.output_rows * plan.root.output_width
+    remote = max(spec.num_hosts - 1, 0)
+    transfer = remote * result_bytes / spec.network_bandwidth
+    return transfer + spec.coordination_overhead
+
+
+@dataclass(frozen=True)
+class DistributedRun:
+    """Observed distributed execution of one mix.
+
+    Attributes:
+        mix: The executed mix.
+        per_host_latency: template -> per-host mean sub-query latencies.
+        assembly: template -> assembly seconds.
+    """
+
+    mix: Tuple[int, ...]
+    per_host_latency: Dict[int, List[float]]
+    assembly: Dict[int, float]
+
+    def latency(self, template_id: int) -> float:
+        """End-to-end distributed latency: slowest host + assembly."""
+        try:
+            hosts = self.per_host_latency[template_id]
+        except KeyError:
+            raise WorkloadError(
+                f"template {template_id} not in mix {self.mix}"
+            ) from None
+        return max(hosts) + self.assembly[template_id]
+
+
+def run_distributed_steady_state(
+    catalog: TemplateCatalog,
+    mix: Sequence[int],
+    spec: ClusterSpec,
+    rng: Optional[np.random.Generator] = None,
+    steady_config=None,
+) -> DistributedRun:
+    """Execute *mix* on every host of the cluster in steady state.
+
+    Each host runs the same mix over its partition (co-partitioned
+    execution); hosts are independent machines, so each gets its own
+    simulation with its own instance jitter — which is what makes the
+    straggler (max-over-hosts) term real.
+    """
+    from ..sampling.steady_state import SteadyStateConfig, run_steady_state
+
+    if not mix:
+        raise WorkloadError("mix must contain at least one template")
+    rng = rng if rng is not None else np.random.default_rng(
+        spec.host_config.simulation.seed
+    )
+    cfg = steady_config if steady_config is not None else SteadyStateConfig()
+    host_cat = host_catalog(catalog, spec)
+
+    per_host: Dict[int, List[float]] = {t: [] for t in set(mix)}
+    for _ in range(spec.num_hosts):
+        host_rng = np.random.default_rng(rng.integers(0, 2**63))
+        result = run_steady_state(host_cat, mix, config=cfg, rng=host_rng)
+        for template in set(mix):
+            per_host[template].append(result.mean_latency(template))
+
+    assembly = {
+        t: assembly_seconds(host_cat, t, spec) for t in set(mix)
+    }
+    return DistributedRun(
+        mix=tuple(mix), per_host_latency=per_host, assembly=assembly
+    )

@@ -1,0 +1,78 @@
+"""Fair-share disk model.
+
+The disk is a single contended device time-sliced across *streams*.  A
+stream is either one query's private sequential I/O, one query's random
+I/O, or a *shared-scan group* — every query concurrently scanning the same
+table rides one stream and each member is credited at the full stream rate,
+which is how synchronized scans turn concurrency into the paper's positive
+interactions.
+
+With ``n`` active streams, a sequential stream drains at
+``seq_bandwidth / n`` bytes per second and a random stream at
+``random_iops / n`` operations per second; the two kinds contend for the
+same device time, so they share the same divisor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Tuple
+
+from ..config import HardwareSpec
+
+#: Stream kinds.
+SEQ = "seq"
+RAND = "rand"
+
+StreamKey = Tuple[str, Hashable]
+
+
+@dataclass(frozen=True)
+class StreamRates:
+    """Per-stream service rates for one scheduling interval.
+
+    Attributes:
+        seq_bytes_per_sec: Rate of every sequential stream.
+        rand_ops_per_sec: Rate of every random stream.
+        num_streams: Number of distinct streams sharing the device.
+    """
+
+    seq_bytes_per_sec: float
+    rand_ops_per_sec: float
+    num_streams: int
+
+
+def allocate(hardware: HardwareSpec, streams: Iterable[StreamKey]) -> StreamRates:
+    """Compute fair-share rates for the given set of active streams.
+
+    Args:
+        hardware: Disk capability (sequential bandwidth, random IOPS).
+        streams: Distinct stream keys currently demanding I/O.  Duplicate
+            keys are collapsed — that is precisely the shared-scan credit.
+
+    Returns:
+        The service rate granted to each stream.  With no active streams
+        the rates are the full device rates (they will not be consumed).
+    """
+    unique = set(streams)
+    count = max(len(unique), 1)
+    return StreamRates(
+        seq_bytes_per_sec=hardware.seq_bandwidth / count,
+        rand_ops_per_sec=hardware.random_iops / count,
+        num_streams=len(unique),
+    )
+
+
+def shared_scan_key(relation: str) -> StreamKey:
+    """Stream key for a coalescible sequential scan of *relation*."""
+    return (SEQ, ("table", relation))
+
+
+def private_seq_key(owner: Hashable) -> StreamKey:
+    """Stream key for non-shareable sequential I/O owned by *owner*."""
+    return (SEQ, ("private", owner))
+
+
+def random_key(owner: Hashable) -> StreamKey:
+    """Stream key for random I/O owned by *owner*."""
+    return (RAND, owner)

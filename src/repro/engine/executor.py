@@ -1,0 +1,515 @@
+"""Event-driven concurrent query executor.
+
+This is the substrate that stands in for PostgreSQL in the paper's
+testbed.  It executes any number of query *streams* under processor
+sharing:
+
+* The disk is time-sliced across streams (:mod:`repro.engine.disk`);
+  concurrent sequential scans of the same table coalesce into one stream
+  whose progress credits every member (synchronized scans).
+* RAM is a ledger (:mod:`repro.engine.memory`); blocking operators whose
+  working set exceeds the available memory spill, converting the deficit
+  into private sequential I/O.
+* Dimension tables become buffer-resident after their first full scan
+  (:mod:`repro.engine.buffers`).
+* Random I/O service time gains a multiplicative variance factor under
+  contention, reproducing the seek-time noise the paper reports for
+  index-scan templates (Sec. 6.2).
+
+The loop is classic processor-sharing simulation: rates only change when
+the active set changes, so we jump from completion event to completion
+event instead of ticking a clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from . import disk
+from .buffers import BufferCache
+from .memory import MemoryLedger
+from .profile import Phase, ResourceProfile
+from .stats import QueryStats
+from .trace import IntervalSample, Tracer
+
+#: Remaining-work threshold below which a component counts as drained.
+_DONE = 1e-7
+
+
+class Stream(Protocol):
+    """A source of queries; the executor pulls the next one on completion."""
+
+    name: str
+
+    def next_profile(self, now: float, completed: int) -> Optional[ResourceProfile]:
+        """Return the next query to run, or ``None`` when the stream is done.
+
+        Args:
+            now: Current simulated time.
+            completed: Number of queries this stream has already finished.
+        """
+        ...
+
+
+@dataclass
+class SingleShotStream:
+    """A stream that runs exactly one profile."""
+
+    profile: ResourceProfile
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"single-{self.profile.instance_id}"
+
+    def next_profile(self, now: float, completed: int) -> Optional[ResourceProfile]:
+        return self.profile if completed == 0 else None
+
+
+@dataclass
+class _Running:
+    """Book-keeping for one in-flight query."""
+
+    profile: ResourceProfile
+    stream_idx: Optional[int]  # None for background work
+    stats: QueryStats
+    phase_idx: int = 0
+    rem_seq: float = 0.0
+    rem_rand: float = 0.0
+    rem_cpu: float = 0.0
+    rand_factor: float = 1.0
+    seq_private: bool = False
+
+    @property
+    def phase(self) -> Phase:
+        return self.profile.phases[self.phase_idx]
+
+    @property
+    def phase_done(self) -> bool:
+        return (
+            self.rem_seq <= _DONE
+            and self.rem_rand <= _DONE
+            and self.rem_cpu <= _DONE
+        )
+
+    @property
+    def wants_io(self) -> bool:
+        return self.rem_seq > _DONE or self.rem_rand > _DONE
+
+
+@dataclass
+class QueryResult:
+    """One completed query: its stats plus the stream it came from."""
+
+    stream_name: str
+    stats: QueryStats
+
+
+@dataclass
+class RunResult:
+    """Outcome of one executor run.
+
+    Attributes:
+        completions: Every finished foreground query, in completion order.
+        elapsed: Simulated time at which the last foreground query ended.
+        events: Number of scheduling events processed.
+    """
+
+    completions: List[QueryResult]
+    elapsed: float
+    events: int
+
+    def by_stream(self) -> Mapping[str, List[QueryStats]]:
+        """Completed queries grouped by stream name, in order."""
+        out: Dict[str, List[QueryStats]] = {}
+        for item in self.completions:
+            out.setdefault(item.stream_name, []).append(item.stats)
+        return out
+
+    def latencies(self) -> List[float]:
+        """Latency of every completion, in completion order."""
+        return [item.stats.latency for item in self.completions]
+
+    def summary(self) -> str:
+        """One-paragraph diagnostic rendering of the run."""
+        if not self.completions:
+            return f"no completions in {self.elapsed:.1f}s ({self.events} events)"
+        lats = self.latencies()
+        spilled = sum(c.stats.spill_bytes for c in self.completions)
+        lines = [
+            f"{len(self.completions)} queries in {self.elapsed:.1f}s "
+            f"({self.events} events)",
+            f"latency min/mean/max: {min(lats):.1f}/"
+            f"{sum(lats) / len(lats):.1f}/{max(lats):.1f}s",
+        ]
+        if spilled > 0:
+            lines.append(f"spill traffic: {spilled / 1024**2:.0f} MiB")
+        return "\n".join(lines)
+
+
+class ConcurrentExecutor:
+    """Runs query streams to completion under resource contention.
+
+    One executor instance represents one experiment on one (simulated)
+    machine: the buffer cache starts cold and warms across the run, and
+    pinned memory (the spoiler) persists for the whole run.
+    """
+
+    #: Fraction of RAM available for caching dimension tables.
+    DIMENSION_CACHE_FRACTION = 0.30
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        rng: Optional[np.random.Generator] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self._config = config
+        self._hw = config.hardware
+        self._sim = config.simulation
+        self._rng = rng if rng is not None else np.random.default_rng(self._sim.seed)
+        self._tracer = tracer
+
+    def run(
+        self,
+        streams: Sequence[Stream],
+        background: Sequence[ResourceProfile] = (),
+        pinned_bytes: float = 0.0,
+    ) -> RunResult:
+        """Execute *streams* (plus background work) until all are drained.
+
+        Args:
+            streams: Foreground query sources.  The run ends when every
+                stream has returned ``None`` and its last query finished.
+            background: Profiles that run forever by cycling their phases
+                (spoiler readers); they contend but never complete.
+            pinned_bytes: RAM pinned for the duration (spoiler pinning).
+
+        Returns:
+            Per-query statistics in completion order.
+
+        Raises:
+            SimulationError: If the event budget is exceeded or no
+                progress can be made.
+        """
+        if not streams and not background:
+            raise SimulationError("nothing to run")
+
+        ledger = MemoryLedger(total_bytes=self._hw.ram_bytes)
+        if pinned_bytes > 0:
+            ledger.pin("spoiler", pinned_bytes)
+        cache = BufferCache(
+            capacity_bytes=self.DIMENSION_CACHE_FRACTION * self._hw.ram_bytes,
+            eviction=self._sim.cache_eviction,
+        )
+
+        now = 0.0
+        events = 0
+        completions: List[QueryResult] = []
+        completed_counts = [0 for _ in streams]
+        stream_done = [False for _ in streams]
+        active: List[_Running] = []
+        self._active_view = active
+
+        def start_query(profile: ResourceProfile, stream_idx: Optional[int]) -> None:
+            stats = QueryStats(
+                template_id=profile.template_id,
+                instance_id=profile.instance_id,
+                start_time=now,
+            )
+            run = _Running(profile=profile, stream_idx=stream_idx, stats=stats)
+            self._enter_phase(run, ledger, cache, len(active) > 0)
+            active.append(run)
+
+        def pull_stream(idx: int) -> None:
+            if stream_done[idx]:
+                return
+            profile = streams[idx].next_profile(now, completed_counts[idx])
+            if profile is None:
+                stream_done[idx] = True
+            else:
+                start_query(profile, idx)
+
+        for profile in background:
+            start_query(profile, None)
+        for idx in range(len(streams)):
+            pull_stream(idx)
+
+        def foreground_remaining() -> bool:
+            if any(run.stream_idx is not None for run in active):
+                return True
+            return not all(stream_done)
+
+        def handle_finished() -> bool:
+            """Advance/complete every run whose phase has drained.
+
+            Phases can complete without time passing (a cache-served
+            dimension scan compiles to zero remaining work), so the main
+            loop drains these before scheduling the next time step.
+            """
+            finished = [run for run in active if run.phase_done]
+            for run in finished:
+                self._on_phase_end(run, ledger, cache)
+                if run.phase_idx + 1 < len(run.profile.phases):
+                    run.phase_idx += 1
+                    self._enter_phase(run, ledger, cache, len(active) > 1)
+                elif run.profile.background:
+                    run.phase_idx = 0  # circular reader: start over
+                    self._enter_phase(run, ledger, cache, len(active) > 1)
+                else:
+                    active.remove(run)
+                    ledger.release(run.profile.instance_id)
+                    run.stats.end_time = now
+                    idx = run.stream_idx
+                    if idx is not None:
+                        completions.append(
+                            QueryResult(
+                                stream_name=streams[idx].name, stats=run.stats
+                            )
+                        )
+                        completed_counts[idx] += 1
+                        pull_stream(idx)
+            return bool(finished)
+
+        while foreground_remaining():
+            events += 1
+            if events > self._sim.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self._sim.max_events}; "
+                    "likely a stalled simulation"
+                )
+
+            if handle_finished():
+                continue
+
+            seq_rate, rand_rate, cpu_rate, group_sizes = self._rates(active)
+            dt = self._time_to_next_event(active, seq_rate, rand_rate, cpu_rate)
+            if not np.isfinite(dt) or dt < 0:
+                raise SimulationError("no finite next event; simulation stalled")
+            dt = max(dt, self._sim.time_epsilon)
+
+            if self._tracer is not None:
+                self._tracer.record(
+                    self._interval_sample(
+                        now, dt, active, seq_rate, rand_rate, cpu_rate
+                    )
+                )
+            self._advance(active, dt, seq_rate, rand_rate, cpu_rate, group_sizes)
+            now += dt
+            handle_finished()
+
+        return RunResult(completions=completions, elapsed=now, events=events)
+
+    # ------------------------------------------------------------------
+    # Internal machinery.
+
+    def _interval_sample(
+        self,
+        now: float,
+        dt: float,
+        active: Sequence["_Running"],
+        seq_rate: float,
+        rand_rate: float,
+        cpu_rate: float,
+    ) -> IntervalSample:
+        """Telemetry snapshot for the upcoming constant-rate interval."""
+        seq_consumers = sum(1 for run in active if run.rem_seq > _DONE)
+        rand_consumers = sum(1 for run in active if run.rem_rand > _DONE)
+        cpu_consumers = sum(1 for run in active if run.rem_cpu > _DONE)
+        keys = {
+            self._stream_key(run) for run in active if run.rem_seq > _DONE
+        }
+        num_streams = len(keys) + rand_consumers
+        return IntervalSample(
+            start=now,
+            duration=dt,
+            num_queries=len(active),
+            num_streams=num_streams,
+            seq_bytes_per_sec=seq_rate * len(keys),
+            logical_seq_bytes_per_sec=seq_rate * seq_consumers,
+            rand_ops_per_sec=rand_rate * rand_consumers,
+            cpu_cores_busy=cpu_rate * cpu_consumers,
+            per_query_phase={
+                run.profile.instance_id: run.phase.label for run in active
+            },
+        )
+
+    def _enter_phase(
+        self,
+        run: _Running,
+        ledger: MemoryLedger,
+        cache: BufferCache,
+        contended: bool,
+    ) -> None:
+        """Initialize the remaining-work counters for the current phase."""
+        phase = run.phase
+        qid = run.profile.instance_id
+
+        rem_seq = phase.seq_bytes
+        if (
+            phase.dimension_scan
+            and phase.relation is not None
+            and self._sim.dimension_cache
+            and cache.is_resident(phase.relation)
+        ):
+            run.stats.cache_served_bytes += rem_seq
+            rem_seq = 0.0  # served from the buffer cache
+
+        run.seq_private = phase.relation is None or not self._sim.shared_scans
+        if not run.seq_private and self._sim.scan_share_window < 1.0:
+            # Synchronized scans have a join window: a scan arriving after
+            # the in-flight group has covered more than `scan_share_window`
+            # of the table cannot catch up and runs privately.
+            group_progress = self._group_progress(phase.relation, run)
+            if group_progress is not None and (
+                group_progress > self._sim.scan_share_window
+            ):
+                run.seq_private = True
+        if phase.spillable:
+            deficit = ledger.spill_bytes(qid, phase.mem_bytes)
+            if deficit > 0:
+                available = ledger.available_for(qid)
+                thrash = 1.0 + self._sim.spill_thrash * deficit / available
+                extra = deficit * self._sim.spill_multiplier * thrash
+                rem_seq += extra
+                run.seq_private = True
+                run.stats.spill_bytes += extra
+
+        if phase.mem_bytes > 0:
+            ledger.hold(qid, phase.mem_bytes)
+            run.stats.working_set_bytes = max(
+                run.stats.working_set_bytes, phase.mem_bytes
+            )
+        else:
+            ledger.release(qid)
+
+        run.rem_seq = rem_seq
+        run.rem_rand = phase.rand_ops
+        run.rem_cpu = phase.cpu_seconds
+
+        if phase.rand_ops > 0 and contended and self._hw.random_io_variance > 0:
+            spread = self._hw.random_io_variance
+            run.rand_factor = float(self._rng.uniform(1.0 - spread, 1.0 + spread))
+            run.rand_factor = max(run.rand_factor, 0.05)
+        else:
+            run.rand_factor = 1.0
+
+    def _on_phase_end(
+        self, run: _Running, ledger: MemoryLedger, cache: BufferCache
+    ) -> None:
+        """Phase epilogue: admit completed dimension scans to the cache."""
+        phase = run.phase
+        if (
+            phase.dimension_scan
+            and phase.relation is not None
+            and self._sim.dimension_cache
+        ):
+            cache.admit(phase.relation, phase.seq_bytes)
+
+    def _group_progress(
+        self, relation: Optional[str], joiner: "_Running"
+    ) -> Optional[float]:
+        """Progress fraction of the in-flight scan group on *relation*.
+
+        Returns ``None`` when no other query is currently scanning the
+        relation (the joiner would start a fresh group).
+        """
+        best: Optional[float] = None
+        for other in self._active_view:
+            if other is joiner or other.seq_private:
+                continue
+            if other.rem_seq <= _DONE or other.phase.relation != relation:
+                continue
+            total = other.phase.seq_bytes
+            if total <= 0:
+                continue
+            progress = 1.0 - other.rem_seq / total
+            best = progress if best is None else min(best, progress)
+        return best
+
+    def _stream_key(self, run: _Running) -> disk.StreamKey:
+        phase = run.phase
+        if run.seq_private or phase.relation is None:
+            return disk.private_seq_key(run.profile.instance_id)
+        return disk.shared_scan_key(phase.relation)
+
+    def _rates(
+        self, active: Sequence[_Running]
+    ) -> Tuple[float, float, float, Dict[disk.StreamKey, int]]:
+        """Service rates for the current active set.
+
+        Returns the per-stream sequential rate, per-stream random rate,
+        per-query CPU rate, and the membership count of each sequential
+        stream (to attribute shared-scan credit).
+        """
+        keys: List[disk.StreamKey] = []
+        group_sizes: Dict[disk.StreamKey, int] = {}
+        cpu_demand = 0
+        for run in active:
+            if run.rem_seq > _DONE:
+                key = self._stream_key(run)
+                keys.append(key)
+                group_sizes[key] = group_sizes.get(key, 0) + 1
+            if run.rem_rand > _DONE:
+                keys.append(disk.random_key(run.profile.instance_id))
+            if run.rem_cpu > _DONE:
+                cpu_demand += 1
+
+        rates = disk.allocate(self._hw, keys)
+        cpu_rate = 1.0
+        if cpu_demand > self._hw.cores:
+            cpu_rate = self._hw.cores / cpu_demand
+        return rates.seq_bytes_per_sec, rates.rand_ops_per_sec, cpu_rate, group_sizes
+
+    def _time_to_next_event(
+        self,
+        active: Sequence[_Running],
+        seq_rate: float,
+        rand_rate: float,
+        cpu_rate: float,
+    ) -> float:
+        """Earliest time until any component of any query drains."""
+        best = np.inf
+        for run in active:
+            if run.rem_seq > _DONE and seq_rate > 0:
+                best = min(best, run.rem_seq / seq_rate)
+            if run.rem_rand > _DONE and rand_rate > 0:
+                best = min(best, run.rem_rand / (rand_rate * run.rand_factor))
+            if run.rem_cpu > _DONE and cpu_rate > 0:
+                best = min(best, run.rem_cpu / cpu_rate)
+        return float(best)
+
+    def _advance(
+        self,
+        active: Sequence[_Running],
+        dt: float,
+        seq_rate: float,
+        rand_rate: float,
+        cpu_rate: float,
+        group_sizes: Dict[disk.StreamKey, int],
+    ) -> None:
+        """Drain every component by *dt* at the current rates."""
+        for run in active:
+            had_io = run.wants_io
+            if run.rem_seq > _DONE:
+                served = min(run.rem_seq, seq_rate * dt)
+                run.rem_seq -= served
+                run.stats.seq_bytes_read += served
+                key = self._stream_key(run)
+                if group_sizes.get(key, 1) > 1:
+                    run.stats.shared_seq_bytes += served
+            if run.rem_rand > _DONE:
+                served = min(run.rem_rand, rand_rate * run.rand_factor * dt)
+                run.rem_rand -= served
+                run.stats.rand_ops_done += served
+            if run.rem_cpu > _DONE:
+                done = min(run.rem_cpu, cpu_rate * dt)
+                run.rem_cpu -= done
+                run.stats.cpu_seconds += done
+            if had_io:
+                run.stats.io_seconds += dt

@@ -1,0 +1,487 @@
+"""Query-execution-plan (QEP) operator nodes and their resource costing.
+
+Template builders construct small operator trees out of these nodes; the
+compiler in :mod:`repro.engine.profile` walks the tree and turns each node
+into resource demands.  We do not implement a full optimizer: cardinalities
+are supplied by the template definitions, exactly as the paper consumes the
+*estimates* printed in PostgreSQL EXPLAIN output.
+
+Per-row CPU constants are calibrated so that, at the default hardware spec,
+a large fact-table scan is roughly balanced between I/O and CPU — which is
+what makes some TPC-DS templates I/O-bound and others CPU-bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..errors import WorkloadError
+from .relation import Relation
+
+# Calibrated per-row CPU costs, in seconds.  (Microseconds per row.)
+_US = 1e-6
+CPU_SCAN_ROW = 0.55 * _US
+CPU_FILTER_ROW = 0.15 * _US
+CPU_HASH_BUILD_ROW = 2.2 * _US
+CPU_HASH_PROBE_ROW = 1.1 * _US
+CPU_MERGE_ROW = 0.9 * _US
+CPU_NESTED_ROW = 0.35 * _US
+CPU_SORT_ROW_LOG = 0.22 * _US  # multiplied by log2(rows)
+CPU_AGG_ROW = 1.3 * _US
+CPU_WINDOW_ROW = 3.0 * _US
+CPU_MATERIALIZE_ROW = 0.4 * _US
+
+#: Random heap fetches issued per qualifying row by an index scan.
+INDEX_FETCH_PER_ROW = 1.0
+#: Bitmap heap scans sort page ids first, so they touch fewer pages per row.
+BITMAP_FETCH_PER_ROW = 0.25
+
+
+@dataclass(frozen=True)
+class NodeCost:
+    """Resource demand contributed by a single plan node.
+
+    Attributes:
+        seq_bytes: Sequential I/O, in bytes (table scans, spill passes).
+        rand_ops: Random I/O operations (index/bitmap heap fetches).
+        cpu_seconds: CPU work.
+        mem_bytes: Working memory held while the node runs (hash tables,
+            sort buffers); drives spill under memory pressure.
+        spillable: Whether exceeding the memory grant converts to disk I/O.
+    """
+
+    seq_bytes: float = 0.0
+    rand_ops: float = 0.0
+    cpu_seconds: float = 0.0
+    mem_bytes: float = 0.0
+    spillable: bool = False
+
+
+@dataclass
+class PlanNode:
+    """Base class for all QEP operators.
+
+    Attributes:
+        children: Input operators, outer (left) first.
+        cpu_factor: Per-node multiplier over the calibrated CPU constants;
+            templates use it to express predicate complexity.
+        project_width: When set, the node projects its output down to this
+            many bytes per row (column pruning); otherwise the width is
+            derived from the inputs.
+    """
+
+    children: Sequence["PlanNode"] = field(default_factory=tuple)
+    cpu_factor: float = 1.0
+    project_width: Optional[float] = None
+
+    #: Human/feature name of the execution step; subclasses override.
+    step = "PlanNode"
+
+    def __post_init__(self) -> None:
+        if self.cpu_factor < 0:
+            raise WorkloadError(f"{self.step}: cpu_factor must be >= 0")
+        if self.project_width is not None and self.project_width <= 0:
+            raise WorkloadError(f"{self.step}: project_width must be positive")
+
+    def _project(self, computed_width: float) -> float:
+        """Apply the optional projection to a computed row width."""
+        if self.project_width is not None:
+            return self.project_width
+        return computed_width
+
+    @property
+    def output_rows(self) -> float:
+        """Estimated cardinality of this node's output."""
+        raise NotImplementedError
+
+    @property
+    def output_width(self) -> float:
+        """Estimated bytes per output row."""
+        raise NotImplementedError
+
+    def cost(self) -> NodeCost:
+        """Resource demand of this node alone (children excluded)."""
+        raise NotImplementedError
+
+    @property
+    def is_blocking(self) -> bool:
+        """True when the node must consume its input before emitting."""
+        return False
+
+    def feature_name(self) -> str:
+        """Name of this step in the ML feature space (Sec. 3)."""
+        return self.step
+
+    def walk(self) -> Iterator["PlanNode"]:
+        """Post-order traversal (children before the node itself)."""
+        for child in self.children:
+            yield from child.walk()
+        yield self
+
+
+@dataclass
+class SeqScan(PlanNode):
+    """Full sequential scan of a base relation with an optional filter."""
+
+    relation: Relation = None  # type: ignore[assignment]
+    selectivity: float = 1.0
+
+    step = "SeqScan"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.relation is None:
+            raise WorkloadError("SeqScan requires a relation")
+        if not 0.0 < self.selectivity <= 1.0:
+            raise WorkloadError("SeqScan selectivity must be in (0, 1]")
+        if self.children:
+            raise WorkloadError("SeqScan is a leaf; it takes no children")
+
+    @property
+    def output_rows(self) -> float:
+        return self.relation.row_count * self.selectivity
+
+    @property
+    def output_width(self) -> float:
+        return self._project(self.relation.row_width)
+
+    def cost(self) -> NodeCost:
+        rows = self.relation.row_count
+        cpu = rows * (CPU_SCAN_ROW + CPU_FILTER_ROW) * self.cpu_factor
+        return NodeCost(seq_bytes=self.relation.size_bytes, cpu_seconds=cpu)
+
+    def feature_name(self) -> str:
+        # The paper treats sequential scans on different tables as distinct
+        # features ("one feature per table in our schema", Sec. 3).
+        return f"SeqScan:{self.relation.name}"
+
+
+@dataclass
+class IndexScan(PlanNode):
+    """Index scan with per-row random heap fetches."""
+
+    relation: Relation = None  # type: ignore[assignment]
+    matching_rows: float = 0.0
+
+    step = "IndexScan"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.relation is None:
+            raise WorkloadError("IndexScan requires a relation")
+        if self.matching_rows <= 0:
+            raise WorkloadError("IndexScan matching_rows must be positive")
+        if self.children:
+            raise WorkloadError("IndexScan is a leaf; it takes no children")
+
+    @property
+    def output_rows(self) -> float:
+        return self.matching_rows
+
+    @property
+    def output_width(self) -> float:
+        return self._project(self.relation.row_width)
+
+    def cost(self) -> NodeCost:
+        ops = self.matching_rows * INDEX_FETCH_PER_ROW
+        cpu = self.matching_rows * CPU_SCAN_ROW * self.cpu_factor
+        return NodeCost(rand_ops=ops, cpu_seconds=cpu)
+
+
+@dataclass
+class BitmapHeapScan(PlanNode):
+    """Bitmap index + heap scan: random I/O in page-sorted order."""
+
+    relation: Relation = None  # type: ignore[assignment]
+    matching_rows: float = 0.0
+
+    step = "BitmapHeapScan"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.relation is None:
+            raise WorkloadError("BitmapHeapScan requires a relation")
+        if self.matching_rows <= 0:
+            raise WorkloadError("BitmapHeapScan matching_rows must be positive")
+
+    @property
+    def output_rows(self) -> float:
+        return self.matching_rows
+
+    @property
+    def output_width(self) -> float:
+        return self._project(self.relation.row_width)
+
+    def cost(self) -> NodeCost:
+        ops = self.matching_rows * BITMAP_FETCH_PER_ROW
+        cpu = self.matching_rows * (CPU_SCAN_ROW + CPU_FILTER_ROW) * self.cpu_factor
+        return NodeCost(rand_ops=ops, cpu_seconds=cpu)
+
+
+def _require_children(node: PlanNode, expected: int) -> None:
+    if len(node.children) != expected:
+        raise WorkloadError(
+            f"{node.step} requires exactly {expected} children, "
+            f"got {len(node.children)}"
+        )
+
+
+@dataclass
+class HashJoin(PlanNode):
+    """Hash join: blocking build on the inner (second) child."""
+
+    join_selectivity: float = 1.0
+
+    step = "HashJoin"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require_children(self, 2)
+        if self.join_selectivity <= 0:
+            raise WorkloadError("HashJoin join_selectivity must be positive")
+
+    @property
+    def outer(self) -> PlanNode:
+        return self.children[0]
+
+    @property
+    def inner(self) -> PlanNode:
+        return self.children[1]
+
+    @property
+    def output_rows(self) -> float:
+        return max(self.outer.output_rows * self.join_selectivity, 1.0)
+
+    @property
+    def output_width(self) -> float:
+        return self._project(self.outer.output_width + self.inner.output_width)
+
+    @property
+    def is_blocking(self) -> bool:
+        return True
+
+    def cost(self) -> NodeCost:
+        build_rows = self.inner.output_rows
+        probe_rows = self.outer.output_rows
+        cpu = (
+            build_rows * CPU_HASH_BUILD_ROW + probe_rows * CPU_HASH_PROBE_ROW
+        ) * self.cpu_factor
+        mem = build_rows * self.inner.output_width
+        return NodeCost(cpu_seconds=cpu, mem_bytes=mem, spillable=True)
+
+
+@dataclass
+class MergeJoin(PlanNode):
+    """Merge join over (assumed sorted) inputs."""
+
+    join_selectivity: float = 1.0
+
+    step = "MergeJoin"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require_children(self, 2)
+        if self.join_selectivity <= 0:
+            raise WorkloadError("MergeJoin join_selectivity must be positive")
+
+    @property
+    def output_rows(self) -> float:
+        return max(self.children[0].output_rows * self.join_selectivity, 1.0)
+
+    @property
+    def output_width(self) -> float:
+        return self._project(sum(child.output_width for child in self.children))
+
+    def cost(self) -> NodeCost:
+        rows = sum(child.output_rows for child in self.children)
+        return NodeCost(cpu_seconds=rows * CPU_MERGE_ROW * self.cpu_factor)
+
+
+@dataclass
+class NestedLoopJoin(PlanNode):
+    """Nested-loop join; with an index inner it issues repeated lookups."""
+
+    join_selectivity: float = 1.0
+    inner_lookup_ops: float = 0.0
+
+    step = "NestedLoopJoin"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require_children(self, 2)
+        if self.inner_lookup_ops < 0:
+            raise WorkloadError("inner_lookup_ops must be >= 0")
+
+    @property
+    def output_rows(self) -> float:
+        return max(self.children[0].output_rows * self.join_selectivity, 1.0)
+
+    @property
+    def output_width(self) -> float:
+        return self._project(sum(child.output_width for child in self.children))
+
+    def cost(self) -> NodeCost:
+        outer_rows = self.children[0].output_rows
+        cpu = outer_rows * CPU_NESTED_ROW * self.cpu_factor
+        return NodeCost(
+            rand_ops=outer_rows * self.inner_lookup_ops, cpu_seconds=cpu
+        )
+
+
+@dataclass
+class Sort(PlanNode):
+    """External-sort-capable in-memory sort."""
+
+    step = "Sort"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require_children(self, 1)
+
+    @property
+    def output_rows(self) -> float:
+        return self.children[0].output_rows
+
+    @property
+    def output_width(self) -> float:
+        return self._project(self.children[0].output_width)
+
+    @property
+    def is_blocking(self) -> bool:
+        return True
+
+    def cost(self) -> NodeCost:
+        rows = max(self.children[0].output_rows, 2.0)
+        cpu = rows * CPU_SORT_ROW_LOG * math.log2(rows) * self.cpu_factor
+        mem = rows * self.children[0].output_width
+        return NodeCost(cpu_seconds=cpu, mem_bytes=mem, spillable=True)
+
+
+@dataclass
+class Aggregate(PlanNode):
+    """Hash or sorted (group) aggregation."""
+
+    groups: float = 1.0
+    strategy: str = "hash"  # 'hash' or 'group'
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require_children(self, 1)
+        if self.groups < 1:
+            raise WorkloadError("Aggregate groups must be >= 1")
+        if self.strategy not in ("hash", "group"):
+            raise WorkloadError("Aggregate strategy must be 'hash' or 'group'")
+
+    @property
+    def step(self) -> str:  # type: ignore[override]
+        return "HashAggregate" if self.strategy == "hash" else "GroupAggregate"
+
+    @property
+    def output_rows(self) -> float:
+        return self.groups
+
+    @property
+    def output_width(self) -> float:
+        return self._project(self.children[0].output_width)
+
+    @property
+    def is_blocking(self) -> bool:
+        return self.strategy == "hash"
+
+    def cost(self) -> NodeCost:
+        rows = self.children[0].output_rows
+        cpu = rows * CPU_AGG_ROW * self.cpu_factor
+        if self.strategy == "hash":
+            mem = self.groups * self.children[0].output_width
+            return NodeCost(cpu_seconds=cpu, mem_bytes=mem, spillable=True)
+        return NodeCost(cpu_seconds=cpu)
+
+    def feature_name(self) -> str:
+        return self.step
+
+
+@dataclass
+class WindowAgg(PlanNode):
+    """Window aggregation over sorted input (CPU-heavy)."""
+
+    step = "WindowAgg"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require_children(self, 1)
+
+    @property
+    def output_rows(self) -> float:
+        return self.children[0].output_rows
+
+    @property
+    def output_width(self) -> float:
+        return self._project(self.children[0].output_width)
+
+    def cost(self) -> NodeCost:
+        rows = self.children[0].output_rows
+        return NodeCost(cpu_seconds=rows * CPU_WINDOW_ROW * self.cpu_factor)
+
+
+@dataclass
+class Materialize(PlanNode):
+    """Materialize an intermediate result in memory."""
+
+    step = "Materialize"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require_children(self, 1)
+
+    @property
+    def output_rows(self) -> float:
+        return self.children[0].output_rows
+
+    @property
+    def output_width(self) -> float:
+        return self._project(self.children[0].output_width)
+
+    @property
+    def is_blocking(self) -> bool:
+        return True
+
+    def cost(self) -> NodeCost:
+        rows = self.children[0].output_rows
+        mem = rows * self.children[0].output_width
+        return NodeCost(
+            cpu_seconds=rows * CPU_MATERIALIZE_ROW * self.cpu_factor,
+            mem_bytes=mem,
+            spillable=True,
+        )
+
+
+@dataclass
+class CTEScan(PlanNode):
+    """Scan of a previously materialized common table expression."""
+
+    rows: float = 0.0
+    width: float = 64.0
+
+    step = "CTEScan"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rows <= 0:
+            raise WorkloadError("CTEScan rows must be positive")
+
+    @property
+    def output_rows(self) -> float:
+        return self.rows
+
+    @property
+    def output_width(self) -> float:
+        return self._project(self.width)
+
+    def cost(self) -> NodeCost:
+        return NodeCost(cpu_seconds=self.rows * CPU_SCAN_ROW * self.cpu_factor)
+
+
+#: Leaf node types that touch base relations.
+SCAN_TYPES = (SeqScan, IndexScan, BitmapHeapScan)

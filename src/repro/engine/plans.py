@@ -1,0 +1,119 @@
+"""Query plans: an operator tree plus template-level metadata.
+
+A :class:`QueryPlan` is what the simulated optimizer hands the executor.
+It exposes the semantic information Contender consumes — which fact tables
+the query sequentially scans (for the shared-scan terms of CQI), how many
+records it touches, how many plan steps it has, and its working-set size —
+without the framework ever needing the engine internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..errors import WorkloadError
+from .operators import PlanNode, SeqScan, SCAN_TYPES
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An executable plan for one query instance.
+
+    Attributes:
+        template_id: Identifier of the query template (e.g. ``26`` for
+            TPC-DS query 26); plans from the same template share structure.
+        root: Root operator of the tree.
+    """
+
+    template_id: int
+    root: PlanNode
+
+    def __post_init__(self) -> None:
+        if self.root is None:
+            raise WorkloadError("QueryPlan requires a root node")
+
+    def nodes(self) -> Iterator[PlanNode]:
+        """Post-order iterator over all plan nodes."""
+        return self.root.walk()
+
+    @property
+    def num_steps(self) -> int:
+        """Number of operators in the plan ('query plan steps', Table 3)."""
+        return sum(1 for _ in self.nodes())
+
+    def fact_tables_scanned(self) -> Set[str]:
+        """Names of fact tables read by *sequential* scans.
+
+        This is the scan set used by CQI's positive-interaction terms
+        (Eqs. 2-3): only shared *sequential* fact-table scans produce
+        reusable I/O.
+        """
+        return {
+            node.relation.name
+            for node in self.nodes()
+            if isinstance(node, SeqScan) and node.relation.is_fact
+        }
+
+    def relations_accessed(self) -> Set[str]:
+        """Names of all base relations touched by any scan type."""
+        return {
+            node.relation.name
+            for node in self.nodes()
+            if isinstance(node, SCAN_TYPES)
+        }
+
+    def records_accessed(self) -> float:
+        """Total estimated records read from base relations (Table 3)."""
+        total = 0.0
+        for node in self.nodes():
+            if isinstance(node, SeqScan):
+                total += node.relation.row_count
+            elif isinstance(node, SCAN_TYPES):
+                total += node.output_rows
+        return total
+
+    def working_set_bytes(self) -> float:
+        """Largest intermediate result held in memory (Sec. 5.3).
+
+        The paper's 'maximum working set size' is the size of the largest
+        intermediate result; we take the maximum memory demand over the
+        blocking operators.
+        """
+        return max(
+            (node.cost().mem_bytes for node in self.nodes()), default=0.0
+        )
+
+    def step_cardinalities(self) -> List[Tuple[str, float]]:
+        """(feature name, estimated cardinality) per node, post-order.
+
+        This is the raw material for the Sec. 3 ML feature vectors: for
+        each distinct execution step, callers aggregate occurrence counts
+        and summed cardinality estimates.
+        """
+        return [(node.feature_name(), node.output_rows) for node in self.nodes()]
+
+    def seq_scan_bytes(self) -> Dict[str, float]:
+        """Bytes sequentially read per relation name."""
+        out: Dict[str, float] = {}
+        for node in self.nodes():
+            if isinstance(node, SeqScan):
+                name = node.relation.name
+                out[name] = out.get(name, 0.0) + node.relation.size_bytes
+        return out
+
+    def describe(self) -> str:
+        """Indented, EXPLAIN-like rendering of the plan tree."""
+        lines: List[str] = []
+
+        def render(node: PlanNode, depth: int) -> None:
+            indent = "  " * depth
+            lines.append(
+                f"{indent}{node.feature_name()}  "
+                f"(rows={node.output_rows:.0f} width={node.output_width:.0f})"
+            )
+            for child in node.children:
+                render(child, depth + 1)
+
+        render(self.root, 0)
+        return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Compilation of query plans into executable resource profiles.
+
+The executor does not interpret operator trees directly; it runs *phases*.
+A phase is a bundle of resource demands that drain concurrently — at most
+one sequential-I/O component (optionally tied to a relation so concurrent
+scans of the same table can coalesce), one random-I/O component, and one
+CPU component — plus a working-memory footprint held while the phase runs.
+Phases within a query are strictly serial, which mirrors the left-deep
+pipelined execution of the analytical plans we model.
+
+CPU/I/O overlap is resolved at compile time: for a scan feeding a pipeline,
+a fraction ``cpu_io_overlap`` of the streaming CPU is attached to the I/O
+phase itself (it hides behind the I/O) and the remainder becomes a serial
+CPU-only phase.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+from ..config import SystemConfig
+from ..errors import WorkloadError
+from .operators import SCAN_TYPES, SeqScan
+from .plans import QueryPlan
+from .relation import Relation
+
+_instance_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One serial execution phase of a query.
+
+    Attributes:
+        label: Diagnostic name (operator that produced the phase).
+        relation: Relation name when ``seq_bytes`` is a table scan that may
+            coalesce with concurrent scans of the same table; ``None`` for
+            private sequential I/O (spill passes, spoiler readers).
+        seq_bytes: Sequential I/O demand in bytes.
+        rand_ops: Random I/O demand in operations.
+        cpu_seconds: CPU demand in seconds of one core.
+        mem_bytes: Working memory held while the phase runs.
+        spillable: Whether a memory deficit converts into extra private
+            sequential I/O at phase start.
+        dimension_scan: True for sequential scans of dimension tables,
+            which are served from the buffer cache once resident.
+    """
+
+    label: str
+    relation: Optional[str] = None
+    seq_bytes: float = 0.0
+    rand_ops: float = 0.0
+    cpu_seconds: float = 0.0
+    mem_bytes: float = 0.0
+    spillable: bool = False
+    dimension_scan: bool = False
+
+    def __post_init__(self) -> None:
+        if min(self.seq_bytes, self.rand_ops, self.cpu_seconds) < 0:
+            raise WorkloadError(f"phase {self.label}: negative demand")
+        if self.mem_bytes < 0:
+            raise WorkloadError(f"phase {self.label}: negative memory")
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the phase demands nothing and can be dropped."""
+        return (
+            self.seq_bytes <= 0.0
+            and self.rand_ops <= 0.0
+            and self.cpu_seconds <= 0.0
+        )
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """The executable form of one query instance.
+
+    Attributes:
+        template_id: Owning template, or negative ids for synthetic work
+            (spoiler readers, raw table scans).
+        instance_id: Unique id of this instance.
+        phases: Serial phases to execute.
+        plan: Originating plan, when one exists.
+        background: Background profiles (spoiler readers) never finish and
+            do not gate run completion.
+    """
+
+    template_id: int
+    phases: Sequence[Phase]
+    plan: Optional[QueryPlan] = None
+    background: bool = False
+    instance_id: int = field(default_factory=lambda: next(_instance_counter))
+
+    def __post_init__(self) -> None:
+        if not self.phases and not self.background:
+            raise WorkloadError("a foreground profile needs at least one phase")
+
+    @property
+    def working_set_bytes(self) -> float:
+        """Peak working memory across phases."""
+        return max((p.mem_bytes for p in self.phases), default=0.0)
+
+    @property
+    def total_seq_bytes(self) -> float:
+        """Total sequential I/O demand."""
+        return sum(p.seq_bytes for p in self.phases)
+
+    @property
+    def total_rand_ops(self) -> float:
+        """Total random I/O demand."""
+        return sum(p.rand_ops for p in self.phases)
+
+    @property
+    def total_cpu_seconds(self) -> float:
+        """Total CPU demand."""
+        return sum(p.cpu_seconds for p in self.phases)
+
+    def with_startup(self, cpu_seconds: float) -> "ResourceProfile":
+        """Return a copy with a leading CPU-only startup phase.
+
+        Steady-state streams charge the restart cost (planning and
+        dimension re-caching, Sec. 6.1) this way.
+        """
+        if cpu_seconds <= 0:
+            return self
+        startup = Phase(label="Startup", cpu_seconds=cpu_seconds)
+        return replace(
+            self,
+            phases=(startup, *self.phases),
+            instance_id=next(_instance_counter),
+        )
+
+
+def compile_plan(plan: QueryPlan, config: SystemConfig) -> ResourceProfile:
+    """Compile *plan* into a :class:`ResourceProfile`.
+
+    The tree is walked post-order (the order a left-deep pipeline drains).
+    Scan leaves become I/O phases; streaming operators split their CPU
+    between the most recent I/O phase (the overlapped fraction) and a
+    serial CPU phase; blocking operators become their own CPU+memory
+    phases that may spill.
+    """
+    overlap = config.simulation.cpu_io_overlap
+    phases: List[Phase] = []
+
+    def last_io_index() -> Optional[int]:
+        for idx in range(len(phases) - 1, -1, -1):
+            if phases[idx].seq_bytes > 0 or phases[idx].rand_ops > 0:
+                return idx
+        return None
+
+    def attach_streaming_cpu(cpu: float, label: str) -> None:
+        """Split streaming CPU into overlapped + serial parts."""
+        if cpu <= 0:
+            return
+        idx = last_io_index()
+        hidden = overlap * cpu if idx is not None else 0.0
+        serial = cpu - hidden
+        if idx is not None and hidden > 0:
+            phases[idx] = replace(
+                phases[idx], cpu_seconds=phases[idx].cpu_seconds + hidden
+            )
+        if serial > 0:
+            phases.append(Phase(label=label, cpu_seconds=serial))
+
+    for node in plan.nodes():
+        cost = node.cost()
+        if isinstance(node, SCAN_TYPES):
+            relation = node.relation
+            phases.append(
+                Phase(
+                    label=node.feature_name(),
+                    relation=relation.name if isinstance(node, SeqScan) else None,
+                    seq_bytes=cost.seq_bytes,
+                    rand_ops=cost.rand_ops,
+                    # The scan's own CPU overlaps its own I/O.
+                    cpu_seconds=overlap * cost.cpu_seconds,
+                    dimension_scan=(
+                        isinstance(node, SeqScan) and not relation.is_fact
+                    ),
+                )
+            )
+            serial_cpu = (1.0 - overlap) * cost.cpu_seconds
+            if serial_cpu > 0:
+                phases.append(
+                    Phase(label=f"{node.feature_name()}/cpu", cpu_seconds=serial_cpu)
+                )
+        elif node.is_blocking:
+            phases.append(
+                Phase(
+                    label=node.feature_name(),
+                    cpu_seconds=cost.cpu_seconds,
+                    mem_bytes=cost.mem_bytes,
+                    spillable=cost.spillable,
+                )
+            )
+        else:
+            attach_streaming_cpu(cost.cpu_seconds, node.feature_name())
+            if cost.rand_ops > 0:
+                # Streaming operators with random I/O (index nested loops).
+                phases.append(
+                    Phase(label=f"{node.feature_name()}/io", rand_ops=cost.rand_ops)
+                )
+
+    compiled = [p for p in phases if not p.is_empty]
+    if not compiled:
+        raise WorkloadError(
+            f"template {plan.template_id}: plan compiled to no work"
+        )
+    return ResourceProfile(template_id=plan.template_id, phases=compiled, plan=plan)
+
+
+def scan_profile(relation: Relation) -> ResourceProfile:
+    """A profile that only sequentially scans *relation*.
+
+    Contender measures ``s_f`` — the isolated scan time of each fact table
+    (Eq. 2) — "by executing a query consisting of only the sequential
+    scan"; this constructs exactly that query.
+    """
+    phase = Phase(
+        label=f"SeqScan:{relation.name}",
+        relation=relation.name,
+        seq_bytes=relation.size_bytes,
+        dimension_scan=not relation.is_fact,
+    )
+    return ResourceProfile(template_id=-1, phases=(phase,))
+
+
+def reader_profile(read_bytes: float, label: str = "SpoilerReader") -> ResourceProfile:
+    """An endless circular file reader used by the spoiler (Sec. 5.1).
+
+    The profile is marked background: it keeps issuing sequential I/O
+    until the run's foreground queries complete.
+    """
+    if read_bytes <= 0:
+        raise WorkloadError("reader_profile needs positive read_bytes")
+    phase = Phase(label=label, seq_bytes=read_bytes)
+    return ResourceProfile(template_id=-2, phases=(phase,), background=True)

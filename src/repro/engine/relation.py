@@ -1,0 +1,63 @@
+"""Relations (tables) as the engine sees them.
+
+The executor cares about three things per relation: how many bytes a full
+sequential scan reads, whether the relation is a *fact* table (large, the
+unit of shared-scan coalescing and of Contender's positive-interaction
+terms) or a *dimension* table (small, buffer-resident after first touch),
+and its row count for cardinality bookkeeping.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+
+
+class RelationKind(enum.Enum):
+    """Role of a relation in a star schema."""
+
+    FACT = "fact"
+    DIMENSION = "dimension"
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A base table.
+
+    Attributes:
+        name: Unique relation name (e.g. ``'store_sales'``).
+        size_bytes: Heap size; what a full sequential scan reads.
+        row_count: Number of tuples.
+        kind: Fact or dimension; governs caching and shared-scan logic.
+    """
+
+    name: str
+    size_bytes: float
+    row_count: int
+    kind: RelationKind
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("relation name must be non-empty")
+        if self.size_bytes <= 0:
+            raise WorkloadError(f"{self.name}: size_bytes must be positive")
+        if self.row_count <= 0:
+            raise WorkloadError(f"{self.name}: row_count must be positive")
+
+    @property
+    def is_fact(self) -> bool:
+        """True when this is a fact table."""
+        return self.kind is RelationKind.FACT
+
+    @property
+    def row_width(self) -> float:
+        """Average bytes per tuple."""
+        return self.size_bytes / self.row_count
+
+    def scan_seconds(self, seq_bandwidth: float) -> float:
+        """Time for an uncontended full scan at *seq_bandwidth* bytes/s."""
+        if seq_bandwidth <= 0:
+            raise WorkloadError("seq_bandwidth must be positive")
+        return self.size_bytes / seq_bandwidth

@@ -1,0 +1,85 @@
+"""The spoiler: worst-case contention generator (Sec. 5.1).
+
+To bound a template's performance continuum from above at MPL ``n``, the
+paper runs it against a *spoiler* that (a) allocates and pins
+``(1 - 1/n)`` of RAM and (b) circularly reads ``n - 1`` large files to
+keep the I/O bus saturated.  The spoiler gives the worst-case latency
+``l_max`` without ever sampling real query mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import ConfigurationError
+from ..units import GB
+from .executor import ConcurrentExecutor, SingleShotStream
+from .profile import ResourceProfile, reader_profile
+from .stats import QueryStats
+
+
+@dataclass(frozen=True)
+class Spoiler:
+    """A spoiler configuration for one simulated MPL.
+
+    Attributes:
+        mpl: Simulated multiprogramming level ``n``; must be >= 1.
+        ram_bytes: Host RAM (used to size the pin).
+        reader_file_bytes: Size of each circular read file; only the
+            cycle granularity, not the total I/O, depends on it.
+    """
+
+    mpl: int
+    ram_bytes: float
+    reader_file_bytes: float = GB(4)
+
+    def __post_init__(self) -> None:
+        if self.mpl < 1:
+            raise ConfigurationError(f"spoiler MPL must be >= 1, got {self.mpl}")
+        if self.ram_bytes <= 0:
+            raise ConfigurationError("ram_bytes must be positive")
+        if self.reader_file_bytes <= 0:
+            raise ConfigurationError("reader_file_bytes must be positive")
+
+    @property
+    def pinned_bytes(self) -> float:
+        """RAM pinned: ``(1 - 1/n)`` of physical memory."""
+        return (1.0 - 1.0 / self.mpl) * self.ram_bytes
+
+    @property
+    def num_readers(self) -> int:
+        """Number of circular readers: ``n - 1``."""
+        return self.mpl - 1
+
+    def readers(self) -> List[ResourceProfile]:
+        """Background reader profiles for the executor."""
+        return [
+            reader_profile(self.reader_file_bytes, label=f"SpoilerReader-{i}")
+            for i in range(self.num_readers)
+        ]
+
+
+def measure_spoiler_latency(
+    profile: ResourceProfile,
+    mpl: int,
+    config: SystemConfig,
+    rng: np.random.Generator | None = None,
+) -> QueryStats:
+    """Run *profile* against a spoiler at *mpl* and return its stats.
+
+    At MPL 1 the spoiler pins nothing and starts no readers, so this
+    degenerates to an isolated cold-cache run — which is exactly the
+    continuum's lower bound.
+    """
+    spoiler = Spoiler(mpl=mpl, ram_bytes=config.hardware.ram_bytes)
+    executor = ConcurrentExecutor(config, rng=rng)
+    result = executor.run(
+        streams=[SingleShotStream(profile, name="primary")],
+        background=spoiler.readers(),
+        pinned_bytes=spoiler.pinned_bytes,
+    )
+    return result.completions[0].stats

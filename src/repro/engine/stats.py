@@ -1,0 +1,76 @@
+"""Per-query runtime statistics — the simulated procfs.
+
+Contender's inputs are deliberately coarse: the fraction of execution time
+a query spends doing I/O (``p_t``, measured on Linux via procfs), its
+working-set size, latency, and plan-derived counts.  The executor fills a
+:class:`QueryStats` for every completed query; this module is the only
+place those counters are defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SimulationError
+
+
+@dataclass
+class QueryStats:
+    """Counters accumulated while one query instance runs.
+
+    Attributes:
+        template_id: Owning template.
+        instance_id: Unique instance id.
+        start_time: Simulated start timestamp (seconds).
+        end_time: Simulated completion timestamp; ``None`` while running.
+        io_seconds: Wall-clock (simulated) time during which the query had
+            an unfinished I/O component — the procfs 'time elapsed
+            executing I/O'.
+        cpu_seconds: CPU work actually performed.
+        seq_bytes_read: Sequential bytes read (including spill traffic).
+        rand_ops_done: Random I/O operations completed.
+        spill_bytes: Working-set overflow written+read due to memory
+            pressure.
+        cache_served_bytes: Sequential demand satisfied by the buffer
+            cache (warm dimension tables) instead of the disk.
+        shared_seq_bytes: Portion of ``seq_bytes_read`` served while the
+            query's scan stream had other members (shared-scan credit).
+        working_set_bytes: Peak working memory held.
+    """
+
+    template_id: int
+    instance_id: int
+    start_time: float
+    end_time: Optional[float] = None
+    io_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    seq_bytes_read: float = 0.0
+    rand_ops_done: float = 0.0
+    spill_bytes: float = 0.0
+    cache_served_bytes: float = 0.0
+    shared_seq_bytes: float = 0.0
+    working_set_bytes: float = 0.0
+
+    @property
+    def finished(self) -> bool:
+        """True once the query has completed."""
+        return self.end_time is not None
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency in simulated seconds."""
+        if self.end_time is None:
+            raise SimulationError(
+                f"query {self.instance_id} (template {self.template_id}) "
+                "has not finished"
+            )
+        return self.end_time - self.start_time
+
+    @property
+    def io_fraction(self) -> float:
+        """Fraction of latency spent with I/O outstanding (``p_t``)."""
+        lat = self.latency
+        if lat <= 0:
+            return 0.0
+        return min(self.io_seconds / lat, 1.0)

@@ -1,0 +1,132 @@
+"""Execution tracing: per-interval resource telemetry.
+
+The executor's event loop advances in intervals of constant service
+rates; a :class:`UtilizationTrace` attached to the executor records one
+sample per interval — who ran, how many disk streams were active, how
+much bandwidth each query received.  This is the simulated counterpart
+of watching ``iostat``/``pidstat`` during the paper's experiments, and
+what the diagnostics in the examples are built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Protocol, Tuple
+
+
+@dataclass(frozen=True)
+class IntervalSample:
+    """Telemetry for one constant-rate interval.
+
+    Attributes:
+        start: Interval start, simulated seconds.
+        duration: Interval length.
+        num_queries: Active queries (background included).
+        num_streams: Distinct disk streams being time-sliced.
+        seq_bytes_per_sec: *Physical* sequential throughput — what the
+            device reads (one shared-scan group counts once).
+        logical_seq_bytes_per_sec: Sequential progress credited to
+            queries; exceeds the physical rate when scans are shared.
+        rand_ops_per_sec: Aggregate random-I/O throughput delivered.
+        cpu_cores_busy: CPU cores in use.
+        per_query_phase: instance id -> active phase label.
+    """
+
+    start: float
+    duration: float
+    num_queries: int
+    num_streams: int
+    seq_bytes_per_sec: float
+    logical_seq_bytes_per_sec: float
+    rand_ops_per_sec: float
+    cpu_cores_busy: float
+    per_query_phase: Mapping[int, str]
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class Tracer(Protocol):
+    """Receives one callback per constant-rate interval."""
+
+    def record(self, sample: IntervalSample) -> None:
+        ...
+
+
+@dataclass
+class UtilizationTrace:
+    """Collects interval samples and derives utilization series.
+
+    Attributes:
+        samples: Recorded intervals in time order.
+    """
+
+    samples: List[IntervalSample] = field(default_factory=list)
+
+    def record(self, sample: IntervalSample) -> None:
+        self.samples.append(sample)
+
+    @property
+    def elapsed(self) -> float:
+        """Total traced time."""
+        return sum(s.duration for s in self.samples)
+
+    def mean_concurrency(self) -> float:
+        """Time-weighted mean number of active queries."""
+        total = self.elapsed
+        if total <= 0:
+            return 0.0
+        return sum(s.num_queries * s.duration for s in self.samples) / total
+
+    def mean_streams(self) -> float:
+        """Time-weighted mean number of disk streams."""
+        total = self.elapsed
+        if total <= 0:
+            return 0.0
+        return sum(s.num_streams * s.duration for s in self.samples) / total
+
+    def disk_busy_fraction(self) -> float:
+        """Fraction of traced time with at least one disk stream."""
+        total = self.elapsed
+        if total <= 0:
+            return 0.0
+        busy = sum(s.duration for s in self.samples if s.num_streams > 0)
+        return busy / total
+
+    def seq_bytes_total(self) -> float:
+        """Total *physical* sequential bytes read over the trace."""
+        return sum(s.seq_bytes_per_sec * s.duration for s in self.samples)
+
+    def logical_seq_bytes_total(self) -> float:
+        """Total sequential progress credited to queries (>= physical)."""
+        return sum(
+            s.logical_seq_bytes_per_sec * s.duration for s in self.samples
+        )
+
+    def phase_occupancy(self) -> Dict[str, float]:
+        """Seconds spent per phase label, summed over queries."""
+        out: Dict[str, float] = {}
+        for sample in self.samples:
+            for label in sample.per_query_phase.values():
+                out[label] = out.get(label, 0.0) + sample.duration
+        return out
+
+    def timeline(self, resolution: float) -> List[Tuple[float, int]]:
+        """(time, active queries) resampled on a fixed grid."""
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        points: List[Tuple[float, int]] = []
+        if not self.samples:
+            return points
+        cursor = self.samples[0].start
+        idx = 0
+        end = self.samples[-1].end
+        while cursor < end and idx < len(self.samples):
+            while idx < len(self.samples) and self.samples[idx].end <= cursor:
+                idx += 1
+            if idx >= len(self.samples):
+                break
+            points.append((cursor, self.samples[idx].num_queries))
+            cursor += resolution
+        return points

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the Contender reproduction.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError` so that callers can catch library failures without
+masking programming errors (``TypeError``, ``KeyError`` from their own
+code, and so on).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A hardware or simulation configuration value is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event executor reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A template, table, or workload definition is invalid or unknown."""
+
+
+class SamplingError(ReproError):
+    """A sampling design (LHS, mix enumeration) cannot be constructed."""
+
+
+class ModelError(ReproError):
+    """A predictive model is mis-specified or used before being fitted."""
+
+
+class NotFittedError(ModelError):
+    """A model was asked to predict before :meth:`fit` succeeded."""

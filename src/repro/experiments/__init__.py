@@ -1,0 +1,27 @@
+"""Experiment runners — one per table/figure of the paper.
+
+Each module exposes a ``run(ctx)`` returning a result dataclass with a
+``format_table()`` that prints the same rows/series the paper reports.
+The :class:`~repro.experiments.harness.ExperimentContext` owns the
+(simulated) testbed and caches the expensive sampling campaign.
+
+| Paper artifact | Runner |
+|---|---|
+| Fig. 1 (LHS example)            | :mod:`repro.experiments.fig1_lhs` |
+| Fig. 2 (steady state)           | :mod:`repro.experiments.fig2_steady_state` |
+| Sec. 3 text + Fig. 3 (ML)       | :mod:`repro.experiments.sec3_ml` |
+| Table 2 (CQI variants)          | :mod:`repro.experiments.table2_cqi` |
+| Table 3 (feature correlations)  | :mod:`repro.experiments.table3_features` |
+| Fig. 4 (QS coefficients)        | :mod:`repro.experiments.fig4_coefficients` |
+| Fig. 6 (spoiler growth)         | :mod:`repro.experiments.fig6_spoiler_growth` |
+| Fig. 7 (CQI errors at MPL 4)    | :mod:`repro.experiments.fig7_cqi_mpl4` |
+| Fig. 8 (known vs unknown)       | :mod:`repro.experiments.fig8_known_unknown` |
+| Fig. 9 (spoiler prediction)     | :mod:`repro.experiments.fig9_spoiler_prediction` |
+| Fig. 10 (new-template pipeline) | :mod:`repro.experiments.fig10_new_templates` |
+| Sec. 5.4 (sampling cost)        | :mod:`repro.experiments.sec54_sampling_cost` |
+| Design ablations (DESIGN.md §5) | :mod:`repro.experiments.ablations` |
+"""
+
+from .harness import ExperimentContext
+
+__all__ = ["ExperimentContext"]

@@ -1,0 +1,227 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not paper figures, but sanity checks of the modeling decisions:
+
+* What happens to the CQI ablation ordering when the substrate has no
+  synchronized scans (``shared_scans=False``)?  The positive-interaction
+  terms should stop helping — evidence that CQI's ω/τ terms model real
+  sharing rather than fitting noise.
+* How sensitive is the spoiler KNN to ``k``?
+* How much do steady-state warm-up/cool-down trims matter (outlier
+  rates, Sec. 6.1)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..core.cqi import CQIVariant
+from ..core.evaluation import evaluate_known_templates, overall_mre
+from ..core.spoiler_model import KNNSpoilerPredictor
+from ..core.training import collect_training_data
+from ..ml.crossval import leave_one_out
+from ..workload.catalog import TemplateCatalog
+from .harness import ExperimentContext
+
+
+@dataclass(frozen=True)
+class SharedScanAblation:
+    """CQI variant MREs with and without synchronized scans."""
+
+    with_sharing: Dict[CQIVariant, float]
+    without_sharing: Dict[CQIVariant, float]
+
+    def format_table(self) -> str:
+        lines = [
+            "Ablation — CQI variants with/without synchronized scans (MPL 2)",
+            f"{'variant':<14} {'shared scans ON':>16} {'shared scans OFF':>17}",
+        ]
+        names = {
+            CQIVariant.BASELINE_IO: "Baseline I/O",
+            CQIVariant.POSITIVE_IO: "Positive I/O",
+            CQIVariant.FULL: "CQI",
+        }
+        for variant in CQIVariant:
+            lines.append(
+                f"{names[variant]:<14} {self.with_sharing[variant]:>15.1%} "
+                f"{self.without_sharing[variant]:>16.1%}"
+            )
+        return "\n".join(lines)
+
+
+def run_shared_scan_ablation(ctx: ExperimentContext) -> SharedScanAblation:
+    """Compare the Table 2 ordering on substrates with/without sharing."""
+    results: Dict[bool, Dict[CQIVariant, float]] = {}
+    for sharing in (True, False):
+        config = SystemConfig(
+            hardware=ctx.catalog.config.hardware,
+            simulation=replace(
+                ctx.catalog.config.simulation, shared_scans=sharing
+            ),
+        )
+        catalog = TemplateCatalog(
+            config=config,
+            schema=ctx.catalog.schema,
+            template_ids=list(ctx.catalog.template_ids),
+        )
+        data = collect_training_data(
+            catalog,
+            mpls=(2,),
+            lhs_runs_per_mpl=1,
+            steady_config=ctx.steady_config,
+        )
+        results[sharing] = {
+            variant: overall_mre(
+                evaluate_known_templates(
+                    data, (2,), variant=variant, rng=ctx.rng(salt=40)
+                )
+            )
+            for variant in CQIVariant
+        }
+    return SharedScanAblation(
+        with_sharing=results[True], without_sharing=results[False]
+    )
+
+
+@dataclass(frozen=True)
+class KNNKAblation:
+    """Spoiler-prediction MRE as a function of k."""
+
+    mre_by_k: Dict[int, float]
+
+    def format_table(self) -> str:
+        lines = [
+            "Ablation — spoiler KNN neighbour count (leave-one-out, MPLs pooled)",
+            f"{'k':>3} {'MRE':>8}",
+        ]
+        for k, mre in sorted(self.mre_by_k.items()):
+            lines.append(f"{k:>3} {mre:>7.1%}")
+        return "\n".join(lines)
+
+
+def run_knn_k_ablation(
+    ctx: ExperimentContext, ks: Tuple[int, ...] = (1, 2, 3, 5, 7)
+) -> KNNKAblation:
+    """Sweep the spoiler predictor's k."""
+    data = ctx.training_data()
+    out: Dict[int, float] = {}
+    for k in ks:
+        errors = []
+        for rest_ids, held in leave_one_out(data.template_ids):
+            predictor = KNNSpoilerPredictor(k=k).fit(
+                data.profiles, data.spoilers, rest_ids
+            )
+            for mpl in ctx.mpls:
+                observed = data.spoiler(held).latency_at(mpl)
+                predicted = predictor.predict(data.profile(held), mpl)
+                errors.append(abs(observed - predicted) / observed)
+        out[k] = float(np.mean(errors))
+    return KNNKAblation(mre_by_k=out)
+
+
+@dataclass(frozen=True)
+class HardwareAblation:
+    """Known-template MRE per hardware profile.
+
+    Contender is retrained per machine (its inputs are measured on the
+    machine it predicts for), so its accuracy should hold across
+    profiles — this ablation checks that claim on a slower disk and a
+    smaller-memory host.
+    """
+
+    mre_by_profile: Dict[str, float]
+
+    def format_table(self) -> str:
+        lines = [
+            "Ablation — hardware sensitivity (retrained per profile, MPL 2)",
+            f"{'profile':<22} {'known-template MRE':>19}",
+        ]
+        for name, mre in self.mre_by_profile.items():
+            lines.append(f"{name:<22} {mre:>18.1%}")
+        return "\n".join(lines)
+
+
+def run_hardware_ablation(ctx: ExperimentContext) -> HardwareAblation:
+    """Retrain and evaluate on three hardware profiles."""
+    from ..config import HardwareSpec
+    from ..units import GB, MB
+
+    base_hw = ctx.catalog.config.hardware
+    profiles = {
+        "paper testbed": base_hw,
+        "slow disk (65 MB/s)": HardwareSpec(
+            cores=base_hw.cores,
+            ram_bytes=base_hw.ram_bytes,
+            seq_bandwidth=MB(65),
+            random_iops=base_hw.random_iops,
+            random_io_variance=base_hw.random_io_variance,
+        ),
+        "small RAM (4 GB)": HardwareSpec(
+            cores=base_hw.cores,
+            ram_bytes=GB(4),
+            seq_bandwidth=base_hw.seq_bandwidth,
+            random_iops=base_hw.random_iops,
+            random_io_variance=base_hw.random_io_variance,
+        ),
+    }
+    out: Dict[str, float] = {}
+    for name, hardware in profiles.items():
+        config = SystemConfig(
+            hardware=hardware, simulation=ctx.catalog.config.simulation
+        )
+        catalog = TemplateCatalog(
+            config=config,
+            schema=ctx.catalog.schema,
+            template_ids=list(ctx.catalog.template_ids),
+        )
+        data = collect_training_data(
+            catalog,
+            mpls=(2,),
+            lhs_runs_per_mpl=1,
+            steady_config=ctx.steady_config,
+        )
+        out[name] = overall_mre(
+            evaluate_known_templates(data, (2,), rng=ctx.rng(salt=42))
+        )
+    return HardwareAblation(mre_by_profile=out)
+
+
+@dataclass(frozen=True)
+class TrimAblation:
+    """Known-template MRE with and without steady-state trimming."""
+
+    trimmed_mre: float
+    untrimmed_mre: float
+
+    def format_table(self) -> str:
+        return "\n".join(
+            [
+                "Ablation — steady-state warm-up/cool-down trimming (MPL 2)",
+                f"with trimming:    {self.trimmed_mre:.1%}",
+                f"without trimming: {self.untrimmed_mre:.1%}",
+            ]
+        )
+
+
+def run_trim_ablation(ctx: ExperimentContext) -> TrimAblation:
+    """Does dropping the trim hurt the known-template models?"""
+    results = {}
+    for trimmed in (True, False):
+        steady = (
+            ctx.steady_config
+            if trimmed
+            else replace(ctx.steady_config, warmup=0, cooldown=0)
+        )
+        data = collect_training_data(
+            ctx.catalog, mpls=(2,), lhs_runs_per_mpl=1, steady_config=steady
+        )
+        results[trimmed] = overall_mre(
+            evaluate_known_templates(data, (2,), rng=ctx.rng(salt=41))
+        )
+    return TrimAblation(
+        trimmed_mre=results[True], untrimmed_mre=results[False]
+    )

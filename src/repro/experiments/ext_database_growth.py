@@ -1,0 +1,112 @@
+"""Extension experiment: expanding database (paper future work #2).
+
+Fits per-template scaling laws on historical database sizes, validates
+the extrapolated isolated latency at a held-out larger size, then feeds
+the extrapolated profiles into Contender's constant-time new-template
+pipeline to predict *concurrent* latency on the grown database — which
+was never sampled at any MPL.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.contender import Contender, SpoilerMode
+from ..core.growth import (
+    default_catalog_factory,
+    fit_growth_model,
+    validate_growth_model,
+)
+from ..core.training import collect_training_data
+from ..sampling.steady_state import run_steady_state
+from .harness import ExperimentContext
+
+#: Historical sizes the laws are fitted on and the held-out future size.
+HISTORY_SF = (40.0, 70.0, 100.0)
+FUTURE_SF = 140.0
+
+#: Mixes checked end-to-end on the grown database (filtered to the
+#: context's templates at run time).
+PROBE_MIXES = ((26, 65), (71, 26), (62, 82))
+
+
+def _available_mixes(template_ids) -> tuple:
+    """PROBE_MIXES restricted to available templates, with a fallback."""
+    ids = set(template_ids)
+    mixes = tuple(m for m in PROBE_MIXES if set(m) <= ids)
+    if mixes:
+        return mixes
+    ordered = sorted(ids)
+    return ((ordered[0], ordered[-1]),)
+
+
+@dataclass(frozen=True)
+class GrowthResult:
+    """Isolated extrapolation error + concurrent predictions at FUTURE_SF."""
+
+    isolated_mre: float
+    worst_isolated_error: Tuple[int, float]
+    concurrent: Dict[Tuple[int, ...], Tuple[int, float, float]]
+
+    def format_table(self) -> str:
+        lines = [
+            "Extension — predicting performance on an expanding database",
+            f"scaling laws fitted at SF {HISTORY_SF}, tested at SF {FUTURE_SF:g}",
+            f"isolated-latency extrapolation MRE: {self.isolated_mre:.2%} "
+            f"(worst: T{self.worst_isolated_error[0]} "
+            f"{self.worst_isolated_error[1]:.2%})",
+            "",
+            f"{'mix':<12} {'primary':>7} {'predicted (s)':>14} {'observed (s)':>13} {'error':>7}",
+        ]
+        for mix, (primary, predicted, observed) in self.concurrent.items():
+            error = abs(observed - predicted) / observed
+            lines.append(
+                f"{str(mix):<12} {primary:>7} {predicted:>14.1f} "
+                f"{observed:>13.1f} {error:>6.1%}"
+            )
+        return "\n".join(lines)
+
+
+def run(ctx: ExperimentContext) -> GrowthResult:
+    """Fit, validate, and probe concurrent predictions on the grown DB."""
+    config = ctx.catalog.config
+    factory = default_catalog_factory(config)
+
+    template_ids = list(ctx.catalog.template_ids)
+    model = fit_growth_model(factory, HISTORY_SF, template_ids)
+    errors = validate_growth_model(model, factory, FUTURE_SF)
+    worst = max(errors.items(), key=lambda item: item[1])
+
+    # Contender trained entirely at the LAST HISTORICAL size; the grown
+    # database's profiles are extrapolated, never measured.
+    history_catalog = factory(HISTORY_SF[-1]).subset(template_ids)
+    data = collect_training_data(
+        history_catalog,
+        mpls=(2,),
+        lhs_runs_per_mpl=1,
+        steady_config=ctx.steady_config,
+    )
+    future_catalog = factory(FUTURE_SF).subset(template_ids)
+
+    concurrent: Dict[Tuple[int, ...], Tuple[int, float, float]] = {}
+    for mix in _available_mixes(template_ids):
+        primary = mix[0]
+        contender = Contender(
+            data.restricted_to([t for t in template_ids if t != primary])
+        )
+        grown_profile = model.predict_profile(primary, FUTURE_SF)
+        predicted = contender.predict_new(
+            grown_profile, mix, spoiler_mode=SpoilerMode.KNN
+        )
+        observed = run_steady_state(
+            future_catalog, mix, config=ctx.steady_config
+        ).mean_latency(primary)
+        concurrent[mix] = (primary, predicted, observed)
+
+    return GrowthResult(
+        isolated_mre=statistics.fmean(errors.values()),
+        worst_isolated_error=worst,
+        concurrent=concurrent,
+    )

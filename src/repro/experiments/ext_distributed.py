@@ -1,0 +1,108 @@
+"""Extension experiment: distributed CQPP (paper future work #3).
+
+Trains Contender on one host's partition of a shared-nothing cluster,
+predicts distributed mix latencies (per-host prediction x straggler
+allowance + assembly), and compares against full cluster simulations at
+2 and 4 hosts.  Also checks the scale-out sanity: partitioned execution
+beats single-host execution despite assembly overhead.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.distributed import DistributedContender, evaluate_distributed
+from ..engine.cluster import ClusterSpec, run_distributed_steady_state
+from ..sampling.steady_state import run_steady_state
+from .harness import ExperimentContext
+
+PROBE_MIXES = ((26, 65), (71, 26), (33, 82), (62, 90))
+HOST_COUNTS = (2, 4)
+
+
+def _available_mixes(template_ids) -> tuple:
+    """PROBE_MIXES restricted to available templates, with a fallback."""
+    ids = set(template_ids)
+    mixes = tuple(m for m in PROBE_MIXES if set(m) <= ids)
+    if mixes:
+        return mixes
+    ordered = sorted(ids)
+    return ((ordered[0], ordered[-1]),)
+
+
+@dataclass(frozen=True)
+class DistributedResult:
+    """Prediction accuracy and observed speedups per cluster size."""
+
+    mre: Dict[int, float]
+    rows: Dict[int, List[Tuple[Tuple[int, ...], int, float, float]]]
+    speedups: Dict[int, float]
+
+    def format_table(self) -> str:
+        lines = ["Extension — distributed CQPP on a shared-nothing cluster"]
+        for hosts, rows in sorted(self.rows.items()):
+            lines.append(
+                f"\n{hosts} hosts — prediction MRE {self.mre[hosts]:.1%}, "
+                f"mean observed speedup {self.speedups[hosts]:.2f}x"
+            )
+            lines.append(
+                f"{'mix':<12} {'primary':>7} {'predicted (s)':>14} "
+                f"{'observed (s)':>13} {'error':>7}"
+            )
+            for mix, primary, predicted, observed in rows:
+                error = abs(observed - predicted) / observed
+                lines.append(
+                    f"{str(mix):<12} {primary:>7} {predicted:>14.1f} "
+                    f"{observed:>13.1f} {error:>6.1%}"
+                )
+        return "\n".join(lines)
+
+
+def run(ctx: ExperimentContext) -> DistributedResult:
+    """Evaluate the distributed predictor at each cluster size."""
+    mre: Dict[int, float] = {}
+    rows: Dict[int, List[Tuple[Tuple[int, ...], int, float, float]]] = {}
+    speedups: Dict[int, float] = {}
+
+    probe_mixes = _available_mixes(ctx.catalog.template_ids)
+    single_host: Dict[Tuple[Tuple[int, ...], int], float] = {}
+    for mix in probe_mixes:
+        result = run_steady_state(
+            ctx.catalog, mix, config=ctx.steady_config, rng=ctx.rng(salt=60)
+        )
+        for primary in sorted(set(mix)):
+            single_host[(mix, primary)] = result.mean_latency(primary)
+
+    for hosts in HOST_COUNTS:
+        spec = ClusterSpec(num_hosts=hosts, host_config=ctx.catalog.config)
+        predictor = DistributedContender(ctx.catalog, spec).fit(
+            mpls=(2,),
+            lhs_runs_per_mpl=1,
+            steady_config=ctx.steady_config,
+            rng=ctx.rng(salt=61),
+        )
+        runs = [
+            run_distributed_steady_state(
+                ctx.catalog,
+                mix,
+                spec,
+                rng=ctx.rng(salt=62 + hosts),
+                steady_config=ctx.steady_config,
+            )
+            for mix in probe_mixes
+        ]
+        table = evaluate_distributed(predictor, runs)
+        errors = []
+        flat: List[Tuple[Tuple[int, ...], int, float, float]] = []
+        ratios = []
+        for (mix, primary), (predicted, observed) in sorted(table.items()):
+            errors.append(abs(observed - predicted) / observed)
+            flat.append((mix, primary, predicted, observed))
+            ratios.append(single_host[(mix, primary)] / observed)
+        mre[hosts] = statistics.fmean(errors)
+        rows[hosts] = flat
+        speedups[hosts] = statistics.fmean(ratios)
+
+    return DistributedResult(mre=mre, rows=rows, speedups=speedups)

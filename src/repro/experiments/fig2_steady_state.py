@@ -1,0 +1,89 @@
+"""Figure 2: steady-state execution of one MPL-2 mix.
+
+The paper's figure shows two streams (q_a, q_b) restarting continuously
+so the mix stays constant.  The runner executes one steady-state mix and
+reports the per-stream timeline: starts, ends, which samples survived
+trimming — plus the restart-overhead artifact rate (Sec. 6.1's ~4 % of
+samples exceeding 105 % of the spoiler latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.continuum import exceeds_continuum
+from ..core.training import measure_spoiler_curve
+from ..sampling.steady_state import run_steady_state
+from .harness import ExperimentContext
+
+
+@dataclass(frozen=True)
+class StreamTimeline:
+    """Execution timeline of one steady-state stream."""
+
+    name: str
+    template_id: int
+    spans: Tuple[Tuple[float, float], ...]  # (start, end) per query
+    kept: Tuple[bool, ...]  # survived trimming?
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Timelines plus the over-continuum artifact rate."""
+
+    mix: Tuple[int, ...]
+    timelines: Tuple[StreamTimeline, ...]
+    outlier_rate: float
+
+    def format_table(self) -> str:
+        lines = [f"steady-state mix {self.mix}"]
+        for tl in self.timelines:
+            lines.append(f"stream {tl.name} (template {tl.template_id}):")
+            for (start, end), kept in zip(tl.spans, tl.kept):
+                flag = "kept" if kept else "trimmed"
+                lines.append(
+                    f"  [{start:9.1f}s .. {end:9.1f}s]  "
+                    f"lat={end - start:8.1f}s  {flag}"
+                )
+        lines.append(f"over-continuum samples: {self.outlier_rate:.1%}")
+        return "\n".join(lines)
+
+
+def run(
+    ctx: ExperimentContext, mix: Tuple[int, ...] = (26, 71)
+) -> Fig2Result:
+    """Run one mix in steady state and lay out its Fig. 2 timeline."""
+    result = run_steady_state(
+        ctx.catalog, mix, config=ctx.steady_config, rng=ctx.rng(salt=2)
+    )
+    mpl = len(mix)
+    spoilers = {
+        t: measure_spoiler_curve(ctx.catalog, t, [mpl]).latency_at(mpl)
+        for t in set(mix)
+    }
+
+    timelines: List[StreamTimeline] = []
+    outliers = 0
+    total = 0
+    by_stream = result.run.by_stream()
+    for slot, template_id in enumerate(result.mix):
+        name = f"slot{slot}-t{template_id}"
+        all_stats = by_stream[name]
+        kept_ids = {s.instance_id for s in result.samples[slot]}
+        spans = tuple((s.start_time, s.end_time) for s in all_stats)
+        kept = tuple(s.instance_id in kept_ids for s in all_stats)
+        timelines.append(
+            StreamTimeline(
+                name=name, template_id=template_id, spans=spans, kept=kept
+            )
+        )
+        for stats in result.samples[slot]:
+            total += 1
+            if exceeds_continuum(stats.latency, spoilers[template_id]):
+                outliers += 1
+    return Fig2Result(
+        mix=result.mix,
+        timelines=tuple(timelines),
+        outlier_rate=outliers / total if total else 0.0,
+    )

@@ -1,0 +1,74 @@
+"""Figure 4: the linear relationship between QS slope and y-intercept.
+
+For every template's MPL-2 QS model, plot (intercept b, slope µ); the
+paper's figure shows they lie close to a single trend line — the fact
+that lets Contender recover b from an estimated µ for new templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..metrics.fit import pearson_r
+from ..reporting.charts import scatter_plot
+from ..ml.linreg import SimpleLinearRegression
+from .harness import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """QS coefficient scatter plus its trend line.
+
+    Attributes:
+        points: (template id, intercept b, slope µ) per template.
+        trend_slope, trend_intercept: The fitted b -> µ trend line.
+        correlation: Pearson correlation between b and µ.
+    """
+
+    points: Tuple[Tuple[int, float, float], ...]
+    trend_slope: float
+    trend_intercept: float
+    correlation: float
+    mpl: int
+
+    def format_table(self) -> str:
+        lines = [
+            f"Figure 4 — QS coefficients at MPL {self.mpl}",
+            f"{'template':>8} {'y-intercept b':>14} {'slope µ':>9}",
+        ]
+        for tid, b, mu in self.points:
+            lines.append(f"{tid:>8} {b:>14.3f} {mu:>9.3f}")
+        lines.append(
+            f"trend: µ = {self.trend_slope:.3f} * b + {self.trend_intercept:.3f}"
+            f"   pearson(b, µ) = {self.correlation:.3f}"
+        )
+        return "\n".join(lines)
+
+
+    def format_chart(self) -> str:
+        """The Fig. 4 scatter (y-intercept b vs slope µ)."""
+        return scatter_plot(
+            [(b, mu) for _, b, mu in self.points],
+            x_label="y-intercept b",
+            y_label="slope µ",
+            title=f"Figure 4 — QS coefficients (MPL {self.mpl})",
+        )
+
+
+def run(ctx: ExperimentContext, mpl: int = 2) -> Fig4Result:
+    """Assemble the QS coefficient pairs and fit the trend line."""
+    models = ctx.contender().reference_models(mpl)
+    points = tuple(
+        (m.template_id, m.intercept, m.slope) for m in models
+    )
+    bs = [p[1] for p in points]
+    mus = [p[2] for p in points]
+    trend = SimpleLinearRegression().fit(bs, mus)
+    return Fig4Result(
+        points=points,
+        trend_slope=trend.slope,
+        trend_intercept=trend.intercept,
+        correlation=pearson_r(bs, mus),
+        mpl=mpl,
+    )

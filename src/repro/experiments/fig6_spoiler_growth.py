@@ -1,0 +1,93 @@
+"""Figure 6: spoiler latency under increasing concurrency level.
+
+The paper plots spoiler latency at MPLs 1-5 for one template from each
+qualitative category: light (T62 — not strictly I/O-bound, slow growth),
+medium (T71 — I/O-bound, modest linear growth), heavy (T22 — large
+intermediate results that swap, fast growth).  Sec. 5.5 additionally
+validates that a line fitted on MPLs 1-3 predicts MPLs 4-5 within ~8 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..core.spoiler_model import SpoilerGrowthModel
+from ..reporting.charts import series_plot
+from .harness import ExperimentContext
+
+#: The paper's example template per category.
+CATEGORY_TEMPLATES = {"light": 62, "medium": 71, "heavy": 22}
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Spoiler curves plus the MPL-extrapolation validation.
+
+    Attributes:
+        curves: template id -> {mpl: spoiler latency}.
+        extrapolation_mre: MRE of predicting MPL 4-5 spoiler latency
+            from a line fitted on MPLs 1-3, averaged over all templates
+            (paper: ~8 %).
+    """
+
+    curves: Dict[int, Dict[int, float]]
+    extrapolation_mre: float
+
+    def format_table(self) -> str:
+        mpls = sorted(next(iter(self.curves.values())))
+        header = f"{'template':>8} " + " ".join(f"MPL{m:>7}" for m in mpls)
+        lines = ["Figure 6 — spoiler latency (s) by simulated MPL", header]
+        names = {v: k for k, v in CATEGORY_TEMPLATES.items()}
+        for tid, curve in sorted(self.curves.items()):
+            vals = " ".join(f"{curve[m]:>9.0f}" for m in mpls)
+            label = names.get(tid, "")
+            lines.append(f"{tid:>8} {vals}  {label}")
+        lines.append(
+            f"linear extrapolation MPL1-3 -> MPL4-5 MRE: "
+            f"{self.extrapolation_mre:.1%} (paper: ~8%)"
+        )
+        return "\n".join(lines)
+
+
+    def format_chart(self) -> str:
+        """The Fig. 6 latency-vs-MPL lines."""
+        names = {v: k for k, v in CATEGORY_TEMPLATES.items()}
+        series = {
+            f"T{tid} ({names.get(tid, '')})": [
+                (float(m), curve[m]) for m in sorted(curve)
+            ]
+            for tid, curve in sorted(self.curves.items())
+        }
+        return series_plot(
+            series,
+            x_label="simulated MPL",
+            y_label="spoiler latency (s)",
+            title="Figure 6 — spoiler latency under increasing concurrency",
+        )
+
+
+def run(ctx: ExperimentContext) -> Fig6Result:
+    """Collect the category curves and validate linear extrapolation."""
+    data = ctx.training_data()
+    focus = [t for t in CATEGORY_TEMPLATES.values() if t in data.spoilers]
+    curves = {
+        tid: {m: data.spoiler(tid).latency_at(m) for m in data.spoiler(tid).mpls}
+        for tid in focus
+    }
+
+    errors = []
+    for tid in data.template_ids:
+        curve = data.spoiler(tid)
+        train_mpls = [m for m in curve.mpls if m <= 3]
+        test_mpls = [m for m in curve.mpls if m > 3]
+        if len(train_mpls) < 2 or not test_mpls:
+            continue
+        model = SpoilerGrowthModel.fit_latency(curve, train_mpls)
+        for m in test_mpls:
+            observed = curve.latency_at(m)
+            errors.append(abs(observed - model.predict(m)) / observed)
+    mre = float(np.mean(errors)) if errors else float("nan")
+    return Fig6Result(curves=curves, extrapolation_mre=mre)

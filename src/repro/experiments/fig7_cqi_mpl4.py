@@ -1,0 +1,79 @@
+"""Figure 7: per-template prediction error at MPL 4 (CQI-only model).
+
+One QS model per template at MPL 4, k-fold cross-validated over that
+template's sampled mixes.  The paper reports a 19 % average, with the
+extremely I/O-bound templates (26, 33, 61, 71) under 10 %, the
+random-I/O templates (17, 25, 32) around 23 %, and the memory-intensive
+ones (2, 22) worst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.evaluation import (
+    evaluate_known_templates,
+    overall_mre,
+    summarize_by_template,
+)
+from ..reporting.charts import bar_chart
+from ..workload.templates import get_spec
+from .harness import ExperimentContext
+
+IO_BOUND = (26, 33, 61, 71)
+RANDOM_IO = (17, 25, 32)
+MEMORY_BOUND = (2, 22)
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Per-template MRE at one MPL plus category aggregates."""
+
+    per_template: Dict[int, float]
+    average: float
+    mpl: int
+
+    def category_mean(self, template_ids: Tuple[int, ...]) -> float:
+        values = [
+            self.per_template[t] for t in template_ids if t in self.per_template
+        ]
+        return sum(values) / len(values) if values else float("nan")
+
+    def format_table(self) -> str:
+        lines = [
+            f"Figure 7 — per-template relative error at MPL {self.mpl}",
+            f"{'template':>8} {'MRE':>7}  category",
+            f"{'Avg':>8} {self.average:>6.1%}",
+        ]
+        for tid, err in sorted(self.per_template.items()):
+            lines.append(f"{tid:>8} {err:>6.1%}  {get_spec(tid).category}")
+        lines.append(
+            f"I/O-bound {IO_BOUND}: {self.category_mean(IO_BOUND):.1%}   "
+            f"random-I/O {RANDOM_IO}: {self.category_mean(RANDOM_IO):.1%}   "
+            f"memory {MEMORY_BOUND}: {self.category_mean(MEMORY_BOUND):.1%}"
+        )
+        return "\n".join(lines)
+
+
+    def format_chart(self) -> str:
+        """The Fig. 7 per-template error bars."""
+        items = [("Avg", self.average)] + [
+            (str(tid), err) for tid, err in sorted(self.per_template.items())
+        ]
+        return bar_chart(
+            items,
+            title=f"Figure 7 — relative error at MPL {self.mpl}",
+        )
+
+
+def run(ctx: ExperimentContext, mpl: int = 4) -> Fig7Result:
+    """Cross-validate the per-template CQI models at *mpl*."""
+    records = evaluate_known_templates(
+        ctx.training_data(), [mpl], rng=ctx.rng(salt=7)
+    )
+    return Fig7Result(
+        per_template=summarize_by_template(records),
+        average=overall_mre(records),
+        mpl=mpl,
+    )

@@ -1,0 +1,90 @@
+"""Figure 8: latency MRE for known and unknown templates, MPL 2-5.
+
+Three bars per MPL:
+
+* Known-Templates — reference QS models, k-fold over mixes (paper ~19 %);
+* Unknown-Y — new-template pipeline with the *true* slope, predicted
+  intercept (paper ~23 %);
+* Unknown-QS — the full Contender pipeline: slope from isolated latency,
+  intercept from the slope (paper ~25 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.contender import NewTemplateVariant, SpoilerMode
+from ..core.evaluation import (
+    evaluate_known_templates,
+    evaluate_new_templates,
+    summarize_by_mpl,
+)
+from ..reporting.charts import grouped_bar_chart
+from .harness import ExperimentContext
+
+SERIES = ("Known-Templates", "Unknown-Y", "Unknown-QS")
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """MRE per series per MPL (and the overall averages)."""
+
+    mre: Dict[str, Dict[int, float]]
+    mpls: Tuple[int, ...]
+
+    def average(self, series: str) -> float:
+        per_mpl = self.mre[series]
+        return sum(per_mpl.values()) / len(per_mpl)
+
+    def format_table(self) -> str:
+        header = f"{'series':<17} {'Avg':>7} " + " ".join(
+            f"MPL{m:>5}" for m in self.mpls
+        )
+        lines = ["Figure 8 — latency MRE, known vs unknown templates", header]
+        for series in SERIES:
+            row = " ".join(f"{self.mre[series][m]:>8.1%}" for m in self.mpls)
+            lines.append(f"{series:<17} {self.average(series):>6.1%} {row}")
+        lines.append("paper: Known ~19%, Unknown-Y ~23%, Unknown-QS ~25%")
+        return "\n".join(lines)
+
+
+    def format_chart(self) -> str:
+        """The Fig. 8 grouped bars (series per MPL)."""
+        groups = {
+            f"MPL {m}": {series: self.mre[series][m] for series in SERIES}
+            for m in self.mpls
+        }
+        return grouped_bar_chart(
+            groups, title="Figure 8 — latency MRE, known vs unknown"
+        )
+
+
+def run(ctx: ExperimentContext) -> Fig8Result:
+    """Evaluate the three series over the campaign."""
+    data = ctx.training_data()
+    mre: Dict[str, Dict[int, float]] = {}
+
+    known = evaluate_known_templates(data, ctx.mpls, rng=ctx.rng(salt=8))
+    mre["Known-Templates"] = {
+        mpl: stats[0] for mpl, stats in summarize_by_mpl(known).items()
+    }
+    unknown_y = evaluate_new_templates(
+        data,
+        ctx.mpls,
+        variant=NewTemplateVariant.UNKNOWN_Y,
+        spoiler_mode=SpoilerMode.MEASURED,
+    )
+    mre["Unknown-Y"] = {
+        mpl: stats[0] for mpl, stats in summarize_by_mpl(unknown_y).items()
+    }
+    unknown_qs = evaluate_new_templates(
+        data,
+        ctx.mpls,
+        variant=NewTemplateVariant.UNKNOWN_QS,
+        spoiler_mode=SpoilerMode.MEASURED,
+    )
+    mre["Unknown-QS"] = {
+        mpl: stats[0] for mpl, stats in summarize_by_mpl(unknown_qs).items()
+    }
+    return Fig8Result(mre=mre, mpls=tuple(ctx.mpls))

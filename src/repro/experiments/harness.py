@@ -1,0 +1,98 @@
+"""Shared experiment context: the testbed plus a cached sampling campaign.
+
+Collecting the paper's full campaign (all pairs at MPL 2, four LHS runs
+at MPLs 3-5, spoiler curves at MPLs 1-5 for 25 templates) takes a few
+seconds of simulation; the context memoizes it in memory and, when a
+cache directory is given, on disk, so a benchmark session pays for it
+once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.contender import Contender, ContenderOptions
+from ..core.training import TrainingData, collect_training_data
+from ..sampling.steady_state import SteadyStateConfig
+from ..workload.catalog import TemplateCatalog
+
+
+@dataclass
+class ExperimentContext:
+    """The evaluation testbed of Sec. 6.
+
+    Attributes:
+        catalog: Simulated PostgreSQL/TPC-DS workload.
+        mpls: Multiprogramming levels sampled (paper: 2-5).
+        lhs_runs: Disjoint LHS runs per MPL above 2 (paper: 4).
+        steady_config: Steady-state parameters.
+        cache_dir: Optional directory for the on-disk campaign cache.
+    """
+
+    catalog: TemplateCatalog = field(default_factory=TemplateCatalog)
+    mpls: Tuple[int, ...] = (2, 3, 4, 5)
+    lhs_runs: int = 4
+    steady_config: SteadyStateConfig = field(default_factory=SteadyStateConfig)
+    cache_dir: Optional[Path] = None
+    _data: Optional[TrainingData] = field(default=None, repr=False)
+    _contender: Optional[Contender] = field(default=None, repr=False)
+
+    @staticmethod
+    def small(mpls: Tuple[int, ...] = (2,), template_ids: Sequence[int] = (26, 62, 71, 22, 65, 17)) -> "ExperimentContext":
+        """A reduced context for fast tests."""
+        catalog = TemplateCatalog().subset(template_ids)
+        return ExperimentContext(
+            catalog=catalog,
+            mpls=mpls,
+            lhs_runs=1,
+            steady_config=SteadyStateConfig(samples_per_stream=3),
+        )
+
+    def _cache_key(self) -> str:
+        parts = (
+            tuple(self.catalog.template_ids),
+            self.mpls,
+            self.lhs_runs,
+            self.steady_config,
+            self.catalog.config,
+        )
+        return hashlib.sha256(repr(parts).encode()).hexdigest()[:16]
+
+    def training_data(self) -> TrainingData:
+        """The sampling campaign (collected once, then cached)."""
+        if self._data is not None:
+            return self._data
+        cache_path: Optional[Path] = None
+        if self.cache_dir is not None:
+            cache_path = Path(self.cache_dir) / f"campaign-{self._cache_key()}.pkl"
+            if cache_path.exists():
+                self._data = TrainingData.load(cache_path)
+                return self._data
+        self._data = collect_training_data(
+            self.catalog,
+            mpls=self.mpls,
+            lhs_runs_per_mpl=self.lhs_runs,
+            steady_config=self.steady_config,
+        )
+        if cache_path is not None:
+            self._data.save(cache_path)
+        return self._data
+
+    def contender(self, options: Optional[ContenderOptions] = None) -> Contender:
+        """A Contender fitted on the campaign (cached for default options)."""
+        if options is not None:
+            return Contender(self.training_data(), options)
+        if self._contender is None:
+            self._contender = Contender(self.training_data())
+        return self._contender
+
+    def rng(self, salt: int = 0) -> np.random.Generator:
+        """A deterministic RNG derived from the testbed seed."""
+        return np.random.default_rng(
+            self.catalog.config.simulation.seed + salt
+        )

@@ -1,0 +1,224 @@
+"""Regenerate the full experiment report (EXPERIMENTS.md).
+
+Runs every table/figure runner at the paper's scale and renders a
+markdown report with paper-reported vs measured values::
+
+    python -m repro.experiments.report > EXPERIMENTS.md
+
+The sampling campaign is cached under ``benchmarks/.cache`` when run
+from the repository root (pass ``--no-cache`` to force a fresh one).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from . import (
+    ablations,
+    baseline_prior_work,
+    ext_database_growth,
+    ext_distributed,
+    ext_operator_model,
+    fig1_lhs,
+    fig2_steady_state,
+    fig4_coefficients,
+    fig6_spoiler_growth,
+    fig7_cqi_mpl4,
+    fig8_known_unknown,
+    fig9_spoiler_prediction,
+    fig10_new_templates,
+    sec3_ml,
+    sec54_sampling_cost,
+    table2_cqi,
+    table3_features,
+)
+from .harness import ExperimentContext
+
+_PREAMBLE = """\
+# EXPERIMENTS — paper vs measured
+
+Regenerated with `python -m repro.experiments.report`.  The substrate is
+the event-driven resource simulator in `repro.engine` (see DESIGN.md for
+the substitution argument), so absolute errors are systematically lower
+than the paper's real-hardware numbers; what must match — and does — is
+the *shape* of every result: orderings between approaches, category
+behaviour, linearity, and crossovers.  Divergences are called out inline.
+"""
+
+_NOTES = """\
+## Reading notes / known divergences
+
+* **Absolute error levels.** The paper's testbed is a real disk with seek
+  noise, checkpointing, and OS jitter; our simulator reproduces the
+  contention mechanisms but not the noise floor, so every MRE lands
+  roughly 2-3x lower than the paper's. All orderings and per-category
+  shapes match.
+* **Fig. 10.** The paper found KNN-predicted spoilers slightly *worse*
+  than measured ones and with larger standard deviation. In our substrate
+  the two are close (as the paper argues) but the KNN-spoiler series can
+  come out marginally *better*: KNN under-predicts heavy templates'
+  spoiler bounds, which compresses the continuum toward where observed
+  mix latencies actually sit. The headline claim — constant-time
+  sampling costs little accuracy and Isolated Prediction is clearly
+  worst — reproduces.
+* **Fig. 4.** The paper calls the coefficient relationship "highly
+  correlated"; our Pearson(b, µ) is about -0.6 (moderately strong, same
+  sign and use).
+* **Sec. 5.4.** Our cost ratio between spoiler-only sampling and prior
+  work's mix sampling is far below the paper's 23% because simulated
+  steady-state experiments (7 queries x MPL streams each) are long
+  relative to a single spoiler run; the direction (linear/constant vs
+  polynomial) is the claim that matters.
+"""
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```text\n{body}\n```\n"
+
+
+def _section_with_chart(title: str, result) -> str:
+    """Section rendering both the numeric table and the text chart."""
+    body = result.format_table() + "\n\n" + result.format_chart()
+    return _section(title, body)
+
+
+def generate(ctx: Optional[ExperimentContext] = None, include_ml: bool = True) -> str:
+    """Build the full markdown report."""
+    ctx = ctx if ctx is not None else ExperimentContext()
+    parts: List[str] = [_PREAMBLE]
+
+    parts.append(_section("Figure 1 — Latin Hypercube Sampling", fig1_lhs.run(ctx).format_table()))
+    parts.append(
+        _section("Figure 2 — steady-state mix execution", fig2_steady_state.run(ctx).format_table())
+    )
+    if include_ml:
+        parts.append(
+            _section(
+                "Sec. 3 — ML baselines, static workload",
+                sec3_ml.run_static(ctx).format_table(),
+            )
+        )
+        parts.append(
+            _section(
+                "Figure 3 — ML baselines, new templates",
+                sec3_ml.run_new_templates(ctx).format_table(),
+            )
+        )
+    parts.append(_section("Table 2 — CQI variants", table2_cqi.run(ctx).format_table()))
+    parts.append(
+        _section("Table 3 — feature correlations", table3_features.run(ctx).format_table())
+    )
+    parts.append(
+        _section_with_chart(
+            "Figure 4 — QS coefficients", fig4_coefficients.run(ctx)
+        )
+    )
+    parts.append(
+        _section_with_chart(
+            "Figure 6 — spoiler growth", fig6_spoiler_growth.run(ctx)
+        )
+    )
+    fig7_mpl = 4 if 4 in ctx.mpls else max(ctx.mpls)
+    parts.append(
+        _section_with_chart(
+            f"Figure 7 — per-template error at MPL {fig7_mpl}",
+            fig7_cqi_mpl4.run(ctx, mpl=fig7_mpl),
+        )
+    )
+    parts.append(
+        _section_with_chart(
+            "Figure 8 — known vs unknown templates",
+            fig8_known_unknown.run(ctx),
+        )
+    )
+    parts.append(
+        _section(
+            "Figure 9 — spoiler prediction",
+            fig9_spoiler_prediction.run(ctx).format_table(),
+        )
+    )
+    parts.append(
+        _section(
+            "Figure 10 — new-template pipeline",
+            fig10_new_templates.run(ctx).format_table(),
+        )
+    )
+    parts.append(
+        _section("Sec. 5.4 — sampling cost", sec54_sampling_cost.run(ctx).format_table())
+    )
+    parts.append(
+        _section(
+            "Baseline — prior-work mix regression [8]",
+            baseline_prior_work.run(ctx).format_table(),
+        )
+    )
+    parts.append(
+        _section(
+            "Ablation — synchronized scans",
+            ablations.run_shared_scan_ablation(ctx).format_table(),
+        )
+    )
+    parts.append(
+        _section("Ablation — spoiler KNN k", ablations.run_knn_k_ablation(ctx).format_table())
+    )
+    parts.append(
+        _section(
+            "Ablation — steady-state trimming",
+            ablations.run_trim_ablation(ctx).format_table(),
+        )
+    )
+    parts.append(
+        _section(
+            "Ablation — hardware sensitivity",
+            ablations.run_hardware_ablation(ctx).format_table(),
+        )
+    )
+    parts.append(
+        _section(
+            "Extension — operator-level CQPP (future work #1)",
+            ext_operator_model.run(ctx).format_table(),
+        )
+    )
+    parts.append(
+        _section(
+            "Extension — expanding database (future work #2)",
+            ext_database_growth.run(ctx).format_table(),
+        )
+    )
+    parts.append(
+        _section(
+            "Extension — distributed workloads (future work #3)",
+            ext_distributed.run(ctx).format_table(),
+        )
+    )
+    parts.append(_NOTES)
+    return "\n".join(parts)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--no-cache", action="store_true", help="do not reuse the campaign cache"
+    )
+    parser.add_argument(
+        "--skip-ml",
+        action="store_true",
+        help="skip the (slow) Sec. 3 machine-learning studies",
+    )
+    args = parser.parse_args(argv)
+
+    cache = None if args.no_cache else Path("benchmarks/.cache")
+    ctx = ExperimentContext(cache_dir=cache)
+    start = time.time()
+    report = generate(ctx, include_ml=not args.skip_ml)
+    sys.stdout.write(report)
+    sys.stderr.write(f"\nreport generated in {time.time() - start:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,167 @@
+"""Section 3: the machine-learning baselines (KCCA, SVM) and Figure 3.
+
+The paper adapts isolated-query-latency learners to concurrency by
+building 4n QEP feature vectors (primary features ++ summed concurrent
+features) and finds:
+
+* static workloads at MPL 2 (same templates in train/test, different
+  mixes): KCCA ~32 % MRE, SVM ~21 % — workable;
+* new templates (Fig. 3, 17-template subset, leave-one-out): both
+  degrade badly, often past 50 % — the motivation for Contender.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.training import MixObservation
+from ..engine.plans import QueryPlan
+from ..metrics.errors import mean_relative_error
+from ..ml.features import FeatureSpace, mix_feature_vector
+from ..ml.kcca import KCCARegressor
+from ..ml.svm import SVMLatencyPredictor
+from .harness import ExperimentContext
+
+#: The paper's reduced workload for the new-template ML study: 17
+#: templates, dropping ones whose features appear in no other template.
+FIG3_TEMPLATES = (2, 15, 17, 20, 22, 25, 26, 27, 32, 46, 56, 60, 61, 65, 71, 79, 82)
+
+
+@dataclass(frozen=True)
+class MLDataset:
+    """Feature matrix + latency targets for a set of observations."""
+
+    X: np.ndarray
+    y: np.ndarray
+    observations: Tuple[MixObservation, ...]
+
+
+def build_dataset(
+    ctx: ExperimentContext,
+    observations: Sequence[MixObservation],
+    space: Optional[FeatureSpace] = None,
+) -> MLDataset:
+    """Vectorize observations into the Sec. 3 4n feature layout."""
+    plans: Dict[int, QueryPlan] = {
+        t: ctx.catalog.canonical_plan(t) for t in ctx.catalog.template_ids
+    }
+    if space is None:
+        space = FeatureSpace.build(list(plans.values()))
+    rows: List[np.ndarray] = []
+    for obs in observations:
+        primary_plan = plans[obs.primary]
+        concurrent_plans = [plans[t] for t in obs.concurrent()]
+        rows.append(mix_feature_vector(space, primary_plan, concurrent_plans))
+    return MLDataset(
+        X=np.array(rows),
+        y=np.array([obs.latency for obs in observations]),
+        observations=tuple(observations),
+    )
+
+
+@dataclass(frozen=True)
+class StaticMLResult:
+    """Static-workload accuracy at MPL 2 (Sec. 3 text)."""
+
+    kcca_mre: float
+    svm_mre: float
+    train_size: int
+    test_size: int
+
+    def format_table(self) -> str:
+        return "\n".join(
+            [
+                "Sec. 3 — ML baselines, static workload at MPL 2",
+                f"train/test: {self.train_size}/{self.test_size}",
+                f"KCCA MRE: {self.kcca_mre:.1%} (paper ~32%)",
+                f"SVM  MRE: {self.svm_mre:.1%} (paper ~21%)",
+            ]
+        )
+
+
+def run_static(ctx: ExperimentContext, train_fraction: float = 0.77) -> StaticMLResult:
+    """Train/test on disjoint mixes of the *same* templates at MPL 2."""
+    data = ctx.training_data()
+    observations = list(data.observations[2])
+    rng = ctx.rng(salt=3)
+    order = rng.permutation(len(observations))
+    cut = int(train_fraction * len(observations))
+    train_obs = [observations[i] for i in order[:cut]]
+    test_obs = [observations[i] for i in order[cut:]]
+
+    space = FeatureSpace.build(
+        [ctx.catalog.canonical_plan(t) for t in ctx.catalog.template_ids]
+    )
+    train = build_dataset(ctx, train_obs, space)
+    test = build_dataset(ctx, test_obs, space)
+
+    kcca = KCCARegressor(k=3).fit(train.X, train.y)
+    kcca_mre = mean_relative_error(test.y, kcca.predict(test.X))
+    svm = SVMLatencyPredictor(num_bins=8, seed=3).fit(train.X, train.y)
+    svm_mre = mean_relative_error(test.y, svm.predict(test.X))
+    return StaticMLResult(
+        kcca_mre=kcca_mre,
+        svm_mre=svm_mre,
+        train_size=len(train_obs),
+        test_size=len(test_obs),
+    )
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Per-template relative error for ML on new templates at MPL 2."""
+
+    kcca: Dict[int, float]
+    svm: Dict[int, float]
+
+    def average(self, approach: str) -> float:
+        table = self.kcca if approach == "kcca" else self.svm
+        return sum(table.values()) / len(table)
+
+    def format_table(self) -> str:
+        lines = [
+            "Figure 3 — ML relative error on new templates (MPL 2)",
+            f"{'template':>8} {'KCCA':>8} {'SVM':>8}",
+            f"{'Avg':>8} {self.average('kcca'):>7.1%} {self.average('svm'):>7.1%}",
+        ]
+        for tid in sorted(self.kcca):
+            lines.append(
+                f"{tid:>8} {self.kcca[tid]:>7.1%} {self.svm[tid]:>7.1%}"
+            )
+        return "\n".join(lines)
+
+
+def run_new_templates(
+    ctx: ExperimentContext, templates: Sequence[int] = FIG3_TEMPLATES
+) -> Fig3Result:
+    """Leave-one-template-out ML evaluation on the 17-template subset."""
+    data = ctx.training_data()
+    subset = [t for t in templates if t in data.profiles]
+    space = FeatureSpace.build(
+        [ctx.catalog.canonical_plan(t) for t in subset]
+    )
+    base_obs = [
+        obs
+        for obs in data.observations[2]
+        if set(obs.mix) <= set(subset)
+    ]
+
+    kcca_err: Dict[int, float] = {}
+    svm_err: Dict[int, float] = {}
+    for held in subset:
+        train_obs = [o for o in base_obs if held not in o.mix]
+        test_obs = [
+            o for o in base_obs if o.primary == held and held not in o.concurrent()
+        ]
+        if not test_obs or len(train_obs) < 10:
+            continue
+        train = build_dataset(ctx, train_obs, space)
+        test = build_dataset(ctx, test_obs, space)
+        kcca = KCCARegressor(k=3).fit(train.X, train.y)
+        kcca_err[held] = mean_relative_error(test.y, kcca.predict(test.X))
+        svm = SVMLatencyPredictor(num_bins=8, seed=3).fit(train.X, train.y)
+        svm_err[held] = mean_relative_error(test.y, svm.predict(test.X))
+    return Fig3Result(kcca=kcca_err, svm=svm_err)

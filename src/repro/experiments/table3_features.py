@@ -1,0 +1,63 @@
+"""Table 3: which template features predict the QS coefficients.
+
+Signed R² of a 1-D linear fit between each template feature and the QS
+y-intercept/slope, over the MPL-2 reference models.  The paper's
+takeaway — reproduced here — is that isolated latency is the strongest
+single predictor of the slope (inverse correlation) and the best
+available handle on the intercept, while fine-grained features (I/O
+fraction, working set) carry little signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.coefficients import coefficient_feature_study
+from .harness import ExperimentContext
+
+#: The paper's Table 3 (y-intercept, slope) per feature, for comparison.
+PAPER_ROWS = {
+    "% execution time spent on I/O": (0.18, -0.05),
+    "Max working set": (-0.24, 0.11),
+    "Query plan steps": (0.31, -0.29),
+    "Records accessed": (0.12, -0.22),
+    "Isolated latency": (0.36, -0.51),
+    "Spoiler latency": (0.27, -0.49),
+    "Spoiler slowdown": (0.08, -0.24),
+}
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Rows of (feature, signed R² vs b, signed R² vs µ)."""
+
+    rows: Tuple[Tuple[str, float, float], ...]
+    mpl: int
+
+    def format_table(self) -> str:
+        header = (
+            f"{'feature':<32} {'b (ours)':>9} {'µ (ours)':>9} "
+            f"{'b (paper)':>10} {'µ (paper)':>10}"
+        )
+        lines = [f"Table 3 — feature vs QS coefficient signed R² (MPL {self.mpl})", header]
+        for name, rb, rm in self.rows:
+            pb, pm = PAPER_ROWS.get(name, (float("nan"), float("nan")))
+            lines.append(
+                f"{name:<32} {rb:>9.2f} {rm:>9.2f} {pb:>10.2f} {pm:>10.2f}"
+            )
+        return "\n".join(lines)
+
+    def best_slope_feature(self) -> str:
+        """The feature with the strongest |signed R²| against the slope."""
+        return max(self.rows, key=lambda row: abs(row[2]))[0]
+
+
+def run(ctx: ExperimentContext, mpl: int = 2) -> Table3Result:
+    """Correlate template features with the MPL-*mpl* QS coefficients."""
+    data = ctx.training_data()
+    contender = ctx.contender()
+    models = contender.reference_models(mpl)
+    spoiler = {t: data.spoiler(t).latency_at(mpl) for t in data.template_ids}
+    rows = coefficient_feature_study(models, data.profiles, spoiler)
+    return Table3Result(rows=tuple(rows), mpl=mpl)

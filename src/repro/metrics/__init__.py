@@ -1,0 +1,13 @@
+"""Prediction-quality and goodness-of-fit metrics."""
+
+from .errors import mean_absolute_error, mean_relative_error, relative_errors
+from .fit import pearson_r, r_squared, signed_r_squared
+
+__all__ = [
+    "mean_absolute_error",
+    "mean_relative_error",
+    "pearson_r",
+    "r_squared",
+    "relative_errors",
+    "signed_r_squared",
+]

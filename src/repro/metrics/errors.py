@@ -1,0 +1,57 @@
+"""Prediction-error metrics.
+
+Mean relative error (MRE, Eq. 1) is the standard metric of the CQPP
+literature and the one every experiment in the paper reports:
+
+    MRE = (1/n) * sum_i |observed_i - predicted_i| / observed_i
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+def _validate(observed: Sequence[float], predicted: Sequence[float]) -> tuple:
+    obs = np.asarray(observed, dtype=float)
+    pred = np.asarray(predicted, dtype=float)
+    if obs.shape != pred.shape:
+        raise ModelError(
+            f"observed and predicted differ in shape: {obs.shape} vs {pred.shape}"
+        )
+    if obs.size == 0:
+        raise ModelError("cannot compute an error metric over zero samples")
+    return obs, pred
+
+
+def relative_errors(
+    observed: Sequence[float], predicted: Sequence[float]
+) -> np.ndarray:
+    """Per-sample relative errors ``|obs - pred| / obs``.
+
+    Raises:
+        ModelError: On shape mismatch, empty input, or a non-positive
+            observation (relative error is undefined there).
+    """
+    obs, pred = _validate(observed, predicted)
+    if np.any(obs <= 0):
+        raise ModelError("relative error needs strictly positive observations")
+    return np.abs(obs - pred) / obs
+
+
+def mean_relative_error(
+    observed: Sequence[float], predicted: Sequence[float]
+) -> float:
+    """Mean relative error (Eq. 1)."""
+    return float(np.mean(relative_errors(observed, predicted)))
+
+
+def mean_absolute_error(
+    observed: Sequence[float], predicted: Sequence[float]
+) -> float:
+    """Mean absolute error, in the units of the observations."""
+    obs, pred = _validate(observed, predicted)
+    return float(np.mean(np.abs(obs - pred)))

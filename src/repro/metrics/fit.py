@@ -1,0 +1,62 @@
+"""Goodness-of-fit measures for the coefficient studies.
+
+Table 3 of the paper reports per-feature "R²" values with *signs* —
+negative entries mean the feature is inversely correlated with the QS
+coefficient.  That quantity is the coefficient of determination of a
+1-D linear fit, carrying the sign of the slope; :func:`signed_r_squared`
+computes exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+def _as_xy(x: Sequence[float], y: Sequence[float]) -> tuple:
+    xv = np.asarray(x, dtype=float)
+    yv = np.asarray(y, dtype=float)
+    if xv.shape != yv.shape or xv.ndim != 1:
+        raise ModelError("x and y must be 1-D sequences of equal length")
+    if xv.size < 2:
+        raise ModelError("need at least two points")
+    return xv, yv
+
+
+def pearson_r(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient; 0.0 when either side is constant."""
+    xv, yv = _as_xy(x, y)
+    sx, sy = np.std(xv), np.std(yv)
+    if sx == 0 or sy == 0:
+        return 0.0
+    return float(np.mean((xv - xv.mean()) * (yv - yv.mean())) / (sx * sy))
+
+
+def r_squared(observed: Sequence[float], predicted: Sequence[float]) -> float:
+    """Coefficient of determination of predictions against observations.
+
+    1 is a perfect fit; 0 matches predicting the mean; negative is worse
+    than the mean.  When the observations are constant, returns 1.0 for
+    exact predictions and 0.0 otherwise.
+    """
+    obs, pred = _as_xy(observed, predicted)
+    ss_res = float(np.sum((obs - pred) ** 2))
+    ss_tot = float(np.sum((obs - obs.mean()) ** 2))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def signed_r_squared(x: Sequence[float], y: Sequence[float]) -> float:
+    """R² of the 1-D linear fit of y on x, signed by the correlation.
+
+    This is the Table 3 statistic: magnitude says how well the feature
+    linearly explains the coefficient, sign says in which direction.
+    For a simple linear regression the R² equals the squared Pearson
+    correlation, so this is ``sign(r) * r**2``.
+    """
+    r = pearson_r(x, y)
+    return float(np.sign(r) * r * r)

@@ -1,0 +1,32 @@
+"""Machine-learning primitives implemented from scratch on numpy/scipy.
+
+The environment has no sklearn/R, so everything the paper uses is
+re-implemented here: ordinary least squares and ridge regression, a
+k-nearest-neighbour regressor, an SMO-trained kernel SVM (the LibSVM
+stand-in of Sec. 3), kernel canonical correlation analysis (the kernlab
+stand-in), cross-validation splitters, and the QEP feature extraction of
+Sec. 3.
+"""
+
+from .crossval import kfold_indices, leave_one_out
+from .features import FeatureSpace, mix_feature_vector
+from .kcca import KCCARegressor
+from .kernels import rbf_kernel
+from .knn import KNNRegressor
+from .linreg import LinearRegression, SimpleLinearRegression
+from .svm import SVC, SVMLatencyPredictor, SVR
+
+__all__ = [
+    "FeatureSpace",
+    "KCCARegressor",
+    "KNNRegressor",
+    "LinearRegression",
+    "SVC",
+    "SVMLatencyPredictor",
+    "SVR",
+    "SimpleLinearRegression",
+    "kfold_indices",
+    "leave_one_out",
+    "mix_feature_vector",
+    "rbf_kernel",
+]

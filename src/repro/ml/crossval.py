@@ -1,0 +1,50 @@
+"""Cross-validation splitters.
+
+The paper evaluates with k-fold cross validation (k = 5 for the core
+experiments, k = 6 inside the ML learners) and leave-one-template-out
+for the new-template studies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+def kfold_indices(
+    n: int, k: int, rng: Optional[np.random.Generator] = None
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """(train_idx, test_idx) pairs for k-fold CV over *n* samples.
+
+    Folds differ in size by at most one.  With *rng* the sample order is
+    shuffled first; otherwise folds are contiguous (deterministic).
+    """
+    if n < 2:
+        raise ModelError("need at least two samples for cross-validation")
+    if not 2 <= k <= n:
+        raise ModelError(f"k must be in [2, {n}], got {k}")
+    order = np.arange(n)
+    if rng is not None:
+        order = rng.permutation(n)
+    folds = np.array_split(order, k)
+    out: List[Tuple[np.ndarray, np.ndarray]] = []
+    for i, test in enumerate(folds):
+        train = np.concatenate([f for j, f in enumerate(folds) if j != i])
+        out.append((train, test))
+    return out
+
+
+def leave_one_out(items: Sequence) -> Iterator[Tuple[List, object]]:
+    """Yield (rest, held_out) for every item.
+
+    The new-template experiments train on all templates but one and test
+    on the excluded one (Sec. 6.4-6.5).
+    """
+    items = list(items)
+    if len(items) < 2:
+        raise ModelError("need at least two items to leave one out")
+    for i, held in enumerate(items):
+        yield items[:i] + items[i + 1 :], held

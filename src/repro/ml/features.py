@@ -1,0 +1,95 @@
+"""QEP feature extraction for the Sec. 3 machine-learning baselines.
+
+The feature space is built from all distinct execution steps observed in
+the training plans.  Sequential scans on different tables are distinct
+features (one per table).  Each step contributes a pair: (number of
+occurrences in the plan, summed cardinality estimate of its instances) —
+so a plan maps to a 2n vector.  For a concurrent prediction the features
+of the concurrent plans are summed into a second 2n vector and
+concatenated with the primary's, giving 4n features per example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.plans import QueryPlan
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class FeatureSpace:
+    """A global, ordered space of distinct QEP steps.
+
+    Attributes:
+        steps: Step names in a fixed order; the vector layout is
+            ``[count_1, card_1, count_2, card_2, ...]``.
+    """
+
+    steps: Tuple[str, ...]
+
+    @staticmethod
+    def build(plans: Sequence[QueryPlan]) -> "FeatureSpace":
+        """Collect the distinct steps of the training plans."""
+        if not plans:
+            raise ModelError("need at least one plan to build a feature space")
+        names = sorted({name for plan in plans for name, _ in plan.step_cardinalities()})
+        return FeatureSpace(steps=tuple(names))
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def vector_length(self) -> int:
+        """Length of a single-plan vector (2n)."""
+        return 2 * self.num_steps
+
+    def vector(self, plan: QueryPlan) -> np.ndarray:
+        """The 2n feature vector of one plan.
+
+        Steps the space has never seen are ignored — exactly the failure
+        mode that hurts these baselines on new templates (Sec. 3).
+        """
+        index: Dict[str, int] = {name: i for i, name in enumerate(self.steps)}
+        out = np.zeros(self.vector_length, dtype=float)
+        for name, cardinality in plan.step_cardinalities():
+            i = index.get(name)
+            if i is None:
+                continue
+            out[2 * i] += 1.0
+            out[2 * i + 1] += cardinality
+        return out
+
+    def sum_vectors(self, plans: Sequence[QueryPlan]) -> np.ndarray:
+        """Summed 2n vector of several plans (the concurrent side)."""
+        out = np.zeros(self.vector_length, dtype=float)
+        for plan in plans:
+            out += self.vector(plan)
+        return out
+
+
+def mix_feature_vector(
+    space: FeatureSpace,
+    primary: QueryPlan,
+    concurrent: Sequence[QueryPlan],
+) -> np.ndarray:
+    """The 4n concurrent-prediction vector: primary ++ summed concurrent."""
+    return np.concatenate([space.vector(primary), space.sum_vectors(concurrent)])
+
+
+def standardize_columns(
+    X: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Z-score the columns of X; returns (X_std, mean, scale).
+
+    Zero-variance columns keep scale 1 so they map to exactly zero.
+    """
+    Xm = np.atleast_2d(np.asarray(X, dtype=float))
+    mean = Xm.mean(axis=0)
+    scale = Xm.std(axis=0)
+    scale[scale == 0.0] = 1.0
+    return (Xm - mean) / scale, mean, scale

@@ -1,0 +1,125 @@
+"""Kernel canonical correlation analysis (the kernlab stand-in of Sec. 3).
+
+As in [10], one Gaussian kernel compares the QEP feature vectors of all
+training queries and another compares their performance vectors.  KCCA
+solves the (regularized) generalized eigenproblem for maximally
+correlated projections of the two spaces; a new query is projected with
+the learned basis and its latency is the average of its k nearest
+training neighbours in projection space (k = 3 in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.linalg
+
+from ..errors import ModelError, NotFittedError
+from .features import standardize_columns
+from .kernels import center_kernel, median_heuristic_gamma, rbf_kernel
+
+
+class KCCARegressor:
+    """KCCA projection + k-NN readout for latency prediction.
+
+    Args:
+        n_components: Projection dimensions kept.
+        k: Neighbours averaged for the readout.
+        reg: Kernel regularization (the kernlab ``kappa``-style term).
+        gamma_x, gamma_y: RBF bandwidths; ``None`` = median heuristic.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 4,
+        k: int = 3,
+        reg: float = 0.1,
+        gamma_x: Optional[float] = None,
+        gamma_y: Optional[float] = None,
+    ):
+        if n_components < 1:
+            raise ModelError("n_components must be >= 1")
+        if k < 1:
+            raise ModelError("k must be >= 1")
+        if reg <= 0:
+            raise ModelError("reg must be positive")
+        self._n_components = n_components
+        self._k = k
+        self._reg = reg
+        self._gamma_x = gamma_x
+        self._gamma_y = gamma_y
+        self._X: Optional[np.ndarray] = None
+        self._latencies: Optional[np.ndarray] = None
+        self._basis: Optional[np.ndarray] = None
+        self._projections: Optional[np.ndarray] = None
+
+    def fit(
+        self, X: Sequence[Sequence[float]], latencies: Sequence[float]
+    ) -> "KCCARegressor":
+        """Solve the KCCA eigenproblem on the training set; returns self."""
+        Xs, mean, scale = standardize_columns(np.asarray(X, dtype=float))
+        lat = np.asarray(latencies, dtype=float)
+        if Xs.shape[0] != lat.shape[0]:
+            raise ModelError("X and latencies row counts differ")
+        n = Xs.shape[0]
+        if n < 3:
+            raise ModelError("need at least three training samples")
+
+        # Performance space: log latency keeps the Gaussian kernel from
+        # being dominated by the heaviest queries.
+        Y = np.log(lat)[:, None]
+        gamma_x = (
+            self._gamma_x if self._gamma_x is not None else median_heuristic_gamma(Xs)
+        )
+        gamma_y = (
+            self._gamma_y if self._gamma_y is not None else median_heuristic_gamma(Y)
+        )
+        Kx = center_kernel(rbf_kernel(Xs, gamma=gamma_x))
+        Ky = center_kernel(rbf_kernel(Y, gamma=gamma_y))
+
+        # Regularized KCCA: find alpha maximizing corr(Kx alpha, Ky beta).
+        # Standard reduction: solve  (Kx + rI)^-1 Ky (Ky + rI)^-1 Kx a = l a.
+        reg_eye = self._reg * n * np.eye(n)
+        inv_x = np.linalg.solve(Kx + reg_eye, np.eye(n))
+        inv_y = np.linalg.solve(Ky + reg_eye, np.eye(n))
+        M = inv_x @ Ky @ inv_y @ Kx
+        eigvals, eigvecs = scipy.linalg.eig(M)
+        order = np.argsort(-np.real(eigvals))
+        comps = min(self._n_components, n)
+        basis = np.real(eigvecs[:, order[:comps]])
+
+        self._mean, self._scale = mean, scale
+        self._gx = gamma_x
+        self._X = Xs
+        self._latencies = lat
+        self._basis = basis
+        self._projections = Kx @ basis
+        return self
+
+    def project(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        """Project new feature vectors into KCCA space."""
+        if self._X is None or self._basis is None:
+            raise NotFittedError("KCCARegressor not fitted")
+        Xq = (np.atleast_2d(np.asarray(X, dtype=float)) - self._mean) / self._scale
+        K_new = rbf_kernel(Xq, self._X, gamma=self._gx)
+        # Center against the training kernel's row/column means.
+        K_train = rbf_kernel(self._X, gamma=self._gx)
+        col_mean = K_train.mean(axis=0)[None, :]
+        row_mean = K_new.mean(axis=1)[:, None]
+        total_mean = K_train.mean()
+        K_centered = K_new - col_mean - row_mean + total_mean
+        return K_centered @ self._basis
+
+    def predict(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        """k-NN latency readout in projection space."""
+        if self._projections is None or self._latencies is None:
+            raise NotFittedError("KCCARegressor not fitted")
+        Z = self.project(X)
+        out = np.empty(Z.shape[0])
+        k = min(self._k, self._projections.shape[0])
+        for row in range(Z.shape[0]):
+            dist = np.linalg.norm(self._projections - Z[row][None, :], axis=1)
+            idx = np.argsort(dist, kind="stable")[:k]
+            out[row] = float(self._latencies[idx].mean())
+        return out

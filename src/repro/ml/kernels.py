@@ -1,0 +1,53 @@
+"""Kernel functions shared by the SVM and KCCA baselines."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+def rbf_kernel(
+    X: np.ndarray, Y: Optional[np.ndarray] = None, gamma: float = 1.0
+) -> np.ndarray:
+    """Gaussian (RBF) kernel matrix ``exp(-gamma * ||x - y||^2)``.
+
+    Args:
+        X: (n, d) matrix.
+        Y: (m, d) matrix; defaults to X.
+        gamma: Inverse squared bandwidth.
+    """
+    if gamma <= 0:
+        raise ModelError("gamma must be positive")
+    Xm = np.atleast_2d(np.asarray(X, dtype=float))
+    Ym = Xm if Y is None else np.atleast_2d(np.asarray(Y, dtype=float))
+    x_sq = np.sum(Xm**2, axis=1)[:, None]
+    y_sq = np.sum(Ym**2, axis=1)[None, :]
+    sq_dist = np.maximum(x_sq + y_sq - 2.0 * Xm @ Ym.T, 0.0)
+    return np.exp(-gamma * sq_dist)
+
+
+def median_heuristic_gamma(X: np.ndarray) -> float:
+    """The standard bandwidth pick: 1 / median squared pairwise distance."""
+    Xm = np.atleast_2d(np.asarray(X, dtype=float))
+    if Xm.shape[0] < 2:
+        return 1.0
+    x_sq = np.sum(Xm**2, axis=1)
+    sq_dist = x_sq[:, None] + x_sq[None, :] - 2.0 * Xm @ Xm.T
+    upper = sq_dist[np.triu_indices(Xm.shape[0], k=1)]
+    med = float(np.median(upper))
+    if med <= 0:
+        return 1.0
+    return 1.0 / med
+
+
+def center_kernel(K: np.ndarray) -> np.ndarray:
+    """Double-center a square kernel matrix (zero-mean in feature space)."""
+    K = np.asarray(K, dtype=float)
+    if K.ndim != 2 or K.shape[0] != K.shape[1]:
+        raise ModelError("center_kernel expects a square matrix")
+    n = K.shape[0]
+    ones = np.full((n, n), 1.0 / n)
+    return K - ones @ K - K @ ones + ones @ K @ ones

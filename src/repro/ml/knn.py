@@ -1,0 +1,88 @@
+"""k-nearest-neighbour regression.
+
+Used twice in the reproduction: as the spoiler-latency predictor for new
+templates (Sec. 5.5 — neighbours in (working-set, I/O-time) space) and
+as the readout stage of KCCA (Sec. 3 — neighbours in projection space).
+Features are standardized so that wildly different units (bytes vs
+fractions) do not swamp the distance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+
+
+class KNNRegressor:
+    """Average the targets of the k nearest training points.
+
+    Args:
+        k: Neighbours to average (the paper uses 3).
+        standardize: Z-score the features on fit (recommended whenever
+            feature units differ).
+    """
+
+    def __init__(self, k: int = 3, standardize: bool = True):
+        if k < 1:
+            raise ModelError("k must be >= 1")
+        self._k = k
+        self._standardize = standardize
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def fit(self, X: Sequence[Sequence[float]], y: Sequence[Sequence[float]]) -> "KNNRegressor":
+        """Fit on features X and (possibly vector-valued) targets y."""
+        Xm = np.atleast_2d(np.asarray(X, dtype=float))
+        ym = np.asarray(y, dtype=float)
+        if ym.ndim == 1:
+            ym = ym[:, None]
+        if Xm.shape[0] != ym.shape[0]:
+            raise ModelError("X and y must have the same number of rows")
+        if Xm.shape[0] < 1:
+            raise ModelError("need at least one training sample")
+        if self._standardize:
+            self._mean = Xm.mean(axis=0)
+            scale = Xm.std(axis=0)
+            scale[scale == 0.0] = 1.0
+            self._scale = scale
+            Xm = (Xm - self._mean) / self._scale
+        self._X = Xm
+        self._y = ym
+        return self
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        if self._standardize and self._mean is not None:
+            return (X - self._mean) / self._scale
+        return X
+
+    def neighbors(self, x: Sequence[float]) -> np.ndarray:
+        """Indices of the k nearest training points to *x*."""
+        if self._X is None:
+            raise NotFittedError("KNNRegressor not fitted")
+        xv = self._transform(np.asarray(x, dtype=float)[None, :])
+        dist = np.linalg.norm(self._X - xv, axis=1)
+        k = min(self._k, len(dist))
+        return np.argsort(dist, kind="stable")[:k]
+
+    def predict(self, x: Sequence[float]) -> np.ndarray:
+        """Mean target over the k nearest neighbours of *x*."""
+        if self._y is None:
+            raise NotFittedError("KNNRegressor not fitted")
+        idx = self.neighbors(x)
+        return self._y[idx].mean(axis=0)
+
+    def predict_scalar(self, x: Sequence[float]) -> float:
+        """Like :meth:`predict` for 1-D targets."""
+        out = self.predict(x)
+        if out.size != 1:
+            raise ModelError("predict_scalar on a vector-valued regressor")
+        return float(out[0])

@@ -1,0 +1,119 @@
+"""Least-squares linear regression (closed form).
+
+Contender is deliberately built on the simplest possible learners: the
+QS model, the coefficient relationship, and the spoiler growth model are
+all one-dimensional linear regressions.  :class:`SimpleLinearRegression`
+is that 1-D case; :class:`LinearRegression` is the multi-feature version
+(optionally ridge-regularized) used by the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+
+
+@dataclass
+class SimpleLinearRegression:
+    """``y = slope * x + intercept`` fitted by ordinary least squares."""
+
+    slope: Optional[float] = None
+    intercept: Optional[float] = None
+
+    @property
+    def fitted(self) -> bool:
+        return self.slope is not None and self.intercept is not None
+
+    def fit(self, x: Sequence[float], y: Sequence[float]) -> "SimpleLinearRegression":
+        """Fit on paired samples; returns self.
+
+        With a degenerate (constant) x the slope is 0 and the intercept
+        is the mean of y — the best constant predictor.
+        """
+        xv = np.asarray(x, dtype=float)
+        yv = np.asarray(y, dtype=float)
+        if xv.shape != yv.shape or xv.ndim != 1:
+            raise ModelError("x and y must be 1-D and of equal length")
+        if xv.size < 2:
+            raise ModelError("need at least two samples to fit a line")
+        var = float(np.var(xv))
+        if var == 0.0:
+            self.slope = 0.0
+            self.intercept = float(np.mean(yv))
+            return self
+        cov = float(np.mean((xv - xv.mean()) * (yv - yv.mean())))
+        self.slope = cov / var
+        self.intercept = float(np.mean(yv)) - self.slope * float(np.mean(xv))
+        return self
+
+    def predict(self, x: float) -> float:
+        """Predict y for a single x."""
+        if not self.fitted:
+            raise NotFittedError("SimpleLinearRegression.predict before fit")
+        return self.slope * float(x) + self.intercept
+
+    def predict_many(self, x: Sequence[float]) -> np.ndarray:
+        """Vectorized prediction."""
+        if not self.fitted:
+            raise NotFittedError("SimpleLinearRegression.predict before fit")
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+
+class LinearRegression:
+    """Multi-feature least squares with optional ridge penalty.
+
+    Args:
+        ridge: L2 penalty strength; 0 gives plain OLS (solved by
+            ``lstsq`` so rank deficiency is tolerated).
+    """
+
+    def __init__(self, ridge: float = 0.0):
+        if ridge < 0:
+            raise ModelError("ridge must be >= 0")
+        self._ridge = ridge
+        self._coef: Optional[np.ndarray] = None
+        self._intercept: Optional[float] = None
+
+    @property
+    def coef(self) -> np.ndarray:
+        if self._coef is None:
+            raise NotFittedError("LinearRegression not fitted")
+        return self._coef
+
+    @property
+    def intercept(self) -> float:
+        if self._intercept is None:
+            raise NotFittedError("LinearRegression not fitted")
+        return self._intercept
+
+    def fit(self, X: Sequence[Sequence[float]], y: Sequence[float]) -> "LinearRegression":
+        """Fit on an (n_samples, n_features) matrix; returns self."""
+        Xm = np.atleast_2d(np.asarray(X, dtype=float))
+        yv = np.asarray(y, dtype=float)
+        if Xm.shape[0] != yv.shape[0]:
+            raise ModelError(
+                f"X has {Xm.shape[0]} rows but y has {yv.shape[0]} entries"
+            )
+        if Xm.shape[0] < 1:
+            raise ModelError("need at least one sample")
+        x_mean = Xm.mean(axis=0)
+        y_mean = float(yv.mean())
+        Xc = Xm - x_mean
+        yc = yv - y_mean
+        if self._ridge > 0:
+            gram = Xc.T @ Xc + self._ridge * np.eye(Xm.shape[1])
+            beta = np.linalg.solve(gram, Xc.T @ yc)
+        else:
+            beta, *_ = np.linalg.lstsq(Xc, yc, rcond=None)
+        self._coef = beta
+        self._intercept = y_mean - float(x_mean @ beta)
+        return self
+
+    def predict(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        """Predict for an (n_samples, n_features) matrix."""
+        Xm = np.atleast_2d(np.asarray(X, dtype=float))
+        return Xm @ self.coef + self.intercept

@@ -1,0 +1,314 @@
+"""Kernel SVM baselines (the LibSVM stand-in of Sec. 3).
+
+The paper's SVM baseline labels each training query with a coarse
+latency class, trains a classifier over QEP feature space, and returns
+the label's latency as the estimate.  We implement a binary soft-margin
+C-SVC trained by simplified SMO (Platt), a one-vs-one multiclass
+wrapper, :class:`SVMLatencyPredictor` (quantile binning + label
+decoding), and :class:`SVR` — an ε-insensitive support vector
+*regressor* for callers who prefer a continuous readout over the
+paper's coarse labels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+from .features import standardize_columns
+from .kernels import median_heuristic_gamma, rbf_kernel
+
+
+class _BinarySVC:
+    """Soft-margin binary SVC on a precomputed kernel, trained by SMO."""
+
+    def __init__(self, C: float, tol: float = 1e-3, max_passes: int = 8):
+        self._C = C
+        self._tol = tol
+        self._max_passes = max_passes
+        self.alpha: Optional[np.ndarray] = None
+        self.b: float = 0.0
+
+    def fit(self, K: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> None:
+        """Train on kernel matrix K (n x n) and labels y in {-1, +1}."""
+        n = K.shape[0]
+        alpha = np.zeros(n)
+        b = 0.0
+        passes = 0
+        while passes < self._max_passes:
+            changed = 0
+            for i in range(n):
+                err_i = float((alpha * y) @ K[:, i]) + b - y[i]
+                if (y[i] * err_i < -self._tol and alpha[i] < self._C) or (
+                    y[i] * err_i > self._tol and alpha[i] > 0
+                ):
+                    j = int(rng.integers(0, n - 1))
+                    if j >= i:
+                        j += 1
+                    err_j = float((alpha * y) @ K[:, j]) + b - y[j]
+                    ai_old, aj_old = alpha[i], alpha[j]
+                    if y[i] != y[j]:
+                        low = max(0.0, aj_old - ai_old)
+                        high = min(self._C, self._C + aj_old - ai_old)
+                    else:
+                        low = max(0.0, ai_old + aj_old - self._C)
+                        high = min(self._C, ai_old + aj_old)
+                    if low >= high:
+                        continue
+                    eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+                    if eta >= 0:
+                        continue
+                    aj = aj_old - y[j] * (err_i - err_j) / eta
+                    aj = float(np.clip(aj, low, high))
+                    if abs(aj - aj_old) < 1e-5:
+                        continue
+                    ai = ai_old + y[i] * y[j] * (aj_old - aj)
+                    alpha[i], alpha[j] = ai, aj
+                    b1 = (
+                        b
+                        - err_i
+                        - y[i] * (ai - ai_old) * K[i, i]
+                        - y[j] * (aj - aj_old) * K[i, j]
+                    )
+                    b2 = (
+                        b
+                        - err_j
+                        - y[i] * (ai - ai_old) * K[i, j]
+                        - y[j] * (aj - aj_old) * K[j, j]
+                    )
+                    if 0 < ai < self._C:
+                        b = b1
+                    elif 0 < aj < self._C:
+                        b = b2
+                    else:
+                        b = (b1 + b2) / 2.0
+                    changed += 1
+            passes = passes + 1 if changed == 0 else 0
+        self.alpha = alpha
+        self.b = b
+        self._y = y
+
+    def decision(self, K_new: np.ndarray) -> np.ndarray:
+        """Decision values for rows of K_new (m x n_train)."""
+        if self.alpha is None:
+            raise NotFittedError("binary SVC not fitted")
+        return K_new @ (self.alpha * self._y) + self.b
+
+
+class SVC:
+    """Multiclass RBF SVM via one-vs-one voting.
+
+    Args:
+        C: Soft-margin penalty.
+        gamma: RBF bandwidth; ``None`` uses the median heuristic.
+        max_passes: SMO convergence patience.
+        seed: RNG seed for SMO's partner selection.
+    """
+
+    def __init__(
+        self,
+        C: float = 10.0,
+        gamma: Optional[float] = None,
+        max_passes: int = 8,
+        seed: int = 0,
+    ):
+        if C <= 0:
+            raise ModelError("C must be positive")
+        self._C = C
+        self._gamma = gamma
+        self._max_passes = max_passes
+        self._seed = seed
+        self._X: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+        self._classes: Optional[np.ndarray] = None
+        self._machines: List[tuple] = []
+
+    def fit(self, X: Sequence[Sequence[float]], y: Sequence[int]) -> "SVC":
+        """Fit one binary machine per class pair; returns self."""
+        Xs, mean, scale = standardize_columns(np.asarray(X, dtype=float))
+        labels = np.asarray(y, dtype=int)
+        if Xs.shape[0] != labels.shape[0]:
+            raise ModelError("X and y row counts differ")
+        classes = np.unique(labels)
+        if classes.size < 2:
+            raise ModelError("need at least two classes")
+        gamma = self._gamma if self._gamma is not None else median_heuristic_gamma(Xs)
+        K_full = rbf_kernel(Xs, gamma=gamma)
+        rng = np.random.default_rng(self._seed)
+
+        machines: List[tuple] = []
+        for a_idx in range(classes.size):
+            for b_idx in range(a_idx + 1, classes.size):
+                cls_a, cls_b = classes[a_idx], classes[b_idx]
+                mask = (labels == cls_a) | (labels == cls_b)
+                idx = np.where(mask)[0]
+                sub_y = np.where(labels[idx] == cls_a, 1.0, -1.0)
+                machine = _BinarySVC(self._C, max_passes=self._max_passes)
+                machine.fit(K_full[np.ix_(idx, idx)], sub_y, rng)
+                machines.append((cls_a, cls_b, idx, machine))
+
+        self._X, self._mean, self._scale = Xs, mean, scale
+        self._gamma_fitted = gamma
+        self._classes = classes
+        self._machines = machines
+        return self
+
+    def predict(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        """Majority vote over the one-vs-one machines."""
+        if self._X is None or self._classes is None:
+            raise NotFittedError("SVC not fitted")
+        Xq = (np.atleast_2d(np.asarray(X, dtype=float)) - self._mean) / self._scale
+        K_new = rbf_kernel(Xq, self._X, gamma=self._gamma_fitted)
+        votes = np.zeros((Xq.shape[0], self._classes.size), dtype=int)
+        class_pos = {c: i for i, c in enumerate(self._classes)}
+        for cls_a, cls_b, idx, machine in self._machines:
+            decision = machine.decision(K_new[:, idx])
+            winners = np.where(decision >= 0, cls_a, cls_b)
+            for row, winner in enumerate(winners):
+                votes[row, class_pos[winner]] += 1
+        return self._classes[np.argmax(votes, axis=1)]
+
+
+class SVMLatencyPredictor:
+    """The Sec. 3 SVM baseline: classify into latency bins, return the bin.
+
+    Args:
+        num_bins: Coarse latency classes (quantile bins over training
+            latencies).
+        C, gamma, seed: Passed to :class:`SVC`.
+    """
+
+    def __init__(
+        self,
+        num_bins: int = 8,
+        C: float = 10.0,
+        gamma: Optional[float] = None,
+        seed: int = 0,
+    ):
+        if num_bins < 2:
+            raise ModelError("num_bins must be >= 2")
+        self._num_bins = num_bins
+        self._svc = SVC(C=C, gamma=gamma, seed=seed)
+        self._bin_values: Optional[np.ndarray] = None
+
+    def fit(
+        self, X: Sequence[Sequence[float]], latencies: Sequence[float]
+    ) -> "SVMLatencyPredictor":
+        """Bin latencies into quantile classes and train the SVC."""
+        lat = np.asarray(latencies, dtype=float)
+        if np.any(lat <= 0):
+            raise ModelError("latencies must be positive")
+        bins = min(self._num_bins, np.unique(lat).size)
+        if bins < 2:
+            raise ModelError("latencies are constant; nothing to classify")
+        edges = np.quantile(lat, np.linspace(0, 1, bins + 1))
+        edges = np.unique(edges)
+        labels = np.clip(np.searchsorted(edges, lat, side="right") - 1, 0, len(edges) - 2)
+        # Each class predicts the mean latency of its members.
+        values = np.array(
+            [lat[labels == c].mean() for c in range(len(edges) - 1)]
+        )
+        present = np.unique(labels)
+        if present.size < 2:
+            raise ModelError("quantile binning collapsed to one class")
+        self._svc.fit(X, labels)
+        self._bin_values = values
+        return self
+
+    def predict(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        """Predicted latency: the value of the predicted class."""
+        if self._bin_values is None:
+            raise NotFittedError("SVMLatencyPredictor not fitted")
+        labels = self._svc.predict(X)
+        return self._bin_values[labels]
+
+
+class SVR:
+    """ε-insensitive kernel support vector regression.
+
+    Trained by projected gradient ascent on the dual (simple, dependency
+    free, and fast enough for the few-hundred-sample sets the Sec. 3
+    experiments use).
+
+    Args:
+        C: Regularization (dual box constraint).
+        epsilon: Width of the insensitive tube, in *target* units after
+            internal standardization.
+        gamma: RBF bandwidth; ``None`` uses the median heuristic.
+        iterations: Gradient steps on the dual.
+        learning_rate: Dual step size.
+    """
+
+    def __init__(
+        self,
+        C: float = 10.0,
+        epsilon: float = 0.1,
+        gamma: Optional[float] = None,
+        iterations: int = 400,
+        learning_rate: float = 0.1,
+    ):
+        if C <= 0:
+            raise ModelError("C must be positive")
+        if epsilon < 0:
+            raise ModelError("epsilon must be >= 0")
+        if iterations < 1:
+            raise ModelError("iterations must be >= 1")
+        if learning_rate <= 0:
+            raise ModelError("learning_rate must be positive")
+        self._C = C
+        self._epsilon = epsilon
+        self._gamma = gamma
+        self._iterations = iterations
+        self._lr = learning_rate
+        self._X: Optional[np.ndarray] = None
+
+    def fit(self, X: Sequence[Sequence[float]], y: Sequence[float]) -> "SVR":
+        """Fit on features X and continuous targets y; returns self."""
+        Xs, mean, scale = standardize_columns(np.asarray(X, dtype=float))
+        yv = np.asarray(y, dtype=float)
+        if Xs.shape[0] != yv.shape[0]:
+            raise ModelError("X and y row counts differ")
+        if Xs.shape[0] < 2:
+            raise ModelError("need at least two samples")
+        y_mean, y_std = float(yv.mean()), float(yv.std()) or 1.0
+        t = (yv - y_mean) / y_std
+
+        gamma = self._gamma if self._gamma is not None else median_heuristic_gamma(Xs)
+        K = rbf_kernel(Xs, gamma=gamma)
+        n = Xs.shape[0]
+
+        # Dual variables beta = alpha - alpha*; the epsilon-SVR dual
+        # objective is  -1/2 b'Kb + b't - eps*|b|_1  with |b_i| <= C.
+        # Projected gradient ascent with the step scaled by the kernel's
+        # top eigenvalue (the dual's Lipschitz constant).
+        lipschitz = float(np.linalg.eigvalsh(K)[-1])
+        step = self._lr / max(lipschitz, 1e-9)
+        beta = np.zeros(n)
+        for _ in range(self._iterations):
+            grad = t - K @ beta - self._epsilon * np.sign(beta)
+            beta = np.clip(beta + step * grad, -self._C, self._C)
+
+        self._X, self._mean, self._scale = Xs, mean, scale
+        self._gamma_fitted = gamma
+        self._beta = beta
+        self._y_mean, self._y_std = y_mean, y_std
+        # Bias from the residual mean on non-saturated points.
+        fitted = K @ beta
+        free = np.abs(beta) < self._C * 0.999
+        if np.any(free):
+            self._bias = float(np.mean(t[free] - fitted[free]))
+        else:
+            self._bias = float(np.mean(t - fitted))
+        return self
+
+    def predict(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        """Continuous predictions for rows of X."""
+        if self._X is None:
+            raise NotFittedError("SVR not fitted")
+        Xq = (np.atleast_2d(np.asarray(X, dtype=float)) - self._mean) / self._scale
+        K_new = rbf_kernel(Xq, self._X, gamma=self._gamma_fitted)
+        t = K_new @ self._beta + self._bias
+        return t * self._y_std + self._y_mean

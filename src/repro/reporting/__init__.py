@@ -1,0 +1,10 @@
+"""Terminal rendering of the paper's figures.
+
+The experiment runners return structured results; this subpackage turns
+them into the bar charts and scatter plots the paper prints — as plain
+text, so reports and CI logs carry the figures, not just the numbers.
+"""
+
+from .charts import bar_chart, grouped_bar_chart, scatter_plot, series_plot
+
+__all__ = ["bar_chart", "grouped_bar_chart", "scatter_plot", "series_plot"]

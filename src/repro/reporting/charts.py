@@ -1,0 +1,167 @@
+"""Plain-text charts (bars, grouped bars, scatter, line series).
+
+No plotting dependencies exist offline, and the paper's figures are
+simple: per-template bars (Figs. 3, 7), grouped bars by MPL (Figs. 8-10),
+a coefficient scatter (Fig. 4), and latency-vs-MPL lines (Fig. 6).
+These renderers cover exactly those shapes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+
+_FULL = "█"
+_HALF = "▌"
+
+
+def _validate_width(width: int) -> None:
+    if width < 8:
+        raise ReproError("chart width must be >= 8 columns")
+
+
+def _bar(value: float, v_max: float, width: int) -> str:
+    if v_max <= 0:
+        return ""
+    units = value / v_max * width
+    whole = int(units)
+    text = _FULL * whole
+    if units - whole >= 0.5 and whole < width:
+        text += _HALF
+    return text
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 40,
+    value_format: str = "{:.1%}",
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart: one ``(label, value)`` per row.
+
+    Values must be non-negative; bars scale to the maximum.
+    """
+    _validate_width(width)
+    if not items:
+        raise ReproError("bar_chart needs at least one item")
+    if any(v < 0 for _, v in items):
+        raise ReproError("bar_chart values must be non-negative")
+    v_max = max(v for _, v in items) or 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines: List[str] = [title] if title else []
+    for label, value in items:
+        bar = _bar(value, v_max, width)
+        lines.append(
+            f"{label:>{label_width}} | {bar:<{width}} {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    value_format: str = "{:.1%}",
+    title: Optional[str] = None,
+) -> str:
+    """Grouped bars: ``{group: {series: value}}`` (the Fig. 8-10 layout)."""
+    _validate_width(width)
+    if not groups:
+        raise ReproError("grouped_bar_chart needs at least one group")
+    all_values = [v for series in groups.values() for v in series.values()]
+    if not all_values:
+        raise ReproError("grouped_bar_chart needs at least one value")
+    if any(v < 0 for v in all_values):
+        raise ReproError("grouped_bar_chart values must be non-negative")
+    v_max = max(all_values) or 1.0
+    series_width = max(
+        len(name) for series in groups.values() for name in series
+    )
+    lines: List[str] = [title] if title else []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            bar = _bar(value, v_max, width)
+            lines.append(
+                f"  {name:>{series_width}} | {bar:<{width}} "
+                f"{value_format.format(value)}"
+            )
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    points: Sequence[Tuple[float, float]],
+    width: int = 48,
+    height: int = 14,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+) -> str:
+    """Character-grid scatter plot (the Fig. 4 coefficient cloud)."""
+    _validate_width(width)
+    if height < 4:
+        raise ReproError("scatter height must be >= 4 rows")
+    if not points:
+        raise ReproError("scatter_plot needs at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_min) / x_span * (width - 1))
+        row = int((y - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "o"
+
+    lines: List[str] = [title] if title else []
+    lines.append(f"{y_label} ({y_min:.2f} .. {y_max:.2f})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} ({x_min:.2f} .. {x_max:.2f})")
+    return "\n".join(lines)
+
+
+def series_plot(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 48,
+    height: int = 14,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+) -> str:
+    """Several (x, y) series on one grid, one marker per series (Fig. 6)."""
+    _validate_width(width)
+    if not series:
+        raise ReproError("series_plot needs at least one series")
+    markers = "ox+*#@%&"
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        raise ReproError("series_plot needs at least one point")
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend: List[str] = []
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        legend.append(f"{marker} = {name}")
+        for x, y in pts:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = int((y - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = [title] if title else []
+    lines.append(f"{y_label} ({y_min:.0f} .. {y_max:.0f})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} ({x_min:.0f} .. {x_max:.0f})   " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Sampling of concurrent query mixes.
+
+Contender's whole point is needing *few* samples: all pairs at MPL 2,
+Latin Hypercube Sampling for MPLs 3-5, and steady-state execution of each
+sampled mix (Sec. 2).  This subpackage implements the mix space, the LHS
+design, and the steady-state executor.
+"""
+
+from .lhs import latin_hypercube, lhs_runs
+from .mixes import (
+    all_mixes,
+    all_pairs,
+    concurrent_queries,
+    mix_count,
+    mixes_containing,
+    random_mix,
+)
+from .steady_state import (
+    SteadyStateConfig,
+    SteadyStateResult,
+    TemplateStream,
+    run_steady_state,
+)
+
+__all__ = [
+    "SteadyStateConfig",
+    "SteadyStateResult",
+    "TemplateStream",
+    "all_mixes",
+    "all_pairs",
+    "concurrent_queries",
+    "latin_hypercube",
+    "lhs_runs",
+    "mix_count",
+    "mixes_containing",
+    "random_mix",
+    "run_steady_state",
+]

@@ -1,0 +1,80 @@
+"""The concurrent-mix space: enumeration and counting (Sec. 2).
+
+A mix at MPL ``k`` drawn from ``n`` templates is an unordered multiset of
+size ``k``; there are C(n+k-1, k) of them.  At MPL 2 the paper samples
+*all* pairs to avoid bias; higher MPLs use LHS (:mod:`repro.sampling.lhs`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SamplingError
+
+Mix = Tuple[int, ...]
+
+
+def mix_count(num_templates: int, mpl: int) -> int:
+    """Number of distinct mixes: C(n + k - 1, k) (with replacement)."""
+    if num_templates < 1 or mpl < 1:
+        raise SamplingError("num_templates and mpl must be >= 1")
+    return math.comb(num_templates + mpl - 1, mpl)
+
+
+def all_pairs(templates: Sequence[int]) -> List[Mix]:
+    """Every MPL-2 mix, including same-template pairs."""
+    ids = _validated(templates)
+    return [tuple(pair) for pair in itertools.combinations_with_replacement(ids, 2)]
+
+
+def all_mixes(templates: Sequence[int], mpl: int) -> List[Mix]:
+    """Every MPL-*mpl* mix; exponential in *mpl* — use with care."""
+    ids = _validated(templates)
+    if mpl < 1:
+        raise SamplingError(f"mpl must be >= 1, got {mpl}")
+    return [
+        tuple(combo)
+        for combo in itertools.combinations_with_replacement(ids, mpl)
+    ]
+
+
+def random_mix(
+    templates: Sequence[int], mpl: int, rng: np.random.Generator
+) -> Mix:
+    """One uniformly random mix (with replacement)."""
+    ids = _validated(templates)
+    if mpl < 1:
+        raise SamplingError(f"mpl must be >= 1, got {mpl}")
+    return tuple(sorted(int(rng.choice(ids)) for _ in range(mpl)))
+
+
+def mixes_containing(mixes: Iterable[Mix], template_id: int) -> List[Mix]:
+    """The subset of *mixes* in which *template_id* participates."""
+    return [mix for mix in mixes if template_id in mix]
+
+
+def concurrent_queries(mix: Mix, primary: int) -> Tuple[int, ...]:
+    """The concurrent set for *primary* in *mix*: the mix minus one
+    occurrence of the primary.
+
+    Raises:
+        SamplingError: If the primary is not in the mix.
+    """
+    if primary not in mix:
+        raise SamplingError(f"primary {primary} not in mix {mix}")
+    rest = list(mix)
+    rest.remove(primary)
+    return tuple(rest)
+
+
+def _validated(templates: Sequence[int]) -> List[int]:
+    ids = list(templates)
+    if not ids:
+        raise SamplingError("need at least one template")
+    if len(set(ids)) != len(ids):
+        raise SamplingError("template ids must be distinct")
+    return ids

@@ -1,0 +1,70 @@
+"""Byte, page, and time unit helpers.
+
+The engine measures storage in bytes internally but the literature (and the
+TPC-DS tooling) speaks in megabytes, gigabytes, and 8 KiB pages.  These
+helpers keep unit conversions explicit at call sites: ``GB(38)`` reads as
+"38 gigabytes" instead of a bare ``38 * 1024 ** 3``.
+"""
+
+from __future__ import annotations
+
+#: Size of one database page, in bytes (PostgreSQL default: 8 KiB).
+PAGE_SIZE = 8192
+
+#: Number of bytes in one kibibyte/mebibyte/gibibyte.
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+
+def KB(n: float) -> float:
+    """Return *n* kibibytes expressed in bytes."""
+    return n * KIB
+
+
+def MB(n: float) -> float:
+    """Return *n* mebibytes expressed in bytes."""
+    return n * MIB
+
+
+def GB(n: float) -> float:
+    """Return *n* gibibytes expressed in bytes."""
+    return n * GIB
+
+
+def bytes_to_pages(n_bytes: float) -> int:
+    """Number of whole pages needed to hold *n_bytes* (ceiling division)."""
+    if n_bytes <= 0:
+        return 0
+    return int(-(-n_bytes // PAGE_SIZE))
+
+
+def pages_to_bytes(n_pages: float) -> float:
+    """Size in bytes of *n_pages* database pages."""
+    return n_pages * PAGE_SIZE
+
+
+def seconds(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms / 1000.0
+
+
+def fmt_bytes(n_bytes: float) -> str:
+    """Human-readable rendering of a byte count (e.g. ``'38.0 GiB'``)."""
+    value = float(n_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_duration(secs: float) -> str:
+    """Human-readable rendering of a duration in seconds."""
+    if secs < 60:
+        return f"{secs:.1f}s"
+    minutes, rem = divmod(secs, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m{rem:04.1f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h{minutes:02d}m{rem:04.1f}s"

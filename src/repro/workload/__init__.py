@@ -1,0 +1,39 @@
+"""TPC-DS-like analytical workload.
+
+The paper evaluates on TPC-DS at scale factor 100 with 25 moderate-latency
+templates (130-1000 s isolated).  This subpackage provides the star schema
+at a configurable scale factor, the 25 parameterized query templates as
+plan builders (each matching the behavioural notes the paper gives about
+it: I/O-bound, random-I/O, CPU-weighted, memory-bound, shared fact
+tables), and the catalog façade the rest of the library consumes.
+"""
+
+from .schema import Schema, build_schema
+from .templates import TemplateSpec, TEMPLATE_IDS, template_specs
+from .catalog import TemplateCatalog
+from .sql import render_sql, sql_skeleton, sql_template_ids
+from .generator import (
+    RandomTemplateStream,
+    draw_templates,
+    session_mixes,
+    zipf_weights,
+)
+from .custom import catalog_with_templates, template_from_plan_text
+
+__all__ = [
+    "RandomTemplateStream",
+    "Schema",
+    "TEMPLATE_IDS",
+    "TemplateCatalog",
+    "TemplateSpec",
+    "build_schema",
+    "catalog_with_templates",
+    "draw_templates",
+    "render_sql",
+    "sql_skeleton",
+    "session_mixes",
+    "sql_template_ids",
+    "template_from_plan_text",
+    "template_specs",
+    "zipf_weights",
+]

@@ -1,0 +1,122 @@
+"""Workload generation: random template sequences and arrival streams.
+
+The evaluation uses structured sampling (all pairs, LHS), but the
+example applications — batch schedulers, admission controllers — need
+*workloads*: sequences of queries drawn from the template set, possibly
+skewed, possibly arriving over time.  This module provides those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.profile import ResourceProfile
+from ..errors import WorkloadError
+from .catalog import TemplateCatalog
+
+
+def draw_templates(
+    templates: Sequence[int],
+    size: int,
+    rng: np.random.Generator,
+    weights: Optional[Sequence[float]] = None,
+) -> List[int]:
+    """Draw a random template sequence (with replacement).
+
+    Args:
+        templates: The template population.
+        size: Number of draws.
+        rng: Randomness.
+        weights: Optional relative frequencies (normalized internally);
+            analytical workloads are typically skewed toward a few
+            recurring reports.
+    """
+    ids = list(templates)
+    if not ids:
+        raise WorkloadError("need at least one template")
+    if size < 1:
+        raise WorkloadError("size must be >= 1")
+    p = None
+    if weights is not None:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != (len(ids),):
+            raise WorkloadError("weights must match templates in length")
+        if np.any(w < 0) or w.sum() <= 0:
+            raise WorkloadError("weights must be non-negative and not all zero")
+        p = w / w.sum()
+    return [int(t) for t in rng.choice(ids, size=size, p=p)]
+
+
+def zipf_weights(n: int, skew: float = 1.0) -> List[float]:
+    """Zipf-style frequencies for *n* templates (rank 1 most common)."""
+    if n < 1:
+        raise WorkloadError("n must be >= 1")
+    if skew < 0:
+        raise WorkloadError("skew must be >= 0")
+    return [1.0 / (rank**skew) for rank in range(1, n + 1)]
+
+
+@dataclass
+class RandomTemplateStream:
+    """An executor stream that keeps drawing random templates.
+
+    Used to simulate an open-ended client session at a fixed MPL slot:
+    whenever its current query finishes, the next one is drawn from the
+    template population.
+
+    Attributes:
+        catalog: Workload to instantiate templates from.
+        templates: Population to draw from.
+        target: Queries to run before the stream closes.
+        rng: Randomness (template choice + instance jitter).
+        weights: Optional draw frequencies.
+        name: Stream name for result bookkeeping.
+    """
+
+    catalog: TemplateCatalog
+    templates: Sequence[int]
+    target: int
+    rng: np.random.Generator
+    weights: Optional[Sequence[float]] = None
+    name: str = "random"
+    issued: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.target < 1:
+            raise WorkloadError("target must be >= 1")
+        if not list(self.templates):
+            raise WorkloadError("need at least one template")
+
+    def next_profile(self, now: float, completed: int) -> Optional[ResourceProfile]:
+        if completed >= self.target:
+            return None
+        template = draw_templates(
+            self.templates, 1, self.rng, self.weights
+        )[0]
+        self.issued.append(template)
+        return self.catalog.profile(template, rng=self.rng)
+
+
+def session_mixes(
+    templates: Sequence[int],
+    mpl: int,
+    num_mixes: int,
+    rng: np.random.Generator,
+    weights: Optional[Sequence[float]] = None,
+) -> List[Tuple[int, ...]]:
+    """Random mixes as an open workload would produce them.
+
+    Unlike LHS this is *not* a balanced design — it is what arrival
+    randomness gives you, used to stress models on realistic skew.
+    """
+    if mpl < 1:
+        raise WorkloadError("mpl must be >= 1")
+    if num_mixes < 1:
+        raise WorkloadError("num_mixes must be >= 1")
+    return [
+        tuple(draw_templates(templates, mpl, rng, weights))
+        for _ in range(num_mixes)
+    ]

@@ -1,0 +1,111 @@
+"""The TPC-DS-like star schema.
+
+Sizes approximate TPC-DS at a given scale factor (SF, in GB of raw data).
+Fact tables scale linearly with SF; dimensions scale sublinearly, which we
+approximate with a square-root law above the reference scale — close
+enough for the resource model, whose behaviour depends on the fact/
+dimension size asymmetry rather than on exact row counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping
+
+from ..engine.relation import Relation, RelationKind
+from ..errors import WorkloadError
+from ..units import GB, MB
+
+#: Reference scale factor the base sizes below are quoted at.
+_REFERENCE_SF = 100.0
+
+# name -> (size_bytes at SF100, row count at SF100, kind)
+_BASE_TABLES = {
+    # Fact tables (linear in SF).
+    "store_sales": (GB(36.0), 288_000_000, RelationKind.FACT),
+    "catalog_sales": (GB(19.0), 144_000_000, RelationKind.FACT),
+    "web_sales": (GB(9.5), 72_000_000, RelationKind.FACT),
+    "inventory": (GB(7.2), 399_330_000, RelationKind.FACT),
+    "store_returns": (GB(3.2), 28_800_000, RelationKind.FACT),
+    "catalog_returns": (GB(1.9), 14_400_000, RelationKind.FACT),
+    "web_returns": (GB(0.9), 7_200_000, RelationKind.FACT),
+    # Dimension tables (sublinear in SF).
+    "customer": (MB(280), 2_000_000, RelationKind.DIMENSION),
+    "customer_address": (MB(115), 1_000_000, RelationKind.DIMENSION),
+    "customer_demographics": (MB(80), 1_920_800, RelationKind.DIMENSION),
+    "item": (MB(60), 204_000, RelationKind.DIMENSION),
+    "date_dim": (MB(10), 73_049, RelationKind.DIMENSION),
+    "time_dim": (MB(5), 86_400, RelationKind.DIMENSION),
+    "store": (MB(0.3), 402, RelationKind.DIMENSION),
+    "warehouse": (MB(0.1), 15, RelationKind.DIMENSION),
+    "web_site": (MB(0.1), 24, RelationKind.DIMENSION),
+    "web_page": (MB(0.2), 2_040, RelationKind.DIMENSION),
+    "call_center": (MB(0.1), 30, RelationKind.DIMENSION),
+    "catalog_page": (MB(1.6), 20_400, RelationKind.DIMENSION),
+    "promotion": (MB(0.2), 1_000, RelationKind.DIMENSION),
+    "household_demographics": (MB(0.3), 7_200, RelationKind.DIMENSION),
+    "ship_mode": (MB(0.1), 20, RelationKind.DIMENSION),
+    "reason": (MB(0.1), 55, RelationKind.DIMENSION),
+    "income_band": (MB(0.1), 20, RelationKind.DIMENSION),
+}
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A concrete schema instance at some scale factor."""
+
+    scale_factor: float
+    tables: Mapping[str, Relation]
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise WorkloadError(f"unknown relation: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self.tables.values())
+
+    def fact_tables(self) -> List[Relation]:
+        """All fact tables, largest first."""
+        facts = [rel for rel in self if rel.is_fact]
+        return sorted(facts, key=lambda rel: rel.size_bytes, reverse=True)
+
+    def dimension_tables(self) -> List[Relation]:
+        """All dimension tables, largest first."""
+        dims = [rel for rel in self if not rel.is_fact]
+        return sorted(dims, key=lambda rel: rel.size_bytes, reverse=True)
+
+    @property
+    def total_bytes(self) -> float:
+        """Total on-disk footprint."""
+        return sum(rel.size_bytes for rel in self)
+
+
+def build_schema(scale_factor: float = 100.0) -> Schema:
+    """Construct the schema at *scale_factor* (GB of raw TPC-DS data).
+
+    Args:
+        scale_factor: TPC-DS SF; the paper uses 100.
+
+    Returns:
+        A :class:`Schema` with every table scaled.
+    """
+    if scale_factor <= 0:
+        raise WorkloadError("scale_factor must be positive")
+    linear = scale_factor / _REFERENCE_SF
+    sublinear = math.sqrt(linear) if linear < 1.0 else linear ** 0.5
+    tables: Dict[str, Relation] = {}
+    for name, (size, rows, kind) in _BASE_TABLES.items():
+        factor = linear if kind is RelationKind.FACT else sublinear
+        tables[name] = Relation(
+            name=name,
+            size_bytes=size * factor,
+            row_count=max(int(rows * factor), 1),
+            kind=kind,
+        )
+    return Schema(scale_factor=scale_factor, tables=tables)

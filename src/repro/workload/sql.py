@@ -1,0 +1,410 @@
+"""Parameterized SQL text for the 25 evaluation templates.
+
+The paper defines a query template as a parameterized SQL statement;
+"examples of the same template share a structure, differing only in the
+predicates they use" (Sec. 2).  The simulator executes plans, not SQL,
+but the SQL form matters to users of the library (it is what arrives at
+a real system, what a log contains, and what documentation should show),
+so every template has a faithful TPC-DS-flavoured statement whose
+placeholders are drawn per instance.
+
+The statements are abridged from the official TPC-DS queries each
+template id refers to — close enough to read naturally, short enough to
+stay maintainable.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+#: Parameter value pools, in the spirit of the TPC-DS substitution rules.
+_YEARS = [1998, 1999, 2000, 2001, 2002]
+_MONTHS = list(range(1, 13))
+_STATES = ["TN", "GA", "OH", "TX", "CA", "IL", "NY", "WA", "MI", "VA"]
+_CATEGORIES = ["Books", "Electronics", "Home", "Jewelry", "Music", "Shoes", "Sports"]
+_GENDERS = ["M", "F"]
+_EDUCATION = ["Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree"]
+_MARITAL = ["M", "S", "D", "W", "U"]
+_COUNTIES = [
+    "Ziebach County", "Williamson County", "Walker County",
+    "Rush County", "Huron County",
+]
+
+_SQL_TEMPLATES: Dict[int, str] = {
+    2: """\
+WITH wscs AS (
+  SELECT sold_date_sk, sales_price FROM (
+    SELECT ws_sold_date_sk sold_date_sk, ws_ext_sales_price sales_price
+    FROM web_sales
+    UNION ALL
+    SELECT cs_sold_date_sk sold_date_sk, cs_ext_sales_price sales_price
+    FROM catalog_sales) t)
+SELECT d_week_seq, SUM(sales_price) weekly
+FROM wscs, date_dim
+WHERE d_date_sk = sold_date_sk AND d_year = ${year}
+GROUP BY d_week_seq
+ORDER BY d_week_seq""",
+    8: """\
+SELECT s_store_name, SUM(ss_net_profit)
+FROM store_sales, date_dim, store, customer_address
+WHERE ss_store_sk = s_store_sk
+  AND ss_sold_date_sk = d_date_sk AND d_qoy = ${qoy} AND d_year = ${year}
+  AND s_zip LIKE '${zip_prefix}%'
+GROUP BY s_store_name
+ORDER BY s_store_name""",
+    15: """\
+SELECT ca_zip, SUM(cs_sales_price)
+FROM catalog_sales, customer, customer_address, date_dim
+WHERE cs_bill_customer_sk = c_customer_sk
+  AND c_current_addr_sk = ca_address_sk
+  AND (ca_state IN ('${state}') OR cs_sales_price > 500)
+  AND cs_sold_date_sk = d_date_sk AND d_qoy = ${qoy} AND d_year = ${year}
+GROUP BY ca_zip
+ORDER BY ca_zip""",
+    17: """\
+SELECT i_item_id, i_item_desc, s_state,
+       COUNT(ss_quantity) store_sales_cnt,
+       AVG(ss_quantity) store_sales_avg,
+       STDDEV_SAMP(sr_return_quantity) return_stdev
+FROM store_sales, store_returns, catalog_sales,
+     date_dim d1, date_dim d2, date_dim d3, store, item
+WHERE ss_item_sk = sr_item_sk AND ss_ticket_number = sr_ticket_number
+  AND sr_customer_sk = cs_bill_customer_sk AND sr_item_sk = cs_item_sk
+  AND d1.d_quarter_name = '${quarter}' AND ss_sold_date_sk = d1.d_date_sk
+GROUP BY i_item_id, i_item_desc, s_state""",
+    18: """\
+SELECT i_item_id, ca_country, ca_state, AVG(cs_quantity), AVG(cs_list_price)
+FROM catalog_sales, customer_demographics, customer, item
+WHERE cs_bill_cdemo_sk = cd_demo_sk
+  AND cd_gender = '${gender}' AND cd_education_status = '${education}'
+  AND cs_item_sk = i_item_sk
+GROUP BY i_item_id, ca_country, ca_state""",
+    20: """\
+SELECT i_item_id, i_item_desc, i_category, i_class,
+       SUM(cs_ext_sales_price) itemrevenue
+FROM catalog_sales, item, date_dim
+WHERE cs_item_sk = i_item_sk AND i_category IN ('${category}')
+  AND cs_sold_date_sk = d_date_sk
+  AND d_date BETWEEN '${year}-${month:02d}-01'
+      AND ('${year}-${month:02d}-01'::date + 30)
+GROUP BY i_item_id, i_item_desc, i_category, i_class
+ORDER BY i_category, i_class, i_item_id""",
+    22: """\
+SELECT i_product_name, i_brand, i_class, i_category,
+       AVG(inv_quantity_on_hand) qoh
+FROM inventory, date_dim, item
+WHERE inv_date_sk = d_date_sk AND inv_item_sk = i_item_sk
+  AND d_month_seq BETWEEN ${month_seq} AND ${month_seq} + 11
+GROUP BY ROLLUP(i_product_name, i_brand, i_class, i_category)
+ORDER BY qoh, i_product_name""",
+    25: """\
+SELECT i_item_id, s_store_id, SUM(ss_net_profit) store_profit,
+       SUM(sr_net_loss) return_loss, SUM(cs_net_profit) catalog_profit
+FROM store_sales, store_returns, catalog_sales,
+     date_dim d1, date_dim d2, date_dim d3, store, item
+WHERE ss_item_sk = sr_item_sk AND ss_ticket_number = sr_ticket_number
+  AND sr_customer_sk = cs_bill_customer_sk
+  AND d1.d_moy = ${month} AND d1.d_year = ${year}
+GROUP BY i_item_id, s_store_id""",
+    26: """\
+SELECT i_item_id, AVG(cs_quantity), AVG(cs_list_price),
+       AVG(cs_coupon_amt), AVG(cs_sales_price)
+FROM catalog_sales, customer_demographics, date_dim, item, promotion
+WHERE cs_sold_date_sk = d_date_sk AND cs_item_sk = i_item_sk
+  AND cs_bill_cdemo_sk = cd_demo_sk AND cs_promo_sk = p_promo_sk
+  AND cd_gender = '${gender}' AND cd_marital_status = '${marital}'
+  AND cd_education_status = '${education}' AND d_year = ${year}
+GROUP BY i_item_id
+ORDER BY i_item_id""",
+    27: """\
+SELECT i_item_id, s_state, AVG(ss_quantity), AVG(ss_list_price),
+       AVG(ss_coupon_amt), AVG(ss_sales_price)
+FROM store_sales, customer_demographics, date_dim, store, item
+WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk
+  AND ss_store_sk = s_store_sk AND ss_cdemo_sk = cd_demo_sk
+  AND cd_gender = '${gender}' AND cd_marital_status = '${marital}'
+  AND d_year = ${year} AND s_state = '${state}'
+GROUP BY i_item_id, s_state
+ORDER BY i_item_id, s_state""",
+    32: """\
+SELECT SUM(cs_ext_discount_amt) "excess discount amount"
+FROM catalog_sales, item, date_dim
+WHERE i_manufact_id = ${manufact}
+  AND i_item_sk = cs_item_sk
+  AND d_date BETWEEN '${year}-${month:02d}-01'
+      AND ('${year}-${month:02d}-01'::date + 90)
+  AND cs_ext_discount_amt > (
+    SELECT 1.3 * AVG(cs_ext_discount_amt)
+    FROM catalog_sales, date_dim
+    WHERE cs_item_sk = i_item_sk AND cs_sold_date_sk = d_date_sk)""",
+    33: """\
+WITH ss AS (
+  SELECT i_manufact_id, SUM(ss_ext_sales_price) total
+  FROM store_sales, item, date_dim WHERE d_year = ${year} GROUP BY i_manufact_id),
+cs AS (
+  SELECT i_manufact_id, SUM(cs_ext_sales_price) total
+  FROM catalog_sales, item, date_dim WHERE d_year = ${year} GROUP BY i_manufact_id),
+ws AS (
+  SELECT i_manufact_id, SUM(ws_ext_sales_price) total
+  FROM web_sales, item, date_dim WHERE d_year = ${year} GROUP BY i_manufact_id)
+SELECT i_manufact_id, SUM(total)
+FROM (SELECT * FROM ss UNION ALL SELECT * FROM cs UNION ALL SELECT * FROM ws) t
+GROUP BY i_manufact_id
+ORDER BY SUM(total)""",
+    40: """\
+SELECT w_state, i_item_id,
+  SUM(CASE WHEN d_date < '${year}-${month:02d}-15'
+      THEN cs_sales_price - COALESCE(cr_refunded_cash, 0) ELSE 0 END) before,
+  SUM(CASE WHEN d_date >= '${year}-${month:02d}-15'
+      THEN cs_sales_price - COALESCE(cr_refunded_cash, 0) ELSE 0 END) after
+FROM catalog_sales LEFT OUTER JOIN catalog_returns
+     ON (cs_order_number = cr_order_number AND cs_item_sk = cr_item_sk),
+     warehouse, item, date_dim
+WHERE cs_warehouse_sk = w_warehouse_sk AND cs_item_sk = i_item_sk
+GROUP BY w_state, i_item_id
+ORDER BY w_state, i_item_id""",
+    46: """\
+SELECT c_last_name, c_first_name, ca_city, bought_city, ss_ticket_number, amt
+FROM (SELECT ss_ticket_number, ss_customer_sk, ca_city bought_city,
+             SUM(ss_coupon_amt) amt
+      FROM store_sales, date_dim, store, household_demographics,
+           customer_address
+      WHERE hd_dep_count = ${deps} OR hd_vehicle_count = ${vehicles}
+      GROUP BY ss_ticket_number, ss_customer_sk, ss_addr_sk, ca_city) dn,
+     customer, customer_address
+WHERE ss_customer_sk = c_customer_sk
+ORDER BY c_last_name, c_first_name""",
+    56: """\
+WITH ss AS (SELECT i_item_id, SUM(ss_ext_sales_price) total
+            FROM store_sales, item, date_dim, customer_address
+            WHERE i_color IN ('${color}') GROUP BY i_item_id),
+cs AS (SELECT i_item_id, SUM(cs_ext_sales_price) total
+       FROM catalog_sales, item, date_dim, customer_address
+       WHERE i_color IN ('${color}') GROUP BY i_item_id),
+ws AS (SELECT i_item_id, SUM(ws_ext_sales_price) total
+       FROM web_sales, item, date_dim, customer_address
+       WHERE i_color IN ('${color}') GROUP BY i_item_id)
+SELECT i_item_id, SUM(total)
+FROM (SELECT * FROM ss UNION ALL SELECT * FROM cs UNION ALL SELECT * FROM ws) t
+GROUP BY i_item_id
+ORDER BY SUM(total)""",
+    60: """\
+WITH ss AS (SELECT i_item_id, SUM(ss_ext_sales_price) total
+            FROM store_sales, item, date_dim, customer_address
+            WHERE i_category IN ('${category}') GROUP BY i_item_id),
+cs AS (SELECT i_item_id, SUM(cs_ext_sales_price) total
+       FROM catalog_sales, item, date_dim, customer_address
+       WHERE i_category IN ('${category}') GROUP BY i_item_id),
+ws AS (SELECT i_item_id, SUM(ws_ext_sales_price) total
+       FROM web_sales, item, date_dim, customer_address
+       WHERE i_category IN ('${category}') GROUP BY i_item_id)
+SELECT i_item_id, SUM(total)
+FROM (SELECT * FROM ss UNION ALL SELECT * FROM cs UNION ALL SELECT * FROM ws) t
+GROUP BY i_item_id
+ORDER BY i_item_id""",
+    61: """\
+SELECT promotions, total, CAST(promotions AS DECIMAL(15,4)) /
+       CAST(total AS DECIMAL(15,4)) * 100
+FROM (SELECT SUM(ss_ext_sales_price) promotions
+      FROM store_sales, store, promotion, date_dim, customer,
+           customer_address, item
+      WHERE p_channel_dmail = 'Y' AND d_year = ${year}) p,
+     (SELECT SUM(ss_ext_sales_price) total
+      FROM store_sales, store, date_dim, customer, customer_address, item
+      WHERE d_year = ${year}) t""",
+    62: """\
+SELECT w_substr, sm_type, ship_mode,
+  SUM(CASE WHEN days <= 30 THEN 1 ELSE 0 END) "30 days",
+  SUM(CASE WHEN days > 30 AND days <= 60 THEN 1 ELSE 0 END) "60 days",
+  SUM(CASE WHEN days > 120 THEN 1 ELSE 0 END) ">120 days"
+FROM (SELECT SUBSTR(w_warehouse_name, 1, 20) w_substr, sm_type,
+             cs_ship_date_sk - cs_sold_date_sk days, sm_code ship_mode
+      FROM catalog_sales, warehouse, ship_mode, date_dim
+      WHERE d_month_seq BETWEEN ${month_seq} AND ${month_seq} + 11) t
+GROUP BY w_substr, sm_type, ship_mode
+ORDER BY w_substr, sm_type, ship_mode""",
+    65: """\
+SELECT s_store_name, i_item_desc, sc.revenue, i_current_price, i_wholesale_cost
+FROM store, item,
+     (SELECT ss_store_sk, AVG(revenue) ave
+      FROM (SELECT ss_store_sk, ss_item_sk, SUM(ss_sales_price) revenue
+            FROM store_sales, date_dim
+            WHERE d_month_seq BETWEEN ${month_seq} AND ${month_seq} + 11
+            GROUP BY ss_store_sk, ss_item_sk) sa
+      GROUP BY ss_store_sk) sb,
+     (SELECT ss_store_sk, ss_item_sk, SUM(ss_sales_price) revenue
+      FROM store_sales, date_dim
+      WHERE d_month_seq BETWEEN ${month_seq} AND ${month_seq} + 11
+      GROUP BY ss_store_sk, ss_item_sk) sc
+WHERE sc.revenue <= 0.1 * sb.ave
+ORDER BY s_store_name, i_item_desc""",
+    66: """\
+SELECT w_warehouse_name, w_city, w_state, ship_carriers, year,
+       SUM(jan_sales) jan, SUM(feb_sales) feb
+FROM (SELECT w_warehouse_name, w_city, w_state,
+             '${carrier}' ship_carriers, d_year year,
+             SUM(CASE WHEN d_moy = 1 THEN ws_ext_sales_price ELSE 0 END)
+                 jan_sales,
+             SUM(CASE WHEN d_moy = 2 THEN ws_ext_sales_price ELSE 0 END)
+                 feb_sales
+      FROM web_sales, warehouse, date_dim, time_dim, ship_mode
+      WHERE t_time BETWEEN ${time} AND ${time} + 28800
+      GROUP BY w_warehouse_name, w_city, w_state, d_year
+      UNION ALL
+      SELECT w_warehouse_name, w_city, w_state,
+             '${carrier}' ship_carriers, d_year year,
+             SUM(CASE WHEN d_moy = 1 THEN cs_sales_price ELSE 0 END)
+                 jan_sales,
+             SUM(CASE WHEN d_moy = 2 THEN cs_sales_price ELSE 0 END)
+                 feb_sales
+      FROM catalog_sales, warehouse, date_dim, time_dim, ship_mode
+      WHERE t_time BETWEEN ${time} AND ${time} + 28800
+      GROUP BY w_warehouse_name, w_city, w_state, d_year) x
+GROUP BY w_warehouse_name, w_city, w_state, ship_carriers, year
+ORDER BY w_warehouse_name""",
+    70: """\
+SELECT SUM(ss_net_profit) total, s_state, s_county,
+       GROUPING(s_state) + GROUPING(s_county) lochierarchy,
+       RANK() OVER (PARTITION BY GROUPING(s_state) + GROUPING(s_county)
+                    ORDER BY SUM(ss_net_profit) DESC) rank_within_parent
+FROM store_sales, date_dim, store
+WHERE d_month_seq BETWEEN ${month_seq} AND ${month_seq} + 11
+GROUP BY ROLLUP(s_state, s_county)
+ORDER BY lochierarchy DESC""",
+    71: """\
+SELECT i_brand_id, i_brand, t_hour, t_minute, SUM(ext_price) ext_price
+FROM item,
+     (SELECT ws_ext_sales_price ext_price, ws_sold_date_sk sold_date_sk,
+             ws_item_sk sold_item_sk, ws_sold_time_sk time_sk
+      FROM web_sales, date_dim WHERE d_moy = ${month} AND d_year = ${year}
+      UNION ALL
+      SELECT cs_ext_sales_price, cs_sold_date_sk, cs_item_sk, cs_sold_time_sk
+      FROM catalog_sales, date_dim WHERE d_moy = ${month} AND d_year = ${year}
+      UNION ALL
+      SELECT ss_ext_sales_price, ss_sold_date_sk, ss_item_sk, ss_sold_time_sk
+      FROM store_sales, date_dim WHERE d_moy = ${month} AND d_year = ${year}
+     ) tmp, time_dim
+WHERE sold_item_sk = i_item_sk AND i_manager_id = ${manager}
+  AND time_sk = t_time_sk AND (t_meal_time = 'breakfast'
+                               OR t_meal_time = 'dinner')
+GROUP BY i_brand, i_brand_id, t_hour, t_minute
+ORDER BY ext_price DESC""",
+    79: """\
+SELECT c_last_name, c_first_name, SUBSTR(s_city, 1, 30), ss_ticket_number,
+       amt, profit
+FROM (SELECT ss_ticket_number, ss_customer_sk, s_city,
+             SUM(ss_coupon_amt) amt, SUM(ss_net_profit) profit
+      FROM store_sales, date_dim, store, household_demographics
+      WHERE (hd_dep_count = ${deps} OR hd_vehicle_count > ${vehicles})
+        AND d_dow = 1 AND d_year = ${year}
+      GROUP BY ss_ticket_number, ss_customer_sk, ss_addr_sk, s_city) ms,
+     customer
+WHERE ss_customer_sk = c_customer_sk
+ORDER BY c_last_name, c_first_name""",
+    82: """\
+SELECT i_item_id, i_item_desc, i_current_price
+FROM item, inventory, date_dim, store_sales
+WHERE i_current_price BETWEEN ${price} AND ${price} + 30
+  AND inv_item_sk = i_item_sk AND d_date_sk = inv_date_sk
+  AND d_date BETWEEN '${year}-${month:02d}-01'
+      AND ('${year}-${month:02d}-01'::date + 60)
+  AND i_manufact_id IN (${manufact}, ${manufact} + 129, ${manufact} + 288)
+  AND inv_quantity_on_hand BETWEEN 100 AND 500
+  AND ss_item_sk = i_item_sk
+GROUP BY i_item_id, i_item_desc, i_current_price
+ORDER BY i_item_id""",
+    90: """\
+SELECT CAST(amc AS DECIMAL(15,4)) / CAST(pmc AS DECIMAL(15,4)) am_pm_ratio
+FROM (SELECT COUNT(*) amc FROM web_sales, household_demographics,
+             time_dim, web_page
+      WHERE t_hour BETWEEN ${hour} AND ${hour} + 1
+        AND hd_dep_count = ${deps}) at,
+     (SELECT COUNT(*) pmc FROM web_sales, household_demographics,
+             time_dim, web_page
+      WHERE t_hour BETWEEN ${hour} + 12 AND ${hour} + 13
+        AND hd_dep_count = ${deps}) pt""",
+}
+
+
+def _draw_parameters(rng: np.random.Generator) -> Dict[str, object]:
+    """One set of substitution parameters (the predicate constants)."""
+    return {
+        "year": int(rng.choice(_YEARS)),
+        "month": int(rng.choice(_MONTHS)),
+        "qoy": int(rng.integers(1, 5)),
+        "month_seq": int(rng.integers(1176, 1224)),
+        "quarter": f"{int(rng.choice(_YEARS))}Q{int(rng.integers(1, 5))}",
+        "state": str(rng.choice(_STATES)),
+        "category": str(rng.choice(_CATEGORIES)),
+        "color": str(rng.choice(["azure", "chartreuse", "crimson", "teal"])),
+        "gender": str(rng.choice(_GENDERS)),
+        "marital": str(rng.choice(_MARITAL)),
+        "education": str(rng.choice(_EDUCATION)),
+        "county": str(rng.choice(_COUNTIES)),
+        "zip_prefix": f"{int(rng.integers(10, 99))}",
+        "manufact": int(rng.integers(1, 1000)),
+        "manager": int(rng.integers(1, 100)),
+        "deps": int(rng.integers(0, 9)),
+        "vehicles": int(rng.integers(0, 5)),
+        "price": int(rng.integers(10, 90)),
+        "hour": int(rng.integers(6, 11)),
+        "time": int(rng.integers(28800, 57600)),
+        "carrier": str(rng.choice(["DHL", "BARIAN", "UPS", "FEDEX"])),
+    }
+
+
+class _SqlTemplate(string.Template):
+    """``string.Template`` with ``${name:02d}``-style format specs."""
+
+    idpattern = r"[a-z][a-z0-9_]*(?::[0-9a-z]+)?"
+
+    @staticmethod
+    def expand(text: str, values: Dict[str, object]) -> str:
+        class _Formatter(dict):
+            def __missing__(self, key: str) -> str:
+                if ":" in key:
+                    name, spec = key.split(":", 1)
+                    return format(values[name], spec)
+                raise KeyError(key)
+
+        formatter = _Formatter(
+            {k: v for k, v in values.items()}
+        )
+        return _SqlTemplate(text).substitute(formatter)
+
+
+def sql_template_ids() -> List[int]:
+    """Template ids with SQL text available (all 25)."""
+    return sorted(_SQL_TEMPLATES)
+
+
+def render_sql(
+    template_id: int, rng: Optional[np.random.Generator] = None
+) -> str:
+    """Render one SQL instance of *template_id*.
+
+    Args:
+        template_id: One of the 25 workload templates.
+        rng: Parameter source; ``None`` renders with a fixed seed so the
+            output is stable for documentation.
+
+    Raises:
+        WorkloadError: For unknown template ids.
+    """
+    if template_id not in _SQL_TEMPLATES:
+        raise WorkloadError(f"no SQL text for template {template_id}")
+    rng = rng if rng is not None else np.random.default_rng(template_id)
+    values = _draw_parameters(rng)
+    return _SqlTemplate.expand(_SQL_TEMPLATES[template_id], values)
+
+
+def sql_skeleton(template_id: int) -> str:
+    """The raw parameterized statement (placeholders unexpanded)."""
+    if template_id not in _SQL_TEMPLATES:
+        raise WorkloadError(f"no SQL text for template {template_id}")
+    return _SQL_TEMPLATES[template_id]

@@ -1,0 +1,69 @@
+"""Shared fixtures.
+
+The expensive artifacts (catalogs, sampling campaigns) are session-scoped:
+collecting the small campaign costs well under a second of wall time and
+the full MPL 2-5 campaign a few seconds, paid once per pytest session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.core.contender import Contender
+from repro.core.training import TrainingData, collect_training_data
+from repro.sampling.steady_state import SteadyStateConfig
+from repro.workload.catalog import TemplateCatalog
+from repro.workload.schema import build_schema
+
+#: A behaviourally diverse subset used by the fast tests: I/O-bound,
+#: CPU-bound, memory-bound, random-I/O, and a shared-fact-table pair.
+SMALL_TEMPLATES = (22, 26, 32, 62, 65, 71, 82)
+
+
+@pytest.fixture(scope="session")
+def config() -> SystemConfig:
+    return DEFAULT_CONFIG
+
+
+@pytest.fixture(scope="session")
+def schema():
+    return build_schema(100.0)
+
+
+@pytest.fixture(scope="session")
+def catalog() -> TemplateCatalog:
+    return TemplateCatalog()
+
+
+@pytest.fixture(scope="session")
+def small_catalog() -> TemplateCatalog:
+    return TemplateCatalog().subset(SMALL_TEMPLATES)
+
+
+@pytest.fixture(scope="session")
+def small_training_data(small_catalog) -> TrainingData:
+    """MPL-2 campaign over the small template subset."""
+    return collect_training_data(
+        small_catalog,
+        mpls=(2,),
+        lhs_runs_per_mpl=1,
+        steady_config=SteadyStateConfig(samples_per_stream=3),
+    )
+
+
+@pytest.fixture(scope="session")
+def full_training_data(catalog) -> TrainingData:
+    """The paper's full campaign (all 25 templates, MPLs 2-5)."""
+    return collect_training_data(catalog, mpls=(2, 3, 4, 5), lhs_runs_per_mpl=4)
+
+
+@pytest.fixture(scope="session")
+def small_contender(small_training_data) -> Contender:
+    return Contender(small_training_data)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

@@ -1,0 +1,55 @@
+"""Example-script smoke tests.
+
+Every example must at least import cleanly with a ``main``; the two
+fastest ones run end to end (the heavier examples are exercised by the
+equivalent apps-layer tests and benches).
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    names = {p.stem for p in ALL_EXAMPLES}
+    assert {
+        "quickstart",
+        "batch_scheduling",
+        "cloud_provisioning",
+        "admission_control",
+        "ad_hoc_workload",
+        "progress_estimation",
+        "custom_template",
+        "distributed_cluster",
+    } <= names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.stem)
+def test_every_example_defines_main(path):
+    module = _load(path)
+    assert callable(getattr(module, "main", None)), path.stem
+
+
+@pytest.mark.parametrize("name", ["quickstart", "custom_template"])
+def test_fast_examples_run_end_to_end(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / f"{name}.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "predicted" in result.stdout

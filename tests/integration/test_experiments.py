@@ -1,0 +1,112 @@
+"""Experiment-runner integration tests at reduced scale."""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.experiments import (
+    ablations,
+    fig1_lhs,
+    fig2_steady_state,
+    fig4_coefficients,
+    fig6_spoiler_growth,
+    fig7_cqi_mpl4,
+    fig9_spoiler_prediction,
+    sec54_sampling_cost,
+    table2_cqi,
+    table3_features,
+)
+from repro.core.cqi import CQIVariant
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext.small(mpls=(2,))
+
+
+def test_fig1_grid_has_one_mark_per_row_and_column(ctx):
+    result = fig1_lhs.run(ctx, num_templates=5)
+    grid = result.grid()
+    assert all(sum(row) == 1 for row in grid)
+    assert all(sum(col) == 1 for col in zip(*grid))
+    assert "X" in result.format_table()
+
+
+def test_fig2_timelines_are_contiguous(ctx):
+    result = fig2_steady_state.run(ctx, mix=(26, 71))
+    for timeline in result.timelines:
+        for (start_a, end_a), (start_b, _) in zip(
+            timeline.spans, timeline.spans[1:]
+        ):
+            assert end_a == pytest.approx(start_b)
+    assert 0.0 <= result.outlier_rate <= 1.0
+    assert "steady-state" in result.format_table()
+
+
+def test_fig2_trims_first_and_last(ctx):
+    result = fig2_steady_state.run(ctx, mix=(26, 71))
+    for timeline in result.timelines:
+        assert timeline.kept[0] is False
+        assert timeline.kept[-1] is False
+
+
+def test_table2_reports_all_variants(ctx):
+    result = table2_cqi.run(ctx)
+    assert set(result.mre) == set(CQIVariant)
+    assert all(0 <= v < 1 for v in result.mre.values())
+    assert "Baseline I/O" in result.format_table()
+
+
+def test_table3_rows_and_format(ctx):
+    result = table3_features.run(ctx, mpl=2)
+    names = [row[0] for row in result.rows]
+    assert "Isolated latency" in names
+    assert "Spoiler slowdown" in names
+    assert all(-1 <= rb <= 1 and -1 <= rm <= 1 for _, rb, rm in result.rows)
+    assert "paper" in result.format_table()
+
+
+def test_fig4_points_per_template(ctx):
+    result = fig4_coefficients.run(ctx, mpl=2)
+    assert len(result.points) == len(ctx.catalog.template_ids)
+    assert -1.0 <= result.correlation <= 1.0
+
+
+def test_fig6_curves_and_extrapolation(ctx):
+    result = fig6_spoiler_growth.run(ctx)
+    assert result.curves
+    for curve in result.curves.values():
+        lats = [curve[m] for m in sorted(curve)]
+        assert lats == sorted(lats)
+    # Only MPLs 1-2 collected in the small context: extrapolation NaN-safe.
+    table = result.format_table()
+    assert "spoiler latency" in table
+
+
+def test_fig7_average_consistent(ctx):
+    result = fig7_cqi_mpl4.run(ctx, mpl=2)
+    assert result.per_template
+    assert 0 <= result.average < 1
+    assert "Avg" in result.format_table()
+
+
+def test_fig9_both_approaches_reported(ctx):
+    result = fig9_spoiler_prediction.run(ctx)
+    assert set(result.mre) == {"KNN", "I/O Time"}
+    assert "KNN" in result.format_table()
+
+
+def test_sec54_cost_ordering(ctx):
+    result = sec54_sampling_cost.run(ctx)
+    costs = {name: secs for name, (secs, _) in result.per_approach.items()}
+    prior = costs["prior work [8] (LHS mix sampling)"]
+    linear = costs["Contender linear (spoiler/MPL)"]
+    constant = costs["Contender constant (KNN spoiler)"]
+    assert constant < linear < prior
+    assert 0 < result.spoiler_vs_mix_ratio < 1
+    assert "onboarding" in result.format_table()
+
+
+def test_knn_k_ablation_runs(ctx):
+    result = ablations.run_knn_k_ablation(ctx, ks=(1, 3))
+    assert set(result.mre_by_k) == {1, 3}
+    assert "k" in result.format_table()

@@ -1,0 +1,98 @@
+"""Failure injection: corrupted inputs surface as clean errors.
+
+A production library must fail loudly on bad data, not emit garbage
+predictions.  These tests tamper with every input surface.
+"""
+
+import pytest
+
+from repro.core.contender import Contender
+from repro.core.training import MixObservation, SpoilerCurve, TemplateProfile, TrainingData
+from repro.errors import ModelError, ReproError
+
+
+def test_negative_observed_latency_rejected():
+    with pytest.raises(ModelError):
+        MixObservation(primary=1, mix=(1, 2), latency=-5.0, latency_std=0.0, num_samples=1)
+
+
+def test_zero_samples_rejected():
+    with pytest.raises(ModelError):
+        MixObservation(primary=1, mix=(1, 2), latency=5.0, latency_std=0.0, num_samples=0)
+
+
+def test_primary_outside_mix_rejected():
+    with pytest.raises(ModelError):
+        MixObservation(primary=9, mix=(1, 2), latency=5.0, latency_std=0.0, num_samples=1)
+
+
+def test_profile_with_nan_latency_rejected():
+    with pytest.raises(ModelError):
+        TemplateProfile(
+            template_id=1,
+            isolated_latency=float("nan"),
+            io_fraction=0.5,
+            working_set_bytes=0,
+            records_accessed=0,
+            plan_steps=1,
+            fact_scans=frozenset(),
+        )
+
+
+def test_profile_with_io_fraction_above_one_rejected():
+    with pytest.raises(ModelError):
+        TemplateProfile(
+            template_id=1,
+            isolated_latency=10.0,
+            io_fraction=1.5,
+            working_set_bytes=0,
+            records_accessed=0,
+            plan_steps=1,
+            fact_scans=frozenset(),
+        )
+
+
+def test_contender_with_missing_spoiler_curve_fails_cleanly(small_training_data):
+    crippled = TrainingData(
+        profiles=dict(small_training_data.profiles),
+        spoilers={},  # all spoiler samples lost
+        observations=dict(small_training_data.observations),
+        scan_seconds=dict(small_training_data.scan_seconds),
+    )
+    contender = Contender(crippled)
+    with pytest.raises(ModelError):
+        contender.predict_known(26, (26, 65))
+
+
+def test_contender_with_no_mix_samples_fails_cleanly(small_training_data):
+    crippled = TrainingData(
+        profiles=dict(small_training_data.profiles),
+        spoilers=dict(small_training_data.spoilers),
+        observations={},  # campaign lost
+        scan_seconds=dict(small_training_data.scan_seconds),
+    )
+    contender = Contender(crippled)
+    with pytest.raises(ModelError):
+        contender.predict_known(26, (26, 65))
+
+
+def test_spoiler_curve_missing_mpl_fails_cleanly(small_training_data):
+    truncated = {
+        t: SpoilerCurve(template_id=t, latencies={1: c.latency_at(1)})
+        for t, c in small_training_data.spoilers.items()
+    }
+    data = TrainingData(
+        profiles=dict(small_training_data.profiles),
+        spoilers=truncated,
+        observations=dict(small_training_data.observations),
+        scan_seconds=dict(small_training_data.scan_seconds),
+    )
+    with pytest.raises(ModelError):
+        Contender(data).predict_known(26, (26, 65))
+
+
+def test_all_library_errors_share_a_root(small_training_data):
+    """Everything raised on purpose is catchable as ReproError."""
+    contender = Contender(small_training_data)
+    with pytest.raises(ReproError):
+        contender.predict_known(999, (999, 26))

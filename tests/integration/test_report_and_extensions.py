@@ -1,0 +1,63 @@
+"""Report generator, harness caching, and extension runners at small scale."""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.experiments import ext_operator_model
+from repro.experiments.harness import ExperimentContext as Ctx
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext.small(mpls=(2,))
+
+
+def test_harness_caches_training_data_in_memory(ctx):
+    first = ctx.training_data()
+    second = ctx.training_data()
+    assert first is second
+
+
+def test_harness_disk_cache_round_trip(tmp_path):
+    context = ExperimentContext.small(mpls=(2,))
+    context.cache_dir = tmp_path
+    data = context.training_data()
+    cached_files = list(tmp_path.glob("campaign-*.pkl"))
+    assert len(cached_files) == 1
+
+    fresh = ExperimentContext.small(mpls=(2,))
+    fresh.cache_dir = tmp_path
+    reloaded = fresh.training_data()
+    assert reloaded.template_ids == data.template_ids
+
+
+def test_harness_cache_key_depends_on_settings(tmp_path):
+    a = ExperimentContext.small(mpls=(2,))
+    a.cache_dir = tmp_path
+    a.training_data()
+    b = ExperimentContext.small(mpls=(2,), template_ids=(26, 62, 71))
+    b.cache_dir = tmp_path
+    b.training_data()
+    assert len(list(tmp_path.glob("campaign-*.pkl"))) == 2
+
+
+def test_contender_cached_per_context(ctx):
+    assert ctx.contender() is ctx.contender()
+
+
+def test_report_generates_for_small_context(ctx):
+    from repro.experiments.report import generate
+
+    text = generate(ctx, include_ml=False)
+    assert "# EXPERIMENTS" in text
+    assert "Table 2" in text
+    assert "Figure 9" in text
+    assert "future work #3" in text
+    assert "```text" in text
+
+
+def test_ext_operator_model_small(ctx):
+    result = ext_operator_model.run(ctx)
+    assert set(result.qs_known) == {2}
+    assert result.operator_new[2] < 0.5
+    assert "operator-level" in result.format_table()

@@ -1,0 +1,88 @@
+"""Operational tools on the full 25-template campaign.
+
+Diagnostics, what-if attribution, prediction intervals, and the apps
+layer — exercised against the full workload to make sure they scale
+past the small fixtures and reproduce the paper's qualitative analysis.
+"""
+
+import pytest
+
+from repro.apps.admission import AdmissionController
+from repro.apps.placement import balanced_placement, placement_cost
+from repro.apps.scheduling import greedy_pairing, predicted_makespan
+from repro.core.contender import Contender
+from repro.core.diagnostics import diagnose_workload
+from repro.core.whatif import attribute_slowdown, best_swap
+
+
+@pytest.fixture(scope="module")
+def contender(full_training_data):
+    return Contender(full_training_data)
+
+
+def test_diagnostics_reproduce_paper_error_analysis(contender):
+    report = diagnose_workload(contender, mpl=4)
+    by_id = {row.template_id: row for row in report.rows}
+    # Extremely I/O-bound templates fit the CQI line best (Sec. 6.2)...
+    assert by_id[62].r2 > 0.8
+    assert by_id[26].r2 > 0.8
+    # ...and the memory-intensive templates carry their flag.
+    assert any("memory" in f for f in by_id[2].flags)
+    assert any("memory" in f for f in by_id[22].flags)
+
+
+def test_intervals_cover_cross_mpl(contender, full_training_data):
+    covered = total = 0
+    for mpl in (2, 4):
+        for tid in full_training_data.template_ids:
+            for obs in full_training_data.observations_for(tid, mpl):
+                low, _, high = contender.predict_known_interval(
+                    tid, obs.mix, sigmas=2.0
+                )
+                total += 1
+                covered += low <= obs.latency <= high
+    assert covered / total > 0.80
+
+
+def test_whatif_marginals_roughly_additive_at_mpl3(contender, full_training_data):
+    """Sum of MPL-3 marginals should land near the total excess latency
+    (the CQI model is linear in the mean of r_c)."""
+    report = attribute_slowdown(contender, 26, (26, 82, 65))
+    total_excess = report.predicted - report.isolated
+    marginal_sum = sum(a.marginal_seconds for a in report.attributions)
+    assert marginal_sum == pytest.approx(total_excess, rel=0.75)
+
+
+def test_best_swap_improves_worst_pairing(contender):
+    _, predicted = best_swap(
+        contender, 71, (71, 17), candidates=[65, 33, 90]
+    )
+    assert predicted < contender.predict_known(71, (71, 17))
+
+
+def test_greedy_pairing_full_batch(contender):
+    batch = [26, 33, 61, 71, 82, 22, 62, 65, 17, 25]
+    pairs = greedy_pairing(contender, batch)
+    assert len(pairs) == 5
+    worst = [(26, 33), (61, 71), (82, 22), (62, 65), (17, 25)]
+    assert predicted_makespan(contender, pairs) <= predicted_makespan(
+        contender, worst
+    ) * 1.001
+
+
+def test_balanced_placement_full(contender):
+    placement = balanced_placement(
+        contender, (26, 33, 71, 62, 65, 90), num_servers=2
+    )
+    assert placement_cost(contender, placement) < placement_cost(
+        contender, ((26, 33, 71), (62, 65, 90))
+    ) * 1.001
+
+
+def test_admission_controller_full(contender):
+    controller = AdmissionController(contender, sla_factor=1.5, max_mpl=4)
+    batches = controller.plan_batches([26, 33, 61, 71, 62, 65])
+    assert sum(len(b) for b in batches) == 6
+    # The SLA forces at least one split: six disjoint-I/O queries cannot
+    # all run as one happy batch of 4 + 2.
+    assert len(batches) >= 2

@@ -1,0 +1,125 @@
+"""Property-based tests on the concurrent executor's physics."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import HardwareSpec, SimulationConfig, SystemConfig
+from repro.engine.executor import ConcurrentExecutor, SingleShotStream
+from repro.engine.profile import Phase, ResourceProfile
+from repro.units import MB
+
+_CONFIG = SystemConfig(
+    hardware=HardwareSpec(
+        seq_bandwidth=MB(100), random_iops=100.0, random_io_variance=0.0
+    ),
+    simulation=SimulationConfig(restart_cost=0.0),
+)
+
+
+def _mixed_profile(seq_mb, rand_ops, cpu_s, relation=None, template_id=1):
+    phase = Phase(
+        label="work",
+        relation=relation,
+        seq_bytes=MB(seq_mb),
+        rand_ops=rand_ops,
+        cpu_seconds=cpu_s,
+    )
+    return ResourceProfile(template_id=template_id, phases=(phase,))
+
+
+def _run(profiles):
+    streams = [SingleShotStream(p, name=f"s{i}") for i, p in enumerate(profiles)]
+    return ConcurrentExecutor(_CONFIG).run(streams)
+
+
+work = st.tuples(
+    st.floats(min_value=1.0, max_value=500.0),  # seq MB
+    st.floats(min_value=0.0, max_value=50.0),  # rand ops
+    st.floats(min_value=0.0, max_value=5.0),  # cpu s
+)
+
+
+@given(spec=work)
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+def test_isolated_latency_lower_bounded_by_each_component(spec):
+    seq_mb, rand_ops, cpu_s = spec
+    result = _run([_mixed_profile(seq_mb, rand_ops, cpu_s)])
+    latency = result.latencies()[0]
+    hw = _CONFIG.hardware
+    components = 0
+    if seq_mb > 0:
+        components += 1
+    if rand_ops > 0:
+        components += 1
+    lower = max(
+        MB(seq_mb) / hw.seq_bandwidth * (1 if components < 2 else 1),
+        rand_ops / hw.random_iops,
+        cpu_s,
+    )
+    assert latency >= lower * (1 - 1e-9)
+    # And never exceeds the fully serialized sum with both I/O kinds
+    # contending (factor <= number of streams).
+    upper = (
+        MB(seq_mb) / hw.seq_bandwidth + rand_ops / hw.random_iops
+    ) * 2 + cpu_s
+    assert latency <= upper + 1e-6
+
+
+@given(spec=work, extra_mb=st.floats(min_value=1.0, max_value=500.0))
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+def test_adding_a_nonsharing_contender_never_speeds_up(spec, extra_mb):
+    seq_mb, rand_ops, cpu_s = spec
+    alone = _run([_mixed_profile(seq_mb, rand_ops, cpu_s)]).latencies()[0]
+    primary = _mixed_profile(seq_mb, rand_ops, cpu_s)
+    contender = _mixed_profile(extra_mb, 0.0, 0.0, template_id=2)
+    together = _run([primary, contender])
+    primary_latency = next(
+        item.stats.latency
+        for item in together.completions
+        if item.stats.template_id == 1
+    )
+    assert primary_latency >= alone - 1e-6
+
+
+@given(
+    seq_mb=st.floats(min_value=10.0, max_value=300.0),
+    n=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+def test_n_identical_shared_scans_finish_together_at_full_speed(seq_mb, n):
+    profiles = [
+        _mixed_profile(seq_mb, 0, 0, relation="sales", template_id=i)
+        for i in range(n)
+    ]
+    result = _run(profiles)
+    expected = MB(seq_mb) / _CONFIG.hardware.seq_bandwidth
+    for latency in result.latencies():
+        assert latency == pytest.approx(expected, rel=1e-6)
+
+
+@given(
+    seq_mb=st.floats(min_value=10.0, max_value=200.0),
+    n=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+def test_n_private_streams_scale_latency_linearly(seq_mb, n):
+    profiles = [_mixed_profile(seq_mb, 0, 0, template_id=i) for i in range(n)]
+    result = _run(profiles)
+    expected = n * MB(seq_mb) / _CONFIG.hardware.seq_bandwidth
+    for latency in result.latencies():
+        assert latency == pytest.approx(expected, rel=1e-6)
+
+
+@given(spec=work)
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+def test_stats_conserve_demand(spec):
+    seq_mb, rand_ops, cpu_s = spec
+    result = _run([_mixed_profile(seq_mb, rand_ops, cpu_s)])
+    stats = result.completions[0].stats
+    # Demands below the executor's drain tolerance (1e-7 units) are
+    # legitimately treated as already complete.
+    assert stats.seq_bytes_read == pytest.approx(MB(seq_mb), rel=1e-6)
+    assert stats.rand_ops_done == pytest.approx(rand_ops, rel=1e-6, abs=2e-7)
+    assert stats.cpu_seconds == pytest.approx(cpu_s, rel=1e-6, abs=2e-7)

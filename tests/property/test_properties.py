@@ -1,0 +1,323 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import HardwareSpec
+from repro.core.continuum import continuum_point, latency_from_point
+from repro.core.cqi import CQICalculator, CQIVariant
+from repro.core.training import TemplateProfile
+from repro.engine import disk
+from repro.engine.memory import MemoryLedger
+from repro.metrics.errors import mean_relative_error
+from repro.metrics.fit import r_squared, signed_r_squared
+from repro.ml.linreg import SimpleLinearRegression
+from repro.sampling.lhs import latin_hypercube
+from repro.sampling.mixes import all_mixes, mix_count
+from repro.units import GB
+
+# ----------------------------------------------------------------------
+# LHS invariants.
+
+
+@given(
+    n=st.integers(min_value=1, max_value=12),
+    mpl=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_lhs_every_dimension_is_a_permutation(n, mpl, seed):
+    templates = list(range(100, 100 + n))
+    design = latin_hypercube(templates, mpl, np.random.default_rng(seed))
+    assert len(design) == n
+    for dim in range(mpl):
+        assert sorted(m[dim] for m in design) == templates
+
+
+# ----------------------------------------------------------------------
+# Mix-space counting.
+
+
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    mpl=st.integers(min_value=1, max_value=4),
+)
+def test_enumeration_matches_count_formula(n, mpl):
+    templates = list(range(n))
+    assert len(all_mixes(templates, mpl)) == mix_count(n, mpl)
+    assert mix_count(n, mpl) == math.comb(n + mpl - 1, mpl)
+
+
+# ----------------------------------------------------------------------
+# Continuum round trip.
+
+
+@given(
+    l_min=st.floats(min_value=1.0, max_value=1e4),
+    span=st.floats(min_value=1e-3, max_value=1e4),
+    latency=st.floats(min_value=1.0, max_value=1e5),
+)
+def test_continuum_round_trip(l_min, span, latency):
+    l_max = l_min + span
+    point = continuum_point(latency, l_min, l_max)
+    back = latency_from_point(point, l_min, l_max)
+    # The inverse floors absurd latencies; inside the floor it is exact.
+    if latency >= 0.05 * l_min:
+        assert back == pytest.approx(latency, rel=1e-9)
+
+
+@given(
+    l_min=st.floats(min_value=1.0, max_value=1e4),
+    span=st.floats(min_value=1e-3, max_value=1e4),
+)
+def test_continuum_endpoints(l_min, span):
+    l_max = l_min + span
+    assert continuum_point(l_min, l_min, l_max) == 0.0
+    assert continuum_point(l_max, l_min, l_max) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Disk fair share conserves capacity.
+
+
+@given(
+    seq_owners=st.lists(st.integers(0, 50), max_size=20),
+    rand_owners=st.lists(st.integers(51, 99), max_size=20),
+    tables=st.lists(st.sampled_from(["a", "b", "c"]), max_size=10),
+)
+def test_disk_allocation_conserves_device_time(seq_owners, rand_owners, tables):
+    hw = HardwareSpec()
+    keys = (
+        [disk.private_seq_key(o) for o in seq_owners]
+        + [disk.random_key(o) for o in rand_owners]
+        + [disk.shared_scan_key(t) for t in tables]
+    )
+    rates = disk.allocate(hw, keys)
+    n = rates.num_streams
+    assert n == len(set(keys))
+    if n:
+        # Each stream's share of device time sums to exactly 1.
+        seq_share = rates.seq_bytes_per_sec / hw.seq_bandwidth
+        rand_share = rates.rand_ops_per_sec / hw.random_iops
+        assert seq_share == pytest.approx(1.0 / n)
+        assert rand_share == pytest.approx(1.0 / n)
+
+
+# ----------------------------------------------------------------------
+# Memory ledger never goes below the minimum grant.
+
+
+@given(
+    pins=st.lists(st.floats(min_value=0, max_value=GB(16)), max_size=5),
+    holds=st.lists(st.floats(min_value=0, max_value=GB(16)), max_size=5),
+    request=st.floats(min_value=0, max_value=GB(32)),
+)
+def test_ledger_invariants(pins, holds, request):
+    ledger = MemoryLedger(total_bytes=GB(8))
+    for i, pin in enumerate(pins):
+        ledger.pin(f"pin{i}", pin)
+    for i, hold in enumerate(holds):
+        ledger.hold(f"q{i}", hold)
+    available = ledger.available_for("probe")
+    assert available >= ledger.min_grant_bytes
+    spill = ledger.spill_bytes("probe", request)
+    assert spill >= 0.0
+    assert spill <= request
+    # Spill plus what fits is exactly the request (when overflowing).
+    if spill > 0:
+        assert spill == pytest.approx(request - available)
+
+
+# ----------------------------------------------------------------------
+# CQI bounds.
+
+_profile_strategy = st.builds(
+    TemplateProfile,
+    template_id=st.integers(1, 5),
+    isolated_latency=st.floats(min_value=1.0, max_value=1e4),
+    io_fraction=st.floats(min_value=0.0, max_value=1.0),
+    working_set_bytes=st.just(0.0),
+    records_accessed=st.just(0.0),
+    plan_steps=st.just(1),
+    fact_scans=st.sets(st.sampled_from(["a", "b", "c"])).map(frozenset),
+)
+
+
+@given(
+    profiles=st.lists(_profile_strategy, min_size=2, max_size=5),
+    scan_a=st.floats(min_value=0.0, max_value=500.0),
+    scan_b=st.floats(min_value=0.0, max_value=500.0),
+    variant=st.sampled_from(list(CQIVariant)),
+)
+@settings(suppress_health_check=[HealthCheck.too_slow])
+def test_cqi_always_in_unit_interval(profiles, scan_a, scan_b, variant):
+    table = {i: p for i, p in enumerate(profiles)}
+    table = {
+        i: TemplateProfile(
+            template_id=i,
+            isolated_latency=p.isolated_latency,
+            io_fraction=p.io_fraction,
+            working_set_bytes=0.0,
+            records_accessed=0.0,
+            plan_steps=1,
+            fact_scans=p.fact_scans,
+        )
+        for i, p in table.items()
+    }
+    calc = CQICalculator(
+        profiles=table,
+        scan_seconds={"a": scan_a, "b": scan_b, "c": 10.0},
+    )
+    ids = list(table)
+    mix = tuple(ids)
+    value = calc.intensity(ids[0], mix, variant)
+    assert 0.0 <= value <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Metric identities.
+
+
+@given(
+    obs=st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=30)
+)
+def test_mre_zero_iff_exact(obs):
+    assert mean_relative_error(obs, obs) == 0.0
+
+
+@given(
+    obs=st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=2, max_size=30),
+    scale=st.floats(min_value=1.01, max_value=3.0),
+)
+def test_mre_of_uniform_scaling(obs, scale):
+    predicted = [o * scale for o in obs]
+    assert mean_relative_error(obs, predicted) == pytest.approx(scale - 1.0)
+
+
+@given(
+    x=st.lists(
+        st.floats(min_value=-1e3, max_value=1e3), min_size=3, max_size=40
+    ),
+    slope=st.floats(min_value=-10, max_value=10),
+    intercept=st.floats(min_value=-10, max_value=10),
+)
+def test_ols_exact_on_noiseless_lines(x, slope, intercept):
+    xs = np.array(x)
+    if np.var(xs) < 1e-9:
+        return
+    ys = slope * xs + intercept
+    reg = SimpleLinearRegression().fit(xs, ys)
+    assert reg.slope == pytest.approx(slope, abs=1e-6, rel=1e-6)
+    preds = reg.predict_many(xs)
+    assert r_squared(ys, preds) == pytest.approx(1.0) or np.var(ys) < 1e-12
+
+
+@given(
+    x=st.lists(
+        st.floats(min_value=-100, max_value=100), min_size=3, max_size=30
+    ),
+    sign=st.sampled_from([-1.0, 1.0]),
+)
+def test_signed_r_squared_sign_tracks_slope(x, sign):
+    xs = np.array(x)
+    if np.var(xs) < 1e-9:
+        return
+    ys = sign * 2.0 * xs + 1.0
+    value = signed_r_squared(xs, ys)
+    assert value == pytest.approx(sign * 1.0, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# CQI monotonicity: sharing can only reduce competing I/O.
+
+
+@given(
+    latency=st.floats(min_value=10.0, max_value=1000.0),
+    io_fraction=st.floats(min_value=0.0, max_value=1.0),
+    scan_time=st.floats(min_value=0.0, max_value=200.0),
+)
+def test_sharing_a_table_never_increases_r_c(latency, io_fraction, scan_time):
+    def profile(tid, scans):
+        return TemplateProfile(
+            template_id=tid,
+            isolated_latency=latency,
+            io_fraction=io_fraction,
+            working_set_bytes=0.0,
+            records_accessed=0.0,
+            plan_steps=1,
+            fact_scans=frozenset(scans),
+        )
+
+    scan_seconds = {"a": scan_time, "b": 30.0}
+    # Contender 2 either shares table 'a' with the primary or not.
+    sharing = CQICalculator(
+        profiles={1: profile(1, {"a"}), 2: profile(2, {"a"})},
+        scan_seconds=scan_seconds,
+    )
+    disjoint = CQICalculator(
+        profiles={1: profile(1, {"a"}), 2: profile(2, {"b"})},
+        scan_seconds=scan_seconds,
+    )
+    assert sharing.r_c(2, 1, [2]) <= disjoint.r_c(2, 1, [2]) + 1e-12
+
+
+@given(
+    io_fraction=st.floats(min_value=0.0, max_value=1.0),
+    extra=st.floats(min_value=0.0, max_value=500.0),
+)
+def test_omega_monotone_in_scan_time(io_fraction, extra):
+    def calc(scan_a):
+        prof = TemplateProfile(
+            template_id=1,
+            isolated_latency=100.0,
+            io_fraction=io_fraction,
+            working_set_bytes=0.0,
+            records_accessed=0.0,
+            plan_steps=1,
+            fact_scans=frozenset({"a"}),
+        )
+        return CQICalculator(
+            profiles={1: prof, 2: prof}, scan_seconds={"a": scan_a}
+        )
+
+    base = calc(10.0)
+    bigger = calc(10.0 + extra)
+    assert bigger.omega(2, 1) >= base.omega(2, 1)
+    # And a larger omega can only reduce the competing fraction.
+    assert bigger.r_c(2, 1, [2]) <= base.r_c(2, 1, [2]) + 1e-12
+
+
+@given(
+    n_contenders=st.integers(min_value=1, max_value=4),
+    io_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_intensity_equals_r_c_for_identical_contenders(
+    n_contenders, io_fraction
+):
+    prof = TemplateProfile(
+        template_id=0,
+        isolated_latency=100.0,
+        io_fraction=io_fraction,
+        working_set_bytes=0.0,
+        records_accessed=0.0,
+        plan_steps=1,
+        fact_scans=frozenset(),
+    )
+    profiles = {0: prof}
+    for tid in range(1, n_contenders + 1):
+        profiles[tid] = TemplateProfile(
+            template_id=tid,
+            isolated_latency=100.0,
+            io_fraction=io_fraction,
+            working_set_bytes=0.0,
+            records_accessed=0.0,
+            plan_steps=1,
+            fact_scans=frozenset(),
+        )
+    calc = CQICalculator(profiles=profiles, scan_seconds={})
+    mix = tuple(range(n_contenders + 1))
+    # With no shared tables, the mean of identical r_c values is r_c.
+    assert calc.intensity(0, mix) == pytest.approx(io_fraction)

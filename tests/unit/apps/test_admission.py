@@ -1,0 +1,74 @@
+"""Admission-control application tests."""
+
+import pytest
+
+from repro.apps.admission import AdmissionController
+from repro.errors import ModelError
+
+
+@pytest.fixture()
+def controller(small_contender):
+    return AdmissionController(small_contender, sla_factor=1.5, max_mpl=4)
+
+
+def test_first_query_always_admitted(controller):
+    decision = controller.check((), 26)
+    assert decision.admitted
+    assert decision.mix_after == (26,)
+
+
+def test_mpl_cap_enforced(small_contender):
+    controller = AdmissionController(
+        small_contender, sla_factor=100.0, max_mpl=2
+    )
+    assert controller.check((26,), 65).admitted
+    decision = controller.check((26, 65), 62)
+    assert not decision.admitted
+    assert decision.worst_ratio == float("inf")
+
+
+def test_tight_sla_rejects_heavy_contention(small_contender):
+    tight = AdmissionController(small_contender, sla_factor=1.05, max_mpl=4)
+    # Two disjoint I/O-bound scans: each predicted well past 1.05x.
+    decision = tight.check((26,), 82)
+    assert not decision.admitted
+    assert decision.worst_ratio > 1.0
+
+
+def test_loose_sla_admits(small_contender):
+    loose = AdmissionController(small_contender, sla_factor=5.0, max_mpl=4)
+    decision = loose.check((26,), 82)
+    assert decision.admitted
+    assert decision.worst_ratio <= 1.0
+
+
+def test_limiting_template_identified(controller):
+    decision = controller.check((26,), 82)
+    assert decision.limiting_template in (26, 82)
+
+
+def test_plan_batches_covers_queue(small_contender):
+    # The small campaign samples MPL 2 only, so cap admission at pairs.
+    controller = AdmissionController(
+        small_contender, sla_factor=1.5, max_mpl=2
+    )
+    queue = [26, 82, 65, 62, 71]
+    batches = controller.plan_batches(queue)
+    flattened = [t for batch in batches for t in batch]
+    assert flattened == queue  # FIFO order preserved
+    assert all(len(batch) >= 1 for batch in batches)
+
+
+def test_plan_batches_respects_cap(small_contender):
+    controller = AdmissionController(
+        small_contender, sla_factor=100.0, max_mpl=2
+    )
+    batches = controller.plan_batches([26, 65, 62, 71])
+    assert all(len(batch) <= 2 for batch in batches)
+
+
+def test_validation(small_contender):
+    with pytest.raises(ModelError):
+        AdmissionController(small_contender, sla_factor=0.5)
+    with pytest.raises(ModelError):
+        AdmissionController(small_contender, max_mpl=0)

@@ -1,0 +1,55 @@
+"""Placement application tests."""
+
+import pytest
+
+from repro.apps.placement import (
+    balanced_placement,
+    placement_cost,
+    predicted_slowdowns,
+)
+from repro.errors import ModelError
+
+
+def test_slowdowns_at_least_intercept(small_contender):
+    values = predicted_slowdowns(small_contender, (26, 65))
+    assert len(values) == 2
+    assert all(v > 0.5 for v in values)
+
+
+def test_cost_is_worst_server(small_contender):
+    placement = ((26, 82), (65, 62))
+    cost = placement_cost(small_contender, placement)
+    per_server = [
+        max(predicted_slowdowns(small_contender, mix)) for mix in placement
+    ]
+    assert cost == pytest.approx(max(per_server))
+
+
+def test_single_query_servers_are_free(small_contender):
+    assert placement_cost(small_contender, ((26,), (65,))) == 0.0
+
+
+def test_balanced_placement_minimizes_worst_slowdown(small_contender):
+    tenants = (26, 82, 65, 62)
+    best = balanced_placement(small_contender, tenants, num_servers=2)
+    best_cost = placement_cost(small_contender, best)
+    # Exhaustive alternative check: no other balanced placement is better.
+    alternatives = [
+        ((26, 82), (65, 62)),
+        ((26, 65), (82, 62)),
+        ((26, 62), (82, 65)),
+    ]
+    for placement in alternatives:
+        assert best_cost <= placement_cost(small_contender, placement) + 1e-9
+    flattened = sorted(t for mix in best for t in mix)
+    assert flattened == sorted(tenants)
+
+
+def test_uneven_tenants_rejected(small_contender):
+    with pytest.raises(ModelError):
+        balanced_placement(small_contender, (26, 65, 71), num_servers=2)
+
+
+def test_bad_server_count_rejected(small_contender):
+    with pytest.raises(ModelError):
+        balanced_placement(small_contender, (26, 65), num_servers=0)

@@ -1,0 +1,51 @@
+"""Progress-estimator application tests."""
+
+import pytest
+
+from repro.apps.progress import ProgressEstimator
+from repro.errors import ModelError
+
+
+@pytest.fixture()
+def estimator(small_contender):
+    return ProgressEstimator(small_contender)
+
+
+def test_fresh_query_alone_estimates_isolated(estimator, small_contender):
+    est = estimator.estimate(26, (26,), 0.0)
+    iso = small_contender.data.profile(26).isolated_latency
+    assert est.total_seconds == pytest.approx(iso)
+    assert est.remaining_seconds == pytest.approx(iso)
+
+
+def test_remaining_shrinks_with_progress(estimator):
+    early = estimator.estimate(26, (26, 65), 0.1)
+    late = estimator.estimate(26, (26, 65), 0.9)
+    assert late.remaining_seconds < early.remaining_seconds
+    assert late.total_seconds == pytest.approx(early.total_seconds)
+
+
+def test_done_query_has_zero_remaining(estimator):
+    est = estimator.estimate(26, (26, 65), 1.0)
+    assert est.remaining_seconds == 0.0
+
+
+def test_contended_mix_extends_estimate(estimator):
+    alone = estimator.estimate(26, (26,), 0.5)
+    contended = estimator.estimate(26, (26, 82), 0.5)
+    assert contended.remaining_seconds > alone.remaining_seconds
+
+
+def test_replan_keeps_progress(estimator):
+    first = estimator.estimate(26, (26, 82), 0.4)
+    replanned = estimator.replan(first, (26,))
+    assert replanned.fraction_done == 0.4
+    assert replanned.mix == (26,)
+    assert replanned.remaining_seconds < first.remaining_seconds
+
+
+def test_validation(estimator):
+    with pytest.raises(ModelError):
+        estimator.estimate(26, (26,), 1.5)
+    with pytest.raises(ModelError):
+        estimator.estimate(26, (65,), 0.5)

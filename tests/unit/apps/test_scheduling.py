@@ -1,0 +1,62 @@
+"""Batch-scheduling application tests."""
+
+import pytest
+
+from repro.apps.scheduling import (
+    greedy_pairing,
+    predicted_makespan,
+    predicted_pair_cost,
+)
+from repro.errors import ModelError
+
+
+def test_pair_cost_symmetric_inputs(small_contender):
+    cost_ab = predicted_pair_cost(small_contender, 26, 65)
+    cost_ba = predicted_pair_cost(small_contender, 65, 26)
+    assert cost_ab == pytest.approx(cost_ba)
+
+
+def test_pair_cost_reflects_interference(small_contender):
+    # Normalized by the isolated sum, an I/O-bound query pairs better
+    # with a CPU-bound one than with a disjoint I/O-bound one.
+    def normalized(a, b):
+        iso = (
+            small_contender.data.profile(a).isolated_latency
+            + small_contender.data.profile(b).isolated_latency
+        )
+        return predicted_pair_cost(small_contender, a, b) / iso
+
+    assert normalized(26, 65) < normalized(26, 82)
+
+
+def test_greedy_pairing_covers_batch(small_contender):
+    batch = [26, 65, 71, 82]
+    pairs = greedy_pairing(small_contender, batch)
+    assert len(pairs) == 2
+    flattened = sorted(t for pair in pairs for t in pair)
+    assert flattened == sorted(batch)
+
+
+def test_greedy_pairing_beats_worst_pairing(small_contender):
+    batch = [26, 82, 65, 62]
+    greedy = greedy_pairing(small_contender, batch)
+    greedy_cost = predicted_makespan(small_contender, greedy)
+    # The adversarial pairing: both I/O-bound together, both CPU together.
+    bad = [(26, 82), (65, 62)]
+    bad_cost = predicted_makespan(small_contender, bad)
+    assert greedy_cost <= bad_cost + 1e-9
+
+
+def test_odd_batch_rejected(small_contender):
+    with pytest.raises(ModelError):
+        greedy_pairing(small_contender, [26, 65, 71])
+
+
+def test_unknown_template_rejected(small_contender):
+    with pytest.raises(ModelError):
+        greedy_pairing(small_contender, [26, 999])
+
+
+def test_makespan_positive(small_contender):
+    pairs = greedy_pairing(small_contender, [26, 65])
+    assert predicted_makespan(small_contender, pairs) > 0

@@ -1,0 +1,63 @@
+"""Measured-execution helper tests."""
+
+import pytest
+
+from repro.apps.simulate import (
+    BatchExecution,
+    execute_batches,
+    measure_placement,
+)
+from repro.errors import WorkloadError
+
+
+def test_single_query_batches_run_isolated(small_catalog):
+    result = execute_batches(small_catalog, [(26,), (62,)])
+    iso26 = small_catalog.run_isolated(26).latency
+    iso62 = small_catalog.run_isolated(62).latency
+    assert result.makespan == pytest.approx(iso26 + iso62, rel=0.01)
+    assert len(result.latencies) == 2
+
+
+def test_concurrent_batch_extends_makespan(small_catalog):
+    solo = execute_batches(small_catalog, [(26,), (82,)])
+    paired = execute_batches(small_catalog, [(26, 82)])
+    # The pair contends, but still beats fully serial execution.
+    assert paired.makespan < solo.makespan
+    # And each query inside the pair is slower than isolated.
+    for _, template, latency in paired.latencies:
+        assert latency > small_catalog.run_isolated(template).latency
+
+
+def test_worst_slowdown_and_violations(small_catalog):
+    result = execute_batches(small_catalog, [(26, 82)])
+    worst = result.worst_slowdown(small_catalog)
+    assert worst > 1.0
+    assert result.sla_violations(small_catalog, sla_factor=1.01) >= 1
+    assert result.sla_violations(small_catalog, sla_factor=10.0) == 0
+
+
+def test_sla_validation(small_catalog):
+    result = execute_batches(small_catalog, [(26,)])
+    with pytest.raises(WorkloadError):
+        result.sla_violations(small_catalog, sla_factor=0.5)
+
+
+def test_execute_batches_validation(small_catalog):
+    with pytest.raises(WorkloadError):
+        execute_batches(small_catalog, [])
+    with pytest.raises(WorkloadError):
+        execute_batches(small_catalog, [()])
+
+
+def test_measure_placement_reports_all_tenants(small_catalog):
+    slowdowns = measure_placement(small_catalog, [(26, 65), (62,)])
+    assert set(slowdowns) == {26, 65, 62}
+    assert slowdowns[62] == 1.0  # alone on its server
+    assert slowdowns[26] >= 1.0
+
+
+def test_measure_placement_validation(small_catalog):
+    with pytest.raises(WorkloadError):
+        measure_placement(small_catalog, [])
+    with pytest.raises(WorkloadError):
+        measure_placement(small_catalog, [()])

@@ -1,0 +1,122 @@
+"""Coefficient-learning tests (Sec. 5.3)."""
+
+import pytest
+
+from repro.core.coefficients import (
+    CoefficientModel,
+    coefficient_feature_study,
+)
+from repro.core.qs import QSModel
+from repro.core.training import TemplateProfile
+from repro.errors import ModelError
+
+
+def _profile(tid, latency):
+    return TemplateProfile(
+        template_id=tid,
+        isolated_latency=latency,
+        io_fraction=0.8,
+        working_set_bytes=1e6,
+        records_accessed=1e6,
+        plan_steps=5,
+        fact_scans=frozenset({"a"}),
+    )
+
+
+@pytest.fixture()
+def synthetic():
+    """Templates whose QS coefficients follow exact linear laws:
+    µ = 1 - latency/1000 and b = 0.5 - 0.4 µ."""
+    profiles = {}
+    models = []
+    for tid, latency in enumerate([100.0, 300.0, 500.0, 700.0, 900.0], start=1):
+        mu = 1.0 - latency / 1000.0
+        b = 0.5 - 0.4 * mu
+        profiles[tid] = _profile(tid, latency)
+        models.append(
+            QSModel(template_id=tid, mpl=2, slope=mu, intercept=b, num_samples=9)
+        )
+    return profiles, models
+
+
+def test_fit_recovers_both_regressions(synthetic):
+    profiles, models = synthetic
+    coeff = CoefficientModel.fit(models, profiles)
+    assert coeff.mpl == 2
+    assert coeff.slope_from_latency.slope == pytest.approx(-0.001)
+    assert coeff.intercept_from_slope.slope == pytest.approx(-0.4)
+
+
+def test_synthesize_unknown_qs_follows_the_laws(synthetic):
+    profiles, models = synthetic
+    coeff = CoefficientModel.fit(models, profiles)
+    model = coeff.synthesize_unknown_qs(99, isolated_latency=400.0)
+    assert model.slope == pytest.approx(0.6)
+    assert model.intercept == pytest.approx(0.5 - 0.4 * 0.6)
+    assert model.num_samples == 0
+
+
+def test_synthesize_unknown_y_uses_true_slope(synthetic):
+    profiles, models = synthetic
+    coeff = CoefficientModel.fit(models, profiles)
+    model = coeff.synthesize_unknown_y(99, true_slope=0.25)
+    assert model.slope == 0.25
+    assert model.intercept == pytest.approx(0.5 - 0.4 * 0.25)
+
+
+def test_fit_rejects_mixed_mpls(synthetic):
+    profiles, models = synthetic
+    bad = models[:2] + [
+        QSModel(template_id=9, mpl=3, slope=0.1, intercept=0.1)
+    ]
+    profiles[9] = _profile(9, 500.0)
+    with pytest.raises(ModelError):
+        CoefficientModel.fit(bad, profiles)
+
+
+def test_fit_rejects_missing_profile(synthetic):
+    profiles, models = synthetic
+    del profiles[1]
+    with pytest.raises(ModelError):
+        CoefficientModel.fit(models, profiles)
+
+
+def test_fit_needs_two_models(synthetic):
+    profiles, models = synthetic
+    with pytest.raises(ModelError):
+        CoefficientModel.fit(models[:1], profiles)
+
+
+def test_synthesize_validates_latency(synthetic):
+    profiles, models = synthetic
+    coeff = CoefficientModel.fit(models, profiles)
+    with pytest.raises(ModelError):
+        coeff.synthesize_unknown_qs(99, isolated_latency=0.0)
+
+
+def test_feature_study_rows_in_paper_order(synthetic):
+    profiles, models = synthetic
+    spoiler = {tid: 2.0 * profiles[tid].isolated_latency for tid in profiles}
+    rows = coefficient_feature_study(models, profiles, spoiler)
+    names = [name for name, _, _ in rows]
+    assert names[0] == "% execution time spent on I/O"
+    assert "Isolated latency" in names
+    assert names[-1] == "Spoiler slowdown"
+
+
+def test_feature_study_detects_exact_correlation(synthetic):
+    profiles, models = synthetic
+    spoiler = {tid: 2.0 * profiles[tid].isolated_latency for tid in profiles}
+    rows = {name: (rb, rm) for name, rb, rm in
+            coefficient_feature_study(models, profiles, spoiler)}
+    # By construction µ is an exact inverse-linear function of latency.
+    assert rows["Isolated latency"][1] == pytest.approx(-1.0)
+    # And b is positively related to latency (through µ).
+    assert rows["Isolated latency"][0] == pytest.approx(1.0)
+
+
+def test_feature_study_needs_three_models(synthetic):
+    profiles, models = synthetic
+    spoiler = {tid: 100.0 for tid in profiles}
+    with pytest.raises(ModelError):
+        coefficient_feature_study(models[:2], profiles, spoiler)

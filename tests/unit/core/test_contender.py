@@ -1,0 +1,160 @@
+"""Contender façade tests."""
+
+import pytest
+
+from repro.core.contender import (
+    Contender,
+    ContenderOptions,
+    NewTemplateVariant,
+    SpoilerMode,
+)
+from repro.core.cqi import CQIVariant
+from repro.core.training import TrainingData
+from repro.errors import ModelError
+from repro.metrics.errors import mean_relative_error
+
+
+def test_requires_templates():
+    empty = TrainingData(
+        profiles={}, spoilers={}, observations={}, scan_seconds={}
+    )
+    with pytest.raises(ModelError):
+        Contender(empty)
+
+
+def test_template_ids_sorted(small_contender):
+    ids = small_contender.template_ids
+    assert ids == sorted(ids)
+
+
+def test_qs_models_cached(small_contender):
+    a = small_contender.qs_model(26, 2)
+    b = small_contender.qs_model(26, 2)
+    assert a is b
+
+
+def test_reference_models_cover_workload(small_contender):
+    models = small_contender.reference_models(2)
+    assert [m.template_id for m in models] == small_contender.template_ids
+
+
+def test_predict_known_tracks_observations(small_contender):
+    """Fit-quality sanity: predictions on training mixes within 30 %."""
+    data = small_contender.data
+    for tid in (26, 71):
+        obs = data.observations_for(tid, 2)
+        preds = [small_contender.predict_known(tid, o.mix) for o in obs]
+        assert mean_relative_error([o.latency for o in obs], preds) < 0.3
+
+
+def test_predict_known_positive(small_contender):
+    assert small_contender.predict_known(26, (26, 65)) > 0
+
+
+def test_cqi_respects_variant_option(small_training_data):
+    full = Contender(small_training_data)
+    base = Contender(
+        small_training_data,
+        ContenderOptions(cqi_variant=CQIVariant.BASELINE_IO),
+    )
+    # Mix with a shared fact table: baseline ignores the sharing.
+    assert base.cqi(26, (26, 26)) >= full.cqi(26, (26, 26))
+
+
+def test_predict_new_rejects_template_missing_from_mix(small_contender):
+    profile = small_contender.data.profile(26)
+    with pytest.raises(ModelError):
+        small_contender.predict_new(profile, (65, 71))
+
+
+def test_predict_new_rejects_unknown_concurrent(small_contender):
+    profile = small_contender.data.profile(26)
+    with pytest.raises(ModelError):
+        small_contender.predict_new(profile, (26, 999))
+
+
+def test_predict_new_leave_one_out(small_training_data):
+    """The full Fig. 5 pipeline: hold out a template, predict its
+    latency in a sampled mix within a loose factor-of-two band."""
+    held = 26
+    rest = small_training_data.restricted_to(
+        [t for t in small_training_data.template_ids if t != held]
+    )
+    con = Contender(rest)
+    profile = small_training_data.profile(held)
+    obs = [
+        o
+        for o in small_training_data.observations_for(held, 2)
+        if held not in o.concurrent()
+    ]
+    assert obs
+    for o in obs:
+        pred = con.predict_new(
+            profile,
+            o.mix,
+            spoiler_mode=SpoilerMode.MEASURED,
+            measured_spoiler=small_training_data.spoiler(held),
+        )
+        assert 0.5 * o.latency < pred < 2.0 * o.latency
+
+
+def test_predict_new_knn_spoiler_needs_no_curve(small_training_data):
+    held = 62
+    rest = small_training_data.restricted_to(
+        [t for t in small_training_data.template_ids if t != held]
+    )
+    con = Contender(rest)
+    profile = small_training_data.profile(held)
+    mix = (62, 65)
+    pred = con.predict_new(profile, mix, spoiler_mode=SpoilerMode.KNN)
+    assert pred > 0
+
+
+def test_predict_new_measured_requires_curve(small_training_data):
+    held = 62
+    rest = small_training_data.restricted_to(
+        [t for t in small_training_data.template_ids if t != held]
+    )
+    con = Contender(rest)
+    with pytest.raises(ModelError):
+        con.predict_new(
+            small_training_data.profile(held),
+            (62, 65),
+            spoiler_mode=SpoilerMode.MEASURED,
+        )
+
+
+def test_unknown_y_requires_true_slope(small_contender):
+    profile = small_contender.data.profile(26)
+    with pytest.raises(ModelError):
+        small_contender.synthesize_qs(
+            profile, 2, NewTemplateVariant.UNKNOWN_Y
+        )
+
+
+def test_synthesize_qs_variants_differ(small_contender):
+    profile = small_contender.data.profile(26)
+    uqs = small_contender.synthesize_qs(profile, 2)
+    uy = small_contender.synthesize_qs(
+        profile, 2, NewTemplateVariant.UNKNOWN_Y, true_slope=0.123
+    )
+    assert uy.slope == 0.123
+    assert uqs.slope != uy.slope
+
+
+def test_spoiler_latency_for_measured_known_template(small_contender):
+    profile = small_contender.data.profile(26)
+    value = small_contender.spoiler_latency_for(
+        profile, 2, SpoilerMode.MEASURED
+    )
+    assert value == small_contender.data.spoiler(26).latency_at(2)
+
+
+def test_spoiler_predictor_modes(small_contender):
+    knn = small_contender.spoiler_predictor(SpoilerMode.KNN)
+    io_time = small_contender.spoiler_predictor(SpoilerMode.IO_TIME)
+    profile = small_contender.data.profile(26)
+    assert knn.predict(profile, 2) > 0
+    assert io_time.predict(profile, 2) > 0
+    with pytest.raises(ModelError):
+        small_contender.spoiler_predictor(SpoilerMode.MEASURED)

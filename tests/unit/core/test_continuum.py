@@ -1,0 +1,59 @@
+"""Continuum (Eq. 6) tests."""
+
+import pytest
+
+from repro.core.continuum import (
+    OUTLIER_THRESHOLD,
+    continuum_point,
+    exceeds_continuum,
+    latency_from_point,
+)
+from repro.errors import ModelError
+
+
+def test_bounds_map_to_zero_and_one():
+    assert continuum_point(100.0, 100.0, 200.0) == 0.0
+    assert continuum_point(200.0, 100.0, 200.0) == 1.0
+
+
+def test_midpoint():
+    assert continuum_point(150.0, 100.0, 200.0) == pytest.approx(0.5)
+
+
+def test_round_trip():
+    for latency in (100.0, 137.0, 200.0, 230.0):
+        point = continuum_point(latency, 100.0, 200.0)
+        assert latency_from_point(point, 100.0, 200.0) == pytest.approx(latency)
+
+
+def test_speedup_maps_below_zero():
+    assert continuum_point(90.0, 100.0, 200.0) < 0.0
+
+
+def test_latency_floor_guards_absurd_points():
+    assert latency_from_point(-5.0, 100.0, 200.0) == pytest.approx(5.0)
+
+
+def test_empty_continuum_rejected():
+    with pytest.raises(ModelError):
+        continuum_point(150.0, 200.0, 100.0)
+    with pytest.raises(ModelError):
+        continuum_point(150.0, 100.0, 100.0)
+
+
+def test_nonpositive_inputs_rejected():
+    with pytest.raises(ModelError):
+        continuum_point(0.0, 100.0, 200.0)
+    with pytest.raises(ModelError):
+        continuum_point(100.0, 0.0, 200.0)
+
+
+def test_exceeds_continuum_threshold():
+    assert not exceeds_continuum(104.9, 100.0)
+    assert exceeds_continuum(105.1, 100.0)
+    assert OUTLIER_THRESHOLD == pytest.approx(1.05)
+
+
+def test_exceeds_continuum_validates():
+    with pytest.raises(ModelError):
+        exceeds_continuum(1.0, 0.0)

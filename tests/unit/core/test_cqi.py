@@ -1,0 +1,116 @@
+"""CQI metric tests (Eqs. 2-5), on hand-built profiles."""
+
+import pytest
+
+from repro.core.cqi import CQICalculator, CQIVariant
+from repro.core.training import TemplateProfile
+from repro.errors import ModelError
+
+
+def _profile(tid, latency, io_fraction, facts):
+    return TemplateProfile(
+        template_id=tid,
+        isolated_latency=latency,
+        io_fraction=io_fraction,
+        working_set_bytes=0.0,
+        records_accessed=0.0,
+        plan_steps=1,
+        fact_scans=frozenset(facts),
+    )
+
+
+@pytest.fixture()
+def calc():
+    profiles = {
+        # Primary: scans tables A and B.
+        1: _profile(1, 500.0, 0.9, {"A", "B"}),
+        # Pure-I/O contender sharing A.
+        2: _profile(2, 100.0, 1.0, {"A"}),
+        # Pure-I/O contender with a disjoint table.
+        3: _profile(3, 100.0, 1.0, {"C"}),
+        # CPU-only contender.
+        4: _profile(4, 100.0, 0.0, frozenset()),
+        # Contender sharing C with template 3 (tau candidate).
+        5: _profile(5, 200.0, 0.8, {"C"}),
+    }
+    scan_seconds = {"A": 60.0, "B": 40.0, "C": 30.0}
+    return CQICalculator(profiles=profiles, scan_seconds=scan_seconds)
+
+
+def test_omega_counts_shared_fact_scans(calc):
+    assert calc.omega(2, 1) == 60.0  # shares A
+    assert calc.omega(3, 1) == 0.0  # disjoint
+    assert calc.omega(4, 1) == 0.0  # no scans at all
+
+
+def test_omega_sums_multiple_shared_tables(calc):
+    # Template 1 as a contender of itself would share A and B.
+    assert calc.omega(1, 1) == 100.0
+
+
+def test_tau_requires_two_sharers(calc):
+    # Template 3 alone: no non-primary sharing.
+    assert calc.tau(3, 1, [3]) == 0.0
+    # Templates 3 and 5 both scan C (primary does not): each saves half.
+    assert calc.tau(3, 1, [3, 5]) == pytest.approx(0.5 * 30.0)
+    assert calc.tau(5, 1, [3, 5]) == pytest.approx(0.5 * 30.0)
+
+
+def test_tau_excludes_tables_the_primary_scans(calc):
+    # A is scanned by the primary, so it belongs to omega, not tau.
+    assert calc.tau(2, 1, [2, 2]) == 0.0
+
+
+def test_r_c_baseline_is_io_fraction(calc):
+    assert calc.r_c(2, 1, [2], CQIVariant.BASELINE_IO) == pytest.approx(1.0)
+    assert calc.r_c(4, 1, [4], CQIVariant.BASELINE_IO) == 0.0
+
+
+def test_r_c_positive_subtracts_omega(calc):
+    # io_time = 100, omega = 60 -> 40/100.
+    assert calc.r_c(2, 1, [2], CQIVariant.POSITIVE_IO) == pytest.approx(0.4)
+
+
+def test_r_c_truncates_negative_to_zero(calc):
+    # A contender whose shared scans exceed its total I/O time.
+    profiles = dict(calc.profiles)
+    profiles[6] = _profile(6, 50.0, 0.5, {"A", "B"})  # io 25 < omega 100
+    calc2 = CQICalculator(profiles=profiles, scan_seconds=calc.scan_seconds)
+    assert calc2.r_c(6, 1, [6]) == 0.0
+
+
+def test_full_variant_subtracts_tau(calc):
+    positive = calc.r_c(3, 1, [3, 5], CQIVariant.POSITIVE_IO)
+    full = calc.r_c(3, 1, [3, 5], CQIVariant.FULL)
+    assert full == pytest.approx(positive - 15.0 / 100.0)
+
+
+def test_intensity_is_mean_over_concurrent(calc):
+    # Mix (1, 2, 4): contenders 2 (r=0.4) and 4 (r=0).
+    assert calc.intensity(1, (1, 2, 4)) == pytest.approx(0.2)
+
+
+def test_intensity_mpl1_is_zero(calc):
+    assert calc.intensity(1, (1,)) == 0.0
+
+
+def test_intensity_requires_primary_in_mix(calc):
+    with pytest.raises(ModelError):
+        calc.intensity(1, (2, 3))
+
+
+def test_intensity_with_duplicate_primary(calc):
+    # (1, 1): the second instance of the primary is a contender that
+    # shares both scans: io 450s minus omega 100s over latency 500s.
+    assert calc.intensity(1, (1, 1), CQIVariant.POSITIVE_IO) == pytest.approx(0.7)
+
+
+def test_unknown_template_rejected(calc):
+    with pytest.raises(ModelError):
+        calc.intensity(99, (99, 1))
+
+
+def test_intensity_bounded(calc):
+    for mix in [(1, 2), (1, 3), (1, 4), (1, 2, 3, 4)]:
+        value = calc.intensity(1, mix)
+        assert 0.0 <= value <= 1.0

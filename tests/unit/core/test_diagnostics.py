@@ -1,0 +1,63 @@
+"""QS model diagnostics tests."""
+
+import pytest
+
+from repro.core.diagnostics import (
+    TemplateDiagnosis,
+    diagnose_template,
+    diagnose_workload,
+)
+from repro.errors import ModelError
+
+
+def test_diagnose_template_fields(small_contender):
+    diag = diagnose_template(small_contender, 26, 2)
+    assert diag.template_id == 26
+    assert diag.mpl == 2
+    assert diag.num_samples > 2
+    assert diag.residual_std >= 0
+    assert diag.cqi_range[0] <= diag.cqi_range[1]
+
+
+def test_io_bound_template_fits_well(small_contender):
+    diag = diagnose_template(small_contender, 26, 2)
+    assert diag.r2 > 0.5
+
+
+def test_memory_template_flagged(small_contender):
+    diag = diagnose_template(small_contender, 22, 2)
+    assert any("memory-intensive" in flag for flag in diag.flags)
+
+
+def test_healthy_property():
+    clean = TemplateDiagnosis(1, 2, 0.9, 0.02, (0.0, 0.8), 20, ())
+    flagged = TemplateDiagnosis(1, 2, 0.1, 0.3, (0.0, 0.1), 20, ("weak",))
+    assert clean.healthy
+    assert not flagged.healthy
+
+
+def test_diagnose_workload_covers_templates(small_contender):
+    report = diagnose_workload(small_contender, mpl=2)
+    assert [row.template_id for row in report.rows] == (
+        small_contender.template_ids
+    )
+    table = report.format_table()
+    assert "R²" in table
+    assert "unflagged" in table
+
+
+def test_flagged_sorted_by_r2(small_contender):
+    report = diagnose_workload(small_contender, mpl=2)
+    flagged = report.flagged()
+    r2s = [row.r2 for row in flagged]
+    assert r2s == sorted(r2s)
+
+
+def test_subset_of_templates(small_contender):
+    report = diagnose_workload(small_contender, mpl=2, template_ids=[26, 65])
+    assert len(report.rows) == 2
+
+
+def test_unknown_template_raises(small_contender):
+    with pytest.raises(ModelError):
+        diagnose_template(small_contender, 999, 2)

@@ -1,0 +1,85 @@
+"""Distributed CQPP extension tests."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.distributed import (
+    DistributedContender,
+    DistributedPrediction,
+    evaluate_distributed,
+)
+from repro.engine.cluster import ClusterSpec, run_distributed_steady_state
+from repro.errors import ModelError
+from repro.sampling.steady_state import SteadyStateConfig
+
+SUBSET = (26, 62, 65, 71)
+
+
+@pytest.fixture(scope="module")
+def cluster_catalog(catalog):
+    return catalog.subset(SUBSET)
+
+
+@pytest.fixture(scope="module")
+def predictor(cluster_catalog):
+    spec = ClusterSpec(num_hosts=2, host_config=DEFAULT_CONFIG)
+    return DistributedContender(cluster_catalog, spec).fit(
+        mpls=(2,),
+        lhs_runs_per_mpl=1,
+        steady_config=SteadyStateConfig(samples_per_stream=3),
+    )
+
+
+def test_prediction_decomposition(predictor):
+    pred = predictor.predict(26, (26, 65))
+    assert isinstance(pred, DistributedPrediction)
+    assert pred.per_host_latency > 0
+    assert pred.straggler_factor >= 1.0
+    assert pred.assembly > 0
+    assert pred.total == pytest.approx(
+        pred.per_host_latency * pred.straggler_factor + pred.assembly
+    )
+
+
+def test_unfitted_predictor_raises(cluster_catalog):
+    spec = ClusterSpec(num_hosts=2, host_config=DEFAULT_CONFIG)
+    fresh = DistributedContender(cluster_catalog, spec)
+    with pytest.raises(ModelError):
+        fresh.predict(26, (26, 65))
+
+
+def test_straggler_factor_grows_with_hosts(cluster_catalog):
+    small = DistributedContender(
+        cluster_catalog, ClusterSpec(num_hosts=1, host_config=DEFAULT_CONFIG)
+    )
+    big = DistributedContender(
+        cluster_catalog, ClusterSpec(num_hosts=8, host_config=DEFAULT_CONFIG)
+    )
+    assert small._estimate_straggler() == 1.0
+    assert big._estimate_straggler() > small._estimate_straggler()
+
+
+def test_predictions_track_observed_cluster_runs(predictor, cluster_catalog):
+    cfg = SteadyStateConfig(samples_per_stream=2)
+    runs = [
+        run_distributed_steady_state(
+            cluster_catalog, mix, predictor.spec, steady_config=cfg
+        )
+        for mix in ((26, 65), (71, 26))
+    ]
+    table = evaluate_distributed(predictor, runs)
+    assert table
+    for (mix, primary), (predicted, observed) in table.items():
+        assert abs(observed - predicted) / observed < 0.35, (mix, primary)
+
+
+def test_speedup_relative_to_single_host(predictor, cluster_catalog):
+    single = cluster_catalog.run_isolated(71).latency
+    speedup = predictor.speedup(71, single, (71, 26))
+    assert speedup > 1.0  # partitioning wins despite assembly
+
+
+def test_host_catalog_partitioned(predictor, cluster_catalog):
+    host_iso = predictor.host_catalog.run_isolated(71).latency
+    global_iso = cluster_catalog.run_isolated(71).latency
+    assert host_iso < 0.7 * global_iso

@@ -1,0 +1,135 @@
+"""Evaluation-procedure tests."""
+
+import pytest
+
+from repro.core.contender import NewTemplateVariant, SpoilerMode
+from repro.core.evaluation import (
+    PredictionRecord,
+    evaluate_known_templates,
+    evaluate_new_templates,
+    evaluate_spoiler_predictors,
+    overall_mre,
+    summarize_by_mpl,
+    summarize_by_template,
+)
+from repro.errors import ModelError
+
+
+def _record(primary, mix, observed, predicted):
+    return PredictionRecord(
+        primary=primary, mix=mix, observed=observed, predicted=predicted
+    )
+
+
+def test_prediction_record_relative_error():
+    rec = _record(1, (1, 2), 100.0, 80.0)
+    assert rec.relative_error == pytest.approx(0.2)
+
+
+def test_summarize_by_mpl_groups_on_mix_size():
+    records = [
+        _record(1, (1, 2), 100.0, 90.0),
+        _record(1, (1, 2, 3), 100.0, 50.0),
+    ]
+    summary = summarize_by_mpl(records)
+    assert summary[2][0] == pytest.approx(0.1)
+    assert summary[3][0] == pytest.approx(0.5)
+
+
+def test_summarize_by_template():
+    records = [
+        _record(1, (1, 2), 100.0, 90.0),
+        _record(1, (1, 3), 100.0, 110.0),
+        _record(2, (2, 3), 100.0, 150.0),
+    ]
+    summary = summarize_by_template(records)
+    assert summary[1] == pytest.approx(0.1)
+    assert summary[2] == pytest.approx(0.5)
+
+
+def test_overall_mre_empty_rejected():
+    with pytest.raises(ModelError):
+        overall_mre([])
+
+
+def test_known_templates_cross_validation(small_training_data, rng):
+    records = evaluate_known_templates(small_training_data, (2,), rng=rng)
+    assert records
+    assert overall_mre(records) < 0.30
+    primaries = {r.primary for r in records}
+    assert primaries <= set(small_training_data.template_ids)
+
+
+def test_known_templates_predictions_are_out_of_fold(small_training_data, rng):
+    """Every sampled mix of a template appears exactly once as a test
+    point (k-fold covers the data without repetition)."""
+    records = evaluate_known_templates(small_training_data, (2,), rng=rng)
+    seen = [(r.primary, r.mix) for r in records]
+    assert len(seen) == len(set(seen))
+
+
+def test_new_templates_leave_one_out(small_training_data):
+    records = evaluate_new_templates(
+        small_training_data, (2,), spoiler_mode=SpoilerMode.MEASURED
+    )
+    assert records
+    # No self-mixes: the held-out template never appears as a contender.
+    for rec in records:
+        assert list(rec.mix).count(rec.primary) == 1
+    assert overall_mre(records) < 0.6
+
+
+def test_new_templates_exclusion(small_training_data):
+    records = evaluate_new_templates(
+        small_training_data,
+        (2,),
+        spoiler_mode=SpoilerMode.MEASURED,
+        exclude=(26,),
+    )
+    assert all(rec.primary != 26 for rec in records)
+
+
+def test_new_templates_profile_transform_applied(small_training_data):
+    """A grossly inflated isolated latency must change predictions."""
+    plain = evaluate_new_templates(
+        small_training_data, (2,), spoiler_mode=SpoilerMode.MEASURED
+    )
+    inflated = evaluate_new_templates(
+        small_training_data,
+        (2,),
+        spoiler_mode=SpoilerMode.MEASURED,
+        profile_transform=lambda p: type(p)(
+            template_id=p.template_id,
+            isolated_latency=p.isolated_latency * 1.5,
+            io_fraction=p.io_fraction,
+            working_set_bytes=p.working_set_bytes,
+            records_accessed=p.records_accessed,
+            plan_steps=p.plan_steps,
+            fact_scans=p.fact_scans,
+        ),
+    )
+    assert overall_mre(inflated) != overall_mre(plain)
+
+
+def test_unknown_y_uses_full_data_slope(small_training_data):
+    uy = evaluate_new_templates(
+        small_training_data,
+        (2,),
+        variant=NewTemplateVariant.UNKNOWN_Y,
+        spoiler_mode=SpoilerMode.MEASURED,
+    )
+    uqs = evaluate_new_templates(
+        small_training_data,
+        (2,),
+        variant=NewTemplateVariant.UNKNOWN_QS,
+        spoiler_mode=SpoilerMode.MEASURED,
+    )
+    assert [r.predicted for r in uy] != [r.predicted for r in uqs]
+
+
+def test_spoiler_predictor_evaluation(small_training_data):
+    out = evaluate_spoiler_predictors(small_training_data, (2,))
+    assert set(out) == {"KNN", "I/O Time"}
+    for table in out.values():
+        assert 2 in table
+        assert table[2] >= 0

@@ -1,0 +1,102 @@
+"""Expanding-database extension tests."""
+
+import pytest
+
+from repro.core.growth import (
+    GrowthModel,
+    ScalingLaw,
+    default_catalog_factory,
+    fit_growth_model,
+    validate_growth_model,
+)
+from repro.core.training import TemplateProfile
+from repro.errors import ModelError
+from repro.ml.linreg import SimpleLinearRegression
+
+SUBSET = (26, 62, 65)
+
+
+@pytest.fixture(scope="module")
+def factory(config):
+    base = default_catalog_factory(config)
+    return lambda sf: base(sf).subset(SUBSET)
+
+
+@pytest.fixture(scope="module")
+def model(factory):
+    return fit_growth_model(factory, (40.0, 100.0), SUBSET)
+
+
+def test_laws_cover_requested_templates(model):
+    assert set(model.laws) == set(SUBSET)
+    assert model.scale_factors == (40.0, 100.0)
+
+
+def test_latency_scaling_is_increasing(model):
+    for law in model.laws.values():
+        assert law.latency.slope > 0
+
+
+def test_predicted_profile_interpolates(model, factory):
+    from repro.core.training import measure_template_profile
+
+    mid = measure_template_profile(factory(70.0), 26)
+    predicted = model.predict_profile(26, 70.0)
+    assert predicted.isolated_latency == pytest.approx(
+        mid.isolated_latency, rel=0.05
+    )
+
+
+def test_predicted_profile_keeps_plan_shape(model):
+    reference = model.reference_profiles[26]
+    predicted = model.predict_profile(26, 150.0)
+    assert predicted.plan_steps == reference.plan_steps
+    assert predicted.fact_scans == reference.fact_scans
+
+
+def test_io_fraction_stays_in_unit_interval(model):
+    for sf in (10.0, 100.0, 500.0):
+        profile = model.predict_profile(26, sf)
+        assert 0.0 <= profile.io_fraction <= 1.0
+
+
+def test_validation_error_small_on_holdout(model, factory):
+    errors = validate_growth_model(model, factory, 130.0)
+    assert set(errors) == set(SUBSET)
+    assert max(errors.values()) < 0.10
+
+
+def test_unknown_template_rejected(model):
+    with pytest.raises(ModelError):
+        model.predict_profile(999, 100.0)
+
+
+def test_bad_scale_factor_rejected(model):
+    with pytest.raises(ModelError):
+        model.predict_profile(26, 0.0)
+
+
+def test_fit_needs_two_sizes(factory):
+    with pytest.raises(ModelError):
+        fit_growth_model(factory, (100.0,), SUBSET)
+
+
+def test_scaling_law_clamps_latency():
+    law = ScalingLaw(
+        template_id=1,
+        latency=SimpleLinearRegression(slope=-10.0, intercept=5.0),
+        io_fraction=SimpleLinearRegression(slope=0.0, intercept=0.5),
+        working_set=SimpleLinearRegression(slope=0.0, intercept=-1.0),
+    )
+    reference = TemplateProfile(
+        template_id=1,
+        isolated_latency=100.0,
+        io_fraction=0.5,
+        working_set_bytes=0.0,
+        records_accessed=0.0,
+        plan_steps=1,
+        fact_scans=frozenset(),
+    )
+    profile = law.profile_at(1000.0, reference)
+    assert profile.isolated_latency > 0
+    assert profile.working_set_bytes == 0.0

@@ -1,0 +1,69 @@
+"""Prediction-interval tests."""
+
+import pytest
+
+from repro.core.qs import QSModel
+from repro.errors import ModelError
+
+
+def _model(residual_std=0.1):
+    return QSModel(
+        template_id=1,
+        mpl=2,
+        slope=1.0,
+        intercept=0.0,
+        num_samples=10,
+        residual_std=residual_std,
+    )
+
+
+def test_interval_brackets_point_prediction():
+    low, mid, high = _model().predict_interval(0.5, 100.0, 200.0)
+    assert low < mid < high
+    assert mid == pytest.approx(150.0)
+
+
+def test_interval_width_scales_with_sigmas():
+    low1, _, high1 = _model().predict_interval(0.5, 100.0, 200.0, sigmas=1.0)
+    low2, _, high2 = _model().predict_interval(0.5, 100.0, 200.0, sigmas=2.0)
+    assert (high2 - low2) == pytest.approx(2 * (high1 - low1))
+
+
+def test_zero_residual_gives_degenerate_band():
+    low, mid, high = _model(residual_std=0.0).predict_interval(
+        0.5, 100.0, 200.0
+    )
+    assert low == mid == high
+
+
+def test_negative_sigmas_rejected():
+    with pytest.raises(ModelError):
+        _model().predict_interval(0.5, 100.0, 200.0, sigmas=-1.0)
+
+
+def test_fitted_models_expose_residual_std(small_contender):
+    model = small_contender.qs_model(26, 2)
+    assert model.residual_std >= 0.0
+    assert model.num_samples > 2
+
+
+def test_contender_interval_contains_point(small_contender):
+    mix = (26, 65)
+    low, mid, high = small_contender.predict_known_interval(26, mix)
+    point = small_contender.predict_known(26, mix)
+    assert low <= point <= high
+    assert mid == pytest.approx(point)
+
+
+def test_contender_interval_covers_most_observations(small_contender):
+    """A ±2σ band should cover the bulk of the training mixes."""
+    data = small_contender.data
+    covered = total = 0
+    for tid in data.template_ids:
+        for obs in data.observations_for(tid, 2):
+            low, _, high = small_contender.predict_known_interval(
+                tid, obs.mix, sigmas=2.0
+            )
+            total += 1
+            covered += low <= obs.latency <= high
+    assert covered / total > 0.75

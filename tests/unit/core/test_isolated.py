@@ -1,0 +1,60 @@
+"""Isolated-prediction perturbation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.isolated import perturb_profile
+from repro.core.training import TemplateProfile
+from repro.errors import ModelError
+
+
+@pytest.fixture()
+def profile():
+    return TemplateProfile(
+        template_id=1,
+        isolated_latency=500.0,
+        io_fraction=0.9,
+        working_set_bytes=1e9,
+        records_accessed=1e7,
+        plan_steps=8,
+        fact_scans=frozenset({"store_sales"}),
+    )
+
+
+def test_perturbation_within_bounds(profile, rng):
+    for _ in range(200):
+        p = perturb_profile(profile, rng, error=0.25)
+        assert 0.75 * 500.0 <= p.isolated_latency <= 1.25 * 500.0
+        assert p.working_set_bytes <= 1.25e9
+        assert p.io_fraction <= 1.0
+
+
+def test_plan_features_untouched(profile, rng):
+    p = perturb_profile(profile, rng)
+    assert p.plan_steps == profile.plan_steps
+    assert p.records_accessed == profile.records_accessed
+    assert p.fact_scans == profile.fact_scans
+
+
+def test_zero_error_is_identity(profile, rng):
+    p = perturb_profile(profile, rng, error=0.0)
+    assert p.isolated_latency == profile.isolated_latency
+    assert p.io_fraction == profile.io_fraction
+
+
+def test_perturbations_are_independent(profile):
+    rng = np.random.default_rng(5)
+    p = perturb_profile(profile, rng, error=0.25)
+    ratios = (
+        p.isolated_latency / profile.isolated_latency,
+        p.io_fraction / profile.io_fraction,
+        p.working_set_bytes / profile.working_set_bytes,
+    )
+    assert len(set(round(r, 6) for r in ratios)) > 1
+
+
+def test_error_validated(profile, rng):
+    with pytest.raises(ModelError):
+        perturb_profile(profile, rng, error=1.0)
+    with pytest.raises(ModelError):
+        perturb_profile(profile, rng, error=-0.1)

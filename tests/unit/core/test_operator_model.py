@@ -1,0 +1,101 @@
+"""Operator-level CQPP extension tests."""
+
+import pytest
+
+from repro.core.operator_model import OperatorLatencyModel, PhaseEstimate
+from repro.core.training import TrainingData
+from repro.errors import ModelError
+
+
+@pytest.fixture()
+def model(small_training_data, small_catalog):
+    profiles = {
+        t: small_catalog.profile(t) for t in small_training_data.template_ids
+    }
+    m = OperatorLatencyModel(small_training_data, small_catalog.config)
+    return m.fit(profiles, (2,)), profiles
+
+
+def test_expected_streams_grows_with_io_contenders(model, small_training_data):
+    m, _ = model
+    # A CPU-bound contender (65) adds less expected contention than a
+    # random-I/O one (32, disjoint with 26's catalog scan).
+    light = m.expected_streams(26, (26, 65))
+    heavy = m.expected_streams(26, (26, 32))
+    assert 1.0 <= light < heavy
+
+
+def test_expected_streams_discounts_shared_scans(model):
+    m, _ = model
+    # 26 with itself: the contender's whole I/O is a shared scan.
+    assert m.expected_streams(26, (26, 26)) == pytest.approx(1.0, abs=0.15)
+
+
+def test_compose_prices_every_phase(model, small_training_data):
+    m, profiles = model
+    stats = small_training_data.profile(26)
+    estimates = m.compose(profiles[26], stats, (26, 65))
+    assert len(estimates) == len(profiles[26].phases)
+    assert all(isinstance(e, PhaseEstimate) for e in estimates)
+    assert all(e.seconds >= 0 for e in estimates)
+    assert {e.kind for e in estimates} <= {"seq", "rand", "cpu", "mixed"}
+
+
+def test_raw_estimate_increases_with_contention(model, small_training_data):
+    m, profiles = model
+    stats = small_training_data.profile(26)
+    mild = m.raw_estimate(profiles[26], stats, (26, 65))
+    harsh = m.raw_estimate(profiles[26], stats, (26, 32, 82))
+    assert harsh > mild
+
+
+def test_predict_tracks_observations(model, small_training_data):
+    m, profiles = model
+    errors = []
+    for tid in small_training_data.template_ids:
+        stats = small_training_data.profile(tid)
+        for obs in small_training_data.observations_for(tid, 2):
+            pred = m.predict(profiles[tid], stats, obs.mix)
+            errors.append(abs(obs.latency - pred) / obs.latency)
+    assert sum(errors) / len(errors) < 0.35
+
+
+def test_predict_works_for_held_out_template(small_training_data, small_catalog):
+    held = 26
+    rest_ids = [t for t in small_training_data.template_ids if t != held]
+    rest = small_training_data.restricted_to(rest_ids)
+    profiles = {t: small_catalog.profile(t) for t in rest_ids}
+    m = OperatorLatencyModel(rest, small_catalog.config).fit(
+        profiles, (2,), rest_ids
+    )
+    stats = small_training_data.profile(held)
+    held_profile = small_catalog.profile(held)
+    obs = [
+        o
+        for o in small_training_data.observations_for(held, 2)
+        if held not in o.concurrent()
+    ]
+    for o in obs:
+        pred = m.predict(held_profile, stats, o.mix)
+        assert 0.4 * o.latency < pred < 2.5 * o.latency
+
+
+def test_uncalibrated_mpl_rejected(model, small_training_data):
+    m, profiles = model
+    stats = small_training_data.profile(26)
+    with pytest.raises(ModelError):
+        m.predict(profiles[26], stats, (26, 65, 71))
+
+
+def test_requires_templates(small_catalog):
+    empty = TrainingData(
+        profiles={}, spoilers={}, observations={}, scan_seconds={}
+    )
+    with pytest.raises(ModelError):
+        OperatorLatencyModel(empty, small_catalog.config)
+
+
+def test_fit_requires_profiles(small_training_data, small_catalog):
+    m = OperatorLatencyModel(small_training_data, small_catalog.config)
+    with pytest.raises(ModelError):
+        m.fit({}, (2,))

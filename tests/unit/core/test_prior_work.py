@@ -1,0 +1,86 @@
+"""Prior-work baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.prior_work import PriorWorkPredictor, mix_composition_vector
+from repro.core.training import TrainingData
+from repro.errors import ModelError, NotFittedError
+
+
+def test_composition_vector_counts_concurrent_occurrences():
+    vec = mix_composition_vector([1, 2, 3], primary=1, mix=(1, 2, 2, 3))
+    assert list(vec) == [0.0, 2.0, 1.0]
+
+
+def test_composition_vector_handles_duplicate_primary():
+    vec = mix_composition_vector([1, 2], primary=1, mix=(1, 1))
+    assert list(vec) == [1.0, 0.0]
+
+
+def test_composition_vector_validation():
+    with pytest.raises(ModelError):
+        mix_composition_vector([1, 2], primary=3, mix=(1, 2))
+    with pytest.raises(ModelError):
+        mix_composition_vector([1, 2], primary=1, mix=(1, 9))
+
+
+@pytest.fixture()
+def predictor(small_training_data):
+    return PriorWorkPredictor(small_training_data).fit((2,))
+
+
+def test_predicts_known_templates_reasonably(predictor, small_training_data):
+    errors = []
+    for tid in small_training_data.template_ids:
+        for obs in small_training_data.observations_for(tid, 2):
+            pred = predictor.predict(tid, obs.mix)
+            errors.append(abs(obs.latency - pred) / obs.latency)
+    assert float(np.mean(errors)) < 0.25
+
+
+def test_cross_validated_mre_positive(predictor, rng):
+    mre = predictor.cross_validated_mre((2,), folds=3, rng=rng)
+    assert 0.0 <= mre < 0.6
+
+
+def test_unfitted_mpl_rejected(predictor):
+    with pytest.raises(NotFittedError):
+        predictor.predict(26, (26, 62, 65))
+
+
+def test_new_template_cannot_be_predicted(small_training_data):
+    held = 26
+    rest = small_training_data.restricted_to(
+        [t for t in small_training_data.template_ids if t != held]
+    )
+    baseline = PriorWorkPredictor(rest).fit((2,))
+    with pytest.raises(NotFittedError):
+        baseline.predict(held, (held, 65))
+
+
+def test_onboarding_cost_formula(predictor):
+    # 2 * m * k samples (Sec. 5.4).
+    assert predictor.samples_required_for_new_template((2, 3, 4), k=25) == 150
+
+
+def test_requires_per_template_samples(small_training_data):
+    # Scrubbing a template's observations breaks the baseline's fit.
+    crippled = TrainingData(
+        profiles=dict(small_training_data.profiles),
+        spoilers=dict(small_training_data.spoilers),
+        observations={2: [
+            o for o in small_training_data.observations[2] if o.primary != 26
+        ]},
+        scan_seconds=dict(small_training_data.scan_seconds),
+    )
+    with pytest.raises(ModelError):
+        PriorWorkPredictor(crippled).fit((2,))
+
+
+def test_empty_data_rejected():
+    empty = TrainingData(
+        profiles={}, spoilers={}, observations={}, scan_seconds={}
+    )
+    with pytest.raises(ModelError):
+        PriorWorkPredictor(empty)

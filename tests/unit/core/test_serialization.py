@@ -1,0 +1,58 @@
+"""TrainingData JSON/pickle interchange tests."""
+
+import pytest
+
+from repro.core.contender import Contender
+from repro.core.training import TrainingData
+from repro.errors import ModelError
+
+
+def test_json_round_trip_preserves_everything(small_training_data):
+    text = small_training_data.to_json()
+    back = TrainingData.from_json(text)
+    assert back.template_ids == small_training_data.template_ids
+    assert back.config_seed == small_training_data.config_seed
+    assert back.scan_seconds == small_training_data.scan_seconds
+    for tid in back.template_ids:
+        original = small_training_data.profile(tid)
+        restored = back.profile(tid)
+        assert restored == original
+        assert dict(back.spoiler(tid).latencies) == dict(
+            small_training_data.spoiler(tid).latencies
+        )
+    for mpl, obs_list in small_training_data.observations.items():
+        assert back.observations[mpl] == obs_list
+
+
+def test_json_is_deterministic(small_training_data):
+    assert small_training_data.to_json() == small_training_data.to_json()
+
+
+def test_json_restored_data_predicts_identically(small_training_data):
+    original = Contender(small_training_data)
+    restored = Contender(
+        TrainingData.from_json(small_training_data.to_json())
+    )
+    mix = (26, 65)
+    assert restored.predict_known(26, mix) == pytest.approx(
+        original.predict_known(26, mix)
+    )
+
+
+def test_malformed_json_rejected():
+    with pytest.raises(ModelError):
+        TrainingData.from_json('{"profiles": "nope"}')
+
+
+def test_json_parse_errors_surface_as_model_errors():
+    with pytest.raises(Exception):
+        TrainingData.from_json("not json at all")
+
+
+def test_pickle_and_json_agree(small_training_data, tmp_path):
+    path = tmp_path / "data.pkl"
+    small_training_data.save(path)
+    pickled = TrainingData.load(path)
+    jsoned = TrainingData.from_json(small_training_data.to_json())
+    assert pickled.template_ids == jsoned.template_ids
+    assert pickled.profile(26) == jsoned.profile(26)

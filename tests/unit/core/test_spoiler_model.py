@@ -1,0 +1,154 @@
+"""Spoiler-prediction tests (Sec. 5.5, Eq. 8)."""
+
+import pytest
+
+from repro.core.spoiler_model import (
+    IOTimeSpoilerPredictor,
+    KNNSpoilerPredictor,
+    SpoilerGrowthModel,
+)
+from repro.core.training import SpoilerCurve, TemplateProfile
+from repro.errors import ModelError
+
+
+def _profile(tid, latency, io_fraction, working_set):
+    return TemplateProfile(
+        template_id=tid,
+        isolated_latency=latency,
+        io_fraction=io_fraction,
+        working_set_bytes=working_set,
+        records_accessed=1e6,
+        plan_steps=5,
+        fact_scans=frozenset(),
+    )
+
+
+def _linear_curve(tid, base, slope):
+    return SpoilerCurve(
+        template_id=tid,
+        latencies={m: base + slope * m for m in range(1, 6)},
+    )
+
+
+def test_fit_latency_recovers_line():
+    curve = _linear_curve(1, 50.0, 100.0)
+    model = SpoilerGrowthModel.fit_latency(curve)
+    assert model.slope == pytest.approx(100.0)
+    assert model.intercept == pytest.approx(50.0)
+    assert model.predict(7) == pytest.approx(750.0)
+
+
+def test_fit_latency_on_subset_of_mpls():
+    curve = _linear_curve(1, 50.0, 100.0)
+    model = SpoilerGrowthModel.fit_latency(curve, mpls=[1, 2, 3])
+    assert model.predict(5) == pytest.approx(550.0)
+
+
+def test_fit_growth_is_scale_independent():
+    curve = _linear_curve(1, 0.0, 150.0)
+    model = SpoilerGrowthModel.fit_growth(curve, isolated_latency=150.0)
+    # growth(n) = n, scaled back by isolated latency.
+    assert model.predict(4) == pytest.approx(600.0)
+
+
+def test_predict_rejects_bad_mpl():
+    model = SpoilerGrowthModel(template_id=1, slope=1.0, intercept=0.0)
+    with pytest.raises(ModelError):
+        model.predict(0)
+
+
+def test_fit_needs_two_points():
+    curve = SpoilerCurve(template_id=1, latencies={1: 100.0})
+    with pytest.raises(ModelError):
+        SpoilerGrowthModel.fit_latency(curve)
+
+
+@pytest.fixture()
+def known_workload():
+    """Growth rate is a clean function of (working set, io fraction):
+    similar templates have similar growth — the KNN premise."""
+    profiles = {}
+    curves = {}
+    for tid, (io, ws) in enumerate(
+        [(0.2, 1e6), (0.25, 2e6), (0.9, 1e6), (0.95, 2e6), (0.5, 5e9), (0.55, 6e9)],
+        start=1,
+    ):
+        latency = 200.0
+        growth_slope = 0.5 + io + (1.0 if ws > 1e9 else 0.0)
+        profiles[tid] = _profile(tid, latency, io, ws)
+        curves[tid] = SpoilerCurve(
+            template_id=tid,
+            latencies={
+                m: latency * (1.0 + growth_slope * (m - 1)) for m in range(1, 6)
+            },
+        )
+    return profiles, curves
+
+
+def test_knn_predicts_from_similar_templates(known_workload):
+    profiles, curves = known_workload
+    predictor = KNNSpoilerPredictor(k=1).fit(profiles, curves)
+    new = _profile(99, 300.0, 0.92, 1.5e6)  # closest to templates 3/4
+    predicted = predictor.predict(new, 5)
+    expected_growth = 1.0 + (0.5 + 0.9 + 0.0) * 4  # template 3's law
+    assert predicted == pytest.approx(300.0 * expected_growth, rel=0.15)
+
+
+def test_knn_scales_by_new_isolated_latency(known_workload):
+    profiles, curves = known_workload
+    predictor = KNNSpoilerPredictor(k=3).fit(profiles, curves)
+    short = _profile(98, 100.0, 0.9, 1e6)
+    long = _profile(99, 1000.0, 0.9, 1e6)
+    assert predictor.predict(long, 3) == pytest.approx(
+        10 * predictor.predict(short, 3)
+    )
+
+
+def test_knn_model_for_returns_growth_model(known_workload):
+    profiles, curves = known_workload
+    predictor = KNNSpoilerPredictor(k=2).fit(profiles, curves)
+    model = predictor.model_for(_profile(99, 300.0, 0.9, 1e6))
+    assert model.scale == 300.0
+    assert model.predict(1) > 0
+
+
+def test_knn_unfitted_raises(known_workload):
+    with pytest.raises(ModelError):
+        KNNSpoilerPredictor().model_for(_profile(9, 1.0, 0.5, 1.0))
+
+
+def test_io_time_predictor_tracks_io_fraction(known_workload):
+    profiles, curves = known_workload
+    # Keep only the small-working-set templates so growth is a pure
+    # function of the I/O fraction — the baseline's best case.
+    small_ids = [1, 2, 3, 4]
+    predictor = IOTimeSpoilerPredictor().fit(profiles, curves, small_ids)
+    new = _profile(99, 200.0, 0.9, 1e6)
+    expected = 200.0 * (1.0 + (0.5 + 0.9) * 4)
+    assert predictor.predict(new, 5) == pytest.approx(expected, rel=0.1)
+
+
+def test_io_time_predictor_blind_to_working_set(known_workload):
+    """The baseline cannot distinguish memory-heavy templates with the
+    same I/O fraction — the reason KNN wins in Fig. 9."""
+    profiles, curves = known_workload
+    predictor = IOTimeSpoilerPredictor().fit(profiles, curves)
+    light = _profile(98, 200.0, 0.5, 1e6)
+    heavy = _profile(99, 200.0, 0.5, 5e9)
+    assert predictor.predict(light, 4) == predictor.predict(heavy, 4)
+
+    knn = KNNSpoilerPredictor(k=2).fit(profiles, curves)
+    assert knn.predict(heavy, 4) > knn.predict(light, 4)
+
+
+def test_io_time_needs_two_templates(known_workload):
+    profiles, curves = known_workload
+    with pytest.raises(ModelError):
+        IOTimeSpoilerPredictor().fit(profiles, curves, [1])
+
+
+def test_missing_curve_rejected(known_workload):
+    profiles, curves = known_workload
+    del curves[1]
+    with pytest.raises(ModelError):
+        KNNSpoilerPredictor().fit(profiles, curves)

@@ -1,0 +1,121 @@
+"""Training-data collection tests."""
+
+import pytest
+
+from repro.core.training import (
+    MixObservation,
+    SpoilerCurve,
+    TemplateProfile,
+    collect_training_data,
+    measure_spoiler_curve,
+    measure_template_profile,
+)
+from repro.errors import ModelError, SamplingError
+from repro.sampling.steady_state import SteadyStateConfig
+
+
+def test_template_profile_validation():
+    with pytest.raises(ModelError):
+        TemplateProfile(1, -1.0, 0.5, 0, 0, 1, frozenset())
+    with pytest.raises(ModelError):
+        TemplateProfile(1, 10.0, 1.5, 0, 0, 1, frozenset())
+
+
+def test_spoiler_curve_lookup():
+    curve = SpoilerCurve(template_id=1, latencies={1: 100.0, 2: 180.0})
+    assert curve.latency_at(2) == 180.0
+    assert curve.mpls == [1, 2]
+    with pytest.raises(ModelError):
+        curve.latency_at(5)
+
+
+def test_spoiler_growth_rate():
+    curve = SpoilerCurve(template_id=1, latencies={3: 300.0})
+    assert curve.growth_rate(3, 100.0) == pytest.approx(3.0)
+    with pytest.raises(ModelError):
+        curve.growth_rate(3, 0.0)
+
+
+def test_mix_observation_concurrent_set():
+    obs = MixObservation(primary=5, mix=(5, 5, 7), latency=10.0,
+                         latency_std=0.0, num_samples=3)
+    assert obs.mpl == 3
+    assert obs.concurrent() == (5, 7)
+
+
+def test_measure_template_profile(small_catalog):
+    profile = measure_template_profile(small_catalog, 26)
+    assert profile.isolated_latency > 0
+    assert 0 < profile.io_fraction <= 1
+    assert "catalog_sales" in profile.fact_scans
+    assert profile.plan_steps > 1
+
+
+def test_measure_template_profile_multiple_runs(small_catalog, rng):
+    profile = measure_template_profile(small_catalog, 26, runs=3, rng=rng)
+    assert profile.isolated_latency > 0
+    with pytest.raises(SamplingError):
+        measure_template_profile(small_catalog, 26, runs=0)
+
+
+def test_measure_spoiler_curve(small_catalog):
+    curve = measure_spoiler_curve(small_catalog, 26, [1, 2, 3])
+    assert curve.mpls == [1, 2, 3]
+    lats = [curve.latency_at(m) for m in (1, 2, 3)]
+    assert lats == sorted(lats)
+
+
+def test_collected_data_structure(small_training_data, small_catalog):
+    data = small_training_data
+    assert set(data.profiles) == set(small_catalog.template_ids)
+    assert set(data.spoilers) == set(small_catalog.template_ids)
+    assert 2 in data.observations
+    # MPL 2 samples all pairs: C(n+1, 2) mixes, ~2 observations each.
+    n = len(small_catalog.template_ids)
+    pair_count = n * (n + 1) // 2
+    assert len(data.observations[2]) == 2 * pair_count - n
+
+
+def test_observations_for_primary(small_training_data):
+    obs = small_training_data.observations_for(26, 2)
+    assert obs
+    assert all(o.primary == 26 and o.mpl == 2 for o in obs)
+
+
+def test_spoiler_curves_cover_mpl_1_to_max(small_training_data):
+    for tid in small_training_data.template_ids:
+        assert small_training_data.spoiler(tid).mpls == [1, 2]
+
+
+def test_scan_seconds_present_for_facts(small_training_data):
+    assert "store_sales" in small_training_data.scan_seconds
+
+
+def test_restricted_to_scrubs_template(small_training_data):
+    ids = small_training_data.template_ids
+    keep = [t for t in ids if t != 26]
+    restricted = small_training_data.restricted_to(keep)
+    assert 26 not in restricted.profiles
+    assert 26 not in restricted.spoilers
+    for obs in restricted.observations[2]:
+        assert 26 not in obs.mix
+
+
+def test_restricted_to_unknown_template(small_training_data):
+    with pytest.raises(ModelError):
+        small_training_data.restricted_to([9999])
+
+
+def test_save_and_load_round_trip(small_training_data, tmp_path):
+    path = tmp_path / "cache" / "data.pkl"
+    small_training_data.save(path)
+    loaded = type(small_training_data).load(path)
+    assert loaded.template_ids == small_training_data.template_ids
+    assert len(loaded.observations[2]) == len(
+        small_training_data.observations[2]
+    )
+
+
+def test_collect_requires_mpls(small_catalog):
+    with pytest.raises(SamplingError):
+        collect_training_data(small_catalog, mpls=())

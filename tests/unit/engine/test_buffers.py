@@ -1,0 +1,93 @@
+"""Buffer-cache tests."""
+
+import pytest
+
+from repro.engine.buffers import BufferCache
+from repro.errors import SimulationError
+from repro.units import MB
+
+
+@pytest.fixture()
+def cache():
+    return BufferCache(capacity_bytes=MB(100))
+
+
+def test_starts_cold(cache):
+    assert not cache.is_resident("item")
+    assert cache.used_bytes == 0
+
+
+def test_admit_makes_resident(cache):
+    assert cache.admit("item", MB(50))
+    assert cache.is_resident("item")
+    assert cache.used_bytes == MB(50)
+
+
+def test_admit_respects_capacity(cache):
+    assert cache.admit("a", MB(80))
+    assert not cache.admit("b", MB(30))
+    assert not cache.is_resident("b")
+
+
+def test_admit_is_idempotent(cache):
+    cache.admit("item", MB(50))
+    assert cache.admit("item", MB(50))
+    assert cache.used_bytes == MB(50)
+
+
+def test_exact_fit_admitted(cache):
+    assert cache.admit("a", MB(100))
+
+
+def test_clear_flushes(cache):
+    cache.admit("item", MB(50))
+    cache.clear()
+    assert not cache.is_resident("item")
+    assert cache.used_bytes == 0
+
+
+def test_resident_relations(cache):
+    cache.admit("a", MB(10))
+    cache.admit("b", MB(10))
+    assert cache.resident_relations() == {"a", "b"}
+
+
+def test_negative_size_rejected(cache):
+    with pytest.raises(SimulationError):
+        cache.admit("x", -1)
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(SimulationError):
+        BufferCache(capacity_bytes=-1)
+
+
+def test_lru_evicts_oldest_to_make_room():
+    cache = BufferCache(capacity_bytes=MB(100), eviction="lru")
+    cache.admit("a", MB(60))
+    cache.admit("b", MB(30))
+    assert cache.admit("c", MB(50))  # evicts 'a'
+    assert not cache.is_resident("a")
+    assert cache.is_resident("b") and cache.is_resident("c")
+
+
+def test_lru_touch_refreshes_recency():
+    cache = BufferCache(capacity_bytes=MB(100), eviction="lru")
+    cache.admit("a", MB(40))
+    cache.admit("b", MB(30))
+    assert cache.is_resident("a")  # touch 'a' -> 'b' becomes the oldest
+    cache.admit("c", MB(50))
+    assert cache.is_resident("a")
+    assert not cache.is_resident("b")
+
+
+def test_lru_never_admits_oversized_relation():
+    cache = BufferCache(capacity_bytes=MB(100), eviction="lru")
+    cache.admit("a", MB(60))
+    assert not cache.admit("huge", MB(200))
+    assert cache.is_resident("a")
+
+
+def test_unknown_eviction_policy_rejected():
+    with pytest.raises(SimulationError):
+        BufferCache(capacity_bytes=MB(10), eviction="clock")

@@ -1,0 +1,101 @@
+"""Cluster substrate tests."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.engine.cluster import (
+    ClusterSpec,
+    assembly_seconds,
+    host_catalog,
+    partition_schema,
+    run_distributed_steady_state,
+)
+from repro.errors import ConfigurationError, WorkloadError
+from repro.sampling.steady_state import SteadyStateConfig
+from repro.units import MB
+
+
+@pytest.fixture()
+def spec():
+    return ClusterSpec(num_hosts=4, host_config=DEFAULT_CONFIG)
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(num_hosts=0, host_config=DEFAULT_CONFIG)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(
+            num_hosts=2, host_config=DEFAULT_CONFIG, network_bandwidth=0
+        )
+
+
+def test_partition_divides_facts_replicates_dims(schema):
+    part = partition_schema(schema, 4)
+    assert part["store_sales"].size_bytes == pytest.approx(
+        schema["store_sales"].size_bytes / 4
+    )
+    assert part["item"].size_bytes == schema["item"].size_bytes
+    assert part["item"].row_count == schema["item"].row_count
+
+
+def test_partition_of_one_host_is_identity(schema):
+    part = partition_schema(schema, 1)
+    assert part["store_sales"].size_bytes == schema["store_sales"].size_bytes
+
+
+def test_partition_validation(schema):
+    with pytest.raises(WorkloadError):
+        partition_schema(schema, 0)
+
+
+def test_host_catalog_keeps_templates(catalog, spec):
+    host = host_catalog(catalog, spec)
+    assert host.template_ids == catalog.template_ids
+    # A host's isolated run is much faster than the global one.
+    assert host.run_isolated(26).latency < 0.5 * catalog.run_isolated(26).latency
+
+
+def test_assembly_includes_transfer_and_coordination(catalog, spec):
+    host = host_catalog(catalog, spec)
+    secs = assembly_seconds(host, 26, spec)
+    assert secs >= spec.coordination_overhead
+    single = ClusterSpec(num_hosts=1, host_config=DEFAULT_CONFIG)
+    assert assembly_seconds(host, 26, single) == pytest.approx(
+        single.coordination_overhead
+    )
+
+
+def test_assembly_grows_with_result_size(catalog, spec):
+    host = host_catalog(catalog, spec)
+    # T46 returns ~1.5M rows, T61 a single row.
+    assert assembly_seconds(host, 46, spec) > assembly_seconds(host, 61, spec)
+
+
+def test_distributed_run_latency_is_straggler_plus_assembly(catalog):
+    spec = ClusterSpec(num_hosts=2, host_config=DEFAULT_CONFIG)
+    cfg = SteadyStateConfig(samples_per_stream=2)
+    run = run_distributed_steady_state(
+        catalog, (26, 62), spec, steady_config=cfg
+    )
+    for template in (26, 62):
+        hosts = run.per_host_latency[template]
+        assert len(hosts) == 2
+        assert run.latency(template) == pytest.approx(
+            max(hosts) + run.assembly[template]
+        )
+
+
+def test_distributed_run_unknown_template(catalog):
+    spec = ClusterSpec(num_hosts=2, host_config=DEFAULT_CONFIG)
+    cfg = SteadyStateConfig(samples_per_stream=1, warmup=0, cooldown=0)
+    run = run_distributed_steady_state(
+        catalog, (26, 62), spec, steady_config=cfg
+    )
+    with pytest.raises(WorkloadError):
+        run.latency(99)
+
+
+def test_distributed_run_requires_mix(catalog):
+    spec = ClusterSpec(num_hosts=2, host_config=DEFAULT_CONFIG)
+    with pytest.raises(WorkloadError):
+        run_distributed_steady_state(catalog, (), spec)

@@ -1,0 +1,59 @@
+"""Fair-share disk model tests."""
+
+import pytest
+
+from repro.config import HardwareSpec
+from repro.engine import disk
+from repro.units import MB
+
+
+@pytest.fixture()
+def hw():
+    return HardwareSpec(seq_bandwidth=MB(100), random_iops=100.0)
+
+
+def test_single_stream_gets_full_bandwidth(hw):
+    rates = disk.allocate(hw, [disk.private_seq_key(1)])
+    assert rates.seq_bytes_per_sec == hw.seq_bandwidth
+    assert rates.num_streams == 1
+
+
+def test_two_streams_split_evenly(hw):
+    rates = disk.allocate(
+        hw, [disk.private_seq_key(1), disk.private_seq_key(2)]
+    )
+    assert rates.seq_bytes_per_sec == pytest.approx(hw.seq_bandwidth / 2)
+
+
+def test_shared_scan_keys_collapse(hw):
+    keys = [disk.shared_scan_key("sales"), disk.shared_scan_key("sales")]
+    rates = disk.allocate(hw, keys)
+    assert rates.num_streams == 1
+    assert rates.seq_bytes_per_sec == hw.seq_bandwidth
+
+
+def test_different_tables_do_not_collapse(hw):
+    keys = [disk.shared_scan_key("sales"), disk.shared_scan_key("returns")]
+    assert disk.allocate(hw, keys).num_streams == 2
+
+
+def test_random_and_seq_share_device_time(hw):
+    keys = [disk.private_seq_key(1), disk.random_key(2)]
+    rates = disk.allocate(hw, keys)
+    assert rates.seq_bytes_per_sec == pytest.approx(hw.seq_bandwidth / 2)
+    assert rates.rand_ops_per_sec == pytest.approx(hw.random_iops / 2)
+
+
+def test_no_streams_is_harmless(hw):
+    rates = disk.allocate(hw, [])
+    assert rates.num_streams == 0
+    assert rates.seq_bytes_per_sec == hw.seq_bandwidth
+
+
+def test_private_keys_distinct_per_owner():
+    assert disk.private_seq_key(1) != disk.private_seq_key(2)
+    assert disk.random_key("a") != disk.random_key("b")
+
+
+def test_shared_key_differs_from_private():
+    assert disk.shared_scan_key("sales") != disk.private_seq_key("sales")

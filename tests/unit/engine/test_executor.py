@@ -1,0 +1,278 @@
+"""Concurrent-executor behaviour tests.
+
+These check the physics of the substrate: fair sharing, shared-scan
+coalescing, cache warm-up, memory-pressure spill, CPU non-contention,
+and background (spoiler) work.
+"""
+
+import pytest
+
+from repro.config import (
+    DEFAULT_CONFIG,
+    HardwareSpec,
+    SimulationConfig,
+    SystemConfig,
+)
+from repro.engine.executor import ConcurrentExecutor, SingleShotStream
+from repro.engine.profile import Phase, ResourceProfile, reader_profile
+from repro.errors import SimulationError
+from repro.units import GB, MB
+
+
+def _config(**sim_kwargs):
+    defaults = dict(restart_cost=0.0)
+    defaults.update(sim_kwargs)
+    return SystemConfig(
+        hardware=HardwareSpec(seq_bandwidth=MB(100), random_iops=100.0),
+        simulation=SimulationConfig(**defaults),
+    )
+
+
+def _seq_profile(nbytes, relation=None, template_id=1):
+    phase = Phase(label="scan", relation=relation, seq_bytes=nbytes)
+    return ResourceProfile(template_id=template_id, phases=(phase,))
+
+
+def _cpu_profile(seconds, template_id=1):
+    phase = Phase(label="cpu", cpu_seconds=seconds)
+    return ResourceProfile(template_id=template_id, phases=(phase,))
+
+
+def _run(config, profiles, **kwargs):
+    streams = [
+        SingleShotStream(p, name=f"s{i}") for i, p in enumerate(profiles)
+    ]
+    return ConcurrentExecutor(config).run(streams, **kwargs)
+
+
+def test_single_seq_query_latency_is_bytes_over_bandwidth():
+    config = _config()
+    result = _run(config, [_seq_profile(MB(100))])
+    assert result.latencies()[0] == pytest.approx(1.0, rel=1e-6)
+
+
+def test_two_private_streams_halve_bandwidth():
+    config = _config()
+    result = _run(config, [_seq_profile(MB(100)), _seq_profile(MB(100))])
+    for latency in result.latencies():
+        assert latency == pytest.approx(2.0, rel=1e-6)
+
+
+def test_shared_scans_coalesce_into_one_stream():
+    config = _config()
+    result = _run(
+        config,
+        [
+            _seq_profile(MB(100), relation="sales"),
+            _seq_profile(MB(100), relation="sales", template_id=2),
+        ],
+    )
+    # Both ride one stream at full bandwidth: no slowdown at all.
+    for latency in result.latencies():
+        assert latency == pytest.approx(1.0, rel=1e-6)
+
+
+def test_shared_scans_disabled_by_config():
+    config = _config(shared_scans=False)
+    result = _run(
+        config,
+        [
+            _seq_profile(MB(100), relation="sales"),
+            _seq_profile(MB(100), relation="sales", template_id=2),
+        ],
+    )
+    for latency in result.latencies():
+        assert latency == pytest.approx(2.0, rel=1e-6)
+
+
+def test_cpu_work_does_not_contend_below_core_count():
+    config = _config()
+    result = _run(config, [_cpu_profile(3.0), _cpu_profile(3.0)])
+    for latency in result.latencies():
+        assert latency == pytest.approx(3.0, rel=1e-6)
+
+
+def test_cpu_work_contends_past_core_count():
+    config = SystemConfig(
+        hardware=HardwareSpec(cores=1, seq_bandwidth=MB(100), random_iops=100),
+        simulation=SimulationConfig(restart_cost=0.0),
+    )
+    result = _run(config, [_cpu_profile(2.0), _cpu_profile(2.0)])
+    for latency in result.latencies():
+        assert latency == pytest.approx(4.0, rel=1e-6)
+
+
+def test_io_and_cpu_components_overlap_within_phase():
+    phase = Phase(label="mixed", seq_bytes=MB(100), cpu_seconds=0.5)
+    profile = ResourceProfile(template_id=1, phases=(phase,))
+    result = _run(_config(), [profile])
+    # max(1.0s of I/O, 0.5s CPU) = 1.0s.
+    assert result.latencies()[0] == pytest.approx(1.0, rel=1e-6)
+
+
+def test_phases_execute_serially():
+    phases = (
+        Phase(label="a", seq_bytes=MB(100)),
+        Phase(label="b", cpu_seconds=0.5),
+    )
+    profile = ResourceProfile(template_id=1, phases=phases)
+    result = _run(_config(), [profile])
+    assert result.latencies()[0] == pytest.approx(1.5, rel=1e-6)
+
+
+def test_io_seconds_counts_io_blocked_time_only():
+    phases = (
+        Phase(label="a", seq_bytes=MB(100)),
+        Phase(label="b", cpu_seconds=1.0),
+    )
+    profile = ResourceProfile(template_id=1, phases=phases)
+    result = _run(_config(), [profile])
+    stats = result.completions[0].stats
+    assert stats.io_seconds == pytest.approx(1.0, rel=1e-6)
+    assert stats.io_fraction == pytest.approx(0.5, rel=1e-6)
+
+
+def test_dimension_scans_cached_after_first_touch():
+    dim_phase = Phase(
+        label="dim",
+        relation="item",
+        seq_bytes=MB(50),
+        dimension_scan=True,
+    )
+    first = ResourceProfile(template_id=1, phases=(dim_phase,))
+    second = ResourceProfile(template_id=1, phases=(dim_phase,))
+
+    class TwoShot:
+        name = "dims"
+
+        def next_profile(self, now, completed):
+            return [first, second, None][completed]
+
+    config = _config()
+    result = ConcurrentExecutor(config).run([TwoShot()])
+    lats = result.latencies()
+    assert lats[0] == pytest.approx(0.5, rel=1e-6)  # cold: 50 MB / 100 MB/s
+    assert lats[1] < 0.01  # warm: served from cache
+
+
+def test_spill_adds_io_under_memory_pressure():
+    config = _config()
+    mem_phase = Phase(
+        label="sort", mem_bytes=GB(6), spillable=True, cpu_seconds=0.1
+    )
+    profile = ResourceProfile(template_id=1, phases=(mem_phase,))
+    # Alone on an 8 GB machine: fits, no spill.
+    no_pressure = _run(config, [profile])
+    assert no_pressure.completions[0].stats.spill_bytes == 0
+    # With 6 GB pinned: massive deficit, spill I/O appears.
+    fresh = ResourceProfile(template_id=1, phases=(mem_phase,))
+    pressured = _run(config, [fresh], pinned_bytes=GB(6))
+    stats = pressured.completions[0].stats
+    assert stats.spill_bytes > 0
+    assert stats.latency > no_pressure.latencies()[0]
+
+
+def test_background_readers_slow_foreground():
+    config = _config()
+    alone = _run(config, [_seq_profile(MB(100))])
+    contended = _run(
+        config, [_seq_profile(MB(100))], background=[reader_profile(GB(1))]
+    )
+    assert contended.latencies()[0] == pytest.approx(
+        2 * alone.latencies()[0], rel=1e-3
+    )
+
+
+def test_background_never_completes():
+    config = _config()
+    result = _run(
+        config, [_seq_profile(MB(10))], background=[reader_profile(MB(1))]
+    )
+    # Only the foreground query is reported, and the run terminates even
+    # though the circular reader never finishes.
+    assert len(result.completions) == 1
+
+
+def test_shared_scan_credit_recorded():
+    config = _config()
+    result = _run(
+        config,
+        [
+            _seq_profile(MB(100), relation="sales"),
+            _seq_profile(MB(100), relation="sales", template_id=2),
+        ],
+    )
+    for item in result.completions:
+        assert item.stats.shared_seq_bytes == pytest.approx(MB(100), rel=1e-6)
+
+
+def test_nothing_to_run_is_an_error():
+    with pytest.raises(SimulationError):
+        ConcurrentExecutor(_config()).run([])
+
+
+def test_event_budget_guard():
+    config = SystemConfig(
+        hardware=HardwareSpec(seq_bandwidth=MB(100), random_iops=100),
+        simulation=SimulationConfig(max_events=3, restart_cost=0.0),
+    )
+    phases = tuple(
+        Phase(label=f"p{i}", cpu_seconds=0.1) for i in range(10)
+    )
+    profile = ResourceProfile(template_id=1, phases=phases)
+    with pytest.raises(SimulationError):
+        _run(config, [profile])
+
+
+def test_completion_order_is_chronological():
+    config = _config()
+    result = _run(config, [_seq_profile(MB(50)), _seq_profile(MB(200))])
+    ends = [c.stats.end_time for c in result.completions]
+    assert ends == sorted(ends)
+
+
+def test_random_io_rate():
+    config = _config()
+    phase = Phase(label="idx", rand_ops=50)
+    profile = ResourceProfile(template_id=1, phases=(phase,))
+    result = _run(config, [profile])
+    # 50 ops at 100 IOPS, alone (no variance in isolation).
+    assert result.latencies()[0] == pytest.approx(0.5, rel=1e-6)
+
+
+def test_scan_share_window_rejects_late_joiners():
+    """A scan arriving after the group passed the window runs privately."""
+    config = _config(scan_share_window=0.3)
+    first = _seq_profile(MB(100), relation="sales")
+    late = ResourceProfile(
+        template_id=2,
+        phases=(
+            Phase(label="delay", cpu_seconds=0.5),  # group at 50% when we join
+            Phase(label="scan", relation="sales", seq_bytes=MB(100)),
+        ),
+    )
+    result = _run(config, [first, late])
+    by_template = {
+        c.stats.template_id: c.stats.latency for c in result.completions
+    }
+    # Both pay for contention instead of riding one stream.
+    assert by_template[1] > 1.2
+    assert by_template[2] > 1.7
+
+
+def test_scan_share_window_accepts_early_joiners():
+    config = _config(scan_share_window=0.3)
+    first = _seq_profile(MB(100), relation="sales")
+    early = ResourceProfile(
+        template_id=2,
+        phases=(
+            Phase(label="delay", cpu_seconds=0.1),  # group at 10%
+            Phase(label="scan", relation="sales", seq_bytes=MB(100)),
+        ),
+    )
+    result = _run(config, [first, early])
+    by_template = {
+        c.stats.template_id: c.stats.latency for c in result.completions
+    }
+    assert by_template[1] == pytest.approx(1.0, rel=1e-6)
+    assert by_template[2] == pytest.approx(1.1, rel=1e-6)

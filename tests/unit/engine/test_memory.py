@@ -1,0 +1,94 @@
+"""Memory ledger tests."""
+
+import pytest
+
+from repro.engine.memory import MemoryLedger
+from repro.errors import SimulationError
+from repro.units import GB, MB
+
+
+@pytest.fixture()
+def ledger():
+    return MemoryLedger(total_bytes=GB(8), os_reserve_bytes=MB(512))
+
+
+def test_available_excludes_reserve(ledger):
+    assert ledger.available_for("q") == GB(8) - MB(512)
+
+
+def test_pin_reduces_availability(ledger):
+    ledger.pin("spoiler", GB(6))
+    assert ledger.available_for("q") == GB(8) - MB(512) - GB(6)
+
+
+def test_pin_replaces_prior_pin(ledger):
+    ledger.pin("spoiler", GB(2))
+    ledger.pin("spoiler", GB(4))
+    assert ledger.pinned_bytes == GB(4)
+
+
+def test_unpin_restores(ledger):
+    ledger.pin("spoiler", GB(4))
+    ledger.unpin("spoiler")
+    assert ledger.available_for("q") == GB(8) - MB(512)
+
+
+def test_own_hold_does_not_reduce_own_availability(ledger):
+    ledger.hold("q", GB(2))
+    assert ledger.available_for("q") == GB(8) - MB(512)
+
+
+def test_other_holds_reduce_availability(ledger):
+    ledger.hold("other", GB(3))
+    assert ledger.available_for("q") == GB(8) - MB(512) - GB(3)
+
+
+def test_availability_floored_at_min_grant(ledger):
+    ledger.pin("spoiler", GB(16))
+    assert ledger.available_for("q") == ledger.min_grant_bytes
+
+
+def test_spill_bytes_zero_when_fits(ledger):
+    assert ledger.spill_bytes("q", GB(1)) == 0.0
+
+
+def test_spill_bytes_is_overflow(ledger):
+    ledger.pin("spoiler", GB(6))
+    available = ledger.available_for("q")
+    assert ledger.spill_bytes("q", available + MB(100)) == pytest.approx(
+        MB(100)
+    )
+
+
+def test_hold_zero_releases(ledger):
+    ledger.hold("q", GB(1))
+    ledger.hold("q", 0)
+    assert ledger.held_bytes == 0
+
+
+def test_release_is_idempotent(ledger):
+    ledger.release("never-held")
+    ledger.hold("q", GB(1))
+    ledger.release("q")
+    ledger.release("q")
+    assert ledger.held_bytes == 0
+
+
+def test_negative_amounts_rejected(ledger):
+    with pytest.raises(SimulationError):
+        ledger.pin("x", -1)
+    with pytest.raises(SimulationError):
+        ledger.hold("x", -1)
+
+
+def test_snapshot_reports_state(ledger):
+    ledger.pin("spoiler", GB(2))
+    ledger.hold("q", GB(1))
+    snap = ledger.snapshot()
+    assert snap["pinned"] == GB(2)
+    assert snap["held"] == GB(1)
+
+
+def test_invalid_construction():
+    with pytest.raises(SimulationError):
+        MemoryLedger(total_bytes=0)

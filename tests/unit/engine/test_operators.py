@@ -1,0 +1,197 @@
+"""Plan-operator costing tests."""
+
+import math
+
+import pytest
+
+from repro.engine.operators import (
+    Aggregate,
+    BitmapHeapScan,
+    CTEScan,
+    HashJoin,
+    IndexScan,
+    Materialize,
+    MergeJoin,
+    NestedLoopJoin,
+    SeqScan,
+    Sort,
+    WindowAgg,
+    BITMAP_FETCH_PER_ROW,
+    CPU_SORT_ROW_LOG,
+)
+from repro.engine.relation import Relation, RelationKind
+from repro.errors import WorkloadError
+from repro.units import GB, MB
+
+
+@pytest.fixture()
+def fact():
+    return Relation("fact", GB(10), 100_000_000, RelationKind.FACT)
+
+
+@pytest.fixture()
+def dim():
+    return Relation("dim", MB(50), 200_000, RelationKind.DIMENSION)
+
+
+def test_seqscan_reads_whole_table_regardless_of_selectivity(fact):
+    narrow = SeqScan(relation=fact, selectivity=0.01)
+    wide = SeqScan(relation=fact, selectivity=1.0)
+    assert narrow.cost().seq_bytes == wide.cost().seq_bytes == fact.size_bytes
+
+
+def test_seqscan_output_rows_scale_with_selectivity(fact):
+    scan = SeqScan(relation=fact, selectivity=0.25)
+    assert scan.output_rows == pytest.approx(0.25 * fact.row_count)
+
+
+def test_seqscan_feature_name_is_table_specific(fact, dim):
+    assert SeqScan(relation=fact).feature_name() == "SeqScan:fact"
+    assert SeqScan(relation=dim).feature_name() == "SeqScan:dim"
+
+
+def test_seqscan_rejects_bad_selectivity(fact):
+    with pytest.raises(WorkloadError):
+        SeqScan(relation=fact, selectivity=0.0)
+    with pytest.raises(WorkloadError):
+        SeqScan(relation=fact, selectivity=1.5)
+
+
+def test_seqscan_requires_relation():
+    with pytest.raises(WorkloadError):
+        SeqScan()
+
+
+def test_index_scan_random_ops_per_row(fact):
+    scan = IndexScan(relation=fact, matching_rows=5000)
+    assert scan.cost().rand_ops == pytest.approx(5000)
+    assert scan.cost().seq_bytes == 0
+
+
+def test_bitmap_scan_cheaper_than_index_scan(fact):
+    index = IndexScan(relation=fact, matching_rows=10_000)
+    bitmap = BitmapHeapScan(relation=fact, matching_rows=10_000)
+    assert bitmap.cost().rand_ops == pytest.approx(
+        10_000 * BITMAP_FETCH_PER_ROW
+    )
+    assert bitmap.cost().rand_ops < index.cost().rand_ops
+
+
+def test_hash_join_memory_is_build_side(fact, dim):
+    outer = SeqScan(relation=fact, selectivity=0.1)
+    inner = SeqScan(relation=dim)
+    join = HashJoin(children=(outer, inner))
+    assert join.cost().mem_bytes == pytest.approx(
+        dim.row_count * dim.row_width
+    )
+    assert join.cost().spillable
+
+
+def test_hash_join_blocking_and_arity(fact, dim):
+    join = HashJoin(
+        children=(SeqScan(relation=fact), SeqScan(relation=dim))
+    )
+    assert join.is_blocking
+    with pytest.raises(WorkloadError):
+        HashJoin(children=(SeqScan(relation=fact),))
+
+
+def test_join_selectivity_scales_output(fact, dim):
+    join = HashJoin(
+        children=(SeqScan(relation=fact), SeqScan(relation=dim)),
+        join_selectivity=0.5,
+    )
+    assert join.output_rows == pytest.approx(0.5 * fact.row_count)
+
+
+def test_sort_cost_is_n_log_n(fact):
+    scan = SeqScan(relation=fact, selectivity=1.0)
+    sort = Sort(children=(scan,))
+    rows = fact.row_count
+    expected = rows * CPU_SORT_ROW_LOG * math.log2(rows)
+    assert sort.cost().cpu_seconds == pytest.approx(expected)
+    assert sort.is_blocking
+    assert sort.cost().spillable
+
+
+def test_hash_aggregate_memory_scales_with_groups(fact):
+    scan = SeqScan(relation=fact)
+    small = Aggregate(children=(scan,), groups=10, strategy="hash")
+    large = Aggregate(children=(scan,), groups=1_000_000, strategy="hash")
+    assert large.cost().mem_bytes > small.cost().mem_bytes
+    assert small.step == "HashAggregate"
+
+
+def test_group_aggregate_streams(fact):
+    agg = Aggregate(children=(SeqScan(relation=fact),), groups=10, strategy="group")
+    assert not agg.is_blocking
+    assert agg.cost().mem_bytes == 0
+    assert agg.step == "GroupAggregate"
+
+
+def test_aggregate_rejects_unknown_strategy(fact):
+    with pytest.raises(WorkloadError):
+        Aggregate(children=(SeqScan(relation=fact),), groups=10, strategy="fancy")
+
+
+def test_nested_loop_lookup_ops(fact, dim):
+    outer = IndexScan(relation=dim, matching_rows=100)
+    inner = IndexScan(relation=fact, matching_rows=100)
+    join = NestedLoopJoin(children=(outer, inner), inner_lookup_ops=2.0)
+    assert join.cost().rand_ops == pytest.approx(200)
+
+
+def test_merge_join_cpu_sums_inputs(fact, dim):
+    join = MergeJoin(
+        children=(SeqScan(relation=fact), SeqScan(relation=dim))
+    )
+    assert join.cost().cpu_seconds > 0
+    assert join.cost().seq_bytes == 0
+
+
+def test_materialize_holds_memory(fact):
+    mat = Materialize(children=(SeqScan(relation=fact, selectivity=0.1),))
+    assert mat.cost().mem_bytes > 0
+    assert mat.is_blocking
+
+
+def test_window_agg_cpu_only(fact):
+    win = WindowAgg(children=(SeqScan(relation=fact),))
+    cost = win.cost()
+    assert cost.cpu_seconds > 0
+    assert cost.seq_bytes == 0 and cost.rand_ops == 0
+
+
+def test_cte_scan_rows(fact):
+    cte = CTEScan(rows=1234, width=32)
+    assert cte.output_rows == 1234
+    assert cte.output_width == 32
+
+
+def test_project_width_overrides_computed(fact, dim):
+    join = HashJoin(
+        children=(SeqScan(relation=fact), SeqScan(relation=dim)),
+        project_width=48,
+    )
+    assert join.output_width == 48
+
+
+def test_project_width_must_be_positive(fact):
+    with pytest.raises(WorkloadError):
+        SeqScan(relation=fact, project_width=0)
+
+
+def test_cpu_factor_scales_cost(fact):
+    cheap = SeqScan(relation=fact, cpu_factor=0.5)
+    pricey = SeqScan(relation=fact, cpu_factor=2.0)
+    assert pricey.cost().cpu_seconds == pytest.approx(
+        4 * cheap.cost().cpu_seconds
+    )
+
+
+def test_walk_is_post_order(fact, dim):
+    scan_a = SeqScan(relation=fact)
+    scan_b = SeqScan(relation=dim)
+    join = HashJoin(children=(scan_a, scan_b))
+    top = Sort(children=(join,))
+    assert list(top.walk()) == [scan_a, scan_b, join, top]

@@ -1,0 +1,78 @@
+"""QueryPlan metadata tests."""
+
+import pytest
+
+from repro.engine.operators import Aggregate, HashJoin, IndexScan, SeqScan, Sort
+from repro.engine.plans import QueryPlan
+from repro.engine.relation import Relation, RelationKind
+from repro.errors import WorkloadError
+from repro.units import GB, MB
+
+
+@pytest.fixture()
+def relations():
+    return {
+        "sales": Relation("sales", GB(10), 100_000_000, RelationKind.FACT),
+        "returns": Relation("returns", GB(1), 10_000_000, RelationKind.FACT),
+        "item": Relation("item", MB(50), 200_000, RelationKind.DIMENSION),
+    }
+
+
+@pytest.fixture()
+def plan(relations):
+    sales = SeqScan(relation=relations["sales"], selectivity=0.1)
+    item = SeqScan(relation=relations["item"])
+    returns = IndexScan(relation=relations["returns"], matching_rows=5000)
+    join1 = HashJoin(children=(sales, item))
+    join2 = HashJoin(children=(join1, returns))
+    root = Aggregate(children=(Sort(children=(join2,)),), groups=100)
+    return QueryPlan(template_id=7, root=root)
+
+
+def test_num_steps_counts_all_operators(plan):
+    assert plan.num_steps == 7
+
+
+def test_fact_tables_scanned_only_counts_sequential_fact_scans(plan):
+    # `returns` is accessed by an index scan, `item` is a dimension:
+    # neither belongs in the shared-scan set.
+    assert plan.fact_tables_scanned() == {"sales"}
+
+
+def test_relations_accessed_includes_all_scan_types(plan):
+    assert plan.relations_accessed() == {"sales", "returns", "item"}
+
+
+def test_records_accessed_counts_full_seq_scans(plan, relations):
+    expected = (
+        relations["sales"].row_count + relations["item"].row_count + 5000
+    )
+    assert plan.records_accessed() == pytest.approx(expected)
+
+
+def test_working_set_is_max_blocking_memory(plan):
+    costs = [node.cost().mem_bytes for node in plan.nodes()]
+    assert plan.working_set_bytes() == max(costs)
+
+
+def test_step_cardinalities_in_post_order(plan):
+    names = [name for name, _ in plan.step_cardinalities()]
+    assert names[0] == "SeqScan:sales"
+    assert names[-1] == "HashAggregate"
+
+
+def test_seq_scan_bytes_per_relation(plan, relations):
+    table = plan.seq_scan_bytes()
+    assert table["sales"] == relations["sales"].size_bytes
+    assert "returns" not in table  # index scan, not sequential
+
+
+def test_describe_renders_tree(plan):
+    text = plan.describe()
+    assert "SeqScan:sales" in text
+    assert text.splitlines()[0].startswith("HashAggregate")
+
+
+def test_plan_requires_root():
+    with pytest.raises(WorkloadError):
+        QueryPlan(template_id=1, root=None)

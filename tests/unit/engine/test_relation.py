@@ -1,0 +1,46 @@
+"""Relation model tests."""
+
+import pytest
+
+from repro.engine.relation import Relation, RelationKind
+from repro.errors import WorkloadError
+from repro.units import GB, MB
+
+
+def _fact(size=GB(10), rows=1_000_000):
+    return Relation("f", size, rows, RelationKind.FACT)
+
+
+def test_is_fact_flag():
+    assert _fact().is_fact
+    dim = Relation("d", MB(10), 1000, RelationKind.DIMENSION)
+    assert not dim.is_fact
+
+
+def test_row_width():
+    rel = _fact(size=1000.0, rows=10)
+    assert rel.row_width == 100.0
+
+
+def test_scan_seconds():
+    rel = _fact(size=GB(1))
+    assert rel.scan_seconds(GB(1)) == pytest.approx(1.0)
+    assert rel.scan_seconds(MB(512)) == pytest.approx(2.0)
+
+
+def test_scan_seconds_rejects_bad_bandwidth():
+    with pytest.raises(WorkloadError):
+        _fact().scan_seconds(0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(name="", size_bytes=1.0, row_count=1, kind=RelationKind.FACT),
+        dict(name="x", size_bytes=0.0, row_count=1, kind=RelationKind.FACT),
+        dict(name="x", size_bytes=1.0, row_count=0, kind=RelationKind.FACT),
+    ],
+)
+def test_invalid_relations_rejected(kwargs):
+    with pytest.raises(WorkloadError):
+        Relation(**kwargs)

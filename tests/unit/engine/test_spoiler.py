@@ -1,0 +1,50 @@
+"""Spoiler tests."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.engine.spoiler import Spoiler, measure_spoiler_latency
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+def test_pin_fraction_matches_paper_formula():
+    spoiler = Spoiler(mpl=4, ram_bytes=GB(8))
+    assert spoiler.pinned_bytes == pytest.approx(0.75 * GB(8))
+
+
+def test_mpl1_pins_nothing_and_runs_no_readers():
+    spoiler = Spoiler(mpl=1, ram_bytes=GB(8))
+    assert spoiler.pinned_bytes == 0.0
+    assert spoiler.num_readers == 0
+    assert spoiler.readers() == []
+
+
+def test_reader_count_is_mpl_minus_one():
+    spoiler = Spoiler(mpl=5, ram_bytes=GB(8))
+    assert spoiler.num_readers == 4
+    readers = spoiler.readers()
+    assert len(readers) == 4
+    assert all(r.background for r in readers)
+
+
+def test_invalid_mpl_rejected():
+    with pytest.raises(ConfigurationError):
+        Spoiler(mpl=0, ram_bytes=GB(8))
+
+
+def test_spoiler_latency_increases_with_mpl(catalog):
+    profile_at = lambda: catalog.profile(26)
+    lats = [
+        measure_spoiler_latency(profile_at(), mpl, catalog.config).latency
+        for mpl in (1, 2, 3)
+    ]
+    assert lats[0] < lats[1] < lats[2]
+
+
+def test_spoiler_at_mpl1_equals_isolated(catalog):
+    isolated = catalog.run_isolated(71).latency
+    spoiled = measure_spoiler_latency(
+        catalog.profile(71), 1, catalog.config
+    ).latency
+    assert spoiled == pytest.approx(isolated, rel=1e-6)

@@ -1,0 +1,40 @@
+"""QueryStats tests."""
+
+import pytest
+
+from repro.engine.stats import QueryStats
+from repro.errors import SimulationError
+
+
+def _stats(**kwargs):
+    base = dict(template_id=1, instance_id=7, start_time=10.0)
+    base.update(kwargs)
+    return QueryStats(**base)
+
+
+def test_latency_requires_completion():
+    stats = _stats()
+    assert not stats.finished
+    with pytest.raises(SimulationError):
+        _ = stats.latency
+
+
+def test_latency_is_elapsed():
+    stats = _stats(end_time=25.0)
+    assert stats.finished
+    assert stats.latency == pytest.approx(15.0)
+
+
+def test_io_fraction():
+    stats = _stats(end_time=20.0, io_seconds=5.0)
+    assert stats.io_fraction == pytest.approx(0.5)
+
+
+def test_io_fraction_clamped_to_one():
+    stats = _stats(end_time=11.0, io_seconds=5.0)
+    assert stats.io_fraction == 1.0
+
+
+def test_io_fraction_zero_latency():
+    stats = _stats(end_time=10.0, io_seconds=0.0)
+    assert stats.io_fraction == 0.0

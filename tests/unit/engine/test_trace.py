@@ -1,0 +1,93 @@
+"""Execution-trace telemetry tests."""
+
+import pytest
+
+from repro.config import HardwareSpec, SimulationConfig, SystemConfig
+from repro.engine.executor import ConcurrentExecutor, SingleShotStream
+from repro.engine.profile import Phase, ResourceProfile
+from repro.engine.trace import IntervalSample, UtilizationTrace
+from repro.units import MB
+
+
+def _config():
+    return SystemConfig(
+        hardware=HardwareSpec(seq_bandwidth=MB(100), random_iops=100.0),
+        simulation=SimulationConfig(restart_cost=0.0),
+    )
+
+
+def _traced_run(profiles):
+    trace = UtilizationTrace()
+    executor = ConcurrentExecutor(_config(), tracer=trace)
+    streams = [SingleShotStream(p, name=f"s{i}") for i, p in enumerate(profiles)]
+    result = executor.run(streams)
+    return trace, result
+
+
+def _seq(mb, relation=None, tid=1):
+    phase = Phase(label="scan", relation=relation, seq_bytes=MB(mb))
+    return ResourceProfile(template_id=tid, phases=(phase,))
+
+
+def test_trace_covers_whole_run():
+    trace, result = _traced_run([_seq(100)])
+    assert trace.elapsed == pytest.approx(result.elapsed, rel=1e-9)
+
+
+def test_intervals_are_contiguous():
+    trace, _ = _traced_run([_seq(100), _seq(50, tid=2)])
+    for a, b in zip(trace.samples, trace.samples[1:]):
+        assert a.end == pytest.approx(b.start)
+
+
+def test_seq_bytes_total_conserved():
+    trace, _ = _traced_run([_seq(100), _seq(70, tid=2)])
+    assert trace.seq_bytes_total() == pytest.approx(MB(170), rel=1e-6)
+
+
+def test_mean_concurrency_between_one_and_n():
+    trace, _ = _traced_run([_seq(100), _seq(50, tid=2)])
+    assert 1.0 <= trace.mean_concurrency() <= 2.0
+
+
+def test_disk_busy_for_pure_io_run():
+    trace, _ = _traced_run([_seq(100)])
+    assert trace.disk_busy_fraction() == pytest.approx(1.0)
+
+
+def test_cpu_only_run_has_no_streams():
+    phase = Phase(label="think", cpu_seconds=1.0)
+    profile = ResourceProfile(template_id=1, phases=(phase,))
+    trace, _ = _traced_run([profile])
+    assert trace.disk_busy_fraction() == 0.0
+    assert trace.mean_streams() == 0.0
+
+
+def test_phase_occupancy_accounts_time():
+    trace, result = _traced_run([_seq(100)])
+    occupancy = trace.phase_occupancy()
+    assert occupancy["scan"] == pytest.approx(result.elapsed, rel=1e-9)
+
+
+def test_shared_scans_counted_as_one_stream():
+    trace, _ = _traced_run(
+        [_seq(100, relation="sales"), _seq(100, relation="sales", tid=2)]
+    )
+    assert trace.mean_streams() == pytest.approx(1.0)
+
+
+def test_timeline_resamples():
+    trace, _ = _traced_run([_seq(100), _seq(50, tid=2)])
+    points = trace.timeline(resolution=0.1)
+    assert points
+    assert all(count >= 1 for _, count in points)
+    with pytest.raises(ValueError):
+        trace.timeline(0)
+
+
+def test_empty_trace_is_safe():
+    trace = UtilizationTrace()
+    assert trace.elapsed == 0.0
+    assert trace.mean_concurrency() == 0.0
+    assert trace.disk_busy_fraction() == 0.0
+    assert trace.timeline(1.0) == []

@@ -1,0 +1,54 @@
+"""Error-metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.metrics.errors import (
+    mean_absolute_error,
+    mean_relative_error,
+    relative_errors,
+)
+
+
+def test_perfect_prediction_is_zero():
+    assert mean_relative_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+
+def test_mre_matches_eq1():
+    observed = [100.0, 200.0]
+    predicted = [110.0, 150.0]
+    expected = (abs(100 - 110) / 100 + abs(200 - 150) / 200) / 2
+    assert mean_relative_error(observed, predicted) == pytest.approx(expected)
+
+
+def test_mre_symmetric_in_error_sign():
+    assert mean_relative_error([100.0], [90.0]) == mean_relative_error(
+        [100.0], [110.0]
+    )
+
+
+def test_relative_errors_per_sample():
+    errs = relative_errors([10.0, 20.0], [11.0, 18.0])
+    assert errs == pytest.approx([0.1, 0.1])
+
+
+def test_mae_in_observation_units():
+    assert mean_absolute_error([10.0, 20.0], [12.0, 16.0]) == pytest.approx(3.0)
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ModelError):
+        mean_relative_error([1.0], [1.0, 2.0])
+
+
+def test_empty_rejected():
+    with pytest.raises(ModelError):
+        mean_relative_error([], [])
+
+
+def test_nonpositive_observation_rejected():
+    with pytest.raises(ModelError):
+        mean_relative_error([0.0], [1.0])
+    with pytest.raises(ModelError):
+        mean_relative_error([-1.0], [1.0])

@@ -1,0 +1,57 @@
+"""Goodness-of-fit metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.metrics.fit import pearson_r, r_squared, signed_r_squared
+
+
+def test_pearson_perfect_positive():
+    assert pearson_r([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+
+def test_pearson_perfect_negative():
+    assert pearson_r([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+
+def test_pearson_constant_input_is_zero():
+    assert pearson_r([1, 1, 1], [1, 2, 3]) == 0.0
+
+
+def test_r_squared_perfect():
+    assert r_squared([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+
+def test_r_squared_mean_predictor_is_zero():
+    obs = [1.0, 2.0, 3.0]
+    mean = [2.0, 2.0, 2.0]
+    assert r_squared(obs, mean) == pytest.approx(0.0)
+
+
+def test_r_squared_can_be_negative():
+    assert r_squared([1.0, 2.0, 3.0], [3.0, 3.0, 0.0]) < 0
+
+
+def test_r_squared_constant_observations():
+    assert r_squared([2.0, 2.0], [2.0, 2.0]) == 1.0
+    assert r_squared([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+
+def test_signed_r_squared_sign_follows_correlation():
+    assert signed_r_squared([1, 2, 3, 4], [2, 4, 5, 9]) > 0
+    assert signed_r_squared([1, 2, 3, 4], [9, 5, 4, 2]) < 0
+
+
+def test_signed_r_squared_magnitude_is_pearson_squared():
+    x = [1.0, 2.0, 3.0, 4.0, 5.0]
+    y = [2.1, 3.9, 6.2, 7.8, 10.5]
+    r = pearson_r(x, y)
+    assert signed_r_squared(x, y) == pytest.approx(r * r)
+
+
+def test_validation():
+    with pytest.raises(ModelError):
+        pearson_r([1.0], [1.0])
+    with pytest.raises(ModelError):
+        r_squared([1.0, 2.0], [1.0])

@@ -1,0 +1,54 @@
+"""Cross-validation splitter tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.crossval import kfold_indices, leave_one_out
+
+
+def test_kfold_partitions_everything():
+    folds = kfold_indices(10, 5)
+    test_union = np.concatenate([test for _, test in folds])
+    assert sorted(test_union) == list(range(10))
+
+
+def test_kfold_train_test_disjoint():
+    for train, test in kfold_indices(10, 3):
+        assert set(train).isdisjoint(set(test))
+        assert len(train) + len(test) == 10
+
+
+def test_kfold_sizes_balanced():
+    folds = kfold_indices(10, 3)
+    sizes = sorted(len(test) for _, test in folds)
+    assert sizes == [3, 3, 4]
+
+
+def test_kfold_shuffles_with_rng(rng):
+    plain = kfold_indices(10, 2)
+    shuffled = kfold_indices(10, 2, rng)
+    assert not np.array_equal(plain[0][1], shuffled[0][1])
+
+
+def test_kfold_validation():
+    with pytest.raises(ModelError):
+        kfold_indices(1, 2)
+    with pytest.raises(ModelError):
+        kfold_indices(5, 1)
+    with pytest.raises(ModelError):
+        kfold_indices(5, 6)
+
+
+def test_leave_one_out_covers_each_item():
+    items = ["a", "b", "c"]
+    splits = list(leave_one_out(items))
+    assert [held for _, held in splits] == items
+    for rest, held in splits:
+        assert held not in rest
+        assert len(rest) == 2
+
+
+def test_leave_one_out_needs_two_items():
+    with pytest.raises(ModelError):
+        list(leave_one_out(["only"]))

@@ -1,0 +1,79 @@
+"""QEP feature-extraction tests (the Sec. 3 layout)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.features import FeatureSpace, mix_feature_vector, standardize_columns
+
+
+@pytest.fixture()
+def plans(catalog):
+    return {t: catalog.canonical_plan(t) for t in (26, 62, 71)}
+
+
+@pytest.fixture()
+def space(plans):
+    return FeatureSpace.build(list(plans.values()))
+
+
+def test_space_contains_table_specific_scan_features(space):
+    assert "SeqScan:catalog_sales" in space.steps
+    assert "SeqScan:store_sales" in space.steps
+
+
+def test_vector_length_is_2n(space, plans):
+    vec = space.vector(plans[26])
+    assert len(vec) == 2 * space.num_steps
+
+
+def test_counts_and_cardinalities_paired(space, plans):
+    plan = plans[26]
+    vec = space.vector(plan)
+    idx = space.steps.index("SeqScan:catalog_sales")
+    assert vec[2 * idx] == 1.0  # one catalog_sales scan
+    assert vec[2 * idx + 1] > 0  # with its cardinality
+
+
+def test_unknown_steps_ignored(plans):
+    narrow = FeatureSpace.build([plans[26]])
+    vec = narrow.vector(plans[71])  # has steps the space never saw
+    assert len(vec) == narrow.vector_length
+    assert np.all(np.isfinite(vec))
+
+
+def test_mix_vector_is_4n(space, plans):
+    vec = mix_feature_vector(space, plans[26], [plans[62], plans[71]])
+    assert len(vec) == 2 * space.vector_length
+
+
+def test_mix_vector_sums_concurrent_features(space, plans):
+    single = mix_feature_vector(space, plans[26], [plans[62]])
+    double = mix_feature_vector(space, plans[26], [plans[62], plans[62]])
+    n = space.vector_length
+    assert double[n:] == pytest.approx(2 * single[n:])
+    assert double[:n] == pytest.approx(single[:n])
+
+
+def test_empty_concurrent_side_is_zero(space, plans):
+    vec = mix_feature_vector(space, plans[26], [])
+    assert np.all(vec[space.vector_length :] == 0)
+
+
+def test_space_requires_plans():
+    with pytest.raises(ModelError):
+        FeatureSpace.build([])
+
+
+def test_standardize_columns_zero_mean_unit_std():
+    X = np.array([[1.0, 10.0], [3.0, 30.0], [5.0, 50.0]])
+    Xs, mean, scale = standardize_columns(X)
+    assert Xs.mean(axis=0) == pytest.approx([0.0, 0.0])
+    assert Xs.std(axis=0) == pytest.approx([1.0, 1.0])
+
+
+def test_standardize_constant_column_maps_to_zero():
+    X = np.array([[5.0, 1.0], [5.0, 2.0]])
+    Xs, _, scale = standardize_columns(X)
+    assert np.all(Xs[:, 0] == 0.0)
+    assert scale[0] == 1.0

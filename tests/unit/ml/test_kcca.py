@@ -1,0 +1,69 @@
+"""KCCA regressor tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml.kcca import KCCARegressor
+
+
+@pytest.fixture()
+def dataset(rng):
+    """Latency is a smooth function of 2 informative features."""
+    X = rng.uniform(size=(60, 4))
+    latency = 100 + 400 * X[:, 0] + 200 * X[:, 1] ** 2
+    return X, latency
+
+
+def test_predicts_training_neighbourhood(dataset):
+    X, latency = dataset
+    model = KCCARegressor(k=3).fit(X, latency)
+    preds = model.predict(X)
+    mre = np.mean(np.abs(preds - latency) / latency)
+    assert mre < 0.2
+
+
+def test_generalizes_to_nearby_points(dataset, rng):
+    X, latency = dataset
+    model = KCCARegressor(k=3).fit(X, latency)
+    X_new = np.clip(X[:10] + rng.normal(scale=0.02, size=(10, 4)), 0, 1)
+    lat_new = 100 + 400 * X_new[:, 0] + 200 * X_new[:, 1] ** 2
+    preds = model.predict(X_new)
+    assert np.mean(np.abs(preds - lat_new) / lat_new) < 0.25
+
+
+def test_projection_dimensions(dataset):
+    X, latency = dataset
+    model = KCCARegressor(n_components=3).fit(X, latency)
+    Z = model.project(X[:5])
+    assert Z.shape == (5, 3)
+
+
+def test_predictions_within_training_latency_range(dataset, rng):
+    X, latency = dataset
+    model = KCCARegressor(k=3).fit(X, latency)
+    preds = model.predict(rng.uniform(size=(20, 4)))
+    assert preds.min() >= latency.min()
+    assert preds.max() <= latency.max()
+
+
+def test_far_from_training_gives_poor_but_finite_predictions(dataset):
+    X, latency = dataset
+    model = KCCARegressor(k=3).fit(X, latency)
+    far = np.full((3, 4), 50.0)
+    preds = model.predict(far)
+    assert np.all(np.isfinite(preds))
+
+
+def test_validation(dataset):
+    X, latency = dataset
+    with pytest.raises(ModelError):
+        KCCARegressor(n_components=0)
+    with pytest.raises(ModelError):
+        KCCARegressor(k=0)
+    with pytest.raises(ModelError):
+        KCCARegressor(reg=0)
+    with pytest.raises(ModelError):
+        KCCARegressor().fit(X[:2], latency[:2])
+    with pytest.raises(NotFittedError):
+        KCCARegressor().predict(X)

@@ -1,0 +1,66 @@
+"""Kernel-function tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.kernels import center_kernel, median_heuristic_gamma, rbf_kernel
+
+
+def test_rbf_diagonal_is_one():
+    X = np.array([[1.0, 2.0], [3.0, 4.0]])
+    K = rbf_kernel(X, gamma=0.5)
+    assert np.diag(K) == pytest.approx([1.0, 1.0])
+
+
+def test_rbf_symmetric():
+    X = np.random.default_rng(0).normal(size=(5, 3))
+    K = rbf_kernel(X, gamma=1.0)
+    assert K == pytest.approx(K.T)
+
+
+def test_rbf_decays_with_distance():
+    X = np.array([[0.0], [1.0], [10.0]])
+    K = rbf_kernel(X, gamma=1.0)
+    assert K[0, 1] > K[0, 2]
+
+
+def test_rbf_cross_matrix_shape():
+    X = np.zeros((3, 2))
+    Y = np.zeros((5, 2))
+    assert rbf_kernel(X, Y, gamma=1.0).shape == (3, 5)
+
+
+def test_rbf_matches_definition():
+    x = np.array([[0.0, 0.0]])
+    y = np.array([[3.0, 4.0]])
+    K = rbf_kernel(x, y, gamma=0.1)
+    assert K[0, 0] == pytest.approx(np.exp(-0.1 * 25.0))
+
+
+def test_rbf_rejects_bad_gamma():
+    with pytest.raises(ModelError):
+        rbf_kernel(np.zeros((2, 2)), gamma=0.0)
+
+
+def test_median_heuristic_positive():
+    X = np.random.default_rng(1).normal(size=(20, 4))
+    gamma = median_heuristic_gamma(X)
+    assert gamma > 0
+
+
+def test_median_heuristic_degenerate_input():
+    assert median_heuristic_gamma(np.zeros((5, 2))) == 1.0
+    assert median_heuristic_gamma(np.zeros((1, 2))) == 1.0
+
+
+def test_center_kernel_rows_sum_to_zero():
+    X = np.random.default_rng(2).normal(size=(6, 3))
+    K = center_kernel(rbf_kernel(X, gamma=1.0))
+    assert K.sum(axis=0) == pytest.approx(np.zeros(6), abs=1e-9)
+    assert K.sum(axis=1) == pytest.approx(np.zeros(6), abs=1e-9)
+
+
+def test_center_kernel_requires_square():
+    with pytest.raises(ModelError):
+        center_kernel(np.zeros((2, 3)))

@@ -1,0 +1,71 @@
+"""KNN regressor tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml.knn import KNNRegressor
+
+
+def test_k1_returns_nearest_target():
+    knn = KNNRegressor(k=1).fit([[0.0], [10.0]], [1.0, 2.0])
+    assert knn.predict_scalar([1.0]) == 1.0
+    assert knn.predict_scalar([9.0]) == 2.0
+
+
+def test_k_averages_targets():
+    knn = KNNRegressor(k=2, standardize=False).fit(
+        [[0.0], [1.0], [100.0]], [10.0, 20.0, 99.0]
+    )
+    assert knn.predict_scalar([0.5]) == pytest.approx(15.0)
+
+
+def test_vector_targets():
+    knn = KNNRegressor(k=2, standardize=False).fit(
+        [[0.0], [1.0]], [[1.0, 10.0], [3.0, 30.0]]
+    )
+    assert knn.predict([0.5]) == pytest.approx([2.0, 20.0])
+
+
+def test_standardization_balances_feature_scales():
+    # Feature 0 spans millions, feature 1 spans fractions; without
+    # standardization feature 1 would be irrelevant.
+    X = [[1e6, 0.0], [1e6, 1.0], [1.1e6, 0.0]]
+    y = [0.0, 1.0, 2.0]
+    knn = KNNRegressor(k=1).fit(X, y)
+    assert knn.predict_scalar([1e6, 0.9]) == 1.0
+
+
+def test_k_larger_than_train_set_uses_all():
+    knn = KNNRegressor(k=10).fit([[0.0], [1.0]], [2.0, 4.0])
+    assert knn.predict_scalar([0.5]) == pytest.approx(3.0)
+
+
+def test_neighbors_indices_sorted_by_distance():
+    knn = KNNRegressor(k=2, standardize=False).fit(
+        [[0.0], [5.0], [1.0]], [0, 1, 2]
+    )
+    assert list(knn.neighbors([0.1])) == [0, 2]
+
+
+def test_constant_feature_column_tolerated():
+    knn = KNNRegressor(k=1).fit([[1.0, 5.0], [2.0, 5.0]], [1.0, 2.0])
+    assert knn.predict_scalar([1.9, 5.0]) == 2.0
+
+
+def test_predict_scalar_rejects_vector_targets():
+    knn = KNNRegressor(k=1).fit([[0.0]], [[1.0, 2.0]])
+    with pytest.raises(ModelError):
+        knn.predict_scalar([0.0])
+
+
+def test_not_fitted():
+    with pytest.raises(NotFittedError):
+        KNNRegressor().predict([0.0])
+
+
+def test_validation():
+    with pytest.raises(ModelError):
+        KNNRegressor(k=0)
+    with pytest.raises(ModelError):
+        KNNRegressor().fit([[0.0]], [1.0, 2.0])

@@ -1,0 +1,84 @@
+"""Linear-regression tests (validated against numpy.polyfit)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml.linreg import LinearRegression, SimpleLinearRegression
+
+
+def test_recovers_exact_line():
+    reg = SimpleLinearRegression().fit([0, 1, 2, 3], [1, 3, 5, 7])
+    assert reg.slope == pytest.approx(2.0)
+    assert reg.intercept == pytest.approx(1.0)
+    assert reg.predict(10) == pytest.approx(21.0)
+
+
+def test_matches_numpy_polyfit(rng):
+    x = rng.normal(size=50)
+    y = 3.2 * x - 1.1 + rng.normal(scale=0.3, size=50)
+    reg = SimpleLinearRegression().fit(x, y)
+    slope, intercept = np.polyfit(x, y, 1)
+    assert reg.slope == pytest.approx(slope)
+    assert reg.intercept == pytest.approx(intercept)
+
+
+def test_constant_x_predicts_mean():
+    reg = SimpleLinearRegression().fit([2, 2, 2], [1, 2, 3])
+    assert reg.slope == 0.0
+    assert reg.predict(99) == pytest.approx(2.0)
+
+
+def test_predict_before_fit_raises():
+    with pytest.raises(NotFittedError):
+        SimpleLinearRegression().predict(1.0)
+
+
+def test_predict_many_vectorized():
+    reg = SimpleLinearRegression().fit([0, 1], [0, 2])
+    out = reg.predict_many([0, 1, 2])
+    assert out == pytest.approx([0, 2, 4])
+
+
+def test_too_few_samples_rejected():
+    with pytest.raises(ModelError):
+        SimpleLinearRegression().fit([1], [1])
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ModelError):
+        SimpleLinearRegression().fit([1, 2], [1, 2, 3])
+
+
+def test_multifeature_recovers_coefficients(rng):
+    X = rng.normal(size=(100, 3))
+    beta = np.array([1.0, -2.0, 0.5])
+    y = X @ beta + 4.0
+    reg = LinearRegression().fit(X, y)
+    assert reg.coef == pytest.approx(beta)
+    assert reg.intercept == pytest.approx(4.0)
+    assert reg.predict(X) == pytest.approx(y)
+
+
+def test_ridge_shrinks_coefficients(rng):
+    X = rng.normal(size=(40, 2))
+    y = X @ np.array([5.0, -5.0]) + rng.normal(scale=0.1, size=40)
+    ols = LinearRegression().fit(X, y)
+    ridge = LinearRegression(ridge=100.0).fit(X, y)
+    assert np.linalg.norm(ridge.coef) < np.linalg.norm(ols.coef)
+
+
+def test_rank_deficient_tolerated():
+    X = [[1.0, 2.0], [2.0, 4.0], [3.0, 6.0]]  # second column = 2x first
+    y = [1.0, 2.0, 3.0]
+    reg = LinearRegression().fit(X, y)
+    assert reg.predict(X) == pytest.approx(y)
+
+
+def test_multifeature_validation():
+    with pytest.raises(ModelError):
+        LinearRegression(ridge=-1)
+    with pytest.raises(ModelError):
+        LinearRegression().fit([[1, 2]], [1, 2])
+    with pytest.raises(NotFittedError):
+        LinearRegression().predict([[1.0, 2.0]])

@@ -1,0 +1,87 @@
+"""SVM baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml.svm import SVC, SVMLatencyPredictor
+
+
+@pytest.fixture()
+def blobs(rng):
+    """Three well-separated Gaussian blobs."""
+    centers = np.array([[0.0, 0.0], [6.0, 6.0], [0.0, 8.0]])
+    X, y = [], []
+    for label, center in enumerate(centers):
+        pts = rng.normal(scale=0.4, size=(25, 2)) + center
+        X.append(pts)
+        y.extend([label] * 25)
+    return np.vstack(X), np.array(y)
+
+
+def test_svc_separates_blobs(blobs):
+    X, y = blobs
+    model = SVC(C=10.0, seed=1).fit(X, y)
+    pred = model.predict(X)
+    assert np.mean(pred == y) > 0.95
+
+
+def test_svc_classifies_new_points(blobs):
+    X, y = blobs
+    model = SVC(C=10.0, seed=1).fit(X, y)
+    assert model.predict([[0.1, 0.2]])[0] == 0
+    assert model.predict([[6.2, 5.9]])[0] == 1
+    assert model.predict([[-0.2, 7.9]])[0] == 2
+
+
+def test_svc_binary_case(rng):
+    X = np.vstack([rng.normal(size=(20, 1)) - 4, rng.normal(size=(20, 1)) + 4])
+    y = np.array([0] * 20 + [1] * 20)
+    model = SVC(seed=2).fit(X, y)
+    assert np.mean(model.predict(X) == y) > 0.95
+
+
+def test_svc_requires_two_classes():
+    with pytest.raises(ModelError):
+        SVC().fit([[0.0], [1.0]], [1, 1])
+
+
+def test_svc_not_fitted():
+    with pytest.raises(NotFittedError):
+        SVC().predict([[0.0]])
+
+
+def test_svc_rejects_bad_c():
+    with pytest.raises(ModelError):
+        SVC(C=0)
+
+
+def test_latency_predictor_returns_bin_means(rng):
+    # Latency is a clean function of the single feature.
+    X = np.linspace(0, 1, 80)[:, None]
+    lat = 100 + 900 * X[:, 0]
+    model = SVMLatencyPredictor(num_bins=4, seed=3).fit(X, lat)
+    preds = model.predict(X)
+    # Predictions are coarse (bin means) but must track the trend.
+    assert preds[0] < preds[-1]
+    assert np.mean(np.abs(preds - lat) / lat) < 0.35
+
+
+def test_latency_predictor_output_in_training_range(rng):
+    X = rng.normal(size=(60, 2))
+    lat = 100 + 50 * np.abs(X[:, 0])
+    model = SVMLatencyPredictor(num_bins=4, seed=4).fit(X, lat)
+    preds = model.predict(rng.normal(size=(10, 2)))
+    assert preds.min() >= lat.min()
+    assert preds.max() <= lat.max()
+
+
+def test_latency_predictor_validation():
+    with pytest.raises(ModelError):
+        SVMLatencyPredictor(num_bins=1)
+    with pytest.raises(ModelError):
+        SVMLatencyPredictor().fit([[0.0], [1.0]], [-1.0, 2.0])
+    with pytest.raises(ModelError):
+        SVMLatencyPredictor().fit([[0.0], [1.0]], [5.0, 5.0])
+    with pytest.raises(NotFittedError):
+        SVMLatencyPredictor().predict([[0.0]])

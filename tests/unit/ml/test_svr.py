@@ -1,0 +1,63 @@
+"""ε-SVR tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml.svm import SVR
+
+
+@pytest.fixture()
+def dataset(rng):
+    X = rng.uniform(size=(120, 2))
+    y = 100 + 300 * X[:, 0] + 100 * np.sin(3 * X[:, 1])
+    return X[:90], y[:90], X[90:], y[90:]
+
+
+def test_svr_fits_smooth_function(dataset):
+    X_train, y_train, X_test, y_test = dataset
+    model = SVR(iterations=800).fit(X_train, y_train)
+    pred = model.predict(X_test)
+    mre = float(np.mean(np.abs(pred - y_test) / y_test))
+    assert mre < 0.10
+
+
+def test_svr_interpolates_training_points(dataset):
+    X_train, y_train, _, _ = dataset
+    model = SVR(iterations=800).fit(X_train, y_train)
+    pred = model.predict(X_train)
+    mre = float(np.mean(np.abs(pred - y_train) / y_train))
+    assert mre < 0.08
+
+
+def test_svr_constant_target(rng):
+    X = rng.uniform(size=(30, 2))
+    y = np.full(30, 42.0)
+    model = SVR().fit(X, y)
+    assert model.predict(X) == pytest.approx(np.full(30, 42.0), rel=0.05)
+
+
+def test_svr_epsilon_widens_tolerance(dataset):
+    X_train, y_train, X_test, y_test = dataset
+    tight = SVR(epsilon=0.01, iterations=800).fit(X_train, y_train)
+    loose = SVR(epsilon=1.5, iterations=800).fit(X_train, y_train)
+    err_tight = float(np.mean(np.abs(tight.predict(X_test) - y_test)))
+    err_loose = float(np.mean(np.abs(loose.predict(X_test) - y_test)))
+    assert err_tight < err_loose
+
+
+def test_svr_validation():
+    with pytest.raises(ModelError):
+        SVR(C=0)
+    with pytest.raises(ModelError):
+        SVR(epsilon=-1)
+    with pytest.raises(ModelError):
+        SVR(iterations=0)
+    with pytest.raises(ModelError):
+        SVR(learning_rate=0)
+    with pytest.raises(ModelError):
+        SVR().fit([[0.0]], [1.0, 2.0])
+    with pytest.raises(ModelError):
+        SVR().fit([[0.0]], [1.0])
+    with pytest.raises(NotFittedError):
+        SVR().predict([[0.0]])

@@ -1,0 +1,70 @@
+"""Latin Hypercube Sampling tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.lhs import latin_hypercube, lhs_runs
+
+
+@pytest.fixture()
+def templates():
+    return [2, 15, 26, 62, 71]
+
+
+def test_one_mix_per_template(templates, rng):
+    design = latin_hypercube(templates, mpl=2, rng=rng)
+    assert len(design) == len(templates)
+
+
+def test_each_dimension_is_a_permutation(templates, rng):
+    for mpl in (2, 3, 5):
+        design = latin_hypercube(templates, mpl=mpl, rng=rng)
+        for dim in range(mpl):
+            column = [mix[dim] for mix in design]
+            assert sorted(column) == sorted(templates), f"dimension {dim}"
+
+
+def test_mixes_have_mpl_size(templates, rng):
+    design = latin_hypercube(templates, mpl=4, rng=rng)
+    assert all(len(mix) == 4 for mix in design)
+
+
+def test_mpl_one_is_just_the_templates(templates, rng):
+    design = latin_hypercube(templates, mpl=1, rng=rng)
+    assert sorted(m[0] for m in design) == sorted(templates)
+
+
+def test_runs_concatenate(templates, rng):
+    mixes = lhs_runs(templates, mpl=3, runs=4, rng=rng)
+    assert len(mixes) == 4 * len(templates)
+
+
+def test_runs_differ(templates):
+    rng = np.random.default_rng(1)
+    first = latin_hypercube(templates, mpl=3, rng=rng)
+    second = latin_hypercube(templates, mpl=3, rng=rng)
+    assert first != second
+
+
+def test_deterministic_given_seed(templates):
+    a = latin_hypercube(templates, 3, np.random.default_rng(5))
+    b = latin_hypercube(templates, 3, np.random.default_rng(5))
+    assert a == b
+
+
+def test_empty_templates_rejected(rng):
+    with pytest.raises(SamplingError):
+        latin_hypercube([], 2, rng)
+
+
+def test_duplicate_templates_rejected(rng):
+    with pytest.raises(SamplingError):
+        latin_hypercube([1, 1, 2], 2, rng)
+
+
+def test_bad_mpl_rejected(templates, rng):
+    with pytest.raises(SamplingError):
+        latin_hypercube(templates, 0, rng)
+    with pytest.raises(SamplingError):
+        lhs_runs(templates, 2, 0, rng)

@@ -1,0 +1,72 @@
+"""Mix-space tests."""
+
+import math
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.mixes import (
+    all_mixes,
+    all_pairs,
+    concurrent_queries,
+    mix_count,
+    mixes_containing,
+    random_mix,
+)
+
+
+def test_mix_count_formula():
+    # The paper's example: 25 templates at MPL 5 -> 118,755 mixes.
+    assert mix_count(25, 5) == 118_755
+    assert mix_count(25, 2) == 325
+
+
+def test_mix_count_matches_comb():
+    for n in (3, 7, 25):
+        for k in (1, 2, 4):
+            assert mix_count(n, k) == math.comb(n + k - 1, k)
+
+
+def test_all_pairs_count():
+    pairs = all_pairs(list(range(25)))
+    assert len(pairs) == mix_count(25, 2)
+
+
+def test_all_pairs_include_self_pairs():
+    assert (3, 3) in all_pairs([1, 2, 3])
+
+
+def test_all_mixes_enumerates_with_replacement():
+    mixes = all_mixes([1, 2, 3], 3)
+    assert len(mixes) == mix_count(3, 3)
+    assert (1, 1, 1) in mixes
+
+
+def test_random_mix_draws_from_templates(rng):
+    mix = random_mix([4, 5, 6], 5, rng)
+    assert len(mix) == 5
+    assert set(mix) <= {4, 5, 6}
+
+
+def test_mixes_containing_filters():
+    mixes = [(1, 2), (2, 3), (1, 1)]
+    assert mixes_containing(mixes, 1) == [(1, 2), (1, 1)]
+
+
+def test_concurrent_queries_removes_one_occurrence():
+    assert concurrent_queries((5, 5, 7), 5) == (5, 7)
+    assert concurrent_queries((5, 7), 7) == (5,)
+
+
+def test_concurrent_queries_requires_membership():
+    with pytest.raises(SamplingError):
+        concurrent_queries((1, 2), 3)
+
+
+def test_validation():
+    with pytest.raises(SamplingError):
+        all_pairs([])
+    with pytest.raises(SamplingError):
+        all_pairs([1, 1])
+    with pytest.raises(SamplingError):
+        mix_count(0, 2)

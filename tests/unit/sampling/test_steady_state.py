@@ -1,0 +1,107 @@
+"""Steady-state execution tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.steady_state import (
+    SteadyStateConfig,
+    TemplateStream,
+    run_steady_state,
+)
+
+
+def test_config_total_per_stream():
+    cfg = SteadyStateConfig(samples_per_stream=5, warmup=1, cooldown=2)
+    assert cfg.total_per_stream == 8
+
+
+def test_config_validation():
+    with pytest.raises(SamplingError):
+        SteadyStateConfig(samples_per_stream=0)
+    with pytest.raises(SamplingError):
+        SteadyStateConfig(warmup=-1)
+
+
+def test_stream_stops_at_target(small_catalog, rng):
+    stream = TemplateStream(
+        catalog=small_catalog, template_id=26, target=3, rng=rng
+    )
+    assert stream.next_profile(0.0, 0) is not None
+    assert stream.next_profile(0.0, 2) is not None
+    assert stream.next_profile(0.0, 3) is None
+
+
+def test_stream_charges_restart_cost_after_first(small_catalog, rng):
+    stream = TemplateStream(
+        catalog=small_catalog, template_id=26, target=3, rng=rng,
+        restart_cost=2.5,
+    )
+    first = stream.next_profile(0.0, 0)
+    later = stream.next_profile(100.0, 1)
+    assert first.phases[0].label != "Startup"
+    assert later.phases[0].label == "Startup"
+    assert later.phases[0].cpu_seconds == 2.5
+
+
+def test_run_collects_trimmed_samples(small_catalog):
+    cfg = SteadyStateConfig(samples_per_stream=3, warmup=1, cooldown=1)
+    result = run_steady_state(small_catalog, (26, 71), config=cfg)
+    assert result.mix == (26, 71)
+    assert [len(s) for s in result.samples] == [3, 3]
+
+
+def test_samples_for_collects_across_slots(small_catalog):
+    cfg = SteadyStateConfig(samples_per_stream=2, warmup=0, cooldown=0)
+    result = run_steady_state(small_catalog, (26, 26), config=cfg)
+    assert len(result.samples_for(26)) == 4
+
+
+def test_samples_for_unknown_template_raises(small_catalog):
+    cfg = SteadyStateConfig(samples_per_stream=2, warmup=0, cooldown=0)
+    result = run_steady_state(small_catalog, (26, 71), config=cfg)
+    with pytest.raises(SamplingError):
+        result.samples_for(65)
+
+
+def test_mean_latency_positive_and_above_isolated(small_catalog):
+    iso = small_catalog.run_isolated(26).latency
+    result = run_steady_state(small_catalog, (26, 65))
+    assert result.mean_latency(26) > 0.95 * iso
+
+
+def test_concurrency_slows_disjoint_io(small_catalog):
+    """Two I/O-bound queries on different tables slow each other down."""
+    iso = small_catalog.run_isolated(26).latency
+    result = run_steady_state(small_catalog, (26, 82))
+    assert result.mean_latency(26) > 1.2 * iso
+
+
+def test_shared_scans_barely_slow_same_template(small_catalog):
+    """Same template twice: synchronized scans nearly eliminate slowdown."""
+    iso = small_catalog.run_isolated(26).latency
+    result = run_steady_state(small_catalog, (26, 26))
+    assert result.mean_latency(26) < 1.15 * iso
+
+
+def test_empty_mix_rejected(small_catalog):
+    with pytest.raises(SamplingError):
+        run_steady_state(small_catalog, ())
+
+
+def test_deterministic_given_rng(small_catalog):
+    cfg = SteadyStateConfig(samples_per_stream=2)
+    a = run_steady_state(
+        small_catalog, (26, 62), config=cfg, rng=np.random.default_rng(3)
+    )
+    b = run_steady_state(
+        small_catalog, (26, 62), config=cfg, rng=np.random.default_rng(3)
+    )
+    assert a.mean_latency(26) == b.mean_latency(26)
+
+
+def test_raw_run_keeps_untrimmed_samples(small_catalog):
+    cfg = SteadyStateConfig(samples_per_stream=2, warmup=1, cooldown=1)
+    result = run_steady_state(small_catalog, (26, 62), config=cfg)
+    by_stream = result.run.by_stream()
+    assert all(len(v) == cfg.total_per_stream for v in by_stream.values())

@@ -1,0 +1,87 @@
+"""CLI tests (driving `repro.cli.main` in process)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.core.training import TrainingData
+
+
+def test_workload_lists_templates(capsys):
+    assert main(["workload"]) == 0
+    out = capsys.readouterr().out
+    assert "71" in out and "memory" in out
+
+
+def test_sql_renders(capsys):
+    assert main(["sql", "26", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "SELECT" in out
+    assert "${" not in out
+
+
+def test_isolated_reports_stats(capsys):
+    assert main(["isolated", "26"]) == 0
+    out = capsys.readouterr().out
+    assert "isolated latency" in out
+    assert "catalog_sales" in out
+
+
+def test_mix_reports_slowdowns(capsys):
+    assert main(["mix", "26", "65", "--samples", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "T26" in out and "T65" in out
+    assert "x isolated" in out
+
+
+def test_spoiler_reports_latency(capsys):
+    assert main(["spoiler", "62", "--mpl", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "MPL 3" in out
+
+
+def test_train_predict_round_trip(tmp_path, capsys):
+    out_path = tmp_path / "campaign.pkl"
+    assert main([
+        "train", "--out", str(out_path), "--mpls", "2", "--lhs-runs", "1",
+    ]) == 0
+    assert out_path.exists()
+    data = TrainingData.load(out_path)
+    assert len(data.profiles) == 25
+
+    assert main(["predict", str(out_path), "26", "65"]) == 0
+    out = capsys.readouterr().out
+    assert "predicted" in out
+
+
+def test_predict_new_scrubs_template(tmp_path, capsys):
+    out_path = tmp_path / "campaign.pkl"
+    main(["train", "--out", str(out_path), "--mpls", "2", "--lhs-runs", "1"])
+    capsys.readouterr()
+    assert main(["predict-new", str(out_path), "71", "26"]) == 0
+    out = capsys.readouterr().out
+    assert "new T71" in out
+    assert "knn" in out
+
+
+def test_unknown_template_is_a_clean_error(capsys):
+    assert main(["isolated", "999"]) == 1
+    err = capsys.readouterr().err
+    assert "error:" in err
+
+
+def test_experiment_aliases_resolve():
+    # Keep the alias table in sync with the experiments package.
+    import importlib
+
+    for module_name in EXPERIMENTS.values():
+        importlib.import_module(f"repro.experiments.{module_name}")
+
+
+def test_diagnose_command(tmp_path, capsys):
+    out_path = tmp_path / "campaign.pkl"
+    main(["train", "--out", str(out_path), "--mpls", "2", "--lhs-runs", "1"])
+    capsys.readouterr()
+    assert main(["diagnose", str(out_path), "--mpl", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "diagnostics" in out
+    assert "unflagged" in out

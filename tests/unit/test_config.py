@@ -1,0 +1,80 @@
+"""Configuration validation tests."""
+
+import pytest
+
+from repro.config import (
+    DEFAULT_CONFIG,
+    HardwareSpec,
+    SimulationConfig,
+    SystemConfig,
+)
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+def test_default_config_matches_paper_testbed():
+    hw = DEFAULT_CONFIG.hardware
+    assert hw.cores == 8
+    assert hw.ram_bytes == GB(8)
+
+
+def test_hardware_rejects_nonpositive_cores():
+    with pytest.raises(ConfigurationError):
+        HardwareSpec(cores=0)
+
+
+def test_hardware_rejects_nonpositive_bandwidth():
+    with pytest.raises(ConfigurationError):
+        HardwareSpec(seq_bandwidth=0)
+
+
+def test_hardware_rejects_negative_variance():
+    with pytest.raises(ConfigurationError):
+        HardwareSpec(random_io_variance=-0.1)
+
+
+def test_simulation_rejects_bad_overlap():
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(cpu_io_overlap=1.5)
+
+
+def test_simulation_rejects_negative_spill():
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(spill_multiplier=-1)
+
+
+def test_simulation_rejects_negative_thrash():
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(spill_thrash=-0.5)
+
+
+def test_simulation_rejects_bad_share_window():
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(scan_share_window=2.0)
+
+
+def test_with_seed_changes_only_seed():
+    derived = DEFAULT_CONFIG.with_seed(99)
+    assert derived.simulation.seed == 99
+    assert derived.hardware == DEFAULT_CONFIG.hardware
+    assert derived.simulation.spill_multiplier == (
+        DEFAULT_CONFIG.simulation.spill_multiplier
+    )
+
+
+def test_configs_are_frozen():
+    with pytest.raises(AttributeError):
+        DEFAULT_CONFIG.hardware.cores = 4  # type: ignore[misc]
+
+
+def test_system_config_equality_by_value():
+    assert SystemConfig() == SystemConfig()
+
+
+def test_simulation_rejects_unknown_cache_eviction():
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(cache_eviction="mru")
+
+
+def test_lru_cache_eviction_accepted():
+    assert SimulationConfig(cache_eviction="lru").cache_eviction == "lru"

@@ -1,0 +1,117 @@
+"""Unit tests for experiment result dataclasses (no simulation needed)."""
+
+import pytest
+
+from repro.core.cqi import CQIVariant
+from repro.experiments.fig1_lhs import Fig1Result
+from repro.experiments.fig4_coefficients import Fig4Result
+from repro.experiments.fig6_spoiler_growth import Fig6Result
+from repro.experiments.fig7_cqi_mpl4 import Fig7Result
+from repro.experiments.fig8_known_unknown import Fig8Result
+from repro.experiments.fig9_spoiler_prediction import Fig9Result
+from repro.experiments.sec54_sampling_cost import SamplingCostResult
+from repro.experiments.table2_cqi import PAPER_MRE, Table2Result
+from repro.experiments.table3_features import PAPER_ROWS, Table3Result
+
+
+def test_fig1_grid_marks_design():
+    result = Fig1Result(templates=(1, 2, 3), design=((1, 2), (2, 3), (3, 1)))
+    grid = result.grid()
+    assert grid[0][1] and grid[1][2] and grid[2][0]
+    assert sum(sum(row) for row in grid) == 3
+
+
+def test_table2_paper_constants_match_paper():
+    assert PAPER_MRE[CQIVariant.BASELINE_IO] == pytest.approx(0.254)
+    assert PAPER_MRE[CQIVariant.POSITIVE_IO] == pytest.approx(0.204)
+    assert PAPER_MRE[CQIVariant.FULL] == pytest.approx(0.202)
+
+
+def test_table2_format_mentions_paper_numbers():
+    result = Table2Result(
+        mre={v: 0.1 for v in CQIVariant}, mpls=(2, 3)
+    )
+    table = result.format_table()
+    assert "25.4%" in table and "CQI" in table
+
+
+def test_table3_paper_rows_cover_all_features():
+    assert "Isolated latency" in PAPER_ROWS
+    assert len(PAPER_ROWS) == 7
+    # The paper's strongest slope feature is isolated latency.
+    assert PAPER_ROWS["Isolated latency"][1] == pytest.approx(-0.51)
+
+
+def test_table3_best_slope_feature():
+    rows = (
+        ("Isolated latency", 0.3, -0.7),
+        ("Max working set", -0.1, 0.1),
+    )
+    result = Table3Result(rows=rows, mpl=2)
+    assert result.best_slope_feature() == "Isolated latency"
+
+
+def test_fig4_format_includes_trend():
+    result = Fig4Result(
+        points=((1, 0.1, 0.9), (2, 0.2, 0.5)),
+        trend_slope=-4.0,
+        trend_intercept=1.3,
+        correlation=-0.9,
+        mpl=2,
+    )
+    table = result.format_table()
+    assert "trend" in table and "pearson" in table
+    chart = result.format_chart()
+    grid_rows = [line for line in chart.splitlines() if line.startswith("|")]
+    assert sum(row.count("o") for row in grid_rows) == 2
+
+
+def test_fig6_category_ordering_helpers():
+    curves = {
+        62: {1: 100.0, 5: 400.0},
+        71: {1: 100.0, 5: 500.0},
+        22: {1: 100.0, 5: 700.0},
+    }
+    result = Fig6Result(curves=curves, extrapolation_mre=0.05)
+    table = result.format_table()
+    assert "heavy" in table and "light" in table
+    chart = result.format_chart()
+    assert "T22" in chart
+
+
+def test_fig7_category_mean():
+    result = Fig7Result(
+        per_template={26: 0.1, 33: 0.2, 17: 0.4}, average=0.23, mpl=4
+    )
+    assert result.category_mean((26, 33)) == pytest.approx(0.15)
+    assert result.category_mean((999,)) != result.category_mean((26,))
+
+
+def test_fig8_average_and_chart():
+    mre = {
+        "Known-Templates": {2: 0.1, 3: 0.2},
+        "Unknown-Y": {2: 0.15, 3: 0.25},
+        "Unknown-QS": {2: 0.2, 3: 0.3},
+    }
+    result = Fig8Result(mre=mre, mpls=(2, 3))
+    assert result.average("Known-Templates") == pytest.approx(0.15)
+    assert "MPL 2" in result.format_chart()
+
+
+def test_fig9_average():
+    result = Fig9Result(
+        mre={"KNN": {2: 0.1, 3: 0.2}, "I/O Time": {2: 0.2, 3: 0.3}},
+        mpls=(2, 3),
+    )
+    assert result.average("KNN") == pytest.approx(0.15)
+    assert "paper" in result.format_table()
+
+
+def test_sampling_cost_format():
+    result = SamplingCostResult(
+        per_approach={"prior": (3600.0, 10), "ours": (36.0, 1)},
+        spoiler_vs_mix_ratio=0.01,
+    )
+    table = result.format_table()
+    assert "1.0 h" in table
+    assert "1.00%" in table

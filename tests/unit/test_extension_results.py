@@ -1,0 +1,83 @@
+"""Unit tests for the extension/baseline result dataclasses."""
+
+import pytest
+
+from repro.experiments.baseline_prior_work import PriorWorkResult
+from repro.experiments.ext_database_growth import GrowthResult, _available_mixes
+from repro.experiments.ext_distributed import (
+    DistributedResult,
+    _available_mixes as distributed_mixes,
+)
+from repro.experiments.ext_operator_model import OperatorModelResult
+from repro.experiments.fig10_new_templates import Fig10Result
+
+
+def test_operator_model_format():
+    result = OperatorModelResult(
+        qs_known={2: 0.07},
+        operator_known={2: 0.14},
+        operator_new={2: 0.15},
+        mpls=(2,),
+    )
+    table = result.format_table()
+    assert "operator-level" in table
+    assert "7.0%" in table and "15.0%" in table
+
+
+def test_growth_result_format():
+    result = GrowthResult(
+        isolated_mre=0.004,
+        worst_isolated_error=(18, 0.012),
+        concurrent={(26, 65): (26, 290.0, 270.0)},
+    )
+    table = result.format_table()
+    assert "expanding database" in table
+    assert "T18" in table
+    assert "(26, 65)" in table
+
+
+def test_growth_probe_mixes_filtering():
+    assert _available_mixes([26, 65, 71, 62, 82]) == ((26, 65), (71, 26), (62, 82))
+    assert _available_mixes([26, 65]) == ((26, 65),)
+    # Fallback pairs the extremes when no probe mix fits.
+    assert _available_mixes([3, 9]) == ((3, 9),)
+
+
+def test_distributed_result_format():
+    result = DistributedResult(
+        mre={2: 0.06},
+        rows={2: [((26, 65), 26, 110.0, 100.0)]},
+        speedups={2: 1.9},
+    )
+    table = result.format_table()
+    assert "2 hosts" in table
+    assert "1.90x" in table
+
+
+def test_distributed_probe_mix_fallback():
+    assert distributed_mixes([1, 2, 3]) == ((1, 3),)
+
+
+def test_fig10_averages():
+    stats = {
+        "Known Spoiler": {2: (0.08, 0.07), 3: (0.12, 0.12)},
+        "KNN Spoiler": {2: (0.08, 0.07), 3: (0.11, 0.09)},
+        "Isolated Prediction": {2: (0.15, 0.10), 3: (0.16, 0.13)},
+    }
+    result = Fig10Result(stats=stats, mpls=(2, 3))
+    assert result.average("Known Spoiler") == pytest.approx(0.10)
+    assert "±" in result.format_table()
+
+
+def test_prior_work_result_format():
+    result = PriorWorkResult(
+        contender_mre=0.084,
+        prior_work_mre=0.161,
+        contender_new_template_runs=1,
+        prior_work_new_template_runs=200,
+        mpls=(2, 3, 4, 5),
+    )
+    table = result.format_table()
+    assert "8.4%" in table and "16.1%" in table
+    assert "200" in table
+    assert "one isolated run" in table

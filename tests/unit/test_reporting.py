@@ -1,0 +1,108 @@
+"""Text-chart rendering tests."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.reporting import (
+    bar_chart,
+    grouped_bar_chart,
+    scatter_plot,
+    series_plot,
+)
+
+
+def test_bar_chart_scales_to_max():
+    chart = bar_chart([("a", 0.5), ("b", 1.0)], width=10)
+    lines = chart.splitlines()
+    assert lines[1].count("█") == 10  # the max fills the width
+    assert 4 <= lines[0].count("█") <= 6
+
+
+def test_bar_chart_labels_aligned():
+    chart = bar_chart([("short", 1.0), ("a-long-label", 0.5)])
+    lines = chart.splitlines()
+    assert lines[0].index("|") == lines[1].index("|")
+
+
+def test_bar_chart_value_format():
+    chart = bar_chart([("a", 0.25)], value_format="{:.0%}")
+    assert "25%" in chart
+
+
+def test_bar_chart_title():
+    chart = bar_chart([("a", 1.0)], title="Figure 7")
+    assert chart.splitlines()[0] == "Figure 7"
+
+
+def test_bar_chart_zero_values_ok():
+    chart = bar_chart([("a", 0.0), ("b", 0.0)])
+    assert "a" in chart and "b" in chart
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ReproError):
+        bar_chart([])
+    with pytest.raises(ReproError):
+        bar_chart([("a", -1.0)])
+    with pytest.raises(ReproError):
+        bar_chart([("a", 1.0)], width=2)
+
+
+def test_grouped_bars_have_group_headers():
+    chart = grouped_bar_chart(
+        {"MPL 2": {"known": 0.1, "unknown": 0.2}, "MPL 3": {"known": 0.15}}
+    )
+    assert "MPL 2:" in chart and "MPL 3:" in chart
+    assert chart.count("|") == 3
+
+
+def test_grouped_bars_validation():
+    with pytest.raises(ReproError):
+        grouped_bar_chart({})
+    with pytest.raises(ReproError):
+        grouped_bar_chart({"g": {"s": -0.1}})
+
+
+def test_scatter_marks_every_point():
+    points = [(0.0, 0.0), (1.0, 1.0), (0.5, 0.5)]
+    chart = scatter_plot(points, width=20, height=10)
+    assert chart.count("o") == 3
+
+
+def test_scatter_reports_ranges():
+    chart = scatter_plot([(-1.0, 2.0), (3.0, 4.0)], x_label="b", y_label="mu")
+    assert "b (-1.00 .. 3.00)" in chart
+    assert "mu (2.00 .. 4.00)" in chart
+
+
+def test_scatter_single_point_degenerate_ranges():
+    chart = scatter_plot([(1.0, 1.0)])
+    assert chart.count("o") == 1
+
+
+def test_scatter_validation():
+    with pytest.raises(ReproError):
+        scatter_plot([])
+    with pytest.raises(ReproError):
+        scatter_plot([(0, 0)], height=2)
+
+
+def test_series_plot_uses_distinct_markers():
+    chart = series_plot(
+        {
+            "light": [(1, 100), (2, 200)],
+            "heavy": [(1, 100), (2, 500)],
+        },
+        width=20,
+        height=8,
+    )
+    assert "o = light" in chart
+    assert "x = heavy" in chart
+    assert "o" in chart and "x" in chart
+
+
+def test_series_plot_validation():
+    with pytest.raises(ReproError):
+        series_plot({})
+    with pytest.raises(ReproError):
+        series_plot({"empty": []})

@@ -1,0 +1,66 @@
+"""Unit tests for the Sec. 3 ML dataset construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import MixObservation
+from repro.experiments.harness import ExperimentContext
+from repro.experiments.sec3_ml import FIG3_TEMPLATES, build_dataset
+from repro.ml.features import FeatureSpace
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext.small(mpls=(2,))
+
+
+def _obs(primary, mix, latency=100.0):
+    return MixObservation(
+        primary=primary, mix=mix, latency=latency, latency_std=0.0, num_samples=3
+    )
+
+
+def test_fig3_subset_is_the_papers_17():
+    assert len(FIG3_TEMPLATES) == 17
+    assert 56 in FIG3_TEMPLATES and 60 in FIG3_TEMPLATES
+    # Templates the paper dropped (unique features) are absent.
+    assert 33 not in FIG3_TEMPLATES
+    assert 62 not in FIG3_TEMPLATES
+
+
+def test_build_dataset_shapes(ctx):
+    observations = [_obs(26, (26, 65)), _obs(65, (26, 65)), _obs(26, (26, 71))]
+    dataset = build_dataset(ctx, observations)
+    assert dataset.X.shape[0] == 3
+    assert dataset.y.shape == (3,)
+    assert dataset.X.shape[1] % 4 == 0  # the 4n layout
+    assert dataset.observations == tuple(observations)
+
+
+def test_primary_and_concurrent_sides_differ(ctx):
+    space = FeatureSpace.build(
+        [ctx.catalog.canonical_plan(t) for t in ctx.catalog.template_ids]
+    )
+    a = build_dataset(ctx, [_obs(26, (26, 65))], space).X[0]
+    b = build_dataset(ctx, [_obs(65, (26, 65))], space).X[0]
+    # Same mix, different primary: the vectors must differ.
+    assert not np.array_equal(a, b)
+    # And the halves are swapped feature content.
+    n = space.vector_length
+    assert np.array_equal(a[:n], b[n:])
+
+
+def test_duplicate_contender_doubles_concurrent_half(ctx):
+    space = FeatureSpace.build(
+        [ctx.catalog.canonical_plan(t) for t in ctx.catalog.template_ids]
+    )
+    single = build_dataset(ctx, [_obs(26, (26, 65))], space).X[0]
+    double = build_dataset(ctx, [_obs(26, (26, 65, 65))], space).X[0]
+    n = space.vector_length
+    assert np.allclose(double[n:], 2 * single[n:])
+    assert np.allclose(double[:n], single[:n])
+
+
+def test_targets_are_latencies(ctx):
+    dataset = build_dataset(ctx, [_obs(26, (26, 65), latency=123.0)])
+    assert dataset.y[0] == 123.0

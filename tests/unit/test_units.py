@@ -1,0 +1,48 @@
+"""Unit-helper tests."""
+
+import pytest
+
+from repro import units
+
+
+def test_byte_multiples():
+    assert units.KB(1) == 1024
+    assert units.MB(1) == 1024**2
+    assert units.GB(1) == 1024**3
+
+
+def test_gb_scales_linearly():
+    assert units.GB(2.5) == 2.5 * units.GB(1)
+
+
+def test_bytes_to_pages_rounds_up():
+    assert units.bytes_to_pages(1) == 1
+    assert units.bytes_to_pages(units.PAGE_SIZE) == 1
+    assert units.bytes_to_pages(units.PAGE_SIZE + 1) == 2
+
+
+def test_bytes_to_pages_of_nonpositive_is_zero():
+    assert units.bytes_to_pages(0) == 0
+    assert units.bytes_to_pages(-5) == 0
+
+
+def test_pages_to_bytes_round_trip():
+    assert units.pages_to_bytes(units.bytes_to_pages(units.PAGE_SIZE * 7)) == (
+        units.PAGE_SIZE * 7
+    )
+
+
+def test_fmt_bytes_picks_unit():
+    assert units.fmt_bytes(512) == "512.0 B"
+    assert units.fmt_bytes(units.MB(3)) == "3.0 MiB"
+    assert units.fmt_bytes(units.GB(38)) == "38.0 GiB"
+
+
+def test_fmt_duration_seconds_and_minutes():
+    assert units.fmt_duration(12.34) == "12.3s"
+    assert units.fmt_duration(125) == "2m05.0s"
+    assert units.fmt_duration(3725) == "1h02m05.0s"
+
+
+def test_seconds_from_milliseconds():
+    assert units.seconds(1500) == pytest.approx(1.5)

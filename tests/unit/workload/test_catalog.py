@@ -1,0 +1,86 @@
+"""TemplateCatalog tests — the paper's workload invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.catalog import TemplateCatalog
+
+
+def test_default_catalog_has_all_templates(catalog):
+    assert len(catalog.template_ids) == 25
+
+
+def test_subset_restricts(small_catalog):
+    assert 26 in small_catalog.template_ids
+    with pytest.raises(WorkloadError):
+        small_catalog.spec(15)
+
+
+def test_subset_rejects_unknown_ids(catalog):
+    with pytest.raises(WorkloadError):
+        catalog.subset([26, 999])
+
+
+def test_isolated_latencies_in_paper_band(catalog):
+    """Sec. 2: 'moderate running time with a latency range of 130-1000 s'."""
+    for tid in catalog.template_ids:
+        latency = catalog.run_isolated(tid).latency
+        assert 130 <= latency <= 1100, f"template {tid}: {latency:.0f}s"
+
+
+def test_io_bound_templates_spend_97_percent_on_io(catalog):
+    """Sec. 6.2: templates 26, 33, 61, 71 spend >= 97 % of time on I/O."""
+    for tid in (26, 33, 61, 71):
+        fraction = catalog.run_isolated(tid).io_fraction
+        assert fraction >= 0.96, f"template {tid}: {fraction:.2%}"
+
+
+def test_cpu_templates_are_not_io_bound(catalog):
+    for tid in (65, 90):
+        assert catalog.run_isolated(tid).io_fraction < 0.6, f"template {tid}"
+
+
+def test_isolated_latency_jitter_is_about_six_percent(catalog):
+    """Sec. 4: ~6 % standard deviation in isolated latency."""
+    rng = np.random.default_rng(0)
+    lats = [catalog.run_isolated(62, rng=rng).latency for _ in range(12)]
+    cv = float(np.std(lats) / np.mean(lats))
+    assert 0.005 < cv < 0.15
+
+
+def test_scan_seconds_memoized(catalog):
+    first = catalog.scan_seconds("store_sales")
+    second = catalog.scan_seconds("store_sales")
+    assert first == second
+    expected = (
+        catalog.schema["store_sales"].size_bytes
+        / catalog.config.hardware.seq_bandwidth
+    )
+    assert first == pytest.approx(expected, rel=1e-6)
+
+
+def test_fact_scan_seconds_covers_all_facts(catalog):
+    table = catalog.fact_scan_seconds()
+    assert set(table) == {r.name for r in catalog.schema.fact_tables()}
+    assert all(v > 0 for v in table.values())
+
+
+def test_profile_has_positive_demand(catalog):
+    profile = catalog.profile(26)
+    assert profile.total_seq_bytes > 0
+    assert profile.template_id == 26
+
+
+def test_canonical_plan_is_deterministic(catalog):
+    a = catalog.canonical_plan(26)
+    b = catalog.canonical_plan(26)
+    assert [n for n, _ in a.step_cardinalities()] == [
+        n for n, _ in b.step_cardinalities()
+    ]
+
+
+def test_describe_lists_templates(catalog):
+    text = catalog.describe()
+    assert "io" in text and "memory" in text
+    assert str(71) in text

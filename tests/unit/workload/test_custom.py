@@ -1,0 +1,96 @@
+"""Custom-template registration tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.custom import (
+    catalog_with_templates,
+    template_from_plan_text,
+)
+from repro.workload.templates import InstanceParams
+
+PLAN = """\
+HashAggregate (groups=5000)
+  HashJoin (sel=0.8 width=48)
+    SeqScan web_sales (sel=0.1 cpu=0.5 width=48)
+    SeqScan item
+"""
+
+
+@pytest.fixture()
+def spec():
+    return template_from_plan_text(500, "custom report", PLAN)
+
+
+def test_spec_builds_plans(spec, catalog):
+    plan = spec.plan(catalog.schema)
+    assert plan.template_id == 500
+    assert plan.fact_tables_scanned() == {"web_sales"}
+
+
+def test_jitter_scales_predicates(spec, catalog):
+    base = spec.plan(catalog.schema, InstanceParams(jitter=1.0))
+    scaled = spec.plan(catalog.schema, InstanceParams(jitter=1.2))
+    base_scan = next(
+        n for n in base.nodes() if n.feature_name() == "SeqScan:web_sales"
+    )
+    scaled_scan = next(
+        n for n in scaled.nodes() if n.feature_name() == "SeqScan:web_sales"
+    )
+    assert scaled_scan.selectivity == pytest.approx(1.2 * base_scan.selectivity)
+    assert scaled_scan.cpu_factor == pytest.approx(1.2 * base_scan.cpu_factor)
+
+
+def test_id_collision_with_builtin_rejected():
+    with pytest.raises(WorkloadError):
+        template_from_plan_text(26, "collides", PLAN)
+
+
+def test_catalog_combines_builtin_and_custom(spec, catalog):
+    combined = catalog_with_templates(catalog, [spec], include_builtin=[26, 65])
+    assert combined.template_ids == [26, 65, 500]
+    assert combined.spec(500).description == "custom report"
+    assert combined.spec(26).category == "io"
+
+
+def test_custom_template_runs_isolated(spec, catalog):
+    combined = catalog_with_templates(catalog, [spec], include_builtin=[26])
+    stats = combined.run_isolated(500)
+    assert stats.latency > 0
+    assert stats.template_id == 500
+
+
+def test_custom_instances_jitter(spec, catalog):
+    combined = catalog_with_templates(catalog, [spec], include_builtin=[])
+    rng = np.random.default_rng(3)
+    lats = [combined.run_isolated(500, rng=rng).latency for _ in range(6)]
+    assert len(set(round(l, 3) for l in lats)) > 1
+
+
+def test_subset_keeps_custom_specs(spec, catalog):
+    combined = catalog_with_templates(catalog, [spec], include_builtin=[26, 65])
+    narrowed = combined.subset([500, 26])
+    assert narrowed.spec(500).template_id == 500
+
+
+def test_duplicate_custom_ids_rejected(spec, catalog):
+    with pytest.raises(WorkloadError):
+        catalog_with_templates(catalog, [spec, spec])
+
+
+def test_extra_specs_colliding_with_builtin_rejected(catalog):
+    from repro.workload.catalog import TemplateCatalog
+    from repro.workload.templates import get_spec
+
+    with pytest.raises(WorkloadError):
+        TemplateCatalog(extra_specs={26: get_spec(26)})
+
+
+def test_custom_template_in_steady_state_mix(spec, catalog):
+    from repro.sampling import SteadyStateConfig, run_steady_state
+
+    combined = catalog_with_templates(catalog, [spec], include_builtin=[26])
+    cfg = SteadyStateConfig(samples_per_stream=2)
+    result = run_steady_state(combined, (500, 26), config=cfg)
+    assert result.mean_latency(500) > 0

@@ -1,0 +1,90 @@
+"""Workload-generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.generator import (
+    RandomTemplateStream,
+    draw_templates,
+    session_mixes,
+    zipf_weights,
+)
+
+
+def test_draw_templates_from_population(rng):
+    out = draw_templates([1, 2, 3], 100, rng)
+    assert len(out) == 100
+    assert set(out) <= {1, 2, 3}
+
+
+def test_weights_skew_draws(rng):
+    out = draw_templates([1, 2], 4000, rng, weights=[9.0, 1.0])
+    share = out.count(1) / len(out)
+    assert 0.85 < share < 0.95
+
+
+def test_weights_validation(rng):
+    with pytest.raises(WorkloadError):
+        draw_templates([1, 2], 5, rng, weights=[1.0])
+    with pytest.raises(WorkloadError):
+        draw_templates([1, 2], 5, rng, weights=[0.0, 0.0])
+    with pytest.raises(WorkloadError):
+        draw_templates([], 5, rng)
+    with pytest.raises(WorkloadError):
+        draw_templates([1], 0, rng)
+
+
+def test_zipf_weights_decreasing():
+    w = zipf_weights(5, skew=1.0)
+    assert w == sorted(w, reverse=True)
+    assert w[0] == 1.0
+
+
+def test_zipf_weights_flat_at_zero_skew():
+    assert zipf_weights(4, skew=0.0) == [1.0, 1.0, 1.0, 1.0]
+    with pytest.raises(WorkloadError):
+        zipf_weights(0)
+
+
+def test_random_stream_issues_target_queries(small_catalog, rng):
+    stream = RandomTemplateStream(
+        catalog=small_catalog,
+        templates=list(small_catalog.template_ids),
+        target=3,
+        rng=rng,
+    )
+    profiles = []
+    for completed in range(3):
+        profiles.append(stream.next_profile(0.0, completed))
+    assert all(p is not None for p in profiles)
+    assert stream.next_profile(0.0, 3) is None
+    assert len(stream.issued) == 3
+    assert set(stream.issued) <= set(small_catalog.template_ids)
+
+
+def test_random_stream_runs_on_executor(small_catalog, rng):
+    from repro.engine.executor import ConcurrentExecutor
+
+    stream = RandomTemplateStream(
+        catalog=small_catalog,
+        templates=[26, 62],
+        target=2,
+        rng=rng,
+        name="session",
+    )
+    result = ConcurrentExecutor(small_catalog.config).run([stream])
+    assert len(result.completions) == 2
+
+
+def test_session_mixes_shape(rng):
+    mixes = session_mixes([1, 2, 3], mpl=3, num_mixes=7, rng=rng)
+    assert len(mixes) == 7
+    assert all(len(m) == 3 for m in mixes)
+
+
+def test_session_mixes_validation(rng):
+    with pytest.raises(WorkloadError):
+        session_mixes([1], 0, 5, rng)
+    with pytest.raises(WorkloadError):
+        session_mixes([1], 2, 0, rng)

@@ -1,0 +1,25 @@
+"""Workload reference-doc generator tests."""
+
+from repro.workload.reference import generate_reference, template_section
+
+
+def test_section_contains_all_parts(catalog):
+    section = template_section(catalog, 26)
+    assert "Template 26" in section
+    assert "isolated latency" in section
+    assert "```sql" in section
+    assert "SeqScan:catalog_sales" in section
+    assert "`io`" in section
+
+
+def test_reference_covers_every_template(catalog):
+    text = generate_reference(catalog)
+    for template_id in catalog.template_ids:
+        assert f"## Template {template_id} " in text
+
+
+def test_reference_is_valid_markdown_structure(catalog):
+    text = generate_reference(catalog.subset([26, 62]))
+    # fenced blocks balance
+    assert text.count("```") % 2 == 0
+    assert text.startswith("# The evaluation workload")

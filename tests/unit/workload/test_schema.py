@@ -1,0 +1,63 @@
+"""Schema construction tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.schema import Schema, build_schema
+
+
+def test_default_schema_is_sf100(schema):
+    assert schema.scale_factor == 100.0
+
+
+def test_expected_tables_present(schema):
+    for name in ("store_sales", "catalog_sales", "inventory", "item", "date_dim"):
+        assert name in schema
+
+
+def test_store_sales_is_largest_fact(schema):
+    facts = schema.fact_tables()
+    assert facts[0].name == "store_sales"
+    assert all(f.is_fact for f in facts)
+
+
+def test_dimensions_are_small_relative_to_facts(schema):
+    largest_dim = schema.dimension_tables()[0]
+    smallest_fact = schema.fact_tables()[-1]
+    assert largest_dim.size_bytes < smallest_fact.size_bytes
+
+
+def test_unknown_relation_raises(schema):
+    with pytest.raises(WorkloadError):
+        schema["nonexistent"]
+
+
+def test_fact_tables_scale_linearly():
+    small = build_schema(10.0)
+    big = build_schema(100.0)
+    assert big["store_sales"].size_bytes == pytest.approx(
+        10 * small["store_sales"].size_bytes
+    )
+
+
+def test_dimensions_scale_sublinearly():
+    small = build_schema(25.0)
+    big = build_schema(100.0)
+    ratio = big["customer"].size_bytes / small["customer"].size_bytes
+    assert ratio == pytest.approx(2.0)  # sqrt(4)
+
+
+def test_total_bytes_near_scale_factor(schema):
+    # The fact tables alone account for ~78 GB of the nominal 100 GB.
+    from repro.units import GB
+
+    assert GB(60) < schema.total_bytes < GB(110)
+
+
+def test_invalid_scale_factor():
+    with pytest.raises(WorkloadError):
+        build_schema(0)
+
+
+def test_iteration_yields_all_tables(schema):
+    assert len(list(schema)) == len(schema.tables)

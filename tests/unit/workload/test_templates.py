@@ -1,0 +1,103 @@
+"""Template-definition tests: the paper's behavioural notes must hold."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.templates import (
+    InstanceParams,
+    JITTER_SIGMA,
+    TEMPLATE_IDS,
+    draw_params,
+    get_spec,
+    template_specs,
+)
+
+
+def test_twenty_five_templates():
+    assert len(TEMPLATE_IDS) == 25
+
+
+def test_paper_template_ids_present():
+    for tid in (2, 17, 22, 26, 33, 56, 60, 61, 62, 65, 71, 82):
+        assert tid in TEMPLATE_IDS
+
+
+def test_unknown_template_rejected():
+    with pytest.raises(WorkloadError):
+        get_spec(999)
+
+
+def test_template_specs_returns_fresh_dict():
+    specs = template_specs()
+    specs.clear()
+    assert template_specs()  # unaffected
+
+
+def test_categories_match_paper(schema):
+    for tid in (26, 33, 61, 71):
+        assert get_spec(tid).category == "io"
+    for tid in (17, 25, 32):
+        assert get_spec(tid).category == "random"
+    for tid in (2, 22):
+        assert get_spec(tid).category == "memory"
+    for tid in (62, 65):
+        assert get_spec(tid).category == "cpu"
+
+
+def test_inventory_scanned_only_by_22_and_82(schema):
+    scanners = [
+        tid
+        for tid in TEMPLATE_IDS
+        if "inventory" in get_spec(tid).plan(schema).fact_tables_scanned()
+    ]
+    assert scanners == [22, 82]
+
+
+def test_io_templates_scan_at_least_one_fact_table(schema):
+    for tid in TEMPLATE_IDS:
+        plan = get_spec(tid).plan(schema)
+        assert plan.relations_accessed(), f"template {tid} touches no table"
+
+
+def test_random_templates_issue_random_io(schema, config):
+    from repro.engine.profile import compile_plan
+
+    for tid in (17, 25, 32):
+        profile = compile_plan(get_spec(tid).plan(schema), config)
+        assert profile.total_rand_ops > 0, f"template {tid}"
+
+
+def test_memory_templates_have_multi_gb_working_sets(schema):
+    from repro.units import GB
+
+    for tid in (2, 22):
+        plan = get_spec(tid).plan(schema)
+        assert plan.working_set_bytes() > GB(2), f"template {tid}"
+
+
+def test_templates_56_and_60_share_structure(schema):
+    steps56 = [n for n, _ in get_spec(56).plan(schema).step_cardinalities()]
+    steps60 = [n for n, _ in get_spec(60).plan(schema).step_cardinalities()]
+    assert steps56 == steps60
+
+
+def test_jitter_scales_selectivity():
+    params = InstanceParams(jitter=1.5)
+    assert params.sel(0.4) == pytest.approx(0.6)
+    assert params.sel(0.9) == 1.0  # clamped
+
+
+def test_jitter_rows_floor():
+    assert InstanceParams(jitter=0.0001).rows(100) >= 1.0
+
+
+def test_draw_params_spread(rng):
+    draws = [draw_params(rng).jitter for _ in range(4000)]
+    assert np.mean(draws) == pytest.approx(1.0, abs=0.02)
+    assert np.std(np.log(draws)) == pytest.approx(JITTER_SIGMA, abs=0.01)
+
+
+def test_plans_are_rebuilt_each_call(schema):
+    spec = get_spec(26)
+    assert spec.plan(schema).root is not spec.plan(schema).root

@@ -1,0 +1,139 @@
+"""Deeper physics validation of the substrate, via execution traces.
+
+Unit tests check individual mechanisms; these checks run realistic
+workloads and assert conservation laws across the whole simulation:
+delivered bandwidth never exceeds capacity, demand is conserved, the
+disk stays saturated for I/O-bound mixes, and steady-state execution is
+actually stationary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import ConcurrentExecutor, SingleShotStream
+from repro.engine.trace import UtilizationTrace
+from repro.sampling.steady_state import SteadyStateConfig, run_steady_state
+
+
+@pytest.fixture()
+def traced_mix_run(small_catalog):
+    """A traced concurrent run of three diverse templates."""
+    trace = UtilizationTrace()
+    executor = ConcurrentExecutor(small_catalog.config, tracer=trace)
+    profiles = [small_catalog.profile(t) for t in (26, 65, 82)]
+    streams = [
+        SingleShotStream(p, name=f"t{p.template_id}") for p in profiles
+    ]
+    result = executor.run(streams)
+    return trace, result, profiles
+
+
+def test_delivered_seq_bandwidth_never_exceeds_capacity(
+    traced_mix_run, small_catalog
+):
+    trace, _, _ = traced_mix_run
+    capacity = small_catalog.config.hardware.seq_bandwidth
+    for sample in trace.samples:
+        assert sample.seq_bytes_per_sec <= capacity * (1 + 1e-9)
+
+
+def test_delivered_rand_rate_never_exceeds_capacity(
+    traced_mix_run, small_catalog
+):
+    trace, _, _ = traced_mix_run
+    # Random variance can locally exceed the nominal IOPS by the
+    # configured spread, never by more.
+    hw = small_catalog.config.hardware
+    ceiling = hw.random_iops * (1 + hw.random_io_variance) * (1 + 1e-9)
+    for sample in trace.samples:
+        assert sample.rand_ops_per_sec <= ceiling
+
+
+def test_total_logical_seq_bytes_match_demand(traced_mix_run):
+    trace, result, profiles = traced_mix_run
+    demanded = sum(p.total_seq_bytes for p in profiles)
+    spilled = sum(c.stats.spill_bytes for c in result.completions)
+    cached = sum(c.stats.cache_served_bytes for c in result.completions)
+    assert trace.logical_seq_bytes_total() == pytest.approx(
+        demanded + spilled - cached, rel=1e-6
+    )
+
+
+def test_physical_never_exceeds_logical(traced_mix_run):
+    trace, _, _ = traced_mix_run
+    assert trace.seq_bytes_total() <= trace.logical_seq_bytes_total() + 1e-6
+
+
+def test_cpu_cores_never_exceed_host(traced_mix_run, small_catalog):
+    trace, _, _ = traced_mix_run
+    cores = small_catalog.config.hardware.cores
+    for sample in trace.samples:
+        assert sample.cpu_cores_busy <= cores + 1e-9
+
+
+def test_io_bound_mix_keeps_disk_saturated(small_catalog):
+    """Two I/O-bound queries must keep the disk busy nearly always."""
+    trace = UtilizationTrace()
+    executor = ConcurrentExecutor(small_catalog.config, tracer=trace)
+    streams = [
+        SingleShotStream(small_catalog.profile(26), name="a"),
+        SingleShotStream(small_catalog.profile(71), name="b"),
+    ]
+    executor.run(streams)
+    assert trace.disk_busy_fraction() > 0.95
+
+
+def test_latency_accounting_matches_wall_clock(traced_mix_run):
+    trace, result, _ = traced_mix_run
+    last_end = max(c.stats.end_time for c in result.completions)
+    assert trace.elapsed == pytest.approx(last_end, rel=1e-9)
+
+
+def test_steady_state_is_stationary(small_catalog):
+    """Trimmed steady-state samples of the same template should have a
+    modest coefficient of variation — the mix is held constant."""
+    cfg = SteadyStateConfig(samples_per_stream=5)
+    result = run_steady_state(small_catalog, (26, 71), config=cfg)
+    for slot, template in enumerate(result.mix):
+        lats = [s.latency for s in result.samples[slot]]
+        cv = float(np.std(lats) / np.mean(lats))
+        assert cv < 0.35, f"template {template}: cv={cv:.2f}"
+
+
+def test_mix_latency_between_isolated_and_spoiler(small_catalog):
+    """Observed mix latencies live on the continuum (up to the 5%
+    restart artifact the paper documents)."""
+    from repro.engine.spoiler import measure_spoiler_latency
+
+    cfg = SteadyStateConfig(samples_per_stream=4)
+    result = run_steady_state(small_catalog, (26, 82), config=cfg)
+    for template in (26, 82):
+        observed = result.mean_latency(template)
+        isolated = small_catalog.run_isolated(template).latency
+        spoiler = measure_spoiler_latency(
+            small_catalog.profile(template), 2, small_catalog.config
+        ).latency
+        assert observed > 0.95 * isolated
+        assert observed < 1.10 * spoiler
+
+
+def test_spill_only_under_pressure(small_catalog):
+    """Memory-bound T22 must not spill alone but must spill when RAM is
+    pinned away."""
+    from repro.engine.spoiler import measure_spoiler_latency
+    from repro.engine.executor import ConcurrentExecutor, SingleShotStream
+
+    alone = ConcurrentExecutor(small_catalog.config).run(
+        [SingleShotStream(small_catalog.profile(22), name="q")]
+    )
+    assert alone.completions[0].stats.spill_bytes == 0
+
+    from repro.engine.spoiler import Spoiler
+
+    spoiler = Spoiler(mpl=5, ram_bytes=small_catalog.config.hardware.ram_bytes)
+    pressured = ConcurrentExecutor(small_catalog.config).run(
+        [SingleShotStream(small_catalog.profile(22), name="q")],
+        background=spoiler.readers(),
+        pinned_bytes=spoiler.pinned_bytes,
+    )
+    assert pressured.completions[0].stats.spill_bytes > 0
