@@ -1,12 +1,15 @@
 PYTHON ?= python
 
-.PHONY: install test bench report templates examples clean
+.PHONY: install test serve-smoke bench report templates examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test:
+test: serve-smoke
 	$(PYTHON) -m pytest tests/
+
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -15,14 +15,23 @@ Public API highlights:
 * :mod:`repro.experiments` — one runner per table/figure of the paper.
 """
 
-from .config import DEFAULT_CONFIG, HardwareSpec, SimulationConfig, SystemConfig
+from .config import (
+    DEFAULT_CONFIG,
+    HardwareSpec,
+    ServingConfig,
+    SimulationConfig,
+    SystemConfig,
+)
 
 from .errors import (
+    ArtifactError,
     ConfigurationError,
     ModelError,
     NotFittedError,
+    ProtocolError,
     ReproError,
     SamplingError,
+    ServingError,
     SimulationError,
     WorkloadError,
 )
@@ -30,14 +39,18 @@ from .errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactError",
     "Contender",
     "DEFAULT_CONFIG",
     "ConfigurationError",
     "HardwareSpec",
     "ModelError",
     "NotFittedError",
+    "ProtocolError",
     "ReproError",
     "SamplingError",
+    "ServingConfig",
+    "ServingError",
     "SimulationConfig",
     "SimulationError",
     "SystemConfig",

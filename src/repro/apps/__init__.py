@@ -15,7 +15,12 @@ applications into library APIs:
 The runnable scripts under ``examples/`` are thin drivers over these.
 """
 
-from .admission import AdmissionController, AdmissionDecision
+from .admission import (
+    AdmissionController,
+    AdmissionDecision,
+    ContenderBackend,
+    PredictionBackend,
+)
 from .placement import balanced_placement, placement_cost
 from .progress import ProgressEstimate, ProgressEstimator
 from .scheduling import greedy_pairing, predicted_makespan, predicted_pair_cost
@@ -25,6 +30,8 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "BatchExecution",
+    "ContenderBackend",
+    "PredictionBackend",
     "ProgressEstimate",
     "ProgressEstimator",
     "balanced_placement",

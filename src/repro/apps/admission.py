@@ -4,15 +4,55 @@ Before admitting a queued query into the running mix, simulate the
 admission through the predictor: admit only if every member of the
 resulting mix — the newcomer included — is predicted to stay within its
 SLA (a multiple of its isolated latency).
+
+The controller consults a :class:`PredictionBackend`, so the identical
+policy code runs *embedded* (an in-process
+:class:`~repro.core.contender.Contender`, wrapped automatically) or
+*remote* (a prediction server, via
+:class:`repro.serving.client.RemotePredictionBackend`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Protocol, Sequence, Tuple, Union, runtime_checkable
 
 from ..core.contender import Contender
 from ..errors import ModelError
+
+
+@runtime_checkable
+class PredictionBackend(Protocol):
+    """What admission control needs from a predictor.
+
+    Implementations: :class:`ContenderBackend` (embedded) and
+    :class:`repro.serving.client.RemotePredictionBackend` (served).
+    """
+
+    def predict_known(self, primary: int, mix: Sequence[int]) -> float:
+        """Predicted steady-state latency of *primary* inside *mix*."""
+        ...
+
+    def isolated_latency(self, primary: int) -> float:
+        """The template's ``l_min`` — the SLA's reference point."""
+        ...
+
+
+class ContenderBackend:
+    """In-process backend over a fitted :class:`Contender`."""
+
+    def __init__(self, contender: Contender):
+        self._contender = contender
+
+    @property
+    def contender(self) -> Contender:
+        return self._contender
+
+    def predict_known(self, primary: int, mix: Sequence[int]) -> float:
+        return self._contender.predict_known(primary, mix)
+
+    def isolated_latency(self, primary: int) -> float:
+        return self._contender.data.profile(primary).isolated_latency
 
 
 @dataclass(frozen=True)
@@ -39,25 +79,43 @@ class AdmissionController:
     """Admit queries while every predicted latency respects the SLA.
 
     Args:
-        contender: Fitted predictor; all workload templates known.
+        predictor: A fitted :class:`Contender` (wrapped into a
+            :class:`ContenderBackend`) or any :class:`PredictionBackend`
+            — e.g. a remote prediction-service backend.
         sla_factor: Allowed latency as a multiple of isolated latency.
         max_mpl: Hard concurrency cap regardless of predictions.
     """
 
     def __init__(
-        self, contender: Contender, sla_factor: float = 1.5, max_mpl: int = 5
+        self,
+        predictor: Union[Contender, PredictionBackend],
+        sla_factor: float = 1.5,
+        max_mpl: int = 5,
     ):
         if sla_factor < 1.0:
             raise ModelError("sla_factor must be >= 1")
         if max_mpl < 1:
             raise ModelError("max_mpl must be >= 1")
-        self._contender = contender
+        if isinstance(predictor, Contender):
+            self._backend: PredictionBackend = ContenderBackend(predictor)
+        elif isinstance(predictor, PredictionBackend):
+            self._backend = predictor
+        else:
+            raise ModelError(
+                "predictor must be a Contender or expose "
+                "predict_known/isolated_latency"
+            )
         self._sla = sla_factor
         self._max_mpl = max_mpl
 
     @property
     def sla_factor(self) -> float:
         return self._sla
+
+    @property
+    def backend(self) -> PredictionBackend:
+        """The prediction backend decisions are simulated against."""
+        return self._backend
 
     def check(
         self, running: Sequence[int], candidate: int
@@ -83,8 +141,8 @@ class AdmissionController:
         worst_ratio = 0.0
         limiting = candidate
         for primary in mix:
-            predicted = self._contender.predict_known(primary, mix)
-            isolated = self._contender.data.profile(primary).isolated_latency
+            predicted = self._backend.predict_known(primary, mix)
+            isolated = self._backend.isolated_latency(primary)
             ratio = predicted / (self._sla * isolated)
             if ratio > worst_ratio:
                 worst_ratio = ratio

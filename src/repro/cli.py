@@ -10,6 +10,9 @@ Everything a user needs to poke the reproduction without writing code::
     repro train --out campaign.pkl      # collect the sampling campaign
     repro predict campaign.pkl 26 65    # known-template prediction
     repro predict-new campaign.pkl 71 26   # Fig. 5 pipeline (71 is new)
+    repro pack campaign.pkl --out model.json   # registry artifact
+    repro serve model.json --port 8181  # online prediction service
+    repro load-test model.json          # p50/p99/QPS under load
     repro experiment table2             # regenerate one table/figure
     repro report                        # the full EXPERIMENTS.md content
 
@@ -109,6 +112,43 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("diagnose", help="QS model diagnostics per template")
     p.add_argument("data", type=Path)
     p.add_argument("--mpl", type=int, default=2)
+
+    p = sub.add_parser(
+        "pack", help="pack a training campaign into a registry artifact"
+    )
+    p.add_argument("data", type=Path, help="campaign pickle from `repro train`")
+    p.add_argument("--out", type=Path, required=True)
+    p.add_argument("--knn-k", type=int, default=3)
+
+    p = sub.add_parser("serve", help="serve predictions from an artifact")
+    p.add_argument("artifact", type=Path)
+    p.add_argument("--host", type=str, default=None)
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--cache-entries", type=int, default=None)
+    p.add_argument("--cache-ttl", type=float, default=None)
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="refit the stored coefficients on load and require agreement",
+    )
+
+    p = sub.add_parser(
+        "load-test", help="drive a server (or artifact) and report p50/p99/QPS"
+    )
+    p.add_argument(
+        "artifact",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="artifact to serve in-process (omit when using --url)",
+    )
+    p.add_argument("--url", type=str, default=None, help="host:port of a running server")
+    p.add_argument("--submitters", type=int, default=8)
+    p.add_argument("--requests", type=int, default=400)
+    p.add_argument("--pool", type=int, default=16, help="distinct mixes in the workload")
+    p.add_argument("--mpl", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser("experiment", help="run one experiment runner")
     p.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -238,6 +278,120 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from .core.contender import ContenderOptions
+    from .serving.registry import save_artifact
+
+    data = TrainingData.load(args.data)
+    contender = Contender(data, ContenderOptions(knn_k=args.knn_k))
+    info = save_artifact(contender, args.out)
+    print(
+        f"packed {args.out}: {len(info.template_ids)} templates, "
+        f"QS models at MPLs {list(info.qs_mpls)}, version {info.version}"
+    )
+    return 0
+
+
+def _serving_config(args: argparse.Namespace):
+    from dataclasses import replace
+
+    from .config import DEFAULT_CONFIG
+
+    overrides = {
+        name: value
+        for name, value in (
+            ("host", getattr(args, "host", None)),
+            ("port", getattr(args, "port", None)),
+            ("workers", getattr(args, "workers", None)),
+            ("cache_entries", getattr(args, "cache_entries", None)),
+            ("cache_ttl", getattr(args, "cache_ttl", None)),
+        )
+        if value is not None
+    }
+    return replace(DEFAULT_CONFIG.serving, **overrides)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving.server import PredictionServer
+
+    server = PredictionServer.from_artifact(
+        args.artifact, config=_serving_config(args), verify=args.verify
+    )
+    version = server.registry.entry("default").version
+    print(
+        f"serving {args.artifact} ({version}) on "
+        f"http://{server.host}:{server.port} — Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.shutdown()
+    return 0
+
+
+def _cmd_load_test(args: argparse.Namespace) -> int:
+    from .serving.client import LoadGenerator, PredictionClient, mix_pool_workload
+    from .serving.server import PredictionServer
+
+    if (args.artifact is None) == (args.url is None):
+        print(
+            "error: load-test needs an artifact path or --url, not both",
+            file=sys.stderr,
+        )
+        return 2
+
+    server = None
+    if args.url is not None:
+        host, _, port_text = args.url.rpartition(":")
+        host = host or "127.0.0.1"
+        try:
+            port = int(port_text)
+        except ValueError:
+            print(f"error: malformed --url {args.url!r}", file=sys.stderr)
+            return 2
+    else:
+        from dataclasses import replace
+
+        from .config import DEFAULT_CONFIG
+
+        server = PredictionServer.from_artifact(
+            args.artifact, config=replace(DEFAULT_CONFIG.serving, port=0)
+        ).start()
+        host, port = server.host, server.port
+
+    try:
+        with PredictionClient(host, port) as probe:
+            templates = list(probe.health().template_ids)
+        workload = mix_pool_workload(
+            templates,
+            requests=args.requests,
+            pool_size=args.pool,
+            mpl=args.mpl,
+            seed=args.seed,
+        )
+        report = LoadGenerator(host, port, submitters=args.submitters).run(
+            workload
+        )
+        print(report.format_table())
+        with PredictionClient(host, port) as probe:
+            stats = probe.stats()
+        cache = stats["cache"]
+        batching = stats["batching"]
+        print(
+            f"cache hit rate  {cache['hit_rate']:.1%} "
+            f"({cache['hits']} hits / {cache['misses']} misses)"
+        )
+        print(
+            f"coalesced       {batching['coalesced']} requests "
+            f"across {batching['batches']} batches"
+        )
+    finally:
+        if server is not None:
+            server.shutdown()
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
@@ -271,6 +425,9 @@ _HANDLERS = {
     "predict": _cmd_predict,
     "predict-new": _cmd_predict_new,
     "diagnose": _cmd_diagnose,
+    "pack": _cmd_pack,
+    "serve": _cmd_serve,
+    "load-test": _cmd_load_test,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
 }

@@ -123,11 +123,63 @@ class SimulationConfig:
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the online prediction service (:mod:`repro.serving`).
+
+    Attributes:
+        host: Interface the HTTP front end binds.
+        port: TCP port; 0 lets the OS pick one (tests, smoke runs).
+        workers: Batch-worker threads draining the request queue.
+        batch_window: Seconds a worker lingers after the first request of
+            a batch to coalesce concurrent arrivals into one model call.
+        max_batch: Most requests a single batch may absorb.
+        request_timeout: Seconds a front-end thread waits for its batch
+            result before answering 504.
+        cache_entries: Capacity of the prediction cache (LRU).
+        cache_ttl: Seconds a cached prediction stays servable.
+        sla_factor: Default SLA multiple for the ``admit`` endpoint.
+        max_mpl: Default concurrency cap for the ``admit`` endpoint.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8181
+    workers: int = 4
+    batch_window: float = 0.002
+    max_batch: int = 64
+    request_timeout: float = 10.0
+    cache_entries: int = 4096
+    cache_ttl: float = 300.0
+    sla_factor: float = 1.5
+    max_mpl: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ConfigurationError(f"port must be in [0, 65535], got {self.port}")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.batch_window < 0:
+            raise ConfigurationError("batch_window must be >= 0")
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if self.request_timeout <= 0:
+            raise ConfigurationError("request_timeout must be positive")
+        if self.cache_entries < 0:
+            raise ConfigurationError("cache_entries must be >= 0")
+        if self.cache_ttl <= 0:
+            raise ConfigurationError("cache_ttl must be positive")
+        if self.sla_factor < 1.0:
+            raise ConfigurationError("sla_factor must be >= 1")
+        if self.max_mpl < 1:
+            raise ConfigurationError("max_mpl must be >= 1")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """A complete simulated system: hardware plus executor behaviour."""
 
     hardware: HardwareSpec = field(default_factory=HardwareSpec)
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    serving: ServingConfig = field(default_factory=ServingConfig)
 
     def with_seed(self, seed: int) -> "SystemConfig":
         """Return a copy whose simulation RNG seed is *seed*."""

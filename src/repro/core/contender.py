@@ -134,6 +134,20 @@ class Contender:
         """Reference QS models of every known template at *mpl*."""
         return [self.qs_model(t, mpl) for t in self.template_ids]
 
+    def preload_qs_models(self, models: Sequence[QSModel]) -> None:
+        """Seed the QS cache with already-fitted models.
+
+        Used by the model registry to restore a serialized Contender
+        without refitting: predictions then use exactly the stored
+        coefficients.  Every model must belong to a known template.
+        """
+        for model in models:
+            if model.template_id not in self._data.profiles:
+                raise ModelError(
+                    f"preloaded QS model for unknown template {model.template_id}"
+                )
+            self._qs_cache[(model.template_id, model.mpl)] = model
+
     def predict_known(self, primary: int, mix: Sequence[int]) -> float:
         """Latency of a known template in *mix* (Sec. 5.2).
 

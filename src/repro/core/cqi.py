@@ -68,7 +68,10 @@ class CQICalculator:
             self._profile(concurrent).fact_scans
             & self._profile(primary).fact_scans
         )
-        return sum(self.scan_seconds.get(f, 0.0) for f in shared)
+        # Sorted so the float sum is independent of set iteration order
+        # (which varies with hash randomization across processes) —
+        # model artifacts must verify bit-exactly in a later process.
+        return sum(self.scan_seconds.get(f, 0.0) for f in sorted(shared))
 
     def tau(
         self, concurrent: int, primary: int, concurrent_set: Sequence[int]
@@ -89,7 +92,7 @@ class CQICalculator:
                 h[table] += 1
 
         saved = 0.0
-        for table in c_scans:
+        for table in sorted(c_scans):  # order-independent float sum
             if table in primary_scans:
                 continue  # counted by omega; avoid double counting
             if h[table] > 1:

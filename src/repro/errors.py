@@ -33,5 +33,17 @@ class ModelError(ReproError):
     """A predictive model is mis-specified or used before being fitted."""
 
 
+class ServingError(ReproError):
+    """The online prediction service hit an operational failure."""
+
+
+class ArtifactError(ServingError):
+    """A registry artifact is missing, corrupt, or schema-incompatible."""
+
+
+class ProtocolError(ServingError):
+    """A serving request or response violates the wire protocol."""
+
+
 class NotFittedError(ModelError):
     """A model was asked to predict before :meth:`fit` succeeded."""

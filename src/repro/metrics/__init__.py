@@ -1,4 +1,9 @@
-"""Prediction-quality and goodness-of-fit metrics."""
+"""Prediction-quality and goodness-of-fit metrics.
+
+Re-exports everything public from :mod:`repro.metrics.errors` and
+:mod:`repro.metrics.fit`; ``from repro.metrics import *`` is stable and
+matches the submodules' own ``__all__`` declarations.
+"""
 
 from .errors import mean_absolute_error, mean_relative_error, relative_errors
 from .fit import pearson_r, r_squared, signed_r_squared

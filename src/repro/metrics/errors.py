@@ -14,6 +14,8 @@ import numpy as np
 
 from ..errors import ModelError
 
+__all__ = ["mean_absolute_error", "mean_relative_error", "relative_errors"]
+
 
 def _validate(observed: Sequence[float], predicted: Sequence[float]) -> tuple:
     obs = np.asarray(observed, dtype=float)

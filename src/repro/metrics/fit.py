@@ -15,6 +15,8 @@ import numpy as np
 
 from ..errors import ModelError
 
+__all__ = ["pearson_r", "r_squared", "signed_r_squared"]
+
 
 def _as_xy(x: Sequence[float], y: Sequence[float]) -> tuple:
     xv = np.asarray(x, dtype=float)

@@ -1,0 +1,77 @@
+"""The online prediction service.
+
+Turns a trained :class:`~repro.core.contender.Contender` into a
+long-lived component that admission control and scheduling can query per
+query arrival (the paper's Sec. 1 motivation; constant-time new-template
+prediction is what makes this affordable, Sec. 5.5):
+
+* :mod:`repro.serving.registry` — versioned JSON model artifacts with
+  schema checks, plus an in-memory registry with hot reload;
+* :mod:`repro.serving.server` — a threaded stdlib-HTTP front end over a
+  batching worker pool (``predict``, ``predict-new``, ``admit``,
+  ``health``, ``stats``, ``reload``);
+* :mod:`repro.serving.batching` / :mod:`repro.serving.cache` — request
+  coalescing and LRU+TTL prediction memoization for repeated mixes;
+* :mod:`repro.serving.client` — the RPC client, a remote admission
+  backend, and a multi-threaded load generator reporting p50/p99/QPS.
+"""
+
+from .batching import BatchStats, RequestBatcher
+from .cache import CacheStats, PredictionCache, mix_signature
+from .client import (
+    LoadGenerator,
+    LoadReport,
+    PredictionClient,
+    RemotePredictionBackend,
+    mix_pool_workload,
+)
+from .protocol import (
+    AdmitRequest,
+    AdmitResponse,
+    HealthResponse,
+    PredictNewRequest,
+    PredictRequest,
+    PredictResponse,
+)
+from .registry import (
+    ARTIFACT_FORMAT,
+    SCHEMA_VERSION,
+    ArtifactInfo,
+    LoadedModel,
+    ModelRegistry,
+    RegistryEntry,
+    build_artifact,
+    load_artifact,
+    save_artifact,
+)
+from .server import DEFAULT_MODEL_NAME, PredictionServer
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "AdmitRequest",
+    "AdmitResponse",
+    "ArtifactInfo",
+    "BatchStats",
+    "CacheStats",
+    "DEFAULT_MODEL_NAME",
+    "HealthResponse",
+    "LoadGenerator",
+    "LoadReport",
+    "LoadedModel",
+    "ModelRegistry",
+    "PredictNewRequest",
+    "PredictRequest",
+    "PredictResponse",
+    "PredictionCache",
+    "PredictionClient",
+    "PredictionServer",
+    "RegistryEntry",
+    "RemotePredictionBackend",
+    "RequestBatcher",
+    "SCHEMA_VERSION",
+    "build_artifact",
+    "load_artifact",
+    "mix_pool_workload",
+    "mix_signature",
+    "save_artifact",
+]

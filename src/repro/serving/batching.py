@@ -1,0 +1,218 @@
+"""Request coalescing for the prediction server.
+
+Front-end threads submit request keys and block on a future; a small
+pool of batch workers drains the shared queue, lingering ``batch_window``
+seconds after the first arrival so concurrent requests pile into one
+batch, then computes each *unique* key exactly once and fans the results
+back out.  Under steady-state traffic the same (template, mix) keys
+arrive together, so coalescing converts N socket-level requests into one
+model call.
+
+The batcher is generic over keys: the server passes a ``compute_batch``
+callable that consults the prediction cache and the Contender model.
+``compute_batch`` may map a key to an exception instance to fail just
+that key while the rest of the batch succeeds.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, List, Mapping, Sequence, Tuple
+
+from ..errors import ServingError
+
+__all__ = ["BatchStats", "RequestBatcher"]
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Counters snapshot of a :class:`RequestBatcher`.
+
+    Attributes:
+        requests: Keys submitted.
+        batches: Batches executed.
+        unique_keys: Keys actually computed (after in-batch dedup).
+        largest_batch: Most requests absorbed by one batch.
+    """
+
+    requests: int
+    batches: int
+    unique_keys: int
+    largest_batch: int
+
+    @property
+    def coalesced(self) -> int:
+        """Requests answered by another request's computation."""
+        return self.requests - self.unique_keys
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "unique_keys": self.unique_keys,
+            "largest_batch": self.largest_batch,
+            "coalesced": self.coalesced,
+        }
+
+
+class RequestBatcher:
+    """Coalesce concurrent submissions into deduplicated batch calls.
+
+    Args:
+        compute_batch: Maps a sequence of unique keys to a result per
+            key.  A missing key fails that request; a value that is an
+            exception instance fails it with that exception.
+        workers: Worker threads draining the queue.
+        batch_window: Seconds to linger collecting a batch after its
+            first request arrives.  0 degenerates to per-request calls.
+        max_batch: Most requests one batch may absorb.
+    """
+
+    def __init__(
+        self,
+        compute_batch: Callable[[Sequence[Hashable]], Mapping[Hashable, Any]],
+        workers: int = 1,
+        batch_window: float = 0.002,
+        max_batch: int = 64,
+    ):
+        if workers < 1:
+            raise ServingError("workers must be >= 1")
+        if batch_window < 0:
+            raise ServingError("batch_window must be >= 0")
+        if max_batch < 1:
+            raise ServingError("max_batch must be >= 1")
+        self._compute_batch = compute_batch
+        self._window = batch_window
+        self._max_batch = max_batch
+        self._queue: "queue.Queue" = queue.Queue()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._requests = 0
+        self._batches = 0
+        self._unique = 0
+        self._largest = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"batch-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------
+    # Submission side.
+
+    def submit(self, key: Hashable) -> "Future":
+        """Enqueue *key*; the future resolves to its computed value."""
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise ServingError("batcher is shut down")
+            self._requests += 1
+        self._queue.put((key, future))
+        return future
+
+    def stats(self) -> BatchStats:
+        with self._lock:
+            return BatchStats(
+                requests=self._requests,
+                batches=self._batches,
+                unique_keys=self._unique,
+                largest_batch=self._largest,
+            )
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop accepting work, drain workers, fail leftover requests."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(_SENTINEL)
+        for t in self._threads:
+            t.join(timeout=timeout)
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SENTINEL:
+                _, future = item
+                future.set_exception(ServingError("batcher shut down"))
+
+    def __enter__(self) -> "RequestBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Worker side.
+
+    def _collect(self, first) -> List[Tuple[Hashable, "Future"]]:
+        """One batch: *first* plus whatever lands inside the window."""
+        batch = [first]
+        deadline = time.monotonic() + self._window
+        while len(batch) < self._max_batch:
+            if self._window == 0:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+            if item is _SENTINEL:
+                # Keep the shutdown signal visible to this worker after
+                # the current batch completes.
+                self._queue.put(_SENTINEL)
+                break
+            batch.append(item)
+        return batch
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            batch = self._collect(item)
+            keys: List[Hashable] = []
+            seen = set()
+            for key, _ in batch:
+                if key not in seen:
+                    seen.add(key)
+                    keys.append(key)
+            try:
+                results = self._compute_batch(keys)
+            except BaseException as exc:  # noqa: BLE001 — fan the failure out
+                for _, future in batch:
+                    future.set_exception(exc)
+                continue
+            finally:
+                with self._lock:
+                    self._batches += 1
+                    self._unique += len(keys)
+                    self._largest = max(self._largest, len(batch))
+            for key, future in batch:
+                if key not in results:
+                    future.set_exception(
+                        ServingError(f"batch compute returned no result for {key!r}")
+                    )
+                    continue
+                value = results[key]
+                if isinstance(value, BaseException):
+                    future.set_exception(value)
+                else:
+                    future.set_result(value)

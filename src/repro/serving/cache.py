@@ -1,0 +1,152 @@
+"""Prediction memoization — LRU capacity bound plus per-entry TTL.
+
+Steady-state workloads repeat a small set of mixes heavily (the paper's
+Sec. 2 observation that MPL-2 mixes dominate), so the serving hot path
+memoizes predictions by (operation, template, mix-signature).  Entries
+age out after ``ttl_seconds`` so a hot-reloaded model or drifting
+workload cannot serve stale numbers forever, and the LRU bound keeps the
+resident set proportional to the active mix population.
+
+The cache is thread-safe; the batch workers and front-end handler
+threads share one instance.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional, Sequence, Tuple
+
+from ..errors import ServingError
+
+__all__ = ["CacheStats", "PredictionCache", "mix_signature"]
+
+
+def mix_signature(mix: Sequence[int]) -> Tuple[int, ...]:
+    """Canonical order-independent form of a mix.
+
+    CQI — and therefore every Contender prediction — depends on the mix
+    as a multiset, not on slot order, so ``(26, 65)`` and ``(65, 26)``
+    must hit the same cache entry.
+    """
+    return tuple(sorted(mix))
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters snapshot of a :class:`PredictionCache`.
+
+    Attributes:
+        hits: Lookups answered from the cache.
+        misses: Lookups that fell through to the model.
+        evictions: Entries dropped by the LRU capacity bound.
+        expirations: Entries dropped because their TTL elapsed.
+        size: Entries currently resident.
+        max_entries: Capacity bound.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    expirations: int
+    size: int
+    max_entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups; 0.0 before the first lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "size": self.size,
+            "max_entries": self.max_entries,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PredictionCache:
+    """Thread-safe LRU + TTL map from request keys to predictions.
+
+    Args:
+        max_entries: Capacity; 0 disables caching (every lookup misses).
+        ttl_seconds: Seconds an entry stays servable after insertion.
+        clock: Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        ttl_seconds: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_entries < 0:
+            raise ServingError("max_entries must be >= 0")
+        if ttl_seconds <= 0:
+            raise ServingError("ttl_seconds must be positive")
+        self._max = max_entries
+        self._ttl = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[float, Any]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, or ``None`` on miss/expiry (counted)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            inserted, value = entry
+            if self._clock() - inserted > self._ttl:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) *key*; evicts the LRU entry when full."""
+        if self._max == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+            self._entries[key] = (self._clock(), value)
+            while len(self._entries) > self._max:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (hot reload invalidation); keeps counters."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                size=len(self._entries),
+                max_entries=self._max,
+            )

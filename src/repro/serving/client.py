@@ -1,0 +1,396 @@
+"""Client side of the prediction service: RPC wrapper and load generator.
+
+:class:`PredictionClient` is a thin, blocking JSON-over-HTTP client for
+one server (``http.client`` only).  It is **not** thread-safe — the load
+generator gives each submitter thread its own client, which also keeps
+one persistent keep-alive connection per thread.
+
+:class:`RemotePredictionBackend` adapts a client to the
+:class:`~repro.apps.admission.PredictionBackend` interface so the same
+:class:`~repro.apps.admission.AdmissionController` policy code runs
+against an in-process Contender or a remote server unchanged.
+
+:class:`LoadGenerator` drives a server with N concurrent submitters over
+a fixed workload and reports client-observed p50/p99 latency and QPS.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import statistics
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.contender import SpoilerMode
+from ..core.training import TemplateProfile
+from ..errors import ModelError, ProtocolError, ServingError
+from .protocol import (
+    AdmitRequest,
+    AdmitResponse,
+    HealthResponse,
+    PredictNewRequest,
+    PredictRequest,
+    PredictResponse,
+)
+
+__all__ = [
+    "LoadGenerator",
+    "LoadReport",
+    "PredictionClient",
+    "RemotePredictionBackend",
+    "mix_pool_workload",
+]
+
+#: Exception class per server-reported error type.
+_ERROR_TYPES = {
+    "protocol": ProtocolError,
+    "model": ModelError,
+    "serving": ServingError,
+}
+
+
+class PredictionClient:
+    """Blocking client for one prediction server.
+
+    Args:
+        host: Server host.
+        port: Server port.
+        timeout: Socket timeout per request, seconds.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # Transport.
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+            self._conn.connect()
+            # Mirror the server: without TCP_NODELAY each keep-alive
+            # round trip stalls on Nagle + delayed ACK (~40 ms).
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "PredictionClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, verb: str, path: str, doc: Optional[dict] = None) -> dict:
+        body = json.dumps(doc).encode("utf-8") if doc is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (1, 2):
+            try:
+                conn = self._connection()
+                conn.request(verb, path, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                # A dropped keep-alive connection is retried once on a
+                # fresh socket; a dead server surfaces on the retry.
+                self.close()
+                if attempt == 2:
+                    raise ServingError(
+                        f"request to {self._host}:{self._port}{path} failed: {exc}"
+                    ) from exc
+        try:
+            answer = json.loads(payload.decode("utf-8"))
+        except ValueError as exc:
+            raise ProtocolError(
+                f"server returned invalid JSON for {path}: {exc}"
+            ) from exc
+        if response.status != 200:
+            error_cls = _ERROR_TYPES.get(answer.get("type"), ServingError)
+            raise error_cls(answer.get("error", f"HTTP {response.status}"))
+        return answer
+
+    # ------------------------------------------------------------------
+    # Operations.
+
+    def predict(self, primary: int, mix: Sequence[int]) -> PredictResponse:
+        """Served latency of known template *primary* in *mix*."""
+        request = PredictRequest(primary=primary, mix=tuple(mix))
+        return PredictResponse.from_doc(
+            self._request("POST", "/v1/predict", request.to_doc())
+        )
+
+    def predict_new(
+        self,
+        profile: TemplateProfile,
+        mix: Sequence[int],
+        spoiler_mode: SpoilerMode = SpoilerMode.KNN,
+    ) -> PredictResponse:
+        """Served latency of a never-sampled template (Fig. 5 pipeline)."""
+        request = PredictNewRequest(
+            profile=profile, mix=tuple(mix), spoiler_mode=spoiler_mode
+        )
+        return PredictResponse.from_doc(
+            self._request("POST", "/v1/predict-new", request.to_doc())
+        )
+
+    def admit(
+        self,
+        running: Sequence[int],
+        candidate: int,
+        sla_factor: Optional[float] = None,
+        max_mpl: Optional[int] = None,
+    ) -> AdmitResponse:
+        """Served admission decision for *candidate* joining *running*."""
+        request = AdmitRequest(
+            running=tuple(running),
+            candidate=candidate,
+            sla_factor=sla_factor,
+            max_mpl=max_mpl,
+        )
+        return AdmitResponse.from_doc(
+            self._request("POST", "/v1/admit", request.to_doc())
+        )
+
+    def health(self) -> HealthResponse:
+        return HealthResponse.from_doc(self._request("GET", "/v1/health"))
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def reload(self) -> dict:
+        return self._request("POST", "/v1/reload")
+
+
+class RemotePredictionBackend:
+    """Admission-control backend answered by a remote server.
+
+    Satisfies :class:`~repro.apps.admission.PredictionBackend`, so
+    ``AdmissionController(RemotePredictionBackend(client))`` runs the
+    identical policy the embedded controller runs.
+
+    Isolated latencies ship once in the health response and are cached
+    here; predictions go over the wire per mix.
+    """
+
+    def __init__(self, client: PredictionClient):
+        self._client = client
+        self._isolated: Optional[Dict[int, float]] = None
+        self._lock = threading.Lock()
+
+    def _isolated_map(self) -> Dict[int, float]:
+        with self._lock:
+            if self._isolated is None:
+                self._isolated = dict(self._client.health().isolated_latencies)
+            return self._isolated
+
+    def predict_known(self, primary: int, mix: Sequence[int]) -> float:
+        return self._client.predict(primary, mix).latency
+
+    def isolated_latency(self, primary: int) -> float:
+        try:
+            return self._isolated_map()[primary]
+        except KeyError:
+            raise ModelError(
+                f"server does not know template {primary}"
+            ) from None
+
+
+# ----------------------------------------------------------------------
+# Load generation.
+
+
+def mix_pool_workload(
+    template_ids: Sequence[int],
+    requests: int,
+    pool_size: int = 16,
+    mpl: int = 2,
+    seed: int = 0,
+) -> List[PredictRequest]:
+    """A repeated-mix request stream, the serving steady state.
+
+    Draws *pool_size* distinct mixes of size *mpl* from the workload,
+    then samples *requests* predictions from that pool — so the stream
+    repeats mixes heavily, exactly the pattern the prediction cache and
+    batcher are built for.
+    """
+    if not template_ids:
+        raise ServingError("need at least one template id")
+    if requests < 1:
+        raise ServingError("requests must be >= 1")
+    if pool_size < 1:
+        raise ServingError("pool_size must be >= 1")
+    if mpl < 1:
+        raise ServingError("mpl must be >= 1")
+    rng = np.random.default_rng(seed)
+    ids = list(template_ids)
+    pool: List[PredictRequest] = []
+    seen = set()
+    attempts = 0
+    while len(pool) < pool_size and attempts < pool_size * 20:
+        attempts += 1
+        mix = tuple(sorted(int(t) for t in rng.choice(ids, size=mpl)))
+        primary = int(rng.choice(mix))
+        if (primary, mix) in seen:
+            continue
+        seen.add((primary, mix))
+        pool.append(PredictRequest(primary=primary, mix=mix))
+    picks = rng.integers(0, len(pool), size=requests)
+    return [pool[i] for i in picks]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Client-observed results of one load-test run.
+
+    Attributes:
+        requests: Requests attempted.
+        errors: Requests that raised.
+        duration_seconds: Wall time from first submit to last response.
+        qps: Successful requests per second.
+        p50_ms: Median round-trip latency, milliseconds.
+        p90_ms: 90th-percentile latency.
+        p99_ms: 99th-percentile latency.
+        mean_ms: Mean latency.
+        max_ms: Worst latency.
+        submitters: Concurrent client threads used.
+    """
+
+    requests: int
+    errors: int
+    duration_seconds: float
+    qps: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    submitters: int
+
+    def format_table(self) -> str:
+        rows = [
+            ("submitters", f"{self.submitters}"),
+            ("requests", f"{self.requests}"),
+            ("errors", f"{self.errors}"),
+            ("duration", f"{self.duration_seconds:.3f} s"),
+            ("throughput", f"{self.qps:,.0f} req/s"),
+            ("p50 latency", f"{self.p50_ms:.2f} ms"),
+            ("p90 latency", f"{self.p90_ms:.2f} ms"),
+            ("p99 latency", f"{self.p99_ms:.2f} ms"),
+            ("mean latency", f"{self.mean_ms:.2f} ms"),
+            ("max latency", f"{self.max_ms:.2f} ms"),
+        ]
+        width = max(len(label) for label, _ in rows)
+        return "\n".join(f"{label:<{width}}  {value}" for label, value in rows)
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+class LoadGenerator:
+    """Drive a prediction server with concurrent submitters.
+
+    Args:
+        host: Server host.
+        port: Server port.
+        submitters: Concurrent client threads.
+        timeout: Per-request socket timeout, seconds.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        submitters: int = 8,
+        timeout: float = 10.0,
+    ):
+        if submitters < 1:
+            raise ServingError("submitters must be >= 1")
+        self._host = host
+        self._port = port
+        self._submitters = submitters
+        self._timeout = timeout
+
+    def run(self, workload: Sequence[PredictRequest]) -> LoadReport:
+        """Issue *workload* across the submitters; block until done.
+
+        Requests are dealt round-robin so every submitter sees the
+        repeated-mix distribution.  Latencies are measured per request
+        on the submitting thread.
+        """
+        if not workload:
+            raise ServingError("workload is empty")
+        shards: List[List[PredictRequest]] = [
+            list(workload[i :: self._submitters])
+            for i in range(min(self._submitters, len(workload)))
+        ]
+        latencies: List[List[float]] = [[] for _ in shards]
+        errors = [0] * len(shards)
+        barrier = threading.Barrier(len(shards) + 1)
+
+        def submit(index: int, shard: List[PredictRequest]) -> None:
+            with PredictionClient(
+                self._host, self._port, timeout=self._timeout
+            ) as client:
+                barrier.wait()
+                for request in shard:
+                    begin = time.monotonic()
+                    try:
+                        client.predict(request.primary, request.mix)
+                    except Exception:  # noqa: BLE001 — counted, not fatal
+                        errors[index] += 1
+                        continue
+                    latencies[index].append(time.monotonic() - begin)
+
+        threads = [
+            threading.Thread(
+                target=submit, args=(i, shard), name=f"load-submitter-{i}"
+            )
+            for i, shard in enumerate(shards)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        started = time.monotonic()
+        for t in threads:
+            t.join()
+        duration = max(time.monotonic() - started, 1e-9)
+
+        observed = sorted(lat for shard in latencies for lat in shard)
+        error_count = sum(errors)
+        return LoadReport(
+            requests=len(workload),
+            errors=error_count,
+            duration_seconds=duration,
+            qps=len(observed) / duration,
+            p50_ms=_percentile(observed, 0.50) * 1e3,
+            p90_ms=_percentile(observed, 0.90) * 1e3,
+            p99_ms=_percentile(observed, 0.99) * 1e3,
+            mean_ms=(statistics.fmean(observed) * 1e3) if observed else 0.0,
+            max_ms=(observed[-1] * 1e3) if observed else 0.0,
+            submitters=len(shards),
+        )

@@ -1,0 +1,365 @@
+"""Wire protocol of the prediction service.
+
+Requests and responses are JSON bodies over HTTP/1.1; this module owns
+the typed view of both sides so the server and the client (and the
+tests) share one schema.  Parsing is strict — unknown operations, wrong
+types, and missing fields raise :class:`~repro.errors.ProtocolError`,
+which the server maps to a 400 instead of a traceback.
+
+Endpoints:
+
+========================  ====  =========================================
+path                      verb  body
+========================  ====  =========================================
+``/v1/predict``           POST  :class:`PredictRequest`
+``/v1/predict-new``       POST  :class:`PredictNewRequest`
+``/v1/admit``             POST  :class:`AdmitRequest`
+``/v1/health``            GET   — (returns :class:`HealthResponse`)
+``/v1/stats``             GET   — (cache/batch/request counters)
+``/v1/reload``            POST  — (hot-reload the registry artifact)
+========================  ====  =========================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..core.contender import SpoilerMode
+from ..core.training import TemplateProfile
+from ..errors import ProtocolError
+
+__all__ = [
+    "AdmitRequest",
+    "AdmitResponse",
+    "HealthResponse",
+    "PredictNewRequest",
+    "PredictRequest",
+    "PredictResponse",
+    "decode_admit_worst_ratio",
+    "decode_json",
+    "profile_from_doc",
+    "profile_to_doc",
+]
+
+
+def decode_json(body: bytes) -> Dict[str, Any]:
+    """Parse a request body into a JSON object or raise ProtocolError."""
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError("request body must be a JSON object")
+    return doc
+
+
+def _require(doc: Mapping[str, Any], key: str) -> Any:
+    try:
+        return doc[key]
+    except KeyError:
+        raise ProtocolError(f"missing required field {key!r}") from None
+
+
+def _as_mix(value: Any, key: str) -> Tuple[int, ...]:
+    if (
+        not isinstance(value, (list, tuple))
+        or any(isinstance(t, bool) or not isinstance(t, int) for t in value)
+    ):
+        raise ProtocolError(f"{key!r} must be a list of template ids")
+    return tuple(value)
+
+
+def _as_template(value: Any, key: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"{key!r} must be a template id")
+    return value
+
+
+# ----------------------------------------------------------------------
+# TemplateProfile interchange (predict-new carries the new template's
+# isolated statistics inline — the single constant-time sample).
+
+
+def profile_to_doc(profile: TemplateProfile) -> Dict[str, Any]:
+    """JSON form of a :class:`TemplateProfile`."""
+    return {
+        "template_id": profile.template_id,
+        "isolated_latency": profile.isolated_latency,
+        "io_fraction": profile.io_fraction,
+        "working_set_bytes": profile.working_set_bytes,
+        "records_accessed": profile.records_accessed,
+        "plan_steps": profile.plan_steps,
+        "fact_scans": sorted(profile.fact_scans),
+    }
+
+
+def profile_from_doc(doc: Mapping[str, Any]) -> TemplateProfile:
+    """Parse a :class:`TemplateProfile` from its JSON form."""
+    if not isinstance(doc, Mapping):
+        raise ProtocolError("'profile' must be a JSON object")
+    try:
+        return TemplateProfile(
+            template_id=_as_template(_require(doc, "template_id"), "template_id"),
+            isolated_latency=float(_require(doc, "isolated_latency")),
+            io_fraction=float(_require(doc, "io_fraction")),
+            working_set_bytes=float(_require(doc, "working_set_bytes")),
+            records_accessed=float(_require(doc, "records_accessed")),
+            plan_steps=int(_require(doc, "plan_steps")),
+            fact_scans=frozenset(_require(doc, "fact_scans")),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed profile: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Requests.
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """Predict a known template's latency in a mix.
+
+    Attributes:
+        primary: Template whose latency is wanted.
+        mix: The full concurrent mix, primary's slot included.
+    """
+
+    primary: int
+    mix: Tuple[int, ...]
+
+    @staticmethod
+    def from_doc(doc: Mapping[str, Any]) -> "PredictRequest":
+        req = PredictRequest(
+            primary=_as_template(_require(doc, "primary"), "primary"),
+            mix=_as_mix(_require(doc, "mix"), "mix"),
+        )
+        if req.primary not in req.mix:
+            raise ProtocolError(
+                f"primary {req.primary} must occupy a slot in the mix"
+            )
+        return req
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {"primary": self.primary, "mix": list(self.mix)}
+
+
+@dataclass(frozen=True)
+class PredictNewRequest:
+    """Predict an ad-hoc template's latency (the Fig. 5 pipeline).
+
+    Attributes:
+        profile: Isolated statistics of the never-sampled template.
+        mix: The concurrent mix; the new template's id fills its slot.
+        spoiler_mode: ``knn`` or ``io_time`` (measured curves cannot
+            travel over the wire).
+    """
+
+    profile: TemplateProfile
+    mix: Tuple[int, ...]
+    spoiler_mode: SpoilerMode = SpoilerMode.KNN
+
+    @staticmethod
+    def from_doc(doc: Mapping[str, Any]) -> "PredictNewRequest":
+        mode_value = doc.get("spoiler_mode", SpoilerMode.KNN.value)
+        try:
+            mode = SpoilerMode(mode_value)
+        except ValueError:
+            raise ProtocolError(
+                f"unknown spoiler_mode {mode_value!r}"
+            ) from None
+        if mode is SpoilerMode.MEASURED:
+            raise ProtocolError(
+                "spoiler_mode 'measured' is not servable remotely; "
+                "use 'knn' or 'io_time'"
+            )
+        return PredictNewRequest(
+            profile=profile_from_doc(_require(doc, "profile")),
+            mix=_as_mix(_require(doc, "mix"), "mix"),
+            spoiler_mode=mode,
+        )
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "profile": profile_to_doc(self.profile),
+            "mix": list(self.mix),
+            "spoiler_mode": self.spoiler_mode.value,
+        }
+
+
+@dataclass(frozen=True)
+class AdmitRequest:
+    """Should *candidate* join the *running* mix?
+
+    Attributes:
+        running: Currently executing templates (may be empty).
+        candidate: Template asking for admission.
+        sla_factor: SLA multiple override; server default when None.
+        max_mpl: Concurrency-cap override; server default when None.
+    """
+
+    running: Tuple[int, ...]
+    candidate: int
+    sla_factor: Optional[float] = None
+    max_mpl: Optional[int] = None
+
+    @staticmethod
+    def from_doc(doc: Mapping[str, Any]) -> "AdmitRequest":
+        sla = doc.get("sla_factor")
+        cap = doc.get("max_mpl")
+        try:
+            sla = float(sla) if sla is not None else None
+            cap = int(cap) if cap is not None else None
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed admission overrides: {exc}") from exc
+        return AdmitRequest(
+            running=_as_mix(doc.get("running", []), "running"),
+            candidate=_as_template(_require(doc, "candidate"), "candidate"),
+            sla_factor=sla,
+            max_mpl=cap,
+        )
+
+    def to_doc(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "running": list(self.running),
+            "candidate": self.candidate,
+        }
+        if self.sla_factor is not None:
+            doc["sla_factor"] = self.sla_factor
+        if self.max_mpl is not None:
+            doc["max_mpl"] = self.max_mpl
+        return doc
+
+
+# ----------------------------------------------------------------------
+# Responses.
+
+
+@dataclass(frozen=True)
+class PredictResponse:
+    """A served latency prediction.
+
+    Attributes:
+        latency: Predicted steady-state latency, seconds.
+        cached: Whether the prediction came from the cache.
+        model_version: Version tag of the artifact that answered.
+    """
+
+    latency: float
+    cached: bool = False
+    model_version: str = ""
+
+    @staticmethod
+    def from_doc(doc: Mapping[str, Any]) -> "PredictResponse":
+        try:
+            return PredictResponse(
+                latency=float(_require(doc, "latency")),
+                cached=bool(doc.get("cached", False)),
+                model_version=str(doc.get("model_version", "")),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed predict response: {exc}") from exc
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "latency": self.latency,
+            "cached": self.cached,
+            "model_version": self.model_version,
+        }
+
+
+@dataclass(frozen=True)
+class AdmitResponse:
+    """A served admission decision (mirrors ``AdmissionDecision``)."""
+
+    admitted: bool
+    candidate: int
+    mix_after: Tuple[int, ...]
+    worst_ratio: float
+    limiting_template: int
+    model_version: str = ""
+
+    @staticmethod
+    def from_doc(doc: Mapping[str, Any]) -> "AdmitResponse":
+        try:
+            return AdmitResponse(
+                admitted=bool(_require(doc, "admitted")),
+                candidate=int(_require(doc, "candidate")),
+                mix_after=tuple(_require(doc, "mix_after")),
+                worst_ratio=decode_admit_worst_ratio(_require(doc, "worst_ratio")),
+                limiting_template=int(_require(doc, "limiting_template")),
+                model_version=str(doc.get("model_version", "")),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed admit response: {exc}") from exc
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "admitted": self.admitted,
+            "candidate": self.candidate,
+            "mix_after": list(self.mix_after),
+            # Infinity is not valid JSON; the hard-MPL rejection encodes
+            # its unbounded ratio as null and decodes back to inf.
+            "worst_ratio": (
+                self.worst_ratio if self.worst_ratio != float("inf") else None
+            ),
+            "limiting_template": self.limiting_template,
+            "model_version": self.model_version,
+        }
+
+
+@dataclass(frozen=True)
+class HealthResponse:
+    """Liveness plus the identity of the serving model.
+
+    Attributes:
+        status: ``"ok"`` while the server accepts requests.
+        model_version: Version tag of the active artifact.
+        template_ids: Templates the model can predict as knowns.
+        uptime_seconds: Seconds since the server started.
+        requests_served: Total requests answered (all endpoints).
+        isolated_latencies: ``l_min`` per template — lets remote
+            admission clients reason about SLAs without a second RPC.
+    """
+
+    status: str
+    model_version: str
+    template_ids: Tuple[int, ...]
+    uptime_seconds: float
+    requests_served: int
+    isolated_latencies: Dict[int, float] = field(default_factory=dict)
+
+    @staticmethod
+    def from_doc(doc: Mapping[str, Any]) -> "HealthResponse":
+        try:
+            return HealthResponse(
+                status=str(_require(doc, "status")),
+                model_version=str(_require(doc, "model_version")),
+                template_ids=tuple(_require(doc, "template_ids")),
+                uptime_seconds=float(_require(doc, "uptime_seconds")),
+                requests_served=int(_require(doc, "requests_served")),
+                isolated_latencies={
+                    int(t): float(v)
+                    for t, v in doc.get("isolated_latencies", {}).items()
+                },
+            )
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed health response: {exc}") from exc
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "status": self.status,
+            "model_version": self.model_version,
+            "template_ids": list(self.template_ids),
+            "uptime_seconds": self.uptime_seconds,
+            "requests_served": self.requests_served,
+            "isolated_latencies": {
+                str(t): v for t, v in self.isolated_latencies.items()
+            },
+        }
+
+
+def decode_admit_worst_ratio(value: Any) -> float:
+    """Inverse of the AdmitResponse null-for-infinity encoding."""
+    return float("inf") if value is None else float(value)

@@ -1,0 +1,379 @@
+"""The prediction server — a long-lived Contender behind HTTP.
+
+Architecture (all stdlib):
+
+* a :class:`~http.server.ThreadingHTTPServer` front end — one thread per
+  connection parses requests and blocks on a future;
+* a :class:`~repro.serving.batching.RequestBatcher` worker pool that
+  coalesces concurrent ``predict`` requests, answers repeats from the
+  :class:`~repro.serving.cache.PredictionCache`, and runs the model once
+  per unique (template, mix) key;
+* a :class:`~repro.serving.registry.ModelRegistry` holding the active
+  artifact, hot-reloadable through ``POST /v1/reload``.
+
+``predict-new`` and ``admit`` execute synchronously on the handler
+thread: new-template profiles rarely repeat (nothing to coalesce) and
+admission wraps the same cached ``predict`` path model-side.
+
+Failure mapping: protocol violations answer 400, model errors 422,
+timeouts 504, unknown paths 404 — the process never dies on a bad
+request.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Hashable, Mapping, Optional, Sequence, Tuple
+
+from ..apps.admission import AdmissionController
+from ..config import ServingConfig
+from ..errors import ProtocolError, ReproError, ServingError
+from .batching import RequestBatcher
+from .cache import PredictionCache, mix_signature
+from .protocol import (
+    AdmitRequest,
+    AdmitResponse,
+    HealthResponse,
+    PredictNewRequest,
+    PredictRequest,
+    PredictResponse,
+    decode_json,
+)
+from .registry import ModelRegistry
+
+__all__ = ["DEFAULT_MODEL_NAME", "PredictionServer"]
+
+#: Registry key of the model a single-artifact server serves.
+DEFAULT_MODEL_NAME = "default"
+
+
+class PredictionServer:
+    """Serve a registered Contender model over HTTP.
+
+    Args:
+        registry: Registry holding at least *model_name*.
+        config: Serving knobs; defaults mirror ``ServingConfig()``.
+        model_name: Which registered model answers requests.
+
+    Use as a context manager, or pair :meth:`start` with
+    :meth:`shutdown`::
+
+        with PredictionServer.from_artifact("model.json") as server:
+            client = PredictionClient("127.0.0.1", server.port)
+            client.predict(26, (26, 65))
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: Optional[ServingConfig] = None,
+        model_name: str = DEFAULT_MODEL_NAME,
+    ):
+        self._registry = registry
+        self._config = config if config is not None else ServingConfig()
+        self._model_name = model_name
+        registry.entry(model_name)  # fail fast on an unknown model
+
+        self._cache = PredictionCache(
+            max_entries=self._config.cache_entries,
+            ttl_seconds=self._config.cache_ttl,
+        )
+        self._batcher = RequestBatcher(
+            self._compute_batch,
+            workers=self._config.workers,
+            batch_window=self._config.batch_window,
+            max_batch=self._config.max_batch,
+        )
+        self._counters: Dict[str, int] = {}
+        self._counter_lock = threading.Lock()
+        self._started = time.monotonic()
+        self._serve_thread: Optional[threading.Thread] = None
+        self._shutdown_lock = threading.Lock()
+        self._stopped = False
+
+        server = self  # captured by the handler class below
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            # Small request/response pairs ping-pong on one keep-alive
+            # connection; Nagle + delayed ACK would add ~40 ms per round
+            # trip.
+            disable_nagle_algorithm = True
+
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass  # request logging would swamp load tests
+
+            def do_GET(self) -> None:  # noqa: N802 — http.server API
+                server._route(self, "GET")
+
+            def do_POST(self) -> None:  # noqa: N802 — http.server API
+                server._route(self, "POST")
+
+        self._httpd = ThreadingHTTPServer(
+            (self._config.host, self._config.port), Handler
+        )
+        self._httpd.daemon_threads = True
+
+    # ------------------------------------------------------------------
+    # Construction helpers and lifecycle.
+
+    @staticmethod
+    def from_artifact(
+        path,
+        config: Optional[ServingConfig] = None,
+        verify: bool = False,
+    ) -> "PredictionServer":
+        """A server over a fresh registry loaded from one artifact."""
+        registry = ModelRegistry()
+        registry.register(DEFAULT_MODEL_NAME, path, verify=verify)
+        return PredictionServer(registry, config=config)
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the OS's pick)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def registry(self) -> ModelRegistry:
+        return self._registry
+
+    def start(self) -> "PredictionServer":
+        """Serve on a background thread; returns immediately."""
+        if self._serve_thread is not None:
+            raise ServingError("server already started")
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="prediction-server",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`/SIGINT."""
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop accepting connections and drain the worker pool."""
+        with self._shutdown_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        self._httpd.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        self._httpd.server_close()
+        self._batcher.close()
+
+    def __enter__(self) -> "PredictionServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # The batched prediction path.
+
+    def _compute_batch(
+        self, keys: Sequence[Hashable]
+    ) -> Mapping[Hashable, Any]:
+        """Resolve unique predict keys via the cache, then the model.
+
+        Values are ``(latency, cached)`` pairs; per-key model failures
+        become exception values so one bad request cannot poison its
+        batchmates.
+        """
+        contender = self._registry.get(self._model_name)
+        results: Dict[Hashable, Any] = {}
+        for key in keys:
+            hit = self._cache.get(key)
+            if hit is not None:
+                results[key] = (hit, True)
+                continue
+            _, primary, mix = key
+            try:
+                latency = contender.predict_known(primary, mix)
+            except ReproError as exc:
+                results[key] = exc
+                continue
+            self._cache.put(key, latency)
+            results[key] = (latency, False)
+        return results
+
+    def _predict(self, request: PredictRequest) -> PredictResponse:
+        key = ("known", request.primary, mix_signature(request.mix))
+        future = self._batcher.submit(key)
+        try:
+            latency, cached = future.result(
+                timeout=self._config.request_timeout
+            )
+        except concurrent.futures.TimeoutError:
+            raise ServingError(
+                f"prediction timed out after {self._config.request_timeout}s"
+            ) from None
+        return PredictResponse(
+            latency=latency, cached=cached, model_version=self._version()
+        )
+
+    # ------------------------------------------------------------------
+    # Direct (unbatched) operations.
+
+    def _predict_new(self, request: PredictNewRequest) -> PredictResponse:
+        contender = self._registry.get(self._model_name)
+        latency = contender.predict_new(
+            request.profile, request.mix, spoiler_mode=request.spoiler_mode
+        )
+        return PredictResponse(
+            latency=latency, cached=False, model_version=self._version()
+        )
+
+    def _admit(self, request: AdmitRequest) -> AdmitResponse:
+        contender = self._registry.get(self._model_name)
+        controller = AdmissionController(
+            contender,
+            sla_factor=(
+                request.sla_factor
+                if request.sla_factor is not None
+                else self._config.sla_factor
+            ),
+            max_mpl=(
+                request.max_mpl
+                if request.max_mpl is not None
+                else self._config.max_mpl
+            ),
+        )
+        decision = controller.check(request.running, request.candidate)
+        return AdmitResponse(
+            admitted=decision.admitted,
+            candidate=decision.candidate,
+            mix_after=decision.mix_after,
+            worst_ratio=decision.worst_ratio,
+            limiting_template=decision.limiting_template,
+            model_version=self._version(),
+        )
+
+    def _health(self) -> HealthResponse:
+        contender = self._registry.get(self._model_name)
+        return HealthResponse(
+            status="ok",
+            model_version=self._version(),
+            template_ids=tuple(contender.template_ids),
+            uptime_seconds=time.monotonic() - self._started,
+            requests_served=self._requests_served(),
+            isolated_latencies={
+                t: contender.data.profile(t).isolated_latency
+                for t in contender.template_ids
+            },
+        )
+
+    def _stats(self) -> Dict[str, Any]:
+        entry = self._registry.entry(self._model_name)
+        with self._counter_lock:
+            counters = dict(self._counters)
+        return {
+            "model_version": entry.version,
+            "model_generation": entry.generation,
+            "uptime_seconds": time.monotonic() - self._started,
+            "requests": counters,
+            "requests_served": sum(counters.values()),
+            "cache": self._cache.stats().as_dict(),
+            "batching": self._batcher.stats().as_dict(),
+        }
+
+    def _reload(self) -> Dict[str, Any]:
+        updated = self._registry.maybe_reload(self._model_name)
+        if updated is not None:
+            # A new model invalidates every memoized prediction.
+            self._cache.clear()
+        return {
+            "reloaded": updated is not None,
+            "model_version": self._version(),
+        }
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing.
+
+    def _version(self) -> str:
+        return self._registry.entry(self._model_name).version
+
+    def _requests_served(self) -> int:
+        with self._counter_lock:
+            return sum(self._counters.values())
+
+    def _count(self, op: str) -> None:
+        with self._counter_lock:
+            self._counters[op] = self._counters.get(op, 0) + 1
+
+    def _route(self, handler: BaseHTTPRequestHandler, verb: str) -> None:
+        try:
+            doc = self._dispatch(handler, verb)
+        except ProtocolError as exc:
+            self._respond(handler, 400, {"error": str(exc), "type": "protocol"})
+        except ServingError as exc:
+            status = 504 if "timed out" in str(exc) else 503
+            self._respond(handler, status, {"error": str(exc), "type": "serving"})
+        except ReproError as exc:
+            self._respond(handler, 422, {"error": str(exc), "type": "model"})
+        except Exception as exc:  # noqa: BLE001 — keep the server alive
+            self._respond(handler, 500, {"error": str(exc), "type": "internal"})
+        else:
+            if doc is None:
+                self._respond(handler, 404, {"error": "unknown endpoint", "type": "protocol"})
+            else:
+                self._respond(handler, 200, doc)
+
+    def _dispatch(
+        self, handler: BaseHTTPRequestHandler, verb: str
+    ) -> Optional[Dict[str, Any]]:
+        path = handler.path.rstrip("/")
+        route = (verb, path)
+        if route == ("GET", "/v1/health"):
+            self._count("health")
+            return self._health().to_doc()
+        if route == ("GET", "/v1/stats"):
+            self._count("stats")
+            return self._stats()
+        if route == ("POST", "/v1/reload"):
+            self._count("reload")
+            return self._reload()
+        if verb != "POST" or path not in (
+            "/v1/predict",
+            "/v1/predict-new",
+            "/v1/admit",
+        ):
+            return None
+        length = int(handler.headers.get("Content-Length", 0))
+        doc = decode_json(handler.rfile.read(length))
+        if path == "/v1/predict":
+            self._count("predict")
+            return self._predict(PredictRequest.from_doc(doc)).to_doc()
+        if path == "/v1/predict-new":
+            self._count("predict_new")
+            return self._predict_new(PredictNewRequest.from_doc(doc)).to_doc()
+        self._count("admit")
+        return self._admit(AdmitRequest.from_doc(doc)).to_doc()
+
+    @staticmethod
+    def _respond(
+        handler: BaseHTTPRequestHandler, status: int, doc: Dict[str, Any]
+    ) -> None:
+        body = json.dumps(doc).encode("utf-8")
+        try:
+            handler.send_response(status)
+            handler.send_header("Content-Type", "application/json")
+            handler.send_header("Content-Length", str(len(body)))
+            handler.end_headers()
+            handler.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up first; nothing to answer

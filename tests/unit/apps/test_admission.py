@@ -72,3 +72,41 @@ def test_validation(small_contender):
         AdmissionController(small_contender, sla_factor=0.5)
     with pytest.raises(ModelError):
         AdmissionController(small_contender, max_mpl=0)
+
+
+def test_backend_protocol_duck_typing(small_contender):
+    """A custom backend drives the identical policy code."""
+    from repro.apps.admission import ContenderBackend
+
+    class Recording:
+        def __init__(self, inner):
+            self.inner = inner
+            self.calls = []
+
+        def predict_known(self, primary, mix):
+            self.calls.append((primary, tuple(mix)))
+            return self.inner.predict_known(primary, mix)
+
+        def isolated_latency(self, primary):
+            return self.inner.isolated_latency(primary)
+
+    backend = Recording(ContenderBackend(small_contender))
+    controller = AdmissionController(backend, sla_factor=1.5, max_mpl=4)
+    reference = AdmissionController(small_contender, sla_factor=1.5, max_mpl=4)
+    assert controller.check((26,), 65) == reference.check((26,), 65)
+    assert len(backend.calls) == 2  # one prediction per mix member
+
+
+def test_contender_backend_exposes_isolated_latency(small_contender):
+    from repro.apps.admission import ContenderBackend
+
+    backend = ContenderBackend(small_contender)
+    assert backend.isolated_latency(26) == (
+        small_contender.data.profile(26).isolated_latency
+    )
+    assert backend.contender is small_contender
+
+
+def test_rejects_non_predictor():
+    with pytest.raises(ModelError, match="predict_known"):
+        AdmissionController(object())

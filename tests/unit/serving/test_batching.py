@@ -1,0 +1,157 @@
+"""Request-batcher tests: coalescing, fan-out, error isolation, shutdown."""
+
+import threading
+
+import pytest
+
+from repro.errors import ModelError, ServingError
+from repro.serving.batching import RequestBatcher
+
+
+class CountingCompute:
+    """A compute_batch callable that records every batch it runs."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.batches = []
+
+    def __call__(self, keys):
+        with self.lock:
+            self.batches.append(list(keys))
+        return {key: ("value", key) for key in keys}
+
+    @property
+    def computed_keys(self):
+        with self.lock:
+            return [key for batch in self.batches for key in batch]
+
+
+def test_single_request_round_trip():
+    compute = CountingCompute()
+    with RequestBatcher(compute, workers=1, batch_window=0.0) as batcher:
+        assert batcher.submit("k").result(timeout=5.0) == ("value", "k")
+    assert compute.computed_keys == ["k"]
+
+
+def test_duplicate_keys_coalesce_into_one_computation():
+    compute = CountingCompute()
+    # One worker with a generous window: every concurrent submission
+    # lands in the worker's first batch.
+    with RequestBatcher(compute, workers=1, batch_window=0.2, max_batch=64) as batcher:
+        start = threading.Barrier(8)
+        futures = []
+        futures_lock = threading.Lock()
+
+        def submit():
+            start.wait()
+            future = batcher.submit("hot-key")
+            with futures_lock:
+                futures.append(future)
+
+        threads = [threading.Thread(target=submit) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        results = [f.result(timeout=5.0) for f in futures]
+
+    assert results == [("value", "hot-key")] * 8
+    # 8 submissions, strictly fewer computations (typically 1-2).
+    assert len(compute.computed_keys) < 8
+    stats = batcher.stats()
+    assert stats.requests == 8
+    assert stats.coalesced == stats.requests - stats.unique_keys > 0
+
+
+def test_distinct_keys_all_computed():
+    compute = CountingCompute()
+    with RequestBatcher(compute, workers=2, batch_window=0.01) as batcher:
+        futures = {k: batcher.submit(k) for k in range(20)}
+        for key, future in futures.items():
+            assert future.result(timeout=5.0) == ("value", key)
+    assert sorted(compute.computed_keys) == sorted(range(20))
+
+
+def test_per_key_exception_fails_only_that_request():
+    def compute(keys):
+        return {
+            k: (ModelError("bad key") if k == "bad" else ("value", k))
+            for k in keys
+        }
+
+    with RequestBatcher(compute, workers=1, batch_window=0.05) as batcher:
+        good = batcher.submit("good")
+        bad = batcher.submit("bad")
+        assert good.result(timeout=5.0) == ("value", "good")
+        with pytest.raises(ModelError, match="bad key"):
+            bad.result(timeout=5.0)
+
+
+def test_compute_crash_fails_whole_batch():
+    def compute(keys):
+        raise RuntimeError("model exploded")
+
+    with RequestBatcher(compute, workers=1, batch_window=0.05) as batcher:
+        future = batcher.submit("k")
+        with pytest.raises(RuntimeError, match="model exploded"):
+            future.result(timeout=5.0)
+
+
+def test_missing_result_fails_that_request():
+    def compute(keys):
+        return {}
+
+    with RequestBatcher(compute, workers=1, batch_window=0.0) as batcher:
+        future = batcher.submit("k")
+        with pytest.raises(ServingError, match="no result"):
+            future.result(timeout=5.0)
+
+
+def test_max_batch_respected():
+    compute = CountingCompute()
+    with RequestBatcher(compute, workers=1, batch_window=0.2, max_batch=4) as batcher:
+        futures = [batcher.submit(i) for i in range(12)]
+        for future in futures:
+            future.result(timeout=5.0)
+    assert all(len(batch) <= 4 for batch in compute.batches)
+
+
+def test_submit_after_close_rejected():
+    batcher = RequestBatcher(CountingCompute(), workers=1)
+    batcher.close()
+    with pytest.raises(ServingError, match="shut down"):
+        batcher.submit("k")
+
+
+def test_close_is_idempotent():
+    batcher = RequestBatcher(CountingCompute(), workers=2)
+    batcher.close()
+    batcher.close()
+
+
+def test_concurrent_submitters_under_load():
+    """8 submitter threads × 25 requests: everything resolves correctly."""
+    compute = CountingCompute()
+    results = {}
+    results_lock = threading.Lock()
+    with RequestBatcher(compute, workers=4, batch_window=0.002) as batcher:
+
+        def submit(worker: int) -> None:
+            for i in range(25):
+                key = (worker % 4, i % 5)  # heavy key overlap across threads
+                value = batcher.submit(key).result(timeout=5.0)
+                with results_lock:
+                    results[(worker, i)] = (key, value)
+
+        threads = [
+            threading.Thread(target=submit, args=(w,)) for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    assert len(results) == 200
+    for key, value in results.values():
+        assert value == ("value", key)
+    assert batcher.stats().requests == 200

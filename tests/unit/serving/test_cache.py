@@ -1,0 +1,128 @@
+"""LRU + TTL prediction-cache tests (manual clock, no sleeping)."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.cache import PredictionCache, mix_signature
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def test_mix_signature_is_order_independent():
+    assert mix_signature((65, 26)) == mix_signature((26, 65))
+    assert mix_signature((26, 26, 65)) == (26, 26, 65)
+
+
+def test_hit_after_put(clock):
+    cache = PredictionCache(max_entries=4, ttl_seconds=10.0, clock=clock)
+    cache.put("a", 1.0)
+    assert cache.get("a") == 1.0
+    stats = cache.stats()
+    assert stats.hits == 1 and stats.misses == 0
+
+
+def test_miss_counted(clock):
+    cache = PredictionCache(max_entries=4, ttl_seconds=10.0, clock=clock)
+    assert cache.get("absent") is None
+    assert cache.stats().misses == 1
+
+
+def test_lru_evicts_least_recently_used(clock):
+    cache = PredictionCache(max_entries=2, ttl_seconds=10.0, clock=clock)
+    cache.put("a", 1.0)
+    cache.put("b", 2.0)
+    assert cache.get("a") == 1.0  # refresh a → b becomes LRU
+    cache.put("c", 3.0)  # evicts b
+    assert cache.get("b") is None
+    assert cache.get("a") == 1.0
+    assert cache.get("c") == 3.0
+    assert cache.stats().evictions == 1
+
+
+def test_put_refreshes_recency(clock):
+    cache = PredictionCache(max_entries=2, ttl_seconds=10.0, clock=clock)
+    cache.put("a", 1.0)
+    cache.put("b", 2.0)
+    cache.put("a", 1.5)  # re-put makes a most recent
+    cache.put("c", 3.0)  # evicts b, not a
+    assert cache.get("a") == 1.5
+    assert cache.get("b") is None
+
+
+def test_ttl_expiry(clock):
+    cache = PredictionCache(max_entries=4, ttl_seconds=5.0, clock=clock)
+    cache.put("a", 1.0)
+    clock.advance(4.9)
+    assert cache.get("a") == 1.0
+    clock.advance(0.2)  # now 5.1s past insertion
+    assert cache.get("a") is None
+    stats = cache.stats()
+    assert stats.expirations == 1
+    assert stats.size == 0
+
+
+def test_expired_entry_counts_one_miss(clock):
+    cache = PredictionCache(max_entries=4, ttl_seconds=5.0, clock=clock)
+    cache.put("a", 1.0)
+    clock.advance(6.0)
+    cache.get("a")
+    stats = cache.stats()
+    assert stats.hits == 0
+    assert stats.misses == 1
+
+
+def test_hit_rate(clock):
+    cache = PredictionCache(max_entries=4, ttl_seconds=10.0, clock=clock)
+    cache.put("a", 1.0)
+    cache.get("a")
+    cache.get("a")
+    cache.get("b")
+    assert cache.stats().hit_rate == pytest.approx(2 / 3)
+
+
+def test_zero_capacity_disables_caching(clock):
+    cache = PredictionCache(max_entries=0, ttl_seconds=10.0, clock=clock)
+    cache.put("a", 1.0)
+    assert cache.get("a") is None
+    assert len(cache) == 0
+
+
+def test_clear_keeps_counters(clock):
+    cache = PredictionCache(max_entries=4, ttl_seconds=10.0, clock=clock)
+    cache.put("a", 1.0)
+    cache.get("a")
+    cache.clear()
+    assert cache.get("a") is None
+    stats = cache.stats()
+    assert stats.hits == 1 and stats.misses == 1 and stats.size == 0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ServingError):
+        PredictionCache(max_entries=-1)
+    with pytest.raises(ServingError):
+        PredictionCache(ttl_seconds=0.0)
+
+
+def test_stats_as_dict_round_trip(clock):
+    cache = PredictionCache(max_entries=4, ttl_seconds=10.0, clock=clock)
+    cache.put("a", 1.0)
+    cache.get("a")
+    doc = cache.stats().as_dict()
+    assert doc["hits"] == 1
+    assert doc["hit_rate"] == 1.0
+    assert doc["max_entries"] == 4

@@ -77,6 +77,65 @@ def test_experiment_aliases_resolve():
         importlib.import_module(f"repro.experiments.{module_name}")
 
 
+def test_pack_then_load_test_in_process(tmp_path, capsys, small_training_data):
+    campaign = tmp_path / "campaign.pkl"
+    small_training_data.save(campaign)
+    artifact = tmp_path / "model.json"
+
+    assert main(["pack", str(campaign), "--out", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "packed" in out and "version v1-" in out
+
+    assert main([
+        "load-test", str(artifact),
+        "--requests", "80", "--submitters", "4", "--pool", "6",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "p50 latency" in out
+    assert "req/s" in out
+    assert "cache hit rate" in out
+    error_lines = [l for l in out.splitlines() if l.startswith("errors")]
+    assert error_lines and error_lines[0].split() == ["errors", "0"]
+
+
+def test_serve_missing_artifact_fails_cleanly(tmp_path, capsys):
+    assert main(["serve", str(tmp_path / "missing.json")]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "cannot read model artifact" in err
+
+
+def test_serve_schema_mismatch_fails_cleanly(
+    tmp_path, capsys, small_training_data
+):
+    import json
+
+    campaign = tmp_path / "campaign.pkl"
+    small_training_data.save(campaign)
+    artifact = tmp_path / "model.json"
+    main(["pack", str(campaign), "--out", str(artifact)])
+    capsys.readouterr()
+
+    doc = json.loads(artifact.read_text())
+    doc["schema_version"] = 999
+    artifact.write_text(json.dumps(doc))
+
+    assert main(["serve", str(artifact)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "schema version 999" in err
+    assert "Traceback" not in err
+
+
+def test_load_test_requires_exactly_one_target(tmp_path, capsys):
+    assert main(["load-test"]) == 2
+    err = capsys.readouterr().err
+    assert "artifact path or --url" in err
+
+    campaign = tmp_path / "model.json"
+    assert main(["load-test", str(campaign), "--url", "127.0.0.1:1"]) == 2
+
+
 def test_diagnose_command(tmp_path, capsys):
     out_path = tmp_path / "campaign.pkl"
     main(["train", "--out", str(out_path), "--mpls", "2", "--lhs-runs", "1"])

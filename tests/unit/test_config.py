@@ -78,3 +78,35 @@ def test_simulation_rejects_unknown_cache_eviction():
 
 def test_lru_cache_eviction_accepted():
     assert SimulationConfig(cache_eviction="lru").cache_eviction == "lru"
+
+
+def test_serving_config_defaults_valid():
+    from repro.config import ServingConfig
+
+    serving = DEFAULT_CONFIG.serving
+    assert serving == ServingConfig()
+    assert serving.workers >= 1
+    assert serving.cache_ttl > 0
+
+
+def test_serving_config_rejects_bad_values():
+    from repro.config import ServingConfig
+
+    with pytest.raises(ConfigurationError):
+        ServingConfig(port=70000)
+    with pytest.raises(ConfigurationError):
+        ServingConfig(workers=0)
+    with pytest.raises(ConfigurationError):
+        ServingConfig(batch_window=-0.1)
+    with pytest.raises(ConfigurationError):
+        ServingConfig(max_batch=0)
+    with pytest.raises(ConfigurationError):
+        ServingConfig(request_timeout=0.0)
+    with pytest.raises(ConfigurationError):
+        ServingConfig(cache_entries=-1)
+    with pytest.raises(ConfigurationError):
+        ServingConfig(cache_ttl=0.0)
+    with pytest.raises(ConfigurationError):
+        ServingConfig(sla_factor=0.5)
+    with pytest.raises(ConfigurationError):
+        ServingConfig(max_mpl=0)
