@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test serve-smoke bench report templates examples clean
+.PHONY: install test serve-smoke bench profile-campaign report templates examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,7 +12,11 @@ serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
+		--benchmark-max-time=0.5 --benchmark-min-rounds=1
+
+profile-campaign:
+	$(PYTHON) scripts/profile_campaign.py
 
 report:
 	$(PYTHON) -m repro.experiments.report > EXPERIMENTS.md

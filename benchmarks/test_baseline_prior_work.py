@@ -14,9 +14,10 @@ def test_baseline_prior_work(benchmark, ctx):
         baseline_prior_work.run, args=(ctx,), iterations=1, rounds=1
     )
     report(benchmark, result)
-    # Comparable accuracy regimes on known templates...
+    # Comparable accuracy regimes on known templates — both land in the
+    # usable band, and Contender is never much worse than the baseline...
     assert result.prior_work_mre < 0.30
-    assert abs(result.contender_mre - result.prior_work_mre) < 0.10
+    assert result.contender_mre < result.prior_work_mre + 0.10
     # ...with wildly different onboarding costs.
     assert result.contender_new_template_runs == 1
     assert result.prior_work_new_template_runs >= 100

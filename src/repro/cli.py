@@ -91,6 +91,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", type=Path, required=True)
     p.add_argument("--mpls", type=str, default="2,3,4,5")
     p.add_argument("--lhs-runs", type=int, default=4)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (1 = in-process, 0 = all cores); "
+        "results are identical for any value",
+    )
+    p.add_argument(
+        "--seed", type=int, default=None, help="campaign seed override"
+    )
 
     p = sub.add_parser("predict", help="predict a known template in a mix")
     p.add_argument("data", type=Path)
@@ -152,9 +162,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiment", help="run one experiment runner")
     p.add_argument("name", choices=sorted(EXPERIMENTS))
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="campaign worker processes (0 = all cores)",
+    )
 
     p = sub.add_parser("report", help="regenerate the full report")
     p.add_argument("--skip-ml", action="store_true")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="campaign worker processes (0 = all cores)",
+    )
 
     return parser
 
@@ -219,7 +241,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
     catalog = TemplateCatalog()
     print(f"collecting campaign for MPLs {mpls} (LHS runs: {args.lhs_runs})...")
     data = collect_training_data(
-        catalog, mpls=mpls, lhs_runs_per_mpl=args.lhs_runs
+        catalog,
+        mpls=mpls,
+        lhs_runs_per_mpl=args.lhs_runs,
+        seed=args.seed,
+        jobs=args.jobs,
     )
     data.save(args.out)
     observations = sum(len(v) for v in data.observations.values())
@@ -400,7 +426,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     module = importlib.import_module(
         f".experiments.{EXPERIMENTS[args.name]}", package=__package__
     )
-    ctx = ExperimentContext(cache_dir=Path("benchmarks/.cache"))
+    ctx = ExperimentContext(cache_dir=Path("benchmarks/.cache"), jobs=args.jobs)
     result = module.run(ctx)
     print(result.format_table())
     return 0
@@ -410,7 +436,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.harness import ExperimentContext
     from .experiments.report import generate
 
-    ctx = ExperimentContext(cache_dir=Path("benchmarks/.cache"))
+    ctx = ExperimentContext(cache_dir=Path("benchmarks/.cache"), jobs=args.jobs)
     sys.stdout.write(generate(ctx, include_ml=not args.skip_ml))
     return 0
 

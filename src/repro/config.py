@@ -123,6 +123,33 @@ class SimulationConfig:
 
 
 @dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs of the sampling-campaign executor (:mod:`repro.core.campaign`).
+
+    Results never depend on these values: every campaign task seeds its
+    RNG from its own identity, so any ``jobs``/``chunk_size`` combination
+    produces bit-identical training data.
+
+    Attributes:
+        jobs: Worker processes for the sampling campaign.  1 runs
+            everything in-process (no pool); 0 means one worker per core.
+        chunk_size: Tasks per worker submission; 0 sizes chunks
+            automatically from the task count and worker count.
+    """
+
+    jobs: int = 1
+    chunk_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ConfigurationError(f"jobs must be >= 0, got {self.jobs}")
+        if self.chunk_size < 0:
+            raise ConfigurationError(
+                f"chunk_size must be >= 0, got {self.chunk_size}"
+            )
+
+
+@dataclass(frozen=True)
 class ServingConfig:
     """Knobs of the online prediction service (:mod:`repro.serving`).
 
@@ -180,10 +207,15 @@ class SystemConfig:
     hardware: HardwareSpec = field(default_factory=HardwareSpec)
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
+    campaign: CampaignConfig = field(default_factory=CampaignConfig)
 
     def with_seed(self, seed: int) -> "SystemConfig":
         """Return a copy whose simulation RNG seed is *seed*."""
         return replace(self, simulation=replace(self.simulation, seed=seed))
+
+    def with_jobs(self, jobs: int) -> "SystemConfig":
+        """Return a copy whose campaign uses *jobs* worker processes."""
+        return replace(self, campaign=replace(self.campaign, jobs=jobs))
 
 
 #: The default configuration mirrors the paper's testbed.

@@ -52,6 +52,7 @@ from .growth import (
     fit_growth_model,
     validate_growth_model,
 )
+from .campaign import parallel_map, resolve_jobs, task_rng, task_seed
 from .training import (
     MixObservation,
     SpoilerCurve,
@@ -102,6 +103,10 @@ __all__ = [
     "latency_from_point",
     "measure_spoiler_curve",
     "measure_template_profile",
+    "parallel_map",
     "perturb_profile",
+    "resolve_jobs",
+    "task_rng",
+    "task_seed",
     "validate_growth_model",
 ]

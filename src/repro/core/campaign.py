@@ -1,0 +1,170 @@
+"""Parallel execution layer for the sampling campaign.
+
+The paper's training campaign is embarrassingly parallel: every isolated
+profile, every spoiler run, and every steady-state mix is an independent
+simulation.  Two things make fanning them out safe:
+
+* **Order-independent seeding** — every task derives its RNG from a
+  stable key ``(kind, template-or-mix, mpl, config_seed)`` via
+  :func:`task_seed`, so a task's result depends only on *what* it is,
+  never on *when* it runs or which worker runs it.  ``jobs=1`` and
+  ``jobs=N`` are bit-identical.
+* **A generic process-pool map** — :func:`parallel_map` ships the shared
+  context (catalog + campaign parameters) to each worker exactly once
+  via the pool initializer and then streams index-tagged chunks of
+  tasks, so the per-task pickling cost is just the task tuple itself.
+
+``jobs=1`` (the default) never touches :mod:`concurrent.futures` at all;
+``jobs=0`` means "one worker per core".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from ..errors import SamplingError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Target chunks per worker: small enough to amortize task pickling,
+#: large enough that stragglers don't serialize the tail of the campaign.
+CHUNKS_PER_WORKER = 4
+
+__all__ = [
+    "CHUNKS_PER_WORKER",
+    "parallel_map",
+    "resolve_jobs",
+    "task_rng",
+    "task_seed",
+]
+
+
+# ----------------------------------------------------------------------
+# Order-independent seeding.
+
+
+def task_seed(config_seed: int, kind: str, key: Any = None, mpl: int = 0) -> int:
+    """A stable 128-bit seed for one campaign task.
+
+    The seed is a hash of ``(config_seed, kind, key, mpl)`` — no shared
+    RNG state is consumed, so the task's randomness is independent of
+    every other task and of iteration order.  ``key`` must have a stable
+    ``repr`` across processes (ints, strings, and tuples thereof do;
+    anything hash-randomized does not).
+
+    Args:
+        config_seed: The campaign's base seed (provenance).
+        kind: Task family, e.g. ``"mix"``, ``"spoiler"``, ``"lhs"``.
+        key: Task identity within the family (template id or mix tuple).
+        mpl: Multiprogramming level, where applicable.
+
+    Returns:
+        An integer suitable for :class:`numpy.random.SeedSequence`.
+    """
+    material = repr((int(config_seed), str(kind), key, int(mpl))).encode()
+    digest = hashlib.blake2b(material, digest_size=16).digest()
+    return int.from_bytes(digest, "big")
+
+
+def task_rng(
+    config_seed: int, kind: str, key: Any = None, mpl: int = 0
+) -> np.random.Generator:
+    """A fresh generator keyed on the task identity (see :func:`task_seed`)."""
+    return np.random.default_rng(
+        np.random.SeedSequence(task_seed(config_seed, kind, key=key, mpl=mpl))
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-pool fan-out.
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` knob: ``None``/1 serial, 0 = all cores."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise SamplingError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+#: Per-worker shared state installed by the pool initializer.
+_WORKER_STATE: Optional[tuple] = None
+
+
+def _worker_init(payload: bytes) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = pickle.loads(payload)
+
+
+def _run_chunk(index: int, items: Sequence[Any]) -> tuple:
+    fn, context = _WORKER_STATE  # type: ignore[misc]
+    return index, [fn(context, item) for item in items]
+
+
+def parallel_map(
+    fn: Callable[[Any, T], R],
+    context: Any,
+    items: Sequence[T],
+    jobs: Optional[int] = 1,
+    chunk_size: int = 0,
+) -> List[R]:
+    """``[fn(context, item) for item in items]``, optionally over processes.
+
+    Args:
+        fn: A module-level (picklable) function of ``(context, item)``.
+        context: Shared state shipped to each worker once (e.g. the
+            template catalog); must be picklable when ``jobs > 1``.
+        items: Task descriptions; each must be picklable when ``jobs > 1``.
+        jobs: Worker processes — ``None``/1 run in-process (no pool, no
+            pickling), 0 uses every core.
+        chunk_size: Tasks per submission; 0 picks a size that gives each
+            worker about :data:`CHUNKS_PER_WORKER` chunks.
+
+    Returns:
+        Results in the order of *items*, regardless of completion order.
+
+    Raises:
+        SamplingError: If ``jobs`` is negative or the context cannot be
+            pickled for worker processes.
+    """
+    items = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(context, item) for item in items]
+    jobs = min(jobs, len(items))
+
+    if chunk_size <= 0:
+        chunk_size = max(1, math.ceil(len(items) / (jobs * CHUNKS_PER_WORKER)))
+    chunks = [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+    try:
+        payload = pickle.dumps((fn, context), protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise SamplingError(
+            f"campaign context is not picklable for jobs={jobs}: {exc}"
+        ) from exc
+
+    per_chunk: List[Optional[List[R]]] = [None] * len(chunks)
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=_worker_init, initargs=(payload,)
+    ) as pool:
+        futures = [
+            pool.submit(_run_chunk, index, chunk)
+            for index, chunk in enumerate(chunks)
+        ]
+        for future in as_completed(futures):
+            index, results = future.result()
+            per_chunk[index] = results
+    return [result for chunk in per_chunk for result in chunk]  # type: ignore[union-attr]

@@ -84,7 +84,8 @@ class DistributedContender:
         mpls: Sequence[int] = (2,),
         lhs_runs_per_mpl: int = 1,
         steady_config: Optional[SteadyStateConfig] = None,
-        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+        jobs: Optional[int] = None,
     ) -> "DistributedContender":
         """Train a Contender on ONE host's partition; returns self.
 
@@ -97,7 +98,8 @@ class DistributedContender:
             mpls=mpls,
             lhs_runs_per_mpl=lhs_runs_per_mpl,
             steady_config=steady_config,
-            rng=rng,
+            seed=seed,
+            jobs=jobs,
         )
         self._contender = Contender(data)
         if self._straggler is None:

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..engine.spoiler import measure_spoiler_latency
 from ..errors import ModelError, SamplingError
+from .campaign import parallel_map, task_rng
 from ..sampling.lhs import lhs_runs
 from ..sampling.mixes import all_pairs
 from ..sampling.steady_state import SteadyStateConfig, run_steady_state
@@ -346,15 +347,100 @@ def measure_spoiler_curve(
     template_id: int,
     mpls: Sequence[int],
     rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
 ) -> SpoilerCurve:
-    """Measure spoiler latency of a template at each MPL in *mpls*."""
+    """Measure spoiler latency of a template at each MPL in *mpls*.
+
+    When *seed* is given, every MPL's run draws from a fresh RNG keyed
+    on ``("spoiler", template_id, seed)`` — the campaign's
+    order-independent scheme — so the curve does not depend on the order
+    of *mpls* or on any shared generator state.  The MPL is deliberately
+    *not* part of the key: each run replays the same variance-draw
+    sequence, keeping the random-I/O noise systematic across the curve
+    (the paper measures one template instance per MPL under identical
+    conditions; independent per-MPL draws would blur the continuum's
+    upper bound).  *rng* (mutually exclusive with *seed*) preserves the
+    legacy shared-generator path.
+    """
+    if seed is not None and rng is not None:
+        raise SamplingError("pass either rng or seed, not both")
+
+    def _rng_for(mpl: int) -> Optional[np.random.Generator]:
+        if seed is None:
+            return rng
+        return task_rng(seed, "spoiler", key=template_id)
+
     latencies = {
         mpl: measure_spoiler_latency(
-            catalog.profile(template_id), mpl, catalog.config, rng=rng
+            catalog.profile(template_id), mpl, catalog.config, rng=_rng_for(mpl)
         ).latency
         for mpl in mpls
     }
     return SpoilerCurve(template_id=template_id, latencies=latencies)
+
+
+# ----------------------------------------------------------------------
+# The sampling campaign as independent, order-free tasks.
+
+#: Campaign task: ``(kind, template_id_or_mix, mpl)``.  Plain tuples so
+#: they pickle cheaply into worker processes.
+CampaignTask = Tuple[str, object, int]
+
+
+@dataclass(frozen=True)
+class _CampaignContext:
+    """Everything a worker needs to execute any campaign task."""
+
+    catalog: TemplateCatalog
+    steady: SteadyStateConfig
+    config_seed: int
+
+
+def _observe_mix(
+    catalog: TemplateCatalog,
+    mix: Mix,
+    steady: SteadyStateConfig,
+    rng: np.random.Generator,
+) -> List[MixObservation]:
+    """Run one steady-state mix and reduce it to per-primary observations."""
+    result = run_steady_state(catalog, mix, config=steady, rng=rng)
+    observations: List[MixObservation] = []
+    for primary in sorted(set(mix)):
+        lats = [s.latency for s in result.samples_for(primary)]
+        observations.append(
+            MixObservation(
+                primary=primary,
+                mix=tuple(mix),
+                latency=statistics.fmean(lats),
+                latency_std=statistics.stdev(lats) if len(lats) > 1 else 0.0,
+                num_samples=len(lats),
+            )
+        )
+    return observations
+
+
+def _execute_campaign_task(context: _CampaignContext, task: CampaignTask):
+    """Execute one campaign task (module-level: runs in worker processes).
+
+    Each task derives its RNG purely from its own identity, so the result
+    is independent of scheduling, batching, and every other task.
+    """
+    kind, key, mpl = task
+    if kind == "profile":
+        return measure_template_profile(context.catalog, key)
+    if kind == "spoiler":
+        # Keyed per template, not per MPL: every point on a template's
+        # curve replays the same variance-draw sequence, keeping the
+        # random-I/O noise systematic across the curve (see
+        # measure_spoiler_curve).
+        rng = task_rng(context.config_seed, "spoiler", key=key)
+        return measure_spoiler_latency(
+            context.catalog.profile(key), mpl, context.catalog.config, rng=rng
+        ).latency
+    if kind == "mix":
+        rng = task_rng(context.config_seed, "mix", key=key, mpl=mpl)
+        return _observe_mix(context.catalog, key, context.steady, rng)
+    raise SamplingError(f"unknown campaign task kind: {kind!r}")
 
 
 def collect_training_data(
@@ -362,7 +448,9 @@ def collect_training_data(
     mpls: Sequence[int] = (2, 3, 4, 5),
     lhs_runs_per_mpl: int = 4,
     steady_config: Optional[SteadyStateConfig] = None,
-    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> TrainingData:
     """Run the paper's full sampling campaign on the simulated testbed.
 
@@ -370,55 +458,88 @@ def collect_training_data(
     *lhs_runs_per_mpl* Latin Hypercube runs.  Spoiler curves cover MPL 1
     through ``max(mpls)``.
 
+    Every simulation is an independent task whose randomness is keyed on
+    ``(kind, template-or-mix, mpl, seed)`` (see
+    :mod:`repro.core.campaign`), so the campaign is reproducible
+    regardless of task order and bit-identical for any *jobs* value.
+
+    Args:
+        catalog: Workload to sample.
+        mpls: Multiprogramming levels to observe mixes at.
+        lhs_runs_per_mpl: LHS designs per MPL above 2.
+        steady_config: Steady-state parameters; defaults are the paper's.
+        seed: Campaign seed; defaults to the catalog's simulation seed.
+        jobs: Worker processes — 1 runs in-process, 0 uses every core;
+            defaults to the catalog's ``config.campaign.jobs``.
+        chunk_size: Tasks per worker submission (0 = automatic); defaults
+            to the catalog's ``config.campaign.chunk_size``.
+
     Returns:
         A fully populated :class:`TrainingData`.
     """
     if not mpls:
         raise SamplingError("need at least one MPL")
-    rng = rng if rng is not None else np.random.default_rng(
-        catalog.config.simulation.seed
-    )
     steady = steady_config if steady_config is not None else SteadyStateConfig()
+    config_seed = int(seed) if seed is not None else catalog.config.simulation.seed
+    if jobs is None:
+        jobs = catalog.config.campaign.jobs
+    if chunk_size is None:
+        chunk_size = catalog.config.campaign.chunk_size
     templates = list(catalog.template_ids)
+    spoiler_mpls = list(range(1, max(mpls) + 1))
 
-    profiles = {
-        t: measure_template_profile(catalog, t) for t in templates
-    }
-    spoiler_mpls = range(1, max(mpls) + 1)
-    spoilers = {
-        t: measure_spoiler_curve(catalog, t, list(spoiler_mpls)) for t in templates
-    }
-    scan_seconds = catalog.fact_scan_seconds()
-
-    observations: Dict[int, List[MixObservation]] = {}
+    # Mix designs first: deterministic per MPL (the LHS generator is
+    # keyed on the MPL, not on a shared stream), so the task list itself
+    # is order-independent.
+    mixes_by_mpl: Dict[int, List[Mix]] = {}
     for mpl in sorted(mpls):
         if mpl == 2:
-            mixes: List[Mix] = all_pairs(templates)
+            mixes_by_mpl[mpl] = all_pairs(templates)
         else:
-            mixes = lhs_runs(templates, mpl, lhs_runs_per_mpl, rng)
-        obs_list: List[MixObservation] = []
+            mixes_by_mpl[mpl] = lhs_runs(
+                templates,
+                mpl,
+                lhs_runs_per_mpl,
+                task_rng(config_seed, "lhs", mpl=mpl),
+            )
+
+    tasks: List[CampaignTask] = [("profile", t, 0) for t in templates]
+    tasks.extend(("spoiler", t, m) for t in templates for m in spoiler_mpls)
+    # Duplicate mixes (an LHS draw can repeat) share one task: identical
+    # keys would produce identical results anyway.
+    seen: Set[CampaignTask] = set()
+    for mpl, mixes in mixes_by_mpl.items():
         for mix in mixes:
-            result = run_steady_state(catalog, mix, config=steady, rng=rng)
-            for primary in sorted(set(mix)):
-                samples = result.samples_for(primary)
-                lats = [s.latency for s in samples]
-                obs_list.append(
-                    MixObservation(
-                        primary=primary,
-                        mix=tuple(mix),
-                        latency=statistics.fmean(lats),
-                        latency_std=(
-                            statistics.stdev(lats) if len(lats) > 1 else 0.0
-                        ),
-                        num_samples=len(lats),
-                    )
-                )
-        observations[mpl] = obs_list
+            task = ("mix", mix, mpl)
+            if task not in seen:
+                seen.add(task)
+                tasks.append(task)
+
+    context = _CampaignContext(
+        catalog=catalog, steady=steady, config_seed=config_seed
+    )
+    results = parallel_map(
+        _execute_campaign_task, context, tasks, jobs=jobs, chunk_size=chunk_size
+    )
+    by_task = dict(zip(tasks, results))
+
+    profiles = {t: by_task[("profile", t, 0)] for t in templates}
+    spoilers = {
+        t: SpoilerCurve(
+            template_id=t,
+            latencies={m: by_task[("spoiler", t, m)] for m in spoiler_mpls},
+        )
+        for t in templates
+    }
+    observations: Dict[int, List[MixObservation]] = {
+        mpl: [obs for mix in mixes for obs in by_task[("mix", mix, mpl)]]
+        for mpl, mixes in mixes_by_mpl.items()
+    }
 
     return TrainingData(
         profiles=profiles,
         spoilers=spoilers,
         observations=observations,
-        scan_seconds=scan_seconds,
-        config_seed=catalog.config.simulation.seed,
+        scan_seconds=catalog.fact_scan_seconds(),
+        config_seed=config_seed,
     )

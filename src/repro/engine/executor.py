@@ -23,6 +23,7 @@ event instead of ticking a clock.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
 
@@ -73,7 +74,13 @@ class SingleShotStream:
 
 @dataclass
 class _Running:
-    """Book-keeping for one in-flight query."""
+    """Book-keeping for one in-flight query.
+
+    ``phase`` and ``seq_key`` are caches maintained by the executor:
+    the current :class:`Phase` is materialized once per phase entry (the
+    event loop reads it many times per event), and the disk stream key
+    is computed once per event in ``_rates`` and reused in ``_advance``.
+    """
 
     profile: ResourceProfile
     stream_idx: Optional[int]  # None for background work
@@ -84,10 +91,8 @@ class _Running:
     rem_cpu: float = 0.0
     rand_factor: float = 1.0
     seq_private: bool = False
-
-    @property
-    def phase(self) -> Phase:
-        return self.profile.phases[self.phase_idx]
+    phase: Optional[Phase] = None
+    seq_key: Optional[disk.StreamKey] = None
 
     @property
     def phase_done(self) -> bool:
@@ -213,25 +218,39 @@ class ConcurrentExecutor:
         completions: List[QueryResult] = []
         completed_counts = [0 for _ in streams]
         stream_done = [False for _ in streams]
+        # All run-scoped state is local: the executor instance carries
+        # nothing across (or between) runs except config and RNG state.
         active: List[_Running] = []
-        self._active_view = active
+        # Counters replace per-event scans of `active`/`stream_done`:
+        # the run ends when no foreground query is in flight and every
+        # stream has drained.
+        fg_active = 0
+        open_streams = len(streams)
+        max_events = self._sim.max_events
+        time_epsilon = self._sim.time_epsilon
+        tracer = self._tracer
 
         def start_query(profile: ResourceProfile, stream_idx: Optional[int]) -> None:
+            nonlocal fg_active
             stats = QueryStats(
                 template_id=profile.template_id,
                 instance_id=profile.instance_id,
                 start_time=now,
             )
             run = _Running(profile=profile, stream_idx=stream_idx, stats=stats)
-            self._enter_phase(run, ledger, cache, len(active) > 0)
+            self._enter_phase(run, ledger, cache, len(active) > 0, active)
             active.append(run)
+            if stream_idx is not None:
+                fg_active += 1
 
         def pull_stream(idx: int) -> None:
+            nonlocal open_streams
             if stream_done[idx]:
                 return
             profile = streams[idx].next_profile(now, completed_counts[idx])
             if profile is None:
                 stream_done[idx] = True
+                open_streams -= 1
             else:
                 start_query(profile, idx)
 
@@ -240,11 +259,6 @@ class ConcurrentExecutor:
         for idx in range(len(streams)):
             pull_stream(idx)
 
-        def foreground_remaining() -> bool:
-            if any(run.stream_idx is not None for run in active):
-                return True
-            return not all(stream_done)
-
         def handle_finished() -> bool:
             """Advance/complete every run whose phase has drained.
 
@@ -252,21 +266,34 @@ class ConcurrentExecutor:
             dimension scan compiles to zero remaining work), so the main
             loop drains these before scheduling the next time step.
             """
+            nonlocal fg_active
+            # Fast path: most events drain exactly one component of one
+            # query, so scan cheaply before allocating anything.
+            for run in active:
+                if (
+                    run.rem_seq <= _DONE
+                    and run.rem_rand <= _DONE
+                    and run.rem_cpu <= _DONE
+                ):
+                    break
+            else:
+                return False
             finished = [run for run in active if run.phase_done]
             for run in finished:
                 self._on_phase_end(run, ledger, cache)
                 if run.phase_idx + 1 < len(run.profile.phases):
                     run.phase_idx += 1
-                    self._enter_phase(run, ledger, cache, len(active) > 1)
+                    self._enter_phase(run, ledger, cache, len(active) > 1, active)
                 elif run.profile.background:
                     run.phase_idx = 0  # circular reader: start over
-                    self._enter_phase(run, ledger, cache, len(active) > 1)
+                    self._enter_phase(run, ledger, cache, len(active) > 1, active)
                 else:
                     active.remove(run)
                     ledger.release(run.profile.instance_id)
                     run.stats.end_time = now
                     idx = run.stream_idx
                     if idx is not None:
+                        fg_active -= 1
                         completions.append(
                             QueryResult(
                                 stream_name=streams[idx].name, stats=run.stats
@@ -274,13 +301,13 @@ class ConcurrentExecutor:
                         )
                         completed_counts[idx] += 1
                         pull_stream(idx)
-            return bool(finished)
+            return True
 
-        while foreground_remaining():
+        while fg_active > 0 or open_streams > 0:
             events += 1
-            if events > self._sim.max_events:
+            if events > max_events:
                 raise SimulationError(
-                    f"exceeded max_events={self._sim.max_events}; "
+                    f"exceeded max_events={max_events}; "
                     "likely a stalled simulation"
                 )
 
@@ -289,12 +316,13 @@ class ConcurrentExecutor:
 
             seq_rate, rand_rate, cpu_rate, group_sizes = self._rates(active)
             dt = self._time_to_next_event(active, seq_rate, rand_rate, cpu_rate)
-            if not np.isfinite(dt) or dt < 0:
+            if not math.isfinite(dt) or dt < 0:
                 raise SimulationError("no finite next event; simulation stalled")
-            dt = max(dt, self._sim.time_epsilon)
+            if dt < time_epsilon:
+                dt = time_epsilon
 
-            if self._tracer is not None:
-                self._tracer.record(
+            if tracer is not None:
+                tracer.record(
                     self._interval_sample(
                         now, dt, active, seq_rate, rand_rate, cpu_rate
                     )
@@ -345,9 +373,11 @@ class ConcurrentExecutor:
         ledger: MemoryLedger,
         cache: BufferCache,
         contended: bool,
+        active: Sequence["_Running"],
     ) -> None:
         """Initialize the remaining-work counters for the current phase."""
-        phase = run.phase
+        phase = run.profile.phases[run.phase_idx]
+        run.phase = phase
         qid = run.profile.instance_id
 
         rem_seq = phase.seq_bytes
@@ -365,7 +395,7 @@ class ConcurrentExecutor:
             # Synchronized scans have a join window: a scan arriving after
             # the in-flight group has covered more than `scan_share_window`
             # of the table cannot catch up and runs privately.
-            group_progress = self._group_progress(phase.relation, run)
+            group_progress = self._group_progress(phase.relation, run, active)
             if group_progress is not None and (
                 group_progress > self._sim.scan_share_window
             ):
@@ -412,7 +442,10 @@ class ConcurrentExecutor:
             cache.admit(phase.relation, phase.seq_bytes)
 
     def _group_progress(
-        self, relation: Optional[str], joiner: "_Running"
+        self,
+        relation: Optional[str],
+        joiner: "_Running",
+        active: Sequence["_Running"],
     ) -> Optional[float]:
         """Progress fraction of the in-flight scan group on *relation*.
 
@@ -420,7 +453,7 @@ class ConcurrentExecutor:
         relation (the joiner would start a fresh group).
         """
         best: Optional[float] = None
-        for other in self._active_view:
+        for other in active:
             if other is joiner or other.seq_private:
                 continue
             if other.rem_seq <= _DONE or other.phase.relation != relation:
@@ -453,6 +486,7 @@ class ConcurrentExecutor:
         for run in active:
             if run.rem_seq > _DONE:
                 key = self._stream_key(run)
+                run.seq_key = key  # reused by _advance this event
                 keys.append(key)
                 group_sizes[key] = group_sizes.get(key, 0) + 1
             if run.rem_rand > _DONE:
@@ -474,15 +508,21 @@ class ConcurrentExecutor:
         cpu_rate: float,
     ) -> float:
         """Earliest time until any component of any query drains."""
-        best = np.inf
+        best = math.inf
         for run in active:
             if run.rem_seq > _DONE and seq_rate > 0:
-                best = min(best, run.rem_seq / seq_rate)
+                dt = run.rem_seq / seq_rate
+                if dt < best:
+                    best = dt
             if run.rem_rand > _DONE and rand_rate > 0:
-                best = min(best, run.rem_rand / (rand_rate * run.rand_factor))
+                dt = run.rem_rand / (rand_rate * run.rand_factor)
+                if dt < best:
+                    best = dt
             if run.rem_cpu > _DONE and cpu_rate > 0:
-                best = min(best, run.rem_cpu / cpu_rate)
-        return float(best)
+                dt = run.rem_cpu / cpu_rate
+                if dt < best:
+                    best = dt
+        return best
 
     def _advance(
         self,
@@ -495,13 +535,13 @@ class ConcurrentExecutor:
     ) -> None:
         """Drain every component by *dt* at the current rates."""
         for run in active:
-            had_io = run.wants_io
+            had_io = run.rem_seq > _DONE or run.rem_rand > _DONE
             if run.rem_seq > _DONE:
                 served = min(run.rem_seq, seq_rate * dt)
                 run.rem_seq -= served
                 run.stats.seq_bytes_read += served
-                key = self._stream_key(run)
-                if group_sizes.get(key, 1) > 1:
+                # seq_key was computed by _rates for this same event.
+                if group_sizes.get(run.seq_key, 1) > 1:
                     run.stats.shared_seq_bytes += served
             if run.rem_rand > _DONE:
                 served = min(run.rem_rand, rand_rate * run.rand_factor * dt)

@@ -81,7 +81,8 @@ def run(ctx: ExperimentContext) -> DistributedResult:
             mpls=(2,),
             lhs_runs_per_mpl=1,
             steady_config=ctx.steady_config,
-            rng=ctx.rng(salt=61),
+            seed=ctx.catalog.config.simulation.seed + 61,
+            jobs=ctx.jobs,
         )
         runs = [
             run_distributed_steady_state(

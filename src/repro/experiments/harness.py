@@ -10,16 +10,23 @@ once.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..config import CampaignConfig
 from ..core.contender import Contender, ContenderOptions
 from ..core.training import TrainingData, collect_training_data
 from ..sampling.steady_state import SteadyStateConfig
 from ..workload.catalog import TemplateCatalog
+
+#: On-disk campaign-cache format version.  Bump whenever the sampling
+#: scheme changes in a result-affecting way so stale caches are rebuilt
+#: instead of silently reused.  Version 2: order-independent per-task
+#: seeding (results differ from the shared-sequential-RNG era).
+CAMPAIGN_CACHE_FORMAT = 2
 
 
 @dataclass
@@ -32,6 +39,9 @@ class ExperimentContext:
         lhs_runs: Disjoint LHS runs per MPL above 2 (paper: 4).
         steady_config: Steady-state parameters.
         cache_dir: Optional directory for the on-disk campaign cache.
+        jobs: Worker processes for the campaign (``None`` defers to the
+            catalog's ``config.campaign.jobs``).  Results are
+            ``jobs``-independent, so this never enters the cache key.
     """
 
     catalog: TemplateCatalog = field(default_factory=TemplateCatalog)
@@ -39,6 +49,7 @@ class ExperimentContext:
     lhs_runs: int = 4
     steady_config: SteadyStateConfig = field(default_factory=SteadyStateConfig)
     cache_dir: Optional[Path] = None
+    jobs: Optional[int] = None
     _data: Optional[TrainingData] = field(default=None, repr=False)
     _contender: Optional[Contender] = field(default=None, repr=False)
 
@@ -54,12 +65,18 @@ class ExperimentContext:
         )
 
     def _cache_key(self) -> str:
+        # The campaign section is normalized out: jobs/chunking cannot
+        # affect results, so every parallelism setting shares one cache
+        # entry.  CAMPAIGN_CACHE_FORMAT invalidates caches collected
+        # under older (order-dependent) sampling schemes.
+        config = replace(self.catalog.config, campaign=CampaignConfig())
         parts = (
+            CAMPAIGN_CACHE_FORMAT,
             tuple(self.catalog.template_ids),
             self.mpls,
             self.lhs_runs,
             self.steady_config,
-            self.catalog.config,
+            config,
         )
         return hashlib.sha256(repr(parts).encode()).hexdigest()[:16]
 
@@ -78,6 +95,7 @@ class ExperimentContext:
             mpls=self.mpls,
             lhs_runs_per_mpl=self.lhs_runs,
             steady_config=self.steady_config,
+            jobs=self.jobs,
         )
         if cache_path is not None:
             self._data.save(cache_path)

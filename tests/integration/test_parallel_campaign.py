@@ -1,0 +1,65 @@
+"""Serial vs. parallel campaign equivalence.
+
+The whole point of order-independent seeding is that ``jobs`` is purely
+a throughput knob: `collect_training_data` must produce bit-identical
+`TrainingData` whether tasks run in-process or fan out over a process
+pool, and artifacts packed from either campaign must verify to the same
+fingerprint.
+"""
+
+import pytest
+
+from repro.core.contender import Contender
+from repro.core.training import collect_training_data
+from repro.sampling.steady_state import SteadyStateConfig
+from repro.serving.registry import save_artifact
+
+
+@pytest.fixture(scope="module")
+def campaigns(small_catalog):
+    kwargs = dict(
+        mpls=(2,),
+        lhs_runs_per_mpl=1,
+        steady_config=SteadyStateConfig(samples_per_stream=3),
+    )
+    serial = collect_training_data(small_catalog, jobs=1, **kwargs)
+    parallel = collect_training_data(small_catalog, jobs=4, **kwargs)
+    return serial, parallel
+
+
+def test_serial_and_parallel_campaigns_are_bit_identical(campaigns):
+    serial, parallel = campaigns
+    assert serial.to_json() == parallel.to_json()
+    assert serial.profiles == parallel.profiles
+    for tid in serial.template_ids:
+        assert serial.spoiler(tid).latencies == parallel.spoiler(tid).latencies
+    for mpl, obs in serial.observations.items():
+        other = parallel.observations[mpl]
+        assert [
+            (o.primary, o.mix, o.latency, o.latency_std, o.num_samples)
+            for o in obs
+        ] == [
+            (o.primary, o.mix, o.latency, o.latency_std, o.num_samples)
+            for o in other
+        ]
+    assert serial.scan_seconds == parallel.scan_seconds
+
+
+def test_packed_artifacts_share_one_fingerprint(campaigns, tmp_path):
+    serial, parallel = campaigns
+    info_serial = save_artifact(Contender(serial), tmp_path / "serial.json")
+    info_parallel = save_artifact(
+        Contender(parallel), tmp_path / "parallel.json"
+    )
+    assert info_serial.fingerprint == info_parallel.fingerprint
+
+
+def test_jobs_zero_uses_every_core_and_matches(small_catalog):
+    kwargs = dict(
+        mpls=(2,),
+        lhs_runs_per_mpl=1,
+        steady_config=SteadyStateConfig(samples_per_stream=2),
+    )
+    serial = collect_training_data(small_catalog, jobs=1, **kwargs)
+    all_cores = collect_training_data(small_catalog, jobs=0, **kwargs)
+    assert serial.to_json() == all_cores.to_json()

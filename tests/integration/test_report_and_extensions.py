@@ -41,6 +41,34 @@ def test_harness_cache_key_depends_on_settings(tmp_path):
     assert len(list(tmp_path.glob("campaign-*.pkl"))) == 2
 
 
+def test_harness_cache_key_is_jobs_independent(tmp_path):
+    """Parallelism is a throughput knob: any `jobs` shares one cache."""
+    a = ExperimentContext.small(mpls=(2,))
+    a.cache_dir = tmp_path
+    a.training_data()
+    b = ExperimentContext.small(mpls=(2,))
+    b.cache_dir = tmp_path
+    b.jobs = 4
+    b.catalog.config = b.catalog.config.with_jobs(2)
+    assert b._cache_key() == a._cache_key()
+    b.training_data()
+    assert len(list(tmp_path.glob("campaign-*.pkl"))) == 1
+
+
+def test_harness_cache_key_carries_format_version(tmp_path):
+    """Bumping the campaign format must invalidate old cache entries."""
+    from repro.experiments import harness
+
+    context = ExperimentContext.small(mpls=(2,))
+    key = context._cache_key()
+    original = harness.CAMPAIGN_CACHE_FORMAT
+    try:
+        harness.CAMPAIGN_CACHE_FORMAT = original + 1
+        assert context._cache_key() != key
+    finally:
+        harness.CAMPAIGN_CACHE_FORMAT = original
+
+
 def test_contender_cached_per_context(ctx):
     assert ctx.contender() is ctx.contender()
 

@@ -1,0 +1,102 @@
+"""Campaign executor unit tests: seeding, jobs resolution, parallel map."""
+
+import os
+
+import pytest
+
+from repro.core.campaign import (
+    parallel_map,
+    resolve_jobs,
+    task_rng,
+    task_seed,
+)
+from repro.errors import SamplingError
+
+
+# ----------------------------------------------------------------------
+# Seeding.
+
+
+def test_task_seed_is_stable():
+    a = task_seed(7, "mix", key=(26, 71), mpl=2)
+    b = task_seed(7, "mix", key=(26, 71), mpl=2)
+    assert a == b
+
+
+def test_task_seed_distinguishes_every_component():
+    base = task_seed(7, "mix", key=(26, 71), mpl=2)
+    assert task_seed(8, "mix", key=(26, 71), mpl=2) != base
+    assert task_seed(7, "spoiler", key=(26, 71), mpl=2) != base
+    assert task_seed(7, "mix", key=(26, 72), mpl=2) != base
+    assert task_seed(7, "mix", key=(26, 71), mpl=3) != base
+
+
+def test_task_rng_streams_are_independent_of_call_order():
+    first = task_rng(7, "mix", key=(26, 71), mpl=2).random(4).tolist()
+    task_rng(7, "mix", key=(22, 65), mpl=2).random(100)  # unrelated draw
+    second = task_rng(7, "mix", key=(26, 71), mpl=2).random(4).tolist()
+    assert first == second
+
+
+# ----------------------------------------------------------------------
+# Jobs resolution.
+
+
+def test_resolve_jobs_defaults_and_all_cores():
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+
+def test_resolve_jobs_rejects_negative():
+    with pytest.raises(SamplingError):
+        resolve_jobs(-1)
+
+
+# ----------------------------------------------------------------------
+# parallel_map.
+
+
+def _square_plus(context, item):
+    return item * item + context
+
+
+def _fail_on_three(context, item):
+    if item == 3:
+        raise SamplingError("task three exploded")
+    return item
+
+
+def test_parallel_map_serial_matches_comprehension():
+    items = list(range(10))
+    assert parallel_map(_square_plus, 5, items, jobs=1) == [
+        i * i + 5 for i in items
+    ]
+
+
+def test_parallel_map_preserves_item_order_across_processes():
+    items = list(range(23))
+    expected = [i * i + 1 for i in items]
+    assert parallel_map(_square_plus, 1, items, jobs=2) == expected
+    assert parallel_map(_square_plus, 1, items, jobs=2, chunk_size=1) == expected
+    assert parallel_map(_square_plus, 1, items, jobs=2, chunk_size=50) == expected
+
+
+def test_parallel_map_single_item_stays_in_process():
+    assert parallel_map(_square_plus, 0, [4], jobs=8) == [16]
+
+
+def test_parallel_map_propagates_worker_errors():
+    with pytest.raises(SamplingError, match="task three exploded"):
+        parallel_map(_fail_on_three, None, [1, 2, 3, 4], jobs=2, chunk_size=1)
+
+
+def test_parallel_map_rejects_unpicklable_context():
+    context = lambda: None  # noqa: E731 — locals don't pickle
+    with pytest.raises(SamplingError, match="not picklable"):
+        parallel_map(_square_plus, context, [1, 2], jobs=2)
+
+
+def test_parallel_map_empty_items():
+    assert parallel_map(_square_plus, 0, [], jobs=4) == []

@@ -119,3 +119,35 @@ def test_save_and_load_round_trip(small_training_data, tmp_path):
 def test_collect_requires_mpls(small_catalog):
     with pytest.raises(SamplingError):
         collect_training_data(small_catalog, mpls=())
+
+
+def test_measure_spoiler_curve_seeded_is_mpl_order_independent(small_catalog):
+    forward = measure_spoiler_curve(small_catalog, 26, [1, 2, 3], seed=11)
+    backward = measure_spoiler_curve(small_catalog, 26, [3, 2, 1], seed=11)
+    assert forward.latencies == backward.latencies
+
+
+def test_measure_spoiler_curve_rejects_rng_and_seed(small_catalog, rng):
+    with pytest.raises(SamplingError):
+        measure_spoiler_curve(small_catalog, 26, [2], rng=rng, seed=1)
+
+
+def test_collect_observation_counts_match_the_lhs_design(small_catalog):
+    """The observation list mirrors the drawn design, duplicates included."""
+    from repro.core.campaign import task_rng
+    from repro.sampling.lhs import lhs_runs
+
+    data = collect_training_data(
+        small_catalog,
+        mpls=(3,),
+        lhs_runs_per_mpl=2,
+        steady_config=SteadyStateConfig(samples_per_stream=2),
+    )
+    seed = small_catalog.config.simulation.seed
+    mixes = lhs_runs(
+        list(small_catalog.template_ids), 3, 2, task_rng(seed, "lhs", mpl=3)
+    )
+    # One observation per distinct template per drawn mix, in design order.
+    assert [o.mix for o in data.observations[3]] == [
+        mix for mix in mixes for _ in sorted(set(mix))
+    ]

@@ -276,3 +276,37 @@ def test_scan_share_window_accepts_early_joiners():
     }
     assert by_template[1] == pytest.approx(1.0, rel=1e-6)
     assert by_template[2] == pytest.approx(1.1, rel=1e-6)
+
+
+def test_sequential_runs_share_no_state():
+    """Regression: run() once leaked its active set as `_active_view`
+    instance state; a second run (or a concurrent one) could observe a
+    stale view.  The active set is now run-local."""
+    config = _config(scan_share_window=0.3)
+    executor = ConcurrentExecutor(config)
+    profiles = [
+        _seq_profile(MB(100), relation="sales", template_id=1),
+        _seq_profile(MB(100), relation="sales", template_id=2),
+    ]
+    first = executor.run(
+        [SingleShotStream(p, name=f"s{i}") for i, p in enumerate(profiles)]
+    )
+    second = executor.run(
+        [SingleShotStream(p, name=f"s{i}") for i, p in enumerate(profiles)]
+    )
+    assert first.latencies() == second.latencies()
+    assert first.events == second.events
+    assert not hasattr(executor, "_active_view")
+
+
+def test_run_matches_fresh_executor_after_prior_run():
+    """A reused executor behaves exactly like a fresh one (modulo RNG,
+    which these profiles never touch)."""
+    config = _config()
+    reused = ConcurrentExecutor(config)
+    reused.run([SingleShotStream(_seq_profile(MB(50)), name="warm")])
+    again = reused.run([SingleShotStream(_seq_profile(MB(100)), name="q")])
+    fresh = ConcurrentExecutor(config).run(
+        [SingleShotStream(_seq_profile(MB(100)), name="q")]
+    )
+    assert again.latencies() == fresh.latencies()

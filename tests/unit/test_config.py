@@ -110,3 +110,24 @@ def test_serving_config_rejects_bad_values():
         ServingConfig(sla_factor=0.5)
     with pytest.raises(ConfigurationError):
         ServingConfig(max_mpl=0)
+
+
+def test_campaign_config_defaults_are_serial():
+    assert DEFAULT_CONFIG.campaign.jobs == 1
+    assert DEFAULT_CONFIG.campaign.chunk_size == 0
+
+
+def test_campaign_config_rejects_bad_values():
+    from repro.config import CampaignConfig
+
+    with pytest.raises(ConfigurationError):
+        CampaignConfig(jobs=-1)
+    with pytest.raises(ConfigurationError):
+        CampaignConfig(chunk_size=-1)
+
+
+def test_with_jobs_changes_only_campaign_jobs():
+    config = SystemConfig().with_jobs(4)
+    assert config.campaign.jobs == 4
+    assert config.simulation == SystemConfig().simulation
+    assert config.hardware == SystemConfig().hardware
