@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test serve-smoke bench profile-campaign report templates examples clean
+.PHONY: install test serve-smoke bench bench-check profile-campaign report templates examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,6 +14,9 @@ serve-smoke:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
 		--benchmark-max-time=0.5 --benchmark-min-rounds=1
+
+bench-check:
+	$(PYTHON) scripts/bench_check.py
 
 profile-campaign:
 	$(PYTHON) scripts/profile_campaign.py

@@ -82,3 +82,105 @@ def test_perf_plan_compile(benchmark, catalog):
     """Compiling one template's plan to a resource profile."""
     profile = benchmark(catalog.profile, 2)
     assert profile.phases
+
+
+# ---------------------------------------------------------------------------
+# Event-loop throughput: the virtual-time engine vs the reference loop.
+# Profiles are pre-generated so the timings isolate the engine itself
+# (no plan compilation or parameter jitter inside the timed region).
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config import SimulationConfig, SystemConfig
+from repro.engine.executor import ConcurrentExecutor
+from repro.engine.profile import ResourceProfile
+
+
+@dataclass
+class _ListStream:
+    profiles: List[ResourceProfile]
+    name: str
+
+    def next_profile(self, now, completed):
+        if completed < len(self.profiles):
+            return self.profiles[completed]
+        return None
+
+
+@pytest.fixture(scope="module")
+def engine_workloads(catalog):
+    """Pre-generated per-stream profile lists at MPL 4 and MPL 8."""
+    workloads = {}
+    for mpl in (4, 8):
+        rng = np.random.default_rng(0)
+        ids = list(catalog.template_ids)
+        mix = [ids[i % len(ids)] for i in range(mpl)]
+        workloads[mpl] = [
+            [catalog.profile(t, rng) for _ in range(20)] for t in mix
+        ]
+    return workloads
+
+
+def _run_engine_workload(engine, per_stream):
+    config = SystemConfig(simulation=SimulationConfig(engine=engine))
+    executor = ConcurrentExecutor(config, rng=np.random.default_rng(1))
+    streams = [
+        _ListStream(profiles=ps, name=f"s{i}")
+        for i, ps in enumerate(per_stream)
+    ]
+    return executor.run(streams)
+
+
+def test_perf_engine_events_mpl4(benchmark, engine_workloads):
+    """Virtual-time engine event throughput at MPL 4."""
+    result = benchmark(_run_engine_workload, "virtual_time", engine_workloads[4])
+    assert result.completions
+    benchmark.extra_info["events"] = result.events
+    benchmark.extra_info["events_per_sec"] = (
+        result.events / benchmark.stats.stats.min
+    )
+
+
+def test_perf_engine_events_mpl8(benchmark, engine_workloads):
+    """Virtual-time engine event throughput at MPL 8."""
+    result = benchmark(_run_engine_workload, "virtual_time", engine_workloads[8])
+    assert result.completions
+    benchmark.extra_info["events"] = result.events
+    benchmark.extra_info["events_per_sec"] = (
+        result.events / benchmark.stats.stats.min
+    )
+
+
+def test_perf_engine_reference_mpl8(benchmark, engine_workloads):
+    """Reference-engine throughput at MPL 8 (the pre-rewrite loop)."""
+    result = benchmark(_run_engine_workload, "reference", engine_workloads[8])
+    assert result.completions
+    benchmark.extra_info["events"] = result.events
+    benchmark.extra_info["events_per_sec"] = (
+        result.events / benchmark.stats.stats.min
+    )
+
+
+def test_engine_speedup_at_mpl8(engine_workloads):
+    """The tentpole acceptance bar: >= 3x events/sec at MPL >= 4."""
+    import time
+
+    def best_events_per_sec(engine):
+        best = float("inf")
+        events = 0
+        for _ in range(5):
+            start = time.perf_counter()
+            result = _run_engine_workload(engine, engine_workloads[8])
+            best = min(best, time.perf_counter() - start)
+            events = result.events
+        return events / best
+
+    reference = best_events_per_sec("reference")
+    virtual_time = best_events_per_sec("virtual_time")
+    speedup = virtual_time / reference
+    print(
+        f"\nengine events/sec at MPL 8: reference={reference:.0f} "
+        f"virtual_time={virtual_time:.0f} speedup={speedup:.2f}x"
+    )
+    assert speedup >= 3.0

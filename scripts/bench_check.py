@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: compare hot-path throughput to a baseline.
+
+Measures the metrics that PRs most easily regress by accident — engine
+events/sec (both engines, so the virtual-time speedup itself is guarded)
+and the end-to-end serial campaign wall-clock — and compares them to the
+committed ``BENCH_baseline.json``.  Any metric more than 20% worse than
+baseline fails the check.
+
+Workflow:
+
+    make bench-check                      # gate against the baseline
+    python scripts/bench_check.py --update  # re-measure and rewrite it
+
+The baseline is machine-relative: after changing hardware (or after an
+*intentional* performance change), rerun with ``--update`` and commit
+the new file alongside the change that justified it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+import numpy as np
+
+from repro.config import SimulationConfig, SystemConfig
+from repro.core.training import collect_training_data
+from repro.engine.executor import ConcurrentExecutor
+from repro.engine.profile import ResourceProfile
+from repro.sampling.steady_state import SteadyStateConfig
+from repro.workload.catalog import TemplateCatalog
+
+BASELINE_PATH = REPO / "BENCH_baseline.json"
+TOLERANCE = 0.20
+SMALL_TEMPLATES = (26, 62, 71, 22, 65, 17)
+
+
+@dataclass
+class _ListStream:
+    """A stream over pre-generated profiles (no plan compilation in the
+    timed region — same isolation as benchmarks/test_engine_throughput)."""
+
+    profiles: List[ResourceProfile]
+    name: str
+
+    def next_profile(self, now, completed):
+        if completed < len(self.profiles):
+            return self.profiles[completed]
+        return None
+
+
+def _engine_workload(catalog: TemplateCatalog, mpl: int):
+    rng = np.random.default_rng(0)
+    ids = list(catalog.template_ids)
+    mix = [ids[i % len(ids)] for i in range(mpl)]
+    return [[catalog.profile(t, rng) for _ in range(20)] for t in mix]
+
+
+def _events_per_sec(engine: str, per_stream, repeats: int = 15) -> float:
+    # Individual runs are a few milliseconds, so scheduler noise swamps
+    # any single timing; take the best of many (first run is warmup).
+    config = SystemConfig(simulation=SimulationConfig(engine=engine))
+    best = float("inf")
+    events = 0
+    for i in range(repeats + 1):
+        executor = ConcurrentExecutor(config, rng=np.random.default_rng(1))
+        streams = [
+            _ListStream(profiles=ps, name=f"s{i}")
+            for i, ps in enumerate(per_stream)
+        ]
+        start = time.perf_counter()
+        result = executor.run(streams)
+        elapsed = time.perf_counter() - start
+        if i > 0:
+            best = min(best, elapsed)
+        events = result.events
+    return events / best
+
+
+def _campaign_seconds(repeats: int = 3) -> float:
+    catalog = TemplateCatalog().subset(SMALL_TEMPLATES)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        collect_training_data(
+            catalog,
+            mpls=(2, 3),
+            lhs_runs_per_mpl=2,
+            steady_config=SteadyStateConfig(samples_per_stream=3),
+            jobs=1,
+        )
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure() -> Dict[str, Dict[str, object]]:
+    """All gated metrics.  ``higher_is_better`` decides the regression
+    direction; throughput regresses downward, wall-clock upward."""
+    catalog = TemplateCatalog()
+    mpl4 = _engine_workload(catalog, 4)
+    mpl8 = _engine_workload(catalog, 8)
+    metrics = {
+        "engine_virtual_time_events_per_sec_mpl4": {
+            "value": _events_per_sec("virtual_time", mpl4),
+            "unit": "events/sec",
+            "higher_is_better": True,
+        },
+        "engine_virtual_time_events_per_sec_mpl8": {
+            "value": _events_per_sec("virtual_time", mpl8),
+            "unit": "events/sec",
+            "higher_is_better": True,
+        },
+        "engine_reference_events_per_sec_mpl8": {
+            "value": _events_per_sec("reference", mpl8),
+            "unit": "events/sec",
+            "higher_is_better": True,
+        },
+        "campaign_small_serial_seconds": {
+            "value": _campaign_seconds(),
+            "unit": "seconds",
+            "higher_is_better": False,
+        },
+    }
+    return metrics
+
+
+def _speedup(metrics) -> float:
+    vt = metrics["engine_virtual_time_events_per_sec_mpl8"]["value"]
+    ref = metrics["engine_reference_events_per_sec_mpl8"]["value"]
+    return vt / ref
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="re-measure and rewrite BENCH_baseline.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=TOLERANCE,
+        help="allowed fractional regression (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    print("measuring hot-path benchmarks (best-of-N)...")
+    metrics = measure()
+    print(f"virtual-time / reference speedup at MPL 8: {_speedup(metrics):.2f}x")
+
+    if args.update:
+        BASELINE_PATH.write_text(
+            json.dumps({"metrics": metrics}, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --update first")
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())["metrics"]
+
+    failures = []
+    width = max(len(name) for name in metrics)
+    for name, current in metrics.items():
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name:<{width}}  (no baseline entry — skipped)")
+            continue
+        new, old = current["value"], base["value"]
+        if current["higher_is_better"]:
+            change = new / old - 1.0  # negative = regression
+            regressed = change < -args.tolerance
+        else:
+            change = old / new - 1.0  # negative = slower than baseline
+            regressed = change < -args.tolerance
+        verdict = "FAIL" if regressed else "ok"
+        print(
+            f"{name:<{width}}  {old:>12.1f} -> {new:>12.1f} "
+            f"{current['unit']:<10} ({change:+.1%})  {verdict}"
+        )
+        if regressed:
+            failures.append(name)
+
+    if failures:
+        print(
+            f"\nREGRESSION: {len(failures)} metric(s) more than "
+            f"{args.tolerance:.0%} worse than baseline: {', '.join(failures)}"
+        )
+        print(
+            "If the slowdown is intentional, rerun with --update and "
+            "commit the new baseline."
+        )
+        return 1
+    print(f"\nall metrics within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

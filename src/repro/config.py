@@ -89,6 +89,15 @@ class SimulationConfig:
             single run exceeds this many events.
         seed: Base RNG seed for all stochastic components (parameter jitter,
             random-I/O variance).
+        engine: Event-loop implementation.  ``'virtual_time'`` (default)
+            schedules via cumulative-service accounting — per-resource
+            drain deadlines computed once per phase and advanced through
+            sorted deadline heaps, O(log n) per event.  ``'reference'``
+            is the original processor-sharing loop that rescans the
+            active set on every event; it is kept as the executable
+            specification the fast engine is differentially tested
+            against.  The two agree to floating-point reassociation
+            tolerance (see docs/PERFORMANCE.md), not bit-for-bit.
     """
 
     shared_scans: bool = True
@@ -102,6 +111,7 @@ class SimulationConfig:
     time_epsilon: float = 1e-9
     max_events: int = 2_000_000
     seed: int = 20140324  # EDBT 2014 opening day.
+    engine: str = "virtual_time"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.scan_share_window <= 1.0:
@@ -120,6 +130,11 @@ class SimulationConfig:
             raise ConfigurationError("time_epsilon must be positive")
         if self.max_events < 1:
             raise ConfigurationError("max_events must be >= 1")
+        if self.engine not in ("reference", "virtual_time"):
+            raise ConfigurationError(
+                "engine must be 'reference' or 'virtual_time', "
+                f"got {self.engine!r}"
+            )
 
 
 @dataclass(frozen=True)

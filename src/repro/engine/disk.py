@@ -63,6 +63,82 @@ def allocate(hardware: HardwareSpec, streams: Iterable[StreamKey]) -> StreamRate
     )
 
 
+class StreamTable:
+    """Incremental membership accounting over the active disk streams.
+
+    The virtual-time executor cannot afford to rebuild the stream set on
+    every event the way :func:`allocate` does, so it registers membership
+    changes as they happen — a sequential consumer joining or leaving its
+    stream, a random consumer appearing or draining — and reads the
+    fair-share divisor in O(1).  The rates it yields are computed with
+    exactly the same expressions as :func:`allocate`, so a table holding
+    the same membership produces bit-identical per-stream rates.
+    """
+
+    __slots__ = ("_hardware", "_seq_sizes", "_num_rand")
+
+    def __init__(self, hardware: HardwareSpec):
+        self._hardware = hardware
+        self._seq_sizes: dict = {}
+        self._num_rand = 0
+
+    def add_seq(self, key: StreamKey) -> int:
+        """Register one sequential consumer of *key*; returns group size."""
+        size = self._seq_sizes.get(key, 0) + 1
+        self._seq_sizes[key] = size
+        return size
+
+    def remove_seq(self, key: StreamKey) -> int:
+        """Drop one sequential consumer of *key*; returns remaining size."""
+        size = self._seq_sizes[key] - 1
+        if size <= 0:
+            del self._seq_sizes[key]
+            return 0
+        self._seq_sizes[key] = size
+        return size
+
+    def add_rand(self) -> None:
+        """Register one random-I/O consumer (always its own stream)."""
+        self._num_rand += 1
+
+    def remove_rand(self) -> None:
+        """Drop one random-I/O consumer."""
+        self._num_rand -= 1
+
+    def group_size(self, key: StreamKey) -> int:
+        """Current member count of sequential stream *key*."""
+        return self._seq_sizes.get(key, 0)
+
+    @property
+    def num_seq_streams(self) -> int:
+        """Distinct sequential streams (a shared group counts once)."""
+        return len(self._seq_sizes)
+
+    @property
+    def num_rand_streams(self) -> int:
+        """Active random-I/O streams (one per consumer)."""
+        return self._num_rand
+
+    @property
+    def num_streams(self) -> int:
+        """Distinct streams time-slicing the device."""
+        return len(self._seq_sizes) + self._num_rand
+
+    def rates(self) -> StreamRates:
+        """Fair-share rates for the current membership.
+
+        Matches :func:`allocate` bit-for-bit: the same divisor produces
+        the same quotients.
+        """
+        count = self.num_streams
+        divisor = count if count > 0 else 1
+        return StreamRates(
+            seq_bytes_per_sec=self._hardware.seq_bandwidth / divisor,
+            rand_ops_per_sec=self._hardware.random_iops / divisor,
+            num_streams=count,
+        )
+
+
 def shared_scan_key(relation: str) -> StreamKey:
     """Stream key for a coalescible sequential scan of *relation*."""
     return (SEQ, ("table", relation))

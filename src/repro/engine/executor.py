@@ -18,14 +18,44 @@ sharing:
 
 The loop is classic processor-sharing simulation: rates only change when
 the active set changes, so we jump from completion event to completion
-event instead of ticking a clock.
+event instead of ticking a clock.  Two implementations of that loop are
+provided, selected by ``SimulationConfig.engine``:
+
+``virtual_time`` (default)
+    Cumulative-service scheduling.  Each resource class (sequential
+    bytes, random ops, CPU) carries a cumulative service integral that
+    advances by ``rate * dt`` per interval.  A component's remaining
+    work becomes a *static drain deadline* in that cumulative space,
+    computed once at phase entry; next-event selection is a min over
+    three deadline heaps and an event touches only the components that
+    actually drained.  Per-event cost is O(log n) instead of the
+    reference engine's three full active-set rescans.
+
+``reference``
+    The original loop: recompute rates, scan for the nearest completion,
+    and drain every active component on every event.  Kept as the
+    executable specification; the differential tests in
+    ``tests/property/test_engine_differential.py`` hold the fast engine
+    to it.  The engines agree to floating-point reassociation tolerance
+    (cumulative sums re-associate the same arithmetic), not bit-for-bit;
+    see docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+from heapq import heappop, heappush
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -40,6 +70,14 @@ from .trace import IntervalSample, Tracer
 
 #: Remaining-work threshold below which a component counts as drained.
 _DONE = 1e-7
+
+#: Relative slack added to the drain test in cumulative-service space.
+#: The cumulative integrals grow without bound (bytes served since the
+#: run started), so an absolute test against ``_DONE`` alone would fall
+#: below one ulp once the integral passes ~1e9; the relative term keeps
+#: the test meaningful at any magnitude while staying far smaller than
+#: any real demand.
+_REL_DONE = 1e-13
 
 
 class Stream(Protocol):
@@ -80,6 +118,20 @@ class _Running:
     the current :class:`Phase` is materialized once per phase entry (the
     event loop reads it many times per event), and the disk stream key
     is computed once per event in ``_rates`` and reused in ``_advance``.
+
+    The ``vt_*`` fields belong to the virtual-time engine.  ``rem_*``
+    double as the phase's *initial* demands there (the engine never
+    decrements them; remaining work is ``deadline - integral``):
+
+    * ``vt_seq_deadline`` / ``vt_rand_deadline`` / ``vt_cpu_deadline``:
+      drain deadlines in cumulative-service space.  Random deadlines are
+      normalized by the phase's variance factor so one shared integral
+      serves every query.
+    * ``vt_pending`` / ``vt_io_pending``: undrained components of the
+      current phase (all / I/O only); the phase ends at 0 pending, and
+      ``io_seconds`` closes when the I/O count hits 0.
+    * ``vt_share_entry``: the scan group's shared-service counter at
+      join time (see the group ledger in ``_run_virtual_time``).
     """
 
     profile: ResourceProfile
@@ -93,6 +145,15 @@ class _Running:
     seq_private: bool = False
     phase: Optional[Phase] = None
     seq_key: Optional[disk.StreamKey] = None
+    vt_seq_deadline: float = -math.inf
+    vt_rand_deadline: float = -math.inf
+    vt_cpu_deadline: float = -math.inf
+    vt_pending: int = 0
+    vt_io_pending: int = 0
+    vt_io_start: float = 0.0
+    vt_share_entry: float = 0.0
+    vt_shared: bool = False
+    vt_last_phase: int = 0  # len(profile.phases) - 1, cached at start
 
     @property
     def phase_done(self) -> bool:
@@ -105,6 +166,11 @@ class _Running:
     @property
     def wants_io(self) -> bool:
         return self.rem_seq > _DONE or self.rem_rand > _DONE
+
+
+def _rem_seq_field(run: _Running) -> float:
+    """Remaining sequential work under the reference engine."""
+    return run.rem_seq
 
 
 @dataclass
@@ -122,7 +188,9 @@ class RunResult:
     Attributes:
         completions: Every finished foreground query, in completion order.
         elapsed: Simulated time at which the last foreground query ended.
-        events: Number of scheduling events processed.
+        events: Number of scheduling events processed.  Comparable within
+            one engine only: the engines agree on physics, not on how
+            many loop iterations the same run takes.
     """
 
     completions: List[QueryResult]
@@ -204,7 +272,393 @@ class ConcurrentExecutor:
         """
         if not streams and not background:
             raise SimulationError("nothing to run")
+        if self._sim.engine == "reference":
+            return self._run_reference(streams, background, pinned_bytes)
+        return self._run_virtual_time(streams, background, pinned_bytes)
 
+    # ------------------------------------------------------------------
+    # Virtual-time engine: cumulative-service scheduling.
+
+    def _run_virtual_time(
+        self,
+        streams: Sequence[Stream],
+        background: Sequence[ResourceProfile],
+        pinned_bytes: float,
+    ) -> RunResult:
+        """Cumulative-service event loop.
+
+        Three integrals advance in lock step with simulated time:
+
+        * ``s_seq`` — bytes served to *each* sequential stream (shared
+          group members are credited at the full stream rate, so one
+          integral covers every consumer);
+        * ``s_rand`` — variance-normalized random ops served per stream;
+        * ``s_cpu`` — seconds of one core's service per query.
+
+        A component entering a phase with remaining work ``w`` drains
+        when its integral reaches ``integral_now + w`` — a static
+        deadline pushed onto that resource's heap.  Rates may change at
+        every event (the fair-share divisor tracks stream membership
+        incrementally via :class:`repro.engine.disk.StreamTable`), but
+        deadlines never move, so next-event selection is three heap
+        peeks and an event settles only what actually drained.
+        """
+        ledger = MemoryLedger(total_bytes=self._hw.ram_bytes)
+        if pinned_bytes > 0:
+            ledger.pin("spoiler", pinned_bytes)
+        cache = BufferCache(
+            capacity_bytes=self.DIMENSION_CACHE_FRACTION * self._hw.ram_bytes,
+            eviction=self._sim.cache_eviction,
+        )
+
+        now = 0.0
+        events = 0
+        completions: List[QueryResult] = []
+        completed_counts = [0 for _ in streams]
+        stream_done = [False for _ in streams]
+        active: List[_Running] = []
+        fg_active = 0
+        open_streams = len(streams)
+        max_events = self._sim.max_events
+        time_epsilon = self._sim.time_epsilon
+        tracer = self._tracer
+        cores = self._hw.cores
+        seq_bandwidth = self._hw.seq_bandwidth
+        random_iops = self._hw.random_iops
+        inf = math.inf
+
+        # Cumulative service integrals, one per resource class.
+        s_seq = 0.0
+        s_rand = 0.0
+        s_cpu = 0.0
+        # Deadline heaps: (deadline, tiebreak, run).  Entries are pushed
+        # at phase entry and leave only by draining — phases cannot be
+        # abandoned, so no lazy invalidation is needed.
+        seq_heap: List[Tuple[float, int, _Running]] = []
+        rand_heap: List[Tuple[float, int, _Running]] = []
+        cpu_heap: List[Tuple[float, int, _Running]] = []
+        tiebreak = 0
+        # Incremental stream membership (fair-share divisor in O(1)).
+        table = disk.StreamTable(self._hw)
+        add_seq = table.add_seq
+        remove_seq = table.remove_seq
+        add_rand = table.add_rand
+        remove_rand = table.remove_rand
+        enter_impl = self._enter_phase
+        stream_key = self._stream_key
+        dimension_cache = self._sim.dimension_cache
+        cpu_demand = 0
+        seq_consumers = 0  # telemetry: components, not streams
+        num_streams = 0  # mirrors table.num_streams (fair-share divisor)
+        num_rand = 0
+        # Shared-scan group ledger: stream key -> [mark, credit] where
+        # `credit` integrates per-stream service over the intervals the
+        # group had >= 2 members and `mark` is the s_seq value of the
+        # last membership change.  A member's shared bytes are the
+        # credit growth between its join and its drain.
+        share_groups: Dict[disk.StreamKey, List[float]] = {}
+        # Runs whose current phase has fully drained, awaiting phase
+        # transition (mirrors the reference engine's `finished` scan).
+        finished: List[_Running] = []
+        # instance id -> phase label, maintained only when tracing.
+        phase_labels: Dict[int, str] = {}
+
+        def vt_rem_seq(run: _Running) -> float:
+            """Remaining sequential work (deadline minus integral)."""
+            return run.vt_seq_deadline - s_seq
+
+        def enter_phase(run: _Running, contended: bool) -> None:
+            nonlocal cpu_demand, seq_consumers, tiebreak, num_streams, num_rand
+            enter_impl(run, ledger, cache, contended, active, vt_rem_seq)
+            pending = 0
+            io_pending = 0
+            rem = run.rem_seq
+            if rem > _DONE:
+                key = stream_key(run)
+                run.seq_key = key
+                size = add_seq(key)
+                if size == 1:
+                    num_streams += 1
+                shared = not run.seq_private and run.phase.relation is not None
+                run.vt_shared = shared
+                if shared:
+                    group = share_groups.get(key)
+                    if group is None:
+                        group = share_groups[key] = [s_seq, 0.0]
+                    else:
+                        if size - 1 >= 2:
+                            group[1] += s_seq - group[0]
+                        group[0] = s_seq
+                    run.vt_share_entry = group[1]
+                deadline = s_seq + rem
+                run.vt_seq_deadline = deadline
+                tiebreak += 1
+                heappush(seq_heap, (deadline, tiebreak, run))
+                seq_consumers += 1
+                pending += 1
+                io_pending += 1
+            rem = run.rem_rand
+            if rem > _DONE:
+                deadline = s_rand + rem / run.rand_factor
+                run.vt_rand_deadline = deadline
+                tiebreak += 1
+                heappush(rand_heap, (deadline, tiebreak, run))
+                add_rand()
+                num_streams += 1
+                num_rand += 1
+                pending += 1
+                io_pending += 1
+            rem = run.rem_cpu
+            if rem > _DONE:
+                deadline = s_cpu + rem
+                run.vt_cpu_deadline = deadline
+                tiebreak += 1
+                heappush(cpu_heap, (deadline, tiebreak, run))
+                cpu_demand += 1
+                pending += 1
+            run.vt_pending = pending
+            run.vt_io_pending = io_pending
+            if io_pending:
+                run.vt_io_start = now
+            if tracer is not None:
+                phase_labels[run.profile.instance_id] = run.phase.label
+            if pending == 0:
+                finished.append(run)
+
+        def start_query(profile: ResourceProfile, stream_idx: Optional[int]) -> None:
+            nonlocal fg_active
+            stats = QueryStats(
+                template_id=profile.template_id,
+                instance_id=profile.instance_id,
+                start_time=now,
+            )
+            run = _Running(profile=profile, stream_idx=stream_idx, stats=stats)
+            run.vt_last_phase = len(profile.phases) - 1
+            enter_phase(run, len(active) > 0)
+            active.append(run)
+            if stream_idx is not None:
+                fg_active += 1
+
+        def pull_stream(idx: int) -> None:
+            nonlocal open_streams
+            if stream_done[idx]:
+                return
+            profile = streams[idx].next_profile(now, completed_counts[idx])
+            if profile is None:
+                stream_done[idx] = True
+                open_streams -= 1
+            else:
+                start_query(profile, idx)
+
+        def settle_seq(entry: Tuple[float, int, _Running]) -> None:
+            """One sequential component crossed its deadline."""
+            nonlocal seq_consumers, num_streams
+            deadline, _, run = entry
+            residual = deadline - s_seq
+            served = run.rem_seq - residual if residual > 0.0 else run.rem_seq
+            stats = run.stats
+            stats.seq_bytes_read += served
+            key = run.seq_key
+            remaining = remove_seq(key)
+            if remaining == 0:
+                num_streams -= 1
+            if run.vt_shared:
+                group = share_groups[key]
+                if remaining >= 1:  # group had >= 2 members until now
+                    group[1] += s_seq - group[0]
+                group[0] = s_seq
+                credit = group[1] - run.vt_share_entry
+                if credit > 0.0:
+                    stats.shared_seq_bytes += credit if credit < served else served
+            seq_consumers -= 1
+            run.vt_pending -= 1
+            run.vt_io_pending -= 1
+            if run.vt_io_pending == 0:
+                stats.io_seconds += now - run.vt_io_start
+            if run.vt_pending == 0:
+                finished.append(run)
+
+        def settle_rand(entry: Tuple[float, int, _Running]) -> None:
+            """One random-I/O component crossed its deadline."""
+            nonlocal num_streams, num_rand
+            deadline, _, run = entry
+            residual = deadline - s_rand
+            if residual > 0.0:
+                served = run.rem_rand - residual * run.rand_factor
+            else:
+                served = run.rem_rand
+            run.stats.rand_ops_done += served
+            remove_rand()
+            num_streams -= 1
+            num_rand -= 1
+            run.vt_pending -= 1
+            run.vt_io_pending -= 1
+            if run.vt_io_pending == 0:
+                run.stats.io_seconds += now - run.vt_io_start
+            if run.vt_pending == 0:
+                finished.append(run)
+
+        def settle_cpu(entry: Tuple[float, int, _Running]) -> None:
+            """One CPU component crossed its deadline."""
+            nonlocal cpu_demand
+            deadline, _, run = entry
+            residual = deadline - s_cpu
+            served = run.rem_cpu - residual if residual > 0.0 else run.rem_cpu
+            run.stats.cpu_seconds += served
+            cpu_demand -= 1
+            run.vt_pending -= 1
+            if run.vt_pending == 0:
+                finished.append(run)
+
+        def process_finished() -> None:
+            """Advance/complete every run whose phase has drained.
+
+            Mirrors the reference engine: the batch is a snapshot, runs
+            are handled in active-set order, and phases that complete
+            during processing (zero-work phases) wait for the next event.
+            """
+            nonlocal fg_active
+            if len(finished) == 1:
+                batch = [finished[0]]
+            else:
+                batch = finished[:]
+                order = {id(run): pos for pos, run in enumerate(active)}
+                batch.sort(key=lambda run: order[id(run)])
+            finished.clear()
+            for run in batch:
+                # Inlined _on_phase_end (hot: once per phase transition).
+                phase = run.phase
+                if (
+                    phase.dimension_scan
+                    and phase.relation is not None
+                    and dimension_cache
+                ):
+                    cache.admit(phase.relation, phase.seq_bytes)
+                if run.phase_idx < run.vt_last_phase:
+                    run.phase_idx += 1
+                    enter_phase(run, len(active) > 1)
+                elif run.profile.background:
+                    run.phase_idx = 0  # circular reader: start over
+                    enter_phase(run, len(active) > 1)
+                else:
+                    active.remove(run)
+                    ledger.release(run.profile.instance_id)
+                    run.stats.end_time = now
+                    if tracer is not None:
+                        phase_labels.pop(run.profile.instance_id, None)
+                    idx = run.stream_idx
+                    if idx is not None:
+                        fg_active -= 1
+                        completions.append(
+                            QueryResult(
+                                stream_name=streams[idx].name, stats=run.stats
+                            )
+                        )
+                        completed_counts[idx] += 1
+                        pull_stream(idx)
+
+        for profile in background:
+            start_query(profile, None)
+        for idx in range(len(streams)):
+            pull_stream(idx)
+
+        while fg_active > 0 or open_streams > 0:
+            events += 1
+            if events > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; "
+                    "likely a stalled simulation"
+                )
+
+            if finished:
+                process_finished()
+                continue
+
+            divisor = num_streams if num_streams > 0 else 1
+            seq_rate = seq_bandwidth / divisor
+            rand_rate = random_iops / divisor
+            cpu_rate = 1.0 if cpu_demand <= cores else cores / cpu_demand
+
+            # Next event: nearest deadline across the three resources.
+            best = inf
+            which = -1
+            if seq_heap:
+                best = (seq_heap[0][0] - s_seq) / seq_rate
+                which = 0
+            if rand_heap:
+                dt = (rand_heap[0][0] - s_rand) / rand_rate
+                if dt < best:
+                    best = dt
+                    which = 1
+            if cpu_heap:
+                dt = (cpu_heap[0][0] - s_cpu) / cpu_rate
+                if dt < best:
+                    best = dt
+                    which = 2
+            if which < 0 or not best < inf:
+                raise SimulationError("no finite next event; simulation stalled")
+            dt = best
+            if dt < time_epsilon:
+                dt = time_epsilon
+
+            if tracer is not None:
+                tracer.record(
+                    IntervalSample(
+                        start=now,
+                        duration=dt,
+                        num_queries=len(active),
+                        num_streams=num_streams,
+                        seq_bytes_per_sec=seq_rate * (num_streams - num_rand),
+                        logical_seq_bytes_per_sec=seq_rate * seq_consumers,
+                        rand_ops_per_sec=rand_rate * num_rand,
+                        cpu_cores_busy=cpu_rate * cpu_demand,
+                        per_query_phase=dict(phase_labels),
+                    )
+                )
+
+            s_seq += seq_rate * dt
+            s_rand += rand_rate * dt
+            s_cpu += cpu_rate * dt
+            now += dt
+
+            # The component that set `dt` has drained by construction;
+            # pop it without re-testing so floating-point residue can
+            # never stall the loop.
+            if which == 0:
+                settle_seq(heappop(seq_heap))
+            elif which == 1:
+                settle_rand(heappop(rand_heap))
+            else:
+                settle_cpu(heappop(cpu_heap))
+            # Then everything else that crossed within tolerance.
+            bound = s_seq + _DONE + s_seq * _REL_DONE
+            while seq_heap and seq_heap[0][0] <= bound:
+                settle_seq(heappop(seq_heap))
+            bound = s_cpu + _DONE + s_cpu * _REL_DONE
+            while cpu_heap and cpu_heap[0][0] <= bound:
+                settle_cpu(heappop(cpu_heap))
+            while rand_heap:
+                head = rand_heap[0]
+                rem = (head[0] - s_rand) * head[2].rand_factor
+                if rem > _DONE + s_rand * _REL_DONE:
+                    break
+                settle_rand(heappop(rand_heap))
+
+            if finished:
+                process_finished()
+
+        return RunResult(completions=completions, elapsed=now, events=events)
+
+    # ------------------------------------------------------------------
+    # Reference engine: full-rescan processor sharing.
+
+    def _run_reference(
+        self,
+        streams: Sequence[Stream],
+        background: Sequence[ResourceProfile],
+        pinned_bytes: float,
+    ) -> RunResult:
+        """The original O(active-set)-per-event loop (the specification)."""
         ledger = MemoryLedger(total_bytes=self._hw.ram_bytes)
         if pinned_bytes > 0:
             ledger.pin("spoiler", pinned_bytes)
@@ -238,7 +692,9 @@ class ConcurrentExecutor:
                 start_time=now,
             )
             run = _Running(profile=profile, stream_idx=stream_idx, stats=stats)
-            self._enter_phase(run, ledger, cache, len(active) > 0, active)
+            self._enter_phase(
+                run, ledger, cache, len(active) > 0, active, _rem_seq_field
+            )
             active.append(run)
             if stream_idx is not None:
                 fg_active += 1
@@ -283,10 +739,14 @@ class ConcurrentExecutor:
                 self._on_phase_end(run, ledger, cache)
                 if run.phase_idx + 1 < len(run.profile.phases):
                     run.phase_idx += 1
-                    self._enter_phase(run, ledger, cache, len(active) > 1, active)
+                    self._enter_phase(
+                        run, ledger, cache, len(active) > 1, active, _rem_seq_field
+                    )
                 elif run.profile.background:
                     run.phase_idx = 0  # circular reader: start over
-                    self._enter_phase(run, ledger, cache, len(active) > 1, active)
+                    self._enter_phase(
+                        run, ledger, cache, len(active) > 1, active, _rem_seq_field
+                    )
                 else:
                     active.remove(run)
                     ledger.release(run.profile.instance_id)
@@ -334,7 +794,7 @@ class ConcurrentExecutor:
         return RunResult(completions=completions, elapsed=now, events=events)
 
     # ------------------------------------------------------------------
-    # Internal machinery.
+    # Machinery shared by both engines.
 
     def _interval_sample(
         self,
@@ -374,39 +834,49 @@ class ConcurrentExecutor:
         cache: BufferCache,
         contended: bool,
         active: Sequence["_Running"],
+        rem_seq: Callable[["_Running"], float],
     ) -> None:
-        """Initialize the remaining-work counters for the current phase."""
+        """Initialize the remaining-work counters for the current phase.
+
+        ``rem_seq`` abstracts over how the calling engine tracks
+        remaining sequential work (a live field for the reference
+        engine, deadline-minus-integral for virtual time); it is only
+        consulted for the shared-scan join-window test.
+        """
+        sim = self._sim
         phase = run.profile.phases[run.phase_idx]
         run.phase = phase
         qid = run.profile.instance_id
 
-        rem_seq = phase.seq_bytes
+        seq_demand = phase.seq_bytes
         if (
             phase.dimension_scan
             and phase.relation is not None
-            and self._sim.dimension_cache
+            and sim.dimension_cache
             and cache.is_resident(phase.relation)
         ):
-            run.stats.cache_served_bytes += rem_seq
-            rem_seq = 0.0  # served from the buffer cache
+            run.stats.cache_served_bytes += seq_demand
+            seq_demand = 0.0  # served from the buffer cache
 
-        run.seq_private = phase.relation is None or not self._sim.shared_scans
-        if not run.seq_private and self._sim.scan_share_window < 1.0:
+        run.seq_private = phase.relation is None or not sim.shared_scans
+        if not run.seq_private and sim.scan_share_window < 1.0:
             # Synchronized scans have a join window: a scan arriving after
             # the in-flight group has covered more than `scan_share_window`
             # of the table cannot catch up and runs privately.
-            group_progress = self._group_progress(phase.relation, run, active)
+            group_progress = self._group_progress(
+                phase.relation, run, active, rem_seq
+            )
             if group_progress is not None and (
-                group_progress > self._sim.scan_share_window
+                group_progress > sim.scan_share_window
             ):
                 run.seq_private = True
         if phase.spillable:
             deficit = ledger.spill_bytes(qid, phase.mem_bytes)
             if deficit > 0:
                 available = ledger.available_for(qid)
-                thrash = 1.0 + self._sim.spill_thrash * deficit / available
-                extra = deficit * self._sim.spill_multiplier * thrash
-                rem_seq += extra
+                thrash = 1.0 + sim.spill_thrash * deficit / available
+                extra = deficit * sim.spill_multiplier * thrash
+                seq_demand += extra
                 run.seq_private = True
                 run.stats.spill_bytes += extra
 
@@ -418,7 +888,7 @@ class ConcurrentExecutor:
         else:
             ledger.release(qid)
 
-        run.rem_seq = rem_seq
+        run.rem_seq = seq_demand
         run.rem_rand = phase.rand_ops
         run.rem_cpu = phase.cpu_seconds
 
@@ -446,6 +916,7 @@ class ConcurrentExecutor:
         relation: Optional[str],
         joiner: "_Running",
         active: Sequence["_Running"],
+        rem_seq: Callable[["_Running"], float],
     ) -> Optional[float]:
         """Progress fraction of the in-flight scan group on *relation*.
 
@@ -456,12 +927,13 @@ class ConcurrentExecutor:
         for other in active:
             if other is joiner or other.seq_private:
                 continue
-            if other.rem_seq <= _DONE or other.phase.relation != relation:
+            remaining = rem_seq(other)
+            if remaining <= _DONE or other.phase.relation != relation:
                 continue
             total = other.phase.seq_bytes
             if total <= 0:
                 continue
-            progress = 1.0 - other.rem_seq / total
+            progress = 1.0 - remaining / total
             best = progress if best is None else min(best, progress)
         return best
 
@@ -470,6 +942,9 @@ class ConcurrentExecutor:
         if run.seq_private or phase.relation is None:
             return disk.private_seq_key(run.profile.instance_id)
         return disk.shared_scan_key(phase.relation)
+
+    # ------------------------------------------------------------------
+    # Reference-engine internals.
 
     def _rates(
         self, active: Sequence[_Running]

@@ -14,9 +14,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Protocol, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IntervalSample:
     """Telemetry for one constant-rate interval.
+
+    One sample is emitted per scheduling event, so this type is on the
+    traced hot path of both engines (``slots`` keeps it allocation-lean).
+    ``per_query_phase`` is a point-in-time *snapshot*: the virtual-time
+    engine maintains a persistent instance-id -> label map and copies it
+    here, the reference engine rebuilds it from the active set; both
+    yield the same mapping for the same interval.
 
     Attributes:
         start: Interval start, simulated seconds.

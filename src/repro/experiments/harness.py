@@ -26,7 +26,10 @@ from ..workload.catalog import TemplateCatalog
 #: scheme changes in a result-affecting way so stale caches are rebuilt
 #: instead of silently reused.  Version 2: order-independent per-task
 #: seeding (results differ from the shared-sequential-RNG era).
-CAMPAIGN_CACHE_FORMAT = 2
+#: Version 3: virtual-time default engine — physics agree with the
+#: reference loop only to floating-point reassociation tolerance, so
+#: caches sampled under the per-event-decrement arithmetic are stale.
+CAMPAIGN_CACHE_FORMAT = 3
 
 
 @dataclass

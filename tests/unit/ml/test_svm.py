@@ -85,3 +85,136 @@ def test_latency_predictor_validation():
         SVMLatencyPredictor().fit([[0.0], [1.0]], [5.0, 5.0])
     with pytest.raises(NotFittedError):
         SVMLatencyPredictor().predict([[0.0]])
+
+
+# ---------------------------------------------------------------------------
+# SMO error cache: the screened cache must not change a single decision.
+
+
+def _fit_smo_reference(K, y, rng, C=10.0, tol=1e-3, max_passes=8):
+    """The pre-cache SMO loop, recomputing every error from scratch."""
+    n = K.shape[0]
+    alpha = np.zeros(n)
+    b = 0.0
+    passes = 0
+    while passes < max_passes:
+        changed = 0
+        for i in range(n):
+            err_i = float((alpha * y) @ K[:, i]) + b - y[i]
+            if (y[i] * err_i < -tol and alpha[i] < C) or (
+                y[i] * err_i > tol and alpha[i] > 0
+            ):
+                j = int(rng.integers(0, n - 1))
+                if j >= i:
+                    j += 1
+                err_j = float((alpha * y) @ K[:, j]) + b - y[j]
+                ai_old, aj_old = alpha[i], alpha[j]
+                if y[i] != y[j]:
+                    low = max(0.0, aj_old - ai_old)
+                    high = min(C, C + aj_old - ai_old)
+                else:
+                    low = max(0.0, ai_old + aj_old - C)
+                    high = min(C, ai_old + aj_old)
+                if low >= high:
+                    continue
+                eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+                if eta >= 0:
+                    continue
+                aj = aj_old - y[j] * (err_i - err_j) / eta
+                aj = float(np.clip(aj, low, high))
+                if abs(aj - aj_old) < 1e-5:
+                    continue
+                ai = ai_old + y[i] * y[j] * (aj_old - aj)
+                alpha[i], alpha[j] = ai, aj
+                b1 = (
+                    b
+                    - err_i
+                    - y[i] * (ai - ai_old) * K[i, i]
+                    - y[j] * (aj - aj_old) * K[i, j]
+                )
+                b2 = (
+                    b
+                    - err_j
+                    - y[i] * (ai - ai_old) * K[i, j]
+                    - y[j] * (aj - aj_old) * K[j, j]
+                )
+                if 0 < ai < C:
+                    b = b1
+                elif 0 < aj < C:
+                    b = b2
+                else:
+                    b = (b1 + b2) / 2.0
+                changed += 1
+        passes = passes + 1 if changed == 0 else 0
+    return alpha, b
+
+
+@pytest.mark.parametrize("trial", range(4))
+def test_smo_error_cache_is_bit_identical(rng, trial):
+    from repro.ml.kernels import rbf_kernel
+    from repro.ml.svm import _BinarySVC
+
+    n = 40 + 20 * trial
+    X = rng.normal(size=(n, 4))
+    y = np.where(X[:, 0] + 0.3 * rng.normal(size=n) > 0, 1.0, -1.0)
+    K = rbf_kernel(X, gamma=0.4)
+    alpha_ref, b_ref = _fit_smo_reference(
+        K, y, np.random.default_rng(100 + trial)
+    )
+    machine = _BinarySVC(10.0)
+    machine.fit(K, y, np.random.default_rng(100 + trial))
+    assert np.array_equal(alpha_ref, machine.alpha)
+    assert b_ref == machine.b
+
+
+def test_top_eigenvalue_matches_eigvalsh(rng):
+    from repro.ml.kernels import rbf_kernel
+    from repro.ml.svm import _top_eigenvalue
+
+    for _ in range(3):
+        X = rng.normal(size=(50, 3))
+        K = rbf_kernel(X, gamma=0.5)
+        exact = float(np.linalg.eigvalsh(K)[-1])
+        assert _top_eigenvalue(K) == pytest.approx(exact, rel=1e-8)
+
+
+def test_top_eigenvalue_zero_matrix():
+    from repro.ml.svm import _top_eigenvalue
+
+    assert _top_eigenvalue(np.zeros((5, 5))) == 0.0
+
+
+def test_latency_predictor_handles_empty_quantile_bin(recwarn):
+    """Heavily tied latencies leave a quantile bin empty; the empty bin
+    must be dropped instead of surfacing as a NaN 'prediction'."""
+    lat = np.array([0.1, 0.1, 0.1, 1.0, 10.0, 10.0, 10.0, 11.0])
+    X = np.column_stack([lat, np.arange(lat.size, dtype=float)])
+    model = SVMLatencyPredictor(num_bins=4, seed=5).fit(X, lat)
+    preds = model.predict(X)
+    assert not np.any(np.isnan(preds))
+    # Every prediction is the mean of an occupied bin.
+    assert set(np.round(preds, 6)) <= set(
+        np.round(model._bin_values, 6)
+    )
+    assert not any(
+        issubclass(w.category, RuntimeWarning) for w in recwarn.list
+    )
+
+
+def test_svc_vote_vectorization_matches_per_row_loop(blobs):
+    """np.add.at vote accumulation must reproduce the per-row loop."""
+    X, y = blobs
+    model = SVC(C=10.0, seed=6).fit(X, y)
+    from repro.ml.kernels import rbf_kernel
+
+    Xq = (np.atleast_2d(X) - model._mean) / model._scale
+    K_new = rbf_kernel(Xq, model._X, gamma=model._gamma_fitted)
+    votes = np.zeros((Xq.shape[0], model._classes.size), dtype=int)
+    class_pos = {c: i for i, c in enumerate(model._classes)}
+    for cls_a, cls_b, idx, machine in model._machines:
+        decision = machine.decision(K_new[:, idx])
+        winners = np.where(decision >= 0, cls_a, cls_b)
+        for row, winner in enumerate(winners):
+            votes[row, class_pos[winner]] += 1
+    expected = model._classes[np.argmax(votes, axis=1)]
+    assert np.array_equal(model.predict(X), expected)
