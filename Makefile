@@ -1,12 +1,23 @@
 PYTHON ?= python
 
-.PHONY: install test serve-smoke bench bench-check profile-campaign report templates examples clean
+.PHONY: install test test-fast coverage serve-smoke bench bench-check profile-campaign report templates examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test: serve-smoke
 	$(PYTHON) -m pytest tests/
+
+# The sub-minute tier: unit tests only (markers are applied per
+# directory in tests/conftest.py, so -m unit == tests/unit/).
+test-fast:
+	$(PYTHON) -m pytest -m unit
+
+# Line-coverage gate over the observability and serving layers.
+# Dependency-free (sys.settrace); uses pytest-cov instead if you
+# installed the `cov` extra and prefer its reports.
+coverage:
+	$(PYTHON) scripts/coverage_check.py
 
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py

@@ -22,6 +22,14 @@ from repro.experiments import ExperimentContext
 CACHE_DIR = Path(__file__).parent / ".cache"
 
 
+def pytest_collection_modifyitems(config, items):
+    # Everything in this tree is the bench tier (see the marker list in
+    # pyproject.toml); tests/conftest.py tiers the tests/ tree the same
+    # way.
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def ctx() -> ExperimentContext:
     context = ExperimentContext(cache_dir=CACHE_DIR)

@@ -122,9 +122,11 @@ def engine_workloads(catalog):
     return workloads
 
 
-def _run_engine_workload(engine, per_stream):
+def _run_engine_workload(engine, per_stream, metrics=None):
     config = SystemConfig(simulation=SimulationConfig(engine=engine))
-    executor = ConcurrentExecutor(config, rng=np.random.default_rng(1))
+    executor = ConcurrentExecutor(
+        config, rng=np.random.default_rng(1), metrics=metrics
+    )
     streams = [
         _ListStream(profiles=ps, name=f"s{i}")
         for i, ps in enumerate(per_stream)
@@ -155,6 +157,28 @@ def test_perf_engine_events_mpl8(benchmark, engine_workloads):
 def test_perf_engine_reference_mpl8(benchmark, engine_workloads):
     """Reference-engine throughput at MPL 8 (the pre-rewrite loop)."""
     result = benchmark(_run_engine_workload, "reference", engine_workloads[8])
+    assert result.completions
+    benchmark.extra_info["events"] = result.events
+    benchmark.extra_info["events_per_sec"] = (
+        result.events / benchmark.stats.stats.min
+    )
+
+
+def test_perf_engine_events_mpl8_instrumented(benchmark, engine_workloads):
+    """MPL-8 throughput with the metrics registry attached.
+
+    Same workload as ``test_perf_engine_events_mpl8``; the gap between
+    the two is the observability overhead, gated to <= 5 % by
+    ``scripts/bench_check.py`` (``make bench-check``).
+    """
+    from repro.obs.metrics import Registry
+
+    def run():
+        return _run_engine_workload(
+            "virtual_time", engine_workloads[8], metrics=Registry()
+        )
+
+    result = benchmark(run)
     assert result.completions
     benchmark.extra_info["events"] = result.events
     benchmark.extra_info["events_per_sec"] = (

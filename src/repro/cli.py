@@ -13,6 +13,7 @@ Everything a user needs to poke the reproduction without writing code::
     repro pack campaign.pkl --out model.json   # registry artifact
     repro serve model.json --port 8181  # online prediction service
     repro load-test model.json          # p50/p99/QPS under load
+    repro stats 127.0.0.1:8181          # live server counters/metrics
     repro experiment table2             # regenerate one table/figure
     repro report                        # the full EXPERIMENTS.md content
 
@@ -159,6 +160,22 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pool", type=int, default=16, help="distinct mixes in the workload")
     p.add_argument("--mpl", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "stats", help="operational stats of a running prediction server"
+    )
+    p.add_argument("url", type=str, help="host:port of a running server")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the raw /v1/stats JSON document",
+    )
+    p.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the raw /metrics Prometheus exposition",
+    )
 
     p = sub.add_parser("experiment", help="run one experiment runner")
     p.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -418,6 +435,71 @@ def _cmd_load_test(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_url(url: str):
+    host, _, port_text = url.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        return host, int(port_text)
+    except ValueError:
+        return None
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .serving.client import PredictionClient
+
+    parsed = _parse_url(args.url)
+    if parsed is None:
+        print(f"error: malformed url {args.url!r}", file=sys.stderr)
+        return 2
+    host, port = parsed
+    with PredictionClient(host, port) as client:
+        if args.prometheus:
+            sys.stdout.write(client.metrics_text())
+            return 0
+        stats = client.stats()
+        if args.as_json:
+            print(_json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        cache = stats["cache"]
+        batching = stats["batching"]
+        rows = [
+            ("model", f"{stats.get('model_name', 'default')} "
+             f"({stats['model_version']}, generation {stats['model_generation']})"),
+            ("uptime", fmt_duration(stats["uptime_seconds"])),
+            ("requests", f"{stats['requests_served']}"),
+        ]
+        for op in sorted(stats["requests"]):
+            rows.append((f"  {op}", f"{stats['requests'][op]}"))
+        rows.extend(
+            [
+                (
+                    "cache",
+                    f"{cache['hit_rate']:.1%} hit rate "
+                    f"({cache['hits']} hits / {cache['misses']} misses, "
+                    f"{cache['size']}/{cache['max_entries']} resident)",
+                ),
+                (
+                    "batching",
+                    f"{batching['coalesced']} coalesced across "
+                    f"{batching['batches']} batches "
+                    f"(largest {batching['largest_batch']})",
+                ),
+                (
+                    "metrics",
+                    "enabled (GET /metrics)"
+                    if stats.get("metrics_enabled")
+                    else "disabled",
+                ),
+            ]
+        )
+    width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        print(f"{label:<{width}}  {value}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
@@ -454,6 +536,7 @@ _HANDLERS = {
     "pack": _cmd_pack,
     "serve": _cmd_serve,
     "load-test": _cmd_load_test,
+    "stats": _cmd_stats,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
 }

@@ -165,6 +165,35 @@ class CampaignConfig:
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """Knobs of the observability layer (:mod:`repro.obs`).
+
+    Attributes:
+        engine_metrics: Instrument the discrete-event executor.  Off by
+            default: the engine hot loop must pay zero cost unless a
+            deployment opts in (overhead is gated at <= 5% by
+            ``scripts/bench_check.py`` even when enabled).
+        campaign_metrics: Instrument the sampling campaign (per-task
+            timings, chunk queue depth, cache hits): the experiment
+            harness creates a registry on first use when set and no
+            explicit one was handed to it.
+        trace: Likewise for deterministic campaign spans: the harness
+            creates a :class:`~repro.obs.tracing.TraceRecorder` seeded
+            from the simulation seed when set.
+        engine_phase_timings: Also record the per-phase drain-latency
+            histogram (``engine_phase_drain_seconds``).  This is the
+            debug tier: it stamps and records every phase transition,
+            which costs more than the gated <= 5% budget of the default
+            counters, so it is off unless a diagnosis needs it.
+    """
+
+    engine_metrics: bool = False
+    campaign_metrics: bool = False
+    trace: bool = False
+    engine_phase_timings: bool = False
+
+
+@dataclass(frozen=True)
 class ServingConfig:
     """Knobs of the online prediction service (:mod:`repro.serving`).
 
@@ -181,6 +210,10 @@ class ServingConfig:
         cache_ttl: Seconds a cached prediction stays servable.
         sla_factor: Default SLA multiple for the ``admit`` endpoint.
         max_mpl: Default concurrency cap for the ``admit`` endpoint.
+        metrics_enabled: Expose the Prometheus ``/metrics`` endpoint and
+            record per-endpoint request metrics.  Serving instrumentation
+            is on by default (per-request cost is one dict update and a
+            histogram observe — noise next to a socket round trip).
     """
 
     host: str = "127.0.0.1"
@@ -193,6 +226,7 @@ class ServingConfig:
     cache_ttl: float = 300.0
     sla_factor: float = 1.5
     max_mpl: int = 5
+    metrics_enabled: bool = True
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -223,6 +257,9 @@ class SystemConfig:
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
     campaign: CampaignConfig = field(default_factory=CampaignConfig)
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig
+    )
 
     def with_seed(self, seed: int) -> "SystemConfig":
         """Return a copy whose simulation RNG seed is *seed*."""

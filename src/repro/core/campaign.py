@@ -24,12 +24,14 @@ import hashlib
 import math
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Callable, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
 from ..errors import SamplingError
+from ..obs.metrics import Registry
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -109,8 +111,70 @@ def _worker_init(payload: bytes) -> None:
 
 
 def _run_chunk(index: int, items: Sequence[Any]) -> tuple:
-    fn, context = _WORKER_STATE  # type: ignore[misc]
-    return index, [fn(context, item) for item in items]
+    """Execute one chunk in a worker.
+
+    Returns ``(index, results, pid, durations)``.  Worker processes
+    cannot share the parent's metric registry, so per-task wall times
+    ride back with the results and the parent merges them; *durations*
+    is ``None`` when the campaign runs unobserved (timing calls cost a
+    syscall each, so they are opt-in).
+    """
+    fn, context, timed = _WORKER_STATE  # type: ignore[misc]
+    if not timed:
+        return index, [fn(context, item) for item in items], os.getpid(), None
+    results = []
+    durations = []
+    for item in items:
+        started = time.perf_counter()
+        results.append(fn(context, item))
+        durations.append(time.perf_counter() - started)
+    return index, results, os.getpid(), durations
+
+
+class _PoolInstruments:
+    """Campaign-level metric families bound to one registry."""
+
+    def __init__(self, registry: Registry):
+        self.tasks = registry.counter(
+            "campaign_tasks_total",
+            "Campaign tasks executed, by task kind.",
+            labels=("kind",),
+        )
+        self.task_seconds = registry.histogram(
+            "campaign_task_seconds",
+            "Wall-clock seconds per campaign task, by task kind.",
+            labels=("kind",),
+        )
+        self.chunks = registry.counter(
+            "campaign_chunks_total", "Task chunks dispatched to the pool."
+        )
+        self.queue_depth = registry.gauge(
+            "campaign_chunk_queue_depth",
+            "Chunks submitted to the pool and not yet completed.",
+        )
+        self.workers = registry.gauge(
+            "campaign_workers", "Worker processes used by the last campaign."
+        )
+        self.worker_tasks = registry.counter(
+            "campaign_worker_tasks_total",
+            "Tasks completed per worker process.",
+            labels=("pid",),
+        )
+
+    def record_chunk(
+        self,
+        pid: int,
+        labels: Sequence[str],
+        durations: Optional[Sequence[float]],
+        outstanding: int,
+    ) -> None:
+        self.chunks.inc()
+        self.queue_depth.set(outstanding)
+        self.worker_tasks.labels(pid).inc(len(labels))
+        for i, label in enumerate(labels):
+            self.tasks.labels(label).inc()
+            if durations is not None:
+                self.task_seconds.labels(label).observe(durations[i])
 
 
 def parallel_map(
@@ -119,6 +183,8 @@ def parallel_map(
     items: Sequence[T],
     jobs: Optional[int] = 1,
     chunk_size: int = 0,
+    metrics: Optional[Registry] = None,
+    task_label: Optional[Callable[[T], str]] = None,
 ) -> List[R]:
     """``[fn(context, item) for item in items]``, optionally over processes.
 
@@ -131,6 +197,13 @@ def parallel_map(
             pickling), 0 uses every core.
         chunk_size: Tasks per submission; 0 picks a size that gives each
             worker about :data:`CHUNKS_PER_WORKER` chunks.
+        metrics: Registry to record ``campaign_*`` metrics into (task
+            counts and wall times by kind, chunk queue depth, per-worker
+            throughput).  ``None`` (the default) records nothing and
+            skips the per-task clock reads entirely.
+        task_label: Maps an item to its metric ``kind`` label; only
+            called in the parent process, so closures are fine.  Items
+            label as ``"task"`` when omitted.
 
     Returns:
         Results in the order of *items*, regardless of completion order.
@@ -141,8 +214,24 @@ def parallel_map(
     """
     items = list(items)
     jobs = resolve_jobs(jobs)
+    instr = _PoolInstruments(metrics) if metrics is not None else None
+    label_of = task_label if task_label is not None else (lambda item: "task")
+
     if jobs <= 1 or len(items) <= 1:
-        return [fn(context, item) for item in items]
+        if instr is None:
+            return [fn(context, item) for item in items]
+        instr.workers.set(1)
+        pid = os.getpid()
+        out: List[R] = []
+        for item in items:
+            started = time.perf_counter()
+            out.append(fn(context, item))
+            elapsed = time.perf_counter() - started
+            label = label_of(item)
+            instr.tasks.labels(label).inc()
+            instr.task_seconds.labels(label).observe(elapsed)
+            instr.worker_tasks.labels(pid).inc()
+        return out
     jobs = min(jobs, len(items))
 
     if chunk_size <= 0:
@@ -150,12 +239,18 @@ def parallel_map(
     chunks = [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
 
     try:
-        payload = pickle.dumps((fn, context), protocol=pickle.HIGHEST_PROTOCOL)
+        payload = pickle.dumps(
+            (fn, context, instr is not None), protocol=pickle.HIGHEST_PROTOCOL
+        )
     except Exception as exc:
         raise SamplingError(
             f"campaign context is not picklable for jobs={jobs}: {exc}"
         ) from exc
 
+    if instr is not None:
+        instr.workers.set(jobs)
+        instr.queue_depth.set(len(chunks))
+    outstanding = len(chunks)
     per_chunk: List[Optional[List[R]]] = [None] * len(chunks)
     with ProcessPoolExecutor(
         max_workers=jobs, initializer=_worker_init, initargs=(payload,)
@@ -165,6 +260,14 @@ def parallel_map(
             for index, chunk in enumerate(chunks)
         ]
         for future in as_completed(futures):
-            index, results = future.result()
+            index, results, pid, durations = future.result()
             per_chunk[index] = results
+            outstanding -= 1
+            if instr is not None:
+                instr.record_chunk(
+                    pid,
+                    [label_of(item) for item in chunks[index]],
+                    durations,
+                    outstanding,
+                )
     return [result for chunk in per_chunk for result in chunk]  # type: ignore[union-attr]

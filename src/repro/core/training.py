@@ -27,6 +27,8 @@ import numpy as np
 
 from ..engine.spoiler import measure_spoiler_latency
 from ..errors import ModelError, SamplingError
+from ..obs.metrics import Registry
+from ..obs.tracing import NULL_TRACE, TraceRecorder
 from .campaign import parallel_map, task_rng
 from ..sampling.lhs import lhs_runs
 from ..sampling.mixes import all_pairs
@@ -451,6 +453,8 @@ def collect_training_data(
     seed: Optional[int] = None,
     jobs: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    metrics: Optional[Registry] = None,
+    tracer: Optional[TraceRecorder] = None,
 ) -> TrainingData:
     """Run the paper's full sampling campaign on the simulated testbed.
 
@@ -473,6 +477,15 @@ def collect_training_data(
             defaults to the catalog's ``config.campaign.jobs``.
         chunk_size: Tasks per worker submission (0 = automatic); defaults
             to the catalog's ``config.campaign.chunk_size``.
+        metrics: Registry receiving ``campaign_*`` metrics (task counts
+            and wall times by kind, chunk queue depth, per-worker
+            throughput); ``None`` collects nothing.  Instrumentation
+            never touches the simulations themselves, so results are
+            identical with and without it.
+        tracer: Span recorder for the collection's phases (design /
+            execute / assemble); span IDs derive from the campaign seed,
+            so two runs of the same campaign produce identical trace
+            structure.  ``None`` records nothing.
 
     Returns:
         A fully populated :class:`TrainingData`.
@@ -485,61 +498,91 @@ def collect_training_data(
         jobs = catalog.config.campaign.jobs
     if chunk_size is None:
         chunk_size = catalog.config.campaign.chunk_size
+    trace = tracer if tracer is not None else NULL_TRACE
     templates = list(catalog.template_ids)
     spoiler_mpls = list(range(1, max(mpls) + 1))
+
+    root = trace.start_span(
+        "campaign.collect",
+        key=("campaign", config_seed),
+        templates=len(templates),
+        mpls=list(mpls),
+        jobs=jobs,
+    )
 
     # Mix designs first: deterministic per MPL (the LHS generator is
     # keyed on the MPL, not on a shared stream), so the task list itself
     # is order-independent.
-    mixes_by_mpl: Dict[int, List[Mix]] = {}
-    for mpl in sorted(mpls):
-        if mpl == 2:
-            mixes_by_mpl[mpl] = all_pairs(templates)
-        else:
-            mixes_by_mpl[mpl] = lhs_runs(
-                templates,
-                mpl,
-                lhs_runs_per_mpl,
-                task_rng(config_seed, "lhs", mpl=mpl),
-            )
+    with trace.span("campaign.design", key=("design", config_seed)):
+        mixes_by_mpl: Dict[int, List[Mix]] = {}
+        for mpl in sorted(mpls):
+            if mpl == 2:
+                mixes_by_mpl[mpl] = all_pairs(templates)
+            else:
+                mixes_by_mpl[mpl] = lhs_runs(
+                    templates,
+                    mpl,
+                    lhs_runs_per_mpl,
+                    task_rng(config_seed, "lhs", mpl=mpl),
+                )
 
-    tasks: List[CampaignTask] = [("profile", t, 0) for t in templates]
-    tasks.extend(("spoiler", t, m) for t in templates for m in spoiler_mpls)
-    # Duplicate mixes (an LHS draw can repeat) share one task: identical
-    # keys would produce identical results anyway.
-    seen: Set[CampaignTask] = set()
-    for mpl, mixes in mixes_by_mpl.items():
-        for mix in mixes:
-            task = ("mix", mix, mpl)
-            if task not in seen:
-                seen.add(task)
-                tasks.append(task)
+        tasks: List[CampaignTask] = [("profile", t, 0) for t in templates]
+        tasks.extend(("spoiler", t, m) for t in templates for m in spoiler_mpls)
+        # Duplicate mixes (an LHS draw can repeat) share one task: identical
+        # keys would produce identical results anyway.
+        seen: Set[CampaignTask] = set()
+        for mpl, mixes in mixes_by_mpl.items():
+            for mix in mixes:
+                task = ("mix", mix, mpl)
+                if task not in seen:
+                    seen.add(task)
+                    tasks.append(task)
+
+    if metrics is not None:
+        metrics.gauge(
+            "campaign_templates", "Templates in the sampled workload."
+        ).set(len(templates))
+        metrics.gauge(
+            "campaign_tasks_planned", "Tasks in the last campaign's plan."
+        ).set(len(tasks))
 
     context = _CampaignContext(
         catalog=catalog, steady=steady, config_seed=config_seed
     )
-    results = parallel_map(
-        _execute_campaign_task, context, tasks, jobs=jobs, chunk_size=chunk_size
-    )
+    with trace.span(
+        "campaign.execute", key=("execute", config_seed), tasks=len(tasks)
+    ):
+        results = parallel_map(
+            _execute_campaign_task,
+            context,
+            tasks,
+            jobs=jobs,
+            chunk_size=chunk_size,
+            metrics=metrics,
+            task_label=lambda task: task[0],
+        )
     by_task = dict(zip(tasks, results))
 
-    profiles = {t: by_task[("profile", t, 0)] for t in templates}
-    spoilers = {
-        t: SpoilerCurve(
-            template_id=t,
-            latencies={m: by_task[("spoiler", t, m)] for m in spoiler_mpls},
-        )
-        for t in templates
-    }
-    observations: Dict[int, List[MixObservation]] = {
-        mpl: [obs for mix in mixes for obs in by_task[("mix", mix, mpl)]]
-        for mpl, mixes in mixes_by_mpl.items()
-    }
+    with trace.span("campaign.assemble", key=("assemble", config_seed)):
+        profiles = {t: by_task[("profile", t, 0)] for t in templates}
+        spoilers = {
+            t: SpoilerCurve(
+                template_id=t,
+                latencies={m: by_task[("spoiler", t, m)] for m in spoiler_mpls},
+            )
+            for t in templates
+        }
+        observations: Dict[int, List[MixObservation]] = {
+            mpl: [obs for mix in mixes for obs in by_task[("mix", mix, mpl)]]
+            for mpl, mixes in mixes_by_mpl.items()
+        }
 
-    return TrainingData(
-        profiles=profiles,
-        spoilers=spoilers,
-        observations=observations,
-        scan_seconds=catalog.fact_scan_seconds(),
-        config_seed=config_seed,
-    )
+        data = TrainingData(
+            profiles=profiles,
+            spoilers=spoilers,
+            observations=observations,
+            scan_seconds=catalog.fact_scan_seconds(),
+            config_seed=config_seed,
+        )
+    trace.end_span(root)
+    return data

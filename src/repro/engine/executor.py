@@ -61,6 +61,7 @@ import numpy as np
 
 from ..config import SystemConfig
 from ..errors import SimulationError
+from ..obs.metrics import Registry
 from . import disk
 from .buffers import BufferCache
 from .memory import MemoryLedger
@@ -154,6 +155,7 @@ class _Running:
     vt_share_entry: float = 0.0
     vt_shared: bool = False
     vt_last_phase: int = 0  # len(profile.phases) - 1, cached at start
+    vt_phase_start: float = 0.0  # written only when instrumentation is on
 
     @property
     def phase_done(self) -> bool:
@@ -225,6 +227,87 @@ class RunResult:
         return "\n".join(lines)
 
 
+class _EngineInstruments:
+    """The executor's metric families, bound once per registry.
+
+    Engine-agnostic run totals are recorded from the :class:`RunResult`
+    after either event loop finishes; the virtual-time loop additionally
+    reports its cumulative service integrals and deadline-heap peaks
+    (the reference loop is the executable specification, not a
+    deployment target, so it only gets the run totals).  The per-phase
+    drain-latency histogram is the debug tier: it records only when
+    :attr:`~repro.config.ObservabilityConfig.engine_phase_timings` opts
+    in, because stamping every phase transition costs more than the
+    <= 5% overhead budget the default tier is gated to.
+    """
+
+    def __init__(self, registry: Registry):
+        self.runs = registry.counter(
+            "engine_runs_total", "Executor runs completed"
+        )
+        self.events = registry.counter(
+            "engine_events_total", "Scheduling events processed"
+        )
+        self.completions = registry.counter(
+            "engine_completions_total", "Foreground queries completed"
+        )
+        self.simulated_seconds = registry.counter(
+            "engine_simulated_seconds_total", "Simulated time elapsed"
+        )
+        self.service = registry.counter(
+            "engine_service_total",
+            "Service delivered to completed queries, by resource "
+            "(seq: bytes, rand: ops, cpu/io: seconds)",
+            labels=("resource",),
+        )
+        self.spill_bytes = registry.counter(
+            "engine_spill_bytes_total",
+            "Extra sequential I/O generated by memory spills",
+        )
+        self.cache_served_bytes = registry.counter(
+            "engine_cache_served_bytes_total",
+            "Scan bytes answered by the dimension buffer cache",
+        )
+        self.integral = registry.gauge(
+            "engine_vt_service_integral",
+            "Cumulative-service integral at the end of the last "
+            "virtual-time run, by resource class",
+            labels=("resource",),
+        )
+        self.heap_peak = registry.gauge(
+            "engine_vt_heap_peak_entries",
+            "Largest deadline-heap population observed, by resource",
+            labels=("resource",),
+        )
+        self.drain = registry.histogram(
+            "engine_phase_drain_seconds",
+            "Simulated time from phase entry to full drain, by phase label",
+            labels=("phase",),
+        )
+
+    def record_run(self, result: "RunResult") -> None:
+        """Fold one finished run into the engine-agnostic totals."""
+        self.runs.inc()
+        self.events.inc(result.events)
+        self.completions.inc(len(result.completions))
+        self.simulated_seconds.inc(result.elapsed)
+        seq = rand = cpu = io = spill = cached = 0.0
+        for item in result.completions:
+            stats = item.stats
+            seq += stats.seq_bytes_read
+            rand += stats.rand_ops_done
+            cpu += stats.cpu_seconds
+            io += stats.io_seconds
+            spill += stats.spill_bytes
+            cached += stats.cache_served_bytes
+        self.service.labels("seq").inc(seq)
+        self.service.labels("rand").inc(rand)
+        self.service.labels("cpu").inc(cpu)
+        self.service.labels("io").inc(io)
+        self.spill_bytes.inc(spill)
+        self.cache_served_bytes.inc(cached)
+
+
 class ConcurrentExecutor:
     """Runs query streams to completion under resource contention.
 
@@ -241,12 +324,26 @@ class ConcurrentExecutor:
         config: SystemConfig,
         rng: Optional[np.random.Generator] = None,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[Registry] = None,
     ):
         self._config = config
         self._hw = config.hardware
         self._sim = config.simulation
         self._rng = rng if rng is not None else np.random.default_rng(self._sim.seed)
         self._tracer = tracer
+        if metrics is None and config.observability.engine_metrics:
+            metrics = Registry()
+        self._metrics = metrics
+        # Instrument families are resolved once; the hot loop sees either
+        # a bound object or None (zero extra bytecodes per event when
+        # disabled — the default).
+        self._instr = _EngineInstruments(metrics) if metrics is not None else None
+        self._phase_timings = config.observability.engine_phase_timings
+
+    @property
+    def metrics(self) -> Optional[Registry]:
+        """The registry this executor reports into (None when disabled)."""
+        return self._metrics
 
     def run(
         self,
@@ -273,8 +370,12 @@ class ConcurrentExecutor:
         if not streams and not background:
             raise SimulationError("nothing to run")
         if self._sim.engine == "reference":
-            return self._run_reference(streams, background, pinned_bytes)
-        return self._run_virtual_time(streams, background, pinned_bytes)
+            result = self._run_reference(streams, background, pinned_bytes)
+        else:
+            result = self._run_virtual_time(streams, background, pinned_bytes)
+        if self._instr is not None:
+            self._instr.record_run(result)
+        return result
 
     # ------------------------------------------------------------------
     # Virtual-time engine: cumulative-service scheduling.
@@ -322,6 +423,7 @@ class ConcurrentExecutor:
         max_events = self._sim.max_events
         time_epsilon = self._sim.time_epsilon
         tracer = self._tracer
+        instr = self._instr
         cores = self._hw.cores
         seq_bandwidth = self._hw.seq_bandwidth
         random_iops = self._hw.random_iops
@@ -331,6 +433,17 @@ class ConcurrentExecutor:
         s_seq = 0.0
         s_rand = 0.0
         s_cpu = 0.0
+        # Instrumentation state kept loop-local: peak heap sizes fold
+        # into ints and drain latencies buffer into plain lists, flushed
+        # to the registry once after the loop (Registry.labels() and
+        # Histogram.observe() take locks — too hot for per-phase use).
+        # Draining the phase-timing histogram stamps every transition,
+        # which busts the <= 5% budget of the default tier, so it rides
+        # the separate engine_phase_timings opt-in.
+        peak_seq = peak_rand = peak_cpu = 0
+        drains: Dict[str, List[float]] = {}
+        drains_get = drains.get
+        drain_on = instr is not None and self._phase_timings
         # Deadline heaps: (deadline, tiebreak, run).  Entries are pushed
         # at phase entry and leave only by draining — phases cannot be
         # abandoned, so no lazy invalidation is needed.
@@ -369,6 +482,7 @@ class ConcurrentExecutor:
 
         def enter_phase(run: _Running, contended: bool) -> None:
             nonlocal cpu_demand, seq_consumers, tiebreak, num_streams, num_rand
+            nonlocal peak_seq, peak_rand, peak_cpu
             enter_impl(run, ledger, cache, contended, active, vt_rem_seq)
             pending = 0
             io_pending = 0
@@ -397,6 +511,11 @@ class ConcurrentExecutor:
                 seq_consumers += 1
                 pending += 1
                 io_pending += 1
+                # Peak tracking rides the push branches (the counters
+                # mirror the heap sizes, so an int compare suffices and
+                # only the resource actually pushed pays it).
+                if instr is not None and seq_consumers > peak_seq:
+                    peak_seq = seq_consumers
             rem = run.rem_rand
             if rem > _DONE:
                 deadline = s_rand + rem / run.rand_factor
@@ -408,6 +527,8 @@ class ConcurrentExecutor:
                 num_rand += 1
                 pending += 1
                 io_pending += 1
+                if instr is not None and num_rand > peak_rand:
+                    peak_rand = num_rand
             rem = run.rem_cpu
             if rem > _DONE:
                 deadline = s_cpu + rem
@@ -416,12 +537,16 @@ class ConcurrentExecutor:
                 heappush(cpu_heap, (deadline, tiebreak, run))
                 cpu_demand += 1
                 pending += 1
+                if instr is not None and cpu_demand > peak_cpu:
+                    peak_cpu = cpu_demand
             run.vt_pending = pending
             run.vt_io_pending = io_pending
             if io_pending:
                 run.vt_io_start = now
             if tracer is not None:
                 phase_labels[run.profile.instance_id] = run.phase.label
+            if drain_on:
+                run.vt_phase_start = now
             if pending == 0:
                 finished.append(run)
 
@@ -528,6 +653,11 @@ class ConcurrentExecutor:
             for run in batch:
                 # Inlined _on_phase_end (hot: once per phase transition).
                 phase = run.phase
+                if drain_on:
+                    bucket = drains_get(phase.label)
+                    if bucket is None:
+                        bucket = drains[phase.label] = []
+                    bucket.append(now - run.vt_phase_start)
                 if (
                     phase.dimension_scan
                     and phase.relation is not None
@@ -646,6 +776,16 @@ class ConcurrentExecutor:
 
             if finished:
                 process_finished()
+
+        if instr is not None:
+            instr.integral.labels("seq").set(s_seq)
+            instr.integral.labels("rand").set(s_rand)
+            instr.integral.labels("cpu").set(s_cpu)
+            instr.heap_peak.labels("seq").set_max(peak_seq)
+            instr.heap_peak.labels("rand").set_max(peak_rand)
+            instr.heap_peak.labels("cpu").set_max(peak_cpu)
+            for label, values in drains.items():
+                instr.drain.labels(label).observe_many(values)
 
         return RunResult(completions=completions, elapsed=now, events=events)
 

@@ -33,6 +33,10 @@ class ModelError(ReproError):
     """A predictive model is mis-specified or used before being fitted."""
 
 
+class ObservabilityError(ReproError):
+    """A metric or trace was registered or used inconsistently."""
+
+
 class ServingError(ReproError):
     """The online prediction service hit an operational failure."""
 

@@ -19,6 +19,8 @@ import numpy as np
 from ..config import CampaignConfig
 from ..core.contender import Contender, ContenderOptions
 from ..core.training import TrainingData, collect_training_data
+from ..obs.metrics import Registry
+from ..obs.tracing import TraceRecorder
 from ..sampling.steady_state import SteadyStateConfig
 from ..workload.catalog import TemplateCatalog
 
@@ -45,6 +47,12 @@ class ExperimentContext:
         jobs: Worker processes for the campaign (``None`` defers to the
             catalog's ``config.campaign.jobs``).  Results are
             ``jobs``-independent, so this never enters the cache key.
+        metrics: Registry receiving campaign metrics and the context's
+            cache hit/miss counters.  ``None`` creates one on first use
+            when the catalog's ``config.observability.campaign_metrics``
+            is set, and stays off otherwise.
+        tracer: Span recorder for campaign collection; ``None`` creates
+            one when ``config.observability.trace`` is set.
     """
 
     catalog: TemplateCatalog = field(default_factory=TemplateCatalog)
@@ -53,8 +61,17 @@ class ExperimentContext:
     steady_config: SteadyStateConfig = field(default_factory=SteadyStateConfig)
     cache_dir: Optional[Path] = None
     jobs: Optional[int] = None
+    metrics: Optional[Registry] = field(default=None, repr=False)
+    tracer: Optional[TraceRecorder] = field(default=None, repr=False)
     _data: Optional[TrainingData] = field(default=None, repr=False)
     _contender: Optional[Contender] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        obs = self.catalog.config.observability
+        if self.metrics is None and obs.campaign_metrics:
+            self.metrics = Registry()
+        if self.tracer is None and obs.trace:
+            self.tracer = TraceRecorder(self.catalog.config.simulation.seed)
 
     @staticmethod
     def small(mpls: Tuple[int, ...] = (2,), template_ids: Sequence[int] = (26, 62, 71, 22, 65, 17)) -> "ExperimentContext":
@@ -83,22 +100,35 @@ class ExperimentContext:
         )
         return hashlib.sha256(repr(parts).encode()).hexdigest()[:16]
 
+    def _cache_event(self, outcome: str, tier: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "campaign_cache_events_total",
+                "Campaign-cache lookups by outcome and tier.",
+                labels=("outcome", "tier"),
+            ).labels(outcome, tier).inc()
+
     def training_data(self) -> TrainingData:
         """The sampling campaign (collected once, then cached)."""
         if self._data is not None:
+            self._cache_event("hit", "memory")
             return self._data
         cache_path: Optional[Path] = None
         if self.cache_dir is not None:
             cache_path = Path(self.cache_dir) / f"campaign-{self._cache_key()}.pkl"
             if cache_path.exists():
+                self._cache_event("hit", "disk")
                 self._data = TrainingData.load(cache_path)
                 return self._data
+        self._cache_event("miss", "disk" if cache_path is not None else "memory")
         self._data = collect_training_data(
             self.catalog,
             mpls=self.mpls,
             lhs_runs_per_mpl=self.lhs_runs,
             steady_config=self.steady_config,
             jobs=self.jobs,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         if cache_path is not None:
             self._data.save(cache_path)

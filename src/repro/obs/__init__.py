@@ -1,0 +1,50 @@
+"""Observability: metrics, exporters, and deterministic tracing.
+
+The three runtime layers — the virtual-time executor, the sampling
+campaign, and the prediction server — report into this package:
+
+* :mod:`repro.obs.metrics` — thread-safe counters, gauges, and
+  fixed-bucket histograms behind a get-or-create :class:`Registry`,
+  with label support and a no-op :class:`NullRegistry` for disabled
+  paths (the engine hot loop pays zero cost unless a registry is
+  explicitly installed);
+* :mod:`repro.obs.export` — Prometheus text-format and JSON renderers
+  (the server's ``/metrics`` endpoint and the ``repro stats`` CLI);
+* :mod:`repro.obs.tracing` — a span API whose IDs derive
+  deterministically from the campaign seed, so traces reproduce.
+
+Everything is stdlib-only by design: the package must import (and the
+server must scrape) on a bare Python install.
+"""
+
+from .export import CONTENT_TYPE_LATEST, render_json, render_prometheus
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    NULL_REGISTRY,
+    NullRegistry,
+    Registry,
+)
+from .tracing import NULL_TRACE, NullTraceRecorder, Span, TraceRecorder, span_id
+
+__all__ = [
+    "CONTENT_TYPE_LATEST",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "NULL_REGISTRY",
+    "NULL_TRACE",
+    "NullRegistry",
+    "NullTraceRecorder",
+    "Registry",
+    "Span",
+    "TraceRecorder",
+    "render_json",
+    "render_prometheus",
+    "span_id",
+]

@@ -1,0 +1,117 @@
+"""Registry exporters: Prometheus text exposition and plain JSON.
+
+The Prometheus renderer follows the text exposition format 0.0.4 —
+``# HELP`` / ``# TYPE`` headers, escaped label values, and the
+``_bucket``/``_sum``/``_count`` expansion for histograms with cumulative
+``le`` buckets — so the ``/metrics`` endpoint scrapes cleanly with a
+stock Prometheus server.  The JSON renderer is a structured mirror of
+the same data for dashboards and the ``repro stats`` CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Union
+
+from .metrics import Counter, Gauge, Histogram, NullRegistry, Registry
+
+__all__ = ["CONTENT_TYPE_LATEST", "render_json", "render_prometheus"]
+
+#: Content-Type of the Prometheus text format this module renders.
+CONTENT_TYPE_LATEST = "text/plain; version=0.0.4; charset=utf-8"
+
+AnyRegistry = Union[Registry, NullRegistry]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _label_str(names, values, extra: Mapping[str, str] = ()) -> str:
+    pairs = [
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in zip(names, values)
+    ]
+    pairs.extend(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in dict(extra).items()
+    )
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def render_prometheus(registry: AnyRegistry) -> str:
+    """The registry's current state in Prometheus text format."""
+    lines: List[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        for values, child in family.children():
+            if isinstance(child, Histogram):
+                snap = child.snapshot()
+                for bound, cumulative in snap.buckets:
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_label_str(family.label_names, values, {'le': _fmt(bound)})}"
+                        f" {cumulative}"
+                    )
+                labels = _label_str(family.label_names, values)
+                lines.append(f"{family.name}_sum{labels} {_fmt(snap.sum)}")
+                lines.append(f"{family.name}_count{labels} {snap.count}")
+            else:
+                labels = _label_str(family.label_names, values)
+                lines.append(f"{family.name}{labels} {_fmt(child.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(registry: AnyRegistry) -> Dict[str, Any]:
+    """The registry's current state as a JSON-serializable document."""
+    doc: Dict[str, Any] = {}
+    for family in registry.collect():
+        samples: List[Dict[str, Any]] = []
+        for values, child in family.children():
+            labels = dict(zip(family.label_names, values))
+            if isinstance(child, Histogram):
+                snap = child.snapshot()
+                samples.append(
+                    {
+                        "labels": labels,
+                        "buckets": [
+                            {
+                                "le": bound if math.isfinite(bound) else "+Inf",
+                                "count": cumulative,
+                            }
+                            for bound, cumulative in snap.buckets
+                        ],
+                        "sum": snap.sum,
+                        "count": snap.count,
+                    }
+                )
+            else:
+                samples.append({"labels": labels, "value": child.value})
+        doc[family.name] = {
+            "type": family.type,
+            "help": family.help,
+            "samples": samples,
+        }
+    return doc

@@ -1,0 +1,498 @@
+"""Dependency-free metrics core: counters, gauges, histograms, registry.
+
+The instrument model mirrors the Prometheus client library, scaled down
+to what this codebase needs and implemented on the stdlib alone:
+
+* a :class:`Registry` maps metric names to *families*; a family carries
+  the name, help string, type, and label schema;
+* families with no labels behave as the instrument itself (``.inc()``
+  directly); labelled families mint one child instrument per label-value
+  combination via :meth:`~MetricFamily.labels`;
+* all instruments are thread-safe (one lock per family — updates are a
+  handful of arithmetic ops, so contention is not a concern outside the
+  engine hot loop, which never takes the lock per event by design);
+* registration is get-or-create: asking twice for the same name returns
+  the same family, and a schema mismatch raises
+  :class:`~repro.errors.ObservabilityError`.  That lets every layer
+  declare its instruments locally while sharing one registry.
+
+For the engine hot loop the contract is stronger than "cheap": with
+observability disabled the executor must not execute a single extra
+bytecode per event.  :data:`NULL_REGISTRY` supports callers that want
+branch-free code anyway — every method is a no-op — but the executor
+itself guards on ``is None`` so the disabled path stays untouched.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import ObservabilityError
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricFamily",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "Registry",
+    "Sample",
+]
+
+#: Default histogram buckets (seconds): spans sub-millisecond serving
+#: latencies up to multi-minute simulated drains.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    300.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelValues = Tuple[str, ...]
+
+
+class Sample:
+    """One exported time-series point: label values plus a value."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: Mapping[str, str], value: float):
+        self.labels = dict(labels)
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Sample({self.labels!r}, {self.value!r})"
+
+
+class HistogramSnapshot:
+    """Point-in-time histogram state: cumulative buckets, sum, count."""
+
+    __slots__ = ("buckets", "sum", "count")
+
+    def __init__(
+        self, buckets: Sequence[Tuple[float, int]], total: float, count: int
+    ):
+        self.buckets = list(buckets)  # (upper_bound, cumulative_count)
+        self.sum = total
+        self.count = count
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be >= 0)."""
+        if amount < 0:
+            raise ObservabilityError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can move in either direction."""
+
+    __slots__ = ("_lock", "_value", "_fn")
+
+    def __init__(
+        self, lock: threading.Lock, fn: Optional[Callable[[], float]] = None
+    ):
+        self._lock = lock
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to *value* if it is below it (peak tracking)."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution of observed values.
+
+    Buckets are upper bounds; an implicit ``+Inf`` bucket catches the
+    tail, so ``observe`` never drops a value.
+    """
+
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, lock: threading.Lock, bounds: Sequence[float]):
+        self._lock = lock
+        self._bounds = tuple(bounds)
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Fold a batch of observations under a single lock acquisition.
+
+        For hot loops that buffer locally and flush once (the engine's
+        per-phase drain latencies); equivalent to observing one by one.
+        """
+        bounds = self._bounds
+        indices = [bisect_left(bounds, value) for value in values]
+        with self._lock:
+            counts = self._counts
+            for index in indices:
+                counts[index] += 1
+            self._sum += sum(values)
+            self._count += len(values)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> HistogramSnapshot:
+        """Cumulative (Prometheus-style) view of the buckets."""
+        with self._lock:
+            counts = list(self._counts)
+            total, count = self._sum, self._count
+        cumulative: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self._bounds, counts):
+            running += bucket_count
+            cumulative.append((bound, running))
+        cumulative.append((float("inf"), count))
+        return HistogramSnapshot(cumulative, total, count)
+
+
+def _validate_buckets(buckets: Sequence[float]) -> Tuple[float, ...]:
+    bounds = tuple(float(b) for b in buckets)
+    if not bounds:
+        raise ObservabilityError("histogram needs at least one bucket")
+    if list(bounds) != sorted(set(bounds)):
+        raise ObservabilityError("histogram buckets must strictly increase")
+    return bounds
+
+
+class MetricFamily:
+    """All time series sharing one metric name.
+
+    A family with an empty label schema holds exactly one child and
+    forwards the instrument API to it, so unlabelled metrics read as
+    ``registry.counter("x", "...").inc()``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        metric_type: str,
+        label_names: Tuple[str, ...],
+        buckets: Optional[Tuple[float, ...]] = None,
+        fn: Optional[Callable[[], float]] = None,
+    ):
+        self.name = name
+        self.help = help_text
+        self.type = metric_type
+        self.label_names = label_names
+        self.buckets = buckets
+        self._fn = fn
+        self._lock = threading.Lock()
+        self._children: Dict[LabelValues, object] = {}
+        if not label_names:
+            self._children[()] = self._make_child()
+
+    def _make_child(self):
+        if self.type == "counter":
+            return Counter(self._lock)
+        if self.type == "gauge":
+            return Gauge(self._lock, fn=self._fn)
+        return Histogram(self._lock, self.buckets or DEFAULT_BUCKETS)
+
+    def labels(self, *values: object):
+        """The child instrument for one label-value combination."""
+        if len(values) != len(self.label_names):
+            raise ObservabilityError(
+                f"{self.name}: expected {len(self.label_names)} label "
+                f"value(s) {self.label_names}, got {len(values)}"
+            )
+        key = tuple(str(v) for v in values)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    # Unlabelled convenience surface --------------------------------------
+
+    def _solo(self):
+        if self.label_names:
+            raise ObservabilityError(
+                f"{self.name} is labelled by {self.label_names}; "
+                "call .labels(...) first"
+            )
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def set_max(self, value: float) -> None:
+        self._solo().set_max(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        self._solo().observe_many(values)
+
+    def snapshot(self) -> HistogramSnapshot:
+        return self._solo().snapshot()
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    # Export surface ------------------------------------------------------
+
+    def children(self) -> List[Tuple[LabelValues, object]]:
+        """Stable-order (label values, instrument) pairs."""
+        with self._lock:
+            return sorted(self._children.items(), key=lambda kv: kv[0])
+
+    def total(self) -> float:
+        """Sum of every child's value (counters and gauges only)."""
+        if self.type == "histogram":
+            raise ObservabilityError(f"{self.name}: histograms have no total")
+        return sum(child.value for _, child in self.children())
+
+    def _signature(self) -> tuple:
+        return (self.type, self.label_names, self.buckets)
+
+
+class Registry:
+    """Thread-safe, get-or-create collection of metric families."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _register(
+        self,
+        name: str,
+        help_text: str,
+        metric_type: str,
+        labels: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> MetricFamily:
+        if not _NAME_RE.match(name):
+            raise ObservabilityError(f"invalid metric name {name!r}")
+        label_names = tuple(labels)
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ObservabilityError(f"invalid label name {label!r}")
+        bounds = _validate_buckets(buckets) if buckets is not None else None
+        if metric_type == "histogram" and bounds is None:
+            bounds = DEFAULT_BUCKETS
+        family = MetricFamily(name, help_text, metric_type, label_names, bounds, fn)
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing._signature() != family._signature():
+                    raise ObservabilityError(
+                        f"metric {name!r} already registered with a "
+                        f"different type, labels, or buckets"
+                    )
+                return existing
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        """A counter family (get-or-create)."""
+        return self._register(name, help_text, "counter", labels)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        """A gauge family (get-or-create)."""
+        return self._register(name, help_text, "gauge", labels)
+
+    def gauge_function(
+        self, name: str, help_text: str, fn: Callable[[], float]
+    ) -> MetricFamily:
+        """An unlabelled gauge whose value is *fn()* at collection time."""
+        return self._register(name, help_text, "gauge", (), fn=fn)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        """A histogram family (get-or-create)."""
+        return self._register(name, help_text, "histogram", labels, buckets)
+
+    def collect(self) -> List[MetricFamily]:
+        """Every registered family, sorted by name."""
+        with self._lock:
+            return [self._families[n] for n in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """The family registered under *name*, or None."""
+        with self._lock:
+            return self._families.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._families
+
+
+class _NullInstrument:
+    """Absorbs the whole instrument surface as no-ops."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        pass
+
+    def labels(self, *values: object) -> "_NullInstrument":
+        return self
+
+    def snapshot(self) -> HistogramSnapshot:
+        return HistogramSnapshot(buckets=[], sum=0.0, count=0)
+
+    def total(self) -> float:
+        return 0.0
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """A registry whose instruments all discard their updates.
+
+    Lets layered code take "a registry" unconditionally and stay
+    branch-free; the engine hot loop goes further and skips even the
+    no-op calls by guarding on ``metrics is None``.
+    """
+
+    def counter(self, name, help_text="", labels=()) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, help_text="", labels=()) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge_function(self, name, help_text, fn) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name, help_text="", labels=(), buckets=None
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def collect(self) -> List[MetricFamily]:
+        return []
+
+    def get(self, name: str) -> None:
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+
+#: Shared no-op registry for callers that want branch-free disabled code.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,207 @@
+"""Lightweight span/trace recording with deterministic IDs.
+
+Distributed tracers mint random span IDs; that would make two runs of
+the same campaign produce different traces, which defeats the purpose in
+a reproduction whose whole value is determinism.  Here every ID is a
+BLAKE2b digest of ``(seed, name, key)``:
+
+* the *seed* is the campaign seed (or any stable root), so traces are
+  reproducible run to run;
+* the *key* defaults to a per-recorder ordinal, which is deterministic
+  for serial code; concurrent producers pass an explicit key derived
+  from task identity (the campaign uses its ``(kind, key, mpl)`` task
+  tuples), making IDs independent of completion order exactly like
+  :func:`repro.core.campaign.task_seed`.
+
+Spans nest through an explicit stack per recorder (`with
+recorder.span(...)`), carry free-form attributes, and export to plain
+dicts for JSON serialization.  :data:`NULL_TRACE` is the shared no-op
+recorder for disabled paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "NULL_TRACE",
+    "NullTraceRecorder",
+    "Span",
+    "TraceRecorder",
+    "span_id",
+]
+
+
+def span_id(seed: int, name: str, key: Any = None) -> str:
+    """A 16-hex-digit deterministic span ID.
+
+    Stable across processes and runs for the same ``(seed, name, key)``;
+    *key* must have a stable ``repr`` (ints, strings, tuples thereof),
+    the same contract as :func:`repro.core.campaign.task_seed`.
+    """
+    material = repr((int(seed), str(name), key)).encode()
+    return hashlib.blake2b(material, digest_size=8).hexdigest()
+
+
+@dataclass
+class Span:
+    """One named interval with attributes and an optional parent.
+
+    Attributes:
+        name: Operation name (dotted convention, e.g. ``campaign.execute``).
+        span_id: Deterministic ID (see :func:`span_id`).
+        parent_id: Enclosing span's ID, or ``None`` for a root.
+        start: Clock reading at entry.
+        end: Clock reading at exit (``None`` while open).
+        attributes: Free-form metadata attached at creation or via
+            :meth:`set_attribute`.
+    """
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    start: float
+    end: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds; 0.0 while the span is still open."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+
+class TraceRecorder:
+    """Collects spans for one logical operation tree.
+
+    Args:
+        seed: Root of the deterministic ID derivation (campaign seed).
+        clock: Time source; injectable for tests.  Wall-clock durations
+            vary run to run — only the IDs and the tree shape are
+            reproducible.
+    """
+
+    def __init__(
+        self, seed: int = 0, clock: Callable[[], float] = time.perf_counter
+    ):
+        self._seed = int(seed)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._ordinal = 0
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def start_span(
+        self,
+        name: str,
+        key: Any = None,
+        parent: Optional[Span] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a span; pair with :meth:`end_span` (or use :meth:`span`).
+
+        *key* scopes the deterministic ID; when omitted, a per-recorder
+        ordinal is used (deterministic for serial span sequences).
+        """
+        with self._lock:
+            if key is None:
+                key = ("ordinal", self._ordinal)
+            self._ordinal += 1
+            if parent is None and self._stack:
+                parent = self._stack[-1]
+            span = Span(
+                name=name,
+                span_id=span_id(self._seed, name, key),
+                parent_id=parent.span_id if parent is not None else None,
+                start=self._clock(),
+                attributes=dict(attributes),
+            )
+            self._spans.append(span)
+            self._stack.append(span)
+            return span
+
+    def end_span(self, span: Span) -> None:
+        """Close *span* (and anything left open above it on the stack)."""
+        with self._lock:
+            span.end = self._clock()
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+
+    @contextmanager
+    def span(self, name: str, key: Any = None, **attributes: Any) -> Iterator[Span]:
+        """Context-managed span: opens on entry, closes on exit."""
+        opened = self.start_span(name, key=key, **attributes)
+        try:
+            yield opened
+        finally:
+            self.end_span(opened)
+
+    @property
+    def spans(self) -> List[Span]:
+        """All recorded spans in creation order."""
+        with self._lock:
+            return list(self._spans)
+
+    def find(self, name: str) -> List[Span]:
+        """Spans whose name equals *name*, in creation order."""
+        return [s for s in self.spans if s.name == name]
+
+    def to_docs(self) -> List[Dict[str, Any]]:
+        """Every span as a JSON-serializable dict."""
+        return [span.to_doc() for span in self.spans]
+
+
+class NullTraceRecorder:
+    """A recorder that drops everything (the disabled path)."""
+
+    _SPAN = Span(name="", span_id="0" * 16, parent_id=None, start=0.0, end=0.0)
+
+    def start_span(self, name, key=None, parent=None, **attributes) -> Span:
+        return self._SPAN
+
+    def end_span(self, span: Span) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name, key=None, **attributes) -> Iterator[Span]:
+        yield self._SPAN
+
+    @property
+    def spans(self) -> List[Span]:
+        return []
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+    def to_docs(self) -> List[Dict[str, Any]]:
+        return []
+
+
+#: Shared no-op recorder.
+NULL_TRACE = NullTraceRecorder()

@@ -21,7 +21,7 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, List, Mapping, Sequence, Tuple
+from typing import Any, Callable, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ServingError
 
@@ -72,6 +72,9 @@ class RequestBatcher:
         batch_window: Seconds to linger collecting a batch after its
             first request arrives.  0 degenerates to per-request calls.
         max_batch: Most requests one batch may absorb.
+        on_batch: Called after every executed batch with
+            ``(batch_size, unique_keys)`` — the server's metrics hook.
+            Runs on the worker thread; must not raise.
     """
 
     def __init__(
@@ -80,6 +83,7 @@ class RequestBatcher:
         workers: int = 1,
         batch_window: float = 0.002,
         max_batch: int = 64,
+        on_batch: Optional[Callable[[int, int], None]] = None,
     ):
         if workers < 1:
             raise ServingError("workers must be >= 1")
@@ -90,6 +94,7 @@ class RequestBatcher:
         self._compute_batch = compute_batch
         self._window = batch_window
         self._max_batch = max_batch
+        self._on_batch = on_batch
         self._queue: "queue.Queue" = queue.Queue()
         self._lock = threading.Lock()
         self._closed = False
@@ -205,6 +210,8 @@ class RequestBatcher:
                     self._batches += 1
                     self._unique += len(keys)
                     self._largest = max(self._largest, len(batch))
+                if self._on_batch is not None:
+                    self._on_batch(len(batch), len(keys))
             for key, future in batch:
                 if key not in results:
                     future.set_exception(

@@ -97,7 +97,10 @@ class PredictionClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _request(self, verb: str, path: str, doc: Optional[dict] = None) -> dict:
+    def _raw_request(
+        self, verb: str, path: str, doc: Optional[dict] = None
+    ) -> Tuple[int, bytes]:
+        """One HTTP round trip; returns ``(status, body)`` unparsed."""
         body = json.dumps(doc).encode("utf-8") if doc is not None else None
         headers = {"Content-Type": "application/json"} if body else {}
         for attempt in (1, 2):
@@ -115,15 +118,19 @@ class PredictionClient:
                     raise ServingError(
                         f"request to {self._host}:{self._port}{path} failed: {exc}"
                     ) from exc
+        return response.status, payload
+
+    def _request(self, verb: str, path: str, doc: Optional[dict] = None) -> dict:
+        status, payload = self._raw_request(verb, path, doc)
         try:
             answer = json.loads(payload.decode("utf-8"))
         except ValueError as exc:
             raise ProtocolError(
                 f"server returned invalid JSON for {path}: {exc}"
             ) from exc
-        if response.status != 200:
+        if status != 200:
             error_cls = _ERROR_TYPES.get(answer.get("type"), ServingError)
-            raise error_cls(answer.get("error", f"HTTP {response.status}"))
+            raise error_cls(answer.get("error", f"HTTP {status}"))
         return answer
 
     # ------------------------------------------------------------------
@@ -173,6 +180,20 @@ class PredictionClient:
 
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
+
+    def metrics_text(self) -> str:
+        """The server's ``/metrics`` page (Prometheus text format).
+
+        Raises :class:`~repro.errors.ServingError` when the server runs
+        with metrics disabled (the endpoint answers 404).
+        """
+        status, payload = self._raw_request("GET", "/metrics")
+        if status != 200:
+            raise ServingError(
+                f"/metrics answered HTTP {status} — is the server running "
+                "with metrics_enabled?"
+            )
+        return payload.decode("utf-8")
 
     def reload(self) -> dict:
         return self._request("POST", "/v1/reload")

@@ -15,9 +15,19 @@ Architecture (all stdlib):
 thread: new-template profiles rarely repeat (nothing to coalesce) and
 admission wraps the same cached ``predict`` path model-side.
 
+Reload consistency: every handler snapshots the registry entry **once**
+and reads both the predictor and the version tag from that snapshot, so
+a concurrent hot reload can never pair one model's latency with another
+model's version.  Cache keys are additionally scoped by the artifact
+fingerprint — a computation that raced a reload cannot resurface under
+the new model.
+
 Failure mapping: protocol violations answer 400, model errors 422,
 timeouts 504, unknown paths 404 — the process never dies on a bad
-request.
+request.  When ``ServingConfig.metrics_enabled`` is set (the default),
+``GET /metrics`` exposes per-endpoint request counts and latency
+histograms, batch sizes, cache and batcher counters, and model-reload
+events in Prometheus text format.
 """
 
 from __future__ import annotations
@@ -32,6 +42,8 @@ from typing import Any, Dict, Hashable, Mapping, Optional, Sequence, Tuple
 from ..apps.admission import AdmissionController
 from ..config import ServingConfig
 from ..errors import ProtocolError, ReproError, ServingError
+from ..obs.export import CONTENT_TYPE_LATEST, render_prometheus
+from ..obs.metrics import Registry
 from .batching import RequestBatcher
 from .cache import PredictionCache, mix_signature
 from .protocol import (
@@ -51,6 +63,94 @@ __all__ = ["DEFAULT_MODEL_NAME", "PredictionServer"]
 DEFAULT_MODEL_NAME = "default"
 
 
+class _TextPayload:
+    """A non-JSON response body (the ``/metrics`` exposition)."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: bytes, content_type: str):
+        self.body = body
+        self.content_type = content_type
+
+
+class _ServingInstruments:
+    """Server metric families bound to one registry.
+
+    Pull-style gauges read the cache/batcher counter snapshots at
+    collection time, so the numbers on ``/metrics`` always agree with
+    ``/v1/stats`` instead of being a second, drifting count.
+    """
+
+    def __init__(self, registry: Registry, server: "PredictionServer"):
+        self.requests = registry.counter(
+            "serving_requests_total",
+            "HTTP requests handled, by endpoint.",
+            labels=("endpoint",),
+        )
+        self.request_seconds = registry.histogram(
+            "serving_request_seconds",
+            "Server-side request latency in seconds, by endpoint.",
+            labels=("endpoint",),
+        )
+        self.errors = registry.counter(
+            "serving_errors_total",
+            "Requests that answered an error, by error type.",
+            labels=("type",),
+        )
+        self.in_flight = registry.gauge(
+            "serving_requests_in_flight",
+            "Requests currently being handled.",
+        )
+        self.batch_size = registry.histogram(
+            "serving_batch_size",
+            "Requests absorbed per executed prediction batch.",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        )
+        self.coalesced = registry.counter(
+            "serving_batch_coalesced_total",
+            "Requests answered by another request's computation.",
+        )
+        self.reloads = registry.counter(
+            "serving_model_reloads_total",
+            "Hot reloads that actually swapped the model.",
+        )
+        registry.gauge_function(
+            "serving_uptime_seconds",
+            "Seconds since the server started.",
+            lambda: time.monotonic() - server._started,
+        )
+        registry.gauge_function(
+            "serving_model_generation",
+            "Load count of the active model (1 = first load).",
+            lambda: server._registry.entry(server._model_name).generation,
+        )
+        cache = server._cache
+        for attr, help_text in (
+            ("hits", "Prediction-cache lookups answered from the cache."),
+            ("misses", "Prediction-cache lookups that fell through."),
+            ("evictions", "Prediction-cache entries dropped by the LRU bound."),
+            ("expirations", "Prediction-cache entries dropped by TTL."),
+            ("size", "Prediction-cache entries currently resident."),
+        ):
+            registry.gauge_function(
+                f"serving_cache_{attr}",
+                help_text,
+                lambda attr=attr: getattr(cache.stats(), attr),
+            )
+        batcher = server._batcher
+        for attr, help_text in (
+            ("requests", "Keys submitted to the batcher."),
+            ("batches", "Batches executed."),
+            ("unique_keys", "Keys actually computed after in-batch dedup."),
+            ("largest_batch", "Most requests absorbed by one batch."),
+        ):
+            registry.gauge_function(
+                f"serving_batcher_{attr}",
+                help_text,
+                lambda attr=attr: getattr(batcher.stats(), attr),
+            )
+
+
 class PredictionServer:
     """Serve a registered Contender model over HTTP.
 
@@ -58,6 +158,10 @@ class PredictionServer:
         registry: Registry holding at least *model_name*.
         config: Serving knobs; defaults mirror ``ServingConfig()``.
         model_name: Which registered model answers requests.
+        metrics: Metric registry to report into.  ``None`` creates a
+            private one when ``config.metrics_enabled`` (the default);
+            pass a shared registry to merge serving metrics with other
+            layers' on a single ``/metrics`` page.
 
     Use as a context manager, or pair :meth:`start` with
     :meth:`shutdown`::
@@ -72,6 +176,7 @@ class PredictionServer:
         registry: ModelRegistry,
         config: Optional[ServingConfig] = None,
         model_name: str = DEFAULT_MODEL_NAME,
+        metrics: Optional[Registry] = None,
     ):
         self._registry = registry
         self._config = config if config is not None else ServingConfig()
@@ -82,12 +187,19 @@ class PredictionServer:
             max_entries=self._config.cache_entries,
             ttl_seconds=self._config.cache_ttl,
         )
+        self._instr: Optional[_ServingInstruments] = None
         self._batcher = RequestBatcher(
             self._compute_batch,
             workers=self._config.workers,
             batch_window=self._config.batch_window,
             max_batch=self._config.max_batch,
+            on_batch=self._on_batch,
         )
+        if metrics is None and self._config.metrics_enabled:
+            metrics = Registry()
+        self._metrics = metrics
+        if self._metrics is not None:
+            self._instr = _ServingInstruments(self._metrics, self)
         self._counters: Dict[str, int] = {}
         self._counter_lock = threading.Lock()
         self._started = time.monotonic()
@@ -126,11 +238,12 @@ class PredictionServer:
         path,
         config: Optional[ServingConfig] = None,
         verify: bool = False,
+        metrics: Optional[Registry] = None,
     ) -> "PredictionServer":
         """A server over a fresh registry loaded from one artifact."""
         registry = ModelRegistry()
         registry.register(DEFAULT_MODEL_NAME, path, verify=verify)
-        return PredictionServer(registry, config=config)
+        return PredictionServer(registry, config=config, metrics=metrics)
 
     @property
     def host(self) -> str:
@@ -144,6 +257,11 @@ class PredictionServer:
     @property
     def registry(self) -> ModelRegistry:
         return self._registry
+
+    @property
+    def metrics(self) -> Optional[Registry]:
+        """The metric registry, or ``None`` when metrics are disabled."""
+        return self._metrics
 
     def start(self) -> "PredictionServer":
         """Serve on a background thread; returns immediately."""
@@ -185,21 +303,37 @@ class PredictionServer:
     # ------------------------------------------------------------------
     # The batched prediction path.
 
+    def _on_batch(self, batch_size: int, unique_keys: int) -> None:
+        instr = self._instr
+        if instr is not None:
+            instr.batch_size.observe(batch_size)
+            instr.coalesced.inc(batch_size - unique_keys)
+
     def _compute_batch(
         self, keys: Sequence[Hashable]
     ) -> Mapping[Hashable, Any]:
         """Resolve unique predict keys via the cache, then the model.
 
-        Values are ``(latency, cached)`` pairs; per-key model failures
-        become exception values so one bad request cannot poison its
-        batchmates.
+        Values are ``(latency, cached, model_version)`` triples; per-key
+        model failures become exception values so one bad request cannot
+        poison its batchmates.
+
+        The registry entry is snapshotted once for the whole batch —
+        predictor, version, and fingerprint all come from the same model
+        even when a reload lands mid-batch — and cache keys carry the
+        fingerprint, so entries written by this batch are unreachable
+        under any other model.
         """
-        contender = self._registry.get(self._model_name)
+        entry = self._registry.entry(self._model_name)
+        contender = entry.contender
+        version = entry.version
+        fingerprint = entry.model.info.fingerprint
         results: Dict[Hashable, Any] = {}
         for key in keys:
-            hit = self._cache.get(key)
+            cache_key = (fingerprint, *key)
+            hit = self._cache.get(cache_key)
             if hit is not None:
-                results[key] = (hit, True)
+                results[key] = (hit, True, version)
                 continue
             _, primary, mix = key
             try:
@@ -207,15 +341,15 @@ class PredictionServer:
             except ReproError as exc:
                 results[key] = exc
                 continue
-            self._cache.put(key, latency)
-            results[key] = (latency, False)
+            self._cache.put(cache_key, latency)
+            results[key] = (latency, False, version)
         return results
 
     def _predict(self, request: PredictRequest) -> PredictResponse:
         key = ("known", request.primary, mix_signature(request.mix))
         future = self._batcher.submit(key)
         try:
-            latency, cached = future.result(
+            latency, cached, version = future.result(
                 timeout=self._config.request_timeout
             )
         except concurrent.futures.TimeoutError:
@@ -223,25 +357,25 @@ class PredictionServer:
                 f"prediction timed out after {self._config.request_timeout}s"
             ) from None
         return PredictResponse(
-            latency=latency, cached=cached, model_version=self._version()
+            latency=latency, cached=cached, model_version=version
         )
 
     # ------------------------------------------------------------------
     # Direct (unbatched) operations.
 
     def _predict_new(self, request: PredictNewRequest) -> PredictResponse:
-        contender = self._registry.get(self._model_name)
-        latency = contender.predict_new(
+        entry = self._registry.entry(self._model_name)
+        latency = entry.contender.predict_new(
             request.profile, request.mix, spoiler_mode=request.spoiler_mode
         )
         return PredictResponse(
-            latency=latency, cached=False, model_version=self._version()
+            latency=latency, cached=False, model_version=entry.version
         )
 
     def _admit(self, request: AdmitRequest) -> AdmitResponse:
-        contender = self._registry.get(self._model_name)
+        entry = self._registry.entry(self._model_name)
         controller = AdmissionController(
-            contender,
+            entry.contender,
             sla_factor=(
                 request.sla_factor
                 if request.sla_factor is not None
@@ -260,14 +394,15 @@ class PredictionServer:
             mix_after=decision.mix_after,
             worst_ratio=decision.worst_ratio,
             limiting_template=decision.limiting_template,
-            model_version=self._version(),
+            model_version=entry.version,
         )
 
     def _health(self) -> HealthResponse:
-        contender = self._registry.get(self._model_name)
+        entry = self._registry.entry(self._model_name)
+        contender = entry.contender
         return HealthResponse(
             status="ok",
-            model_version=self._version(),
+            model_version=entry.version,
             template_ids=tuple(contender.template_ids),
             uptime_seconds=time.monotonic() - self._started,
             requests_served=self._requests_served(),
@@ -282,6 +417,7 @@ class PredictionServer:
         with self._counter_lock:
             counters = dict(self._counters)
         return {
+            "model_name": self._model_name,
             "model_version": entry.version,
             "model_generation": entry.generation,
             "uptime_seconds": time.monotonic() - self._started,
@@ -289,23 +425,30 @@ class PredictionServer:
             "requests_served": sum(counters.values()),
             "cache": self._cache.stats().as_dict(),
             "batching": self._batcher.stats().as_dict(),
+            "metrics_enabled": self._metrics is not None,
         }
 
     def _reload(self) -> Dict[str, Any]:
         updated = self._registry.maybe_reload(self._model_name)
         if updated is not None:
-            # A new model invalidates every memoized prediction.
+            # A new model invalidates every memoized prediction.  Cache
+            # keys are fingerprint-scoped, so this is hygiene (freeing
+            # memory), not correctness: stale entries are unreachable.
             self._cache.clear()
+            if self._instr is not None:
+                self._instr.reloads.inc()
+        version = (
+            updated.version
+            if updated is not None
+            else self._registry.entry(self._model_name).version
+        )
         return {
             "reloaded": updated is not None,
-            "model_version": self._version(),
+            "model_version": version,
         }
 
     # ------------------------------------------------------------------
     # HTTP plumbing.
-
-    def _version(self) -> str:
-        return self._registry.entry(self._model_name).version
 
     def _requests_served(self) -> int:
         with self._counter_lock:
@@ -316,35 +459,68 @@ class PredictionServer:
             self._counters[op] = self._counters.get(op, 0) + 1
 
     def _route(self, handler: BaseHTTPRequestHandler, verb: str) -> None:
+        instr = self._instr
+        started = time.perf_counter()
+        if instr is not None:
+            instr.in_flight.inc()
+        op = ["unknown"]
+        error_type: Optional[str] = None
         try:
-            doc = self._dispatch(handler, verb)
-        except ProtocolError as exc:
-            self._respond(handler, 400, {"error": str(exc), "type": "protocol"})
-        except ServingError as exc:
-            status = 504 if "timed out" in str(exc) else 503
-            self._respond(handler, status, {"error": str(exc), "type": "serving"})
-        except ReproError as exc:
-            self._respond(handler, 422, {"error": str(exc), "type": "model"})
-        except Exception as exc:  # noqa: BLE001 — keep the server alive
-            self._respond(handler, 500, {"error": str(exc), "type": "internal"})
-        else:
-            if doc is None:
-                self._respond(handler, 404, {"error": "unknown endpoint", "type": "protocol"})
+            try:
+                payload = self._dispatch(handler, verb, op)
+            except ProtocolError as exc:
+                error_type = "protocol"
+                self._respond(handler, 400, {"error": str(exc), "type": "protocol"})
+            except ServingError as exc:
+                error_type = "serving"
+                status = 504 if "timed out" in str(exc) else 503
+                self._respond(handler, status, {"error": str(exc), "type": "serving"})
+            except ReproError as exc:
+                error_type = "model"
+                self._respond(handler, 422, {"error": str(exc), "type": "model"})
+            except Exception as exc:  # noqa: BLE001 — keep the server alive
+                error_type = "internal"
+                self._respond(handler, 500, {"error": str(exc), "type": "internal"})
             else:
-                self._respond(handler, 200, doc)
+                if payload is None:
+                    error_type = "not_found"
+                    self._respond(handler, 404, {"error": "unknown endpoint", "type": "protocol"})
+                elif isinstance(payload, _TextPayload):
+                    self._respond_text(handler, 200, payload)
+                else:
+                    self._respond(handler, 200, payload)
+        finally:
+            if instr is not None:
+                instr.in_flight.dec()
+                instr.requests.labels(op[0]).inc()
+                instr.request_seconds.labels(op[0]).observe(
+                    time.perf_counter() - started
+                )
+                if error_type is not None:
+                    instr.errors.labels(error_type).inc()
 
     def _dispatch(
-        self, handler: BaseHTTPRequestHandler, verb: str
-    ) -> Optional[Dict[str, Any]]:
+        self, handler: BaseHTTPRequestHandler, verb: str, op: list
+    ) -> Optional[Any]:
+        """Execute one request; *op* receives the endpoint label."""
         path = handler.path.rstrip("/")
         route = (verb, path)
+        if route == ("GET", "/metrics") and self._metrics is not None:
+            op[0] = "metrics"
+            return _TextPayload(
+                render_prometheus(self._metrics).encode("utf-8"),
+                CONTENT_TYPE_LATEST,
+            )
         if route == ("GET", "/v1/health"):
+            op[0] = "health"
             self._count("health")
             return self._health().to_doc()
         if route == ("GET", "/v1/stats"):
+            op[0] = "stats"
             self._count("stats")
             return self._stats()
         if route == ("POST", "/v1/reload"):
+            op[0] = "reload"
             self._count("reload")
             return self._reload()
         if verb != "POST" or path not in (
@@ -356,11 +532,14 @@ class PredictionServer:
         length = int(handler.headers.get("Content-Length", 0))
         doc = decode_json(handler.rfile.read(length))
         if path == "/v1/predict":
+            op[0] = "predict"
             self._count("predict")
             return self._predict(PredictRequest.from_doc(doc)).to_doc()
         if path == "/v1/predict-new":
+            op[0] = "predict_new"
             self._count("predict_new")
             return self._predict_new(PredictNewRequest.from_doc(doc)).to_doc()
+        op[0] = "admit"
         self._count("admit")
         return self._admit(AdmitRequest.from_doc(doc)).to_doc()
 
@@ -375,5 +554,18 @@ class PredictionServer:
             handler.send_header("Content-Length", str(len(body)))
             handler.end_headers()
             handler.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up first; nothing to answer
+
+    @staticmethod
+    def _respond_text(
+        handler: BaseHTTPRequestHandler, status: int, payload: _TextPayload
+    ) -> None:
+        try:
+            handler.send_response(status)
+            handler.send_header("Content-Type", payload.content_type)
+            handler.send_header("Content-Length", str(len(payload.body)))
+            handler.end_headers()
+            handler.wfile.write(payload.body)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client hung up first; nothing to answer

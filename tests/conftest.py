@@ -1,14 +1,22 @@
-"""Shared fixtures.
+"""Shared fixtures, tier markers, and hypothesis profiles.
 
 The expensive artifacts (catalogs, sampling campaigns) are session-scoped:
 collecting the small campaign costs well under a second of wall time and
 the full MPL 2-5 campaign a few seconds, paid once per pytest session.
+
+Tests are tiered by directory — ``tests/unit``, ``tests/integration``,
+``tests/property``, ``tests/validation`` — and the matching marker is
+applied automatically, so ``pytest -m unit`` (or ``make test-fast``)
+selects a tier without any per-file decoration.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.core.contender import Contender
@@ -20,6 +28,37 @@ from repro.workload.schema import build_schema
 #: A behaviourally diverse subset used by the fast tests: I/O-bound,
 #: CPU-bound, memory-bound, random-I/O, and a shared-fact-table pair.
 SMALL_TEMPLATES = (22, 26, 32, 62, 65, 71, 82)
+
+#: Directory name -> marker applied to every test collected beneath it.
+_TIER_DIRS = ("unit", "integration", "property", "validation")
+
+# Shared hypothesis profiles.  "ci" (the default) is fully reproducible:
+# derandomized, and with deadlines off so a loaded CI box never flakes a
+# shrunk example on wall time.  "dev" explores harder; select it with
+# HYPOTHESIS_PROFILE=dev.  Per-test @settings(...) still override fields.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+
+
+def pytest_collection_modifyitems(config, items):
+    # benchmarks/ has its own conftest applying the bench marker.
+    for item in items:
+        parts = item.path.parts
+        for tier in _TIER_DIRS:
+            if tier in parts:
+                item.add_marker(getattr(pytest.mark, tier))
+                break
 
 
 @pytest.fixture(scope="session")

@@ -6,6 +6,7 @@ equivalent apps-layer tests and benches).
 """
 
 import importlib.util
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -45,11 +46,23 @@ def test_every_example_defines_main(path):
 
 @pytest.mark.parametrize("name", ["quickstart", "custom_template"])
 def test_fast_examples_run_end_to_end(name):
+    # The subprocess doesn't inherit pytest's `pythonpath` setting, so
+    # pass the source tree explicitly (a bare checkout has no install).
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p
+        for p in (
+            str(EXAMPLES_DIR.parent / "src"),
+            env.get("PYTHONPATH", ""),
+        )
+        if p
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / f"{name}.py")],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert "predicted" in result.stdout

@@ -202,6 +202,68 @@ def test_hot_reload_swaps_model_and_clears_cache(
             assert cli.stats()["cache"]["size"] == 0
 
 
+def test_reload_under_concurrent_traffic_never_mixes_models(
+    small_contender, small_training_data, tmp_path
+):
+    """Flip the artifact A/B under live ``/predict`` load.
+
+    Every response pairs a latency with the version that produced it; a
+    half-swapped model would show one version's tag with the other
+    version's number.
+    """
+    import os
+    import threading
+
+    from repro.core.contender import Contender
+    from repro.serving import load_artifact
+
+    mix = (26, 65)
+    smaller = Contender(
+        small_training_data.restricted_to(
+            [t for t in small_training_data.template_ids if t != 22]
+        )
+    )
+    blobs, expected = [], {}
+    for i, model in enumerate((small_contender, smaller)):
+        variant = tmp_path / f"variant{i}.json"
+        save_artifact(model, variant)
+        expected[load_artifact(variant).info.version] = model.predict_known(
+            mix[0], mix
+        )
+        blobs.append(variant.read_bytes())
+    assert len(set(expected.values())) == 2, "variants must predict apart"
+
+    path = tmp_path / "live.json"
+    path.write_bytes(blobs[0])
+    config = ServingConfig(port=0, workers=2, batch_window=0.0)
+    with PredictionServer.from_artifact(path, config=config) as srv:
+        stop = threading.Event()
+        failures = []
+
+        def drive():
+            with PredictionClient(srv.host, srv.port) as cli:
+                while not stop.is_set():
+                    resp = cli.predict(mix[0], mix)
+                    if resp.latency != expected[resp.model_version]:
+                        failures.append((resp.model_version, resp.latency))
+                        return
+
+        drivers = [threading.Thread(target=drive) for _ in range(4)]
+        for t in drivers:
+            t.start()
+        try:
+            with PredictionClient(srv.host, srv.port) as admin:
+                for flip in range(1, 9):
+                    path.write_bytes(blobs[flip % 2])
+                    os.utime(path, (flip, flip))
+                    assert admin.reload()["reloaded"] is True
+        finally:
+            stop.set()
+            for t in drivers:
+                t.join()
+        assert failures == []
+
+
 def test_graceful_shutdown_refuses_new_connections(artifact_path):
     from repro.errors import ServingError
 

@@ -11,6 +11,7 @@ from repro.core.campaign import (
     task_seed,
 )
 from repro.errors import SamplingError
+from repro.obs.metrics import Registry
 
 
 # ----------------------------------------------------------------------
@@ -100,3 +101,65 @@ def test_parallel_map_rejects_unpicklable_context():
 
 def test_parallel_map_empty_items():
     assert parallel_map(_square_plus, 0, [], jobs=4) == []
+
+
+# ----------------------------------------------------------------------
+# parallel_map observability.
+
+
+def _label_of(item):
+    return "even" if item % 2 == 0 else "odd"
+
+
+def test_serial_map_records_campaign_metrics():
+    reg = Registry()
+    items = list(range(6))
+    out = parallel_map(
+        _square_plus, 2, items, jobs=1, metrics=reg, task_label=_label_of
+    )
+    assert out == [i * i + 2 for i in items]
+    assert reg.get("campaign_workers").value == 1
+    assert reg.get("campaign_tasks_total").labels("even").value == 3
+    assert reg.get("campaign_tasks_total").labels("odd").value == 3
+    assert reg.get("campaign_task_seconds").labels("even").snapshot().count == 3
+    assert (
+        reg.get("campaign_worker_tasks_total").labels(os.getpid()).value == 6
+    )
+
+
+def test_pooled_map_merges_worker_metrics_into_parent():
+    reg = Registry()
+    items = list(range(12))
+    out = parallel_map(
+        _square_plus,
+        0,
+        items,
+        jobs=2,
+        chunk_size=3,
+        metrics=reg,
+        task_label=_label_of,
+    )
+    assert out == [i * i for i in items]
+    assert reg.get("campaign_workers").value == 2
+    assert reg.get("campaign_chunks_total").value == 4
+    # Every chunk completed, so the queue fully drained.
+    assert reg.get("campaign_chunk_queue_depth").value == 0
+    assert reg.get("campaign_tasks_total").total() == 12
+    assert reg.get("campaign_task_seconds").labels("odd").snapshot().count == 6
+    # Per-worker attribution covers every task, whatever the split.
+    assert reg.get("campaign_worker_tasks_total").total() == 12
+
+
+def test_metrics_do_not_change_results_or_determinism():
+    items = list(range(9))
+    plain = parallel_map(_square_plus, 3, items, jobs=2, chunk_size=2)
+    observed = parallel_map(
+        _square_plus, 3, items, jobs=2, chunk_size=2, metrics=Registry()
+    )
+    assert plain == observed
+
+
+def test_default_task_label_is_task():
+    reg = Registry()
+    parallel_map(_square_plus, 0, [1, 2], jobs=1, metrics=reg)
+    assert reg.get("campaign_tasks_total").labels("task").value == 2

@@ -1,0 +1,101 @@
+"""Exporter formats: Prometheus text exposition 0.0.4 and JSON mirror."""
+
+import json
+import math
+
+from repro.obs.export import CONTENT_TYPE_LATEST, render_json, render_prometheus
+from repro.obs.metrics import NULL_REGISTRY, Registry
+
+
+def _sample_registry() -> Registry:
+    reg = Registry()
+    reg.counter("events_total", "Events seen.").inc(3)
+    reg.gauge("queue_depth", "Live depth.", labels=("resource",)).labels(
+        "seq"
+    ).set(2)
+    h = reg.histogram("latency_seconds", "Latency.", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg
+
+
+def test_prometheus_text_structure():
+    text = render_prometheus(_sample_registry())
+    lines = text.splitlines()
+    assert "# HELP events_total Events seen." in lines
+    assert "# TYPE events_total counter" in lines
+    assert "events_total 3" in lines
+    assert 'queue_depth{resource="seq"} 2' in lines
+    assert 'latency_seconds_bucket{le="0.1"} 1' in lines
+    assert 'latency_seconds_bucket{le="1"} 2' in lines
+    assert 'latency_seconds_bucket{le="+Inf"} 3' in lines
+    assert "latency_seconds_sum 5.55" in lines
+    assert "latency_seconds_count 3" in lines
+    assert text.endswith("\n")
+
+
+def test_prometheus_families_render_in_name_order():
+    text = render_prometheus(_sample_registry())
+    order = [
+        line.split()[2]
+        for line in text.splitlines()
+        if line.startswith("# TYPE")
+    ]
+    assert order == sorted(order)
+
+
+def test_label_values_are_escaped():
+    reg = Registry()
+    reg.counter("c_total", labels=("path",)).labels('a"b\\c\nd').inc()
+    text = render_prometheus(reg)
+    assert 'path="a\\"b\\\\c\\nd"' in text
+
+
+def test_float_formatting_round_trips():
+    reg = Registry()
+    reg.gauge("g").set(0.1 + 0.2)  # not exactly 0.3
+    text = render_prometheus(reg)
+    value = [l for l in text.splitlines() if l.startswith("g ")][0].split()[1]
+    assert float(value) == 0.1 + 0.2
+
+
+def test_empty_registry_renders_empty_and_null_registry_too():
+    assert render_prometheus(Registry()) == ""
+    assert render_prometheus(NULL_REGISTRY) == ""
+    assert render_json(NULL_REGISTRY) == {}
+
+
+def test_json_mirror_is_serializable_and_structured():
+    doc = render_json(_sample_registry())
+    # Standard JSON: histogram +Inf must not appear as a bare float.
+    text = json.dumps(doc)
+    parsed = json.loads(text)
+    hist = parsed["latency_seconds"]["samples"][0]
+    assert hist["count"] == 3
+    assert hist["sum"] == 5.55
+    assert hist["buckets"][-1]["le"] == "+Inf"
+    assert all(
+        isinstance(b["le"], (int, float)) or b["le"] == "+Inf"
+        for b in hist["buckets"]
+    )
+    assert parsed["events_total"]["type"] == "counter"
+    assert parsed["queue_depth"]["samples"][0]["labels"] == {"resource": "seq"}
+
+
+def test_content_type_advertises_text_format_004():
+    assert "version=0.0.4" in CONTENT_TYPE_LATEST
+    assert CONTENT_TYPE_LATEST.startswith("text/plain")
+
+
+def test_nan_and_infinities_format():
+    reg = Registry()
+    reg.gauge("weird").set(math.inf)
+    text = render_prometheus(reg)
+    assert "weird +Inf" in text
+    reg2 = Registry()
+    reg2.gauge("weird").set(-math.inf)
+    assert "weird -Inf" in render_prometheus(reg2)
+    reg3 = Registry()
+    reg3.gauge("weird").set(math.nan)
+    assert "weird NaN" in render_prometheus(reg3)

@@ -1,0 +1,190 @@
+"""Metrics-core behaviour: instruments, families, registry, null path."""
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    NullRegistry,
+    Registry,
+)
+
+
+# ----------------------------------------------------------------------
+# Counters and gauges.
+
+
+def test_counter_accumulates_and_rejects_negative():
+    reg = Registry()
+    c = reg.counter("widgets_total")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ObservabilityError):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways_and_tracks_peak():
+    reg = Registry()
+    g = reg.gauge("depth")
+    g.set(4)
+    g.dec()
+    g.inc(0.5)
+    assert g.value == 3.5
+    g.set_max(10)
+    g.set_max(2)  # below the peak: no effect
+    assert g.value == 10.0
+
+
+def test_gauge_function_reads_at_collection_time():
+    reg = Registry()
+    box = {"v": 1.0}
+    g = reg.gauge_function("live", "pull-style", lambda: box["v"])
+    assert g.value == 1.0
+    box["v"] = 7.0
+    assert g.value == 7.0
+
+
+# ----------------------------------------------------------------------
+# Histograms.
+
+
+def test_histogram_buckets_are_cumulative_with_inf_tail():
+    reg = Registry()
+    h = reg.histogram("lat", buckets=(1.0, 2.0, 5.0))
+    for v in (0.5, 1.5, 1.5, 10.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap.count == 4
+    assert snap.sum == pytest.approx(13.5)
+    assert snap.buckets == [(1.0, 1), (2.0, 3), (5.0, 3), (float("inf"), 4)]
+
+
+def test_histogram_boundary_value_lands_in_its_bucket():
+    # Prometheus buckets are upper-inclusive: observe(le) counts in le.
+    reg = Registry()
+    h = reg.histogram("edge", buckets=(1.0, 2.0))
+    h.observe(1.0)
+    assert h.snapshot().buckets[0] == (1.0, 1)
+
+
+def test_histogram_default_buckets_and_invalid_bounds():
+    reg = Registry()
+    h = reg.histogram("default_bounds")
+    h.observe(0.0001)
+    assert h.snapshot().buckets[0] == (DEFAULT_BUCKETS[0], 1)
+    with pytest.raises(ObservabilityError):
+        reg.histogram("bad", buckets=(2.0, 1.0))
+    with pytest.raises(ObservabilityError):
+        reg.histogram("empty", buckets=())
+
+
+# ----------------------------------------------------------------------
+# Labels and families.
+
+
+def test_labelled_family_mints_one_child_per_combination():
+    reg = Registry()
+    fam = reg.counter("req_total", labels=("op",))
+    fam.labels("get").inc()
+    fam.labels("get").inc()
+    fam.labels("put").inc()
+    assert fam.labels("get").value == 2
+    assert fam.labels("put").value == 1
+    assert fam.total() == 3
+    assert [values for values, _ in fam.children()] == [("get",), ("put",)]
+
+
+def test_labelled_family_rejects_unlabelled_use_and_wrong_arity():
+    reg = Registry()
+    fam = reg.counter("req_total", labels=("op",))
+    with pytest.raises(ObservabilityError):
+        fam.inc()
+    with pytest.raises(ObservabilityError):
+        fam.labels("a", "b")
+
+
+def test_label_values_are_stringified():
+    reg = Registry()
+    fam = reg.gauge("by_pid", labels=("pid",))
+    fam.labels(1234).set(1)
+    assert fam.labels("1234").value == 1
+
+
+# ----------------------------------------------------------------------
+# Registry semantics.
+
+
+def test_registration_is_get_or_create():
+    reg = Registry()
+    a = reg.counter("x_total", "help")
+    b = reg.counter("x_total", "different help ignored")
+    assert a is b
+
+
+def test_conflicting_reregistration_raises():
+    reg = Registry()
+    reg.counter("x_total")
+    with pytest.raises(ObservabilityError):
+        reg.gauge("x_total")
+    reg.histogram("h", buckets=(1.0,))
+    with pytest.raises(ObservabilityError):
+        reg.histogram("h", buckets=(1.0, 2.0))
+
+
+def test_invalid_names_are_rejected():
+    reg = Registry()
+    with pytest.raises(ObservabilityError):
+        reg.counter("bad-name")
+    with pytest.raises(ObservabilityError):
+        reg.counter("ok_total", labels=("bad-label",))
+
+
+def test_collect_is_sorted_and_contains_lookup_works():
+    reg = Registry()
+    reg.counter("zz_total")
+    reg.gauge("aa")
+    assert [f.name for f in reg.collect()] == ["aa", "zz_total"]
+    assert "aa" in reg
+    assert "nope" not in reg
+    assert reg.get("zz_total").type == "counter"
+    assert reg.get("nope") is None
+
+
+def test_thread_safety_under_concurrent_increments():
+    reg = Registry()
+    c = reg.counter("hits_total", labels=("op",))
+    h = reg.histogram("obs", buckets=(0.5,))
+
+    def hammer():
+        for _ in range(1000):
+            c.labels("x").inc()
+            h.observe(0.1)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.labels("x").value == 4000
+    assert h.snapshot().count == 4000
+
+
+# ----------------------------------------------------------------------
+# Null registry.
+
+
+def test_null_registry_absorbs_everything():
+    null = NullRegistry()
+    null.counter("a").labels("x").inc()
+    null.gauge("b").set(3)
+    null.histogram("c").observe(1.0)
+    null.gauge_function("d", "h", lambda: 1.0)
+    assert null.collect() == []
+    assert null.get("a") is None
+    assert "a" not in null
+    assert null.counter("a").value == 0.0
+    assert NULL_REGISTRY.counter("x").total() == 0.0

@@ -1,0 +1,102 @@
+"""Deterministic tracing: stable IDs, nesting, the null recorder."""
+
+from repro.obs.tracing import (
+    NULL_TRACE,
+    NullTraceRecorder,
+    TraceRecorder,
+    span_id,
+)
+
+
+def test_span_id_is_deterministic_and_key_sensitive():
+    a = span_id(42, "campaign.collect", ("mix", (26, 65)))
+    b = span_id(42, "campaign.collect", ("mix", (26, 65)))
+    c = span_id(42, "campaign.collect", ("mix", (26, 71)))
+    d = span_id(43, "campaign.collect", ("mix", (26, 65)))
+    assert a == b
+    assert len(a) == 16
+    assert a != c
+    assert a != d
+
+
+def test_serial_spans_get_deterministic_ordinal_ids():
+    def record():
+        rec = TraceRecorder(seed=7, clock=lambda: 0.0)
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        return [s.span_id for s in rec.spans]
+
+    assert record() == record()
+
+
+def test_spans_nest_through_the_stack():
+    rec = TraceRecorder(seed=0, clock=lambda: 0.0)
+    with rec.span("root") as root:
+        with rec.span("child") as child:
+            with rec.span("grandchild") as grandchild:
+                pass
+        with rec.span("sibling") as sibling:
+            pass
+    assert root.parent_id is None
+    assert child.parent_id == root.span_id
+    assert grandchild.parent_id == child.span_id
+    assert sibling.parent_id == root.span_id
+
+
+def test_span_duration_and_attributes():
+    ticks = iter([1.0, 3.5])
+    rec = TraceRecorder(seed=0, clock=lambda: next(ticks))
+    span = rec.start_span("work", key="k", tasks=9)
+    assert span.duration == 0.0  # still open
+    span.set_attribute("extra", True)
+    rec.end_span(span)
+    assert span.duration == 2.5
+    doc = span.to_doc()
+    assert doc["attributes"] == {"tasks": 9, "extra": True}
+    assert doc["duration"] == 2.5
+
+
+def test_find_and_to_docs():
+    rec = TraceRecorder(seed=0, clock=lambda: 0.0)
+    with rec.span("a"):
+        pass
+    with rec.span("b"):
+        pass
+    with rec.span("a"):
+        pass
+    assert [s.name for s in rec.find("a")] == ["a", "a"]
+    docs = rec.to_docs()
+    assert [d["name"] for d in docs] == ["a", "b", "a"]
+    assert all(d["end"] is not None for d in docs)
+
+
+def test_end_span_unwinds_abandoned_children():
+    rec = TraceRecorder(seed=0, clock=lambda: 0.0)
+    outer = rec.start_span("outer")
+    rec.start_span("leaked")  # never explicitly ended
+    rec.end_span(outer)
+    with rec.span("next") as nxt:
+        pass
+    assert nxt.parent_id is None  # the stack fully unwound
+
+
+def test_explicit_keys_make_ids_order_independent():
+    rec1 = TraceRecorder(seed=5, clock=lambda: 0.0)
+    rec2 = TraceRecorder(seed=5, clock=lambda: 0.0)
+    for key in ("x", "y"):
+        rec1.end_span(rec1.start_span("task", key=key, parent=None))
+    for key in ("y", "x"):
+        rec2.end_span(rec2.start_span("task", key=key, parent=None))
+    ids1 = {s.span_id for s in rec1.spans}
+    ids2 = {s.span_id for s in rec2.spans}
+    assert ids1 == ids2
+
+
+def test_null_recorder_drops_everything():
+    assert isinstance(NULL_TRACE, NullTraceRecorder)
+    with NULL_TRACE.span("anything", key=1, attr=2) as span:
+        span.set_attribute("ignored", True)
+    assert NULL_TRACE.spans == []
+    assert NULL_TRACE.find("anything") == []
+    assert NULL_TRACE.to_docs() == []

@@ -1,0 +1,131 @@
+"""The serving ``/metrics`` endpoint and its per-endpoint instruments."""
+
+import http.client
+
+import pytest
+
+from repro.config import ServingConfig
+from repro.errors import ModelError, ServingError
+from repro.obs.export import CONTENT_TYPE_LATEST
+from repro.obs.metrics import Registry
+from repro.serving import PredictionClient, PredictionServer, save_artifact
+
+
+@pytest.fixture(scope="module")
+def artifact_path(small_contender, tmp_path_factory):
+    path = tmp_path_factory.mktemp("metrics") / "model.json"
+    save_artifact(small_contender, path)
+    return path
+
+
+def _serve(artifact_path, metrics=None, **config_kwargs):
+    defaults = dict(port=0, workers=1, batch_window=0.0)
+    defaults.update(config_kwargs)
+    return PredictionServer.from_artifact(
+        artifact_path, config=ServingConfig(**defaults), metrics=metrics
+    )
+
+
+def _metric_value(text, name, **labels):
+    """The value of *name* with exactly the given labels in exposition text."""
+    wanted = {f'{k}="{v}"' for k, v in labels.items()}
+    for line in text.splitlines():
+        if not line.startswith(name):
+            continue
+        rest = line[len(name) :]
+        if rest.startswith("{"):
+            body, _, value = rest[1:].partition("} ")
+            if set(body.split(",")) == wanted:
+                return float(value)
+        elif not wanted and rest.startswith(" "):
+            return float(rest[1:])
+    raise AssertionError(f"{name}{labels} not found in exposition:\n{text}")
+
+
+def test_metrics_endpoint_serves_prometheus_text(small_contender, artifact_path):
+    with _serve(artifact_path) as srv:
+        with PredictionClient(srv.host, srv.port) as cli:
+            cli.predict(26, (26, 65))
+            cli.predict(26, (26, 65))  # cache hit
+            cli.health()
+            with pytest.raises(ModelError):
+                cli.predict(12345, (12345, 26))
+
+            text = cli.metrics_text()
+
+    assert _metric_value(text, "serving_requests_total", endpoint="predict") == 3
+    assert _metric_value(text, "serving_requests_total", endpoint="health") == 1
+    assert _metric_value(text, "serving_errors_total", type="model") == 1
+    assert (
+        _metric_value(text, "serving_request_seconds_count", endpoint="predict")
+        == 3
+    )
+    assert _metric_value(text, "serving_cache_hits") == 1
+    assert _metric_value(text, "serving_cache_misses") == 2
+    assert _metric_value(text, "serving_model_generation") == 1
+    # The scrape itself is in flight while the page renders.
+    assert _metric_value(text, "serving_requests_in_flight") == 1
+    assert _metric_value(text, "serving_uptime_seconds") >= 0
+    # The batcher saw work, and its histogram carries per-batch sizes.
+    assert _metric_value(text, "serving_batch_size_count") >= 1
+
+
+def test_metrics_content_type_and_unknown_endpoint_count(artifact_path):
+    with _serve(artifact_path) as srv:
+        conn = http.client.HTTPConnection(srv.host, srv.port, timeout=30.0)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            body = response.read().decode("utf-8")
+            assert response.status == 200
+            assert response.getheader("Content-Type") == CONTENT_TYPE_LATEST
+            assert "# TYPE serving_requests_total counter" in body
+
+            conn.request("GET", "/nope")
+            missing = conn.getresponse()
+            missing.read()
+            assert missing.status == 404
+        finally:
+            conn.close()
+        with PredictionClient(srv.host, srv.port) as cli:
+            text = cli.metrics_text()
+    assert _metric_value(text, "serving_requests_total", endpoint="unknown") == 1
+    assert _metric_value(text, "serving_errors_total", type="not_found") == 1
+
+
+def test_metrics_agree_with_stats_endpoint(artifact_path):
+    with _serve(artifact_path) as srv:
+        with PredictionClient(srv.host, srv.port) as cli:
+            for other in (65, 71, 65):
+                cli.predict(26, (26, other))
+            stats = cli.stats()
+            text = cli.metrics_text()
+    assert stats["metrics_enabled"] is True
+    assert _metric_value(text, "serving_cache_hits") == stats["cache"]["hits"]
+    assert _metric_value(text, "serving_cache_size") == stats["cache"]["size"]
+    assert (
+        _metric_value(text, "serving_batcher_requests")
+        == stats["batching"]["requests"]
+    )
+
+
+def test_shared_registry_is_used_verbatim(artifact_path):
+    reg = Registry()
+    reg.counter("unrelated_total").inc()
+    with _serve(artifact_path, metrics=reg) as srv:
+        assert srv.metrics is reg
+        with PredictionClient(srv.host, srv.port) as cli:
+            cli.health()
+            text = cli.metrics_text()
+    assert "unrelated_total 1" in text
+    assert _metric_value(text, "serving_requests_total", endpoint="health") == 1
+
+
+def test_disabled_metrics_404_and_skip_instruments(artifact_path):
+    with _serve(artifact_path, metrics_enabled=False) as srv:
+        with PredictionClient(srv.host, srv.port) as cli:
+            cli.predict(26, (26, 65))
+            assert cli.stats()["metrics_enabled"] is False
+            with pytest.raises(ServingError, match="metrics_enabled"):
+                cli.metrics_text()
+        assert srv.metrics is None

@@ -136,6 +136,49 @@ def test_load_test_requires_exactly_one_target(tmp_path, capsys):
     assert main(["load-test", str(campaign), "--url", "127.0.0.1:1"]) == 2
 
 
+def test_stats_command_against_live_server(
+    tmp_path, capsys, small_contender
+):
+    import json
+
+    from repro.config import ServingConfig
+    from repro.serving import PredictionClient, PredictionServer, save_artifact
+
+    artifact = tmp_path / "model.json"
+    save_artifact(small_contender, artifact)
+    config = ServingConfig(port=0, workers=1, batch_window=0.0)
+    with PredictionServer.from_artifact(artifact, config=config) as srv:
+        with PredictionClient(srv.host, srv.port) as cli:
+            cli.predict(26, (26, 65))
+        url = f"{srv.host}:{srv.port}"
+
+        assert main(["stats", url]) == 0
+        out = capsys.readouterr().out
+        assert "model" in out and "v1-" in out
+        assert "hit rate" in out
+        assert "enabled (GET /metrics)" in out
+
+        assert main(["stats", url, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["requests"]["predict"] == 1
+
+        assert main(["stats", url, "--prometheus"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE serving_requests_total counter" in text
+
+
+def test_stats_rejects_malformed_url(capsys):
+    assert main(["stats", "no-port-here"]) == 2
+    assert "malformed url" in capsys.readouterr().err
+
+
+def test_stats_unreachable_server_fails_cleanly(capsys):
+    assert main(["stats", "127.0.0.1:1"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "Traceback" not in err
+
+
 def test_diagnose_command(tmp_path, capsys):
     out_path = tmp_path / "campaign.pkl"
     main(["train", "--out", str(out_path), "--mpls", "2", "--lhs-runs", "1"])

@@ -1,0 +1,92 @@
+"""ExperimentContext observability: auto-wiring, cache events, spans."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, ObservabilityConfig
+from repro.experiments import ExperimentContext
+from repro.obs.metrics import Registry
+from repro.obs.tracing import TraceRecorder
+from repro.sampling.steady_state import SteadyStateConfig
+from repro.workload.catalog import TemplateCatalog
+
+
+def _tiny_context(**ctx_kwargs):
+    config = replace(
+        DEFAULT_CONFIG,
+        observability=ObservabilityConfig(campaign_metrics=True, trace=True),
+    )
+    catalog = TemplateCatalog(config=config).subset((26, 71))
+    return ExperimentContext(
+        catalog=catalog,
+        mpls=(2,),
+        lhs_runs=1,
+        steady_config=SteadyStateConfig(samples_per_stream=2),
+        **ctx_kwargs,
+    )
+
+
+def test_observability_is_off_by_default():
+    ctx = ExperimentContext.small(mpls=(2,), template_ids=(26, 71))
+    assert ctx.metrics is None
+    assert ctx.tracer is None
+
+
+def test_config_flags_auto_create_registry_and_tracer():
+    ctx = _tiny_context()
+    assert isinstance(ctx.metrics, Registry)
+    assert isinstance(ctx.tracer, TraceRecorder)
+
+
+def test_explicit_registry_wins_over_auto_creation():
+    reg = Registry()
+    ctx = _tiny_context(metrics=reg)
+    assert ctx.metrics is reg
+
+
+@pytest.fixture(scope="module")
+def observed_context():
+    ctx = _tiny_context()
+    ctx.training_data()
+    return ctx
+
+
+def test_campaign_records_miss_then_memory_hits(observed_context):
+    ctx = observed_context
+    ctx.training_data()
+    ctx.training_data()
+    events = ctx.metrics.get("campaign_cache_events_total")
+    assert events.labels("miss", "memory").value == 1
+    assert events.labels("hit", "memory").value >= 2
+
+
+def test_campaign_metrics_cover_planning_and_execution(observed_context):
+    reg = observed_context.metrics
+    assert reg.get("campaign_templates").value == 2
+    planned = reg.get("campaign_tasks_planned").value
+    assert planned > 0
+    assert reg.get("campaign_tasks_total").total() == planned
+    kinds = {values[0] for values, _ in reg.get("campaign_tasks_total").children()}
+    assert kinds == {"mix", "profile", "spoiler"}
+
+
+def test_campaign_emits_phase_spans(observed_context):
+    tracer = observed_context.tracer
+    names = [span.name for span in tracer.spans]
+    assert "campaign.collect" in names
+    for phase in ("campaign.design", "campaign.execute", "campaign.assemble"):
+        assert phase in names, names
+    root = tracer.find("campaign.collect")[0]
+    execute = tracer.find("campaign.execute")[0]
+    assert execute.parent_id == root.span_id
+    assert root.duration >= execute.duration
+
+
+def test_span_ids_are_reproducible_across_runs():
+    first = _tiny_context()
+    first.training_data()
+    second = _tiny_context()
+    second.training_data()
+    ids = lambda ctx: [s.span_id for s in ctx.tracer.spans]  # noqa: E731
+    assert ids(first) == ids(second)
