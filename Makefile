@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast coverage serve-smoke bench bench-check profile-campaign report templates examples clean
+.PHONY: install test test-fast coverage serve-smoke lifecycle-smoke bench bench-check profile-campaign report templates examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,6 +21,11 @@ coverage:
 
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
+
+# The growth-injection e2e demo: drift detected, scoped retrain,
+# shadow-gated promotion, accuracy restored — deterministically.
+lifecycle-smoke:
+	$(PYTHON) -m pytest tests/integration/test_lifecycle_e2e.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only \

@@ -41,6 +41,7 @@ GATES = [
         ["tests/unit/serving", "tests/unit/test_cli.py"],
         0.80,
     ),
+    ("src/repro/lifecycle", ["tests/unit/lifecycle"], 0.85),
 ]
 
 _executed: Set[Tuple[str, int]] = set()

@@ -18,6 +18,7 @@ Public API highlights:
 from .config import (
     DEFAULT_CONFIG,
     HardwareSpec,
+    LifecycleConfig,
     ServingConfig,
     SimulationConfig,
     SystemConfig,
@@ -26,6 +27,7 @@ from .config import (
 from .errors import (
     ArtifactError,
     ConfigurationError,
+    LifecycleError,
     ModelError,
     NotFittedError,
     ProtocolError,
@@ -44,6 +46,8 @@ __all__ = [
     "DEFAULT_CONFIG",
     "ConfigurationError",
     "HardwareSpec",
+    "LifecycleConfig",
+    "LifecycleError",
     "ModelError",
     "NotFittedError",
     "ProtocolError",

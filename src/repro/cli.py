@@ -14,6 +14,10 @@ Everything a user needs to poke the reproduction without writing code::
     repro serve model.json --port 8181  # online prediction service
     repro load-test model.json          # p50/p99/QPS under load
     repro stats 127.0.0.1:8181          # live server counters/metrics
+    repro lifecycle run --state-dir st  # drift -> retrain -> promote demo
+    repro lifecycle status --state-dir st   # deployment state + ledger
+    repro lifecycle promote cand.json --state-dir st  # forced promotion
+    repro lifecycle rollback --state-dir st # swap the previous model back
     repro experiment table2             # regenerate one table/figure
     repro report                        # the full EXPERIMENTS.md content
 
@@ -176,6 +180,62 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the raw /metrics Prometheus exposition",
     )
+
+    p = sub.add_parser(
+        "lifecycle",
+        help="model lifecycle: drift scenario, deployment status, "
+        "promotion, rollback",
+    )
+    lsub = p.add_subparsers(dest="lifecycle_command", required=True)
+
+    lp = lsub.add_parser(
+        "run",
+        help="run the growth scenario: drift detection, scoped retrain, "
+        "gated promotion",
+    )
+    lp.add_argument(
+        "--state-dir",
+        type=Path,
+        required=True,
+        help="deployment state directory (artifacts + promotion ledger)",
+    )
+    lp.add_argument("--seed", type=int, default=20140324)
+    lp.add_argument(
+        "--scale-after",
+        type=float,
+        default=140.0,
+        help="scale factor the database grows to mid-stream",
+    )
+    lp.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="campaign worker processes (0 = all cores)",
+    )
+    lp.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the full scenario report as JSON",
+    )
+
+    lp = lsub.add_parser(
+        "status", help="deployment state and promotion ledger"
+    )
+    lp.add_argument("--state-dir", type=Path, required=True)
+    lp.add_argument("--json", action="store_true", dest="as_json")
+
+    lp = lsub.add_parser(
+        "promote",
+        help="force-promote a candidate artifact (bypasses the shadow gate)",
+    )
+    lp.add_argument("candidate", type=Path, help="candidate artifact file")
+    lp.add_argument("--state-dir", type=Path, required=True)
+
+    lp = lsub.add_parser(
+        "rollback", help="swap the previous artifact back into the slot"
+    )
+    lp.add_argument("--state-dir", type=Path, required=True)
 
     p = sub.add_parser("experiment", help="run one experiment runner")
     p.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -494,9 +554,161 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 ),
             ]
         )
+        lifecycle = stats.get("lifecycle")
+        if lifecycle is not None:
+            drifted = lifecycle.get("drifted", [])
+            rows.append(
+                (
+                    "lifecycle",
+                    f"{len(lifecycle.get('templates', []))} templates "
+                    f"monitored, {len(drifted)} drifted"
+                    + (f" ({', '.join(f'T{t}' for t in drifted)})"
+                       if drifted else ""),
+                )
+            )
+            for state in lifecycle.get("templates", []):
+                verdict = state.get("last_verdict")
+                verdict_text = "-"
+                if verdict is not None:
+                    verdict_text = (
+                        f"{verdict['detector']} at sample "
+                        f"{verdict['sample_ordinal']}"
+                    )
+                rows.append(
+                    (
+                        f"  T{state['template_id']}",
+                        f"window {state['window_size']}, "
+                        f"mean residual "
+                        f"{state['window_mean_residual']:+.4f}, "
+                        f"last verdict {verdict_text}",
+                    )
+                )
     width = max(len(label) for label, _ in rows)
     for label, value in rows:
         print(f"{label:<{width}}  {value}")
+    return 0
+
+
+def _cmd_lifecycle(args: argparse.Namespace) -> int:
+    handler = {
+        "run": _cmd_lifecycle_run,
+        "status": _cmd_lifecycle_status,
+        "promote": _cmd_lifecycle_promote,
+        "rollback": _cmd_lifecycle_rollback,
+    }[args.lifecycle_command]
+    return handler(args)
+
+
+def _cmd_lifecycle_run(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .lifecycle.manager import run_growth_scenario
+
+    report = run_growth_scenario(
+        args.state_dir,
+        seed=args.seed,
+        scale_after=args.scale_after,
+        jobs=args.jobs,
+    )
+    if args.as_json:
+        print(_json.dumps(report.to_doc(), indent=2, sort_keys=True))
+        return 0 if report.recovered else 1
+    print(
+        f"growth scenario (seed {report.seed}): scale "
+        f"{report.scale_before:g} -> {report.scale_after:g}, "
+        f"templates {list(report.templates)}"
+    )
+    for phase in report.phases:
+        print(
+            f"  {phase.name:<9} MRE {phase.mre:.4f} "
+            f"({phase.observations} observations)"
+        )
+    print(f"  verdicts  {len(report.verdicts)} drift verdicts")
+    for verdict in report.verdicts:
+        print(
+            f"    T{verdict['template_id']} {verdict['detector']} "
+            f"statistic {verdict['statistic']:.4f} "
+            f"> {verdict['threshold']:.4f} at sample "
+            f"{verdict['sample_ordinal']}"
+        )
+    if report.reaction is not None:
+        shadow = report.reaction.get("shadow") or {}
+        print(
+            f"  shadow    candidate MRE {shadow.get('candidate_mre', 0):.4f} "
+            f"vs incumbent {shadow.get('incumbent_mre', 0):.4f} "
+            f"-> {report.reaction['action']}"
+        )
+    print(
+        f"  model     {report.incumbent_fingerprint[:12]} -> "
+        f"{(report.promoted_fingerprint or report.incumbent_fingerprint)[:12]}"
+    )
+    print(
+        f"  recovered {report.recovered} "
+        f"(final MRE vs threshold {report.recovery_mre:g})"
+    )
+    return 0 if report.recovered else 1
+
+
+def _cmd_lifecycle_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .lifecycle.promotion import PromotionManager
+
+    manager = PromotionManager(args.state_dir / "model.json")
+    doc = manager.status_doc()
+    if args.as_json:
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    current = doc["current_fingerprint"]
+    print(f"model     : {doc['model_name']}")
+    print(f"artifact  : {doc['artifact_path']}")
+    print(f"current   : {doc['current_version'] or '-'}")
+    print(f"previous  : {(doc['previous_fingerprint'] or '-')[:12]}")
+    print(f"ledger    : {len(doc['promotions'])} records")
+    for record in doc["promotions"]:
+        gate = record.get("gate")
+        gate_text = ""
+        if gate is not None:
+            gate_text = (
+                f"  (gate: candidate {gate['candidate_mre']:.4f} vs "
+                f"incumbent {gate['incumbent_mre']:.4f})"
+            )
+        print(
+            f"  #{record['ordinal']} {record['action']:<10} "
+            f"{record['fingerprint'][:12]}{gate_text}"
+        )
+    return 0 if current is not None else 1
+
+
+def _cmd_lifecycle_promote(args: argparse.Namespace) -> int:
+    from .lifecycle.promotion import PromotionManager
+    from .serving.registry import load_artifact
+
+    candidate = load_artifact(args.candidate)
+    manager = PromotionManager(args.state_dir / "model.json")
+    if manager.current_info() is None:
+        info = manager.initialize(candidate.contender)
+        print(f"initialized slot with {info.version}")
+        return 0
+    record = manager.promote(candidate.contender, gate=None)
+    print(
+        f"promoted {record.fingerprint[:12]} over "
+        f"{(record.previous_fingerprint or '-')[:12]} "
+        f"(ledger #{record.ordinal}, no gate — forced)"
+    )
+    return 0
+
+
+def _cmd_lifecycle_rollback(args: argparse.Namespace) -> int:
+    from .lifecycle.promotion import PromotionManager
+
+    manager = PromotionManager(args.state_dir / "model.json")
+    record = manager.rollback()
+    print(
+        f"rolled back to {record.fingerprint[:12]} "
+        f"(displaced {(record.previous_fingerprint or '-')[:12]}, "
+        f"ledger #{record.ordinal})"
+    )
     return 0
 
 
@@ -537,6 +749,7 @@ _HANDLERS = {
     "serve": _cmd_serve,
     "load-test": _cmd_load_test,
     "stats": _cmd_stats,
+    "lifecycle": _cmd_lifecycle,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
 }

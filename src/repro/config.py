@@ -250,6 +250,78 @@ class ServingConfig:
 
 
 @dataclass(frozen=True)
+class LifecycleConfig:
+    """Knobs of the model lifecycle subsystem (:mod:`repro.lifecycle`).
+
+    The detectors are deterministic functions of the residual stream —
+    no wall-clock reads, no RNG — so any fixed sequence of observations
+    yields the same verdicts on every run (see docs/LIFECYCLE.md).
+
+    Attributes:
+        reference_window: Residuals frozen as the mean-shift reference
+            (the first ``reference_window`` samples after a reset).
+        test_window: Sliding window compared against the reference; the
+            mean-shift detector is armed only once it is full.
+        mean_shift_threshold: Absolute difference between test-window
+            and reference-window mean relative residuals that counts as
+            drift.  Residuals are signed relative errors, so 0.12 means
+            "predictions are off by 12 points more than they used to be".
+        ph_delta: Page-Hinkley drift-tolerance drain per sample; bounds
+            the stationary excursion of the cumulative statistic.
+        ph_lambda: Page-Hinkley alarm threshold on the drained cumulative
+            deviation from the running mean.
+        min_samples: Samples required before the Page-Hinkley test may
+            fire (the running mean needs history to be meaningful).
+        residual_window: Residuals retained per template for stats
+            reporting (``repro stats`` / the ``/v1/stats`` endpoint).
+        promotion_margin: Relative MRE improvement the candidate must
+            show on the shadow set: it is promoted only when
+            ``candidate_mre <= incumbent_mre * (1 - promotion_margin)``.
+        shadow_samples: Steady-state samples per stream when collecting
+            the held-out shadow mixes.
+        recovery_mre: MRE ceiling the e2e growth scenario asserts after
+            promotion (the "error restored" bar).
+        enabled: Master switch for serving-side residual ingestion.
+    """
+
+    reference_window: int = 24
+    test_window: int = 12
+    mean_shift_threshold: float = 0.12
+    ph_delta: float = 0.01
+    ph_lambda: float = 0.6
+    min_samples: int = 24
+    residual_window: int = 64
+    promotion_margin: float = 0.05
+    shadow_samples: int = 3
+    recovery_mre: float = 0.2
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.reference_window < 1:
+            raise ConfigurationError("reference_window must be >= 1")
+        if self.test_window < 1:
+            raise ConfigurationError("test_window must be >= 1")
+        if self.mean_shift_threshold <= 0:
+            raise ConfigurationError("mean_shift_threshold must be positive")
+        if self.ph_delta < 0:
+            raise ConfigurationError("ph_delta must be >= 0")
+        if self.ph_lambda <= 0:
+            raise ConfigurationError("ph_lambda must be positive")
+        if self.min_samples < 1:
+            raise ConfigurationError("min_samples must be >= 1")
+        if self.residual_window < self.test_window:
+            raise ConfigurationError(
+                "residual_window must be >= test_window"
+            )
+        if not 0.0 <= self.promotion_margin < 1.0:
+            raise ConfigurationError("promotion_margin must be in [0, 1)")
+        if self.shadow_samples < 1:
+            raise ConfigurationError("shadow_samples must be >= 1")
+        if self.recovery_mre <= 0:
+            raise ConfigurationError("recovery_mre must be positive")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """A complete simulated system: hardware plus executor behaviour."""
 
@@ -260,6 +332,7 @@ class SystemConfig:
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig
     )
+    lifecycle: LifecycleConfig = field(default_factory=LifecycleConfig)
 
     def with_seed(self, seed: int) -> "SystemConfig":
         """Return a copy whose simulation RNG seed is *seed*."""

@@ -41,6 +41,11 @@ class ServingError(ReproError):
     """The online prediction service hit an operational failure."""
 
 
+class LifecycleError(ReproError):
+    """A model lifecycle operation (drift handling, retraining,
+    promotion, rollback) is invalid or cannot proceed."""
+
+
 class ArtifactError(ServingError):
     """A registry artifact is missing, corrupt, or schema-incompatible."""
 

@@ -1,0 +1,59 @@
+"""Model lifecycle: drift detection, scoped retraining, gated promotion.
+
+Contender's models are fit once per database state, but the database
+grows (the paper's Sec. 8 "expanding database" direction); this package
+closes the loop from serving-time residuals back to the training
+campaign and the model registry:
+
+* :mod:`repro.lifecycle.detectors` — seed-deterministic drift tests
+  (windowed mean-shift + Page-Hinkley) over per-template residuals;
+* :mod:`repro.lifecycle.monitor` — thread-safe residual ingestion on
+  the serving hot path, with lifecycle metrics in :mod:`repro.obs`;
+* :mod:`repro.lifecycle.retrain` — scoped retraining of only the
+  drifted templates through the ordinary campaign machinery;
+* :mod:`repro.lifecycle.shadow` — held-out shadow scoring of the
+  candidate against the incumbent (the promotion gate);
+* :mod:`repro.lifecycle.promotion` — artifact promotion with a
+  deterministic ledger and one-step rollback;
+* :mod:`repro.lifecycle.manager` — the orchestrator, plus the
+  end-to-end database-growth scenario.
+
+See docs/LIFECYCLE.md for the architecture and the detector math.
+"""
+
+from .detectors import DriftVerdict, MeanShiftDetector, PageHinkleyDetector
+from .manager import (
+    LifecycleManager,
+    ScenarioPhase,
+    ScenarioReport,
+    run_growth_scenario,
+)
+from .monitor import ResidualMonitor
+from .promotion import PromotionManager, PromotionRecord
+from .retrain import merge_training_data, retrain_seed, scoped_retrain
+from .shadow import (
+    HoldoutObservation,
+    ShadowReport,
+    collect_holdout,
+    shadow_score,
+)
+
+__all__ = [
+    "DriftVerdict",
+    "HoldoutObservation",
+    "LifecycleManager",
+    "MeanShiftDetector",
+    "PageHinkleyDetector",
+    "PromotionManager",
+    "PromotionRecord",
+    "ResidualMonitor",
+    "ScenarioPhase",
+    "ScenarioReport",
+    "ShadowReport",
+    "collect_holdout",
+    "merge_training_data",
+    "retrain_seed",
+    "run_growth_scenario",
+    "scoped_retrain",
+    "shadow_score",
+]

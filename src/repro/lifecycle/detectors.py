@@ -1,0 +1,240 @@
+"""Seed-deterministic drift detectors over prediction residuals.
+
+Both detectors consume a per-template stream of *signed relative
+residuals* ``(observed - predicted) / observed`` and decide, sample by
+sample, whether the model has drifted from the workload it was trained
+on.  Database growth — the paper's Sec. 7 scenario — inflates isolated
+and spoiler latencies, so an incumbent fit at the old scale
+under-predicts and the residual mean shifts positive.
+
+Determinism is a hard design constraint: the detectors read no clocks
+and draw no random numbers.  "Time" is the sample ordinal, thresholds
+come from :class:`~repro.config.LifecycleConfig`, and every state
+transition is a pure function of the residual sequence — replaying the
+same stream replays the same verdicts, which is what makes the e2e
+growth scenario (and any production incident) reproducible.
+
+Two complementary tests run side by side:
+
+* :class:`MeanShiftDetector` — a windowed two-sample test.  The first
+  ``reference_window`` residuals after (re)fit are frozen as the
+  reference; a sliding ``test_window`` trails the stream, and the
+  statistic is ``|mean(test) - mean(reference)|``.  Catches abrupt
+  steps within one test-window of samples and is trivially bounded on
+  stationary streams: with residual noise confined to ``[-b, +b]`` the
+  statistic can never exceed ``2b``, so any threshold above that has a
+  structural false-positive rate of zero.
+* :class:`PageHinkleyDetector` — a cumulative (CUSUM-family) test for
+  slow creep the windowed test would average away.  It accumulates
+  deviations of each sample from the running mean, drains ``delta`` per
+  sample, and alarms when the accumulated mass minus its running
+  minimum exceeds ``lambda``.  On a stationary stream the drain keeps
+  excursions bounded (of order ``sigma^2 / (2 * delta)`` for noise with
+  standard deviation ``sigma``); after a sustained shift of size ``s``
+  the statistic grows ~``(s - delta)`` per sample and must cross any
+  finite threshold.
+
+Both latch once fired: a drifted template stays flagged until the
+monitor resets it after a successful retrain/promotion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Optional
+
+from ..errors import LifecycleError
+
+__all__ = [
+    "DriftVerdict",
+    "MeanShiftDetector",
+    "PageHinkleyDetector",
+]
+
+
+@dataclass(frozen=True)
+class DriftVerdict:
+    """The record of one detector firing.
+
+    Attributes:
+        template_id: Template whose residual stream drifted.
+        detector: ``"mean_shift"`` or ``"page_hinkley"``.
+        statistic: Detector statistic at the moment it crossed.
+        threshold: Configured threshold it crossed.
+        sample_ordinal: 1-based count of residuals this template had
+            ingested when the verdict fired — the detectors' only notion
+            of time, so verdicts replay exactly.
+    """
+
+    template_id: int
+    detector: str
+    statistic: float
+    threshold: float
+    sample_ordinal: int
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "template_id": self.template_id,
+            "detector": self.detector,
+            "statistic": self.statistic,
+            "threshold": self.threshold,
+            "sample_ordinal": self.sample_ordinal,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Any]) -> "DriftVerdict":
+        try:
+            return cls(
+                template_id=int(doc["template_id"]),
+                detector=str(doc["detector"]),
+                statistic=float(doc["statistic"]),
+                threshold=float(doc["threshold"]),
+                sample_ordinal=int(doc["sample_ordinal"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LifecycleError(f"malformed drift verdict: {exc}") from exc
+
+
+class MeanShiftDetector:
+    """Frozen-reference vs sliding-window mean comparison.
+
+    O(1) per sample: both windows carry running sums, the test window is
+    a bounded deque.  The statistic is defined (non-``None``) only once
+    the reference is frozen *and* the test window is full — before that
+    the detector is still calibrating and cannot fire.
+    """
+
+    name = "mean_shift"
+
+    def __init__(self, reference_window: int, test_window: int, threshold: float):
+        if reference_window < 1 or test_window < 1:
+            raise LifecycleError("detector windows must be >= 1")
+        if threshold <= 0:
+            raise LifecycleError("mean-shift threshold must be positive")
+        self._ref_size = reference_window
+        self._threshold = threshold
+        self._ref_sum = 0.0
+        self._ref_count = 0
+        self._test: Deque[float] = deque(maxlen=test_window)
+        self._test_sum = 0.0
+        self._fired = False
+        self._statistic: Optional[float] = None
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def statistic(self) -> Optional[float]:
+        """Current statistic, or ``None`` while calibrating."""
+        return self._statistic
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    def update(self, value: float) -> bool:
+        """Ingest one residual; ``True`` when this sample fires the alarm.
+
+        Latched: once fired, further updates return ``False`` and leave
+        the statistic at its firing value until :meth:`reset`.
+        """
+        if self._fired:
+            return False
+        if self._ref_count < self._ref_size:
+            self._ref_sum += value
+            self._ref_count += 1
+            return False
+        if len(self._test) == self._test.maxlen:
+            self._test_sum -= self._test[0]
+        self._test.append(value)
+        self._test_sum += value
+        if len(self._test) < self._test.maxlen:
+            return False
+        ref_mean = self._ref_sum / self._ref_count
+        test_mean = self._test_sum / len(self._test)
+        self._statistic = abs(test_mean - ref_mean)
+        if self._statistic > self._threshold:
+            self._fired = True
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Forget everything — used after a retrained model is promoted,
+        when the old reference no longer describes the serving model."""
+        self._ref_sum = 0.0
+        self._ref_count = 0
+        self._test.clear()
+        self._test_sum = 0.0
+        self._fired = False
+        self._statistic = None
+
+
+class PageHinkleyDetector:
+    """Page-Hinkley cumulative test for upward residual drift.
+
+    Tracks ``m_t = sum_i (x_i - mean_i - delta)`` where ``mean_i`` is
+    the running mean *including* sample ``i``, and alarms when
+    ``m_t - min(m_1..m_t) > lambda``.  One-sided (rising residuals):
+    database growth makes observed latencies exceed predictions, which
+    pushes signed relative residuals positive.  ``min_samples`` guards
+    the early phase where the running mean is still noise.
+    """
+
+    name = "page_hinkley"
+
+    def __init__(self, delta: float, lambda_: float, min_samples: int):
+        if delta < 0:
+            raise LifecycleError("page-hinkley delta must be >= 0")
+        if lambda_ <= 0:
+            raise LifecycleError("page-hinkley lambda must be positive")
+        if min_samples < 1:
+            raise LifecycleError("page-hinkley min_samples must be >= 1")
+        self._delta = delta
+        self._lambda = lambda_
+        self._min_samples = min_samples
+        self._count = 0
+        self._sum = 0.0
+        self._m = 0.0
+        self._m_min = 0.0
+        self._fired = False
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def statistic(self) -> Optional[float]:
+        """Drained cumulative excursion, or ``None`` before any sample."""
+        if self._count == 0:
+            return None
+        return self._m - self._m_min
+
+    @property
+    def threshold(self) -> float:
+        return self._lambda
+
+    def update(self, value: float) -> bool:
+        """Ingest one residual; ``True`` when this sample fires (latched)."""
+        if self._fired:
+            return False
+        self._count += 1
+        self._sum += value
+        mean = self._sum / self._count
+        self._m += value - mean - self._delta
+        if self._m < self._m_min:
+            self._m_min = self._m
+        if self._count < self._min_samples:
+            return False
+        if self._m - self._m_min > self._lambda:
+            self._fired = True
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._count = 0
+        self._sum = 0.0
+        self._m = 0.0
+        self._m_min = 0.0
+        self._fired = False

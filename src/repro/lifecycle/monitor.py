@@ -1,0 +1,258 @@
+"""Per-template residual monitoring on the serving hot path.
+
+:class:`ResidualMonitor` is the ingestion side of the lifecycle loop:
+the prediction server feeds every ``(predicted, observed)`` pair it
+learns about (the ``/v1/observe`` endpoint) into :meth:`ingest`, which
+computes the signed relative residual, runs both drift detectors, and
+returns a :class:`~repro.lifecycle.detectors.DriftVerdict` the moment
+either one fires.
+
+The ingest path is deliberately minimal — a lock, two O(1) detector
+updates, a bounded deque append, and one unlabelled counter increment —
+because it rides on the serving hot path and is gated to <= 5% of a
+prediction's cost by ``scripts/bench_check.py``.  Everything with
+per-template labels (window sizes, statistics, drifted flags) is
+published lazily: :meth:`publish` refreshes the labelled gauges from
+the current state and is called when somebody actually scrapes
+``/metrics`` or ``/v1/stats``, not per observation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+from ..config import LifecycleConfig
+from ..errors import LifecycleError
+from ..obs.metrics import NULL_REGISTRY
+from .detectors import DriftVerdict, MeanShiftDetector, PageHinkleyDetector
+
+__all__ = ["ResidualMonitor", "TemplateState"]
+
+
+class TemplateState:
+    """Everything the monitor tracks for one template (internal)."""
+
+    __slots__ = (
+        "template_id",
+        "count",
+        "window",
+        "window_sum",
+        "mean_shift",
+        "page_hinkley",
+        "drifted",
+        "last_verdict",
+    )
+
+    def __init__(self, template_id: int, config: LifecycleConfig):
+        self.template_id = template_id
+        self.count = 0
+        self.window: Deque[float] = deque(maxlen=config.residual_window)
+        self.window_sum = 0.0
+        self.mean_shift = MeanShiftDetector(
+            reference_window=config.reference_window,
+            test_window=config.test_window,
+            threshold=config.mean_shift_threshold,
+        )
+        self.page_hinkley = PageHinkleyDetector(
+            delta=config.ph_delta,
+            lambda_=config.ph_lambda,
+            min_samples=config.min_samples,
+        )
+        self.drifted = False
+        self.last_verdict: Optional[DriftVerdict] = None
+
+    def to_doc(self) -> Dict[str, Any]:
+        mean = self.window_sum / len(self.window) if self.window else 0.0
+        return {
+            "template_id": self.template_id,
+            "observations": self.count,
+            "window_size": len(self.window),
+            "window_mean_residual": mean,
+            "mean_shift_statistic": self.mean_shift.statistic,
+            "mean_shift_threshold": self.mean_shift.threshold,
+            "page_hinkley_statistic": self.page_hinkley.statistic,
+            "page_hinkley_threshold": self.page_hinkley.threshold,
+            "drifted": self.drifted,
+            "last_verdict": (
+                self.last_verdict.to_doc() if self.last_verdict else None
+            ),
+        }
+
+
+class ResidualMonitor:
+    """Thread-safe drift monitor over per-template residual streams.
+
+    Args:
+        config: Detector thresholds and window sizes.
+        metrics: An :class:`repro.obs.metrics.Registry` for the lifecycle
+            metric family; omitted/``None`` means no instrumentation
+            (the :data:`~repro.obs.metrics.NULL_REGISTRY` path).
+    """
+
+    def __init__(
+        self,
+        config: Optional[LifecycleConfig] = None,
+        metrics=None,
+    ):
+        self._config = config or LifecycleConfig()
+        self._lock = threading.Lock()
+        self._templates: Dict[int, TemplateState] = {}
+        self._verdicts: List[DriftVerdict] = []
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._registry = registry
+        # Hot-path instruments: unlabelled, one .inc() per ingest.
+        self._residuals_total = registry.counter(
+            "lifecycle_residuals_total",
+            "Serving residual observations ingested by the drift monitor",
+        )
+        self._verdicts_total = registry.counter(
+            "lifecycle_drift_verdicts_total",
+            "Drift verdicts fired, by template and detector",
+            labels=("template", "detector"),
+        )
+        # Pull-side gauges, refreshed by publish() at scrape time.
+        self._g_window = registry.gauge(
+            "lifecycle_residual_window_size",
+            "Residuals currently retained per template",
+            labels=("template",),
+        )
+        self._g_statistic = registry.gauge(
+            "lifecycle_drift_statistic",
+            "Current detector statistic per template and detector",
+            labels=("template", "detector"),
+        )
+        self._g_drifted = registry.gauge(
+            "lifecycle_template_drifted",
+            "1 when the template is currently flagged as drifted",
+            labels=("template",),
+        )
+        self._g_templates = registry.gauge_function(
+            "lifecycle_templates_monitored",
+            "Templates with at least one ingested residual",
+            lambda: float(len(self._templates)),
+        )
+
+    @property
+    def config(self) -> LifecycleConfig:
+        return self._config
+
+    def ingest(
+        self, template_id: int, predicted: float, observed: float
+    ) -> Optional[DriftVerdict]:
+        """Feed one serving observation; the verdict if a detector fired.
+
+        The residual is the signed relative error
+        ``(observed - predicted) / observed`` — positive when the model
+        under-predicts, which is the direction database growth pushes.
+        """
+        if observed <= 0:
+            raise LifecycleError(
+                f"observed latency must be positive, got {observed}"
+            )
+        residual = (observed - predicted) / observed
+        verdict: Optional[DriftVerdict] = None
+        with self._lock:
+            state = self._templates.get(template_id)
+            if state is None:
+                state = TemplateState(template_id, self._config)
+                self._templates[template_id] = state
+            state.count += 1
+            if len(state.window) == state.window.maxlen:
+                state.window_sum -= state.window[0]
+            state.window.append(residual)
+            state.window_sum += residual
+            # Both detectors see every residual; the verdict reported
+            # for this sample is the first that fired (mean-shift has
+            # priority — its statistic is the more interpretable one).
+            for detector in (state.mean_shift, state.page_hinkley):
+                if detector.update(residual) and verdict is None:
+                    verdict = DriftVerdict(
+                        template_id=template_id,
+                        detector=detector.name,
+                        statistic=float(detector.statistic),
+                        threshold=detector.threshold,
+                        sample_ordinal=state.count,
+                    )
+                    state.drifted = True
+                    state.last_verdict = verdict
+                    self._verdicts.append(verdict)
+        self._residuals_total.inc()
+        if verdict is not None:
+            self._verdicts_total.labels(
+                str(template_id), verdict.detector
+            ).inc()
+        return verdict
+
+    def drifted_templates(self) -> List[int]:
+        """Templates currently flagged, sorted (deterministic order)."""
+        with self._lock:
+            return sorted(
+                t for t, s in self._templates.items() if s.drifted
+            )
+
+    def verdicts(self) -> List[DriftVerdict]:
+        """Every verdict fired so far, in ingestion order."""
+        with self._lock:
+            return list(self._verdicts)
+
+    def reset(self, template_ids: Optional[Sequence[int]] = None) -> None:
+        """Re-arm detectors (all templates, or just *template_ids*).
+
+        Called after a promotion: the new model defines a new residual
+        regime, so the frozen references and cumulative sums from the
+        old one must not linger.  The verdict history is kept — it is
+        the audit trail.
+        """
+        with self._lock:
+            ids = (
+                list(self._templates)
+                if template_ids is None
+                else list(template_ids)
+            )
+            for template_id in ids:
+                state = self._templates.get(template_id)
+                if state is None:
+                    continue
+                state.mean_shift.reset()
+                state.page_hinkley.reset()
+                state.window.clear()
+                state.window_sum = 0.0
+                state.drifted = False
+
+    def publish(self) -> None:
+        """Refresh the labelled gauges from current state (scrape time)."""
+        with self._lock:
+            states = list(self._templates.values())
+        for state in states:
+            label = str(state.template_id)
+            self._g_window.labels(label).set(float(len(state.window)))
+            self._g_drifted.labels(label).set(1.0 if state.drifted else 0.0)
+            ms = state.mean_shift.statistic
+            if ms is not None:
+                self._g_statistic.labels(label, "mean_shift").set(ms)
+            ph = state.page_hinkley.statistic
+            if ph is not None:
+                self._g_statistic.labels(label, "page_hinkley").set(ph)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view of detector state (``/v1/stats`` section)."""
+        with self._lock:
+            states = [
+                self._templates[t].to_doc() for t in sorted(self._templates)
+            ]
+            verdicts = [v.to_doc() for v in self._verdicts]
+        return {
+            "templates": states,
+            "drifted": [s["template_id"] for s in states if s["drifted"]],
+            "verdicts": verdicts,
+            "config": {
+                "reference_window": self._config.reference_window,
+                "test_window": self._config.test_window,
+                "mean_shift_threshold": self._config.mean_shift_threshold,
+                "ph_delta": self._config.ph_delta,
+                "ph_lambda": self._config.ph_lambda,
+                "min_samples": self._config.min_samples,
+            },
+        }

@@ -1,0 +1,266 @@
+"""Gated promotion with one-step rollback.
+
+:class:`PromotionManager` owns the *deployment state directory*: the
+current artifact file the registry serves from, a one-deep backup of its
+predecessor, and an append-only promotion ledger.  The ledger records
+ordinals, fingerprints, and gate reports — never wall-clock timestamps —
+so replaying a scenario reproduces the ledger byte-for-byte.
+
+Promotion is an atomic sequence: back up the incumbent artifact, write
+the candidate over the current path, and re-register the name in the
+:class:`~repro.serving.registry.ModelRegistry` — which notifies its
+subscribers, so a live prediction server bumps its cache generation in
+the same step.  :meth:`rollback` swaps the backup into place through the
+same mechanism.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..core.contender import Contender
+from ..errors import LifecycleError
+from ..serving.registry import (
+    ArtifactInfo,
+    ModelRegistry,
+    load_artifact,
+    save_artifact,
+)
+from .shadow import ShadowReport
+
+__all__ = ["PromotionManager", "PromotionRecord"]
+
+#: Layout version of the promotion ledger file.
+LEDGER_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class PromotionRecord:
+    """One ledger entry.
+
+    Attributes:
+        ordinal: 1-based position in the ledger (the only "time").
+        action: ``"initialize"``, ``"promote"``, or ``"rollback"``.
+        fingerprint: Content address of the model now serving.
+        previous_fingerprint: The model it displaced (None on init).
+        gate: The shadow report that justified a promotion, as a doc.
+    """
+
+    ordinal: int
+    action: str
+    fingerprint: str
+    previous_fingerprint: Optional[str] = None
+    gate: Optional[Dict[str, Any]] = field(default=None)
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "ordinal": self.ordinal,
+            "action": self.action,
+            "fingerprint": self.fingerprint,
+            "previous_fingerprint": self.previous_fingerprint,
+            "gate": self.gate,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Any]) -> "PromotionRecord":
+        try:
+            return cls(
+                ordinal=int(doc["ordinal"]),
+                action=str(doc["action"]),
+                fingerprint=str(doc["fingerprint"]),
+                previous_fingerprint=doc.get("previous_fingerprint"),
+                gate=doc.get("gate"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LifecycleError(f"malformed promotion record: {exc}") from exc
+
+
+class PromotionManager:
+    """Deployment-state owner for one registered model name.
+
+    Args:
+        artifact_path: The artifact file the registry serves from (the
+            "current" slot).  The backup lives next to it with a
+            ``.previous.json`` suffix, the ledger as ``ledger.json``.
+        registry: Registry to (re)register promotions into; ``None``
+            manages files only (offline CLI use).
+        model_name: Registry key, default ``"default"``.
+        verify: Forwarded to :meth:`ModelRegistry.register`.
+    """
+
+    def __init__(
+        self,
+        artifact_path: Path,
+        registry: Optional[ModelRegistry] = None,
+        model_name: str = "default",
+        verify: bool = False,
+    ):
+        self._path = Path(artifact_path)
+        self._previous = self._path.with_name(self._path.stem + ".previous.json")
+        self._ledger_path = self._path.parent / "ledger.json"
+        self._registry = registry
+        self._name = model_name
+        self._verify = verify
+        self._lock = threading.Lock()
+        self._records: List[PromotionRecord] = []
+        if self._ledger_path.exists():
+            self._records = self._load_ledger()
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def artifact_path(self) -> Path:
+        return self._path
+
+    @property
+    def model_name(self) -> str:
+        return self._name
+
+    def history(self) -> List[PromotionRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def current_info(self) -> Optional[ArtifactInfo]:
+        """Identity of the artifact in the current slot, if any."""
+        if not self._path.exists():
+            return None
+        return load_artifact(self._path).info
+
+    def status_doc(self) -> Dict[str, Any]:
+        """JSON-ready deployment state (the ``lifecycle status`` CLI)."""
+        info = self.current_info()
+        previous = None
+        if self._previous.exists():
+            previous = load_artifact(self._previous).info.fingerprint
+        with self._lock:
+            records = [r.to_doc() for r in self._records]
+        return {
+            "model_name": self._name,
+            "artifact_path": str(self._path),
+            "current_fingerprint": info.fingerprint if info else None,
+            "current_version": info.version if info else None,
+            "previous_fingerprint": previous,
+            "promotions": records,
+        }
+
+    # -- transitions ---------------------------------------------------
+
+    def initialize(self, contender: Contender) -> ArtifactInfo:
+        """First deployment: save *contender* and register it."""
+        with self._lock:
+            if self._path.exists():
+                raise LifecycleError(
+                    f"current slot {self._path} already holds an artifact; "
+                    f"use promote()"
+                )
+            info = save_artifact(contender, self._path)
+            self._register()
+            self._append(
+                PromotionRecord(
+                    ordinal=len(self._records) + 1,
+                    action="initialize",
+                    fingerprint=info.fingerprint,
+                )
+            )
+        return info
+
+    def promote(
+        self, candidate: Contender, gate: Optional[ShadowReport] = None
+    ) -> PromotionRecord:
+        """Back up the incumbent, install *candidate*, re-register.
+
+        Args:
+            candidate: The retrained model to install.
+            gate: Its shadow report; must have passed.  ``None`` is a
+                forced promotion (the CLI's ``--force``) and is recorded
+                as such (``gate: null``) in the ledger.
+
+        Raises:
+            LifecycleError: No incumbent, or the gate did not pass.
+        """
+        if gate is not None and not gate.passed:
+            raise LifecycleError(
+                "refusing to promote: shadow gate failed "
+                f"(candidate MRE {gate.candidate_mre:.4f} vs incumbent "
+                f"{gate.incumbent_mre:.4f}, margin {gate.margin:.0%})"
+            )
+        with self._lock:
+            if not self._path.exists():
+                raise LifecycleError(
+                    "no incumbent to promote over; use initialize()"
+                )
+            incumbent_fp = load_artifact(self._path).info.fingerprint
+            self._previous.write_text(self._path.read_text())
+            info = save_artifact(candidate, self._path)
+            if info.fingerprint == incumbent_fp:
+                # Restore the slot rather than record a no-op flip.
+                raise LifecycleError(
+                    "candidate is bitwise-identical to the incumbent "
+                    f"({info.fingerprint[:12]}…); nothing to promote"
+                )
+            self._register()
+            record = PromotionRecord(
+                ordinal=len(self._records) + 1,
+                action="promote",
+                fingerprint=info.fingerprint,
+                previous_fingerprint=incumbent_fp,
+                gate=gate.to_doc() if gate is not None else None,
+            )
+            self._append(record)
+        return record
+
+    def rollback(self) -> PromotionRecord:
+        """Swap the backup artifact back into the current slot.
+
+        One-step: the displaced current artifact becomes the new backup,
+        so a rollback can itself be rolled back (an A/B flip), but no
+        deeper history is kept.
+        """
+        with self._lock:
+            if not self._previous.exists():
+                raise LifecycleError("no previous artifact to roll back to")
+            if not self._path.exists():
+                raise LifecycleError("no current artifact; nothing to roll back")
+            current_text = self._path.read_text()
+            current_fp = load_artifact(self._path).info.fingerprint
+            restored = load_artifact(self._previous)
+            self._path.write_text(self._previous.read_text())
+            self._previous.write_text(current_text)
+            self._register()
+            record = PromotionRecord(
+                ordinal=len(self._records) + 1,
+                action="rollback",
+                fingerprint=restored.info.fingerprint,
+                previous_fingerprint=current_fp,
+            )
+            self._append(record)
+        return record
+
+    # -- internals -----------------------------------------------------
+
+    def _register(self) -> None:
+        if self._registry is not None:
+            self._registry.register(self._name, self._path, verify=self._verify)
+
+    def _append(self, record: PromotionRecord) -> None:
+        self._records.append(record)
+        doc = {
+            "format": LEDGER_FORMAT,
+            "model_name": self._name,
+            "records": [r.to_doc() for r in self._records],
+        }
+        self._ledger_path.parent.mkdir(parents=True, exist_ok=True)
+        self._ledger_path.write_text(json.dumps(doc, indent=2, sort_keys=True))
+
+    def _load_ledger(self) -> List[PromotionRecord]:
+        try:
+            doc = json.loads(self._ledger_path.read_text())
+            return [PromotionRecord.from_doc(r) for r in doc["records"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LifecycleError(
+                f"malformed promotion ledger {self._ledger_path}: {exc}"
+            ) from exc

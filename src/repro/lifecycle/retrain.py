@@ -1,0 +1,148 @@
+"""Scoped retraining: refresh only what drifted.
+
+A full sampling campaign is the expensive part of Contender (the paper's
+Sec. 5 cost analysis is exactly about avoiding it), so the lifecycle
+loop never re-runs it wholesale.  :func:`scoped_retrain` re-measures
+only the drifted templates — their isolated profiles, spoiler curves,
+and steady-state mixes *within the drifted set* — through the ordinary
+:func:`repro.core.training.collect_training_data` campaign, then merges
+the fresh measurements into the incumbent's :class:`TrainingData`.
+
+Because campaign tasks seed from their own identity (``task_rng``), the
+scoped campaign reuses the jobs-independent result cache and produces
+bit-identical data for any worker count; the merge is a pure function,
+so the candidate artifact's fingerprint is deterministic.
+
+Merge semantics (:func:`merge_training_data`):
+
+* profiles / spoilers of drifted templates: replaced by fresh ones;
+* observations whose *primary* is a drifted template: dropped and
+  replaced by fresh within-set observations (their latencies were
+  measured against the old database state);
+* observations of un-drifted primaries: kept, including mixes that
+  contain drifted templates — an un-drifted primary's residuals are by
+  definition still small, and dropping its cross-mixes would starve its
+  QS fit;
+* ``scan_seconds``: taken from the fresh campaign (re-measured at the
+  current database scale — these feed every CQI).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..config import LifecycleConfig
+from ..core.campaign import task_seed
+from ..core.training import TrainingData, collect_training_data
+from ..errors import LifecycleError
+from ..sampling.steady_state import SteadyStateConfig
+
+__all__ = ["merge_training_data", "retrain_seed", "scoped_retrain"]
+
+
+def retrain_seed(config_seed: int, round_ordinal: int) -> int:
+    """The campaign seed of the *round_ordinal*-th retraining round.
+
+    Derived from the incumbent's provenance seed through the campaign's
+    identity-hash scheme, so retraining rounds are reproducible but do
+    not replay the exact draws of the original campaign (a retrain that
+    resampled identical noise would hide genuine drift in the noise
+    floor).
+    """
+    return task_seed(config_seed, "lifecycle.retrain", key=round_ordinal)
+
+
+def merge_training_data(
+    incumbent: TrainingData,
+    fresh: TrainingData,
+    affected: Sequence[int],
+) -> TrainingData:
+    """Merge a scoped campaign's *fresh* data over the *incumbent*'s."""
+    affected_set = set(affected)
+    missing = affected_set - set(fresh.profiles)
+    if missing:
+        raise LifecycleError(
+            f"fresh campaign lacks affected templates: {sorted(missing)}"
+        )
+    profiles = dict(incumbent.profiles)
+    spoilers = dict(incumbent.spoilers)
+    for template_id in affected_set:
+        profiles[template_id] = fresh.profiles[template_id]
+        spoilers[template_id] = fresh.spoilers[template_id]
+    observations = {
+        mpl: [obs for obs in obs_list if obs.primary not in affected_set]
+        for mpl, obs_list in incumbent.observations.items()
+    }
+    for mpl, obs_list in fresh.observations.items():
+        observations.setdefault(mpl, []).extend(obs_list)
+    return TrainingData(
+        profiles=profiles,
+        spoilers=spoilers,
+        observations=observations,
+        scan_seconds=dict(fresh.scan_seconds),
+        config_seed=fresh.config_seed,
+    )
+
+
+def scoped_retrain(
+    incumbent: TrainingData,
+    catalog,
+    affected: Sequence[int],
+    round_ordinal: int = 0,
+    mpls: Optional[Sequence[int]] = None,
+    lhs_runs_per_mpl: int = 2,
+    config: Optional[LifecycleConfig] = None,
+    steady_config: Optional[SteadyStateConfig] = None,
+    jobs: Optional[int] = None,
+    metrics=None,
+    tracer=None,
+) -> TrainingData:
+    """Re-measure *affected* templates on *catalog* and merge.
+
+    Args:
+        incumbent: The serving model's training data.
+        catalog: The workload at the *current* database state (the
+            grown schema) — this is what the fresh measurements see.
+        affected: Drifted template ids (must exist in the incumbent).
+        round_ordinal: Which retraining round this is; keys the campaign
+            seed so successive retrains draw fresh noise.
+        mpls: MPLs to refresh; defaults to the incumbent's observed MPLs.
+        lhs_runs_per_mpl: LHS designs per MPL above 2 for the scoped
+            campaign.
+        config: Lifecycle knobs (only ``shadow_samples`` feeds the
+            default steady-state config here).
+        steady_config: Steady-state parameters; defaults to
+            ``samples_per_stream=config.shadow_samples``.
+        jobs: Campaign worker processes (results are jobs-independent).
+
+    Returns:
+        A merged :class:`TrainingData` for the candidate model.
+    """
+    affected = sorted(set(affected))
+    if not affected:
+        raise LifecycleError("scoped_retrain needs at least one template")
+    unknown = set(affected) - set(incumbent.profiles)
+    if unknown:
+        raise LifecycleError(
+            f"templates not in incumbent training data: {sorted(unknown)}"
+        )
+    cfg = config or LifecycleConfig()
+    if mpls is None:
+        mpls = sorted(incumbent.observations) or [2]
+    # MPLs above the affected-set size cannot be filled with distinct
+    # templates but mixes may repeat templates, so keep them as-is.
+    steady = steady_config or SteadyStateConfig(
+        samples_per_stream=cfg.shadow_samples
+    )
+    scoped_catalog = catalog.subset(affected)
+    fresh = collect_training_data(
+        scoped_catalog,
+        mpls=mpls,
+        lhs_runs_per_mpl=lhs_runs_per_mpl,
+        steady_config=steady,
+        seed=retrain_seed(incumbent.config_seed, round_ordinal),
+        jobs=jobs,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    return merge_training_data(incumbent, fresh, affected)

@@ -1,0 +1,150 @@
+"""Shadow scoring: gate a candidate model before it can serve.
+
+A retrained candidate is never promoted on faith.  It is scored against
+the incumbent on a *held-out* set of mixes — steady-state runs executed
+at the current database state with RNG streams keyed on
+``("lifecycle.holdout", mix)``, disjoint from every campaign key, so the
+gate never grades a model on the exact draws it was trained on.
+
+The gate is the paper's own metric: mean relative error (Eq. 1) over
+the held-out observations.  The candidate is promotable only when
+
+    candidate_mre <= incumbent_mre * (1 - promotion_margin)
+
+i.e. it must *beat* the incumbent by a configured relative margin, not
+merely tie it — a guard against churn from noise-level differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.campaign import task_rng
+from ..core.contender import Contender
+from ..errors import LifecycleError, ModelError
+from ..metrics.errors import mean_relative_error
+from ..sampling.steady_state import SteadyStateConfig, run_steady_state
+
+__all__ = ["HoldoutObservation", "ShadowReport", "collect_holdout", "shadow_score"]
+
+Mix = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class HoldoutObservation:
+    """One held-out ground-truth latency: *primary*'s mean steady-state
+    latency inside *mix* at the current database state."""
+
+    primary: int
+    mix: Mix
+    observed: float
+
+
+@dataclass(frozen=True)
+class ShadowReport:
+    """Outcome of one shadow-scoring pass.
+
+    Attributes:
+        incumbent_mre: Incumbent MRE over the scored observations.
+        candidate_mre: Candidate MRE over the same observations.
+        margin: Required relative improvement (``promotion_margin``).
+        observations: Observations both models could score.
+        skipped: Observations at least one model could not predict
+            (missing QS fit) — excluded from both MREs.
+        passed: Whether the candidate clears the gate.
+    """
+
+    incumbent_mre: float
+    candidate_mre: float
+    margin: float
+    observations: int
+    skipped: int
+    passed: bool
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "incumbent_mre": self.incumbent_mre,
+            "candidate_mre": self.candidate_mre,
+            "margin": self.margin,
+            "observations": self.observations,
+            "skipped": self.skipped,
+            "passed": self.passed,
+        }
+
+
+def collect_holdout(
+    catalog,
+    mixes: Sequence[Mix],
+    seed: int,
+    steady_config: Optional[SteadyStateConfig] = None,
+) -> List[HoldoutObservation]:
+    """Ground-truth latencies for *mixes* at *catalog*'s current state.
+
+    Each mix's RNG is keyed on ``(seed, "lifecycle.holdout", mix)`` —
+    order-independent, and disjoint from the ``"mix"`` keys the training
+    campaigns use, so holdout draws never coincide with training draws.
+    """
+    if not mixes:
+        raise LifecycleError("holdout needs at least one mix")
+    steady = steady_config or SteadyStateConfig(samples_per_stream=3)
+    observations: List[HoldoutObservation] = []
+    for mix in sorted(set(tuple(sorted(m)) for m in mixes)):
+        rng = task_rng(seed, "lifecycle.holdout", key=mix, mpl=len(mix))
+        result = run_steady_state(catalog, mix, config=steady, rng=rng)
+        for primary in sorted(set(mix)):
+            samples = [s.latency for s in result.samples_for(primary)]
+            observations.append(
+                HoldoutObservation(
+                    primary=primary,
+                    mix=tuple(mix),
+                    observed=sum(samples) / len(samples),
+                )
+            )
+    return observations
+
+
+def shadow_score(
+    incumbent: Contender,
+    candidate: Contender,
+    holdout: Sequence[HoldoutObservation],
+    margin: float,
+) -> ShadowReport:
+    """Score both models on *holdout* and decide promotability.
+
+    Observations either model cannot predict (no QS fit for that
+    template/MPL) are skipped for *both* — the comparison must be over
+    a common support or the MREs are incommensurable.
+    """
+    if not holdout:
+        raise LifecycleError("cannot shadow-score an empty holdout set")
+    if not 0.0 <= margin < 1.0:
+        raise LifecycleError("promotion margin must be in [0, 1)")
+    observed: List[float] = []
+    inc_pred: List[float] = []
+    cand_pred: List[float] = []
+    skipped = 0
+    for obs in holdout:
+        try:
+            p_inc = incumbent.predict_known(obs.primary, obs.mix)
+            p_cand = candidate.predict_known(obs.primary, obs.mix)
+        except ModelError:
+            skipped += 1
+            continue
+        observed.append(obs.observed)
+        inc_pred.append(p_inc)
+        cand_pred.append(p_cand)
+    if not observed:
+        raise LifecycleError(
+            "no holdout observation was predictable by both models"
+        )
+    incumbent_mre = mean_relative_error(observed, inc_pred)
+    candidate_mre = mean_relative_error(observed, cand_pred)
+    return ShadowReport(
+        incumbent_mre=incumbent_mre,
+        candidate_mre=candidate_mre,
+        margin=margin,
+        observations=len(observed),
+        skipped=skipped,
+        passed=candidate_mre <= incumbent_mre * (1.0 - margin),
+    )

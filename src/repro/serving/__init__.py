@@ -9,7 +9,7 @@ prediction is what makes this affordable, Sec. 5.5):
   schema checks, plus an in-memory registry with hot reload;
 * :mod:`repro.serving.server` — a threaded stdlib-HTTP front end over a
   batching worker pool (``predict``, ``predict-new``, ``admit``,
-  ``health``, ``stats``, ``reload``);
+  ``observe``, ``health``, ``stats``, ``reload``);
 * :mod:`repro.serving.batching` / :mod:`repro.serving.cache` — request
   coalescing and LRU+TTL prediction memoization for repeated mixes;
 * :mod:`repro.serving.client` — the RPC client, a remote admission
@@ -29,6 +29,8 @@ from .protocol import (
     AdmitRequest,
     AdmitResponse,
     HealthResponse,
+    ObserveRequest,
+    ObserveResponse,
     PredictNewRequest,
     PredictRequest,
     PredictResponse,
@@ -59,6 +61,8 @@ __all__ = [
     "LoadReport",
     "LoadedModel",
     "ModelRegistry",
+    "ObserveRequest",
+    "ObserveResponse",
     "PredictNewRequest",
     "PredictRequest",
     "PredictResponse",

@@ -7,6 +7,14 @@ age out after ``ttl_seconds`` so a hot-reloaded model or drifting
 workload cannot serve stale numbers forever, and the LRU bound keeps the
 resident set proportional to the active mix population.
 
+The cache is additionally *generation-scoped*: every model flip
+(promotion, rollback, hot reload) bumps the generation, which both
+drops the resident set and — the part ``clear()`` alone cannot give —
+fences in-flight computations.  A batch snapshots the generation when
+it starts and passes it to :meth:`PredictionCache.put`; if a flip
+landed in between, the write is discarded instead of resurfacing an
+old model's prediction after the flip.
+
 The cache is thread-safe; the batch workers and front-end handler
 threads share one instance.
 """
@@ -43,16 +51,21 @@ class CacheStats:
         misses: Lookups that fell through to the model.
         evictions: Entries dropped by the LRU capacity bound.
         expirations: Entries dropped because their TTL elapsed.
+        stale_drops: Writes discarded because the generation moved on
+            between compute and insert (a model flip raced the batch).
         size: Entries currently resident.
         max_entries: Capacity bound.
+        generation: Invalidation epoch (bumped on every model flip).
     """
 
     hits: int
     misses: int
     evictions: int
     expirations: int
+    stale_drops: int
     size: int
     max_entries: int
+    generation: int
 
     @property
     def hit_rate(self) -> float:
@@ -66,8 +79,10 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "expirations": self.expirations,
+            "stale_drops": self.stale_drops,
             "size": self.size,
             "max_entries": self.max_entries,
+            "generation": self.generation,
             "hit_rate": self.hit_rate,
         }
 
@@ -100,6 +115,29 @@ class PredictionCache:
         self._misses = 0
         self._evictions = 0
         self._expirations = 0
+        self._stale_drops = 0
+        self._generation = 1
+
+    @property
+    def generation(self) -> int:
+        """The current invalidation epoch.
+
+        Snapshot this *before* computing a value destined for
+        :meth:`put`, alongside the model snapshot the value comes from.
+        """
+        with self._lock:
+            return self._generation
+
+    def bump_generation(self) -> int:
+        """Start a new epoch: drop every entry, fence in-flight writes.
+
+        Called on every model flip (promotion, rollback, hot reload).
+        Returns the new generation.
+        """
+        with self._lock:
+            self._generation += 1
+            self._entries.clear()
+            return self._generation
 
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value, or ``None`` on miss/expiry (counted)."""
@@ -118,20 +156,43 @@ class PredictionCache:
             self._hits += 1
             return value
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert (or refresh) *key*; evicts the LRU entry when full."""
+    def put(
+        self, key: Hashable, value: Any, generation: Optional[int] = None
+    ) -> bool:
+        """Insert (or refresh) *key*; evicts the LRU entry when full.
+
+        Args:
+            key: Cache key.
+            value: Value to memoize.
+            generation: The epoch the value was computed under (from
+                :attr:`generation`).  If the cache has since moved to a
+                newer epoch the write is silently discarded — the value
+                came from a model that is no longer serving.  ``None``
+                skips the fence (legacy callers without a snapshot).
+
+        Returns:
+            True when the value was stored.
+        """
         if self._max == 0:
-            return
+            return False
         with self._lock:
+            if generation is not None and generation != self._generation:
+                self._stale_drops += 1
+                return False
             if key in self._entries:
                 del self._entries[key]
             self._entries[key] = (self._clock(), value)
             while len(self._entries) > self._max:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+            return True
 
     def clear(self) -> None:
-        """Drop every entry (hot reload invalidation); keeps counters."""
+        """Drop every entry; keeps counters and the current generation.
+
+        Prefer :meth:`bump_generation` for model flips — ``clear()``
+        alone does not fence writes already in flight.
+        """
         with self._lock:
             self._entries.clear()
 
@@ -147,6 +208,8 @@ class PredictionCache:
                 misses=self._misses,
                 evictions=self._evictions,
                 expirations=self._expirations,
+                stale_drops=self._stale_drops,
                 size=len(self._entries),
                 max_entries=self._max,
+                generation=self._generation,
             )

@@ -34,6 +34,8 @@ from .protocol import (
     AdmitRequest,
     AdmitResponse,
     HealthResponse,
+    ObserveRequest,
+    ObserveResponse,
     PredictNewRequest,
     PredictRequest,
     PredictResponse,
@@ -173,6 +175,19 @@ class PredictionClient:
         )
         return AdmitResponse.from_doc(
             self._request("POST", "/v1/admit", request.to_doc())
+        )
+
+    def observe(
+        self, primary: int, mix: Sequence[int], observed_latency: float
+    ) -> ObserveResponse:
+        """Report a measured latency; feeds the server's drift monitor."""
+        request = ObserveRequest(
+            primary=primary,
+            mix=tuple(mix),
+            observed_latency=observed_latency,
+        )
+        return ObserveResponse.from_doc(
+            self._request("POST", "/v1/observe", request.to_doc())
         )
 
     def health(self) -> HealthResponse:

@@ -14,8 +14,9 @@ path                      verb  body
 ``/v1/predict``           POST  :class:`PredictRequest`
 ``/v1/predict-new``       POST  :class:`PredictNewRequest`
 ``/v1/admit``             POST  :class:`AdmitRequest`
+``/v1/observe``           POST  :class:`ObserveRequest`
 ``/v1/health``            GET   — (returns :class:`HealthResponse`)
-``/v1/stats``             GET   — (cache/batch/request counters)
+``/v1/stats``             GET   — (cache/batch/request + lifecycle state)
 ``/v1/reload``            POST  — (hot-reload the registry artifact)
 ========================  ====  =========================================
 """
@@ -34,6 +35,8 @@ __all__ = [
     "AdmitRequest",
     "AdmitResponse",
     "HealthResponse",
+    "ObserveRequest",
+    "ObserveResponse",
     "PredictNewRequest",
     "PredictRequest",
     "PredictResponse",
@@ -232,6 +235,54 @@ class AdmitRequest:
         return doc
 
 
+@dataclass(frozen=True)
+class ObserveRequest:
+    """Report a ground-truth latency for a served prediction.
+
+    The lifecycle loop's input: the client tells the server what a
+    template *actually* took inside a mix, the server re-derives its own
+    prediction for the same key (through the ordinary cached path) and
+    feeds the residual to the drift monitor.
+
+    Attributes:
+        primary: Template whose latency was observed.
+        mix: The full concurrent mix, primary's slot included.
+        observed_latency: Measured steady-state latency, seconds (> 0).
+    """
+
+    primary: int
+    mix: Tuple[int, ...]
+    observed_latency: float
+
+    @staticmethod
+    def from_doc(doc: Mapping[str, Any]) -> "ObserveRequest":
+        try:
+            observed = float(_require(doc, "observed_latency"))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"'observed_latency' must be a number: {exc}"
+            ) from exc
+        req = ObserveRequest(
+            primary=_as_template(_require(doc, "primary"), "primary"),
+            mix=_as_mix(_require(doc, "mix"), "mix"),
+            observed_latency=observed,
+        )
+        if req.primary not in req.mix:
+            raise ProtocolError(
+                f"primary {req.primary} must occupy a slot in the mix"
+            )
+        if not req.observed_latency > 0:
+            raise ProtocolError("'observed_latency' must be positive")
+        return req
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "primary": self.primary,
+            "mix": list(self.mix),
+            "observed_latency": self.observed_latency,
+        }
+
+
 # ----------------------------------------------------------------------
 # Responses.
 
@@ -305,6 +356,52 @@ class AdmitResponse:
                 self.worst_ratio if self.worst_ratio != float("inf") else None
             ),
             "limiting_template": self.limiting_template,
+            "model_version": self.model_version,
+        }
+
+
+@dataclass(frozen=True)
+class ObserveResponse:
+    """The monitor's view of one ingested observation.
+
+    Attributes:
+        predicted: The serving model's prediction for the observed key.
+        residual: Signed relative residual
+            ``(observed - predicted) / observed``.
+        drifted: Whether this template is now flagged as drifted.
+        verdict: The drift verdict this observation fired, if any
+            (a :class:`repro.lifecycle.DriftVerdict` document).
+        model_version: Version tag of the artifact that predicted.
+    """
+
+    predicted: float
+    residual: float
+    drifted: bool
+    verdict: Optional[Dict[str, Any]] = None
+    model_version: str = ""
+
+    @staticmethod
+    def from_doc(doc: Mapping[str, Any]) -> "ObserveResponse":
+        verdict = doc.get("verdict")
+        if verdict is not None and not isinstance(verdict, Mapping):
+            raise ProtocolError("'verdict' must be an object or null")
+        try:
+            return ObserveResponse(
+                predicted=float(_require(doc, "predicted")),
+                residual=float(_require(doc, "residual")),
+                drifted=bool(_require(doc, "drifted")),
+                verdict=dict(verdict) if verdict is not None else None,
+                model_version=str(doc.get("model_version", "")),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed observe response: {exc}") from exc
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "predicted": self.predicted,
+            "residual": self.residual,
+            "drifted": self.drifted,
+            "verdict": self.verdict,
             "model_version": self.model_version,
         }
 

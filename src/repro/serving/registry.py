@@ -28,7 +28,7 @@ import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.contender import Contender, ContenderOptions
 from ..core.cqi import CQIVariant
@@ -327,6 +327,25 @@ class ModelRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._entries: Dict[str, RegistryEntry] = {}
+        self._listeners: List[Callable[[RegistryEntry], None]] = []
+
+    def subscribe(self, listener: Callable[[RegistryEntry], None]) -> None:
+        """Call *listener(entry)* whenever a name's model is *replaced*.
+
+        Fires on every swap — a :meth:`register` over an existing name
+        (lifecycle promotion/rollback) or a :meth:`maybe_reload` that
+        picked up a changed artifact — but not on first registration.
+        Listeners run outside the registry lock and must not raise; the
+        prediction server uses this to invalidate its cache generation.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def _notify(self, entry: RegistryEntry) -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(entry)
 
     def register(self, name: str, path: Path, verify: bool = False) -> RegistryEntry:
         """Load *path* and register it under *name* (replaces any prior)."""
@@ -342,7 +361,9 @@ class ModelRegistry:
                 generation=(previous.generation + 1) if previous else 1,
             )
             self._entries[name] = entry
-            return entry
+        if previous is not None:
+            self._notify(entry)
+        return entry
 
     def entry(self, name: str) -> RegistryEntry:
         with self._lock:
@@ -392,4 +413,5 @@ class ModelRegistry:
                 generation=current.generation + 1,
             )
             self._entries[name] = updated
-            return updated
+        self._notify(updated)
+        return updated

@@ -40,7 +40,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
 from ..apps.admission import AdmissionController
-from ..config import ServingConfig
+from ..config import LifecycleConfig, ServingConfig
 from ..errors import ProtocolError, ReproError, ServingError
 from ..obs.export import CONTENT_TYPE_LATEST, render_prometheus
 from ..obs.metrics import Registry
@@ -50,12 +50,14 @@ from .protocol import (
     AdmitRequest,
     AdmitResponse,
     HealthResponse,
+    ObserveRequest,
+    ObserveResponse,
     PredictNewRequest,
     PredictRequest,
     PredictResponse,
     decode_json,
 )
-from .registry import ModelRegistry
+from .registry import ModelRegistry, RegistryEntry
 
 __all__ = ["DEFAULT_MODEL_NAME", "PredictionServer"]
 
@@ -112,7 +114,7 @@ class _ServingInstruments:
         )
         self.reloads = registry.counter(
             "serving_model_reloads_total",
-            "Hot reloads that actually swapped the model.",
+            "Model swaps observed (hot reloads, promotions, rollbacks).",
         )
         registry.gauge_function(
             "serving_uptime_seconds",
@@ -130,7 +132,9 @@ class _ServingInstruments:
             ("misses", "Prediction-cache lookups that fell through."),
             ("evictions", "Prediction-cache entries dropped by the LRU bound."),
             ("expirations", "Prediction-cache entries dropped by TTL."),
+            ("stale_drops", "Prediction-cache writes fenced by a model flip."),
             ("size", "Prediction-cache entries currently resident."),
+            ("generation", "Prediction-cache invalidation epoch."),
         ):
             registry.gauge_function(
                 f"serving_cache_{attr}",
@@ -177,6 +181,7 @@ class PredictionServer:
         config: Optional[ServingConfig] = None,
         model_name: str = DEFAULT_MODEL_NAME,
         metrics: Optional[Registry] = None,
+        lifecycle: Optional[LifecycleConfig] = None,
     ):
         self._registry = registry
         self._config = config if config is not None else ServingConfig()
@@ -187,6 +192,10 @@ class PredictionServer:
             max_entries=self._config.cache_entries,
             ttl_seconds=self._config.cache_ttl,
         )
+        # Every registry swap of our model — hot reload, lifecycle
+        # promotion, rollback — bumps the cache generation, dropping
+        # resident entries and fencing in-flight batch writes.
+        registry.subscribe(self._on_model_swap)
         self._instr: Optional[_ServingInstruments] = None
         self._batcher = RequestBatcher(
             self._compute_batch,
@@ -200,6 +209,18 @@ class PredictionServer:
         self._metrics = metrics
         if self._metrics is not None:
             self._instr = _ServingInstruments(self._metrics, self)
+        self._lifecycle_config = (
+            lifecycle if lifecycle is not None else LifecycleConfig()
+        )
+        self._monitor = None
+        if self._lifecycle_config.enabled:
+            # Deferred import: repro.lifecycle imports serving.registry,
+            # so a top-level import here would be circular.
+            from ..lifecycle.monitor import ResidualMonitor
+
+            self._monitor = ResidualMonitor(
+                self._lifecycle_config, self._metrics
+            )
         self._counters: Dict[str, int] = {}
         self._counter_lock = threading.Lock()
         self._started = time.monotonic()
@@ -239,11 +260,14 @@ class PredictionServer:
         config: Optional[ServingConfig] = None,
         verify: bool = False,
         metrics: Optional[Registry] = None,
+        lifecycle: Optional[LifecycleConfig] = None,
     ) -> "PredictionServer":
         """A server over a fresh registry loaded from one artifact."""
         registry = ModelRegistry()
         registry.register(DEFAULT_MODEL_NAME, path, verify=verify)
-        return PredictionServer(registry, config=config, metrics=metrics)
+        return PredictionServer(
+            registry, config=config, metrics=metrics, lifecycle=lifecycle
+        )
 
     @property
     def host(self) -> str:
@@ -300,8 +324,21 @@ class PredictionServer:
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
 
+    @property
+    def monitor(self):
+        """The lifecycle residual monitor, or ``None`` when disabled."""
+        return self._monitor
+
     # ------------------------------------------------------------------
     # The batched prediction path.
+
+    def _on_model_swap(self, entry: RegistryEntry) -> None:
+        """Registry listener: invalidate the cache on any model flip."""
+        if entry.name != self._model_name:
+            return
+        self._cache.bump_generation()
+        if self._instr is not None:
+            self._instr.reloads.inc()
 
     def _on_batch(self, batch_size: int, unique_keys: int) -> None:
         instr = self._instr
@@ -320,11 +357,14 @@ class PredictionServer:
 
         The registry entry is snapshotted once for the whole batch —
         predictor, version, and fingerprint all come from the same model
-        even when a reload lands mid-batch — and cache keys carry the
-        fingerprint, so entries written by this batch are unreachable
-        under any other model.
+        even when a reload lands mid-batch.  Cache keys carry the
+        fingerprint (entries written by this batch are unreachable under
+        any other model) and writes carry the cache generation
+        snapshotted alongside the model, so a flip that lands mid-batch
+        fences this batch's inserts instead of letting them outlive it.
         """
         entry = self._registry.entry(self._model_name)
+        generation = self._cache.generation
         contender = entry.contender
         version = entry.version
         fingerprint = entry.model.info.fingerprint
@@ -341,7 +381,7 @@ class PredictionServer:
             except ReproError as exc:
                 results[key] = exc
                 continue
-            self._cache.put(cache_key, latency)
+            self._cache.put(cache_key, latency, generation=generation)
             results[key] = (latency, False, version)
         return results
 
@@ -397,6 +437,33 @@ class PredictionServer:
             model_version=entry.version,
         )
 
+    def _observe(self, request: ObserveRequest) -> ObserveResponse:
+        """Ingest a ground-truth latency into the drift monitor.
+
+        The server derives its own prediction for the observed key
+        through the ordinary batched/cached path, so the residual always
+        compares against what the *serving* model would have answered.
+        """
+        if self._monitor is None:
+            raise ServingError("lifecycle monitoring is disabled")
+        prediction = self._predict(
+            PredictRequest(primary=request.primary, mix=request.mix)
+        )
+        verdict = self._monitor.ingest(
+            request.primary, prediction.latency, request.observed_latency
+        )
+        residual = (
+            request.observed_latency - prediction.latency
+        ) / request.observed_latency
+        drifted = request.primary in self._monitor.drifted_templates()
+        return ObserveResponse(
+            predicted=prediction.latency,
+            residual=residual,
+            drifted=drifted,
+            verdict=verdict.to_doc() if verdict is not None else None,
+            model_version=prediction.model_version,
+        )
+
     def _health(self) -> HealthResponse:
         entry = self._registry.entry(self._model_name)
         contender = entry.contender
@@ -416,7 +483,7 @@ class PredictionServer:
         entry = self._registry.entry(self._model_name)
         with self._counter_lock:
             counters = dict(self._counters)
-        return {
+        doc = {
             "model_name": self._model_name,
             "model_version": entry.version,
             "model_generation": entry.generation,
@@ -427,16 +494,15 @@ class PredictionServer:
             "batching": self._batcher.stats().as_dict(),
             "metrics_enabled": self._metrics is not None,
         }
+        if self._monitor is not None:
+            doc["lifecycle"] = self._monitor.snapshot()
+        return doc
 
     def _reload(self) -> Dict[str, Any]:
+        # Cache invalidation happens in _on_model_swap (the registry
+        # notifies every subscriber on the swap), so promotions that
+        # bypass this endpoint invalidate exactly the same way.
         updated = self._registry.maybe_reload(self._model_name)
-        if updated is not None:
-            # A new model invalidates every memoized prediction.  Cache
-            # keys are fingerprint-scoped, so this is hygiene (freeing
-            # memory), not correctness: stale entries are unreachable.
-            self._cache.clear()
-            if self._instr is not None:
-                self._instr.reloads.inc()
         version = (
             updated.version
             if updated is not None
@@ -459,36 +525,43 @@ class PredictionServer:
             self._counters[op] = self._counters.get(op, 0) + 1
 
     def _route(self, handler: BaseHTTPRequestHandler, verb: str) -> None:
+        # Instruments are updated BEFORE the response bytes are written:
+        # a client that has received its response must find the request
+        # already counted if it scrapes /metrics next.
         instr = self._instr
         started = time.perf_counter()
         if instr is not None:
             instr.in_flight.inc()
         op = ["unknown"]
         error_type: Optional[str] = None
+        status = 200
+        doc: Optional[Dict[str, Any]] = None
+        text: Optional[_TextPayload] = None
         try:
             try:
                 payload = self._dispatch(handler, verb, op)
             except ProtocolError as exc:
                 error_type = "protocol"
-                self._respond(handler, 400, {"error": str(exc), "type": "protocol"})
+                status, doc = 400, {"error": str(exc), "type": "protocol"}
             except ServingError as exc:
                 error_type = "serving"
                 status = 504 if "timed out" in str(exc) else 503
-                self._respond(handler, status, {"error": str(exc), "type": "serving"})
+                doc = {"error": str(exc), "type": "serving"}
             except ReproError as exc:
                 error_type = "model"
-                self._respond(handler, 422, {"error": str(exc), "type": "model"})
+                status, doc = 422, {"error": str(exc), "type": "model"}
             except Exception as exc:  # noqa: BLE001 — keep the server alive
                 error_type = "internal"
-                self._respond(handler, 500, {"error": str(exc), "type": "internal"})
+                status, doc = 500, {"error": str(exc), "type": "internal"}
             else:
                 if payload is None:
                     error_type = "not_found"
-                    self._respond(handler, 404, {"error": "unknown endpoint", "type": "protocol"})
+                    status = 404
+                    doc = {"error": "unknown endpoint", "type": "protocol"}
                 elif isinstance(payload, _TextPayload):
-                    self._respond_text(handler, 200, payload)
+                    text = payload
                 else:
-                    self._respond(handler, 200, payload)
+                    doc = payload
         finally:
             if instr is not None:
                 instr.in_flight.dec()
@@ -498,6 +571,10 @@ class PredictionServer:
                 )
                 if error_type is not None:
                     instr.errors.labels(error_type).inc()
+        if text is not None:
+            self._respond_text(handler, 200, text)
+        else:
+            self._respond(handler, status, doc or {})
 
     def _dispatch(
         self, handler: BaseHTTPRequestHandler, verb: str, op: list
@@ -507,6 +584,9 @@ class PredictionServer:
         route = (verb, path)
         if route == ("GET", "/metrics") and self._metrics is not None:
             op[0] = "metrics"
+            if self._monitor is not None:
+                # Per-template lifecycle gauges are publish-on-read.
+                self._monitor.publish()
             return _TextPayload(
                 render_prometheus(self._metrics).encode("utf-8"),
                 CONTENT_TYPE_LATEST,
@@ -527,6 +607,7 @@ class PredictionServer:
             "/v1/predict",
             "/v1/predict-new",
             "/v1/admit",
+            "/v1/observe",
         ):
             return None
         length = int(handler.headers.get("Content-Length", 0))
@@ -539,6 +620,10 @@ class PredictionServer:
             op[0] = "predict_new"
             self._count("predict_new")
             return self._predict_new(PredictNewRequest.from_doc(doc)).to_doc()
+        if path == "/v1/observe":
+            op[0] = "observe"
+            self._count("observe")
+            return self._observe(ObserveRequest.from_doc(doc)).to_doc()
         op[0] = "admit"
         self._count("admit")
         return self._admit(AdmitRequest.from_doc(doc)).to_doc()

@@ -1,0 +1,101 @@
+"""End-to-end lifecycle: injected database growth degrades the serving
+model, the detectors fire, a scoped retrain passes the shadow gate, and
+the promoted model restores accuracy — all deterministically under a
+fixed seed.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lifecycle.manager import run_growth_scenario
+
+SEED = 20140324
+
+
+@pytest.fixture(scope="module")
+def scenario(tmp_path_factory):
+    state_dir = tmp_path_factory.mktemp("lifecycle-e2e")
+    return run_growth_scenario(state_dir, seed=SEED), state_dir
+
+
+def test_growth_degrades_then_promotion_recovers(scenario):
+    report, _ = scenario
+    phases = {p.name: p for p in report.phases}
+    assert set(phases) == {"baseline", "drifted", "recovered"}
+    # Growth pushed the error well past the baseline...
+    assert phases["drifted"].mre > 3 * phases["baseline"].mre
+    assert phases["drifted"].mre > report.recovery_mre
+    # ...and the promoted model pulled it back under the bar.
+    assert report.recovered
+    assert phases["recovered"].mre <= report.recovery_mre
+    assert phases["recovered"].mre < 2 * phases["baseline"].mre
+
+
+def test_every_template_drifts_and_detection_precedes_promotion(scenario):
+    report, _ = scenario
+    drifted = {v["template_id"] for v in report.verdicts}
+    assert drifted == set(report.templates)
+    assert report.reaction is not None
+    assert report.reaction["action"] == "promoted"
+    shadow = report.reaction["shadow"]
+    assert shadow["passed"] is True
+    assert shadow["candidate_mre"] < shadow["incumbent_mre"]
+
+
+def test_ledger_records_initialize_then_gated_promote(scenario):
+    report, state_dir = scenario
+    assert [r["action"] for r in report.ledger] == ["initialize", "promote"]
+    promote = report.ledger[1]
+    assert promote["fingerprint"] == report.promoted_fingerprint
+    assert promote["previous_fingerprint"] == report.incumbent_fingerprint
+    assert promote["gate"]["passed"] is True
+    # The ledger on disk matches the report (and carries no timestamps).
+    on_disk = json.loads((state_dir / "ledger.json").read_text())
+    assert on_disk["records"] == report.ledger
+
+
+def test_rerun_replays_verdicts_and_artifact_hash(scenario, tmp_path):
+    first, _ = scenario
+    second = run_growth_scenario(tmp_path / "replay", seed=SEED)
+    # Determinism anchors: identical verdict stream (template, detector,
+    # statistic, ordinal) and a bitwise-identical promoted artifact.
+    assert second.verdicts == first.verdicts
+    assert second.promoted_fingerprint == first.promoted_fingerprint
+    assert second.incumbent_fingerprint == first.incumbent_fingerprint
+    assert [p.to_doc() for p in second.phases] == [
+        p.to_doc() for p in first.phases
+    ]
+    assert second.ledger == first.ledger
+
+
+def test_different_seed_changes_the_draws(scenario, tmp_path):
+    first, _ = scenario
+    other = run_growth_scenario(tmp_path / "other", seed=SEED + 1)
+    assert other.incumbent_fingerprint != first.incumbent_fingerprint
+    # The arc still completes: drift detected, candidate promoted.
+    assert other.recovered
+
+
+def test_cli_run_emits_the_full_report_as_json(tmp_path, capsys):
+    rc = main(
+        [
+            "lifecycle",
+            "run",
+            "--state-dir",
+            str(tmp_path / "cli"),
+            "--seed",
+            str(SEED),
+            "--json",
+        ]
+    )
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["recovered"] is True
+    assert [r["action"] for r in doc["ledger"]] == ["initialize", "promote"]
+
+    rc = main(["lifecycle", "status", "--state-dir", str(tmp_path / "cli")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "promote" in out and "gate" in out

@@ -1,0 +1,206 @@
+"""Drift-detector guarantees: no false positives on stationary streams,
+guaranteed detection of step changes, latching, and replayability.
+
+The mean-shift test is *structural*: with residual noise confined to
+``[-b, +b]`` its statistic can never exceed ``2b``, so any threshold
+above that bound has a false-positive rate of exactly zero — hypothesis
+is free to pick adversarial bounded sequences.  Page-Hinkley has no such
+adversarial bound (a worst-case bounded sequence *is* a mean shift), so
+its no-FP property is stated over i.i.d. stationary noise drawn from a
+seeded generator.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LifecycleError
+from repro.lifecycle.detectors import (
+    DriftVerdict,
+    MeanShiftDetector,
+    PageHinkleyDetector,
+)
+
+NOISE = 0.05  # residual noise bound used throughout
+
+
+def _mean_shift() -> MeanShiftDetector:
+    # threshold 0.12 > 2 * NOISE = 0.10: structurally FP-free.
+    return MeanShiftDetector(reference_window=10, test_window=5, threshold=0.12)
+
+
+def _page_hinkley() -> PageHinkleyDetector:
+    return PageHinkleyDetector(delta=0.01, lambda_=0.6, min_samples=10)
+
+
+# ----------------------------------------------------------------------
+# No false positives on stationary residuals.
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-NOISE, max_value=NOISE, allow_nan=False),
+        max_size=200,
+    )
+)
+def test_mean_shift_never_fires_on_bounded_noise(values):
+    detector = _mean_shift()
+    assert not any(detector.update(v) for v in values)
+    assert not detector.fired
+    if detector.statistic is not None:
+        assert detector.statistic <= 2 * NOISE
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_page_hinkley_never_fires_on_stationary_noise(seed):
+    rng = np.random.default_rng(seed)
+    detector = _page_hinkley()
+    stream = rng.uniform(-NOISE, NOISE, size=300)
+    assert not any(detector.update(float(v)) for v in stream)
+    assert not detector.fired
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_both_detectors_quiet_on_biased_but_stationary_noise(seed):
+    # A constant bias is calibrated away: the mean-shift reference
+    # absorbs it and Page-Hinkley's running mean converges onto it.
+    rng = np.random.default_rng(seed)
+    ms, ph = _mean_shift(), _page_hinkley()
+    stream = 0.03 + rng.uniform(-0.02, 0.02, size=300)
+    for v in stream:
+        assert not ms.update(float(v))
+        assert not ph.update(float(v))
+
+
+# ----------------------------------------------------------------------
+# Guaranteed detection of a step change.
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.floats(min_value=0.2, max_value=0.6, allow_nan=False),
+)
+def test_mean_shift_detects_step(seed, step):
+    rng = np.random.default_rng(seed)
+    detector = _mean_shift()
+    for v in rng.uniform(-NOISE, NOISE, size=30):
+        assert not detector.update(float(v))
+    # Step exceeds threshold + 2 * noise: once the test window fills
+    # with post-step samples the statistic must cross.
+    fired_at = None
+    for i, v in enumerate(rng.uniform(step - NOISE, step + NOISE, size=20)):
+        if detector.update(float(v)):
+            fired_at = i
+            break
+    assert fired_at is not None
+    assert fired_at < 5  # within one test window of the step
+    assert detector.fired
+    assert detector.statistic > detector.threshold
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.floats(min_value=0.2, max_value=0.6, allow_nan=False),
+)
+def test_page_hinkley_detects_sustained_shift(seed, step):
+    rng = np.random.default_rng(seed)
+    detector = _page_hinkley()
+    for v in rng.uniform(-NOISE, NOISE, size=30):
+        assert not detector.update(float(v))
+    # After the shift the statistic grows ~(step/2 - delta) per sample
+    # (the running mean chases the new level), so it must cross any
+    # finite lambda.
+    fired = False
+    for v in rng.uniform(step - NOISE, step + NOISE, size=60):
+        if detector.update(float(v)):
+            fired = True
+            break
+    assert fired
+
+
+# ----------------------------------------------------------------------
+# Latching and reset.
+
+
+def test_detectors_latch_until_reset():
+    for detector in (_mean_shift(), _page_hinkley()):
+        for _ in range(30):
+            detector.update(0.0)
+        fired = [detector.update(1.0) for _ in range(20)]
+        assert sum(fired) == 1, detector.name
+        assert detector.fired
+        detector.reset()
+        assert not detector.fired
+        assert detector.statistic is None
+        # Re-armed: a fresh stationary stream does not fire.
+        assert not any(detector.update(0.0) for _ in range(30))
+
+
+def test_mean_shift_reference_is_frozen_not_sliding():
+    detector = MeanShiftDetector(
+        reference_window=4, test_window=2, threshold=0.1
+    )
+    for _ in range(4):
+        detector.update(0.0)  # reference freezes at mean 0
+    # A slow creep the frozen reference cannot absorb.
+    assert not detector.update(0.1)  # test window not full yet
+    assert detector.update(0.3) or detector.fired
+
+
+def test_replaying_a_stream_replays_the_verdict_ordinal():
+    stream = [0.0] * 25 + [0.4] * 10
+    ordinals = []
+    for _ in range(2):
+        detector = _mean_shift()
+        for i, v in enumerate(stream):
+            if detector.update(v):
+                ordinals.append(i)
+                break
+    assert len(ordinals) == 2 and ordinals[0] == ordinals[1]
+
+
+# ----------------------------------------------------------------------
+# Construction and verdict serialization.
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"reference_window": 0, "test_window": 5, "threshold": 0.1},
+        {"reference_window": 5, "test_window": 0, "threshold": 0.1},
+        {"reference_window": 5, "test_window": 5, "threshold": 0.0},
+    ],
+)
+def test_mean_shift_rejects_bad_parameters(kwargs):
+    with pytest.raises(LifecycleError):
+        MeanShiftDetector(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"delta": -0.1, "lambda_": 0.5, "min_samples": 5},
+        {"delta": 0.01, "lambda_": 0.0, "min_samples": 5},
+        {"delta": 0.01, "lambda_": 0.5, "min_samples": 0},
+    ],
+)
+def test_page_hinkley_rejects_bad_parameters(kwargs):
+    with pytest.raises(LifecycleError):
+        PageHinkleyDetector(**kwargs)
+
+
+def test_verdict_doc_round_trip():
+    verdict = DriftVerdict(
+        template_id=26,
+        detector="mean_shift",
+        statistic=0.19,
+        threshold=0.12,
+        sample_ordinal=17,
+    )
+    assert DriftVerdict.from_doc(verdict.to_doc()) == verdict
+
+
+def test_verdict_rejects_malformed_doc():
+    with pytest.raises(LifecycleError):
+        DriftVerdict.from_doc({"detector": "mean_shift"})

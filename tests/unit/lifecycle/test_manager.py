@@ -1,0 +1,168 @@
+"""LifecycleManager.react: the detect -> retrain -> gate -> promote arc
+on a two-template micro-scenario."""
+
+import pytest
+
+from repro.config import LifecycleConfig
+from repro.core.contender import Contender
+from repro.core.training import collect_training_data
+from repro.errors import LifecycleError
+from repro.lifecycle.manager import LifecycleManager
+from repro.lifecycle.monitor import ResidualMonitor
+from repro.lifecycle.promotion import PromotionManager
+from repro.obs.metrics import Registry
+from repro.sampling.steady_state import SteadyStateConfig
+from repro.workload.catalog import TemplateCatalog
+from repro.workload.schema import build_schema
+
+FAST = LifecycleConfig(
+    reference_window=4,
+    test_window=2,
+    min_samples=4,
+    residual_window=16,
+)
+TEMPLATES = (22, 26)
+
+
+@pytest.fixture(scope="module")
+def incumbent_data(small_catalog):
+    return collect_training_data(
+        small_catalog.subset(TEMPLATES),
+        mpls=(2,),
+        lhs_runs_per_mpl=1,
+        steady_config=SteadyStateConfig(samples_per_stream=3),
+    )
+
+
+@pytest.fixture(scope="module")
+def grown_catalog(small_catalog):
+    return TemplateCatalog(
+        config=small_catalog.config,
+        schema=build_schema(140.0),
+        template_ids=list(TEMPLATES),
+    )
+
+
+def _manager(tmp_path, incumbent, metrics=None):
+    promotion = PromotionManager(tmp_path / "model.json")
+    promotion.initialize(incumbent)
+    return LifecycleManager(
+        monitor=ResidualMonitor(FAST, metrics=metrics),
+        promotion=promotion,
+        config=FAST,
+        metrics=metrics,
+    )
+
+
+def _inject_drift(manager, template_id):
+    for _ in range(6):
+        manager.observe(template_id, predicted=100.0, observed=101.0)
+    for _ in range(6):
+        manager.observe(template_id, predicted=100.0, observed=160.0)
+    assert template_id in manager.monitor.drifted_templates()
+
+
+def test_react_without_drift_is_a_noop(tmp_path, incumbent_data, small_catalog):
+    incumbent = Contender(incumbent_data)
+    manager = _manager(tmp_path, incumbent)
+    assert manager.react(small_catalog, incumbent) is None
+    assert len(manager.promotion.history()) == 1  # initialize only
+
+
+def test_react_retrains_and_promotes_on_drift(
+    tmp_path, incumbent_data, grown_catalog
+):
+    metrics = Registry()
+    incumbent = Contender(incumbent_data)
+    manager = _manager(tmp_path, incumbent, metrics=metrics)
+    for t in TEMPLATES:
+        _inject_drift(manager, t)
+
+    event = manager.react(grown_catalog, incumbent)
+    assert event["action"] == "promoted"
+    assert event["drifted"] == sorted(TEMPLATES)
+    assert event["shadow"]["passed"] is True
+
+    actions = [r.action for r in manager.promotion.history()]
+    assert actions == ["initialize", "promote"]
+    # A successful promotion re-arms the drifted templates.
+    assert manager.monitor.drifted_templates() == []
+
+    families = {f.name: f for f in metrics.collect()}
+    assert families["lifecycle_retrains_total"].value == 1
+    assert families["lifecycle_promotions_total"].value == 1
+    assert families["lifecycle_gate_rejections_total"].value == 0
+
+
+def test_react_is_deterministic(tmp_path, incumbent_data, grown_catalog):
+    events = []
+    for run in range(2):
+        incumbent = Contender(incumbent_data)
+        manager = _manager(tmp_path / f"run{run}", incumbent)
+        for t in TEMPLATES:
+            _inject_drift(manager, t)
+        events.append(manager.react(grown_catalog, incumbent))
+    assert events[0]["shadow"] == events[1]["shadow"]
+    assert (
+        events[0]["promotion"]["fingerprint"]
+        == events[1]["promotion"]["fingerprint"]
+    )
+
+
+def test_react_pads_a_singleton_scope_with_a_support_template(
+    tmp_path, incumbent_data, grown_catalog
+):
+    # A one-template campaign cannot produce enough distinct MPL-2
+    # mixes for the drifted template's QS fit, so the retrain scope is
+    # padded with the lowest-id un-drifted template and the reaction
+    # still completes.
+    incumbent = Contender(incumbent_data)
+    manager = _manager(tmp_path, incumbent)
+    _inject_drift(manager, 26)
+
+    event = manager.react(grown_catalog, incumbent)
+    assert event["drifted"] == [26]
+    assert event["scope"] == [22, 26]
+    assert event["action"] == "promoted"
+    # Only the drifted template is re-armed; 22 never drifted.
+    assert manager.monitor.drifted_templates() == []
+
+
+def test_react_rejects_when_gate_margin_is_unreachable(
+    tmp_path, incumbent_data, grown_catalog
+):
+    # A 99% required improvement is unreachable; the candidate is
+    # rejected, nothing is promoted, and the drift flag stays latched
+    # (the problem is still unsolved).
+    import dataclasses
+
+    strict = dataclasses.replace(FAST, promotion_margin=0.99)
+    metrics = Registry()
+    incumbent = Contender(incumbent_data)
+    promotion = PromotionManager(tmp_path / "model.json")
+    promotion.initialize(incumbent)
+    manager = LifecycleManager(
+        monitor=ResidualMonitor(strict, metrics=metrics),
+        promotion=promotion,
+        config=strict,
+        metrics=metrics,
+    )
+    for t in TEMPLATES:
+        _inject_drift(manager, t)
+
+    event = manager.react(grown_catalog, incumbent)
+    assert event["action"] == "rejected"
+    assert "promotion" not in event
+    assert [r.action for r in promotion.history()] == ["initialize"]
+    assert manager.monitor.drifted_templates() == sorted(TEMPLATES)
+
+    families = {f.name: f for f in metrics.collect()}
+    assert families["lifecycle_gate_rejections_total"].value == 1
+    assert families["lifecycle_promotions_total"].value == 0
+
+
+def test_rollback_delegates_to_promotion(tmp_path, incumbent_data):
+    incumbent = Contender(incumbent_data)
+    manager = _manager(tmp_path, incumbent)
+    with pytest.raises(LifecycleError):
+        manager.rollback()  # nothing promoted yet — no backup

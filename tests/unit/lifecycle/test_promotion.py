@@ -1,0 +1,166 @@
+"""PromotionManager: gated installs, one-step rollback, ledger replay."""
+
+import json
+
+import pytest
+
+from repro.core.contender import Contender
+from repro.errors import LifecycleError
+from repro.lifecycle.promotion import PromotionManager, PromotionRecord
+from repro.lifecycle.shadow import ShadowReport
+from repro.serving.registry import ModelRegistry, load_artifact
+
+
+@pytest.fixture(scope="module")
+def models(small_contender, small_training_data):
+    """Two distinct contenders (different fingerprints)."""
+    other = Contender(
+        small_training_data.restricted_to(
+            [t for t in small_training_data.template_ids if t != 22]
+        )
+    )
+    return small_contender, other
+
+
+def _gate(passed=True):
+    return ShadowReport(
+        incumbent_mre=0.3,
+        candidate_mre=0.05 if passed else 0.4,
+        margin=0.05,
+        observations=8,
+        skipped=0,
+        passed=passed,
+    )
+
+
+def test_initialize_then_promote_then_rollback(tmp_path, models):
+    a, b = models
+    manager = PromotionManager(tmp_path / "model.json")
+    info_a = manager.initialize(a)
+    record = manager.promote(b, gate=_gate())
+    assert record.action == "promote"
+    assert record.previous_fingerprint == info_a.fingerprint
+    assert load_artifact(manager.artifact_path).info.fingerprint == (
+        record.fingerprint
+    )
+
+    back = manager.rollback()
+    assert back.action == "rollback"
+    assert back.fingerprint == info_a.fingerprint
+    assert load_artifact(manager.artifact_path).info.fingerprint == (
+        info_a.fingerprint
+    )
+    # One-step history: rolling back again flips forward to B.
+    forward = manager.rollback()
+    assert forward.fingerprint == record.fingerprint
+
+
+def test_initialize_refuses_occupied_slot(tmp_path, models):
+    a, _ = models
+    manager = PromotionManager(tmp_path / "model.json")
+    manager.initialize(a)
+    with pytest.raises(LifecycleError):
+        manager.initialize(a)
+
+
+def test_promote_refuses_failed_gate(tmp_path, models):
+    a, b = models
+    manager = PromotionManager(tmp_path / "model.json")
+    manager.initialize(a)
+    with pytest.raises(LifecycleError, match="shadow gate failed"):
+        manager.promote(b, gate=_gate(passed=False))
+    # The incumbent still serves.
+    assert load_artifact(manager.artifact_path).info.fingerprint
+
+
+def test_promote_refuses_identical_candidate(tmp_path, models):
+    a, _ = models
+    manager = PromotionManager(tmp_path / "model.json")
+    manager.initialize(a)
+    with pytest.raises(LifecycleError, match="bitwise-identical"):
+        manager.promote(a, gate=_gate())
+
+
+def test_promote_requires_an_incumbent(tmp_path, models):
+    a, _ = models
+    manager = PromotionManager(tmp_path / "model.json")
+    with pytest.raises(LifecycleError):
+        manager.promote(a, gate=_gate())
+
+
+def test_rollback_requires_a_backup(tmp_path, models):
+    a, _ = models
+    manager = PromotionManager(tmp_path / "model.json")
+    manager.initialize(a)
+    with pytest.raises(LifecycleError):
+        manager.rollback()
+
+
+def test_ledger_survives_a_new_manager_instance(tmp_path, models):
+    a, b = models
+    manager = PromotionManager(tmp_path / "model.json")
+    manager.initialize(a)
+    manager.promote(b, gate=_gate())
+
+    reopened = PromotionManager(tmp_path / "model.json")
+    actions = [r.action for r in reopened.history()]
+    assert actions == ["initialize", "promote"]
+    # Ordinals keep counting where the ledger left off.
+    record = reopened.rollback()
+    assert record.ordinal == 3
+
+
+def test_ledger_records_gate_and_no_timestamps(tmp_path, models):
+    a, b = models
+    manager = PromotionManager(tmp_path / "model.json")
+    manager.initialize(a)
+    manager.promote(b, gate=_gate())
+    doc = json.loads((tmp_path / "ledger.json").read_text())
+    promote = doc["records"][1]
+    assert promote["gate"]["passed"] is True
+    assert set(promote) == {
+        "ordinal",
+        "action",
+        "fingerprint",
+        "previous_fingerprint",
+        "gate",
+    }
+
+
+def test_malformed_ledger_raises(tmp_path):
+    (tmp_path / "ledger.json").write_text('{"records": [{"ordinal": "x"}]}')
+    with pytest.raises(LifecycleError):
+        PromotionManager(tmp_path / "model.json")
+
+
+def test_record_doc_round_trip():
+    record = PromotionRecord(
+        ordinal=2,
+        action="promote",
+        fingerprint="abc",
+        previous_fingerprint="def",
+        gate=_gate().to_doc(),
+    )
+    assert PromotionRecord.from_doc(record.to_doc()) == record
+
+
+def test_promotion_notifies_a_live_registry(tmp_path, models):
+    a, b = models
+    registry = ModelRegistry()
+    manager = PromotionManager(tmp_path / "model.json", registry=registry)
+    manager.initialize(a)
+    first = registry.entry("default")
+
+    swaps = []
+    registry.subscribe(swaps.append)
+    record = manager.promote(b, gate=_gate())
+    assert registry.entry("default").model.info.fingerprint == (
+        record.fingerprint
+    )
+    assert len(swaps) == 1
+
+    manager.rollback()
+    assert registry.entry("default").model.info.fingerprint == (
+        first.model.info.fingerprint
+    )
+    assert len(swaps) == 2

@@ -1,0 +1,142 @@
+"""Shadow scoring: holdout determinism and the promotion gate."""
+
+import pytest
+
+from repro.core.contender import Contender
+from repro.errors import LifecycleError
+from repro.lifecycle.shadow import (
+    HoldoutObservation,
+    ShadowReport,
+    collect_holdout,
+    shadow_score,
+)
+
+MIXES = [(22, 26), (26, 65)]
+
+
+def test_holdout_is_seed_deterministic(small_catalog):
+    a = collect_holdout(small_catalog, MIXES, seed=11)
+    b = collect_holdout(small_catalog, MIXES, seed=11)
+    assert a == b
+    c = collect_holdout(small_catalog, MIXES, seed=12)
+    assert [o.observed for o in a] != [o.observed for o in c]
+
+
+def test_holdout_mix_order_is_irrelevant(small_catalog):
+    a = collect_holdout(small_catalog, [(22, 26), (26, 65)], seed=11)
+    b = collect_holdout(small_catalog, [(65, 26), (26, 22)], seed=11)
+    assert a == b
+
+
+def test_holdout_covers_each_primary_of_each_mix(small_catalog):
+    observations = collect_holdout(small_catalog, MIXES, seed=11)
+    assert {(o.primary, o.mix) for o in observations} == {
+        (22, (22, 26)),
+        (26, (22, 26)),
+        (26, (26, 65)),
+        (65, (26, 65)),
+    }
+
+
+def test_holdout_rejects_empty_mix_list(small_catalog):
+    with pytest.raises(LifecycleError):
+        collect_holdout(small_catalog, [], seed=11)
+
+
+def _constant_holdout(value=100.0):
+    return [HoldoutObservation(primary=22, mix=(22, 26), observed=value)]
+
+
+class _FixedModel:
+    """Predicts a constant — lets tests dial each model's MRE exactly."""
+
+    def __init__(self, prediction):
+        self._prediction = prediction
+
+    def predict_known(self, primary, mix):
+        return self._prediction
+
+
+def test_gate_passes_when_candidate_beats_margin():
+    report = shadow_score(
+        _FixedModel(80.0),  # incumbent MRE 0.2
+        _FixedModel(98.0),  # candidate MRE 0.02
+        _constant_holdout(),
+        margin=0.05,
+    )
+    assert report.passed
+    assert report.incumbent_mre == pytest.approx(0.2)
+    assert report.candidate_mre == pytest.approx(0.02)
+
+
+def test_gate_rejects_improvement_within_noise_margin():
+    # 4% better than the incumbent but the margin demands 5%.
+    report = shadow_score(
+        _FixedModel(80.0),  # incumbent MRE 0.20
+        _FixedModel(80.8),  # candidate MRE 0.192
+        _constant_holdout(),
+        margin=0.05,
+    )
+    assert not report.passed
+
+
+def test_gate_rejects_worse_candidate():
+    report = shadow_score(
+        _FixedModel(98.0),
+        _FixedModel(60.0),
+        _constant_holdout(),
+        margin=0.0,
+    )
+    assert not report.passed
+
+
+def test_unpredictable_observations_are_skipped_for_both(
+    small_training_data, small_contender
+):
+    # The candidate lacks template 22 entirely, so observations with
+    # primary 22 are skipped for both models — common support only.
+    smaller = Contender(
+        small_training_data.restricted_to(
+            [t for t in small_training_data.template_ids if t != 22]
+        )
+    )
+    holdout = [
+        HoldoutObservation(primary=22, mix=(22, 26), observed=100.0),
+        HoldoutObservation(primary=26, mix=(26, 65), observed=100.0),
+    ]
+    report = shadow_score(small_contender, smaller, holdout, margin=0.0)
+    assert report.skipped == 1
+    assert report.observations == 1
+
+
+def test_no_common_support_raises(small_training_data, small_contender):
+    smaller = Contender(
+        small_training_data.restricted_to(
+            [t for t in small_training_data.template_ids if t != 22]
+        )
+    )
+    holdout = [HoldoutObservation(primary=22, mix=(22, 26), observed=100.0)]
+    with pytest.raises(LifecycleError):
+        shadow_score(small_contender, smaller, holdout, margin=0.0)
+
+
+def test_shadow_score_validates_inputs(small_contender):
+    with pytest.raises(LifecycleError):
+        shadow_score(small_contender, small_contender, [], margin=0.0)
+    with pytest.raises(LifecycleError):
+        shadow_score(
+            small_contender, small_contender, _constant_holdout(), margin=1.0
+        )
+
+
+def test_report_doc_is_json_ready():
+    report = ShadowReport(
+        incumbent_mre=0.2,
+        candidate_mre=0.05,
+        margin=0.05,
+        observations=10,
+        skipped=1,
+        passed=True,
+    )
+    doc = report.to_doc()
+    assert doc["passed"] is True and doc["observations"] == 10

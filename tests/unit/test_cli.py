@@ -187,3 +187,122 @@ def test_diagnose_command(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "diagnostics" in out
     assert "unflagged" in out
+
+
+def test_lifecycle_status_on_empty_state_dir(tmp_path, capsys):
+    assert main(["lifecycle", "status", "--state-dir", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "current   : -" in out
+    assert "0 records" in out
+
+
+def test_lifecycle_promote_and_rollback_cycle(
+    tmp_path, small_contender, small_training_data, capsys
+):
+    from repro.core.contender import Contender
+    from repro.serving.registry import load_artifact, save_artifact
+
+    state = tmp_path / "state"
+    state.mkdir()
+    first = tmp_path / "first.json"
+    second = tmp_path / "second.json"
+    save_artifact(small_contender, first)
+    save_artifact(
+        Contender(
+            small_training_data.restricted_to(
+                [t for t in small_training_data.template_ids if t != 22]
+            )
+        ),
+        second,
+    )
+
+    # First promote into an empty slot initializes it.
+    assert main(["lifecycle", "promote", str(first), "--state-dir", str(state)]) == 0
+    assert "initialized" in capsys.readouterr().out
+    first_fp = load_artifact(state / "model.json").info.fingerprint
+
+    # Second promote is a forced (ungated) flip.
+    assert main(["lifecycle", "promote", str(second), "--state-dir", str(state)]) == 0
+    out = capsys.readouterr().out
+    assert "promoted" in out and "forced" in out
+    assert load_artifact(state / "model.json").info.fingerprint != first_fp
+
+    assert main(["lifecycle", "rollback", "--state-dir", str(state)]) == 0
+    assert "rolled back" in capsys.readouterr().out
+    assert load_artifact(state / "model.json").info.fingerprint == first_fp
+
+    assert main(["lifecycle", "status", "--state-dir", str(state)]) == 0
+    out = capsys.readouterr().out
+    assert "3 records" in out
+    assert "rollback" in out
+
+
+def test_lifecycle_status_json_is_machine_readable(
+    tmp_path, small_contender, capsys
+):
+    import json
+
+    from repro.serving.registry import save_artifact
+
+    artifact = tmp_path / "cand.json"
+    save_artifact(small_contender, artifact)
+    state = tmp_path / "state"
+    state.mkdir()
+    main(["lifecycle", "promote", str(artifact), "--state-dir", str(state)])
+    capsys.readouterr()
+    assert main(
+        ["lifecycle", "status", "--state-dir", str(state), "--json"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["current_fingerprint"]
+    assert [r["action"] for r in doc["promotions"]] == ["initialize"]
+
+
+def test_lifecycle_rollback_without_backup_fails_cleanly(tmp_path, capsys):
+    assert main(["lifecycle", "rollback", "--state-dir", str(tmp_path)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "roll back" in err
+
+
+def test_stats_shows_lifecycle_detector_state(
+    tmp_path, small_contender, capsys
+):
+    import json
+
+    from repro.config import LifecycleConfig, ServingConfig
+    from repro.serving import PredictionClient, PredictionServer, save_artifact
+
+    artifact = tmp_path / "model.json"
+    save_artifact(small_contender, artifact)
+    config = ServingConfig(port=0)
+    lifecycle = LifecycleConfig(
+        reference_window=4, test_window=2, min_samples=4, residual_window=16
+    )
+    with PredictionServer.from_artifact(
+        artifact, config=config, lifecycle=lifecycle
+    ) as srv:
+        with PredictionClient(srv.host, srv.port) as cli:
+            latency = cli.predict(26, (26, 65)).latency
+            for _ in range(4):
+                cli.observe(26, (26, 65), latency * 1.02)
+            for _ in range(4):
+                cli.observe(26, (26, 65), latency * 2.0)
+        url = f"{srv.host}:{srv.port}"
+
+        assert main(["stats", url]) == 0
+        out = capsys.readouterr().out
+        assert "lifecycle" in out
+        assert "1 drifted (T26)" in out
+        assert "last verdict mean_shift" in out
+
+        assert main(["stats", url, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["lifecycle"]["drifted"] == [26]
+        assert doc["lifecycle"]["templates"][0]["window_size"] > 0
+
+        assert main(["stats", url, "--prometheus"]) == 0
+        text = capsys.readouterr().out
+        assert "lifecycle_residuals_total" in text
+        assert "lifecycle_residual_window_size" in text
+        assert 'lifecycle_template_drifted{template="26"} 1' in text
