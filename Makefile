@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast coverage serve-smoke lifecycle-smoke bench bench-check profile-campaign report templates examples clean
+.PHONY: install test test-fast coverage serve-smoke lifecycle-smoke sched-smoke bench bench-check profile-campaign report templates examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -26,6 +26,11 @@ serve-smoke:
 # shadow-gated promotion, accuracy restored — deterministically.
 lifecycle-smoke:
 	$(PYTHON) -m pytest tests/integration/test_lifecycle_e2e.py -q
+
+# Queue-replay demo: three trace families x three policies, twice,
+# asserting completion and bit-reproducibility from the seeds.
+sched-smoke:
+	$(PYTHON) scripts/sched_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only \

@@ -27,6 +27,15 @@ class PredictionBackend(Protocol):
 
     Implementations: :class:`ContenderBackend` (embedded) and
     :class:`repro.serving.client.RemotePredictionBackend` (served).
+
+    Backends may additionally provide
+    ``predict_mix(mix) -> Sequence[float]`` — the predicted latency of
+    *every* member of a simulated mix in one call.  Policies that
+    evaluate whole candidate mixes (admission control, the predictive
+    scheduler) prefer it when present: a remote backend answers the
+    entire mix in one RPC instead of one RPC per member.  Use
+    :func:`predicted_mix_latencies` to call it with the per-member
+    fallback.
     """
 
     def predict_known(self, primary: int, mix: Sequence[int]) -> float:
@@ -36,6 +45,21 @@ class PredictionBackend(Protocol):
     def isolated_latency(self, primary: int) -> float:
         """The template's ``l_min`` — the SLA's reference point."""
         ...
+
+
+def predicted_mix_latencies(
+    backend: "PredictionBackend", mix: Sequence[int]
+) -> List[float]:
+    """Predicted latency of every member of *mix*, batched when possible.
+
+    Uses the backend's optional ``predict_mix`` (one remote RPC for the
+    whole mix); otherwise falls back to one :meth:`predict_known` call
+    per member.
+    """
+    batch = getattr(backend, "predict_mix", None)
+    if batch is not None:
+        return [float(v) for v in batch(mix)]
+    return [backend.predict_known(primary, mix) for primary in mix]
 
 
 class ContenderBackend:
@@ -50,6 +74,9 @@ class ContenderBackend:
 
     def predict_known(self, primary: int, mix: Sequence[int]) -> float:
         return self._contender.predict_known(primary, mix)
+
+    def predict_mix(self, mix: Sequence[int]) -> List[float]:
+        return [self._contender.predict_known(primary, mix) for primary in mix]
 
     def isolated_latency(self, primary: int) -> float:
         return self._contender.data.profile(primary).isolated_latency
@@ -140,8 +167,8 @@ class AdmissionController:
             )
         worst_ratio = 0.0
         limiting = candidate
-        for primary in mix:
-            predicted = self._backend.predict_known(primary, mix)
+        predictions = predicted_mix_latencies(self._backend, mix)
+        for primary, predicted in zip(mix, predictions):
             isolated = self._backend.isolated_latency(primary)
             ratio = predicted / (self._sla * isolated)
             if ratio > worst_ratio:

@@ -17,7 +17,8 @@ from typing import List, Sequence, Tuple
 from ..core.contender import Contender
 from ..errors import ModelError
 
-Pair = Tuple[int, int]
+#: A scheduled group: a pair, or a singleton when the batch was odd.
+Pair = Tuple[int, ...]
 
 
 def predicted_pair_cost(contender: Contender, a: int, b: int) -> float:
@@ -36,41 +37,53 @@ def greedy_pairing(
 ) -> List[Pair]:
     """Pair a batch greedily by predicted combined cost.
 
+    An odd batch leaves exactly one query unpaired: the final remaining
+    query runs solo as a singleton group (at its isolated latency, which
+    :func:`predicted_makespan` accounts for).
+
     Args:
         contender: Fitted predictor; every batch template must be known.
-        batch: Template ids, even count.
+        batch: Template ids (any non-zero count).
 
     Returns:
-        Pairs in scheduling order.
+        Groups in scheduling order — pairs, plus a trailing singleton
+        when the batch was odd.
 
     Raises:
-        ModelError: On an odd batch or unknown templates.
+        ModelError: On an empty batch or unknown templates.
     """
-    if len(batch) % 2 != 0:
-        raise ModelError("batch must contain an even number of queries")
+    if not batch:
+        raise ModelError("batch must contain at least one query")
     unknown = [t for t in batch if t not in contender.data.profiles]
     if unknown:
         raise ModelError(f"templates not in the training data: {unknown}")
 
     remaining = list(batch)
     pairs: List[Pair] = []
-    while remaining:
+    while len(remaining) >= 2:
         head = remaining.pop(0)
         best_idx = min(
             range(len(remaining)),
             key=lambda i: predicted_pair_cost(contender, head, remaining[i]),
         )
         pairs.append((head, remaining.pop(best_idx)))
+    if remaining:
+        pairs.append((remaining.pop(),))
     return pairs
 
 
 def predicted_makespan(
     contender: Contender, pairs: Sequence[Pair]
 ) -> float:
-    """Predicted batch makespan: pairs run back to back, each lasting as
-    long as its slower member."""
+    """Predicted batch makespan: groups run back to back, each lasting
+    as long as its slower member (a singleton lasts its isolated
+    latency — MPL 1 has no contention to predict)."""
     total = 0.0
-    for a, b in pairs:
+    for group in pairs:
+        if len(group) == 1:
+            total += contender.data.profile(group[0]).isolated_latency
+            continue
+        a, b = group
         mix = (a, b)
         total += max(
             contender.predict_known(a, mix), contender.predict_known(b, mix)

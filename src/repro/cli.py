@@ -18,6 +18,8 @@ Everything a user needs to poke the reproduction without writing code::
     repro lifecycle status --state-dir st   # deployment state + ledger
     repro lifecycle promote cand.json --state-dir st  # forced promotion
     repro lifecycle rollback --state-dir st # swap the previous model back
+    repro sched run --trace bursty --policy predictive  # one replay
+    repro sched compare                 # 3 trace families x 3 policies
     repro experiment table2             # regenerate one table/figure
     repro report                        # the full EXPERIMENTS.md content
 
@@ -44,6 +46,8 @@ from .core.training import (
 from .engine.spoiler import measure_spoiler_latency
 from .errors import ReproError
 from .sampling.steady_state import run_steady_state
+from .sched.policies import POLICY_NAMES
+from .sched.traces import TRACE_KINDS
 from .units import fmt_bytes, fmt_duration
 from .workload.catalog import TemplateCatalog
 from .workload.sql import render_sql
@@ -236,6 +240,75 @@ def _build_parser() -> argparse.ArgumentParser:
         "rollback", help="swap the previous artifact back into the slot"
     )
     lp.add_argument("--state-dir", type=Path, required=True)
+
+    p = sub.add_parser(
+        "sched", help="replay arrival traces under scheduling policies"
+    )
+    ssub = p.add_subparsers(dest="sched_command", required=True)
+
+    def _sched_common(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--data",
+            type=Path,
+            default=None,
+            help="campaign pickle from `repro train`; when omitted a "
+            "small campaign is collected in-process",
+        )
+        sp.add_argument(
+            "--templates",
+            type=str,
+            default=None,
+            help="comma-separated template ids (default: the campaign's, "
+            "or a diverse 7-template subset)",
+        )
+        sp.add_argument(
+            "--rate",
+            type=float,
+            default=1.0 / 120.0,
+            help="mean arrival rate, queries/second",
+        )
+        sp.add_argument("--count", type=int, default=30, help="arrivals")
+        sp.add_argument("--seed", type=int, default=0, help="trace seed")
+        sp.add_argument(
+            "--max-mpl", type=int, default=3, help="execution slots"
+        )
+        sp.add_argument(
+            "--sla-factor",
+            type=float,
+            default=2.5,
+            help="admission SLA as a multiple of isolated latency",
+        )
+        sp.add_argument(
+            "--window",
+            type=int,
+            default=8,
+            help="predictive policy queue-search depth",
+        )
+        sp.add_argument("--json", action="store_true", help="JSON output")
+
+    sp = ssub.add_parser("run", help="replay one trace under one policy")
+    sp.add_argument("--trace", choices=list(TRACE_KINDS), default="poisson")
+    sp.add_argument(
+        "--policy", choices=list(POLICY_NAMES), default="predictive"
+    )
+    _sched_common(sp)
+
+    sp = ssub.add_parser(
+        "compare", help="replay trace families under every policy"
+    )
+    sp.add_argument(
+        "--traces",
+        type=str,
+        default=",".join(TRACE_KINDS),
+        help="comma-separated trace kinds",
+    )
+    sp.add_argument(
+        "--policies",
+        type=str,
+        default=",".join(POLICY_NAMES),
+        help="comma-separated policy names",
+    )
+    _sched_common(sp)
 
     p = sub.add_parser("experiment", help="run one experiment runner")
     p.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -712,6 +785,134 @@ def _cmd_lifecycle_rollback(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default template subset for self-contained sched replays: I/O-bound,
+#: CPU-bound, memory-bound, random-I/O, and a shared-fact-table pair.
+_SCHED_TEMPLATES = (22, 26, 32, 62, 65, 71, 82)
+
+
+def _sched_setup(args: argparse.Namespace):
+    """Catalog, backend, and template ids for a sched subcommand."""
+    from .apps.admission import ContenderBackend
+    from .sampling.steady_state import SteadyStateConfig
+
+    if args.data is not None:
+        data = TrainingData.load(args.data)
+        template_ids = (
+            tuple(int(t) for t in args.templates.split(","))
+            if args.templates
+            else tuple(sorted(data.template_ids))
+        )
+        catalog = TemplateCatalog().subset(template_ids)
+    else:
+        template_ids = (
+            tuple(int(t) for t in args.templates.split(","))
+            if args.templates
+            else _SCHED_TEMPLATES
+        )
+        catalog = TemplateCatalog().subset(template_ids)
+        print(
+            f"collecting in-process campaign over {len(template_ids)} "
+            f"templates, MPLs 2-{args.max_mpl}...",
+            file=sys.stderr,
+        )
+        data = collect_training_data(
+            catalog,
+            mpls=tuple(range(2, args.max_mpl + 1)),
+            lhs_runs_per_mpl=2,
+            steady_config=SteadyStateConfig(samples_per_stream=3),
+        )
+    backend = ContenderBackend(Contender(data))
+    return catalog, backend, template_ids
+
+
+def _sched_policies(args: argparse.Namespace, names, backend):
+    from .sched.policies import make_policy
+
+    return [
+        make_policy(
+            name,
+            backend,
+            sla_factor=args.sla_factor,
+            max_mpl=args.max_mpl,
+            window=args.window,
+        )
+        for name in names
+    ]
+
+
+def _sched_trace(args: argparse.Namespace, kind: str, template_ids):
+    from .sched.traces import TemplateDistribution, TraceConfig, generate_trace
+
+    return generate_trace(
+        TraceConfig(
+            kind=kind,
+            templates=TemplateDistribution.uniform(template_ids),
+            rate=args.rate,
+            count=args.count,
+            seed=args.seed,
+        )
+    )
+
+
+def _cmd_sched(args: argparse.Namespace) -> int:
+    if args.sched_command == "run":
+        return _cmd_sched_run(args)
+    return _cmd_sched_compare(args)
+
+
+def _cmd_sched_run(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .sched.replay import replay_trace
+
+    catalog, backend, template_ids = _sched_setup(args)
+    trace = _sched_trace(args, args.trace, template_ids)
+    policy = _sched_policies(args, [args.policy], backend)[0]
+    result = replay_trace(trace, policy, catalog, max_mpl=args.max_mpl)
+    if args.json:
+        print(_json.dumps(result.to_doc(), indent=2))
+        return 0
+    print(
+        f"{args.trace} trace, {len(trace)} arrivals at "
+        f"{trace.rate:.4f} q/s (seed {trace.seed}), "
+        f"policy {policy.name}, {args.max_mpl} slots"
+    )
+    print(f"  makespan    : {fmt_duration(result.makespan)}")
+    print(f"  p50 latency : {fmt_duration(result.p50)}")
+    print(f"  p95 latency : {fmt_duration(result.p95)}")
+    print(f"  p99 latency : {fmt_duration(result.p99)}")
+    print(f"  mean wait   : {fmt_duration(result.mean_queue_seconds)}")
+    print(f"  deferrals   : {result.deferrals} of {result.decisions} decisions")
+    return 0
+
+
+def _cmd_sched_compare(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .sched.replay import compare_policies
+
+    catalog, backend, template_ids = _sched_setup(args)
+    kinds = [k.strip() for k in args.traces.split(",") if k.strip()]
+    names = [n.strip() for n in args.policies.split(",") if n.strip()]
+    policies = _sched_policies(args, names, backend)
+    reports = []
+    for kind in kinds:
+        trace = _sched_trace(args, kind, template_ids)
+        reports.append(
+            compare_policies(trace, policies, catalog, max_mpl=args.max_mpl)
+        )
+    if args.json:
+        print(_json.dumps([r.to_doc() for r in reports], indent=2))
+        return 0
+    for report in reports:
+        print(
+            f"\n== {report.trace_kind} trace: {report.count} arrivals at "
+            f"{report.rate:.4f} q/s, seed {report.seed} =="
+        )
+        print(report.format_table())
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
@@ -750,6 +951,7 @@ _HANDLERS = {
     "load-test": _cmd_load_test,
     "stats": _cmd_stats,
     "lifecycle": _cmd_lifecycle,
+    "sched": _cmd_sched,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
 }

@@ -82,7 +82,27 @@ _REL_DONE = 1e-13
 
 
 class Stream(Protocol):
-    """A source of queries; the executor pulls the next one on completion."""
+    """A source of queries; the executor pulls the next one on completion.
+
+    Streams may additionally implement the *timed-arrival* extension
+    used by open-loop replay (:mod:`repro.sched.replay`): a method
+    ``next_arrival(now) -> Optional[float]`` consulted whenever
+    :meth:`next_profile` returns ``None``.  Its answer decides what a
+    ``None`` means:
+
+    * no ``next_arrival`` method, or it returns ``None`` — the stream is
+      exhausted and closes (the historical behaviour);
+    * a finite time ``t`` — the stream stays open and is re-polled once
+      simulated time reaches ``t`` (an arrival that has not happened
+      yet);
+    * ``math.inf`` — the stream stays open and is re-polled after the
+      next foreground completion (work is queued but the scheduling
+      policy deferred it; a completion is the only event that can
+      change its mind).
+
+    Streams without the extension pay nothing: the wake machinery only
+    activates when a pull actually defers.
+    """
 
     name: str
 
@@ -475,6 +495,12 @@ class ConcurrentExecutor:
         finished: List[_Running] = []
         # instance id -> phase label, maintained only when tracing.
         phase_labels: Dict[int, str] = {}
+        # Timed-arrival extension: dormant streams waiting on a clock
+        # time (min-heap) or on the next foreground completion (flags).
+        arrival_fns = [getattr(s, "next_arrival", None) for s in streams]
+        wake_heap: List[Tuple[float, int]] = []
+        pending_wake = [False for _ in streams]
+        pending_count = 0
 
         def vt_rem_seq(run: _Running) -> float:
             """Remaining sequential work (deadline minus integral)."""
@@ -565,15 +591,24 @@ class ConcurrentExecutor:
                 fg_active += 1
 
         def pull_stream(idx: int) -> None:
-            nonlocal open_streams
+            nonlocal open_streams, pending_count
             if stream_done[idx]:
                 return
             profile = streams[idx].next_profile(now, completed_counts[idx])
-            if profile is None:
+            if profile is not None:
+                start_query(profile, idx)
+                return
+            arrival_fn = arrival_fns[idx]
+            wake = arrival_fn(now) if arrival_fn is not None else None
+            if wake is None:
                 stream_done[idx] = True
                 open_streams -= 1
+            elif wake == inf:
+                if not pending_wake[idx]:
+                    pending_wake[idx] = True
+                    pending_count += 1
             else:
-                start_query(profile, idx)
+                heappush(wake_heap, (wake if wake > now else now, idx))
 
         def settle_seq(entry: Tuple[float, int, _Running]) -> None:
             """One sequential component crossed its deadline."""
@@ -642,7 +677,7 @@ class ConcurrentExecutor:
             are handled in active-set order, and phases that complete
             during processing (zero-work phases) wait for the next event.
             """
-            nonlocal fg_active
+            nonlocal fg_active, pending_count
             if len(finished) == 1:
                 batch = [finished[0]]
             else:
@@ -650,6 +685,7 @@ class ConcurrentExecutor:
                 order = {id(run): pos for pos, run in enumerate(active)}
                 batch.sort(key=lambda run: order[id(run)])
             finished.clear()
+            completed_any = False
             for run in batch:
                 # Inlined _on_phase_end (hot: once per phase transition).
                 phase = run.phase
@@ -679,12 +715,21 @@ class ConcurrentExecutor:
                     idx = run.stream_idx
                     if idx is not None:
                         fg_active -= 1
+                        completed_any = True
                         completions.append(
                             QueryResult(
                                 stream_name=streams[idx].name, stats=run.stats
                             )
                         )
                         completed_counts[idx] += 1
+                        pull_stream(idx)
+            if completed_any and pending_count:
+                # A freed slot may unblock a deferred admission: re-poll
+                # every stream that asked to be woken on completion.
+                for idx in range(len(pending_wake)):
+                    if pending_wake[idx]:
+                        pending_wake[idx] = False
+                        pending_count -= 1
                         pull_stream(idx)
 
         for profile in background:
@@ -725,6 +770,11 @@ class ConcurrentExecutor:
                 if dt < best:
                     best = dt
                     which = 2
+            if wake_heap:
+                dt = wake_heap[0][0] - now
+                if dt < best:
+                    best = dt
+                    which = 3
             if which < 0 or not best < inf:
                 raise SimulationError("no finite next event; simulation stalled")
             dt = best
@@ -753,12 +803,13 @@ class ConcurrentExecutor:
 
             # The component that set `dt` has drained by construction;
             # pop it without re-testing so floating-point residue can
-            # never stall the loop.
+            # never stall the loop.  (An arrival wake, which == 3, pops
+            # from the wake heap below instead.)
             if which == 0:
                 settle_seq(heappop(seq_heap))
             elif which == 1:
                 settle_rand(heappop(rand_heap))
-            else:
+            elif which == 2:
                 settle_cpu(heappop(cpu_heap))
             # Then everything else that crossed within tolerance.
             bound = s_seq + _DONE + s_seq * _REL_DONE
@@ -773,6 +824,9 @@ class ConcurrentExecutor:
                 if rem > _DONE + s_rand * _REL_DONE:
                     break
                 settle_rand(heappop(rand_heap))
+            while wake_heap and wake_heap[0][0] <= now:
+                _, idx = heappop(wake_heap)
+                pull_stream(idx)
 
             if finished:
                 process_finished()
@@ -823,6 +877,12 @@ class ConcurrentExecutor:
         max_events = self._sim.max_events
         time_epsilon = self._sim.time_epsilon
         tracer = self._tracer
+        # Timed-arrival extension (see the Stream protocol): dormant
+        # streams waiting on a clock time or on the next completion.
+        arrival_fns = [getattr(s, "next_arrival", None) for s in streams]
+        wake_heap: List[Tuple[float, int]] = []
+        pending_wake = [False for _ in streams]
+        pending_count = 0
 
         def start_query(profile: ResourceProfile, stream_idx: Optional[int]) -> None:
             nonlocal fg_active
@@ -840,15 +900,24 @@ class ConcurrentExecutor:
                 fg_active += 1
 
         def pull_stream(idx: int) -> None:
-            nonlocal open_streams
+            nonlocal open_streams, pending_count
             if stream_done[idx]:
                 return
             profile = streams[idx].next_profile(now, completed_counts[idx])
-            if profile is None:
+            if profile is not None:
+                start_query(profile, idx)
+                return
+            arrival_fn = arrival_fns[idx]
+            wake = arrival_fn(now) if arrival_fn is not None else None
+            if wake is None:
                 stream_done[idx] = True
                 open_streams -= 1
+            elif wake == math.inf:
+                if not pending_wake[idx]:
+                    pending_wake[idx] = True
+                    pending_count += 1
             else:
-                start_query(profile, idx)
+                heappush(wake_heap, (wake if wake > now else now, idx))
 
         for profile in background:
             start_query(profile, None)
@@ -862,7 +931,7 @@ class ConcurrentExecutor:
             dimension scan compiles to zero remaining work), so the main
             loop drains these before scheduling the next time step.
             """
-            nonlocal fg_active
+            nonlocal fg_active, pending_count
             # Fast path: most events drain exactly one component of one
             # query, so scan cheaply before allocating anything.
             for run in active:
@@ -874,6 +943,7 @@ class ConcurrentExecutor:
                     break
             else:
                 return False
+            completed_any = False
             finished = [run for run in active if run.phase_done]
             for run in finished:
                 self._on_phase_end(run, ledger, cache)
@@ -894,12 +964,19 @@ class ConcurrentExecutor:
                     idx = run.stream_idx
                     if idx is not None:
                         fg_active -= 1
+                        completed_any = True
                         completions.append(
                             QueryResult(
                                 stream_name=streams[idx].name, stats=run.stats
                             )
                         )
                         completed_counts[idx] += 1
+                        pull_stream(idx)
+            if completed_any and pending_count:
+                for idx in range(len(pending_wake)):
+                    if pending_wake[idx]:
+                        pending_wake[idx] = False
+                        pending_count -= 1
                         pull_stream(idx)
             return True
 
@@ -916,6 +993,10 @@ class ConcurrentExecutor:
 
             seq_rate, rand_rate, cpu_rate, group_sizes = self._rates(active)
             dt = self._time_to_next_event(active, seq_rate, rand_rate, cpu_rate)
+            if wake_heap:
+                dt_wake = wake_heap[0][0] - now
+                if dt_wake < dt:
+                    dt = dt_wake
             if not math.isfinite(dt) or dt < 0:
                 raise SimulationError("no finite next event; simulation stalled")
             if dt < time_epsilon:
@@ -929,6 +1010,9 @@ class ConcurrentExecutor:
                 )
             self._advance(active, dt, seq_rate, rand_rate, cpu_rate, group_sizes)
             now += dt
+            while wake_heap and wake_heap[0][0] <= now:
+                _, idx = heappop(wake_heap)
+                pull_stream(idx)
             handle_finished()
 
         return RunResult(completions=completions, elapsed=now, events=events)

@@ -1,0 +1,70 @@
+"""Prediction-driven scheduling: traces, policies, and queue replay.
+
+The paper's payoff is *decisions*: "better scheduling decisions for
+large query batches" (Sec. 1).  This package turns the predictor into a
+control loop:
+
+* :mod:`repro.sched.traces` — seed-deterministic open-loop arrival
+  processes (Poisson, bursty MMPP, diurnal) emitting
+  ``(arrival_time, template)`` streams from configurable template
+  distributions;
+* :mod:`repro.sched.policies` — a common scheduling-policy protocol
+  with a FIFO baseline, an SLA-aware admission-gated FIFO (reusing
+  :class:`~repro.apps.admission.AdmissionController`), and a
+  prediction-driven reordering policy that picks the next admission by
+  minimizing the predicted makespan of the resulting mix;
+* :mod:`repro.sched.replay` — an event-driven queue simulator that
+  couples arrivals to the virtual-time
+  :class:`~repro.engine.executor.ConcurrentExecutor` through the timed
+  -arrival stream extension, enforces an MPL cap, and reports
+  per-policy p50/p95/p99 latency and makespan.
+
+See docs/SCHEDULING.md for policy semantics and how to read the
+benchmark output.
+"""
+
+from .policies import (
+    FifoPolicy,
+    GatedFifoPolicy,
+    PredictivePolicy,
+    SchedulerPolicy,
+    make_policy,
+)
+from .replay import (
+    CompareReport,
+    QueryOutcome,
+    ReplayResult,
+    compare_policies,
+    replay_trace,
+)
+from .traces import (
+    Arrival,
+    ArrivalTrace,
+    TemplateDistribution,
+    TraceConfig,
+    bursty_trace,
+    diurnal_trace,
+    generate_trace,
+    poisson_trace,
+)
+
+__all__ = [
+    "Arrival",
+    "ArrivalTrace",
+    "CompareReport",
+    "FifoPolicy",
+    "GatedFifoPolicy",
+    "PredictivePolicy",
+    "QueryOutcome",
+    "ReplayResult",
+    "SchedulerPolicy",
+    "TemplateDistribution",
+    "TraceConfig",
+    "bursty_trace",
+    "compare_policies",
+    "diurnal_trace",
+    "generate_trace",
+    "make_policy",
+    "poisson_trace",
+    "replay_trace",
+]

@@ -1,0 +1,221 @@
+"""Scheduling policies over a predicted-latency queue.
+
+A policy answers one question, posed by the replay simulator whenever an
+execution slot is free: *which queued query, if any, should join the
+running mix right now?*  Three answers are implemented:
+
+``fifo``
+    Arrival order, always admit.  The baseline every prediction-driven
+    gain is measured against.
+
+``gated``
+    FIFO order, but the head of the queue only joins when the
+    :class:`~repro.apps.admission.AdmissionController` predicts every
+    member of the resulting mix stays within its SLA.  Head-of-line
+    blocking is deliberate — it is the classic admission-control
+    discipline the paper's Sec. 1 motivates.
+
+``predictive``
+    Reordering: score the first *window* queued candidates by the
+    predicted marginal makespan of the mix they would create
+    (``predict_known`` for every member of ``running + candidate``) and
+    admit the candidate whose mix finishes soonest.  With an empty mix
+    this degenerates to shortest-predicted-job-first.
+
+Policies see template ids only; the replay layer maps ids to resource
+profiles and owns the MPL cap (a policy is consulted only when a slot
+is free).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+from ..apps.admission import (
+    AdmissionController,
+    PredictionBackend,
+    predicted_mix_latencies,
+)
+from ..errors import ModelError
+
+__all__ = [
+    "FifoPolicy",
+    "GatedFifoPolicy",
+    "PredictivePolicy",
+    "SchedulerPolicy",
+    "POLICY_NAMES",
+    "make_policy",
+]
+
+
+@runtime_checkable
+class SchedulerPolicy(Protocol):
+    """What the replay simulator needs from a policy.
+
+    Attributes:
+        name: Stable label, used for metric labels and report rows.
+    """
+
+    name: str
+
+    def pick(
+        self,
+        now: float,
+        running: Sequence[int],
+        queue: Sequence[int],
+    ) -> Optional[int]:
+        """Index into *queue* of the query to admit, or None to wait.
+
+        Called only when an execution slot is free and *queue* is
+        non-empty.  Returning None defers until the next completion
+        (or the next arrival) re-poses the question.
+        """
+        ...
+
+
+class FifoPolicy:
+    """Admit strictly in arrival order; never defer."""
+
+    name = "fifo"
+
+    def pick(
+        self,
+        now: float,
+        running: Sequence[int],
+        queue: Sequence[int],
+    ) -> Optional[int]:
+        return 0 if queue else None
+
+
+class GatedFifoPolicy:
+    """FIFO with SLA-aware admission gating (head-of-line blocking).
+
+    Args:
+        controller: The admission policy; its backend may be embedded
+            or remote — the decision code is identical.
+    """
+
+    name = "gated"
+
+    def __init__(self, controller: AdmissionController):
+        self._controller = controller
+
+    @property
+    def controller(self) -> AdmissionController:
+        return self._controller
+
+    def pick(
+        self,
+        now: float,
+        running: Sequence[int],
+        queue: Sequence[int],
+    ) -> Optional[int]:
+        if not queue:
+            return None
+        if not running:
+            # An idle system always makes progress: a solo query cannot
+            # violate an SLA expressed relative to isolated latency.
+            return 0
+        decision = self._controller.check(tuple(running), queue[0])
+        return 0 if decision.admitted else None
+
+
+class PredictivePolicy:
+    """Admit the candidate whose resulting mix is predicted cheapest.
+
+    For each of the first *window* queued candidates, predict the
+    latency of every member of ``running + candidate`` and score the
+    mix; admit the argmin.  The default objective is the predicted
+    *makespan* (worst member latency — when the mix would drain); the
+    ``"sum"`` objective minimizes total predicted latency instead,
+    favouring aggregate throughput over tail.
+
+    Args:
+        backend: Prediction backend (embedded Contender or remote).
+        window: How deep into the queue to search.  Bounded so decision
+            cost stays O(window * mpl) predictions, not O(queue).
+        objective: ``"makespan"`` or ``"sum"``.
+    """
+
+    name = "predictive"
+
+    def __init__(
+        self,
+        backend: PredictionBackend,
+        window: int = 8,
+        objective: str = "makespan",
+    ):
+        if window < 1:
+            raise ModelError("window must be >= 1")
+        if objective not in ("makespan", "sum"):
+            raise ModelError("objective must be 'makespan' or 'sum'")
+        self._backend = backend
+        self._window = window
+        self._objective = objective
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    def score(self, running: Sequence[int], candidate: int) -> float:
+        """Predicted cost of the mix *candidate* would create."""
+        mix = (*running, candidate)
+        if len(mix) == 1:
+            # MPL 1 has no contention model; the isolated latency is the
+            # exact answer, and scoring by it yields SPJF.
+            return self._backend.isolated_latency(candidate)
+        latencies = predicted_mix_latencies(self._backend, mix)
+        if self._objective == "sum":
+            return float(sum(latencies))
+        return float(max(latencies))
+
+    def pick(
+        self,
+        now: float,
+        running: Sequence[int],
+        queue: Sequence[int],
+    ) -> Optional[int]:
+        if not queue:
+            return None
+        best_index = 0
+        best_score = float("inf")
+        for index, candidate in enumerate(queue[: self._window]):
+            score = self.score(running, candidate)
+            if score < best_score:
+                best_score = score
+                best_index = index
+        return best_index
+
+
+#: Policy labels :func:`make_policy` accepts, in report order.
+POLICY_NAMES = ("fifo", "gated", "predictive")
+
+
+def make_policy(
+    name: str,
+    backend: Optional[PredictionBackend] = None,
+    sla_factor: float = 1.5,
+    max_mpl: int = 5,
+    window: int = 8,
+    objective: str = "makespan",
+) -> SchedulerPolicy:
+    """Build a policy by label.
+
+    ``fifo`` needs no predictor; ``gated`` and ``predictive`` require
+    *backend*.  *max_mpl* is forwarded to the admission controller so
+    the gate and the replay slot cap agree.
+    """
+    if name == "fifo":
+        return FifoPolicy()
+    if name in ("gated", "predictive") and backend is None:
+        raise ModelError(f"policy {name!r} requires a prediction backend")
+    if name == "gated":
+        controller = AdmissionController(
+            backend, sla_factor=sla_factor, max_mpl=max_mpl
+        )
+        return GatedFifoPolicy(controller)
+    if name == "predictive":
+        return PredictivePolicy(backend, window=window, objective=objective)
+    raise ModelError(
+        f"unknown policy {name!r}; expected one of {POLICY_NAMES}"
+    )

@@ -33,6 +33,8 @@ from ..errors import ModelError, ProtocolError, ServingError
 from .protocol import (
     AdmitRequest,
     AdmitResponse,
+    BatchPredictRequest,
+    BatchPredictResponse,
     HealthResponse,
     ObserveRequest,
     ObserveResponse,
@@ -145,6 +147,19 @@ class PredictionClient:
             self._request("POST", "/v1/predict", request.to_doc())
         )
 
+    def predict_batch(
+        self, items: Sequence[PredictRequest]
+    ) -> BatchPredictResponse:
+        """Many known-template predictions in one round trip.
+
+        The server submits every item to its batcher before gathering,
+        so the whole list coalesces into one batched model evaluation.
+        """
+        request = BatchPredictRequest(items=tuple(items))
+        return BatchPredictResponse.from_doc(
+            self._request("POST", "/v1/predict-batch", request.to_doc())
+        )
+
     def predict_new(
         self,
         profile: TemplateProfile,
@@ -238,6 +253,13 @@ class RemotePredictionBackend:
 
     def predict_known(self, primary: int, mix: Sequence[int]) -> float:
         return self._client.predict(primary, mix).latency
+
+    def predict_mix(self, mix: Sequence[int]) -> List[float]:
+        """Every member's predicted latency — one RPC for the whole mix."""
+        mix = tuple(mix)
+        items = [PredictRequest(primary=primary, mix=mix) for primary in mix]
+        response = self._client.predict_batch(items)
+        return [item.latency for item in response.items]
 
     def isolated_latency(self, primary: int) -> float:
         try:

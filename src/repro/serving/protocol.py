@@ -12,6 +12,7 @@ Endpoints:
 path                      verb  body
 ========================  ====  =========================================
 ``/v1/predict``           POST  :class:`PredictRequest`
+``/v1/predict-batch``     POST  :class:`BatchPredictRequest`
 ``/v1/predict-new``       POST  :class:`PredictNewRequest`
 ``/v1/admit``             POST  :class:`AdmitRequest`
 ``/v1/observe``           POST  :class:`ObserveRequest`
@@ -34,6 +35,8 @@ from ..errors import ProtocolError
 __all__ = [
     "AdmitRequest",
     "AdmitResponse",
+    "BatchPredictRequest",
+    "BatchPredictResponse",
     "HealthResponse",
     "ObserveRequest",
     "ObserveResponse",
@@ -146,6 +149,35 @@ class PredictRequest:
 
     def to_doc(self) -> Dict[str, Any]:
         return {"primary": self.primary, "mix": list(self.mix)}
+
+
+@dataclass(frozen=True)
+class BatchPredictRequest:
+    """Predict several (primary, mix) keys in one round trip.
+
+    The whole batch lands in the server's request batcher together, so
+    it executes as one model batch with in-batch dedup — the wire-level
+    face of the coalescing the server already does for concurrent
+    clients.  Admission control uses it to price every member of a
+    simulated mix with a single RPC.
+    """
+
+    items: Tuple[PredictRequest, ...]
+
+    @staticmethod
+    def from_doc(doc: Mapping[str, Any]) -> "BatchPredictRequest":
+        items = _require(doc, "items")
+        if not isinstance(items, (list, tuple)) or not items:
+            raise ProtocolError("'items' must be a non-empty list")
+        parsed = []
+        for entry in items:
+            if not isinstance(entry, Mapping):
+                raise ProtocolError("every batch item must be a JSON object")
+            parsed.append(PredictRequest.from_doc(entry))
+        return BatchPredictRequest(items=tuple(parsed))
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {"items": [item.to_doc() for item in self.items]}
 
 
 @dataclass(frozen=True)
@@ -318,6 +350,28 @@ class PredictResponse:
             "cached": self.cached,
             "model_version": self.model_version,
         }
+
+
+@dataclass(frozen=True)
+class BatchPredictResponse:
+    """Predictions for a :class:`BatchPredictRequest`, in request order."""
+
+    items: Tuple[PredictResponse, ...]
+
+    @staticmethod
+    def from_doc(doc: Mapping[str, Any]) -> "BatchPredictResponse":
+        items = _require(doc, "items")
+        if not isinstance(items, (list, tuple)):
+            raise ProtocolError("'items' must be a list")
+        parsed = []
+        for entry in items:
+            if not isinstance(entry, Mapping):
+                raise ProtocolError("every batch item must be a JSON object")
+            parsed.append(PredictResponse.from_doc(entry))
+        return BatchPredictResponse(items=tuple(parsed))
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {"items": [item.to_doc() for item in self.items]}
 
 
 @dataclass(frozen=True)

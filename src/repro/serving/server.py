@@ -49,6 +49,8 @@ from .cache import PredictionCache, mix_signature
 from .protocol import (
     AdmitRequest,
     AdmitResponse,
+    BatchPredictRequest,
+    BatchPredictResponse,
     HealthResponse,
     ObserveRequest,
     ObserveResponse,
@@ -400,6 +402,39 @@ class PredictionServer:
             latency=latency, cached=cached, model_version=version
         )
 
+    def _predict_batch(
+        self, request: BatchPredictRequest
+    ) -> BatchPredictResponse:
+        """Resolve a whole batch of predict keys in one round trip.
+
+        Every key is submitted to the batcher before the first future is
+        awaited, so the batch coalesces into (at most a few) model
+        batches with in-batch dedup — N mix members cost one RPC and
+        one batched model evaluation, not N of either.
+        """
+        futures = [
+            self._batcher.submit(
+                ("known", item.primary, mix_signature(item.mix))
+            )
+            for item in request.items
+        ]
+        responses = []
+        for future in futures:
+            try:
+                latency, cached, version = future.result(
+                    timeout=self._config.request_timeout
+                )
+            except concurrent.futures.TimeoutError:
+                raise ServingError(
+                    f"prediction timed out after {self._config.request_timeout}s"
+                ) from None
+            responses.append(
+                PredictResponse(
+                    latency=latency, cached=cached, model_version=version
+                )
+            )
+        return BatchPredictResponse(items=tuple(responses))
+
     # ------------------------------------------------------------------
     # Direct (unbatched) operations.
 
@@ -605,6 +640,7 @@ class PredictionServer:
             return self._reload()
         if verb != "POST" or path not in (
             "/v1/predict",
+            "/v1/predict-batch",
             "/v1/predict-new",
             "/v1/admit",
             "/v1/observe",
@@ -616,6 +652,12 @@ class PredictionServer:
             op[0] = "predict"
             self._count("predict")
             return self._predict(PredictRequest.from_doc(doc)).to_doc()
+        if path == "/v1/predict-batch":
+            op[0] = "predict_batch"
+            self._count("predict_batch")
+            return self._predict_batch(
+                BatchPredictRequest.from_doc(doc)
+            ).to_doc()
         if path == "/v1/predict-new":
             op[0] = "predict_new"
             self._count("predict_new")

@@ -119,6 +119,48 @@ def test_remote_admission_matches_embedded(small_contender, server):
         remote.check((26, 65), 71)
 
 
+def test_predict_batch_matches_single_predicts(small_contender, client):
+    from repro.serving.protocol import PredictRequest
+
+    mix = (26, 65)
+    items = [PredictRequest(primary=p, mix=mix) for p in mix]
+    batched = client.predict_batch(items)
+    assert len(batched.items) == len(items)
+    for item, served in zip(items, batched.items):
+        assert served.latency == small_contender.predict_known(
+            item.primary, item.mix
+        )
+
+
+def test_remote_admission_uses_one_rpc_per_check(small_contender, server):
+    raw_client = PredictionClient(server.host, server.port)
+    calls = []
+    original = raw_client._raw_request
+
+    def counting(verb, path, doc=None):
+        calls.append((verb, path))
+        return original(verb, path, doc)
+
+    raw_client._raw_request = counting
+    controller = AdmissionController(
+        RemotePredictionBackend(raw_client), sla_factor=1.5, max_mpl=3
+    )
+
+    controller.check((26,), 65)
+    # First check: one batched predict for the whole simulated mix,
+    # then one health RPC (isolated latencies, cached thereafter).
+    assert calls == [
+        ("POST", "/v1/predict-batch"),
+        ("GET", "/v1/health"),
+    ]
+
+    calls.clear()
+    controller.check((65,), 71)
+    # Steady state: a 2-member mix is priced by exactly one RPC, not
+    # one per member.
+    assert calls == [("POST", "/v1/predict-batch")]
+
+
 def test_admit_endpoint_mirrors_controller(small_contender, client):
     embedded = AdmissionController(small_contender, sla_factor=1.5, max_mpl=5)
     decision = embedded.check((26,), 65)

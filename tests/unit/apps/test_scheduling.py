@@ -47,9 +47,36 @@ def test_greedy_pairing_beats_worst_pairing(small_contender):
     assert greedy_cost <= bad_cost + 1e-9
 
 
-def test_odd_batch_rejected(small_contender):
+def test_odd_batch_leftover_runs_solo(small_contender):
+    batch = [26, 65, 71]
+    groups = greedy_pairing(small_contender, batch)
+    assert len(groups) == 2
+    assert len(groups[0]) == 2
+    assert len(groups[-1]) == 1
+    flattened = sorted(t for group in groups for t in group)
+    assert flattened == sorted(batch)
+
+
+def test_odd_batch_makespan_includes_solo(small_contender):
+    groups = greedy_pairing(small_contender, [26, 65, 71])
+    (solo,) = groups[-1]
+    pair_only = predicted_makespan(small_contender, groups[:-1])
+    full = predicted_makespan(small_contender, groups)
+    isolated = small_contender.data.profile(solo).isolated_latency
+    assert full == pytest.approx(pair_only + isolated)
+
+
+def test_single_query_batch_is_one_solo_group(small_contender):
+    groups = greedy_pairing(small_contender, [26])
+    assert groups == [(26,)]
+    assert predicted_makespan(small_contender, groups) == pytest.approx(
+        small_contender.data.profile(26).isolated_latency
+    )
+
+
+def test_empty_batch_rejected(small_contender):
     with pytest.raises(ModelError):
-        greedy_pairing(small_contender, [26, 65, 71])
+        greedy_pairing(small_contender, [])
 
 
 def test_unknown_template_rejected(small_contender):

@@ -1,0 +1,119 @@
+"""Scheduling-policy unit tests over the small fitted predictor."""
+
+import pytest
+
+from repro.apps.admission import (
+    AdmissionController,
+    ContenderBackend,
+    predicted_mix_latencies,
+)
+from repro.errors import ModelError
+from repro.sched.policies import (
+    POLICY_NAMES,
+    FifoPolicy,
+    GatedFifoPolicy,
+    PredictivePolicy,
+    SchedulerPolicy,
+    make_policy,
+)
+
+
+@pytest.fixture(scope="module")
+def backend(small_contender):
+    return ContenderBackend(small_contender)
+
+
+def test_fifo_always_picks_head():
+    policy = FifoPolicy()
+    assert policy.pick(0.0, (), (26, 65, 71)) == 0
+    assert policy.pick(10.0, (26,), (65,)) == 0
+    assert policy.pick(0.0, (), ()) is None
+
+
+def test_gated_admits_into_idle_system(backend):
+    policy = GatedFifoPolicy(
+        AdmissionController(backend, sla_factor=1.0, max_mpl=2)
+    )
+    # Even the strictest SLA admits a solo query.
+    assert policy.pick(0.0, (), (26,)) == 0
+
+
+def test_gated_mirrors_controller_decision(backend):
+    controller = AdmissionController(backend, sla_factor=1.5, max_mpl=2)
+    policy = GatedFifoPolicy(controller)
+    for running in ((26,), (65,), (82,)):
+        for head in (22, 32, 62):
+            expected = 0 if controller.check(running, head).admitted else None
+            assert policy.pick(0.0, running, (head, 71)) == expected
+
+
+def test_gated_head_of_line_blocking(backend):
+    # Even if a later candidate would pass, only the head is considered.
+    controller = AdmissionController(backend, sla_factor=1.0, max_mpl=2)
+    policy = GatedFifoPolicy(controller)
+    head = 82
+    if controller.check((26,), head).admitted:
+        pytest.skip("fixture SLA admits the head; scenario not reachable")
+    assert policy.pick(0.0, (26,), (head, 26)) is None
+
+
+def test_predictive_empty_mix_is_shortest_job_first(backend, small_contender):
+    policy = PredictivePolicy(backend)
+    queue = (26, 65, 71, 82)
+    choice = policy.pick(0.0, (), queue)
+    isolated = [
+        small_contender.data.profile(t).isolated_latency for t in queue
+    ]
+    assert choice == isolated.index(min(isolated))
+
+
+def test_predictive_picks_minimal_predicted_makespan(backend):
+    policy = PredictivePolicy(backend)
+    running = (26,)
+    queue = (65, 82, 22)
+    choice = policy.pick(0.0, running, queue)
+    scores = [policy.score(running, candidate) for candidate in queue]
+    assert choice == scores.index(min(scores))
+
+
+def test_predictive_window_bounds_search(backend):
+    policy = PredictivePolicy(backend, window=1)
+    # Only the head is scored, so the head is picked regardless of rank.
+    assert policy.pick(0.0, (26,), (82, 65)) == 0
+
+
+def test_predictive_sum_objective(backend):
+    by_max = PredictivePolicy(backend, objective="makespan")
+    by_sum = PredictivePolicy(backend, objective="sum")
+    running = (26,)
+    for candidate in (65, 82):
+        lat = predicted_mix_latencies(backend, (*running, candidate))
+        assert by_max.score(running, candidate) == pytest.approx(max(lat))
+        assert by_sum.score(running, candidate) == pytest.approx(sum(lat))
+
+
+def test_predictive_validates_knobs(backend):
+    with pytest.raises(ModelError):
+        PredictivePolicy(backend, window=0)
+    with pytest.raises(ModelError):
+        PredictivePolicy(backend, objective="median")
+
+
+def test_make_policy_factory(backend):
+    for name in POLICY_NAMES:
+        policy = make_policy(name, backend, max_mpl=2)
+        assert isinstance(policy, SchedulerPolicy)
+        assert policy.name == name
+    assert isinstance(make_policy("fifo"), FifoPolicy)
+    with pytest.raises(ModelError):
+        make_policy("gated")  # needs a backend
+    with pytest.raises(ModelError):
+        make_policy("predictive")
+    with pytest.raises(ModelError):
+        make_policy("lifo", backend)
+
+
+def test_make_policy_forwards_admission_knobs(backend):
+    policy = make_policy("gated", backend, sla_factor=2.0, max_mpl=4)
+    assert policy.controller.sla_factor == 2.0
+    assert not policy.controller.check((1, 2, 3, 4), 5).admitted

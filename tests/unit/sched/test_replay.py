@@ -1,0 +1,146 @@
+"""Queue-replay unit tests: completeness, accounting, and determinism."""
+
+import pytest
+
+from repro.apps.admission import ContenderBackend
+from repro.errors import ModelError
+from repro.obs.metrics import Registry
+from repro.sched.policies import make_policy
+from repro.sched.replay import compare_policies, replay_trace
+from repro.sched.traces import TemplateDistribution, poisson_trace
+from tests.conftest import SMALL_TEMPLATES
+
+DIST = TemplateDistribution.uniform(SMALL_TEMPLATES)
+
+
+@pytest.fixture(scope="module")
+def backend(small_contender):
+    return ContenderBackend(small_contender)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    # ~8-minute mean gap over templates whose isolated latencies run
+    # 154-923 s: contended enough to queue, small enough to stay fast.
+    return poisson_trace(DIST, rate=1.0 / 240.0, count=12, seed=42)
+
+
+def test_fifo_replay_completes_every_arrival(trace, small_catalog):
+    result = replay_trace(trace, make_policy("fifo"), small_catalog, max_mpl=2)
+    assert len(result.outcomes) == len(trace)
+    assert result.policy == "fifo"
+    assert result.trace_kind == "poisson"
+    assert result.max_mpl == 2
+
+
+def test_outcome_accounting_is_consistent(trace, small_catalog):
+    result = replay_trace(trace, make_policy("fifo"), small_catalog, max_mpl=2)
+    for outcome in result.outcomes:
+        assert outcome.start_time >= outcome.arrival_time
+        assert outcome.end_time > outcome.start_time
+        assert outcome.queue_seconds == pytest.approx(
+            outcome.start_time - outcome.arrival_time
+        )
+        assert outcome.total_seconds == pytest.approx(
+            outcome.queue_seconds + outcome.exec_seconds
+        )
+    assert result.makespan == max(o.end_time for o in result.outcomes)
+    # Every template the trace injected came back out.
+    replayed = sorted(o.template for o in result.outcomes)
+    assert replayed == sorted(a.template for a in trace.arrivals)
+
+
+def test_fifo_preserves_arrival_order(trace, small_catalog):
+    result = replay_trace(trace, make_policy("fifo"), small_catalog, max_mpl=2)
+    starts_by_arrival = [
+        o.start_time for o in sorted(result.outcomes, key=lambda o: o.arrival_time)
+    ]
+    assert starts_by_arrival == sorted(starts_by_arrival)
+
+
+def test_replay_is_deterministic(trace, small_catalog, backend):
+    for name in ("fifo", "predictive"):
+        one = replay_trace(
+            trace,
+            make_policy(name, backend, max_mpl=2),
+            small_catalog,
+            max_mpl=2,
+        )
+        two = replay_trace(
+            trace,
+            make_policy(name, backend, max_mpl=2),
+            small_catalog,
+            max_mpl=2,
+        )
+        assert one.outcomes == two.outcomes
+        assert one.makespan == two.makespan
+
+
+def test_mpl_cap_never_exceeded(trace, small_catalog):
+    max_mpl = 2
+    result = replay_trace(
+        trace, make_policy("fifo"), small_catalog, max_mpl=max_mpl
+    )
+    events = sorted(
+        [(o.start_time, 1) for o in result.outcomes]
+        + [(o.end_time, -1) for o in result.outcomes]
+    )
+    depth = peak = 0
+    for _, delta in events:
+        depth += delta
+        peak = max(peak, depth)
+    assert peak <= max_mpl
+
+
+def test_percentiles_ordered(trace, small_catalog):
+    result = replay_trace(trace, make_policy("fifo"), small_catalog, max_mpl=2)
+    assert 0 < result.p50 <= result.p95 <= result.p99
+    assert result.percentile(1.0) == max(o.total_seconds for o in result.outcomes)
+
+
+def test_gated_replay_defers_but_completes(trace, small_catalog, backend):
+    policy = make_policy("gated", backend, sla_factor=1.2, max_mpl=2)
+    result = replay_trace(trace, policy, small_catalog, max_mpl=2)
+    assert len(result.outcomes) == len(trace)
+    assert result.decisions >= len(trace)
+    assert result.deferrals >= 0
+
+
+def test_registry_instrumentation(trace, small_catalog):
+    registry = Registry()
+    replay_trace(
+        trace, make_policy("fifo"), small_catalog, max_mpl=2, registry=registry
+    )
+    assert "sched_queue_depth" in registry
+    assert "sched_admissions_total" in registry
+    assert "sched_queue_wait_seconds" in registry
+    assert "sched_latency_seconds" in registry
+    admitted = registry.get("sched_admissions_total").labels("fifo", "admitted")
+    assert admitted.value == len(trace)
+
+
+def test_compare_policies_covers_all(trace, small_catalog, backend):
+    policies = [
+        make_policy("fifo"),
+        make_policy("gated", backend, sla_factor=1.5, max_mpl=2),
+        make_policy("predictive", backend, max_mpl=2),
+    ]
+    report = compare_policies(trace, policies, small_catalog, max_mpl=2)
+    assert [r.policy for r in report.results] == ["fifo", "gated", "predictive"]
+    assert report.count == len(trace)
+    for result in report.results:
+        assert len(result.outcomes) == len(trace)
+    table = report.format_table()
+    assert "predictive" in table and "makespan" in table
+    doc = report.to_doc()
+    assert len(doc["results"]) == 3
+    assert report.result_for("fifo").policy == "fifo"
+    with pytest.raises(ModelError):
+        report.result_for("lifo")
+
+
+def test_replay_validates_inputs(trace, small_catalog):
+    with pytest.raises(ModelError):
+        replay_trace(trace, make_policy("fifo"), small_catalog, max_mpl=0)
+    with pytest.raises(ModelError):
+        compare_policies(trace, [], small_catalog)

@@ -1,0 +1,180 @@
+"""Arrival-trace generator tests: determinism, rates, and marginals."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.traces import (
+    TRACE_KINDS,
+    ArrivalTrace,
+    TemplateDistribution,
+    TraceConfig,
+    bursty_trace,
+    diurnal_trace,
+    generate_trace,
+    poisson_trace,
+)
+from repro.errors import ReproError
+
+TEMPLATES = (22, 26, 32, 62, 65, 71, 82)
+DIST = TemplateDistribution.uniform(TEMPLATES)
+
+_GENERATORS = {
+    "poisson": poisson_trace,
+    "bursty": bursty_trace,
+    "diurnal": diurnal_trace,
+}
+
+
+# ----------------------------------------------------------------------
+# Seed determinism.
+
+
+@pytest.mark.parametrize("kind", TRACE_KINDS)
+def test_same_seed_reproduces_bitwise(kind):
+    one = _GENERATORS[kind](DIST, rate=0.01, count=50, seed=123)
+    two = _GENERATORS[kind](DIST, rate=0.01, count=50, seed=123)
+    assert one == two  # frozen dataclasses: full structural equality
+
+
+@pytest.mark.parametrize("kind", TRACE_KINDS)
+def test_different_seed_differs(kind):
+    one = _GENERATORS[kind](DIST, rate=0.01, count=50, seed=1)
+    two = _GENERATORS[kind](DIST, rate=0.01, count=50, seed=2)
+    assert one.arrivals != two.arrivals
+
+
+@pytest.mark.parametrize("kind", TRACE_KINDS)
+def test_times_positive_and_nondecreasing(kind):
+    trace = _GENERATORS[kind](DIST, rate=0.05, count=200, seed=9)
+    times = [a.time for a in trace.arrivals]
+    assert len(times) == 200
+    assert times[0] > 0
+    assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+# ----------------------------------------------------------------------
+# Mean inter-arrival rate (law of large numbers, tolerance-checked).
+
+
+@settings(max_examples=25)
+@given(
+    rate=st.floats(min_value=1e-3, max_value=10.0),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_poisson_mean_rate_within_tolerance(rate, seed):
+    trace = poisson_trace(DIST, rate=rate, count=1500, seed=seed)
+    # Std of the mean of n exponential gaps is (1/rate)/sqrt(n) ≈ 2.6 %
+    # here; 15 % is a > 5-sigma bound.
+    assert trace.mean_interarrival == pytest.approx(1.0 / rate, rel=0.15)
+
+
+@settings(max_examples=10)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_bursty_preserves_long_run_mean_rate(seed):
+    rate = 0.5
+    trace = bursty_trace(DIST, rate=rate, count=4000, seed=seed)
+    # MMPP gaps are correlated within a dwell, so the estimator is
+    # noisier than i.i.d. exponentials; 25 % still separates rate from
+    # rate*burst_factor (5x) and from the off-state rate (~0.3x).
+    assert trace.mean_interarrival == pytest.approx(1.0 / rate, rel=0.25)
+
+
+@settings(max_examples=10)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_diurnal_preserves_long_run_mean_rate(seed):
+    rate = 0.5
+    trace = diurnal_trace(DIST, rate=rate, count=3000, seed=seed, period=500.0)
+    assert trace.mean_interarrival == pytest.approx(1.0 / rate, rel=0.25)
+
+
+# ----------------------------------------------------------------------
+# Template-distribution marginals.
+
+
+def test_uniform_template_marginals():
+    trace = poisson_trace(DIST, rate=1.0, count=7000, seed=5)
+    counts = trace.template_counts()
+    assert set(counts) == set(TEMPLATES)
+    for template in TEMPLATES:
+        assert counts[template] == pytest.approx(1000, rel=0.15)
+
+
+def test_weighted_template_marginals():
+    dist = TemplateDistribution((26, 65, 71), (0.7, 0.2, 0.1))
+    trace = poisson_trace(dist, rate=1.0, count=5000, seed=5)
+    counts = trace.template_counts()
+    assert counts[26] == pytest.approx(3500, rel=0.10)
+    assert counts[65] == pytest.approx(1000, rel=0.20)
+    assert counts[71] == pytest.approx(500, rel=0.25)
+
+
+def test_weights_normalized_on_construction():
+    dist = TemplateDistribution((1, 2), (3.0, 1.0))
+    assert dist.weights == (0.75, 0.25)
+
+
+# ----------------------------------------------------------------------
+# Validation.
+
+
+def test_invalid_distribution_rejected():
+    with pytest.raises(ReproError):
+        TemplateDistribution((), ())
+    with pytest.raises(ReproError):
+        TemplateDistribution((1, 2), (1.0,))
+    with pytest.raises(ReproError):
+        TemplateDistribution((1,), (-1.0,))
+    with pytest.raises(ReproError):
+        TemplateDistribution((1, 2), (0.0, 0.0))
+
+
+def test_invalid_rate_and_count_rejected():
+    with pytest.raises(ReproError):
+        poisson_trace(DIST, rate=0.0, count=10)
+    with pytest.raises(ReproError):
+        poisson_trace(DIST, rate=1.0, count=0)
+
+
+def test_bursty_knobs_validated():
+    with pytest.raises(ReproError):
+        bursty_trace(DIST, rate=1.0, count=10, burst_factor=1.0)
+    with pytest.raises(ReproError):
+        bursty_trace(DIST, rate=1.0, count=10, on_fraction=0.0)
+    # on_fraction * burst_factor >= 1 makes the off rate negative.
+    with pytest.raises(ReproError):
+        bursty_trace(DIST, rate=1.0, count=10, burst_factor=5.0, on_fraction=0.25)
+
+
+def test_diurnal_knobs_validated():
+    with pytest.raises(ReproError):
+        diurnal_trace(DIST, rate=1.0, count=10, amplitude=1.0)
+    with pytest.raises(ReproError):
+        diurnal_trace(DIST, rate=1.0, count=10, period=0.0)
+
+
+# ----------------------------------------------------------------------
+# Declarative config dispatch.
+
+
+@pytest.mark.parametrize("kind", TRACE_KINDS)
+def test_generate_trace_matches_direct_call(kind):
+    config = TraceConfig(kind=kind, templates=DIST, rate=0.02, count=40, seed=3)
+    assert generate_trace(config) == _GENERATORS[kind](
+        DIST, rate=0.02, count=40, seed=3
+    )
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ReproError):
+        TraceConfig(kind="weibull", templates=DIST, rate=1.0, count=10)
+
+
+def test_trace_summary_properties():
+    trace = poisson_trace(DIST, rate=0.1, count=25, seed=0)
+    assert len(trace) == 25
+    assert trace.duration == trace.arrivals[-1].time
+    assert sum(trace.template_counts().values()) == 25
+    empty = ArrivalTrace(kind="poisson", seed=0, rate=1.0, arrivals=())
+    assert empty.duration == 0.0
+    assert empty.mean_interarrival == 0.0

@@ -1,0 +1,107 @@
+"""Pinned end-to-end scheduling scenarios: FIFO vs prediction-driven.
+
+Each scenario replays a seed-deterministic arrival trace through the
+queue simulator at MPL 3 and pins the resulting client-observed latency
+percentiles.  The campaign, the traces, and the engine are all
+deterministic, so these numbers are stable run-to-run; the tolerance
+only absorbs floating-point reassociation across numpy/BLAS builds.
+
+Beyond the exact pins, the contended scenarios assert the paper's
+payoff *directionally*: prediction-driven reordering strictly beats
+FIFO tail latency.  A failure of the strict inequality means the
+predictor stopped adding scheduling value — a modeling regression even
+if every unit test passes.
+"""
+
+import pytest
+
+from repro.apps.admission import ContenderBackend
+from repro.core.contender import Contender
+from repro.core.training import collect_training_data
+from repro.sampling.steady_state import SteadyStateConfig
+from repro.sched import (
+    TemplateDistribution,
+    bursty_trace,
+    compare_policies,
+    make_policy,
+    poisson_trace,
+)
+from tests.conftest import SMALL_TEMPLATES
+
+#: Same tolerance discipline as tests/validation/test_golden_numbers.py.
+PIN = 1e-4
+
+DIST = TemplateDistribution.uniform(SMALL_TEMPLATES)
+MAX_MPL = 3
+RATE = 1.0 / 120.0  # one arrival per two minutes: sustained contention
+
+
+@pytest.fixture(scope="module")
+def sched_backend(small_catalog):
+    """Campaign covering MPLs 2-3 (the replay admits mixes up to 3)."""
+    data = collect_training_data(
+        small_catalog,
+        mpls=(2, 3),
+        lhs_runs_per_mpl=2,
+        steady_config=SteadyStateConfig(samples_per_stream=3),
+    )
+    return ContenderBackend(Contender(data))
+
+
+def _compare(trace, backend, catalog):
+    policies = [
+        make_policy("fifo"),
+        make_policy("predictive", backend, max_mpl=MAX_MPL),
+    ]
+    return compare_policies(trace, policies, catalog, max_mpl=MAX_MPL)
+
+
+def test_poisson_scenario_pinned(sched_backend, small_catalog):
+    trace = poisson_trace(DIST, rate=RATE, count=30, seed=7)
+    report = _compare(trace, sched_backend, small_catalog)
+    fifo = report.result_for("fifo")
+    predictive = report.result_for("predictive")
+
+    assert fifo.p50 == pytest.approx(1472.8170503481315, rel=PIN)
+    assert fifo.p99 == pytest.approx(3500.2283336660566, rel=PIN)
+    assert fifo.makespan == pytest.approx(6972.799424268302, rel=PIN)
+
+    assert predictive.p50 == pytest.approx(1197.4032322246785, rel=PIN)
+    assert predictive.p99 == pytest.approx(2992.81308160672, rel=PIN)
+    assert predictive.makespan == pytest.approx(6440.840117474883, rel=PIN)
+
+    # The payoff: prediction-driven reordering strictly beats FIFO tail.
+    assert predictive.p99 < fifo.p99
+    assert predictive.makespan < fifo.makespan
+
+
+def test_bursty_scenario_pinned(sched_backend, small_catalog):
+    trace = bursty_trace(DIST, rate=RATE, count=30, seed=11)
+    report = _compare(trace, sched_backend, small_catalog)
+    fifo = report.result_for("fifo")
+    predictive = report.result_for("predictive")
+
+    assert fifo.p50 == pytest.approx(1416.6550977784277, rel=PIN)
+    assert fifo.p99 == pytest.approx(3884.933141307555, rel=PIN)
+
+    assert predictive.p50 == pytest.approx(1252.8314899338193, rel=PIN)
+    assert predictive.p99 == pytest.approx(3776.6609143439478, rel=PIN)
+
+    assert predictive.p99 < fifo.p99
+
+
+def test_scenarios_reproduce_from_seed_alone(sched_backend, small_catalog):
+    """The whole scenario — trace plus replay — is a pure function of
+    the seed: regenerating everything yields identical outcomes."""
+    one = _compare(
+        poisson_trace(DIST, rate=RATE, count=30, seed=7),
+        sched_backend,
+        small_catalog,
+    )
+    two = _compare(
+        poisson_trace(DIST, rate=RATE, count=30, seed=7),
+        sched_backend,
+        small_catalog,
+    )
+    for a, b in zip(one.results, two.results):
+        assert a.outcomes == b.outcomes
