@@ -87,6 +87,127 @@ def _events_per_sec(engine: str, per_stream, repeats: int = 15) -> float:
     return events / best
 
 
+def _batched_metrics(batch: int = 2048, mpl: int = 8) -> Dict[str, float]:
+    """Batched-engine throughput on a spoiler-style campaign workload.
+
+    The workload is the campaign's hot shape: one single-shot primary
+    against ``mpl - 1`` background readers.  The scalar side runs a few
+    representative runs through one :class:`ConcurrentExecutor` each;
+    the batched side advances *batch* such runs in lockstep, and both
+    normalize to events/sec, so the ratio is the per-run speedup of
+    feeding the campaign through ``run_batch``.
+    """
+    from repro.engine.batched import RunSpec, run_batch
+    from repro.engine.executor import SingleShotStream
+    from repro.engine.spoiler import Spoiler
+
+    catalog = TemplateCatalog()
+    config_vt = SystemConfig(simulation=SimulationConfig(engine="virtual_time"))
+    config_bt = SystemConfig(simulation=SimulationConfig(engine="batched"))
+    ids = catalog.template_ids[:8]
+    spoiler = Spoiler(mpl=mpl, ram_bytes=config_vt.hardware.ram_bytes)
+    readers = spoiler.readers()
+    profiles = {
+        t: catalog.profile(t, np.random.default_rng(j))
+        for j, t in enumerate(ids)
+    }
+
+    specs = [
+        RunSpec(
+            streams=[
+                SingleShotStream(profiles[ids[k % len(ids)]], name="primary")
+            ],
+            background=readers,
+            pinned_bytes=spoiler.pinned_bytes,
+            rng=np.random.default_rng(k % len(ids)),
+        )
+        for k in range(batch)
+    ]
+    # Scalar and batched timings are interleaved per round and the
+    # speedup taken as the best per-round ratio: a machine-load spike
+    # then skews one round's ratio, not the scalar numerator of one
+    # measurement against the batched denominator of another.
+    best_eps = 0.0
+    best_ratio = 0.0
+    for i in range(7):
+        start = time.perf_counter()
+        events_vt = 0
+        for j, t in enumerate(ids):
+            executor = ConcurrentExecutor(
+                config_vt, rng=np.random.default_rng(j)
+            )
+            result = executor.run(
+                streams=[SingleShotStream(profiles[t], name="primary")],
+                background=spoiler.readers(),
+                pinned_bytes=spoiler.pinned_bytes,
+            )
+            events_vt += result.events
+        scalar_eps = events_vt / (time.perf_counter() - start)
+        start = time.perf_counter()
+        results = run_batch(config_bt, specs)
+        batched_eps = sum(r.events for r in results) / (
+            time.perf_counter() - start
+        )
+        if i == 0:  # warmup round
+            continue
+        best_eps = max(best_eps, batched_eps)
+        best_ratio = max(best_ratio, batched_eps / scalar_eps)
+    return {
+        "events_per_sec": best_eps,
+        "speedup": best_ratio,
+    }
+
+
+def _campaign_batched_speedup(batch: int = 256) -> float:
+    """End-to-end chunk speedup: batched campaign execution vs the
+    scalar per-task loop, on a full spoiler sweep (every template at
+    MPLs 1-8).  Also cross-checks that both paths return identical
+    results — the batched engine's contract."""
+    from repro.config import CampaignConfig
+    from repro.core.training import (
+        _CampaignContext,
+        _execute_campaign_chunk,
+        _execute_campaign_task,
+    )
+
+    ids = tuple(TemplateCatalog().template_ids)
+    tasks = [("spoiler", t, m) for t in ids for m in range(1, 9)]
+
+    def context(engine: str) -> "_CampaignContext":
+        config = SystemConfig(
+            simulation=SimulationConfig(engine=engine),
+            campaign=CampaignConfig(jobs=1, batch_size=batch),
+        )
+        return _CampaignContext(
+            catalog=TemplateCatalog(config=config).subset(ids),
+            steady=SteadyStateConfig(),
+            config_seed=config.simulation.seed,
+            batch_size=batch,
+        )
+
+    scalar_ctx = context("virtual_time")
+    best_scalar = float("inf")
+    reference = None
+    for i in range(4):
+        start = time.perf_counter()
+        reference = [_execute_campaign_task(scalar_ctx, t) for t in tasks]
+        if i > 0:
+            best_scalar = min(best_scalar, time.perf_counter() - start)
+
+    batched_ctx = context("batched")
+    best_batched = float("inf")
+    for i in range(4):
+        start = time.perf_counter()
+        results = _execute_campaign_chunk(batched_ctx, tasks)
+        if i > 0:
+            best_batched = min(best_batched, time.perf_counter() - start)
+    if results != reference:
+        raise AssertionError(
+            "batched campaign chunk diverged from the scalar task loop"
+        )
+    return best_scalar / best_batched
+
+
 def _campaign_seconds(repeats: int = 3) -> float:
     catalog = TemplateCatalog().subset(SMALL_TEMPLATES)
     best = float("inf")
@@ -129,14 +250,17 @@ def _sched_metrics() -> Dict[str, float]:
         TemplateDistribution.uniform(ids), rate=1.0 / 120.0, count=40, seed=3
     )
 
-    # Predictive decision throughput over representative queue states
-    # (running mixes of 1-2, the MPLs the campaign covers).
+    # Predictive decision throughput over representative queue states:
+    # running mixes of 1-2 (the MPLs the campaign covers) and queues
+    # deep enough to fill the policy's default window of 8 — decision
+    # cost is a function of the scored window, so the gate measures a
+    # full one.
     predictive = make_policy("predictive", backend, max_mpl=3)
     states = [
-        ((26,), (65, 71, 82, 22)),
-        ((65, 71), (26, 82, 32, 62)),
-        ((82,), (22, 26, 62, 71)),
-        ((22, 32), (65, 26, 82, 71)),
+        ((26,), (65, 71, 82, 22, 32, 62, 26, 71)),
+        ((65, 71), (26, 82, 32, 62, 22, 71, 65, 82)),
+        ((82,), (22, 26, 62, 71, 32, 65, 82, 26)),
+        ((22, 32), (65, 26, 82, 71, 62, 22, 32, 65)),
     ]
     best = float("inf")
     for i in range(6):
@@ -177,6 +301,7 @@ def measure() -> Dict[str, Dict[str, object]]:
     mpl4 = _engine_workload(catalog, 4)
     mpl8 = _engine_workload(catalog, 8)
     sched = _sched_metrics()
+    batched = _batched_metrics()
     metrics = {
         "engine_virtual_time_events_per_sec_mpl4": {
             "value": _events_per_sec("virtual_time", mpl4),
@@ -192,6 +317,34 @@ def measure() -> Dict[str, Dict[str, object]]:
             "value": _events_per_sec("reference", mpl8),
             "unit": "events/sec",
             "higher_is_better": True,
+        },
+        # The batched engine's reason to exist: lockstep advancement of
+        # many independent campaign runs.  The floor is absolute — on
+        # any machine, batching spoiler-style runs must stay at least
+        # 5x faster per run than the scalar virtual-time loop.
+        "engine_batched_events_per_sec": {
+            "value": batched["events_per_sec"],
+            "unit": "events/sec",
+            "higher_is_better": True,
+        },
+        "engine_batched_speedup": {
+            "value": batched["speedup"],
+            "unit": "x",
+            "higher_is_better": True,
+            "min_value": 5.0,
+        },
+        # End-to-end campaign chunk: includes the per-task plumbing and
+        # the canonical-profile cache, so the ratio is what campaign
+        # callers actually see on a spoiler sweep.  Amdahl holds it
+        # below the pure-engine ratio (plan compilation and result
+        # collection don't batch), and machine load moves the measured
+        # value between ~1.45x and ~1.65x — the floor sits below that
+        # band so the gate asserts the win without flaking.
+        "campaign_batched_speedup": {
+            "value": _campaign_batched_speedup(),
+            "unit": "x",
+            "higher_is_better": True,
+            "min_value": 1.2,
         },
         "campaign_small_serial_seconds": {
             "value": _campaign_seconds(),
@@ -392,6 +545,19 @@ def main() -> int:
             print(
                 f"{name:<{width}}  {value:>12.4f} "
                 f"{current['unit']:<10} (ceiling {ceiling})  {verdict}"
+            )
+            if regressed:
+                failures.append(name)
+            continue
+        if "min_value" in current:
+            # Absolute floor — the mirror of max_value, used for
+            # speedup ratios that must hold on any machine.
+            value, floor = current["value"], current["min_value"]
+            regressed = value < floor
+            verdict = "FAIL" if regressed else "ok"
+            print(
+                f"{name:<{width}}  {value:>12.4f} "
+                f"{current['unit']:<10} (floor {floor})  {verdict}"
             )
             if regressed:
                 failures.append(name)

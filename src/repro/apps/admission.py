@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Protocol, Sequence, Tuple, Union, runtime_checkable
 
+import numpy as np
+
 from ..core.contender import Contender
 from ..errors import ModelError
 
@@ -36,6 +38,14 @@ class PredictionBackend(Protocol):
     entire mix in one RPC instead of one RPC per member.  Use
     :func:`predicted_mix_latencies` to call it with the per-member
     fallback.
+
+    Backends may also provide
+    ``predict_candidates(running, candidates) -> ndarray`` — per-member
+    latencies of *every* mix ``(*running, candidate)`` as one
+    ``(len(candidates), len(running) + 1)`` array.  The predictive
+    scheduler scores its whole candidate window through it (one
+    vectorized pass for an embedded Contender, one RPC for a remote
+    backend) via :func:`predicted_candidate_latencies`.
     """
 
     def predict_known(self, primary: int, mix: Sequence[int]) -> float:
@@ -62,6 +72,37 @@ def predicted_mix_latencies(
     return [backend.predict_known(primary, mix) for primary in mix]
 
 
+def predicted_candidate_latencies(
+    backend: "PredictionBackend",
+    running: Sequence[int],
+    candidates: Sequence[int],
+) -> np.ndarray:
+    """Per-member latencies of every mix ``(*running, c)``, batched.
+
+    Uses the backend's optional ``predict_candidates`` (one vectorized
+    pass over the whole window); otherwise falls back to one
+    :func:`predicted_mix_latencies` call per candidate, so any
+    :class:`PredictionBackend` works.
+
+    Returns:
+        Array of shape ``(len(candidates), len(running) + 1)`` — row
+        *j* holds the predicted latency of each member of ``mix_j``.
+        With an empty *running* the single column is the isolated
+        latency (the exact MPL-1 answer).
+    """
+    batch = getattr(backend, "predict_candidates", None)
+    if batch is not None:
+        return np.asarray(batch(running, candidates), dtype=float)
+    mpl = len(running) + 1
+    rows = np.empty((len(candidates), mpl))
+    for j, candidate in enumerate(candidates):
+        if mpl == 1:
+            rows[j, 0] = backend.isolated_latency(candidate)
+        else:
+            rows[j] = predicted_mix_latencies(backend, (*running, candidate))
+    return rows
+
+
 class ContenderBackend:
     """In-process backend over a fitted :class:`Contender`."""
 
@@ -77,6 +118,11 @@ class ContenderBackend:
 
     def predict_mix(self, mix: Sequence[int]) -> List[float]:
         return [self._contender.predict_known(primary, mix) for primary in mix]
+
+    def predict_candidates(
+        self, running: Sequence[int], candidates: Sequence[int]
+    ) -> np.ndarray:
+        return self._contender.predict_candidates(running, candidates)
 
     def isolated_latency(self, primary: int) -> float:
         return self._contender.data.profile(primary).isolated_latency

@@ -110,6 +110,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--seed", type=int, default=None, help="campaign seed override"
     )
+    p.add_argument(
+        "--engine",
+        choices=("virtual_time", "batched", "reference"),
+        default=None,
+        help="simulation engine; 'batched' groups runs into lockstep "
+        "batches with bit-identical results, faster campaigns",
+    )
 
     p = sub.add_parser("predict", help="predict a known template in a mix")
     p.add_argument("data", type=Path)
@@ -388,7 +395,16 @@ def _cmd_spoiler(args: argparse.Namespace) -> int:
 
 def _cmd_train(args: argparse.Namespace) -> int:
     mpls = tuple(int(m) for m in args.mpls.split(","))
-    catalog = TemplateCatalog()
+    if args.engine:
+        from .config import SimulationConfig, SystemConfig
+
+        catalog = TemplateCatalog(
+            config=SystemConfig(
+                simulation=SimulationConfig(engine=args.engine)
+            )
+        )
+    else:
+        catalog = TemplateCatalog()
     print(f"collecting campaign for MPLs {mpls} (LHS runs: {args.lhs_runs})...")
     data = collect_training_data(
         catalog,

@@ -98,6 +98,12 @@ class SimulationConfig:
             specification the fast engine is differentially tested
             against.  The two agree to floating-point reassociation
             tolerance (see docs/PERFORMANCE.md), not bit-for-bit.
+            ``'batched'`` selects the lockstep numpy engine
+            (:mod:`repro.engine.batched`): single runs execute as a
+            batch of one, and campaigns group compatible tasks into
+            wide batches.  It mirrors the virtual-time arithmetic
+            bit-for-bit; features it cannot vectorize (tracers, LRU
+            eviction, phase timings) fall back to the scalar loop.
     """
 
     shared_scans: bool = True
@@ -130,10 +136,10 @@ class SimulationConfig:
             raise ConfigurationError("time_epsilon must be positive")
         if self.max_events < 1:
             raise ConfigurationError("max_events must be >= 1")
-        if self.engine not in ("reference", "virtual_time"):
+        if self.engine not in ("reference", "virtual_time", "batched"):
             raise ConfigurationError(
-                "engine must be 'reference' or 'virtual_time', "
-                f"got {self.engine!r}"
+                "engine must be 'reference', 'virtual_time', or "
+                f"'batched', got {self.engine!r}"
             )
 
 
@@ -150,10 +156,17 @@ class CampaignConfig:
             everything in-process (no pool); 0 means one worker per core.
         chunk_size: Tasks per worker submission; 0 sizes chunks
             automatically from the task count and worker count.
+        batch_size: How many compatible campaign tasks the batched
+            engine advances in lockstep per :func:`repro.engine.batched.
+            run_batch` call (within each worker chunk, so jobs x batch
+            compose).  0 or 1 disables batching.  Like ``jobs``, the
+            value never changes results — batched columns are fully
+            independent — only throughput.
     """
 
     jobs: int = 1
     chunk_size: int = 0
+    batch_size: int = 64
 
     def __post_init__(self) -> None:
         if self.jobs < 0:
@@ -161,6 +174,10 @@ class CampaignConfig:
         if self.chunk_size < 0:
             raise ConfigurationError(
                 f"chunk_size must be >= 0, got {self.chunk_size}"
+            )
+        if self.batch_size < 0:
+            raise ConfigurationError(
+                f"batch_size must be >= 0, got {self.batch_size}"
             )
 
 

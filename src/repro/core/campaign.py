@@ -117,9 +117,12 @@ def _run_chunk(index: int, items: Sequence[Any]) -> tuple:
     cannot share the parent's metric registry, so per-task wall times
     ride back with the results and the parent merges them; *durations*
     is ``None`` when the campaign runs unobserved (timing calls cost a
-    syscall each, so they are opt-in).
+    syscall each, so they are opt-in).  Chunk-level functions own their
+    internal scheduling, so they never report per-task durations.
     """
-    fn, context, timed = _WORKER_STATE  # type: ignore[misc]
+    fn, context, timed, chunked = _WORKER_STATE  # type: ignore[misc]
+    if chunked:
+        return index, fn(context, items), os.getpid(), None
     if not timed:
         return index, [fn(context, item) for item in items], os.getpid(), None
     results = []
@@ -185,6 +188,7 @@ def parallel_map(
     chunk_size: int = 0,
     metrics: Optional[Registry] = None,
     task_label: Optional[Callable[[T], str]] = None,
+    chunked: bool = False,
 ) -> List[R]:
     """``[fn(context, item) for item in items]``, optionally over processes.
 
@@ -196,7 +200,10 @@ def parallel_map(
         jobs: Worker processes — ``None``/1 run in-process (no pool, no
             pickling), 0 uses every core.
         chunk_size: Tasks per submission; 0 picks a size that gives each
-            worker about :data:`CHUNKS_PER_WORKER` chunks.
+            worker about :data:`CHUNKS_PER_WORKER` chunks.  Explicit
+            sizes are capped at ``ceil(len(items) / jobs)`` so a large
+            setting cannot starve workers (an oversized chunk would
+            serialize the whole campaign onto one process).
         metrics: Registry to record ``campaign_*`` metrics into (task
             counts and wall times by kind, chunk queue depth, per-worker
             throughput).  ``None`` (the default) records nothing and
@@ -204,6 +211,14 @@ def parallel_map(
         task_label: Maps an item to its metric ``kind`` label; only
             called in the parent process, so closures are fine.  Items
             label as ``"task"`` when omitted.
+        chunked: When True, *fn* is a chunk-level function called as
+            ``fn(context, chunk)`` returning one result per item of the
+            chunk (in order).  This lets the callee amortize work across
+            a whole chunk — the batched simulation engine runs a chunk's
+            tasks in lockstep instead of one at a time.  Per-task wall
+            times are not recorded in this mode (the callee interleaves
+            tasks, so per-task timing is not well defined); task counts
+            and chunk metrics still are.
 
     Returns:
         Results in the order of *items*, regardless of completion order.
@@ -218,6 +233,15 @@ def parallel_map(
     label_of = task_label if task_label is not None else (lambda item: "task")
 
     if jobs <= 1 or len(items) <= 1:
+        if chunked:
+            out = list(fn(context, items)) if items else []
+            if instr is not None:
+                instr.workers.set(1)
+                instr.chunks.inc()
+                instr.worker_tasks.labels(os.getpid()).inc(len(items))
+                for item in items:
+                    instr.tasks.labels(label_of(item)).inc()
+            return out
         if instr is None:
             return [fn(context, item) for item in items]
         instr.workers.set(1)
@@ -236,11 +260,17 @@ def parallel_map(
 
     if chunk_size <= 0:
         chunk_size = max(1, math.ceil(len(items) / (jobs * CHUNKS_PER_WORKER)))
+    else:
+        # Cap explicit sizes so every worker gets at least one chunk;
+        # results are unaffected (tasks are order- and chunk-independent
+        # by construction), only load balance is.
+        chunk_size = min(chunk_size, max(1, math.ceil(len(items) / jobs)))
     chunks = [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
 
     try:
         payload = pickle.dumps(
-            (fn, context, instr is not None), protocol=pickle.HIGHEST_PROTOCOL
+            (fn, context, instr is not None, chunked),
+            protocol=pickle.HIGHEST_PROTOCOL,
         )
     except Exception as exc:
         raise SamplingError(

@@ -19,8 +19,11 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import ModelError
 from .coefficients import CoefficientModel
+from .continuum import _validate_bounds
 from .cqi import CQICalculator, CQIVariant
 from .qs import QSModel, fit_qs_model
 from .spoiler_model import (
@@ -82,6 +85,8 @@ class Contender:
             profiles=data.profiles, scan_seconds=data.scan_seconds
         )
         self._qs_cache: Dict[Tuple[int, int], QSModel] = {}
+        self._continuum_cache: Dict[Tuple[int, int], Tuple[float, ...]] = {}
+        self._continuum_arrays: Dict[tuple, np.ndarray] = {}
         self._coeff_cache: Dict[int, CoefficientModel] = {}
         self._knn_spoiler: Optional[KNNSpoilerPredictor] = None
         self._io_time_spoiler: Optional[IOTimeSpoilerPredictor] = None
@@ -180,6 +185,94 @@ class Contender:
         return model.predict_interval(
             self.cqi(primary, mix), profile.isolated_latency, l_max, sigmas
         )
+
+    def _continuum_params(
+        self, template_id: int, mpl: int
+    ) -> Tuple[float, float, float, float]:
+        """``(slope, intercept, l_min, l_max)`` at *mpl* (cached)."""
+        key = (template_id, mpl)
+        cached = self._continuum_cache.get(key)
+        if cached is None:
+            model = self.qs_model(template_id, mpl)
+            l_min = self._data.profile(template_id).isolated_latency
+            l_max = self._data.spoiler(template_id).latency_at(mpl)
+            _validate_bounds(l_min, l_max)
+            cached = (model.slope, model.intercept, l_min, l_max)
+            self._continuum_cache[key] = cached
+        return cached
+
+    def _continuum_arrays_for(
+        self, ids: Tuple[int, ...], mpl: int
+    ) -> np.ndarray:
+        """``(slope, intercept, l_min, l_max)`` rows for *ids* (cached).
+
+        Scheduler windows repeat the same running mixes and queue
+        contents decision after decision; caching the assembled array
+        keeps the per-decision cost to one dict lookup.
+        """
+        key = (ids, mpl)
+        cached = self._continuum_arrays.get(key)
+        if cached is None:
+            cached = np.array(
+                [self._continuum_params(t, mpl) for t in ids]
+            ).T
+            self._continuum_arrays[key] = cached
+        return cached
+
+    def predict_candidates(
+        self, running: Sequence[int], candidates: Sequence[int]
+    ) -> np.ndarray:
+        """:meth:`predict_known` for every member of every candidate mix.
+
+        The predictive scheduler evaluates a window of queued
+        candidates, each forming the mix ``(*running, candidate)``.
+        Scoring that window through per-candidate :meth:`predict_known`
+        loops costs ``window * mpl`` CQI recomputations; this answers
+        the whole window in one array pass over the same arithmetic.
+
+        Args:
+            running: The currently running mix (shared prefix; may be
+                empty, in which case the isolated latency is the exact
+                answer for every candidate).
+            candidates: Queued templates, one mix per entry.
+
+        Returns:
+            Array of shape ``(len(candidates), len(running) + 1)``:
+            ``[j, i]`` is the predicted latency of member ``i`` of
+            ``mix_j``, bit-identical to the scalar method.
+        """
+        running = tuple(running)
+        candidates = tuple(candidates)
+        mpl = len(running) + 1
+        if not candidates:
+            return np.zeros((0, mpl))
+        if not running:
+            iso = [
+                self._data.profile(c).isolated_latency for c in candidates
+            ]
+            return np.array(iso).reshape(len(candidates), 1)
+        cqi = self._calculator.intensity_for_candidates(
+            running, candidates, self._options.cqi_variant
+        )
+        out = np.empty((len(candidates), mpl))
+        # Eq. 7 and the continuum inverse are elementwise; broadcasting
+        # the per-template rows over the window reproduces the scalar
+        # predict_latency arithmetic exactly.
+        slope, intercept, l_min, l_max = self._continuum_arrays_for(
+            running, mpl
+        )
+        point = slope * cqi[:, : mpl - 1] + intercept
+        out[:, : mpl - 1] = np.maximum(
+            l_min + point * (l_max - l_min), 0.05 * l_min
+        )
+        slope, intercept, l_min, l_max = self._continuum_arrays_for(
+            candidates, mpl
+        )
+        point = slope * cqi[:, mpl - 1] + intercept
+        out[:, mpl - 1] = np.maximum(
+            l_min + point * (l_max - l_min), 0.05 * l_min
+        )
+        return out
 
     # ------------------------------------------------------------------
     # New templates (Sec. 5.3-5.5, Fig. 5).

@@ -23,8 +23,10 @@ from __future__ import annotations
 
 import enum
 from collections import Counter
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import ModelError
 from .training import TemplateProfile
@@ -39,6 +41,40 @@ class CQIVariant(enum.Enum):
 
 
 @dataclass(frozen=True)
+class CQITables:
+    """Dense array view of a calculator's inputs, for batch scoring.
+
+    Rows are templates (in :attr:`index` order), columns are fact tables
+    in sorted-name order — the same order every scalar float sum in
+    :class:`CQICalculator` iterates, which is what lets the batched path
+    reproduce the scalar results bit-for-bit.
+
+    Attributes:
+        index: Template id → row.
+        tables: Fact tables scanned by any template, sorted.
+        seconds: ``s_f`` per table (0.0 when unmeasured).
+        mask: ``mask[t, f]`` — template *t* scans table *f*.
+        io_base: ``l_min_t * p_t`` per template (baseline I/O time).
+        l_min: Isolated latency per template.
+        omega: Pairwise ``ω`` — ``omega[c, p]`` is
+            :meth:`CQICalculator.omega` of concurrent *c* against
+            primary *p*, precomputed with the scalar method so the sums
+            are literally identical.
+        io_net: ``io_base[c] - omega[c, p]`` — the Eq. 4 numerator
+            before the ``τ`` term, precomputed pairwise.
+    """
+
+    index: Dict[int, int]
+    tables: Tuple[str, ...]
+    seconds: np.ndarray
+    mask: np.ndarray
+    io_base: np.ndarray
+    l_min: np.ndarray
+    omega: np.ndarray
+    io_net: np.ndarray
+
+
+@dataclass(frozen=True)
 class CQICalculator:
     """Computes CQI and its ablations from template-level metadata.
 
@@ -50,6 +86,9 @@ class CQICalculator:
 
     profiles: Mapping[int, TemplateProfile]
     scan_seconds: Mapping[str, float]
+    _cache: Dict[str, CQITables] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     def _profile(self, template_id: int) -> TemplateProfile:
         try:
@@ -143,3 +182,170 @@ class CQICalculator:
             self.r_c(c, primary, concurrent_set, variant) for c in concurrent_set
         ]
         return sum(values) / len(values)
+
+    # ------------------------------------------------------------------
+    # Batched scoring (the predictive scheduler's candidate window).
+
+    def tables(self) -> CQITables:
+        """The dense array view (built once, then cached)."""
+        cached = self._cache.get("tables")
+        if cached is not None:
+            return cached
+        ids = sorted(self.profiles)
+        names = sorted({f for t in ids for f in self.profiles[t].fact_scans})
+        index = {t: row for row, t in enumerate(ids)}
+        mask = np.zeros((len(ids), len(names)), dtype=bool)
+        for row, t in enumerate(ids):
+            for col, name in enumerate(names):
+                mask[row, col] = name in self.profiles[t].fact_scans
+        omega = np.empty((len(ids), len(ids)))
+        for c_row, c in enumerate(ids):
+            for p_row, p in enumerate(ids):
+                omega[c_row, p_row] = self.omega(c, p)
+        io_base = np.array(
+            [
+                self.profiles[t].isolated_latency * self.profiles[t].io_fraction
+                for t in ids
+            ]
+        )
+        built = CQITables(
+            index=index,
+            tables=tuple(names),
+            seconds=np.array(
+                [self.scan_seconds.get(name, 0.0) for name in names]
+            ),
+            mask=mask,
+            io_base=io_base,
+            l_min=np.array([self.profiles[t].isolated_latency for t in ids]),
+            omega=omega,
+            io_net=io_base[:, None] - omega,
+        )
+        self._cache["tables"] = built
+        return built
+
+    def _rows(self, t: CQITables, ids: Sequence[int]) -> np.ndarray:
+        try:
+            return np.array([t.index[i] for i in ids], dtype=np.intp)
+        except KeyError as exc:
+            raise ModelError(
+                f"no isolated profile for template {exc.args[0]}"
+            ) from None
+
+    def intensity_for_candidates(
+        self,
+        running: Sequence[int],
+        candidates: Sequence[int],
+        variant: CQIVariant = CQIVariant.FULL,
+    ) -> np.ndarray:
+        """:meth:`intensity` for every member of every candidate mix.
+
+        The predictive scheduler scores a window of queued candidates,
+        each forming the mix ``(*running, candidate)``; this computes
+        the whole window in one tensor pass over
+        ``(primary position, candidate, concurrent slot)`` instead of
+        one :meth:`intensity` call per (member, candidate) pair, so the
+        number of array operations is independent of the window size.
+
+        Every float accumulation (the ``τ`` table terms, the Eq. 5
+        mean) folds one element at a time in the scalar method's
+        iteration order, so the result is bit-identical to it — the
+        vectorization only widens each step across the window.
+
+        Args:
+            running: The shared mix prefix (may be empty).
+            candidates: One mix per entry; the varying last slot.
+            variant: Which ablation to compute (Table 2).
+
+        Returns:
+            Array of shape ``(len(candidates), len(running) + 1)`` —
+            ``[j, i]`` is ``intensity(mix_j[i], mix_j, variant)`` for
+            ``mix_j = (*running, candidates[j])``.
+        """
+        running = tuple(running)
+        candidates = tuple(candidates)
+        mpl = len(running) + 1
+        n = len(candidates)
+        k = len(running)
+        out = np.zeros((n, mpl))
+        if not candidates or not running:
+            return out  # an MPL-1 "mix" has intensity 0.0 by definition
+        t = self.tables()
+        num_tables = len(t.tables)
+        cand_rows = self._rows(t, candidates)
+        run_rows = self._rows(t, running)
+        cbool = t.mask[cand_rows]  # (n, T)
+
+        # Axis layout: i = primary position in the mix, j = candidate,
+        # l = concurrent slot, f = fact table.  Mix j is
+        # ``(*running, candidates[j])``; its primary at position i < k
+        # is running[i], at position k the candidate itself.
+        member = np.empty((n, mpl), dtype=np.intp)  # template row of slot l
+        member[:, :k] = run_rows
+        member[:, k] = cand_rows
+        prim = np.empty((mpl, n), dtype=np.intp)  # template row of primary i
+        prim[:k] = run_rows[:, None]
+        prim[k] = cand_rows
+        pmask = t.mask[prim]  # (mpl, n, T)
+
+        # Concurrent-set fact-table counts per primary.  The scalar path
+        # drops the first occurrence of the primary's *value* from the
+        # mix: for running primaries that occurrence sits in the prefix
+        # (counts = prefix - value + candidate); the candidate primary
+        # keeps the whole prefix.  Candidates that also occur in the
+        # prefix are fixed up after the fold.
+        prefix_counts = t.mask[run_rows].astype(float).sum(axis=0)  # (T,)
+        removed = np.zeros((mpl, num_tables))
+        removed[:k] = t.mask[run_rows]
+        with_candidate = np.ones((mpl, 1, 1))
+        with_candidate[k] = 0.0
+        h = (
+            prefix_counts[None, None, :]
+            - removed[:, None, :]
+            + with_candidate * cbool[None, :, :].astype(float)
+        )  # (mpl, n, T) — exact small-integer arithmetic
+        gt1 = h > 1.0
+        # (1 - 1/h_f) * s_f per table, gated on h_f > 1 like Eq. 3; the
+        # inner where keeps the division safe where the gate is closed.
+        factor = np.where(
+            gt1, (1.0 - 1.0 / np.where(gt1, h, 2.0)) * t.seconds, 0.0
+        )
+
+        if variant is CQIVariant.BASELINE_IO:
+            io = np.broadcast_to(t.io_base[member], (mpl, n, mpl))
+        else:
+            io = t.io_net[member[None, :, :], prim[:, :, None]]
+        if variant is CQIVariant.FULL:
+            # τ accumulates one sorted table at a time — the scalar
+            # loop's association — each step widened to every
+            # (primary, candidate, slot) at once.
+            cmask = np.empty((n, mpl, num_tables), dtype=bool)
+            cmask[:, :k] = t.mask[run_rows]
+            cmask[:, k] = cbool
+            tau = np.zeros((mpl, n, mpl))
+            for col in range(num_tables):
+                shared = cmask[None, :, :, col] & ~pmask[:, :, None, col]
+                tau = tau + np.where(shared, factor[:, :, None, col], 0.0)
+            io = io - tau
+        r = np.maximum(io, 0.0) / t.l_min[member]  # (mpl, n, mpl)
+
+        # Eq. 5 mean over the concurrent slots, folded in slot order;
+        # each primary skips the slot holding its removed occurrence.
+        first_at: Dict[int, int] = {}
+        for i, p in enumerate(running):
+            first_at.setdefault(p, i)
+        include = np.ones((mpl, mpl), dtype=bool)
+        for i, p in enumerate(running):
+            include[i, first_at[p]] = False
+        include[k, k] = False
+        acc = np.zeros((mpl, n))
+        for slot in range(mpl):
+            acc = acc + np.where(include[:, slot, None], r[:, :, slot], 0.0)
+        out[:] = (acc / (mpl - 1)).T
+
+        # Candidates already in the prefix: their first occurrence is a
+        # prefix slot, so their primary column is that slot's.
+        cand_first = np.array(
+            [first_at.get(c, k) for c in candidates], dtype=np.intp
+        )
+        out[:, k] = out[np.arange(n), cand_first]
+        return out

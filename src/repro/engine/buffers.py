@@ -37,6 +37,9 @@ class BufferCache:
     cold: bool = True
     eviction: str = "none"
     _resident: Dict[str, float] = field(default_factory=dict)
+    # Incremental total; the batched engine mirrors the same +=/-=
+    # sequence on per-run arrays, keeping both engines bit-identical.
+    _used: float = field(default=0.0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity_bytes < 0:
@@ -45,11 +48,12 @@ class BufferCache:
             raise SimulationError(
                 f"eviction must be one of {EVICTION_POLICIES}"
             )
+        self._used = sum(self._resident.values())
 
     @property
     def used_bytes(self) -> float:
         """Bytes of cached dimension data."""
-        return sum(self._resident.values())
+        return self._used
 
     def is_resident(self, relation: str) -> bool:
         """True when *relation* is fully cached (an LRU touch)."""
@@ -77,10 +81,11 @@ class BufferCache:
         if self.eviction == "lru":
             while self.used_bytes + size_bytes > self.capacity_bytes:
                 oldest = next(iter(self._resident))
-                del self._resident[oldest]
+                self._used -= self._resident.pop(oldest)
         elif self.used_bytes + size_bytes > self.capacity_bytes:
             return False
         self._resident[relation] = size_bytes
+        self._used += size_bytes
         return True
 
     def resident_relations(self) -> Set[str]:
@@ -90,3 +95,4 @@ class BufferCache:
     def clear(self) -> None:
         """Drop everything (simulate a cache flush between experiments)."""
         self._resident.clear()
+        self._used = 0.0

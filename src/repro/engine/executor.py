@@ -391,11 +391,43 @@ class ConcurrentExecutor:
             raise SimulationError("nothing to run")
         if self._sim.engine == "reference":
             result = self._run_reference(streams, background, pinned_bytes)
+        elif self._sim.engine == "batched" and self._batched_ok():
+            # Batch of one; bit-identical to the virtual-time loop.
+            # run_batch records into the registry itself (including the
+            # batched-specific families), so skip record_run here.
+            from .batched import RunSpec, run_batch
+
+            return run_batch(
+                self._config,
+                [
+                    RunSpec(
+                        streams=streams,
+                        background=background,
+                        pinned_bytes=pinned_bytes,
+                        rng=self._rng,
+                    )
+                ],
+                metrics=self._metrics,
+            )[0]
         else:
             result = self._run_virtual_time(streams, background, pinned_bytes)
         if self._instr is not None:
             self._instr.record_run(result)
         return result
+
+    def _batched_ok(self) -> bool:
+        """Whether the batched engine can serve this run.
+
+        Tracers need per-interval telemetry, LRU eviction needs per-run
+        recency dicts, and phase timings stamp every transition — all
+        inherently scalar, so those runs take the virtual-time loop
+        (which the batched engine mirrors bit-for-bit anyway).
+        """
+        return (
+            self._tracer is None
+            and self._sim.cache_eviction == "none"
+            and not self._phase_timings
+        )
 
     # ------------------------------------------------------------------
     # Virtual-time engine: cumulative-service scheduling.

@@ -34,45 +34,55 @@ class MemoryLedger:
     min_grant_bytes: float = MB(64)
     _pins: Dict[Hashable, float] = field(default_factory=dict)
     _held: Dict[Hashable, float] = field(default_factory=dict)
+    # Running totals maintained incrementally.  The increments are the
+    # ledger's arithmetic contract: the batched engine replays the same
+    # ``sum += new - old`` updates on arrays, so both engines see
+    # bit-identical totals regardless of hold/release order.
+    _pinned_sum: float = field(default=0.0, init=False, repr=False)
+    _held_sum: float = field(default=0.0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.total_bytes <= 0:
             raise SimulationError("total_bytes must be positive")
         if self.os_reserve_bytes < 0 or self.min_grant_bytes < 0:
             raise SimulationError("reserves must be non-negative")
+        self._pinned_sum = sum(self._pins.values())
+        self._held_sum = sum(self._held.values())
 
     def pin(self, owner: Hashable, nbytes: float) -> None:
         """Pin *nbytes* of RAM (spoiler-style), replacing any prior pin."""
         if nbytes < 0:
             raise SimulationError("cannot pin a negative amount")
+        self._pinned_sum += nbytes - self._pins.get(owner, 0.0)
         self._pins[owner] = nbytes
 
     def unpin(self, owner: Hashable) -> None:
         """Release *owner*'s pin; no-op when absent."""
-        self._pins.pop(owner, None)
+        self._pinned_sum -= self._pins.pop(owner, 0.0)
 
     def hold(self, owner: Hashable, nbytes: float) -> None:
         """Record that *owner* currently holds *nbytes* of working memory."""
         if nbytes < 0:
             raise SimulationError("cannot hold a negative amount")
         if nbytes == 0:
-            self._held.pop(owner, None)
+            self._held_sum -= self._held.pop(owner, 0.0)
         else:
+            self._held_sum += nbytes - self._held.get(owner, 0.0)
             self._held[owner] = nbytes
 
     def release(self, owner: Hashable) -> None:
         """Drop *owner*'s working memory; no-op when absent."""
-        self._held.pop(owner, None)
+        self._held_sum -= self._held.pop(owner, 0.0)
 
     @property
     def pinned_bytes(self) -> float:
         """Total pinned RAM."""
-        return sum(self._pins.values())
+        return self._pinned_sum
 
     @property
     def held_bytes(self) -> float:
         """Total query working memory currently held."""
-        return sum(self._held.values())
+        return self._held_sum
 
     def available_for(self, owner: Hashable) -> float:
         """RAM available to *owner* for a new working set.

@@ -31,7 +31,11 @@ from ..workload.catalog import TemplateCatalog
 #: Version 3: virtual-time default engine — physics agree with the
 #: reference loop only to floating-point reassociation tolerance, so
 #: caches sampled under the per-event-decrement arithmetic are stale.
-CAMPAIGN_CACHE_FORMAT = 3
+#: Version 4: batched campaign execution.  The batched engine mirrors
+#: virtual time bit-for-bit, but the bump guards against any cache
+#: collected while the integration was in flight and records that the
+#: engine knob is now a code-path (not just a speed) selector.
+CAMPAIGN_CACHE_FORMAT = 4
 
 
 @dataclass

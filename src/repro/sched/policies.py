@@ -29,11 +29,14 @@ is free).
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Sequence, runtime_checkable
+from typing import Dict, Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
 
 from ..apps.admission import (
     AdmissionController,
     PredictionBackend,
+    predicted_candidate_latencies,
     predicted_mix_latencies,
 )
 from ..errors import ModelError
@@ -130,6 +133,12 @@ class PredictivePolicy:
     ``"sum"`` objective minimizes total predicted latency instead,
     favouring aggregate throughput over tail.
 
+    The window is scored through one
+    :func:`~repro.apps.admission.predicted_candidate_latencies` array
+    call (duplicate candidates deduplicated first), not a per-candidate
+    Python loop; :meth:`score` remains the scalar single-candidate
+    reference and :meth:`pick` matches its argmin bit-for-bit.
+
     Args:
         backend: Prediction backend (embedded Contender or remote).
         window: How deep into the queue to search.  Bounded so decision
@@ -177,14 +186,25 @@ class PredictivePolicy:
     ) -> Optional[int]:
         if not queue:
             return None
-        best_index = 0
-        best_score = float("inf")
-        for index, candidate in enumerate(queue[: self._window]):
-            score = self.score(running, candidate)
-            if score < best_score:
-                best_score = score
-                best_index = index
-        return best_index
+        window = [int(c) for c in queue[: self._window]]
+        row: Dict[int, int] = {}
+        for candidate in window:
+            row.setdefault(candidate, len(row))
+        latencies = predicted_candidate_latencies(
+            self._backend, tuple(running), tuple(row)
+        )
+        # Fold member columns one at a time so the score reproduces the
+        # scalar ``sum``/``max`` over the mix exactly (no reassociation).
+        scores = latencies[:, 0].copy()
+        for col in range(1, latencies.shape[1]):
+            if self._objective == "sum":
+                scores += latencies[:, col]
+            else:
+                np.maximum(scores, latencies[:, col], out=scores)
+        # First occurrence of the minimum — identical to the scalar
+        # strict-< scan (duplicates score identically, so deduplication
+        # cannot move the winner).
+        return int(np.argmin(np.array([scores[row[c]] for c in window])))
 
 
 #: Policy labels :func:`make_policy` accepts, in report order.

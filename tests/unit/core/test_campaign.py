@@ -163,3 +163,35 @@ def test_default_task_label_is_task():
     reg = Registry()
     parallel_map(_square_plus, 0, [1, 2], jobs=1, metrics=reg)
     assert reg.get("campaign_tasks_total").labels("task").value == 2
+
+
+# ----------------------------------------------------------------------
+# Batched execution: grouping tasks into lockstep batches must be pure
+# plumbing — campaign results are bit-identical across engines, batch
+# sizes, and jobs counts.
+
+
+def _collect(engine, jobs=1, batch=64):
+    from repro.config import CampaignConfig, SimulationConfig, SystemConfig
+    from repro.core.training import collect_training_data
+    from repro.sampling.steady_state import SteadyStateConfig
+    from repro.workload.catalog import TemplateCatalog
+
+    config = SystemConfig(
+        simulation=SimulationConfig(engine=engine),
+        campaign=CampaignConfig(jobs=jobs, batch_size=batch),
+    )
+    catalog = TemplateCatalog(config=config).subset((26, 62, 71))
+    return collect_training_data(
+        catalog,
+        mpls=(2,),
+        lhs_runs_per_mpl=2,
+        steady_config=SteadyStateConfig(samples_per_stream=3),
+    ).to_json()
+
+
+def test_campaign_bit_identical_across_engines_batches_and_jobs():
+    scalar = _collect("virtual_time")
+    assert _collect("batched", batch=3) == scalar
+    assert _collect("batched", batch=64) == scalar
+    assert _collect("batched", jobs=2, batch=64) == scalar

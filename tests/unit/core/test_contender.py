@@ -158,3 +158,41 @@ def test_spoiler_predictor_modes(small_contender):
     assert io_time.predict(profile, 2) > 0
     with pytest.raises(ModelError):
         small_contender.spoiler_predictor(SpoilerMode.MEASURED)
+
+
+def test_predict_candidates_matches_scalar_chain(small_contender):
+    """The vectorized candidate matrix must equal predict_known /
+    isolated latencies bit-for-bit — including duplicate candidates,
+    duplicates in the running prefix, and every CQI variant."""
+    import numpy as np
+
+    from repro.core.contender import Contender, ContenderOptions
+
+    # The small fixture campaign covers MPL 2 only, so running prefixes
+    # stay at one member; duplicate candidates (and a candidate equal to
+    # the running member) still exercise the dedup and first-occurrence
+    # paths.
+    cases = [
+        ((), (26, 65, 26)),
+        ((26,), (65, 71, 65, 26)),
+        ((65,), (22, 22, 71, 65)),
+    ]
+    for variant in CQIVariant:
+        contender = Contender(
+            small_contender.data, ContenderOptions(cqi_variant=variant)
+        )
+        for running, candidates in cases:
+            got = contender.predict_candidates(running, candidates)
+            assert got.shape == (len(candidates), len(running) + 1)
+            for j, candidate in enumerate(candidates):
+                mix = (*running, candidate)
+                if len(mix) == 1:
+                    expected = [
+                        contender.data.profile(candidate).isolated_latency
+                    ]
+                else:
+                    expected = [
+                        contender.predict_known(member, mix)
+                        for member in mix
+                    ]
+                assert got[j].tolist() == expected

@@ -117,3 +117,24 @@ def test_make_policy_forwards_admission_knobs(backend):
     policy = make_policy("gated", backend, sla_factor=2.0, max_mpl=4)
     assert policy.controller.sla_factor == 2.0
     assert not policy.controller.check((1, 2, 3, 4), 5).admitted
+
+
+@pytest.mark.parametrize("objective", ["makespan", "sum"])
+def test_predictive_vectorized_pick_matches_scalar_argmin(backend, objective):
+    """The one-array-call window scoring must reproduce the scalar
+    strict-< argmin over score() exactly — duplicates included."""
+    states = [
+        ((), (26, 65, 71, 82, 26, 65)),
+        ((26,), (65, 82, 22, 65, 82, 26)),
+        ((71,), (26, 26, 26)),
+        ((82,), (22,)),
+    ]
+    for window in (1, 3, 8):
+        policy = PredictivePolicy(backend, window=window, objective=objective)
+        for running, queue in states:
+            best_index, best_score = 0, float("inf")
+            for index, candidate in enumerate(queue[:window]):
+                score = policy.score(running, candidate)
+                if score < best_score:
+                    best_score, best_index = score, index
+            assert policy.pick(0.0, running, queue) == best_index
