@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast coverage serve-smoke lifecycle-smoke sched-smoke bench bench-check profile-campaign profile-campaign-batched report templates examples clean
+.PHONY: install test test-fast coverage serve-smoke serve-bench lifecycle-smoke sched-smoke bench bench-check profile-campaign profile-campaign-batched report templates examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,6 +21,12 @@ coverage:
 
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
+
+# Multi-worker serving throughput: the 10x gate (predict-batch on the
+# pre-fork tier vs the single-process plain-predict ceiling) plus the
+# p99 ceiling, without the rest of the bench suite.
+serve-bench:
+	$(PYTHON) scripts/serve_bench.py
 
 # The growth-injection e2e demo: drift detected, scoped retrain,
 # shadow-gated promotion, accuracy restored — deterministically.

@@ -150,7 +150,20 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("artifact", type=Path)
     p.add_argument("--host", type=str, default=None)
     p.add_argument("--port", type=int, default=None)
-    p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="HTTP worker processes sharing the port (default: CPU "
+        "count); falls back to the threaded single-process server "
+        "when fork/SO_REUSEPORT are unavailable",
+    )
+    p.add_argument(
+        "--batch-workers",
+        type=int,
+        default=None,
+        help="batch-evaluation threads inside each worker",
+    )
     p.add_argument("--cache-entries", type=int, default=None)
     p.add_argument("--cache-ttl", type=float, default=None)
     p.add_argument(
@@ -170,7 +183,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="artifact to serve in-process (omit when using --url)",
     )
     p.add_argument("--url", type=str, default=None, help="host:port of a running server")
-    p.add_argument("--submitters", type=int, default=8)
+    p.add_argument(
+        "--connections",
+        "--submitters",
+        dest="connections",
+        type=int,
+        default=8,
+        help="concurrent keep-alive connections per client process",
+    )
+    p.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="client processes to spread the connections across",
+    )
+    p.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="items per predict-batch round trip (1 = plain predict)",
+    )
     p.add_argument("--requests", type=int, default=400)
     p.add_argument("--pool", type=int, default=16, help="distinct mixes in the workload")
     p.add_argument("--mpl", type=int, default=2)
@@ -494,7 +526,8 @@ def _serving_config(args: argparse.Namespace):
         for name, value in (
             ("host", getattr(args, "host", None)),
             ("port", getattr(args, "port", None)),
-            ("workers", getattr(args, "workers", None)),
+            ("worker_processes", getattr(args, "workers", None)),
+            ("workers", getattr(args, "batch_workers", None)),
             ("cache_entries", getattr(args, "cache_entries", None)),
             ("cache_ttl", getattr(args, "cache_ttl", None)),
         )
@@ -504,10 +537,43 @@ def _serving_config(args: argparse.Namespace):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+    from dataclasses import replace
+
+    from .serving.frontend import MultiWorkerServer, multiworker_supported
     from .serving.server import PredictionServer
 
+    config = _serving_config(args)
+    if args.workers is None:
+        # Default the front end to one worker process per CPU.
+        config = replace(config, worker_processes=os.cpu_count() or 1)
+
+    if config.worker_processes > 1:
+        supported, reason = multiworker_supported()
+        if supported:
+            server = MultiWorkerServer(
+                args.artifact, config=config, verify=args.verify
+            )
+            server.start()
+            print(
+                f"serving {args.artifact} with "
+                f"{server.worker_count} workers on "
+                f"http://{server.host}:{server.port} — Ctrl-C to stop"
+            )
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                print("\nshutting down")
+            finally:
+                server.shutdown()
+            return 0
+        print(
+            f"multi-worker serving unavailable ({reason}); "
+            "falling back to the threaded single-process server"
+        )
+
     server = PredictionServer.from_artifact(
-        args.artifact, config=_serving_config(args), verify=args.verify
+        args.artifact, config=config, verify=args.verify
     )
     version = server.registry.entry("default").version
     print(
@@ -562,9 +628,13 @@ def _cmd_load_test(args: argparse.Namespace) -> int:
             mpl=args.mpl,
             seed=args.seed,
         )
-        report = LoadGenerator(host, port, submitters=args.submitters).run(
-            workload
-        )
+        report = LoadGenerator(
+            host,
+            port,
+            submitters=args.connections,
+            processes=args.processes,
+            batch_size=args.batch,
+        ).run(workload)
         print(report.format_table())
         with PredictionClient(host, port) as probe:
             stats = probe.stats()
@@ -621,6 +691,27 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         ]
         for op in sorted(stats["requests"]):
             rows.append((f"  {op}", f"{stats['requests'][op]}"))
+        workers = stats.get("workers")
+        if workers is not None:
+            rows.append(
+                ("workers", f"{workers['alive']}/{workers['count']} alive")
+            )
+            for w in workers.get("workers", []):
+                age = w.get("heartbeat_age_seconds")
+                rows.append(
+                    (
+                        f"  worker {w['index']}",
+                        f"pid {w['pid']}, "
+                        + ("alive" if w["alive"] else "stale")
+                        + (
+                            f" (heartbeat {age:.1f}s ago)"
+                            if age is not None
+                            else " (no heartbeat)"
+                        )
+                        + f", {w['requests']} requests, "
+                        f"{w['predictions']} predictions",
+                    )
+                )
         rows.extend(
             [
                 (

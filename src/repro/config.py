@@ -217,7 +217,12 @@ class ServingConfig:
     Attributes:
         host: Interface the HTTP front end binds.
         port: TCP port; 0 lets the OS pick one (tests, smoke runs).
-        workers: Batch-worker threads draining the request queue.
+        workers: Batch-worker threads draining the request queue
+            (within one process).
+        worker_processes: Pre-fork HTTP worker processes sharing the
+            listening port.  1 (the default) keeps the single-process
+            threaded server; higher values require ``fork`` support and
+            fall back to 1 where the platform lacks it.
         batch_window: Seconds a worker lingers after the first request of
             a batch to coalesce concurrent arrivals into one model call.
         max_batch: Most requests a single batch may absorb.
@@ -236,6 +241,7 @@ class ServingConfig:
     host: str = "127.0.0.1"
     port: int = 8181
     workers: int = 4
+    worker_processes: int = 1
     batch_window: float = 0.002
     max_batch: int = 64
     request_timeout: float = 10.0
@@ -250,6 +256,8 @@ class ServingConfig:
             raise ConfigurationError(f"port must be in [0, 65535], got {self.port}")
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.worker_processes < 1:
+            raise ConfigurationError("worker_processes must be >= 1")
         if self.batch_window < 0:
             raise ConfigurationError("batch_window must be >= 0")
         if self.max_batch < 1:

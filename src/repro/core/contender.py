@@ -274,6 +274,48 @@ class Contender:
         )
         return out
 
+    def predict_known_many(
+        self, pairs: Sequence[Tuple[int, Sequence[int]]]
+    ) -> List[float]:
+        """:meth:`predict_known` for a batch of independent pairs.
+
+        The serving tier coalesces concurrent predict requests into one
+        batch of arbitrary ``(primary, mix)`` keys; this answers the
+        whole batch with one vectorized CQI + continuum pass per MPL
+        group instead of one scalar call per key.  Each result is
+        bit-identical to ``predict_known(primary, mix)``.
+
+        Raises:
+            ModelError: If any pair is invalid (unknown template,
+                primary absent from its mix, degenerate continuum
+                bounds).  Callers needing per-key error isolation
+                should fall back to scalar calls on failure.
+        """
+        out: List[float] = [0.0] * len(pairs)
+        groups: Dict[int, List[int]] = {}
+        for idx, (_, mix) in enumerate(pairs):
+            groups.setdefault(len(mix), []).append(idx)
+        for mpl, idxs in groups.items():
+            prims = [pairs[i][0] for i in idxs]
+            mixes = np.array([tuple(pairs[i][1]) for i in idxs])
+            if mixes.ndim != 2:  # only possible for mpl == 0
+                mixes = mixes.reshape(len(idxs), 0)
+            cqi = self._calculator.intensity_for_pairs(
+                prims, mixes, self._options.cqi_variant
+            )
+            # One (slope, intercept, l_min, l_max) row per pair, from
+            # the same per-(template, mpl) cache the scalar path fills.
+            slope, intercept, l_min, l_max = np.array(
+                [self._continuum_params(p, mpl) for p in prims]
+            ).T
+            point = slope * cqi + intercept
+            latency = np.maximum(
+                l_min + point * (l_max - l_min), 0.05 * l_min
+            )
+            for j, i in enumerate(idxs):
+                out[i] = float(latency[j])
+        return out
+
     # ------------------------------------------------------------------
     # New templates (Sec. 5.3-5.5, Fig. 5).
 

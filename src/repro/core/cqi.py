@@ -349,3 +349,100 @@ class CQICalculator:
         )
         out[:, k] = out[np.arange(n), cand_first]
         return out
+
+    def intensity_for_pairs(
+        self,
+        primaries: Sequence[int],
+        mixes: np.ndarray,
+        variant: CQIVariant = CQIVariant.FULL,
+    ) -> np.ndarray:
+        """:meth:`intensity` for a batch of independent (primary, mix) pairs.
+
+        The serving tier's coalesced predict batches carry *arbitrary*
+        keys — unlike the scheduler's candidate window there is no
+        shared mix prefix — so this widens the scalar computation along
+        a batch axis instead: every float fold (the ``τ`` table terms,
+        the Eq. 5 mean) accumulates one element at a time in the scalar
+        method's iteration order, so each pair's result is bit-identical
+        to ``intensity(primaries[b], mixes[b], variant)``.
+
+        Args:
+            primaries: One primary per pair; each must occur in its mix.
+            mixes: ``(B, M)`` template-id array — B mixes of one common
+                MPL M (callers group keys by MPL).
+            variant: Which ablation to compute (Table 2).
+
+        Returns:
+            ``(B,)`` array of CQI values.
+        """
+        mixes = np.asarray(mixes)
+        if mixes.ndim != 2:
+            raise ModelError("mixes must be a (batch, mpl) array")
+        b, m = mixes.shape
+        if len(primaries) != b:
+            raise ModelError("primaries and mixes must have equal length")
+        if b == 0:
+            return np.zeros(0)
+        if m == 1:
+            return np.zeros(b)  # an MPL-1 "mix" has intensity 0.0
+        t = self.tables()
+        num_tables = len(t.tables)
+        prim_rows = self._rows(t, primaries)
+        member = np.empty((b, m), dtype=np.intp)
+        for col in range(m):
+            member[:, col] = self._rows(t, mixes[:, col])
+
+        # The scalar path removes the first occurrence of the primary's
+        # *value* from the mix; everything downstream (the h counts, the
+        # Eq. 5 mean) skips that slot.
+        is_primary = mixes == np.asarray(primaries)[:, None]
+        if not is_primary.any(axis=1).all():
+            missing = int(np.flatnonzero(~is_primary.any(axis=1))[0])
+            raise ModelError(
+                f"primary {primaries[missing]} not in mix "
+                f"{tuple(int(v) for v in mixes[missing])}"
+            )
+        first = is_primary.argmax(axis=1)  # (B,)
+
+        # Concurrent-set fact-table counts: every slot's scans minus the
+        # removed occurrence's — exact small-integer arithmetic in float.
+        slot_mask = t.mask[member]  # (B, M, T) bool
+        h = slot_mask.sum(axis=1, dtype=float) - t.mask[prim_rows]  # (B, T)
+        gt1 = h > 1.0
+        factor = np.where(
+            gt1, (1.0 - 1.0 / np.where(gt1, h, 2.0)) * t.seconds, 0.0
+        )  # (B, T)
+
+        if variant is CQIVariant.BASELINE_IO:
+            io = t.io_base[member]  # (B, M)
+        else:
+            io = t.io_net[member, prim_rows[:, None]]
+        if variant is CQIVariant.FULL:
+            pmask = t.mask[prim_rows]  # (B, T)
+            # τ accumulates one sorted table at a time — the scalar
+            # loop's association — each step widened across the batch.
+            tau = np.zeros((b, m))
+            for col in range(num_tables):
+                shared = slot_mask[:, :, col] & ~pmask[:, None, col]
+                tau = tau + np.where(shared, factor[:, None, col], 0.0)
+            io = io - tau
+        r = np.maximum(io, 0.0) / t.l_min[member]  # (B, M)
+
+        # Eq. 5 mean over the concurrent slots, folded in slot order,
+        # skipping the removed primary occurrence.
+        cols = np.arange(m)
+        include = cols[None, :] != first[:, None]
+        acc = np.zeros(b)
+        for slot in range(m):
+            acc = acc + np.where(include[:, slot], r[:, slot], 0.0)
+        return acc / (m - 1)
+
+    def preload_tables(self, tables: CQITables) -> None:
+        """Seed the dense array view instead of building it.
+
+        The shared-memory serving tier attaches one packed
+        :class:`CQITables` per registry generation and injects it here,
+        so N worker processes evaluate over a single copy of the arrays
+        instead of each rebuilding its own.
+        """
+        self._cache["tables"] = tables

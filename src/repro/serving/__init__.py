@@ -7,17 +7,27 @@ prediction is what makes this affordable, Sec. 5.5):
 
 * :mod:`repro.serving.registry` — versioned JSON model artifacts with
   schema checks, plus an in-memory registry with hot reload;
+* :mod:`repro.serving.app` — the transport-agnostic serving core
+  (routing, caching, batching, instrumentation, error mapping) shared by
+  both front ends (``predict``, ``predict-batch``, ``predict-new``,
+  ``admit``, ``observe``, ``health``, ``stats``, ``reload``);
 * :mod:`repro.serving.server` — a threaded stdlib-HTTP front end over a
-  batching worker pool (``predict``, ``predict-new``, ``admit``,
-  ``observe``, ``health``, ``stats``, ``reload``);
+  batching worker pool;
+* :mod:`repro.serving.frontend` — the pre-fork multi-worker asyncio
+  front end: N processes accepting on a shared ``SO_REUSEPORT`` port,
+  mapping one shared-memory model (:mod:`repro.serving.shm`) read-only,
+  with seqlock-published hot-reload generations and residual fan-in to a
+  single lifecycle monitor;
 * :mod:`repro.serving.batching` / :mod:`repro.serving.cache` — request
   coalescing and LRU+TTL prediction memoization for repeated mixes;
 * :mod:`repro.serving.client` — the RPC client, a remote admission
   backend, and a multi-threaded load generator reporting p50/p99/QPS.
 """
 
+from .app import AppResponse, ModelSnapshot, RegistryModelProvider, ServingApp
 from .batching import BatchStats, RequestBatcher
 from .cache import CacheStats, PredictionCache, mix_signature
+from .frontend import MultiWorkerServer, SharedModelProvider, multiworker_supported
 from .client import (
     LoadGenerator,
     LoadReport,
@@ -44,25 +54,33 @@ from .registry import (
     RegistryEntry,
     build_artifact,
     load_artifact,
+    model_from_doc,
     save_artifact,
 )
 from .server import DEFAULT_MODEL_NAME, PredictionServer
+from .shm import AttachedModel, ControlBlock, PackedModel, attach_model, pack_model
 
 __all__ = [
     "ARTIFACT_FORMAT",
     "AdmitRequest",
     "AdmitResponse",
+    "AppResponse",
     "ArtifactInfo",
+    "AttachedModel",
     "BatchStats",
     "CacheStats",
+    "ControlBlock",
     "DEFAULT_MODEL_NAME",
     "HealthResponse",
     "LoadGenerator",
     "LoadReport",
     "LoadedModel",
     "ModelRegistry",
+    "ModelSnapshot",
+    "MultiWorkerServer",
     "ObserveRequest",
     "ObserveResponse",
+    "PackedModel",
     "PredictNewRequest",
     "PredictRequest",
     "PredictResponse",
@@ -70,12 +88,19 @@ __all__ = [
     "PredictionClient",
     "PredictionServer",
     "RegistryEntry",
+    "RegistryModelProvider",
     "RemotePredictionBackend",
     "RequestBatcher",
     "SCHEMA_VERSION",
+    "ServingApp",
+    "SharedModelProvider",
+    "attach_model",
     "build_artifact",
     "load_artifact",
     "mix_pool_workload",
     "mix_signature",
+    "model_from_doc",
+    "multiworker_supported",
+    "pack_model",
     "save_artifact",
 ]

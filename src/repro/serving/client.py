@@ -1,9 +1,10 @@
 """Client side of the prediction service: RPC wrapper and load generator.
 
 :class:`PredictionClient` is a thin, blocking JSON-over-HTTP client for
-one server (``http.client`` only).  It is **not** thread-safe — the load
-generator gives each submitter thread its own client, which also keeps
-one persistent keep-alive connection per thread.
+one server (``http.client`` only).  It is thread-safe: each calling
+thread gets its own persistent keep-alive connection
+(``threading.local`` storage), so one client instance can be shared
+across a thread pool with no locking on the request path.
 
 :class:`RemotePredictionBackend` adapts a client to the
 :class:`~repro.apps.admission.PredictionBackend` interface so the same
@@ -18,6 +19,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
 import socket
 import statistics
 import threading
@@ -60,7 +62,11 @@ _ERROR_TYPES = {
 
 
 class PredictionClient:
-    """Blocking client for one prediction server.
+    """Blocking, thread-safe client for one prediction server.
+
+    Each calling thread keeps its own persistent keep-alive connection
+    in thread-local storage, so concurrent threads never serialize on a
+    shared socket (or interleave each other's responses).
 
     Args:
         host: Server host.
@@ -72,28 +78,51 @@ class PredictionClient:
         self._host = host
         self._port = port
         self._timeout = timeout
-        self._conn: Optional[http.client.HTTPConnection] = None
+        self._local = threading.local()
+        self._conns: List[http.client.HTTPConnection] = []
+        self._conns_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Transport.
 
     def _connection(self) -> http.client.HTTPConnection:
-        if self._conn is None:
-            self._conn = http.client.HTTPConnection(
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
                 self._host, self._port, timeout=self._timeout
             )
-            self._conn.connect()
+            conn.connect()
             # Mirror the server: without TCP_NODELAY each keep-alive
             # round trip stalls on Nagle + delayed ACK (~40 ms).
-            self._conn.sock.setsockopt(
-                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
-            )
-        return self._conn
+            conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._local.conn = conn
+            with self._conns_lock:
+                self._conns.append(conn)
+        return conn
+
+    def _drop_connection(self) -> None:
+        """Discard this thread's connection (dropped keep-alive)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            self._local.conn = None
+            with self._conns_lock:
+                try:
+                    self._conns.remove(conn)
+                except ValueError:
+                    pass
+            conn.close()
 
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        """Close every connection this client opened, on any thread.
+
+        Threads still holding a thread-local reference reconnect
+        transparently on their next request.
+        """
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            conn.close()
+        self._local.conn = None
 
     def __enter__(self) -> "PredictionClient":
         return self
@@ -117,7 +146,7 @@ class PredictionClient:
             except (http.client.HTTPException, ConnectionError, OSError) as exc:
                 # A dropped keep-alive connection is retried once on a
                 # fresh socket; a dead server surfaces on the retry.
-                self.close()
+                self._drop_connection()
                 if attempt == 2:
                     raise ServingError(
                         f"request to {self._host}:{self._port}{path} failed: {exc}"
@@ -327,7 +356,8 @@ class LoadReport:
         p99_ms: 99th-percentile latency.
         mean_ms: Mean latency.
         max_ms: Worst latency.
-        submitters: Concurrent client threads used.
+        submitters: Concurrent client threads used (all processes).
+        processes: Client processes the threads were spread across.
     """
 
     requests: int
@@ -340,9 +370,11 @@ class LoadReport:
     mean_ms: float
     max_ms: float
     submitters: int
+    processes: int = 1
 
     def format_table(self) -> str:
         rows = [
+            ("processes", f"{self.processes}"),
             ("submitters", f"{self.submitters}"),
             ("requests", f"{self.requests}"),
             ("errors", f"{self.errors}"),
@@ -369,14 +401,110 @@ def _percentile(sorted_values: Sequence[float], q: float) -> float:
     return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
 
 
+def _run_submitters(
+    host: str,
+    port: int,
+    submitters: int,
+    timeout: float,
+    batch_size: int,
+    workload: Sequence[PredictRequest],
+) -> Tuple[List[float], int, int]:
+    """Drive *workload* with N threads over one shared thread-safe client.
+
+    Returns ``(latencies_seconds, issued, errors)`` where *issued*
+    counts individual predictions (a failed batch counts every item in
+    it as an error).  In batch mode each item in a round trip records
+    the round trip's latency — they all completed at that moment.
+    """
+    shards: List[List[PredictRequest]] = [
+        list(workload[i::submitters])
+        for i in range(min(submitters, len(workload)))
+    ]
+    latencies: List[List[float]] = [[] for _ in shards]
+    errors = [0] * len(shards)
+    barrier = threading.Barrier(len(shards) + 1)
+    client = PredictionClient(host, port, timeout=timeout)
+
+    def submit(index: int, shard: List[PredictRequest]) -> None:
+        barrier.wait()
+        if batch_size > 1:
+            for at in range(0, len(shard), batch_size):
+                chunk = shard[at : at + batch_size]
+                begin = time.monotonic()
+                try:
+                    client.predict_batch(chunk)
+                except Exception:  # noqa: BLE001 — counted, not fatal
+                    errors[index] += len(chunk)
+                    continue
+                elapsed = time.monotonic() - begin
+                latencies[index].extend([elapsed] * len(chunk))
+        else:
+            for request in shard:
+                begin = time.monotonic()
+                try:
+                    client.predict(request.primary, request.mix)
+                except Exception:  # noqa: BLE001 — counted, not fatal
+                    errors[index] += 1
+                    continue
+                latencies[index].append(time.monotonic() - begin)
+
+    threads = [
+        threading.Thread(
+            target=submit, args=(i, shard), name=f"load-submitter-{i}"
+        )
+        for i, shard in enumerate(shards)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    for t in threads:
+        t.join()
+    client.close()
+    return (
+        [lat for shard in latencies for lat in shard],
+        len(workload),
+        sum(errors),
+    )
+
+
+def _load_process_entry(
+    host: str,
+    port: int,
+    submitters: int,
+    timeout: float,
+    batch_size: int,
+    workload: List[PredictRequest],
+    ready,
+    go,
+    results,
+) -> None:
+    """One load-generator process: sync on *go*, then report to *results*."""
+    ready.put(os.getpid())
+    go.wait()
+    try:
+        latencies, issued, errors = _run_submitters(
+            host, port, submitters, timeout, batch_size, workload
+        )
+    except Exception:  # noqa: BLE001 — report, don't hang the parent
+        results.put(([], len(workload), len(workload)))
+        return
+    results.put((latencies, issued, errors))
+
+
 class LoadGenerator:
     """Drive a prediction server with concurrent submitters.
 
     Args:
         host: Server host.
         port: Server port.
-        submitters: Concurrent client threads.
+        submitters: Concurrent client connections **per process** (each
+            is one thread holding one persistent keep-alive connection).
         timeout: Per-request socket timeout, seconds.
+        processes: Client processes to spread the submitters across.
+            More than one sidesteps the client-side GIL when a single
+            process can't saturate a multi-worker server.
+        batch_size: When > 1, issue ``predict-batch`` round trips of
+            this many items instead of one ``predict`` per request.
     """
 
     def __init__(
@@ -385,64 +513,125 @@ class LoadGenerator:
         port: int,
         submitters: int = 8,
         timeout: float = 10.0,
+        processes: int = 1,
+        batch_size: int = 1,
     ):
         if submitters < 1:
             raise ServingError("submitters must be >= 1")
+        if processes < 1:
+            raise ServingError("processes must be >= 1")
+        if batch_size < 1:
+            raise ServingError("batch_size must be >= 1")
         self._host = host
         self._port = port
         self._submitters = submitters
         self._timeout = timeout
+        self._processes = processes
+        self._batch_size = batch_size
 
     def run(self, workload: Sequence[PredictRequest]) -> LoadReport:
         """Issue *workload* across the submitters; block until done.
 
         Requests are dealt round-robin so every submitter sees the
         repeated-mix distribution.  Latencies are measured per request
-        on the submitting thread.
+        on the submitting thread; with multiple processes the shards run
+        in child processes released by a shared start event, and the raw
+        latencies are merged before the percentiles are computed.
         """
         if not workload:
             raise ServingError("workload is empty")
-        shards: List[List[PredictRequest]] = [
-            list(workload[i :: self._submitters])
-            for i in range(min(self._submitters, len(workload)))
+        if self._processes == 1:
+            started = time.monotonic()
+            latencies, issued, errors = _run_submitters(
+                self._host,
+                self._port,
+                self._submitters,
+                self._timeout,
+                self._batch_size,
+                workload,
+            )
+            duration = max(time.monotonic() - started, 1e-9)
+            return self._report(
+                latencies,
+                issued,
+                errors,
+                duration,
+                processes=1,
+                submitters=min(self._submitters, len(workload)),
+            )
+
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(
+            "fork" if hasattr(os, "fork") else None
+        )
+        shards = [
+            list(workload[i :: self._processes])
+            for i in range(min(self._processes, len(workload)))
         ]
-        latencies: List[List[float]] = [[] for _ in shards]
-        errors = [0] * len(shards)
-        barrier = threading.Barrier(len(shards) + 1)
-
-        def submit(index: int, shard: List[PredictRequest]) -> None:
-            with PredictionClient(
-                self._host, self._port, timeout=self._timeout
-            ) as client:
-                barrier.wait()
-                for request in shard:
-                    begin = time.monotonic()
-                    try:
-                        client.predict(request.primary, request.mix)
-                    except Exception:  # noqa: BLE001 — counted, not fatal
-                        errors[index] += 1
-                        continue
-                    latencies[index].append(time.monotonic() - begin)
-
-        threads = [
-            threading.Thread(
-                target=submit, args=(i, shard), name=f"load-submitter-{i}"
+        ready, results = ctx.Queue(), ctx.Queue()
+        go = ctx.Event()
+        procs = [
+            ctx.Process(
+                target=_load_process_entry,
+                args=(
+                    self._host,
+                    self._port,
+                    self._submitters,
+                    self._timeout,
+                    self._batch_size,
+                    shard,
+                    ready,
+                    go,
+                    results,
+                ),
+                daemon=True,
+                name=f"load-process-{i}",
             )
             for i, shard in enumerate(shards)
         ]
-        for t in threads:
-            t.start()
-        barrier.wait()
+        for p in procs:
+            p.start()
+        for _ in procs:
+            ready.get(timeout=30.0)
+        go.set()
         started = time.monotonic()
-        for t in threads:
-            t.join()
+        latencies: List[float] = []
+        issued = errors = 0
+        for _ in procs:
+            shard_lat, shard_issued, shard_errors = results.get(
+                timeout=max(self._timeout * len(workload), 60.0)
+            )
+            latencies.extend(shard_lat)
+            issued += shard_issued
+            errors += shard_errors
         duration = max(time.monotonic() - started, 1e-9)
+        for p in procs:
+            p.join(timeout=5.0)
+        return self._report(
+            latencies,
+            issued,
+            errors,
+            duration,
+            processes=len(procs),
+            submitters=sum(
+                min(self._submitters, len(shard)) for shard in shards
+            ),
+        )
 
-        observed = sorted(lat for shard in latencies for lat in shard)
-        error_count = sum(errors)
+    def _report(
+        self,
+        latencies: List[float],
+        issued: int,
+        errors: int,
+        duration: float,
+        processes: int,
+        submitters: int,
+    ) -> LoadReport:
+        observed = sorted(latencies)
         return LoadReport(
-            requests=len(workload),
-            errors=error_count,
+            requests=issued,
+            errors=errors,
             duration_seconds=duration,
             qps=len(observed) / duration,
             p50_ms=_percentile(observed, 0.50) * 1e3,
@@ -450,5 +639,6 @@ class LoadGenerator:
             p99_ms=_percentile(observed, 0.99) * 1e3,
             mean_ms=(statistics.fmean(observed) * 1e3) if observed else 0.0,
             max_ms=(observed[-1] * 1e3) if observed else 0.0,
-            submitters=len(shards),
+            submitters=submitters,
+            processes=processes,
         )

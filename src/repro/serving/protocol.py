@@ -472,6 +472,9 @@ class HealthResponse:
         requests_served: Total requests answered (all endpoints).
         isolated_latencies: ``l_min`` per template — lets remote
             admission clients reason about SLAs without a second RPC.
+        workers: Worker-process liveness (multi-worker serving only):
+            worker count, alive count, and per-worker pid/heartbeat/
+            request counters.  ``None`` under the single-process server.
     """
 
     status: str
@@ -480,9 +483,13 @@ class HealthResponse:
     uptime_seconds: float
     requests_served: int
     isolated_latencies: Dict[int, float] = field(default_factory=dict)
+    workers: Optional[Dict[str, Any]] = None
 
     @staticmethod
     def from_doc(doc: Mapping[str, Any]) -> "HealthResponse":
+        workers = doc.get("workers")
+        if workers is not None and not isinstance(workers, Mapping):
+            raise ProtocolError("'workers' must be an object or null")
         try:
             return HealthResponse(
                 status=str(_require(doc, "status")),
@@ -494,12 +501,13 @@ class HealthResponse:
                     int(t): float(v)
                     for t, v in doc.get("isolated_latencies", {}).items()
                 },
+                workers=dict(workers) if workers is not None else None,
             )
         except (TypeError, ValueError) as exc:
             raise ProtocolError(f"malformed health response: {exc}") from exc
 
     def to_doc(self) -> Dict[str, Any]:
-        return {
+        doc: Dict[str, Any] = {
             "status": self.status,
             "model_version": self.model_version,
             "template_ids": list(self.template_ids),
@@ -509,6 +517,9 @@ class HealthResponse:
                 str(t): v for t, v in self.isolated_latencies.items()
             },
         }
+        if self.workers is not None:
+            doc["workers"] = self.workers
+        return doc
 
 
 def decode_admit_worst_ratio(value: Any) -> float:

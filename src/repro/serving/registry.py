@@ -28,7 +28,7 @@ import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.contender import Contender, ContenderOptions
 from ..core.cqi import CQIVariant
@@ -46,6 +46,7 @@ __all__ = [
     "RegistryEntry",
     "build_artifact",
     "load_artifact",
+    "model_from_doc",
     "save_artifact",
 ]
 
@@ -230,6 +231,25 @@ def load_artifact(path: Path, verify: bool = False) -> LoadedModel:
         doc = json.loads(text)
     except ValueError as exc:
         raise ArtifactError(f"{path} is not valid JSON: {exc}") from exc
+    return model_from_doc(doc, source=str(path), verify=verify)
+
+
+def model_from_doc(
+    doc: Any, source: str = "<memory>", verify: bool = False
+) -> LoadedModel:
+    """Validate an artifact document and rebuild a ready Contender.
+
+    The shared-memory serving tier embeds the full artifact JSON in each
+    packed segment; worker processes rebuild their predictor from that
+    document through exactly this path, so a shared-memory model is
+    bitwise-identical to one loaded from the artifact file.
+
+    Args:
+        doc: Parsed artifact document (the JSON object).
+        source: Where the document came from, for error messages.
+        verify: Refit every stored QS model and require exact agreement.
+    """
+    path = source  # error messages read naturally for files and segments
     if not isinstance(doc, dict):
         raise ArtifactError(f"{path}: artifact must be a JSON object")
 

@@ -4,62 +4,35 @@ Architecture (all stdlib):
 
 * a :class:`~http.server.ThreadingHTTPServer` front end — one thread per
   connection parses requests and blocks on a future;
-* a :class:`~repro.serving.batching.RequestBatcher` worker pool that
-  coalesces concurrent ``predict`` requests, answers repeats from the
-  :class:`~repro.serving.cache.PredictionCache`, and runs the model once
-  per unique (template, mix) key;
+* a :class:`~repro.serving.app.ServingApp` core owning the
+  :class:`~repro.serving.batching.RequestBatcher` (coalesces concurrent
+  ``predict`` requests, answers repeats from the
+  :class:`~repro.serving.cache.PredictionCache`, and runs **one**
+  vectorized model evaluation per unique batch);
 * a :class:`~repro.serving.registry.ModelRegistry` holding the active
   artifact, hot-reloadable through ``POST /v1/reload``.
 
-``predict-new`` and ``admit`` execute synchronously on the handler
-thread: new-template profiles rarely repeat (nothing to coalesce) and
-admission wraps the same cached ``predict`` path model-side.
-
-Reload consistency: every handler snapshots the registry entry **once**
-and reads both the predictor and the version tag from that snapshot, so
-a concurrent hot reload can never pair one model's latency with another
-model's version.  Cache keys are additionally scoped by the artifact
-fingerprint — a computation that raced a reload cannot resurface under
-the new model.
-
-Failure mapping: protocol violations answer 400, model errors 422,
-timeouts 504, unknown paths 404 — the process never dies on a bad
-request.  When ``ServingConfig.metrics_enabled`` is set (the default),
-``GET /metrics`` exposes per-endpoint request counts and latency
-histograms, batch sizes, cache and batcher counters, and model-reload
-events in Prometheus text format.
+This module is the *single-process* transport; the pre-fork multi-worker
+front end lives in :mod:`repro.serving.frontend` and drives the same
+:class:`~repro.serving.app.ServingApp` core over shared-memory model
+artifacts.  Request semantics — reload consistency, fingerprint-scoped
+cache keys, the failure mapping (400 protocol / 422 model / 504 timeout
+/ 404 unknown), and the ``/metrics`` exposition — are owned by the app
+and therefore identical across transports.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-import json
 import threading
-import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Hashable, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Optional
 
-from ..apps.admission import AdmissionController
 from ..config import LifecycleConfig, ServingConfig
-from ..errors import ProtocolError, ReproError, ServingError
-from ..obs.export import CONTENT_TYPE_LATEST, render_prometheus
+from ..errors import ServingError
 from ..obs.metrics import Registry
-from .batching import RequestBatcher
-from .cache import PredictionCache, mix_signature
-from .protocol import (
-    AdmitRequest,
-    AdmitResponse,
-    BatchPredictRequest,
-    BatchPredictResponse,
-    HealthResponse,
-    ObserveRequest,
-    ObserveResponse,
-    PredictNewRequest,
-    PredictRequest,
-    PredictResponse,
-    decode_json,
-)
-from .registry import ModelRegistry, RegistryEntry
+from .app import AppResponse, RegistryModelProvider, ServingApp
+from .registry import ModelRegistry
 
 __all__ = ["DEFAULT_MODEL_NAME", "PredictionServer"]
 
@@ -67,98 +40,8 @@ __all__ = ["DEFAULT_MODEL_NAME", "PredictionServer"]
 DEFAULT_MODEL_NAME = "default"
 
 
-class _TextPayload:
-    """A non-JSON response body (the ``/metrics`` exposition)."""
-
-    __slots__ = ("body", "content_type")
-
-    def __init__(self, body: bytes, content_type: str):
-        self.body = body
-        self.content_type = content_type
-
-
-class _ServingInstruments:
-    """Server metric families bound to one registry.
-
-    Pull-style gauges read the cache/batcher counter snapshots at
-    collection time, so the numbers on ``/metrics`` always agree with
-    ``/v1/stats`` instead of being a second, drifting count.
-    """
-
-    def __init__(self, registry: Registry, server: "PredictionServer"):
-        self.requests = registry.counter(
-            "serving_requests_total",
-            "HTTP requests handled, by endpoint.",
-            labels=("endpoint",),
-        )
-        self.request_seconds = registry.histogram(
-            "serving_request_seconds",
-            "Server-side request latency in seconds, by endpoint.",
-            labels=("endpoint",),
-        )
-        self.errors = registry.counter(
-            "serving_errors_total",
-            "Requests that answered an error, by error type.",
-            labels=("type",),
-        )
-        self.in_flight = registry.gauge(
-            "serving_requests_in_flight",
-            "Requests currently being handled.",
-        )
-        self.batch_size = registry.histogram(
-            "serving_batch_size",
-            "Requests absorbed per executed prediction batch.",
-            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
-        )
-        self.coalesced = registry.counter(
-            "serving_batch_coalesced_total",
-            "Requests answered by another request's computation.",
-        )
-        self.reloads = registry.counter(
-            "serving_model_reloads_total",
-            "Model swaps observed (hot reloads, promotions, rollbacks).",
-        )
-        registry.gauge_function(
-            "serving_uptime_seconds",
-            "Seconds since the server started.",
-            lambda: time.monotonic() - server._started,
-        )
-        registry.gauge_function(
-            "serving_model_generation",
-            "Load count of the active model (1 = first load).",
-            lambda: server._registry.entry(server._model_name).generation,
-        )
-        cache = server._cache
-        for attr, help_text in (
-            ("hits", "Prediction-cache lookups answered from the cache."),
-            ("misses", "Prediction-cache lookups that fell through."),
-            ("evictions", "Prediction-cache entries dropped by the LRU bound."),
-            ("expirations", "Prediction-cache entries dropped by TTL."),
-            ("stale_drops", "Prediction-cache writes fenced by a model flip."),
-            ("size", "Prediction-cache entries currently resident."),
-            ("generation", "Prediction-cache invalidation epoch."),
-        ):
-            registry.gauge_function(
-                f"serving_cache_{attr}",
-                help_text,
-                lambda attr=attr: getattr(cache.stats(), attr),
-            )
-        batcher = server._batcher
-        for attr, help_text in (
-            ("requests", "Keys submitted to the batcher."),
-            ("batches", "Batches executed."),
-            ("unique_keys", "Keys actually computed after in-batch dedup."),
-            ("largest_batch", "Most requests absorbed by one batch."),
-        ):
-            registry.gauge_function(
-                f"serving_batcher_{attr}",
-                help_text,
-                lambda attr=attr: getattr(batcher.stats(), attr),
-            )
-
-
 class PredictionServer:
-    """Serve a registered Contender model over HTTP.
+    """Serve a registered Contender model over HTTP (one process).
 
     Args:
         registry: Registry holding at least *model_name*.
@@ -188,49 +71,17 @@ class PredictionServer:
         self._registry = registry
         self._config = config if config is not None else ServingConfig()
         self._model_name = model_name
-        registry.entry(model_name)  # fail fast on an unknown model
-
-        self._cache = PredictionCache(
-            max_entries=self._config.cache_entries,
-            ttl_seconds=self._config.cache_ttl,
+        self._app = ServingApp(
+            RegistryModelProvider(registry, model_name),
+            config=self._config,
+            metrics=metrics,
+            lifecycle=lifecycle,
         )
-        # Every registry swap of our model — hot reload, lifecycle
-        # promotion, rollback — bumps the cache generation, dropping
-        # resident entries and fencing in-flight batch writes.
-        registry.subscribe(self._on_model_swap)
-        self._instr: Optional[_ServingInstruments] = None
-        self._batcher = RequestBatcher(
-            self._compute_batch,
-            workers=self._config.workers,
-            batch_window=self._config.batch_window,
-            max_batch=self._config.max_batch,
-            on_batch=self._on_batch,
-        )
-        if metrics is None and self._config.metrics_enabled:
-            metrics = Registry()
-        self._metrics = metrics
-        if self._metrics is not None:
-            self._instr = _ServingInstruments(self._metrics, self)
-        self._lifecycle_config = (
-            lifecycle if lifecycle is not None else LifecycleConfig()
-        )
-        self._monitor = None
-        if self._lifecycle_config.enabled:
-            # Deferred import: repro.lifecycle imports serving.registry,
-            # so a top-level import here would be circular.
-            from ..lifecycle.monitor import ResidualMonitor
-
-            self._monitor = ResidualMonitor(
-                self._lifecycle_config, self._metrics
-            )
-        self._counters: Dict[str, int] = {}
-        self._counter_lock = threading.Lock()
-        self._started = time.monotonic()
         self._serve_thread: Optional[threading.Thread] = None
         self._shutdown_lock = threading.Lock()
         self._stopped = False
 
-        server = self  # captured by the handler class below
+        app = self._app  # captured by the handler class below
 
         class Handler(BaseHTTPRequestHandler):
             protocol_version = "HTTP/1.1"
@@ -242,11 +93,17 @@ class PredictionServer:
             def log_message(self, fmt: str, *args: Any) -> None:
                 pass  # request logging would swamp load tests
 
+            def _serve(self) -> None:
+                length = int(self.headers.get("Content-Length", 0))
+                body = self.rfile.read(length) if length else b""
+                response = app.handle(self.command, self.path, body)
+                _respond(self, response)
+
             def do_GET(self) -> None:  # noqa: N802 — http.server API
-                server._route(self, "GET")
+                self._serve()
 
             def do_POST(self) -> None:  # noqa: N802 — http.server API
-                server._route(self, "POST")
+                self._serve()
 
         self._httpd = ThreadingHTTPServer(
             (self._config.host, self._config.port), Handler
@@ -266,7 +123,7 @@ class PredictionServer:
     ) -> "PredictionServer":
         """A server over a fresh registry loaded from one artifact."""
         registry = ModelRegistry()
-        registry.register(DEFAULT_MODEL_NAME, path, verify=verify)
+        registry.register(DEFAULT_MODEL_NAME, Path(path), verify=verify)
         return PredictionServer(
             registry, config=config, metrics=metrics, lifecycle=lifecycle
         )
@@ -285,9 +142,19 @@ class PredictionServer:
         return self._registry
 
     @property
+    def app(self) -> ServingApp:
+        """The transport-agnostic serving core."""
+        return self._app
+
+    @property
     def metrics(self) -> Optional[Registry]:
         """The metric registry, or ``None`` when metrics are disabled."""
-        return self._metrics
+        return self._app.metrics
+
+    @property
+    def monitor(self):
+        """The lifecycle residual monitor, or ``None`` when disabled."""
+        return self._app.monitor
 
     def start(self) -> "PredictionServer":
         """Serve on a background thread; returns immediately."""
@@ -318,7 +185,7 @@ class PredictionServer:
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)
         self._httpd.server_close()
-        self._batcher.close()
+        self._app.close()
 
     def __enter__(self) -> "PredictionServer":
         return self.start()
@@ -326,373 +193,37 @@ class PredictionServer:
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
 
+    # ------------------------------------------------------------------
+    # Compatibility shims: the app owns the serving state; tests and
+    # tooling that reached into the server keep working.
+
     @property
-    def monitor(self):
-        """The lifecycle residual monitor, or ``None`` when disabled."""
-        return self._monitor
+    def _cache(self):
+        return self._app.cache
 
-    # ------------------------------------------------------------------
-    # The batched prediction path.
+    @property
+    def _batcher(self):
+        return self._app.batcher
 
-    def _on_model_swap(self, entry: RegistryEntry) -> None:
-        """Registry listener: invalidate the cache on any model flip."""
-        if entry.name != self._model_name:
-            return
-        self._cache.bump_generation()
-        if self._instr is not None:
-            self._instr.reloads.inc()
+    @property
+    def _monitor(self):
+        return self._app.monitor
 
-    def _on_batch(self, batch_size: int, unique_keys: int) -> None:
-        instr = self._instr
-        if instr is not None:
-            instr.batch_size.observe(batch_size)
-            instr.coalesced.inc(batch_size - unique_keys)
+    def _predict(self, request):
+        return self._app._predict(request)
 
-    def _compute_batch(
-        self, keys: Sequence[Hashable]
-    ) -> Mapping[Hashable, Any]:
-        """Resolve unique predict keys via the cache, then the model.
+    def _predict_batch(self, request):
+        return self._app._predict_batch(request)
 
-        Values are ``(latency, cached, model_version)`` triples; per-key
-        model failures become exception values so one bad request cannot
-        poison its batchmates.
 
-        The registry entry is snapshotted once for the whole batch —
-        predictor, version, and fingerprint all come from the same model
-        even when a reload lands mid-batch.  Cache keys carry the
-        fingerprint (entries written by this batch are unreachable under
-        any other model) and writes carry the cache generation
-        snapshotted alongside the model, so a flip that lands mid-batch
-        fences this batch's inserts instead of letting them outlive it.
-        """
-        entry = self._registry.entry(self._model_name)
-        generation = self._cache.generation
-        contender = entry.contender
-        version = entry.version
-        fingerprint = entry.model.info.fingerprint
-        results: Dict[Hashable, Any] = {}
-        for key in keys:
-            cache_key = (fingerprint, *key)
-            hit = self._cache.get(cache_key)
-            if hit is not None:
-                results[key] = (hit, True, version)
-                continue
-            _, primary, mix = key
-            try:
-                latency = contender.predict_known(primary, mix)
-            except ReproError as exc:
-                results[key] = exc
-                continue
-            self._cache.put(cache_key, latency, generation=generation)
-            results[key] = (latency, False, version)
-        return results
-
-    def _predict(self, request: PredictRequest) -> PredictResponse:
-        key = ("known", request.primary, mix_signature(request.mix))
-        future = self._batcher.submit(key)
-        try:
-            latency, cached, version = future.result(
-                timeout=self._config.request_timeout
-            )
-        except concurrent.futures.TimeoutError:
-            raise ServingError(
-                f"prediction timed out after {self._config.request_timeout}s"
-            ) from None
-        return PredictResponse(
-            latency=latency, cached=cached, model_version=version
-        )
-
-    def _predict_batch(
-        self, request: BatchPredictRequest
-    ) -> BatchPredictResponse:
-        """Resolve a whole batch of predict keys in one round trip.
-
-        Every key is submitted to the batcher before the first future is
-        awaited, so the batch coalesces into (at most a few) model
-        batches with in-batch dedup — N mix members cost one RPC and
-        one batched model evaluation, not N of either.
-        """
-        futures = [
-            self._batcher.submit(
-                ("known", item.primary, mix_signature(item.mix))
-            )
-            for item in request.items
-        ]
-        responses = []
-        for future in futures:
-            try:
-                latency, cached, version = future.result(
-                    timeout=self._config.request_timeout
-                )
-            except concurrent.futures.TimeoutError:
-                raise ServingError(
-                    f"prediction timed out after {self._config.request_timeout}s"
-                ) from None
-            responses.append(
-                PredictResponse(
-                    latency=latency, cached=cached, model_version=version
-                )
-            )
-        return BatchPredictResponse(items=tuple(responses))
-
-    # ------------------------------------------------------------------
-    # Direct (unbatched) operations.
-
-    def _predict_new(self, request: PredictNewRequest) -> PredictResponse:
-        entry = self._registry.entry(self._model_name)
-        latency = entry.contender.predict_new(
-            request.profile, request.mix, spoiler_mode=request.spoiler_mode
-        )
-        return PredictResponse(
-            latency=latency, cached=False, model_version=entry.version
-        )
-
-    def _admit(self, request: AdmitRequest) -> AdmitResponse:
-        entry = self._registry.entry(self._model_name)
-        controller = AdmissionController(
-            entry.contender,
-            sla_factor=(
-                request.sla_factor
-                if request.sla_factor is not None
-                else self._config.sla_factor
-            ),
-            max_mpl=(
-                request.max_mpl
-                if request.max_mpl is not None
-                else self._config.max_mpl
-            ),
-        )
-        decision = controller.check(request.running, request.candidate)
-        return AdmitResponse(
-            admitted=decision.admitted,
-            candidate=decision.candidate,
-            mix_after=decision.mix_after,
-            worst_ratio=decision.worst_ratio,
-            limiting_template=decision.limiting_template,
-            model_version=entry.version,
-        )
-
-    def _observe(self, request: ObserveRequest) -> ObserveResponse:
-        """Ingest a ground-truth latency into the drift monitor.
-
-        The server derives its own prediction for the observed key
-        through the ordinary batched/cached path, so the residual always
-        compares against what the *serving* model would have answered.
-        """
-        if self._monitor is None:
-            raise ServingError("lifecycle monitoring is disabled")
-        prediction = self._predict(
-            PredictRequest(primary=request.primary, mix=request.mix)
-        )
-        verdict = self._monitor.ingest(
-            request.primary, prediction.latency, request.observed_latency
-        )
-        residual = (
-            request.observed_latency - prediction.latency
-        ) / request.observed_latency
-        drifted = request.primary in self._monitor.drifted_templates()
-        return ObserveResponse(
-            predicted=prediction.latency,
-            residual=residual,
-            drifted=drifted,
-            verdict=verdict.to_doc() if verdict is not None else None,
-            model_version=prediction.model_version,
-        )
-
-    def _health(self) -> HealthResponse:
-        entry = self._registry.entry(self._model_name)
-        contender = entry.contender
-        return HealthResponse(
-            status="ok",
-            model_version=entry.version,
-            template_ids=tuple(contender.template_ids),
-            uptime_seconds=time.monotonic() - self._started,
-            requests_served=self._requests_served(),
-            isolated_latencies={
-                t: contender.data.profile(t).isolated_latency
-                for t in contender.template_ids
-            },
-        )
-
-    def _stats(self) -> Dict[str, Any]:
-        entry = self._registry.entry(self._model_name)
-        with self._counter_lock:
-            counters = dict(self._counters)
-        doc = {
-            "model_name": self._model_name,
-            "model_version": entry.version,
-            "model_generation": entry.generation,
-            "uptime_seconds": time.monotonic() - self._started,
-            "requests": counters,
-            "requests_served": sum(counters.values()),
-            "cache": self._cache.stats().as_dict(),
-            "batching": self._batcher.stats().as_dict(),
-            "metrics_enabled": self._metrics is not None,
-        }
-        if self._monitor is not None:
-            doc["lifecycle"] = self._monitor.snapshot()
-        return doc
-
-    def _reload(self) -> Dict[str, Any]:
-        # Cache invalidation happens in _on_model_swap (the registry
-        # notifies every subscriber on the swap), so promotions that
-        # bypass this endpoint invalidate exactly the same way.
-        updated = self._registry.maybe_reload(self._model_name)
-        version = (
-            updated.version
-            if updated is not None
-            else self._registry.entry(self._model_name).version
-        )
-        return {
-            "reloaded": updated is not None,
-            "model_version": version,
-        }
-
-    # ------------------------------------------------------------------
-    # HTTP plumbing.
-
-    def _requests_served(self) -> int:
-        with self._counter_lock:
-            return sum(self._counters.values())
-
-    def _count(self, op: str) -> None:
-        with self._counter_lock:
-            self._counters[op] = self._counters.get(op, 0) + 1
-
-    def _route(self, handler: BaseHTTPRequestHandler, verb: str) -> None:
-        # Instruments are updated BEFORE the response bytes are written:
-        # a client that has received its response must find the request
-        # already counted if it scrapes /metrics next.
-        instr = self._instr
-        started = time.perf_counter()
-        if instr is not None:
-            instr.in_flight.inc()
-        op = ["unknown"]
-        error_type: Optional[str] = None
-        status = 200
-        doc: Optional[Dict[str, Any]] = None
-        text: Optional[_TextPayload] = None
-        try:
-            try:
-                payload = self._dispatch(handler, verb, op)
-            except ProtocolError as exc:
-                error_type = "protocol"
-                status, doc = 400, {"error": str(exc), "type": "protocol"}
-            except ServingError as exc:
-                error_type = "serving"
-                status = 504 if "timed out" in str(exc) else 503
-                doc = {"error": str(exc), "type": "serving"}
-            except ReproError as exc:
-                error_type = "model"
-                status, doc = 422, {"error": str(exc), "type": "model"}
-            except Exception as exc:  # noqa: BLE001 — keep the server alive
-                error_type = "internal"
-                status, doc = 500, {"error": str(exc), "type": "internal"}
-            else:
-                if payload is None:
-                    error_type = "not_found"
-                    status = 404
-                    doc = {"error": "unknown endpoint", "type": "protocol"}
-                elif isinstance(payload, _TextPayload):
-                    text = payload
-                else:
-                    doc = payload
-        finally:
-            if instr is not None:
-                instr.in_flight.dec()
-                instr.requests.labels(op[0]).inc()
-                instr.request_seconds.labels(op[0]).observe(
-                    time.perf_counter() - started
-                )
-                if error_type is not None:
-                    instr.errors.labels(error_type).inc()
-        if text is not None:
-            self._respond_text(handler, 200, text)
-        else:
-            self._respond(handler, status, doc or {})
-
-    def _dispatch(
-        self, handler: BaseHTTPRequestHandler, verb: str, op: list
-    ) -> Optional[Any]:
-        """Execute one request; *op* receives the endpoint label."""
-        path = handler.path.rstrip("/")
-        route = (verb, path)
-        if route == ("GET", "/metrics") and self._metrics is not None:
-            op[0] = "metrics"
-            if self._monitor is not None:
-                # Per-template lifecycle gauges are publish-on-read.
-                self._monitor.publish()
-            return _TextPayload(
-                render_prometheus(self._metrics).encode("utf-8"),
-                CONTENT_TYPE_LATEST,
-            )
-        if route == ("GET", "/v1/health"):
-            op[0] = "health"
-            self._count("health")
-            return self._health().to_doc()
-        if route == ("GET", "/v1/stats"):
-            op[0] = "stats"
-            self._count("stats")
-            return self._stats()
-        if route == ("POST", "/v1/reload"):
-            op[0] = "reload"
-            self._count("reload")
-            return self._reload()
-        if verb != "POST" or path not in (
-            "/v1/predict",
-            "/v1/predict-batch",
-            "/v1/predict-new",
-            "/v1/admit",
-            "/v1/observe",
-        ):
-            return None
-        length = int(handler.headers.get("Content-Length", 0))
-        doc = decode_json(handler.rfile.read(length))
-        if path == "/v1/predict":
-            op[0] = "predict"
-            self._count("predict")
-            return self._predict(PredictRequest.from_doc(doc)).to_doc()
-        if path == "/v1/predict-batch":
-            op[0] = "predict_batch"
-            self._count("predict_batch")
-            return self._predict_batch(
-                BatchPredictRequest.from_doc(doc)
-            ).to_doc()
-        if path == "/v1/predict-new":
-            op[0] = "predict_new"
-            self._count("predict_new")
-            return self._predict_new(PredictNewRequest.from_doc(doc)).to_doc()
-        if path == "/v1/observe":
-            op[0] = "observe"
-            self._count("observe")
-            return self._observe(ObserveRequest.from_doc(doc)).to_doc()
-        op[0] = "admit"
-        self._count("admit")
-        return self._admit(AdmitRequest.from_doc(doc)).to_doc()
-
-    @staticmethod
-    def _respond(
-        handler: BaseHTTPRequestHandler, status: int, doc: Dict[str, Any]
-    ) -> None:
-        body = json.dumps(doc).encode("utf-8")
-        try:
-            handler.send_response(status)
-            handler.send_header("Content-Type", "application/json")
-            handler.send_header("Content-Length", str(len(body)))
-            handler.end_headers()
-            handler.wfile.write(body)
-        except (BrokenPipeError, ConnectionResetError):
-            pass  # client hung up first; nothing to answer
-
-    @staticmethod
-    def _respond_text(
-        handler: BaseHTTPRequestHandler, status: int, payload: _TextPayload
-    ) -> None:
-        try:
-            handler.send_response(status)
-            handler.send_header("Content-Type", payload.content_type)
-            handler.send_header("Content-Length", str(len(payload.body)))
-            handler.end_headers()
-            handler.wfile.write(payload.body)
-        except (BrokenPipeError, ConnectionResetError):
-            pass  # client hung up first; nothing to answer
+def _respond(
+    handler: BaseHTTPRequestHandler, response: AppResponse
+) -> None:
+    try:
+        handler.send_response(response.status)
+        handler.send_header("Content-Type", response.content_type)
+        handler.send_header("Content-Length", str(len(response.body)))
+        handler.end_headers()
+        handler.wfile.write(response.body)
+    except (BrokenPipeError, ConnectionResetError):
+        pass  # client hung up first; nothing to answer

@@ -1,0 +1,562 @@
+"""Zero-copy shared-memory model artifacts and the worker control block.
+
+The multi-worker front end keeps **one** copy of each model generation's
+numpy payload in a :class:`multiprocessing.shared_memory.SharedMemory`
+segment; every worker process maps it read-only.  A segment holds:
+
+* a JSON header (array directory, fingerprint, version tag, generation);
+* the dense CQI arrays (:class:`~repro.core.cqi.CQITables` — the scan
+  mask, the pairwise ``ω``/``io_net`` matrices, per-template ``l_min``),
+  16-byte aligned, bit-for-bit as the parent computed them;
+* the complete artifact JSON, so a worker rebuilds its full
+  :class:`~repro.core.contender.Contender` (QS coefficients, spoiler
+  curves, the cold ``predict-new`` path) without touching the
+  filesystem, then splices the shared arrays into its CQI calculator so
+  the hot path never copies them.
+
+Hot reload publishes a *new* segment and flips a generation counter in a
+small control-block segment guarded by a seqlock: readers retry while a
+write is in flight, so a worker either sees the old
+``(generation, segment)`` pair or the new one — never a mix.  The block
+also carries one slot per worker (pid, heartbeat, request/prediction
+counters), each written only by its owner, feeding worker liveness into
+``/v1/health`` and ``repro stats``.
+
+Ownership: Python 3.11 registers every ``SharedMemory`` open with the
+resource tracker, which would unlink segments when the *first* worker
+exits.  Attaches therefore suppress registration (``_untracked_open``);
+creates stay registered in the parent, which both publishes and unlinks
+— generation ``n-2`` on each publish, everything at shutdown — so
+register/unregister balance inside one process.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import struct
+import time
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.cqi import CQITables
+from ..errors import ArtifactError, ServingError
+from .registry import LoadedModel, build_artifact, model_from_doc
+
+__all__ = [
+    "ControlBlock",
+    "ControlState",
+    "PackedModel",
+    "WorkerStatus",
+    "attach_model",
+    "pack_model",
+]
+
+_MAGIC = b"RPSM"  # "repro packed shared model"
+_SHM_SCHEMA = 1
+_ALIGN = 16
+_PREAMBLE = struct.Struct("<4sIQ")  # magic, schema, header length
+
+#: The CQITables array fields shipped zero-copy, in pack order.
+_TABLE_ARRAYS = ("seconds", "mask", "io_base", "l_min", "omega", "io_net")
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Take manual ownership of *shm* from the resource tracker.
+
+    Every ``SharedMemory`` open (create *and* attach) registers the
+    segment for unlink-at-exit; with N workers attaching the same
+    segment that would unlink it N times — the first worker to exit
+    would yank the model out from under the survivors.
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # noqa: BLE001 — tracking is best-effort
+        pass
+
+
+@contextlib.contextmanager
+def _untracked_open():
+    """Suppress resource-tracker registration for an open in this block.
+
+    Preferable to register-then-unregister for segments shared across
+    forked workers: the processes share one tracker daemon whose cache
+    is a *set*, so two workers attaching the same name dedupe to one
+    entry and the second unregister raises a KeyError inside the
+    tracker.  Skipping registration avoids the pair entirely; ownership
+    is manual throughout this module (the parent unlinks explicitly).
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class PackedModel:
+    """A model generation packed into one shared-memory segment."""
+
+    name: str
+    generation: int
+    fingerprint: str
+    version: str
+    size: int
+
+
+def pack_model(
+    model: LoadedModel, generation: int, artifact_doc: Optional[dict] = None
+) -> Tuple[PackedModel, shared_memory.SharedMemory]:
+    """Pack *model* into a fresh shared-memory segment.
+
+    Args:
+        model: The loaded artifact to share.
+        generation: Registry generation the segment represents.
+        artifact_doc: The artifact's JSON document; rebuilt from the
+            model's training data when omitted.
+
+    Returns:
+        The segment descriptor and the (untracked) segment handle; the
+        caller owns the handle and must eventually ``unlink()`` it.
+    """
+    if artifact_doc is None:
+        artifact_doc = build_artifact(model.contender)
+    tables = model.contender.calculator().tables()
+
+    arrays: Dict[str, np.ndarray] = {
+        field: np.ascontiguousarray(getattr(tables, field))
+        for field in _TABLE_ARRAYS
+    }
+    artifact_bytes = json.dumps(artifact_doc, sort_keys=True).encode("utf-8")
+
+    directory: Dict[str, Dict[str, Any]] = {}
+    # Lay out the payload: directory offsets are relative to the start
+    # of the data region (which begins 16-byte aligned after the
+    # header), so the header's own length never shifts the arrays.
+    cursor = 0
+    for field, array in arrays.items():
+        cursor = _aligned(cursor)
+        directory[field] = {
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "offset": cursor,
+        }
+        cursor += array.nbytes
+    cursor = _aligned(cursor)
+    artifact_offset = cursor
+    cursor += len(artifact_bytes)
+
+    header = {
+        "generation": generation,
+        "fingerprint": model.info.fingerprint,
+        "version": model.info.version,
+        "arrays": directory,
+        "artifact": {"offset": artifact_offset, "length": len(artifact_bytes)},
+        "cqi_index": {str(t): row for t, row in tables.index.items()},
+        "cqi_tables": list(tables.tables),
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    data_start = _aligned(_PREAMBLE.size + len(header_bytes))
+    total = data_start + cursor
+
+    # Created segments stay registered: the parent both creates and
+    # unlinks, so register/unregister balance inside one process — and
+    # the tracker still reclaims segments if the parent dies hard.
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    try:
+        _PREAMBLE.pack_into(
+            shm.buf, 0, _MAGIC, _SHM_SCHEMA, len(header_bytes)
+        )
+        shm.buf[_PREAMBLE.size : _PREAMBLE.size + len(header_bytes)] = (
+            header_bytes
+        )
+        for field, array in arrays.items():
+            spec = directory[field]
+            view = np.ndarray(
+                array.shape,
+                dtype=array.dtype,
+                buffer=shm.buf,
+                offset=data_start + spec["offset"],
+            )
+            view[...] = array
+        start = data_start + artifact_offset
+        shm.buf[start : start + len(artifact_bytes)] = artifact_bytes
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    packed = PackedModel(
+        name=shm.name,
+        generation=generation,
+        fingerprint=model.info.fingerprint,
+        version=model.info.version,
+        size=total,
+    )
+    return packed, shm
+
+
+@dataclass
+class AttachedModel:
+    """A worker's read-only view of a packed model segment.
+
+    Keeps the segment handle alive for as long as the numpy views are in
+    use; ``close()`` drops the mapping (never unlinks — the parent owns
+    segment lifetime).
+    """
+
+    model: LoadedModel
+    generation: int
+    segment: shared_memory.SharedMemory
+
+    def close(self) -> None:
+        # The CQI views alias the mapping; drop them before unmapping so
+        # close() cannot invalidate live arrays.
+        self.model.contender.calculator()._cache.clear()
+        try:
+            self.segment.close()
+        except BufferError:
+            pass  # views still referenced somewhere; leak the map, not the data
+
+
+def attach_model(name: str) -> AttachedModel:
+    """Map a packed segment read-only and rebuild its model.
+
+    The Contender is reconstructed from the embedded artifact JSON
+    through :func:`~repro.serving.registry.model_from_doc` — the same
+    validation and preloading as a file load, so predictions are
+    bitwise-identical to the packing process's.  The hot-path CQI arrays
+    are then spliced in as zero-copy views of the shared mapping.
+    """
+    try:
+        with _untracked_open():
+            shm = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError) as exc:
+        raise ServingError(f"cannot attach model segment {name!r}: {exc}") from exc
+    try:
+        magic, schema, header_len = _PREAMBLE.unpack_from(shm.buf, 0)
+        if magic != _MAGIC:
+            raise ArtifactError(f"segment {name!r} is not a packed model")
+        if schema != _SHM_SCHEMA:
+            raise ArtifactError(
+                f"segment {name!r} uses shm schema {schema}; this build "
+                f"reads {_SHM_SCHEMA}"
+            )
+        header = json.loads(
+            bytes(shm.buf[_PREAMBLE.size : _PREAMBLE.size + header_len])
+        )
+        data_start = _aligned(_PREAMBLE.size + header_len)
+
+        spec = header["artifact"]
+        start = data_start + spec["offset"]
+        artifact_doc = json.loads(
+            bytes(shm.buf[start : start + spec["length"]])
+        )
+        model = model_from_doc(artifact_doc, source=f"shm:{name}")
+
+        views: Dict[str, np.ndarray] = {}
+        for field, entry in header["arrays"].items():
+            view = np.ndarray(
+                tuple(entry["shape"]),
+                dtype=np.dtype(entry["dtype"]),
+                buffer=shm.buf,
+                offset=data_start + entry["offset"],
+            )
+            view.flags.writeable = False
+            views[field] = view
+        tables = CQITables(
+            index={int(t): row for t, row in header["cqi_index"].items()},
+            tables=tuple(header["cqi_tables"]),
+            **views,
+        )
+        model.contender.calculator().preload_tables(tables)
+    except BaseException:
+        shm.close()
+        raise
+    return AttachedModel(
+        model=model, generation=int(header["generation"]), segment=shm
+    )
+
+
+# ----------------------------------------------------------------------
+# The control block.
+
+
+#: Control header: magic, schema, seqlock counter, generation,
+#: worker count, started-at timestamp.
+_CTRL_HEADER = struct.Struct("<4sIQQQd")
+_CTRL_MAGIC = b"RPCB"
+_NAME_BYTES = 120  # current + previous segment names (utf-8, NUL padded)
+_TAG_BYTES = 72  # fingerprint (64 hex) / version tag
+#: Per-worker slot: pid, heartbeat (time.time()), requests, predictions.
+_SLOT = struct.Struct("<QdQQ")
+
+
+@dataclass(frozen=True)
+class ControlState:
+    """One coherent read of the published model coordinates."""
+
+    generation: int
+    segment: str
+    previous_segment: str
+    fingerprint: str
+    version: str
+
+
+@dataclass(frozen=True)
+class WorkerStatus:
+    """One worker's self-reported liveness."""
+
+    index: int
+    pid: int
+    heartbeat: float
+    requests: int
+    predictions: int
+
+    def alive(self, max_age: float = 15.0, now: Optional[float] = None) -> bool:
+        """Heartbeat fresher than *max_age* seconds."""
+        reference = now if now is not None else time.time()
+        return self.pid > 0 and (reference - self.heartbeat) < max_age
+
+
+class ControlBlock:
+    """The mmapped coordination page of a multi-worker server.
+
+    Layout: a fixed header (seqlock counter, generation, segment names,
+    fingerprint/version tags) plus one :data:`_SLOT` per worker.
+
+    Concurrency contract:
+
+    * the **parent** is the only writer of the published-model fields,
+      serialized by its own lock; every publish wraps the writes in a
+      seqlock (counter odd while a write is in flight), so reader
+      processes retry instead of pairing the old generation with a new
+      segment name;
+    * each **worker** writes only its own slot (single-writer, no lock);
+    * anyone may read anything.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, workers: int, owner: bool
+    ):
+        self._shm = shm
+        self._workers = workers
+        self._owner = owner
+        self._names_off = _CTRL_HEADER.size
+        self._slots_off = self._names_off + 2 * _NAME_BYTES + 2 * _TAG_BYTES
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def size_for(cls, workers: int) -> int:
+        return (
+            _CTRL_HEADER.size
+            + 2 * _NAME_BYTES
+            + 2 * _TAG_BYTES
+            + workers * _SLOT.size
+        )
+
+    @classmethod
+    def create(cls, workers: int) -> "ControlBlock":
+        if workers < 1:
+            raise ServingError("workers must be >= 1")
+        shm = shared_memory.SharedMemory(
+            create=True, size=cls.size_for(workers)
+        )
+        shm.buf[: cls.size_for(workers)] = bytes(cls.size_for(workers))
+        _CTRL_HEADER.pack_into(
+            shm.buf, 0, _CTRL_MAGIC, _SHM_SCHEMA, 0, 0, workers, time.time()
+        )
+        return cls(shm, workers, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ControlBlock":
+        try:
+            with _untracked_open():
+                shm = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError) as exc:
+            raise ServingError(
+                f"cannot attach control block {name!r}: {exc}"
+            ) from exc
+        magic, schema, _seq, _gen, workers, _started = _CTRL_HEADER.unpack_from(
+            shm.buf, 0
+        )
+        if magic != _CTRL_MAGIC or schema != _SHM_SCHEMA:
+            shm.close()
+            raise ServingError(f"segment {name!r} is not a control block")
+        return cls(shm, int(workers), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def worker_count(self) -> int:
+        return self._workers
+
+    # -- seqlock plumbing ----------------------------------------------
+
+    def _read_seq(self) -> int:
+        return _CTRL_HEADER.unpack_from(self._shm.buf, 0)[2]
+
+    def _write_seq(self, value: int) -> None:
+        struct.pack_into("<Q", self._shm.buf, 8, value)
+
+    def _write_string(self, offset: int, value: str, width: int) -> None:
+        encoded = value.encode("utf-8")
+        if len(encoded) >= width:
+            raise ServingError(f"string too long for control block: {value!r}")
+        self._shm.buf[offset : offset + width] = encoded.ljust(width, b"\0")
+
+    def _read_string(self, offset: int, width: int) -> str:
+        raw = bytes(self._shm.buf[offset : offset + width])
+        return raw.split(b"\0", 1)[0].decode("utf-8")
+
+    # -- the published model (parent writes, workers read) --------------
+
+    def publish(
+        self,
+        generation: int,
+        segment: str,
+        fingerprint: str,
+        version: str,
+        previous_segment: str = "",
+    ) -> None:
+        """Atomically (to readers) flip the published model coordinates.
+
+        The caller serializes publishes (the parent holds its own lock);
+        the seqlock only protects readers from torn writes.
+        """
+        seq = self._read_seq()
+        self._write_seq(seq + 1)  # odd: write in flight
+        try:
+            struct.pack_into("<Q", self._shm.buf, 16, generation)
+            off = self._names_off
+            self._write_string(off, segment, _NAME_BYTES)
+            off += _NAME_BYTES
+            self._write_string(off, previous_segment, _NAME_BYTES)
+            off += _NAME_BYTES
+            self._write_string(off, fingerprint, _TAG_BYTES)
+            off += _TAG_BYTES
+            self._write_string(off, version, _TAG_BYTES)
+        finally:
+            self._write_seq(seq + 2)  # even: coherent again
+
+    def read(self) -> ControlState:
+        """A coherent snapshot of the published model coordinates."""
+        while True:
+            seq = self._read_seq()
+            if seq % 2:  # publish in flight
+                time.sleep(0)
+                continue
+            generation = _CTRL_HEADER.unpack_from(self._shm.buf, 0)[3]
+            off = self._names_off
+            segment = self._read_string(off, _NAME_BYTES)
+            previous = self._read_string(off + _NAME_BYTES, _NAME_BYTES)
+            off += 2 * _NAME_BYTES
+            fingerprint = self._read_string(off, _TAG_BYTES)
+            version = self._read_string(off + _TAG_BYTES, _TAG_BYTES)
+            if self._read_seq() == seq:
+                return ControlState(
+                    generation=int(generation),
+                    segment=segment,
+                    previous_segment=previous,
+                    fingerprint=fingerprint,
+                    version=version,
+                )
+
+    def generation(self) -> int:
+        """The published generation (coherent single-field read)."""
+        while True:
+            seq = self._read_seq()
+            if seq % 2:
+                time.sleep(0)
+                continue
+            generation = _CTRL_HEADER.unpack_from(self._shm.buf, 0)[3]
+            if self._read_seq() == seq:
+                return int(generation)
+
+    # -- worker slots (each worker writes its own) -----------------------
+
+    def _slot_offset(self, index: int) -> int:
+        if not 0 <= index < self._workers:
+            raise ServingError(
+                f"worker index {index} out of range 0..{self._workers - 1}"
+            )
+        return self._slots_off + index * _SLOT.size
+
+    def heartbeat(
+        self, index: int, requests: int, predictions: int
+    ) -> None:
+        """Stamp worker *index*'s slot: alive now, with its counters."""
+        _SLOT.pack_into(
+            self._shm.buf,
+            self._slot_offset(index),
+            os.getpid(),
+            time.time(),
+            requests,
+            predictions,
+        )
+
+    def worker_statuses(self) -> List[WorkerStatus]:
+        out = []
+        for index in range(self._workers):
+            pid, beat, requests, predictions = _SLOT.unpack_from(
+                self._shm.buf, self._slot_offset(index)
+            )
+            out.append(
+                WorkerStatus(
+                    index=index,
+                    pid=int(pid),
+                    heartbeat=float(beat),
+                    requests=int(requests),
+                    predictions=int(predictions),
+                )
+            )
+        return out
+
+    def workers_doc(self, max_age: float = 15.0) -> Dict[str, Any]:
+        """The liveness document served in health/stats responses."""
+        statuses = self.worker_statuses()
+        now = time.time()
+        return {
+            "count": self._workers,
+            "alive": sum(1 for s in statuses if s.alive(max_age, now)),
+            "workers": [
+                {
+                    "index": s.index,
+                    "pid": s.pid,
+                    "alive": s.alive(max_age, now),
+                    "heartbeat_age_seconds": (
+                        max(now - s.heartbeat, 0.0) if s.pid else None
+                    ),
+                    "requests": s.requests,
+                    "predictions": s.predictions,
+                }
+                for s in statuses
+            ],
+        }
+
+    # -- lifetime --------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+
+    def unlink(self) -> None:
+        if not self._owner:
+            raise ServingError("only the creating process unlinks the block")
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass

@@ -196,3 +196,33 @@ def test_predict_candidates_matches_scalar_chain(small_contender):
                         for member in mix
                     ]
                 assert got[j].tolist() == expected
+
+
+def test_predict_known_many_matches_scalar(small_contender):
+    """The batched serving path must equal predict_known bit-for-bit,
+    for every variant, with duplicate keys in the batch."""
+    import random
+
+    from repro.core.contender import Contender, ContenderOptions
+
+    ids = small_contender.template_ids
+    rng = random.Random(11)
+    # The small fixture campaign covers MPL 2 only.
+    pairs = []
+    for _ in range(24):
+        mix = (rng.choice(ids), rng.choice(ids))
+        pairs.append((rng.choice(mix), mix))
+    pairs.append(pairs[0])  # duplicate key
+    for variant in CQIVariant:
+        contender = Contender(
+            small_contender.data, ContenderOptions(cqi_variant=variant)
+        )
+        got = contender.predict_known_many(pairs)
+        expected = [contender.predict_known(p, m) for p, m in pairs]
+        assert got == expected
+
+
+def test_predict_known_many_rejects_bad_key(small_contender):
+    with pytest.raises(ModelError):
+        small_contender.predict_known_many([(999, (999, 26))])
+    assert small_contender.predict_known_many([]) == []

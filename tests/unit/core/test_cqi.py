@@ -114,3 +114,52 @@ def test_intensity_bounded(calc):
     for mix in [(1, 2), (1, 3), (1, 4), (1, 2, 3, 4)]:
         value = calc.intensity(1, mix)
         assert 0.0 <= value <= 1.0
+
+
+def test_intensity_for_pairs_matches_scalar(calc):
+    """The batched pair kernel must equal scalar intensity bit-for-bit
+    — duplicate templates, duplicated primaries, MPLs 2-5, and every
+    variant."""
+    import itertools
+    import random
+
+    import numpy as np
+
+    ids = sorted(calc.profiles)
+    rng = random.Random(7)
+    pairs = []
+    for mpl in (2, 3, 4, 5):
+        for _ in range(12):
+            mix = tuple(rng.choice(ids) for _ in range(mpl))
+            pairs.append((rng.choice(mix), mix))
+    # Exhaustive MPL-2 coverage on top of the random sweep.
+    for a, b in itertools.product(ids, ids):
+        pairs.append((a, (a, b)))
+    for variant in CQIVariant:
+        for mpl in (2, 3, 4, 5):
+            group = [(p, m) for p, m in pairs if len(m) == mpl]
+            got = calc.intensity_for_pairs(
+                [p for p, _ in group],
+                np.array([m for _, m in group]),
+                variant,
+            )
+            expected = [calc.intensity(p, m, variant) for p, m in group]
+            assert got.tolist() == expected
+
+
+def test_intensity_for_pairs_mpl1_and_empty(calc):
+    import numpy as np
+
+    assert calc.intensity_for_pairs(
+        [1, 2], np.array([[1], [2]])
+    ).tolist() == [0.0, 0.0]
+    assert calc.intensity_for_pairs([], np.zeros((0, 3))).tolist() == []
+
+
+def test_intensity_for_pairs_rejects_bad_pairs(calc):
+    import numpy as np
+
+    with pytest.raises(ModelError):  # primary absent from its mix
+        calc.intensity_for_pairs([1, 1], np.array([[1, 2], [2, 3]]))
+    with pytest.raises(ModelError):  # unknown template
+        calc.intensity_for_pairs([99], np.array([[99, 1]]))

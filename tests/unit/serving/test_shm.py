@@ -1,0 +1,226 @@
+"""Shared-memory model artifacts: pack/attach round-trip bit-equality,
+segment cleanup, and the control block's seqlock + worker slots."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.registry import build_artifact, load_artifact, save_artifact
+from repro.serving.shm import (
+    _TABLE_ARRAYS,
+    ControlBlock,
+    attach_model,
+    pack_model,
+)
+
+
+@pytest.fixture(scope="module")
+def loaded(small_contender, tmp_path_factory):
+    path = tmp_path_factory.mktemp("shm") / "model.json"
+    save_artifact(small_contender, path)
+    return load_artifact(path)
+
+
+def _segment_exists(name: str) -> bool:
+    from multiprocessing import shared_memory
+
+    try:
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    from repro.serving.shm import _untrack
+
+    _untrack(probe)
+    probe.close()
+    return True
+
+
+def test_pack_attach_round_trip_is_bit_identical(loaded):
+    packed, segment = pack_model(loaded, generation=1)
+    attached = None
+    try:
+        attached = attach_model(packed.name)
+        assert attached.generation == 1
+        assert attached.model.info.fingerprint == loaded.info.fingerprint
+        assert attached.model.info.version == loaded.info.version
+
+        original = loaded.contender.calculator().tables()
+        shared = attached.model.contender.calculator().tables()
+        for field in _TABLE_ARRAYS:
+            a = getattr(original, field)
+            b = getattr(shared, field)
+            assert a.dtype == b.dtype and a.shape == b.shape
+            assert a.tobytes() == b.tobytes()  # bitwise, not just np.equal
+            assert not b.flags.writeable
+        assert shared.index == original.index
+        assert shared.tables == original.tables
+
+        # Predictions through the rebuilt model are bitwise-identical.
+        ids = loaded.contender.template_ids
+        pairs = [(a, (a, b)) for a in ids for b in ids[:3]]
+        assert attached.model.contender.predict_known_many(pairs) == (
+            loaded.contender.predict_known_many(pairs)
+        )
+    finally:
+        if attached is not None:
+            attached.close()
+        segment.close()
+        segment.unlink()
+
+
+def test_attached_arrays_are_views_of_the_segment(loaded):
+    packed, segment = pack_model(loaded, generation=3)
+    attached = attach_model(packed.name)
+    try:
+        tables = attached.model.contender.calculator().tables()
+        for field in _TABLE_ARRAYS:
+            assert not getattr(tables, field).flags.owndata  # zero-copy
+    finally:
+        attached.close()
+        segment.close()
+        segment.unlink()
+
+
+def test_pack_accepts_prebuilt_artifact_doc(loaded):
+    doc = build_artifact(loaded.contender)
+    packed, segment = pack_model(loaded, generation=2, artifact_doc=doc)
+    try:
+        attached = attach_model(packed.name)
+        try:
+            got = json.loads(
+                attached.model.contender.data.to_json()
+            )
+            assert got == doc["training"]
+        finally:
+            attached.close()
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def test_unlink_removes_the_segment(loaded):
+    packed, segment = pack_model(loaded, generation=1)
+    assert _segment_exists(packed.name)
+    segment.close()
+    segment.unlink()
+    assert not _segment_exists(packed.name)
+    with pytest.raises(ServingError):
+        attach_model(packed.name)
+
+
+def test_worker_close_does_not_unlink(loaded):
+    packed, segment = pack_model(loaded, generation=1)
+    try:
+        attached = attach_model(packed.name)
+        attached.close()  # a worker detaching...
+        assert _segment_exists(packed.name)  # ...must not destroy the model
+        again = attach_model(packed.name)
+        assert again.model.info.fingerprint == loaded.info.fingerprint
+        again.close()
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+# ----------------------------------------------------------------------
+# The control block.
+
+
+def test_control_block_publish_read_round_trip():
+    block = ControlBlock.create(workers=3)
+    try:
+        state = block.read()
+        assert state.generation == 0 and state.segment == ""
+        block.publish(
+            generation=4,
+            segment="seg-current",
+            fingerprint="f" * 64,
+            version="v1-abcdef",
+            previous_segment="seg-old",
+        )
+        state = block.read()
+        assert state.generation == 4
+        assert state.segment == "seg-current"
+        assert state.previous_segment == "seg-old"
+        assert state.fingerprint == "f" * 64
+        assert state.version == "v1-abcdef"
+        assert block.generation() == 4
+    finally:
+        block.close()
+        block.unlink()
+
+
+def test_control_block_attach_sees_publishes():
+    block = ControlBlock.create(workers=2)
+    try:
+        other = ControlBlock.attach(block.name)
+        assert other.worker_count == 2
+        block.publish(1, "seg-a", "fp", "v1")
+        assert other.read().segment == "seg-a"
+        other.heartbeat(1, requests=7, predictions=5)
+        statuses = block.worker_statuses()
+        assert statuses[1].requests == 7
+        assert statuses[1].predictions == 5
+        assert statuses[1].alive()
+        assert statuses[0].pid == 0 and not statuses[0].alive()
+        other.close()
+    finally:
+        block.close()
+        block.unlink()
+
+
+def test_control_block_workers_doc():
+    block = ControlBlock.create(workers=2)
+    try:
+        block.heartbeat(0, requests=3, predictions=2)
+        doc = block.workers_doc()
+        assert doc["count"] == 2 and doc["alive"] == 1
+        assert doc["workers"][0]["alive"] is True
+        assert doc["workers"][0]["requests"] == 3
+        assert doc["workers"][1]["alive"] is False
+        assert doc["workers"][1]["heartbeat_age_seconds"] is None
+    finally:
+        block.close()
+        block.unlink()
+
+
+def test_control_block_reader_retries_in_flight_publish():
+    block = ControlBlock.create(workers=1)
+    try:
+        block.publish(1, "seg-a", "fp-a", "v-a")
+        # Simulate a torn write: force the seqlock odd, patch the
+        # generation, and verify read() refuses to return until the
+        # publish completes.
+        block._write_seq(3)
+        import threading
+
+        results = []
+
+        def reader():
+            results.append(block.read())
+
+        t = threading.Thread(target=reader)
+        t.start()
+        t.join(timeout=0.2)
+        assert t.is_alive()  # parked on the odd seqlock
+        block._write_seq(4)
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert results[0].segment == "seg-a"
+    finally:
+        block.close()
+        block.unlink()
+
+
+def test_slot_index_bounds():
+    block = ControlBlock.create(workers=1)
+    try:
+        with pytest.raises(ServingError):
+            block.heartbeat(1, requests=0, predictions=0)
+        with pytest.raises(ServingError):
+            block.heartbeat(-1, requests=0, predictions=0)
+    finally:
+        block.close()
+        block.unlink()
