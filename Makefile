@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast coverage serve-smoke serve-bench lifecycle-smoke sched-smoke bench bench-check profile-campaign profile-campaign-batched report templates examples clean
+.PHONY: install test test-fast coverage serve-smoke serve-bench lifecycle-smoke sched-smoke eval-smoke bench bench-check profile-campaign profile-campaign-batched report templates examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -37,6 +37,11 @@ lifecycle-smoke:
 # asserting completion and bit-reproducibility from the seeds.
 sched-smoke:
 	$(PYTHON) scripts/sched_smoke.py
+
+# Ranking-quality demo: small scenario matrix scored by both backends,
+# twice, asserting the 0.5 accuracy floor and bit-reproducibility.
+eval-smoke:
+	$(PYTHON) scripts/eval_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only \

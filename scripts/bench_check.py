@@ -294,6 +294,43 @@ def _sched_metrics() -> Dict[str, float]:
     }
 
 
+def _eval_metrics() -> Dict[str, float]:
+    """Evaluation-harness numbers: matrix scoring throughput and the
+    ranking floor.  One campaign is shared across the timing rounds; a
+    round covers candidate-set expansion, simulated ground truth, and
+    both backends scored, so scenarios/sec is the end-to-end rate an
+    ``repro eval compare`` run sees."""
+    from repro.eval import default_matrix, named_backends, run_matrix
+
+    ids = (22, 26, 32, 62, 65, 71, 82)
+    catalog = TemplateCatalog().subset(ids)
+    backends = named_backends(
+        collect_training_data(
+            catalog,
+            mpls=(2,),
+            lhs_runs_per_mpl=2,
+            steady_config=SteadyStateConfig(samples_per_stream=3),
+            jobs=1,
+        )
+    )
+    matrix = default_matrix(mpls=(2,), window=3, sets=2)
+    steady = SteadyStateConfig(samples_per_stream=3)
+    best = float("inf")
+    result = None
+    for i in range(4):
+        start = time.perf_counter()
+        result = run_matrix(
+            catalog, backends, matrix=matrix, seed=7, steady=steady, jobs=1
+        )
+        elapsed = time.perf_counter() - start
+        if i > 0:  # warmup round
+            best = min(best, elapsed)
+    return {
+        "scenarios_per_sec": len(matrix) / best,
+        "pairwise_accuracy": result.report_for("qs").pairwise_accuracy,
+    }
+
+
 def measure() -> Dict[str, Dict[str, object]]:
     """All gated metrics.  ``higher_is_better`` decides the regression
     direction; throughput regresses downward, wall-clock upward."""
@@ -301,6 +338,7 @@ def measure() -> Dict[str, Dict[str, object]]:
     mpl4 = _engine_workload(catalog, 4)
     mpl8 = _engine_workload(catalog, 8)
     sched = _sched_metrics()
+    evals = _eval_metrics()
     batched = _batched_metrics()
     serving = _serving_throughput_metrics()
     metrics = {
@@ -416,6 +454,24 @@ def measure() -> Dict[str, Dict[str, object]]:
             "unit": "seconds/decision",
             "higher_is_better": False,
             "max_value": 0.05,
+        },
+        # Ranking-quality harness throughput: end-to-end scenario
+        # scoring rate (candidate expansion + simulated ground truth +
+        # two backends), gated against the committed baseline.
+        "eval_scenarios_per_sec": {
+            "value": evals["scenarios_per_sec"],
+            "unit": "scenarios/sec",
+            "higher_is_better": True,
+        },
+        # Absolute decision-quality floor, on any machine: the fitted
+        # QS predictor must order candidate mixes better than a coin
+        # flip on the seeded matrix, or predictions have stopped
+        # carrying schedulable signal.
+        "eval_pairwise_accuracy": {
+            "value": evals["pairwise_accuracy"],
+            "unit": "fraction",
+            "higher_is_better": True,
+            "min_value": 0.5,
         },
     }
     return metrics

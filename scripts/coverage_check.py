@@ -42,6 +42,7 @@ GATES = [
         0.80,
     ),
     ("src/repro/lifecycle", ["tests/unit/lifecycle"], 0.85),
+    ("src/repro/eval", ["tests/unit/eval"], 0.85),
 ]
 
 _executed: Set[Tuple[str, int]] = set()

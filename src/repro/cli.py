@@ -20,6 +20,8 @@ Everything a user needs to poke the reproduction without writing code::
     repro lifecycle rollback --state-dir st # swap the previous model back
     repro sched run --trace bursty --policy predictive  # one replay
     repro sched compare                 # 3 trace families x 3 policies
+    repro eval run --seed 7 --json      # ranking-quality scenario matrix
+    repro eval compare                  # qs vs knn on one ground truth
     repro experiment table2             # regenerate one table/figure
     repro report                        # the full EXPERIMENTS.md content
 
@@ -51,6 +53,11 @@ from .sched.traces import TRACE_KINDS
 from .units import fmt_bytes, fmt_duration
 from .workload.catalog import TemplateCatalog
 from .workload.sql import render_sql
+
+#: Backend labels for the ``eval`` subcommand (mirrors
+#: :data:`repro.eval.backends.BACKEND_NAMES`; kept literal so parser
+#: construction stays import-light).
+_EVAL_BACKENDS = ("qs", "knn")
 
 #: Experiment-name aliases for the ``experiment`` subcommand.
 EXPERIMENTS = {
@@ -348,6 +355,91 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated policy names",
     )
     _sched_common(sp)
+
+    p = sub.add_parser(
+        "eval",
+        help="ranking-quality evaluation over a scenario matrix "
+        "(pairwise accuracy, Kendall tau, q-error)",
+    )
+    esub = p.add_subparsers(dest="eval_command", required=True)
+
+    def _eval_common(ep: argparse.ArgumentParser) -> None:
+        ep.add_argument(
+            "--data",
+            type=Path,
+            default=None,
+            help="campaign pickle from `repro train`; when omitted a "
+            "small campaign is collected in-process",
+        )
+        ep.add_argument(
+            "--templates",
+            type=str,
+            default=None,
+            help="comma-separated template ids (default: the campaign's, "
+            "or a diverse 7-template subset)",
+        )
+        ep.add_argument(
+            "--seed",
+            type=int,
+            default=7,
+            help="matrix + ground-truth seed; the whole report "
+            "reproduces from it",
+        )
+        ep.add_argument(
+            "--mpls",
+            type=str,
+            default="2,3",
+            help="comma-separated MPLs the matrix sweeps",
+        )
+        ep.add_argument(
+            "--sets", type=int, default=3, help="candidate sets per scenario"
+        )
+        ep.add_argument(
+            "--window", type=int, default=4, help="candidates per set"
+        )
+        ep.add_argument(
+            "--objective",
+            choices=("makespan", "sum"),
+            default="makespan",
+            help="scheduler objective scored against ground truth",
+        )
+        ep.add_argument(
+            "--engine",
+            choices=("virtual_time", "batched", "reference"),
+            default=None,
+            help="simulation engine for ground truth (and the "
+            "in-process campaign)",
+        )
+        ep.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="ground-truth worker processes (1 = in-process, 0 = "
+            "all cores); results are identical for any value",
+        )
+        ep.add_argument("--json", action="store_true", help="JSON output")
+
+    ep = esub.add_parser(
+        "run", help="score one predictor on the scenario matrix"
+    )
+    ep.add_argument(
+        "--predictor",
+        choices=list(_EVAL_BACKENDS),
+        default="qs",
+        help="prediction backend to score",
+    )
+    _eval_common(ep)
+
+    ep = esub.add_parser(
+        "compare", help="score several predictors on one ground truth"
+    )
+    ep.add_argument(
+        "--predictors",
+        type=str,
+        default=",".join(_EVAL_BACKENDS),
+        help="comma-separated backend names",
+    )
+    _eval_common(ep)
 
     p = sub.add_parser("experiment", help="run one experiment runner")
     p.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -975,7 +1067,9 @@ def _cmd_sched_run(args: argparse.Namespace) -> int:
     catalog, backend, template_ids = _sched_setup(args)
     trace = _sched_trace(args, args.trace, template_ids)
     policy = _sched_policies(args, [args.policy], backend)[0]
-    result = replay_trace(trace, policy, catalog, max_mpl=args.max_mpl)
+    result = replay_trace(
+        trace, policy, catalog, max_mpl=args.max_mpl, backend=backend
+    )
     if args.json:
         print(_json.dumps(result.to_doc(), indent=2))
         return 0
@@ -990,6 +1084,9 @@ def _cmd_sched_run(args: argparse.Namespace) -> int:
     print(f"  p99 latency : {fmt_duration(result.p99)}")
     print(f"  mean wait   : {fmt_duration(result.mean_queue_seconds)}")
     print(f"  deferrals   : {result.deferrals} of {result.decisions} decisions")
+    accuracy = result.pairwise_accuracy
+    if accuracy is not None:
+        print(f"  pair-acc    : {accuracy:.3f} (prediction rank quality)")
     return 0
 
 
@@ -1006,7 +1103,13 @@ def _cmd_sched_compare(args: argparse.Namespace) -> int:
     for kind in kinds:
         trace = _sched_trace(args, kind, template_ids)
         reports.append(
-            compare_policies(trace, policies, catalog, max_mpl=args.max_mpl)
+            compare_policies(
+                trace,
+                policies,
+                catalog,
+                max_mpl=args.max_mpl,
+                backend=backend,
+            )
         )
     if args.json:
         print(_json.dumps([r.to_doc() for r in reports], indent=2))
@@ -1018,6 +1121,112 @@ def _cmd_sched_compare(args: argparse.Namespace) -> int:
         )
         print(report.format_table())
     return 0
+
+
+def _eval_matrix_mpls(args: argparse.Namespace):
+    mpls = tuple(sorted(int(m) for m in args.mpls.split(",")))
+    if not mpls or min(mpls) < 2:
+        raise ReproError("--mpls must list MPLs >= 2")
+    return mpls
+
+
+def _eval_setup(args: argparse.Namespace):
+    """Catalog and training data for an eval subcommand."""
+    from .sampling.steady_state import SteadyStateConfig
+
+    mpls = _eval_matrix_mpls(args)
+    if args.engine:
+        from .config import SimulationConfig, SystemConfig
+
+        config = SystemConfig(simulation=SimulationConfig(engine=args.engine))
+    else:
+        config = None
+
+    def _catalog(ids):
+        base = (
+            TemplateCatalog(config=config) if config else TemplateCatalog()
+        )
+        return base.subset(ids)
+
+    if args.data is not None:
+        data = TrainingData.load(args.data)
+        template_ids = (
+            tuple(int(t) for t in args.templates.split(","))
+            if args.templates
+            else tuple(sorted(data.template_ids))
+        )
+        catalog = _catalog(template_ids)
+    else:
+        template_ids = (
+            tuple(int(t) for t in args.templates.split(","))
+            if args.templates
+            else _SCHED_TEMPLATES
+        )
+        catalog = _catalog(template_ids)
+        print(
+            f"collecting in-process campaign over {len(template_ids)} "
+            f"templates, MPLs 2-{max(mpls)}...",
+            file=sys.stderr,
+        )
+        data = collect_training_data(
+            catalog,
+            mpls=tuple(range(2, max(mpls) + 1)),
+            lhs_runs_per_mpl=2,
+            steady_config=SteadyStateConfig(samples_per_stream=3),
+        )
+    return catalog, data, mpls
+
+
+def _eval_run_matrix(args: argparse.Namespace, backend_names):
+    from .eval import default_matrix, named_backends, run_matrix
+    from .sampling.steady_state import SteadyStateConfig
+
+    catalog, data, mpls = _eval_setup(args)
+    backends = named_backends(data, backend_names)
+    matrix = default_matrix(mpls=mpls, window=args.window, sets=args.sets)
+    return run_matrix(
+        catalog,
+        backends,
+        matrix=matrix,
+        seed=args.seed,
+        objective=args.objective,
+        steady=SteadyStateConfig(samples_per_stream=3),
+        jobs=args.jobs,
+    )
+
+
+def _print_eval_result(result, as_json: bool) -> int:
+    import json as _json
+
+    if as_json:
+        print(_json.dumps(result.to_doc(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"scenario matrix (seed {result.seed}, objective "
+        f"{result.objective}): {result.mixes} ground-truth mixes, "
+        f"{fmt_duration(result.sim_seconds)} simulated"
+    )
+    for report in result.reports:
+        print(f"\n== backend {report.backend} ==")
+        print(report.format_table())
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    if args.eval_command == "run":
+        return _cmd_eval_run(args)
+    return _cmd_eval_compare(args)
+
+
+def _cmd_eval_run(args: argparse.Namespace) -> int:
+    result = _eval_run_matrix(args, [args.predictor])
+    return _print_eval_result(result, args.json)
+
+
+def _cmd_eval_compare(args: argparse.Namespace) -> int:
+    names = [n.strip() for n in args.predictors.split(",") if n.strip()]
+    result = _eval_run_matrix(args, names)
+    return _print_eval_result(result, args.json)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -1059,6 +1268,7 @@ _HANDLERS = {
     "stats": _cmd_stats,
     "lifecycle": _cmd_lifecycle,
     "sched": _cmd_sched,
+    "eval": _cmd_eval,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
 }

@@ -1,0 +1,100 @@
+"""Named predictor variants the harness can score.
+
+``qs``
+    The known-template path: a fitted
+    :class:`~repro.core.contender.Contender` behind the standard
+    :class:`~repro.apps.admission.ContenderBackend` —
+    ``predict_known`` with per-MPL QS models and measured spoilers.
+
+``knn``
+    Every primary scored *as if it were new*: the Fig. 5 pipeline with
+    :attr:`~repro.core.contender.SpoilerMode.KNN`, leave-one-template
+    -out.  The primary's own mix observations, QS model, and spoiler
+    curve are scrubbed from the training side; only its isolated
+    profile (one constant-time sample) remains.  This is the ranking
+    quality an operator gets for templates the campaign never sampled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..apps.admission import ContenderBackend, PredictionBackend
+from ..core.contender import Contender, SpoilerMode
+from ..core.training import TrainingData
+from ..errors import ModelError
+
+__all__ = ["BACKEND_NAMES", "KnnNewTemplateBackend", "named_backends"]
+
+#: Backend labels :func:`named_backends` accepts, in report order.
+BACKEND_NAMES = ("qs", "knn")
+
+
+class KnnNewTemplateBackend:
+    """Leave-one-out new-template predictions over a training campaign.
+
+    For each primary, predictions run through a Contender fitted on the
+    campaign *minus* that template, with the primary re-introduced only
+    as an isolated profile — exactly
+    :func:`repro.core.evaluation.evaluate_new_templates`' protocol,
+    wrapped as a reusable :class:`PredictionBackend`.  The per-template
+    restricted Contenders are cached, so scoring many mixes stays
+    affordable.
+    """
+
+    def __init__(self, data: TrainingData):
+        if len(data.template_ids) < 2:
+            raise ModelError(
+                "leave-one-out predictions need at least two templates"
+            )
+        self._data = data
+        self._loo: Dict[int, Contender] = {}
+
+    @property
+    def data(self) -> TrainingData:
+        return self._data
+
+    def _contender_for(self, primary: int) -> Contender:
+        contender = self._loo.get(primary)
+        if contender is None:
+            rest = [t for t in self._data.template_ids if t != primary]
+            contender = Contender(self._data.restricted_to(rest))
+            self._loo[primary] = contender
+        return contender
+
+    def predict_known(self, primary: int, mix: Sequence[int]) -> float:
+        profile = self._data.profile(primary)
+        if len(mix) == 1:
+            return profile.isolated_latency
+        return self._contender_for(primary).predict_new(
+            profile, mix, spoiler_mode=SpoilerMode.KNN
+        )
+
+    def isolated_latency(self, primary: int) -> float:
+        return self._data.profile(primary).isolated_latency
+
+
+def named_backends(
+    data: TrainingData, names: Optional[Sequence[str]] = None
+) -> Dict[str, PredictionBackend]:
+    """Build the requested backends over one training campaign.
+
+    Args:
+        data: The fitted campaign both variants share.
+        names: Backend labels (see :data:`BACKEND_NAMES`); defaults to
+            all of them, in report order.
+    """
+    picked = tuple(names) if names is not None else BACKEND_NAMES
+    backends: Dict[str, PredictionBackend] = {}
+    for name in picked:
+        if name in backends:
+            raise ModelError(f"duplicate backend name {name!r}")
+        if name == "qs":
+            backends[name] = ContenderBackend(Contender(data))
+        elif name == "knn":
+            backends[name] = KnnNewTemplateBackend(data)
+        else:
+            raise ModelError(
+                f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
+            )
+    return backends

@@ -1,0 +1,213 @@
+"""The declarative scenario matrix: which decisions get evaluated.
+
+A :class:`ScenarioSpec` names a *workload family* (how template draws
+are weighted), an MPL, and a number of candidate sets; expanding it
+yields :class:`CandidateSet`\\ s — each a running mix of ``mpl - 1``
+templates plus ``window`` distinct admission candidates, the exact
+question :class:`~repro.sched.policies.PredictivePolicy` answers.
+
+Four families, spanning the LearnedWMP framing (arXiv 2401.12103) of
+workloads as template-distribution mixtures:
+
+``uniform``
+    Every template equally likely — the least informative prior.
+
+``skewed``
+    Zipf weights ``1/(rank+1)^skew`` over the sorted template ids: a
+    few hot templates dominate, as in production traces.
+
+``multitenant``
+    Templates partitioned into ``tenants`` contiguous blocks; tenants
+    draw with Zipf-skewed shares, uniform within a block.  Running
+    mixes therefore combine a dominant tenant's templates with
+    occasional cross-tenant interlopers.
+
+``wmp``
+    Each candidate set draws its *own* template distribution from a
+    flat Dirichlet — the LearnedWMP view that every batch is its own
+    workload family.  No two sets share weights.
+
+Every candidate set derives its randomness from
+:func:`~repro.core.campaign.task_seed` keyed on
+``(scenario name, set index)`` — no shared stream — so the expansion
+is deterministic, order-independent, and stable when ``sets`` grows
+(set *i* is the same regardless of how many sets follow it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.campaign import task_rng
+from ..errors import ModelError
+
+__all__ = [
+    "FAMILIES",
+    "CandidateSet",
+    "ScenarioSpec",
+    "default_matrix",
+    "generate_candidate_sets",
+]
+
+#: Workload families a :class:`ScenarioSpec` may name.
+FAMILIES = ("uniform", "skewed", "multitenant", "wmp")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One row of the scenario matrix.
+
+    Attributes:
+        name: Stable label (metric label, report row, RNG key).
+        family: Workload family, one of :data:`FAMILIES`.
+        mpl: Mix size being decided over — ``mpl - 1`` running
+            templates plus the admitted candidate.
+        window: Admission candidates per set (all distinct).
+        sets: Candidate sets to expand the scenario into.
+        skew: Zipf exponent for ``skewed`` weights and multi-tenant
+            tenant shares.
+        tenants: Tenant blocks for ``multitenant``.
+    """
+
+    name: str
+    family: str
+    mpl: int
+    window: int = 4
+    sets: int = 3
+    skew: float = 1.0
+    tenants: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("scenario needs a non-empty name")
+        if self.family not in FAMILIES:
+            raise ModelError(
+                f"unknown scenario family {self.family!r}; "
+                f"expected one of {FAMILIES}"
+            )
+        if self.mpl < 2:
+            raise ModelError("scenario mpl must be >= 2")
+        if self.window < 2:
+            raise ModelError("scenario window must be >= 2 to rank anything")
+        if self.sets < 1:
+            raise ModelError("scenario needs at least one candidate set")
+        if self.skew < 0:
+            raise ModelError("skew must be >= 0")
+        if self.tenants < 1:
+            raise ModelError("tenants must be >= 1")
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """One admission decision: a running mix and its candidates.
+
+    Attributes:
+        scenario: Name of the spec that generated it.
+        index: Set ordinal within the scenario.
+        running: The ``mpl - 1`` templates already executing.
+        candidates: Distinct admission candidates, in draw order.
+    """
+
+    scenario: str
+    index: int
+    running: Tuple[int, ...]
+    candidates: Tuple[int, ...]
+
+    def mixes(self) -> List[Tuple[int, ...]]:
+        """The candidate mixes — one ``(*running, c)`` per candidate."""
+        return [(*self.running, c) for c in self.candidates]
+
+
+def _family_weights(
+    spec: ScenarioSpec, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Template draw weights for one candidate set (normalized)."""
+    if spec.family == "uniform":
+        weights = np.full(count, 1.0 / count)
+    elif spec.family == "skewed":
+        weights = 1.0 / np.power(np.arange(count, dtype=float) + 1.0, spec.skew)
+    elif spec.family == "multitenant":
+        tenants = min(spec.tenants, count)
+        shares = 1.0 / np.power(
+            np.arange(tenants, dtype=float) + 1.0, spec.skew
+        )
+        bounds = np.linspace(0, count, tenants + 1).astype(int)
+        weights = np.empty(count)
+        for t in range(tenants):
+            lo, hi = bounds[t], bounds[t + 1]
+            weights[lo:hi] = shares[t] / max(hi - lo, 1)
+    else:  # wmp: a fresh Dirichlet family per candidate set.
+        weights = rng.dirichlet(np.ones(count))
+    return weights / weights.sum()
+
+
+def generate_candidate_sets(
+    spec: ScenarioSpec, template_ids: Sequence[int], seed: int
+) -> List[CandidateSet]:
+    """Expand *spec* over *template_ids* into its candidate sets.
+
+    Each set draws from a generator keyed on
+    ``(seed, "eval-set", (spec.name, index), spec.mpl)``, so the
+    expansion is independent of evaluation order and of every other
+    scenario in the matrix.
+    """
+    ids = tuple(sorted(int(t) for t in template_ids))
+    if len(set(ids)) != len(ids):
+        raise ModelError("template_ids must be distinct")
+    if spec.window > len(ids):
+        raise ModelError(
+            f"scenario {spec.name!r}: window {spec.window} exceeds the "
+            f"{len(ids)} available templates"
+        )
+    sets: List[CandidateSet] = []
+    for index in range(spec.sets):
+        rng = task_rng(seed, "eval-set", key=(spec.name, index), mpl=spec.mpl)
+        weights = _family_weights(spec, len(ids), rng)
+        running = tuple(
+            ids[int(i)]
+            for i in rng.choice(len(ids), size=spec.mpl - 1, p=weights)
+        )
+        candidates = tuple(
+            ids[int(i)]
+            for i in rng.choice(
+                len(ids), size=spec.window, replace=False, p=weights
+            )
+        )
+        sets.append(
+            CandidateSet(
+                scenario=spec.name,
+                index=index,
+                running=running,
+                candidates=candidates,
+            )
+        )
+    return sets
+
+
+def default_matrix(
+    mpls: Sequence[int] = (2, 3),
+    window: int = 4,
+    sets: int = 3,
+) -> List[ScenarioSpec]:
+    """The standard matrix: every family crossed with every MPL.
+
+    The MPL sweep is the *dynamic-MPL* axis — the same family evaluated
+    at increasing concurrency, where contention (and prediction
+    difficulty) grows.
+    """
+    if not mpls:
+        raise ModelError("need at least one MPL")
+    return [
+        ScenarioSpec(
+            name=f"{family}-mpl{mpl}",
+            family=family,
+            mpl=int(mpl),
+            window=window,
+            sets=sets,
+        )
+        for family in FAMILIES
+        for mpl in sorted(int(m) for m in mpls)
+    ]

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..apps.admission import PredictionBackend
 from ..engine.executor import ConcurrentExecutor, RunResult
 from ..engine.profile import ResourceProfile
 from ..errors import ModelError
@@ -73,12 +74,16 @@ class QueryOutcome:
         arrival_time: When the trace injected it.
         start_time: When the policy dispatched it into the mix.
         end_time: When it completed.
+        predicted_exec_seconds: The backend's decision-time prediction
+            of this query's execution latency in the mix it joined
+            (``None`` when the replay ran without a backend).
     """
 
     template: int
     arrival_time: float
     start_time: float
     end_time: float
+    predicted_exec_seconds: Optional[float] = None
 
     @property
     def queue_seconds(self) -> float:
@@ -112,16 +117,20 @@ class QueueDispatcher:
         catalog: TemplateCatalog,
         rng: Optional[np.random.Generator] = None,
         registry: Optional[Registry] = None,
+        backend: Optional["PredictionBackend"] = None,
     ):
         self._arrivals = trace.arrivals
         self._policy = policy
         self._catalog = catalog
         self._rng = rng
+        self._backend = backend
         self._next = 0  # first arrival not yet absorbed
         self._queue: List[Tuple[float, int]] = []  # (arrival_time, template)
         self._running: Dict[int, int] = {}  # slot -> template
         #: instance_id -> arrival_time, read back after the run.
         self.dispatched: Dict[int, float] = {}
+        #: instance_id -> decision-time predicted execution latency.
+        self.predicted: Dict[int, float] = {}
         self.deferrals = 0
         self.decisions = 0
         self.decision_seconds = 0.0
@@ -182,6 +191,15 @@ class QueueDispatcher:
         profile = self._catalog.profile(template, self._rng)
         self._running[slot] = template
         self.dispatched[profile.instance_id] = arrival_time
+        if self._backend is not None:
+            # Predictions are pure (no RNG), so recording them cannot
+            # perturb the replay itself.
+            mix = (*running, template)
+            self.predicted[profile.instance_id] = (
+                self._backend.isolated_latency(template)
+                if len(mix) == 1
+                else self._backend.predict_known(template, mix)
+            )
         if self._admit_counter is not None:
             self._admit_counter.labels(self._policy.name, "admitted").inc()
         if self._wait_hist is not None:
@@ -273,6 +291,30 @@ class ReplayResult:
             return 0.0
         return sum(o.queue_seconds for o in self.outcomes) / len(self.outcomes)
 
+    @property
+    def pairwise_accuracy(self) -> Optional[float]:
+        """Rank quality of the decision-time predictions.
+
+        Over every pair of completed queries whose *realized* execution
+        latencies differ: did the backend's decision-time predictions
+        order them the same way?  ``None`` when the replay ran without
+        a backend (no predictions to judge) or no pair of realized
+        latencies differs.
+        """
+        if not self.outcomes:
+            return None
+        predictions = [o.predicted_exec_seconds for o in self.outcomes]
+        if any(p is None for p in predictions):
+            return None
+        from ..eval.metrics import pairwise_counts  # avoid an import cycle
+
+        correct, comparable = pairwise_counts(
+            [o.exec_seconds for o in self.outcomes], predictions
+        )
+        if comparable == 0:
+            return None
+        return correct / comparable
+
     def to_doc(self) -> Dict[str, object]:
         """JSON-ready summary (outcomes elided)."""
         return {
@@ -288,6 +330,7 @@ class ReplayResult:
             "mean_queue_seconds": self.mean_queue_seconds,
             "deferrals": self.deferrals,
             "decisions": self.decisions,
+            "pairwise_accuracy": self.pairwise_accuracy,
         }
 
 
@@ -298,6 +341,7 @@ def replay_trace(
     max_mpl: int = 5,
     registry: Optional[Registry] = None,
     jitter: bool = False,
+    backend: Optional[PredictionBackend] = None,
 ) -> ReplayResult:
     """Replay *trace* under *policy* on *catalog*'s simulated machine.
 
@@ -312,6 +356,11 @@ def replay_trace(
         jitter: Draw per-instance parameter jitter (seeded from the
             trace seed).  Off by default so the predictor and the
             replayed queries see identical plans.
+        backend: When given, every dispatch records the backend's
+            prediction of the admitted query's execution latency in
+            the mix it joined, and the result carries
+            :attr:`ReplayResult.pairwise_accuracy` — predictions are
+            pure, so the replay itself is unchanged.
     """
     if max_mpl < 1:
         raise ModelError("max_mpl must be >= 1")
@@ -319,7 +368,7 @@ def replay_trace(
         raise ModelError("trace has no arrivals")
     rng = np.random.default_rng(trace.seed) if jitter else None
     dispatcher = QueueDispatcher(
-        trace, policy, catalog, rng=rng, registry=registry
+        trace, policy, catalog, rng=rng, registry=registry, backend=backend
     )
     slots = [_SlotStream(i, dispatcher) for i in range(max_mpl)]
     executor = ConcurrentExecutor(
@@ -341,6 +390,9 @@ def replay_trace(
                 arrival_time=arrival_time,
                 start_time=stats.start_time,
                 end_time=stats.end_time,
+                predicted_exec_seconds=dispatcher.predicted.get(
+                    stats.instance_id
+                ),
             )
         )
     if len(outcomes) != len(trace.arrivals):
@@ -406,14 +458,17 @@ class CompareReport:
     def format_table(self) -> str:
         header = (
             f"{'policy':<11} {'done':>5} {'makespan':>10} {'p50':>8} "
-            f"{'p95':>8} {'p99':>8} {'mean-wait':>10} {'defer':>6}"
+            f"{'p95':>8} {'p99':>8} {'mean-wait':>10} {'defer':>6} "
+            f"{'pair-acc':>8}"
         )
         rows = [header, "-" * len(header)]
         for r in self.results:
+            accuracy = r.pairwise_accuracy
             rows.append(
                 f"{r.policy:<11} {len(r.outcomes):>5} {r.makespan:>10.1f} "
                 f"{r.p50:>8.1f} {r.p95:>8.1f} {r.p99:>8.1f} "
-                f"{r.mean_queue_seconds:>10.1f} {r.deferrals:>6}"
+                f"{r.mean_queue_seconds:>10.1f} {r.deferrals:>6} "
+                + (f"{accuracy:>8.3f}" if accuracy is not None else f"{'-':>8}")
             )
         return "\n".join(rows)
 
@@ -424,17 +479,26 @@ def compare_policies(
     catalog: TemplateCatalog,
     max_mpl: int = 5,
     registry: Optional[Registry] = None,
+    backend: Optional[PredictionBackend] = None,
 ) -> CompareReport:
     """Replay one trace under every policy and collect the results.
 
     Policies replay sequentially on identical fresh machines (cold
     cache each) so the comparison isolates the scheduling decision.
+    With a *backend*, every policy's result additionally reports the
+    rank quality of the backend's decision-time predictions
+    (:attr:`ReplayResult.pairwise_accuracy`).
     """
     if not policies:
         raise ModelError("need at least one policy")
     results = tuple(
         replay_trace(
-            trace, policy, catalog, max_mpl=max_mpl, registry=registry
+            trace,
+            policy,
+            catalog,
+            max_mpl=max_mpl,
+            registry=registry,
+            backend=backend,
         )
         for policy in policies
     )

@@ -1,0 +1,74 @@
+"""Backend tests: qs passthrough and leave-one-out knn semantics."""
+
+import pytest
+
+from repro.core.contender import SpoilerMode
+from repro.errors import ModelError
+from repro.eval.backends import (
+    BACKEND_NAMES,
+    KnnNewTemplateBackend,
+    named_backends,
+)
+
+MIX = (26, 62)
+
+
+def test_named_backends_default_order(small_training_data):
+    backends = named_backends(small_training_data)
+    assert tuple(backends) == BACKEND_NAMES
+
+
+def test_named_backends_rejects_unknown_and_duplicates(small_training_data):
+    with pytest.raises(ModelError):
+        named_backends(small_training_data, ["qs", "gbm"])
+    with pytest.raises(ModelError):
+        named_backends(small_training_data, ["qs", "qs"])
+
+
+def test_qs_backend_matches_contender(small_training_data, small_contender):
+    backend = named_backends(small_training_data, ["qs"])["qs"]
+    assert backend.predict_known(26, MIX) == small_contender.predict_known(
+        26, MIX
+    )
+    assert backend.isolated_latency(26) == small_training_data.profile(
+        26
+    ).isolated_latency
+
+
+def test_knn_backend_is_leave_one_out(small_training_data, small_contender):
+    backend = KnnNewTemplateBackend(small_training_data)
+    predicted = backend.predict_known(26, MIX)
+    # Same number the evaluation protocol produces by hand: a Contender
+    # fitted without template 26, predicting it as a new template.
+    rest = [t for t in small_training_data.template_ids if t != 26]
+    from repro.core.contender import Contender
+
+    reference = Contender(small_training_data.restricted_to(rest)).predict_new(
+        small_training_data.profile(26), MIX, spoiler_mode=SpoilerMode.KNN
+    )
+    assert predicted == reference
+    assert predicted > 0
+    # The scrubbed model should not coincide with the fitted one.
+    assert predicted != small_contender.predict_known(26, MIX)
+
+
+def test_knn_isolated_mix_uses_profile(small_training_data):
+    backend = KnnNewTemplateBackend(small_training_data)
+    assert backend.predict_known(26, (26,)) == small_training_data.profile(
+        26
+    ).isolated_latency
+    assert backend.isolated_latency(26) == small_training_data.profile(
+        26
+    ).isolated_latency
+
+
+def test_knn_caches_restricted_contenders(small_training_data):
+    backend = KnnNewTemplateBackend(small_training_data)
+    assert backend._contender_for(26) is backend._contender_for(26)
+    assert backend.data is small_training_data
+
+
+def test_knn_needs_two_templates(small_training_data):
+    lone = small_training_data.restricted_to([26])
+    with pytest.raises(ModelError):
+        KnnNewTemplateBackend(lone)

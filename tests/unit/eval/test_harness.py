@@ -1,0 +1,175 @@
+"""Harness tests: ground truth, scoring, reports, and instruments."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.eval.backends import named_backends
+from repro.eval.harness import (
+    GroundTruth,
+    ground_truth_latencies,
+    run_matrix,
+)
+from repro.eval.scenarios import ScenarioSpec
+from repro.obs.metrics import Registry
+from repro.sampling.steady_state import SteadyStateConfig
+
+STEADY = SteadyStateConfig(samples_per_stream=3)
+
+MATRIX = [
+    ScenarioSpec(name="uniform-a", family="uniform", mpl=2, window=3, sets=2),
+    ScenarioSpec(name="skewed-a", family="skewed", mpl=2, window=3, sets=2),
+]
+
+
+@pytest.fixture(scope="module")
+def backends(small_training_data):
+    return named_backends(small_training_data)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return Registry()
+
+
+@pytest.fixture(scope="module")
+def result(small_catalog, backends, registry):
+    return run_matrix(
+        small_catalog,
+        backends,
+        matrix=MATRIX,
+        seed=7,
+        steady=STEADY,
+        registry=registry,
+    )
+
+
+def test_ground_truth_covers_members(small_catalog):
+    mixes = [(26, 62), (26, 71)]
+    truth = ground_truth_latencies(small_catalog, mixes, seed=7, steady=STEADY)
+    assert set(truth.latencies) == set(mixes)
+    for mix in mixes:
+        for template in mix:
+            assert truth.member_latency(mix, template) > 0
+    assert truth.sim_seconds > 0
+    with pytest.raises(ModelError):
+        truth.member_latency((26, 62), 99)
+
+
+def test_ground_truth_dedupes_and_validates(small_catalog):
+    truth = ground_truth_latencies(
+        small_catalog, [(62, 26), (26, 62), (26, 62)], seed=7, steady=STEADY
+    )
+    assert set(truth.latencies) == {(26, 62), (62, 26)}
+    with pytest.raises(ModelError):
+        ground_truth_latencies(small_catalog, [], seed=7)
+    with pytest.raises(ModelError):
+        ground_truth_latencies(small_catalog, [(26,)], seed=7)
+
+
+def test_cost_objectives():
+    truth = GroundTruth(
+        latencies={(1, 2): {1: 10.0, 2: 30.0}}, sim_seconds=0.0
+    )
+    assert truth.cost((1, 2), "makespan") == 30.0
+    assert truth.cost((1, 2), "sum") == 40.0
+
+
+def test_reports_cover_backends_and_scenarios(result, backends):
+    assert result.seed == 7
+    assert result.objective == "makespan"
+    assert result.mixes > 0
+    assert result.sim_seconds > 0
+    assert [r.backend for r in result.reports] == list(backends)
+    for report in result.reports:
+        assert [s.name for s in report.scenarios] == [
+            spec.name for spec in MATRIX
+        ]
+        assert report.scenario("uniform-a").family == "uniform"
+        with pytest.raises(ModelError):
+            report.scenario("missing")
+    assert result.report_for("qs").backend == "qs"
+    with pytest.raises(ModelError):
+        result.report_for("gbm")
+
+
+def test_metric_ranges(result):
+    for report in result.reports:
+        for scope in (report, *report.scenarios):
+            assert 0.0 <= scope.pairwise_accuracy <= 1.0
+            assert 0.0 <= scope.winner_rate <= 1.0
+            assert -1.0 <= scope.kendall_tau <= 1.0
+            assert 1.0 <= scope.q_error["p50"] <= scope.q_error["max"]
+            assert scope.q_error["p90"] <= scope.q_error["max"]
+            assert scope.mre >= 0.0
+
+
+def test_overall_pools_raw_counts(result):
+    # The overall accuracy is pooled over pairs, so it must sit inside
+    # the per-scenario range (it is a weighted mean of them).
+    for report in result.reports:
+        accs = [s.pairwise_accuracy for s in report.scenarios]
+        assert min(accs) <= report.pairwise_accuracy <= max(accs)
+        assert sum(s.sets for s in report.scenarios) == sum(
+            spec.sets for spec in MATRIX
+        )
+
+
+def test_run_is_deterministic(small_catalog, backends, result):
+    again = run_matrix(
+        small_catalog, backends, matrix=MATRIX, seed=7, steady=STEADY
+    )
+    assert again.to_doc() == result.to_doc()
+
+
+def test_doc_and_table_shapes(result):
+    doc = result.to_doc()
+    assert doc["ground_truth"]["mixes"] == result.mixes
+    assert [r["backend"] for r in doc["reports"]] == ["qs", "knn"]
+    for report_doc in doc["reports"]:
+        assert {"pairwise_accuracy", "winner_rate", "kendall_tau"} <= set(
+            report_doc
+        )
+        assert len(report_doc["scenarios"]) == len(MATRIX)
+    table = result.report_for("qs").format_table()
+    assert "uniform-a" in table and "overall" in table and "pair-acc" in table
+
+
+def test_registry_instruments(result, registry):
+    for name in (
+        "eval_scenarios_total",
+        "eval_candidate_sets_total",
+        "eval_ground_truth_runs_total",
+        "eval_ground_truth_sim_seconds",
+        "eval_pairwise_accuracy",
+        "eval_kendall_tau",
+        "eval_q_error_p90",
+        "eval_mre",
+    ):
+        assert name in registry
+    scenarios = registry.get("eval_scenarios_total")
+    assert scenarios.labels("qs").value == len(MATRIX)
+    sets = registry.get("eval_candidate_sets_total")
+    assert sets.labels("qs").value == sum(spec.sets for spec in MATRIX)
+    assert (
+        registry.get("eval_ground_truth_runs_total").value == result.mixes
+    )
+    assert registry.get("eval_ground_truth_sim_seconds").value == (
+        result.sim_seconds
+    )
+    overall = registry.get("eval_pairwise_accuracy").labels("qs", "_overall")
+    assert overall.value == result.report_for("qs").pairwise_accuracy
+    per_scenario = registry.get("eval_mre").labels("knn", "skewed-a")
+    assert per_scenario.value == (
+        result.report_for("knn").scenario("skewed-a").mre
+    )
+
+
+def test_run_matrix_validates_inputs(small_catalog, backends):
+    with pytest.raises(ModelError):
+        run_matrix(small_catalog, {}, matrix=MATRIX)
+    with pytest.raises(ModelError):
+        run_matrix(small_catalog, backends, matrix=MATRIX, objective="p99")
+    with pytest.raises(ModelError):
+        run_matrix(small_catalog, backends, matrix=[])
+    with pytest.raises(ModelError):
+        run_matrix(small_catalog, backends, matrix=[MATRIX[0], MATRIX[0]])

@@ -1,0 +1,139 @@
+"""Scenario-matrix tests: determinism, prefix stability, family shapes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.eval.scenarios import (
+    FAMILIES,
+    ScenarioSpec,
+    _family_weights,
+    default_matrix,
+    generate_candidate_sets,
+)
+
+IDS = (22, 26, 32, 62, 65, 71, 82)
+
+
+def _spec(**overrides):
+    base = dict(name="t", family="uniform", mpl=2, window=3, sets=4)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def test_generation_is_deterministic():
+    for family in FAMILIES:
+        spec = _spec(name=f"{family}-x", family=family)
+        one = generate_candidate_sets(spec, IDS, seed=7)
+        two = generate_candidate_sets(spec, IDS, seed=7)
+        assert one == two
+
+
+def test_different_seeds_differ():
+    spec = _spec()
+    assert generate_candidate_sets(spec, IDS, seed=7) != generate_candidate_sets(
+        spec, IDS, seed=8
+    )
+
+
+def test_prefix_stable_as_sets_grow():
+    # Growing the matrix must not reshuffle existing sets: set i is
+    # keyed on (name, i), independent of how many sets follow.
+    small = generate_candidate_sets(_spec(sets=2), IDS, seed=7)
+    large = generate_candidate_sets(_spec(sets=5), IDS, seed=7)
+    assert large[:2] == small
+
+
+def test_generation_order_independent_of_input_order():
+    spec = _spec()
+    shuffled = (71, 22, 82, 26, 65, 32, 62)
+    assert generate_candidate_sets(spec, IDS, seed=7) == generate_candidate_sets(
+        spec, shuffled, seed=7
+    )
+
+
+def test_candidate_set_structure():
+    for family in FAMILIES:
+        spec = _spec(name=f"{family}-s", family=family, mpl=3, window=4)
+        for index, cs in enumerate(generate_candidate_sets(spec, IDS, seed=7)):
+            assert cs.scenario == spec.name
+            assert cs.index == index
+            assert len(cs.running) == spec.mpl - 1
+            assert len(cs.candidates) == spec.window
+            assert len(set(cs.candidates)) == spec.window
+            assert set(cs.running) | set(cs.candidates) <= set(IDS)
+            mixes = cs.mixes()
+            assert len(mixes) == spec.window
+            for mix, candidate in zip(mixes, cs.candidates):
+                assert mix == (*cs.running, candidate)
+                assert len(mix) == spec.mpl
+
+
+def test_uniform_weights_equal():
+    rng = np.random.default_rng(0)
+    weights = _family_weights(_spec(), len(IDS), rng)
+    np.testing.assert_allclose(weights, np.full(len(IDS), 1.0 / len(IDS)))
+
+
+def test_skewed_weights_decrease():
+    rng = np.random.default_rng(0)
+    weights = _family_weights(_spec(family="skewed", skew=1.5), len(IDS), rng)
+    assert np.all(np.diff(weights) < 0)
+    assert weights.sum() == pytest.approx(1.0)
+
+
+def test_multitenant_weights_partition():
+    rng = np.random.default_rng(0)
+    spec = _spec(family="multitenant", tenants=3)
+    weights = _family_weights(spec, len(IDS), rng)
+    assert weights.sum() == pytest.approx(1.0)
+    # Tenant blocks are contiguous with uniform weight inside each, so
+    # there are at most `tenants` distinct weight values.
+    assert len(np.unique(np.round(weights, 12))) <= spec.tenants
+
+
+def test_wmp_weights_fresh_per_set():
+    # Each candidate set draws its own Dirichlet family; two sets of the
+    # same scenario must not share weights.
+    sets = generate_candidate_sets(
+        _spec(family="wmp", sets=2, window=7), IDS, seed=7
+    )
+    assert sets[0].candidates != sets[1].candidates
+
+
+def test_default_matrix_covers_families_by_mpl():
+    matrix = default_matrix(mpls=(2, 3))
+    assert len(matrix) == len(FAMILIES) * 2
+    names = [spec.name for spec in matrix]
+    assert len(set(names)) == len(names)
+    for family in FAMILIES:
+        for mpl in (2, 3):
+            spec = next(s for s in matrix if s.name == f"{family}-mpl{mpl}")
+            assert spec.family == family
+            assert spec.mpl == mpl
+    with pytest.raises(ModelError):
+        default_matrix(mpls=())
+
+
+def test_spec_validation():
+    with pytest.raises(ModelError):
+        _spec(name="")
+    with pytest.raises(ModelError):
+        _spec(family="bursty")
+    with pytest.raises(ModelError):
+        _spec(mpl=1)
+    with pytest.raises(ModelError):
+        _spec(window=1)
+    with pytest.raises(ModelError):
+        _spec(sets=0)
+    with pytest.raises(ModelError):
+        _spec(skew=-0.1)
+    with pytest.raises(ModelError):
+        _spec(tenants=0)
+
+
+def test_generation_validates_templates():
+    with pytest.raises(ModelError):
+        generate_candidate_sets(_spec(window=8), IDS, seed=7)  # window > ids
+    with pytest.raises(ModelError):
+        generate_candidate_sets(_spec(), (22, 22, 26), seed=7)

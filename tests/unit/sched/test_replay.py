@@ -144,3 +144,48 @@ def test_replay_validates_inputs(trace, small_catalog):
         replay_trace(trace, make_policy("fifo"), small_catalog, max_mpl=0)
     with pytest.raises(ModelError):
         compare_policies(trace, [], small_catalog)
+
+
+def test_replay_records_predictions_with_backend(trace, small_catalog, backend):
+    result = replay_trace(
+        trace,
+        make_policy("fifo"),
+        small_catalog,
+        max_mpl=2,
+        backend=backend,
+    )
+    for outcome in result.outcomes:
+        assert outcome.predicted_exec_seconds is not None
+        assert outcome.predicted_exec_seconds > 0
+    accuracy = result.pairwise_accuracy
+    assert accuracy is not None
+    assert 0.0 <= accuracy <= 1.0
+    from repro.eval.metrics import pairwise_counts
+
+    correct, comparable = pairwise_counts(
+        [o.exec_seconds for o in result.outcomes],
+        [o.predicted_exec_seconds for o in result.outcomes],
+    )
+    assert accuracy == correct / comparable
+    assert result.to_doc()["pairwise_accuracy"] == accuracy
+
+
+def test_replay_accuracy_none_without_backend(trace, small_catalog):
+    result = replay_trace(trace, make_policy("fifo"), small_catalog, max_mpl=2)
+    assert all(o.predicted_exec_seconds is None for o in result.outcomes)
+    assert result.pairwise_accuracy is None
+    assert result.to_doc()["pairwise_accuracy"] is None
+
+
+def test_compare_policies_reports_rank_quality(trace, small_catalog, backend):
+    policies = [make_policy("fifo"), make_policy("predictive", backend, max_mpl=2)]
+    report = compare_policies(
+        trace, policies, small_catalog, max_mpl=2, backend=backend
+    )
+    for result in report.results:
+        assert result.pairwise_accuracy is not None
+        assert 0.0 <= result.pairwise_accuracy <= 1.0
+    assert "pair-acc" in report.format_table()
+    doc = report.to_doc()
+    for result_doc in doc["results"]:
+        assert "pairwise_accuracy" in result_doc

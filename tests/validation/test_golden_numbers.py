@@ -23,6 +23,7 @@ from repro.core.evaluation import (
     overall_mre,
 )
 from repro.engine.spoiler import measure_spoiler_latency
+from repro.eval.metrics import kendall_tau, pairwise_accuracy, q_error_summary
 
 #: Relative tolerance for exact pins: wide enough for cross-platform
 #: float reassociation, narrow enough that any model change trips it.
@@ -92,6 +93,50 @@ def test_known_beats_unknown(small_training_data):
     )
     unknown = overall_mre(evaluate_new_templates(small_training_data, (2,)))
     assert known < unknown
+
+
+# ----------------------------------------------------------------------
+# Ranking quality of the same predictions (repro.eval metric kernels):
+# beyond mean relative error, do the predictors *order* mixes right?
+
+
+def test_known_template_rank_quality_is_pinned(small_training_data):
+    records = evaluate_known_templates(
+        small_training_data, (2,), rng=np.random.default_rng(0)
+    )
+    observed = [r.observed for r in records]
+    predicted = [r.predicted for r in records]
+    summary = q_error_summary(observed, predicted)
+    assert summary["p50"] == pytest.approx(1.0523910760790924, rel=PIN)
+    assert summary["p90"] == pytest.approx(1.1317654679068878, rel=PIN)
+    assert summary["max"] == pytest.approx(1.4482624586595068, rel=PIN)
+    assert kendall_tau(observed, predicted) == pytest.approx(
+        0.8622448979591837, rel=PIN
+    )
+    assert pairwise_accuracy(observed, predicted) == pytest.approx(
+        0.9311224489795918, rel=PIN
+    )
+
+
+def test_new_template_rank_quality_is_pinned(small_training_data):
+    records = evaluate_new_templates(small_training_data, (2,))
+    observed = [r.observed for r in records]
+    predicted = [r.predicted for r in records]
+    summary = q_error_summary(observed, predicted)
+    assert summary["p50"] == pytest.approx(1.1028955858565987, rel=PIN)
+    assert summary["p90"] == pytest.approx(1.243943347120182, rel=PIN)
+    assert summary["max"] == pytest.approx(1.3864951121124276, rel=PIN)
+    assert kendall_tau(observed, predicted) == pytest.approx(
+        0.8327526132404182, rel=PIN
+    )
+    assert pairwise_accuracy(observed, predicted) == pytest.approx(
+        0.9163763066202091, rel=PIN
+    )
+    # Even for never-sampled templates the q-error ceiling stays under
+    # 1.4x and the ranking is far from chance — the KNN continuum
+    # placement preserves decision-relevant order.
+    assert summary["max"] < 1.5
+    assert pairwise_accuracy(observed, predicted) > 0.5
 
 
 # ----------------------------------------------------------------------
