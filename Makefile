@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast coverage serve-smoke serve-bench lifecycle-smoke sched-smoke eval-smoke bench bench-check profile-campaign profile-campaign-batched report templates examples clean
+.PHONY: install test test-fast coverage serve-smoke serve-bench lifecycle-smoke sched-smoke eval-smoke explain-smoke bench bench-check profile-campaign profile-campaign-batched report templates examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -42,6 +42,11 @@ sched-smoke:
 # twice, asserting the 0.5 accuracy floor and bit-reproducibility.
 eval-smoke:
 	$(PYTHON) scripts/eval_smoke.py
+
+# Blame-attribution demo: a small mix explained twice, asserting the
+# conservation invariant and bit-reproducible blame matrices.
+explain-smoke:
+	$(PYTHON) scripts/explain_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only \

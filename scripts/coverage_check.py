@@ -43,6 +43,7 @@ GATES = [
     ),
     ("src/repro/lifecycle", ["tests/unit/lifecycle"], 0.85),
     ("src/repro/eval", ["tests/unit/eval"], 0.85),
+    ("src/repro/explain", ["tests/unit/explain"], 0.85),
 ]
 
 _executed: Set[Tuple[str, int]] = set()

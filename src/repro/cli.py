@@ -6,6 +6,7 @@ Everything a user needs to poke the reproduction without writing code::
     repro sql 71                        # one SQL instance of template 71
     repro isolated 26                   # cold-cache isolated run
     repro mix 26 71                     # steady-state mix execution
+    repro explain 26 71                 # who slows whom: blame matrix
     repro spoiler 22 --mpl 5            # worst-case latency at MPL 5
     repro train --out campaign.pkl      # collect the sampling campaign
     repro predict campaign.pkl 26 65    # known-template prediction
@@ -98,6 +99,27 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("mix", help="run a mix in steady state")
     p.add_argument("templates", type=int, nargs="+")
     p.add_argument("--samples", type=int, default=5)
+
+    p = sub.add_parser(
+        "explain",
+        help="decompose each mix member's slowdown into per-co-runner, "
+        "per-resource blame",
+    )
+    p.add_argument("templates", type=int, nargs="+")
+    p.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        help="steady-state samples per stream (default: config)",
+    )
+    p.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        dest="top_k",
+        help="co-runners listed in the ranking summary (default: config)",
+    )
+    p.add_argument("--json", action="store_true", dest="as_json")
 
     p = sub.add_parser("spoiler", help="measure spoiler latency")
     p.add_argument("template", type=int)
@@ -501,6 +523,34 @@ def _cmd_mix(args: argparse.Namespace) -> int:
             f"  T{template:<3} mean latency {fmt_duration(latency):>10}  "
             f"({latency / isolated:4.2f}x isolated)"
         )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .explain import explain_mix
+
+    catalog = TemplateCatalog()
+    report = explain_mix(
+        catalog, tuple(args.templates), samples_per_stream=args.samples
+    )
+    if args.as_json:
+        print(_json.dumps(report.to_doc(), indent=2, sort_keys=True))
+        return 0
+    top_k = (
+        args.top_k if args.top_k is not None else catalog.config.explain.top_k
+    )
+    print(f"mix {report.mix} blame attribution (seconds; + delays, - speeds up)")
+    print(report.format_table())
+    print()
+    for entry in report.templates:
+        ranked = ", ".join(
+            f"t{co} ({seconds:+.1f}s)"
+            for co, seconds in entry.ranked()[:top_k]
+        )
+        print(f"  t{entry.template_id} top blamed: {ranked or '-'}")
+    print(f"  conservation residual: {report.max_residual:.2e}")
     return 0
 
 
@@ -949,6 +999,20 @@ def _cmd_lifecycle_status(args: argparse.Namespace) -> int:
             f"  #{record['ordinal']} {record['action']:<10} "
             f"{record['fingerprint'][:12]}{gate_text}"
         )
+    root_cause = doc.get("root_cause")
+    if root_cause:
+        print("root cause (latest drift reaction):")
+        for template_id, analysis in sorted(
+            root_cause.get("templates", {}).items()
+        ):
+            if "error" in analysis:
+                print(f"  t{template_id}: {analysis['error']}")
+                continue
+            ranked = ", ".join(
+                f"t{entry['template_id']} ({entry['seconds']:+.1f}s)"
+                for entry in analysis.get("top", [])
+            )
+            print(f"  t{template_id} blames: {ranked or '-'}")
     return 0 if current is not None else 1
 
 
@@ -1257,6 +1321,7 @@ _HANDLERS = {
     "sql": _cmd_sql,
     "isolated": _cmd_isolated,
     "mix": _cmd_mix,
+    "explain": _cmd_explain,
     "spoiler": _cmd_spoiler,
     "train": _cmd_train,
     "predict": _cmd_predict,

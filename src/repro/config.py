@@ -347,6 +347,39 @@ class LifecycleConfig:
 
 
 @dataclass(frozen=True)
+class ExplainConfig:
+    """Knobs of the blame-attribution subsystem (:mod:`repro.explain`).
+
+    Attribution itself is opt-in per run — an executor only records when
+    a recorder is attached — so these knobs govern report shape and the
+    drift root-cause integration, not the engine hot loop.
+
+    Attributes:
+        samples_per_stream: Steady-state samples per stream when a blame
+            report simulates a mix (``repro explain`` / ``/v1/explain``).
+            Smaller than the campaign default: attribution wants the
+            steady mix, not tight latency estimates.
+        top_k: Co-runner templates listed in ranked outputs (the CLI
+            table, the serving response, the drift root-cause section).
+        root_cause_mixes: Most recent distinct mixes per drifted template
+            that the root-cause analyzer re-simulates; bounds the cost of
+            one ``lifecycle status`` / ``/v1/stats`` refresh.
+    """
+
+    samples_per_stream: int = 3
+    top_k: int = 5
+    root_cause_mixes: int = 3
+
+    def __post_init__(self) -> None:
+        if self.samples_per_stream < 1:
+            raise ConfigurationError("samples_per_stream must be >= 1")
+        if self.top_k < 1:
+            raise ConfigurationError("top_k must be >= 1")
+        if self.root_cause_mixes < 1:
+            raise ConfigurationError("root_cause_mixes must be >= 1")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """A complete simulated system: hardware plus executor behaviour."""
 
@@ -358,6 +391,7 @@ class SystemConfig:
         default_factory=ObservabilityConfig
     )
     lifecycle: LifecycleConfig = field(default_factory=LifecycleConfig)
+    explain: ExplainConfig = field(default_factory=ExplainConfig)
 
     def with_seed(self, seed: int) -> "SystemConfig":
         """Return a copy whose simulation RNG seed is *seed*."""

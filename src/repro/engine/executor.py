@@ -47,6 +47,7 @@ import math
 from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     List,
@@ -68,6 +69,9 @@ from .memory import MemoryLedger
 from .profile import Phase, ResourceProfile
 from .stats import QueryStats
 from .trace import IntervalSample, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..explain.recorder import ExplainRecorder
 
 #: Remaining-work threshold below which a component counts as drained.
 _DONE = 1e-7
@@ -345,12 +349,14 @@ class ConcurrentExecutor:
         rng: Optional[np.random.Generator] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[Registry] = None,
+        recorder: Optional["ExplainRecorder"] = None,
     ):
         self._config = config
         self._hw = config.hardware
         self._sim = config.simulation
         self._rng = rng if rng is not None else np.random.default_rng(self._sim.seed)
         self._tracer = tracer
+        self._recorder = recorder
         if metrics is None and config.observability.engine_metrics:
             metrics = Registry()
         self._metrics = metrics
@@ -390,6 +396,12 @@ class ConcurrentExecutor:
         if not streams and not background:
             raise SimulationError("nothing to run")
         if self._sim.engine == "reference":
+            if self._recorder is not None:
+                raise SimulationError(
+                    "blame attribution requires the virtual-time engine; "
+                    "the reference engine does not maintain the "
+                    "cumulative-service deadlines the recorder reads"
+                )
             result = self._run_reference(streams, background, pinned_bytes)
         elif self._sim.engine == "batched" and self._batched_ok():
             # Batch of one; bit-identical to the virtual-time loop.
@@ -419,7 +431,8 @@ class ConcurrentExecutor:
         """Whether the batched engine can serve this run.
 
         Tracers need per-interval telemetry, LRU eviction needs per-run
-        recency dicts, and phase timings stamp every transition — all
+        recency dicts, phase timings stamp every transition, and blame
+        attribution records per-phase entry/exit coordinates — all
         inherently scalar, so those runs take the virtual-time loop
         (which the batched engine mirrors bit-for-bit anyway).
         """
@@ -427,6 +440,7 @@ class ConcurrentExecutor:
             self._tracer is None
             and self._sim.cache_eviction == "none"
             and not self._phase_timings
+            and self._recorder is None
         )
 
     # ------------------------------------------------------------------
@@ -476,6 +490,24 @@ class ConcurrentExecutor:
         time_epsilon = self._sim.time_epsilon
         tracer = self._tracer
         instr = self._instr
+        # Blame-attribution hooks (repro.explain): append-only records of
+        # phase entries and I/O exits, resolved into bound methods so the
+        # disabled path pays one None test per phase transition and the
+        # per-event hot loop pays nothing.  The hook fires nearly once
+        # per event, so its constant is the attribution overhead gate's
+        # whole budget: phases with no I/O armed (the large majority on
+        # catalog workloads) get a short 5-slot record instead of the
+        # full 12-slot one.  All matrix math happens in post-processing —
+        # the loop's arithmetic is untouched, which is what keeps
+        # attribution-on runs bit-identical to attribution-off.
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.begin_run()
+            rec_phase = recorder.phases.append
+            rec_io = recorder.io_exits.append
+        else:
+            rec_phase = None
+            rec_io = None
         cores = self._hw.cores
         seq_bandwidth = self._hw.seq_bandwidth
         random_iops = self._hw.random_iops
@@ -544,8 +576,16 @@ class ConcurrentExecutor:
             enter_impl(run, ledger, cache, contended, active, vt_rem_seq)
             pending = 0
             io_pending = 0
-            rem = run.rem_seq
-            if rem > _DONE:
+            # Record defaults for the unarmed branches; the armed
+            # branches rebind them to the locals they compute anyway, so
+            # the attribution record below builds from locals instead of
+            # re-reading run attributes (the hook fires once per phase —
+            # nearly once per event — so its constant matters).
+            key = None
+            shared = False
+            factor = 1.0
+            rem_s = run.rem_seq
+            if rem_s > _DONE:
                 key = stream_key(run)
                 run.seq_key = key
                 size = add_seq(key)
@@ -562,7 +602,7 @@ class ConcurrentExecutor:
                             group[1] += s_seq - group[0]
                         group[0] = s_seq
                     run.vt_share_entry = group[1]
-                deadline = s_seq + rem
+                deadline = s_seq + rem_s
                 run.vt_seq_deadline = deadline
                 tiebreak += 1
                 heappush(seq_heap, (deadline, tiebreak, run))
@@ -574,9 +614,10 @@ class ConcurrentExecutor:
                 # only the resource actually pushed pays it).
                 if instr is not None and seq_consumers > peak_seq:
                     peak_seq = seq_consumers
-            rem = run.rem_rand
-            if rem > _DONE:
-                deadline = s_rand + rem / run.rand_factor
+            rem_r = run.rem_rand
+            if rem_r > _DONE:
+                factor = run.rand_factor
+                deadline = s_rand + rem_r / factor
                 run.vt_rand_deadline = deadline
                 tiebreak += 1
                 heappush(rand_heap, (deadline, tiebreak, run))
@@ -587,9 +628,9 @@ class ConcurrentExecutor:
                 io_pending += 1
                 if instr is not None and num_rand > peak_rand:
                     peak_rand = num_rand
-            rem = run.rem_cpu
-            if rem > _DONE:
-                deadline = s_cpu + rem
+            rem_c = run.rem_cpu
+            if rem_c > _DONE:
+                deadline = s_cpu + rem_c
                 run.vt_cpu_deadline = deadline
                 tiebreak += 1
                 heappush(cpu_heap, (deadline, tiebreak, run))
@@ -605,6 +646,26 @@ class ConcurrentExecutor:
                 phase_labels[run.profile.instance_id] = run.phase.label
             if drain_on:
                 run.vt_phase_start = now
+            if rec_phase is not None:
+                if io_pending:
+                    rec_phase((
+                        run.profile,
+                        run.phase_idx,
+                        now,
+                        s_seq,
+                        s_rand,
+                        s_cpu,
+                        rem_s,
+                        rem_r,
+                        rem_c,
+                        factor,
+                        key,
+                        shared,
+                    ))
+                else:
+                    # CPU-only phase: the I/O fields are all at their
+                    # neutral defaults, so a short record suffices.
+                    rec_phase((run.profile, run.phase_idx, now, s_cpu, rem_c))
             if pending == 0:
                 finished.append(run)
 
@@ -667,6 +728,10 @@ class ConcurrentExecutor:
             run.vt_io_pending -= 1
             if run.vt_io_pending == 0:
                 stats.io_seconds += now - run.vt_io_start
+                if rec_io is not None:
+                    rec_io((
+                        run.profile.instance_id, run.phase_idx, now, s_cpu,
+                    ))
             if run.vt_pending == 0:
                 finished.append(run)
 
@@ -687,6 +752,10 @@ class ConcurrentExecutor:
             run.vt_io_pending -= 1
             if run.vt_io_pending == 0:
                 run.stats.io_seconds += now - run.vt_io_start
+                if rec_io is not None:
+                    rec_io((
+                        run.profile.instance_id, run.phase_idx, now, s_cpu,
+                    ))
             if run.vt_pending == 0:
                 finished.append(run)
 

@@ -46,6 +46,10 @@ class LifecycleError(ReproError):
     promotion, rollback) is invalid or cannot proceed."""
 
 
+class ExplainError(ReproError):
+    """Blame attribution records are missing or inconsistent."""
+
+
 class ArtifactError(ServingError):
     """A registry artifact is missing, corrupt, or schema-incompatible."""
 

@@ -1,0 +1,44 @@
+"""Contention blame attribution (``repro.explain``).
+
+Decomposes each query's measured slowdown under a mix — latency minus
+its analytic solo baseline — into a per-(co-runner, resource) blame
+matrix over the engine's three service axes (``seq``, ``rand``,
+``cpu``).  Positive entries are seconds a co-runner's service delayed
+the query's drain deadlines; negative ``seq`` entries are shared-scan
+credit.  The decomposition conserves: each query's blame rows plus its
+self-adjustments sum to its observed slowdown within the engine's float
+tolerance, and attaching a recorder never changes simulated results.
+
+Layers:
+
+* :mod:`~repro.explain.recorder` — append-only engine hooks;
+* :mod:`~repro.explain.attribution` — the per-instance accounting;
+* :mod:`~repro.explain.report` — per-template aggregation;
+* :mod:`~repro.explain.simulate` — ``explain_mix`` simulation driver;
+* :mod:`~repro.explain.rootcause` — drift root-cause analysis.
+"""
+
+from .attribution import (
+    RESOURCES,
+    QueryAttribution,
+    attribute,
+    max_residual,
+)
+from .recorder import ExplainRecorder
+from .report import BlameReport, TemplateBlame, aggregate
+from .rootcause import RootCauseAnalyzer
+from .simulate import ExplainInstruments, explain_mix
+
+__all__ = [
+    "BlameReport",
+    "ExplainInstruments",
+    "ExplainRecorder",
+    "QueryAttribution",
+    "RESOURCES",
+    "RootCauseAnalyzer",
+    "TemplateBlame",
+    "aggregate",
+    "attribute",
+    "explain_mix",
+    "max_residual",
+]

@@ -1,0 +1,426 @@
+"""Slowdown decomposition from virtual-time attribution records.
+
+The virtual-time engine advances three cumulative-service integrals and
+drains static deadlines against them, which gives every resource a
+*service axis* on which components occupy exact intervals:
+
+* disk work lives on the shared axis ``A`` with ``dA = ds_seq/B =
+  ds_rand/R`` (both integrals advance by ``rate * dt`` against the same
+  fair-share divisor, so the two quotients are the same coordinate).  A
+  sequential component entered at integral ``s`` with demand ``w``
+  occupies ``[s/B, (s+w)/B]``; a random component with variance factor
+  ``f`` occupies ``[s/R, (s + w/f)/R]``.  Wall-clock time spent in an
+  ``A``-window equals the *sum over stream slots of their overlap with
+  the window* — each active slot adds exactly ``dA`` of wall time per
+  ``dA`` of axis, because the divisor is the slot count;
+* CPU work lives on the ``s_cpu`` axis, where an interval of length
+  ``ds`` costs ``max(1, demand/cores) * ds`` of wall time.
+
+Those identities make blame exact rather than heuristic: a query's
+measured latency minus its analytic solo baseline equals, term for
+term, the overlap of every co-runner's component with the query's drain
+windows.  Per phase with effective demands ``w_s``/``w_r``/``w_c``:
+
+* solo baseline is ``max(w_s/B + w_r/R, w_c)`` — solo, the sequential
+  and random streams time-slice one disk (two slots), so their solo
+  I/O times *add*, and CPU runs at full rate underneath;
+* foreign slot overlap with the query's I/O window is positive ``seq``/
+  ``rand`` blame (a shared-scan slot splits its overlap equally among
+  the members scanning at that coordinate);
+* co-members of the query's own shared-scan group accrue *negative*
+  ``seq`` blame while they scan alongside it — one saved divisor slot
+  per co-member — offset by an equal positive entry in the query's own
+  row, so sharing redistributes blame within the row without creating
+  or destroying slowdown;
+* CPU oversubscription on the serial tail is positive ``cpu`` blame,
+  split equally among the other runnable components; CPU starvation
+  *under* I/O is charged to the components that caused it, while CPU
+  hidden by lengthened I/O is a negative self entry (contention made
+  the overlap credit larger than it would have been solo).
+
+The conservation invariant — every row sums to the measured slowdown —
+therefore holds to within the engine's own drain tolerances (absolute
+``1e-7`` work units and ``time_epsilon`` per event), orders of
+magnitude inside the ``1e-6`` relative bound the property suite pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..engine.executor import RunResult
+from ..errors import ExplainError
+from .recorder import ExplainRecorder
+
+__all__ = ["QueryAttribution", "RESOURCES", "attribute", "max_residual"]
+
+#: Resource keys of a blame row, in reporting order.
+RESOURCES: Tuple[str, ...] = ("seq", "rand", "cpu")
+
+#: Mirror of the engine's drained-component threshold: demands at or
+#: below it were never armed, so they carry no interval.
+_DONE = 1e-7
+
+_Interval = Tuple[float, float, int]  # (lo, hi, owner instance)
+
+
+@dataclass
+class QueryAttribution:
+    """One query's slowdown, decomposed over its co-runners.
+
+    Attributes:
+        instance_id: The attributed query instance.
+        template_id: Its template.
+        latency: Measured latency in the contended run.
+        baseline: Analytic solo latency for the same effective demands
+            (post cache-credit, post spill — the counterfactual holds
+            the query's work fixed and removes only the co-runners).
+        blame: Co-runner instance id -> resource -> simulated seconds.
+            Positive entries delayed this query; negative ``seq``
+            entries are shared-scan co-members whose synchronized scan
+            saved it divisor slots.
+        self_adjust: Resource -> seconds for effects owned by the query
+            itself: its random-I/O variance draw, the offset balancing
+            shared-scan credits, and CPU hidden under lengthened I/O.
+    """
+
+    instance_id: int
+    template_id: int
+    latency: float
+    baseline: float
+    blame: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    self_adjust: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def slowdown(self) -> float:
+        """Measured latency minus the analytic solo baseline."""
+        return self.latency - self.baseline
+
+    def total_attributed(self) -> float:
+        """Sum of every blame and self-adjustment entry."""
+        total = sum(self_v for self_v in self.self_adjust.values())
+        for row in self.blame.values():
+            total += sum(row.values())
+        return total
+
+    @property
+    def residual(self) -> float:
+        """Conservation error: slowdown minus attributed total."""
+        return self.slowdown - self.total_attributed()
+
+    def _row(self, owner: int) -> Dict[str, float]:
+        row = self.blame.get(owner)
+        if row is None:
+            row = self.blame[owner] = {}
+        return row
+
+    def _add(self, owner: int, resource: str, seconds: float) -> None:
+        row = self._row(owner)
+        row[resource] = row.get(resource, 0.0) + seconds
+
+    def _self_add(self, resource: str, seconds: float) -> None:
+        self.self_adjust[resource] = (
+            self.self_adjust.get(resource, 0.0) + seconds
+        )
+
+
+@dataclass
+class _Span:
+    """One phase of one instance, resolved for attribution."""
+
+    entry_now: float
+    a0: float  # disk-axis coordinate at entry (s_seq / B)
+    c0: float  # s_cpu at entry
+    w_s: float
+    w_r: float
+    w_c: float
+    factor: float
+    seq_key: Optional[Tuple] = None
+    shared: bool = False
+    s_io: Optional[float] = None  # s_cpu when the last I/O drained
+    a_seq_hi: float = 0.0
+    a_rand_lo: float = 0.0
+    a_rand_hi: float = 0.0
+
+
+def _overlap(lo: float, hi: float, w0: float, w1: float) -> float:
+    """Length of ``[lo, hi] ∩ [w0, w1]`` (0 when disjoint)."""
+    left = lo if lo > w0 else w0
+    right = hi if hi < w1 else w1
+    return right - left if right > left else 0.0
+
+
+def _sweep(
+    members: Sequence[_Interval], w0: float, w1: float
+) -> Iterable[Tuple[float, List[int]]]:
+    """Elementary intervals of the member union clipped to a window.
+
+    Yields ``(length, owners)`` for each maximal sub-interval of
+    ``[w0, w1]`` on which the set of covering members is constant and
+    non-empty.  Quadratic in the member count, which stays single-digit
+    per slot in practice.
+    """
+    clipped: List[_Interval] = []
+    for lo, hi, owner in members:
+        lo2 = lo if lo > w0 else w0
+        hi2 = hi if hi < w1 else w1
+        if hi2 > lo2:
+            clipped.append((lo2, hi2, owner))
+    if not clipped:
+        return
+    cuts = sorted({edge for lo, hi, _ in clipped for edge in (lo, hi)})
+    for x0, x1 in zip(cuts, cuts[1:]):
+        mid = 0.5 * (x0 + x1)
+        owners = [owner for lo, hi, owner in clipped if lo < mid < hi]
+        if owners:
+            yield x1 - x0, owners
+
+
+def attribute(
+    recorder: ExplainRecorder,
+    result: RunResult,
+    config: SystemConfig,
+) -> List[QueryAttribution]:
+    """Decompose every completed query's slowdown over its co-runners.
+
+    Args:
+        recorder: Records captured during *result*'s run.
+        result: The run the recorder observed.
+        config: The system the run executed on (hardware rates).
+
+    Returns:
+        One :class:`QueryAttribution` per completion, in completion
+        order.  Background profiles never complete, so they appear only
+        as blame sources.
+
+    Raises:
+        ExplainError: The records are inconsistent with the result —
+            the recorder was not attached to this run.
+    """
+    hw = config.hardware
+    bandwidth = hw.seq_bandwidth
+    iops = hw.random_iops
+    cores = hw.cores
+
+    stats_by_id = {c.stats.instance_id: c.stats for c in result.completions}
+
+    phases_by_id: Dict[int, List[tuple]] = {}
+    template_by_id: Dict[int, int] = {}
+    for rec in recorder.phase_records():
+        profile = rec[0]
+        phases_by_id.setdefault(profile.instance_id, []).append(rec)
+        template_by_id[profile.instance_id] = profile.template_id
+    exits_by_id: Dict[int, List[tuple]] = {}
+    for rec in recorder.io_exit_records():
+        exits_by_id.setdefault(rec[0], []).append(rec)
+
+    for instance_id in stats_by_id:
+        if instance_id not in phases_by_id:
+            raise ExplainError(
+                f"no phase records for completed instance {instance_id}; "
+                "the recorder was not attached to this run"
+            )
+
+    # Resolve spans and build the global component pools.
+    seq_slots: Dict[Tuple, List[_Interval]] = {}
+    rand_comps: List[_Interval] = []
+    cpu_comps: List[_Interval] = []
+    spans_by_id: Dict[int, List[_Span]] = {}
+    for instance_id, records in phases_by_id.items():
+        exits = exits_by_id.get(instance_id, ())
+        exit_idx = 0
+        spans: List[_Span] = []
+        for rec in records:
+            if len(rec) == 12:
+                (_, phase_idx, entry_now, s_seq, s_rand, s_cpu,
+                 rem_seq, rem_rand, rem_cpu, factor, seq_key, shared) = rec
+            else:
+                # Short CPU-only record: every omitted I/O field is at
+                # its neutral default (see the recorder docstring).
+                _, phase_idx, entry_now, s_cpu, rem_cpu = rec
+                s_seq = s_rand = rem_seq = rem_rand = 0.0
+                factor = 1.0
+                seq_key = None
+                shared = False
+            span = _Span(
+                entry_now=entry_now,
+                a0=s_seq / bandwidth,
+                c0=s_cpu,
+                w_s=rem_seq if rem_seq > _DONE else 0.0,
+                w_r=rem_rand if rem_rand > _DONE else 0.0,
+                w_c=rem_cpu if rem_cpu > _DONE else 0.0,
+                factor=factor,
+            )
+            if span.w_s > 0.0:
+                span.seq_key = seq_key
+                span.shared = shared
+                span.a_seq_hi = (s_seq + span.w_s) / bandwidth
+                seq_slots.setdefault(seq_key, []).append(
+                    (span.a0, span.a_seq_hi, instance_id)
+                )
+            if span.w_r > 0.0:
+                span.a_rand_lo = s_rand / iops
+                span.a_rand_hi = (s_rand + span.w_r / factor) / iops
+                rand_comps.append(
+                    (span.a_rand_lo, span.a_rand_hi, instance_id)
+                )
+            if span.w_c > 0.0:
+                cpu_comps.append((s_cpu, s_cpu + span.w_c, instance_id))
+            if span.w_s > 0.0 or span.w_r > 0.0:
+                if exit_idx < len(exits):
+                    exit_rec = exits[exit_idx]
+                    if exit_rec[1] != phase_idx:
+                        raise ExplainError(
+                            f"instance {instance_id}: I/O exit for phase "
+                            f"{exit_rec[1]} does not match entry order "
+                            f"(expected phase {phase_idx})"
+                        )
+                    span.s_io = exit_rec[3]
+                    exit_idx += 1
+                # else: the run ended mid-phase (background tail); the
+                # span still contributes its intervals as a source.
+            spans.append(span)
+        spans_by_id[instance_id] = spans
+
+    out: List[QueryAttribution] = []
+    for completion in result.completions:
+        stats = completion.stats
+        instance_id = stats.instance_id
+        attr = QueryAttribution(
+            instance_id=instance_id,
+            template_id=stats.template_id,
+            latency=stats.latency,
+            baseline=0.0,
+        )
+        for span in spans_by_id[instance_id]:
+            _attribute_span(
+                attr, span, instance_id,
+                seq_slots, rand_comps, cpu_comps,
+                bandwidth, iops, cores,
+            )
+        out.append(attr)
+    return out
+
+
+def _attribute_span(
+    attr: QueryAttribution,
+    span: _Span,
+    instance_id: int,
+    seq_slots: Dict[Tuple, List[_Interval]],
+    rand_comps: Sequence[_Interval],
+    cpu_comps: Sequence[_Interval],
+    bandwidth: float,
+    iops: float,
+    cores: int,
+) -> None:
+    """Fold one phase of the attributed query into its blame rows."""
+    w_s, w_r, w_c = span.w_s, span.w_r, span.w_c
+    io_solo = w_s / bandwidth + w_r / iops
+    attr.baseline += io_solo if io_solo > w_c else w_c
+    if w_s == 0.0 and w_r == 0.0 and w_c == 0.0:
+        return
+
+    has_io = w_s > 0.0 or w_r > 0.0
+    if has_io:
+        if span.s_io is None:
+            raise ExplainError(
+                f"instance {instance_id}: completed I/O phase has no "
+                "exit record"
+            )
+        # The query's I/O window on the shared disk axis: from phase
+        # entry to the later of its own two drain deadlines.  Its own
+        # components cover the whole window, so wall I/O time is the
+        # total slot overlap with it.
+        w0 = span.a0
+        w1 = span.a_seq_hi if w_s > 0.0 else 0.0
+        if w_r > 0.0 and span.a_rand_hi > w1:
+            w1 = span.a_rand_hi
+
+        for key, members in seq_slots.items():
+            own_slot = key == span.seq_key and w_s > 0.0
+            if own_slot and len(members) == 1:
+                continue  # a private slot of our own: pure baseline
+            for length, owners in _sweep(members, w0, w1):
+                if own_slot and instance_id in owners:
+                    # Sharing zone: the slot is already paid for by our
+                    # baseline; each co-member scanning here saved us
+                    # one divisor slot — negative blame, offset in our
+                    # own row so the decomposition stays conserved.
+                    for owner in owners:
+                        if owner != instance_id:
+                            attr._add(owner, "seq", -length)
+                            attr._self_add("seq", length)
+                else:
+                    share = length / len(owners)
+                    for owner in owners:
+                        attr._add(owner, "seq", share)
+
+        for lo, hi, owner in rand_comps:
+            if owner == instance_id:
+                continue
+            seconds = _overlap(lo, hi, w0, w1)
+            if seconds > 0.0:
+                attr._add(owner, "rand", seconds)
+
+        if w_r > 0.0:
+            # The variance draw is the query's own luck, not a
+            # co-runner's doing: its random stream drains in w/(f*R)
+            # of axis instead of the baseline's w/R.
+            attr._self_add("rand", (w_r / span.factor - w_r) / iops)
+
+    # Serial CPU tail: the part of the CPU demand not already drained
+    # when the last I/O component exited.
+    s_io = span.s_io if (has_io and span.s_io is not None) else span.c0
+    c1 = span.c0 + w_c
+    if w_c > 0.0 and c1 > s_io:
+        ideal_tail = c1 - s_io
+        for length, owners in _sweep(cpu_comps, s_io, c1):
+            demand = len(owners)
+            if demand > cores:
+                excess = length * (demand - cores) / cores
+                share = excess / (demand - 1)
+                for owner in owners:
+                    if owner != instance_id:
+                        attr._add(owner, "cpu", share)
+    else:
+        ideal_tail = 0.0
+
+    if w_c > 0.0:
+        solo_tail = w_c - io_solo
+        adjust = ideal_tail - (solo_tail if solo_tail > 0.0 else 0.0)
+        if adjust > 0.0:
+            # Starved under I/O: less CPU drained beneath the I/O span
+            # than a solo run would have managed.  Charge the components
+            # that oversubscribed the cores there, pro rata by presence.
+            weights: Dict[int, float] = {}
+            total = 0.0
+            for lo, hi, owner in cpu_comps:
+                if owner == instance_id:
+                    continue
+                seconds = _overlap(lo, hi, span.c0, s_io)
+                if seconds > 0.0:
+                    weights[owner] = weights.get(owner, 0.0) + seconds
+                    total += seconds
+            if total > 0.0:
+                for owner, weight in weights.items():
+                    attr._add(owner, "cpu", adjust * weight / total)
+            else:  # pragma: no cover - defensive: starvation needs peers
+                attr._self_add("cpu", adjust)
+        elif adjust < 0.0:
+            # Contention lengthened the I/O span, hiding CPU work that
+            # would have run serially solo — a genuine speedup the
+            # query keeps for itself.
+            attr._self_add("cpu", adjust)
+
+
+def max_residual(attributions: Iterable[QueryAttribution]) -> float:
+    """Largest conservation error, relative to each query's latency."""
+    worst = 0.0
+    for attr in attributions:
+        scale = attr.latency if attr.latency > 1.0 else 1.0
+        rel = abs(attr.residual) / scale
+        if rel > worst:
+            worst = rel
+    return worst

@@ -1,0 +1,244 @@
+"""Blame reports: per-template aggregation of query attributions.
+
+:func:`aggregate` folds the per-instance blame matrices produced by
+:func:`repro.explain.attribution.attribute` into one row set per
+*primary* template of a mix, averaging over that template's sampled
+instances and re-keying co-runner instances by their template.  The
+result is the JSON-ready :class:`BlameReport` served by ``/v1/explain``
+and rendered by the ``repro explain`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ExplainError
+from .attribution import RESOURCES, QueryAttribution
+
+__all__ = ["BlameReport", "TemplateBlame", "aggregate"]
+
+#: Row key for the attributed query's own adjustments (variance draw,
+#: shared-scan offset, CPU hidden under I/O).
+SELF_KEY = "self"
+
+
+def _round_doc(row: Mapping[str, float]) -> Dict[str, float]:
+    return {resource: row.get(resource, 0.0) for resource in RESOURCES}
+
+
+@dataclass
+class TemplateBlame:
+    """Aggregated blame for one primary template of a mix.
+
+    All second-valued fields are per-sample means over the template's
+    attributed instances, in simulated seconds.
+
+    Attributes:
+        template_id: The primary template.
+        samples: Attributed instances behind the means.
+        mean_latency: Mean measured latency under the mix.
+        mean_baseline: Mean analytic solo baseline.
+        rows: Co-runner template id -> resource -> mean seconds.
+            Positive entries delayed the primary; negative ``seq``
+            entries are shared-scan credit.
+        self_adjust: The primary's own row (resource -> mean seconds).
+        background: Co-runner template ids that are background profiles
+            (spoiler readers) rather than mix members.
+        max_residual: Worst conservation error across the samples,
+            relative to each sample's latency.
+    """
+
+    template_id: int
+    samples: int
+    mean_latency: float
+    mean_baseline: float
+    rows: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    self_adjust: Dict[str, float] = field(default_factory=dict)
+    background: Tuple[int, ...] = ()
+    max_residual: float = 0.0
+
+    @property
+    def slowdown(self) -> float:
+        """Mean measured latency minus mean solo baseline."""
+        return self.mean_latency - self.mean_baseline
+
+    def ranked(self) -> List[Tuple[int, float]]:
+        """Co-runner templates by net attributed seconds, descending."""
+        totals = [
+            (co_template, sum(row.values()))
+            for co_template, row in self.rows.items()
+        ]
+        totals.sort(key=lambda item: (-item[1], item[0]))
+        return totals
+
+    def top_blamed(self, k: int) -> List[int]:
+        """The *k* co-runner templates with the largest net blame."""
+        return [co_template for co_template, _ in self.ranked()[:k]]
+
+    def ranked_rows(self) -> List[Tuple[int, Dict[str, float]]]:
+        """Blame rows in :meth:`ranked` order."""
+        return [(co, self.rows[co]) for co, _ in self.ranked()]
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "template_id": self.template_id,
+            "samples": self.samples,
+            "mean_latency": self.mean_latency,
+            "mean_baseline": self.mean_baseline,
+            "slowdown": self.slowdown,
+            "rows": {
+                str(co_template): _round_doc(row)
+                for co_template, row in sorted(self.rows.items())
+            },
+            "self": _round_doc(self.self_adjust),
+            "background": sorted(self.background),
+            "max_residual": self.max_residual,
+        }
+
+
+@dataclass
+class BlameReport:
+    """Blame attribution for every primary template of one mix."""
+
+    mix: Tuple[int, ...]
+    templates: List[TemplateBlame]
+
+    def for_template(self, template_id: int) -> TemplateBlame:
+        for entry in self.templates:
+            if entry.template_id == template_id:
+                return entry
+        raise ExplainError(
+            f"template {template_id} is not a primary of mix {self.mix}"
+        )
+
+    @property
+    def max_residual(self) -> float:
+        """Worst conservation error across every aggregated template."""
+        return max((t.max_residual for t in self.templates), default=0.0)
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "mix": list(self.mix),
+            "templates": [t.to_doc() for t in self.templates],
+            "max_residual": self.max_residual,
+        }
+
+    def format_table(self) -> str:
+        """Human-readable per-co-runner blame tables, one per primary."""
+        lines: List[str] = []
+        for entry in self.templates:
+            lines.append(
+                f"template {entry.template_id}: "
+                f"latency {entry.mean_latency:.2f}s, "
+                f"solo {entry.mean_baseline:.2f}s, "
+                f"slowdown {entry.slowdown:+.2f}s "
+                f"({entry.samples} samples)"
+            )
+            header = (
+                f"  {'co-runner':<12}"
+                + "".join(f"{r:>10}" for r in RESOURCES)
+                + f"{'total':>10}"
+            )
+            lines.append(header)
+            rows: List[Tuple[str, Mapping[str, float]]] = [
+                (
+                    f"t{co}" + ("*" if co in entry.background else ""),
+                    row,
+                )
+                for co, row in entry.ranked_rows()
+            ]
+            rows.append((SELF_KEY, entry.self_adjust))
+            for label, row in rows:
+                total = sum(row.get(r, 0.0) for r in RESOURCES)
+                lines.append(
+                    f"  {label:<12}"
+                    + "".join(
+                        f"{row.get(r, 0.0):>+10.3f}" for r in RESOURCES
+                    )
+                    + f"{total:>+10.3f}"
+                )
+            lines.append("")
+        if self.templates and any(t.background for t in self.templates):
+            lines.append("  (* background profile)")
+        return "\n".join(lines).rstrip()
+
+
+def aggregate(
+    mix: Sequence[int],
+    attributions: Iterable[QueryAttribution],
+    template_of: Mapping[int, int],
+    background_of: Optional[Mapping[int, bool]] = None,
+) -> BlameReport:
+    """Aggregate instance attributions into one report for *mix*.
+
+    Args:
+        mix: Template id per slot of the executed mix.
+        attributions: The sampled instances to aggregate (typically the
+            steady-state trimmed samples).
+        template_of: Instance id -> template id for every co-runner
+            instance that appears in a blame row.
+        background_of: Instance id -> whether the instance is a
+            background profile; omitted entries default to False.
+
+    Raises:
+        ExplainError: A primary template of *mix* has no attributed
+            samples, or a blame row references an unknown instance.
+    """
+    background_of = background_of or {}
+    by_template: Dict[int, List[QueryAttribution]] = {}
+    for attr in attributions:
+        by_template.setdefault(attr.template_id, []).append(attr)
+
+    templates: List[TemplateBlame] = []
+    for template_id in sorted(set(mix)):
+        samples = by_template.get(template_id)
+        if not samples:
+            raise ExplainError(
+                f"no attributed samples for template {template_id} "
+                f"of mix {tuple(mix)}"
+            )
+        count = len(samples)
+        rows: Dict[int, Dict[str, float]] = {}
+        self_adjust: Dict[str, float] = {}
+        background: set = set()
+        latency_sum = baseline_sum = 0.0
+        worst = 0.0
+        for attr in samples:
+            latency_sum += attr.latency
+            baseline_sum += attr.baseline
+            scale = attr.latency if attr.latency > 1.0 else 1.0
+            rel = abs(attr.residual) / scale
+            if rel > worst:
+                worst = rel
+            for resource, seconds in attr.self_adjust.items():
+                self_adjust[resource] = (
+                    self_adjust.get(resource, 0.0) + seconds / count
+                )
+            for instance_id, row in attr.blame.items():
+                co_template = template_of.get(instance_id)
+                if co_template is None:
+                    raise ExplainError(
+                        f"blame row references unknown instance "
+                        f"{instance_id}"
+                    )
+                if background_of.get(instance_id, False):
+                    background.add(co_template)
+                target = rows.setdefault(co_template, {})
+                for resource, seconds in row.items():
+                    target[resource] = (
+                        target.get(resource, 0.0) + seconds / count
+                    )
+        templates.append(
+            TemplateBlame(
+                template_id=template_id,
+                samples=count,
+                mean_latency=latency_sum / count,
+                mean_baseline=baseline_sum / count,
+                rows=rows,
+                self_adjust=self_adjust,
+                background=tuple(sorted(background)),
+                max_residual=worst,
+            )
+        )
+    return BlameReport(mix=tuple(mix), templates=templates)

@@ -1,0 +1,130 @@
+"""Drift root-cause analysis: which co-runners explain the residuals?
+
+When the lifecycle monitor latches drift for a template, the natural
+operator question is *who is doing this to us*.  The analyzer answers it
+by replaying the template's recently observed mixes through
+:func:`~repro.explain.simulate.explain_mix` and aggregating the blame
+each co-runner template received across those mixes.  The result is a
+compact JSON document attached to lifecycle status and ``/v1/stats``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExplainError
+from ..workload.catalog import TemplateCatalog
+from .report import BlameReport
+from .simulate import ExplainInstruments, explain_mix
+
+__all__ = ["RootCauseAnalyzer"]
+
+Mix = Tuple[int, ...]
+
+
+class RootCauseAnalyzer:
+    """Blame-based root cause for one catalog's drifted templates.
+
+    Reports are cached per ``(template, mixes)`` key so the lifecycle
+    status path can re-render without re-simulating; the cache is small
+    because drift is rare and mixes few.
+    """
+
+    def __init__(
+        self,
+        catalog: TemplateCatalog,
+        *,
+        top_k: Optional[int] = None,
+        max_mixes: Optional[int] = None,
+        samples_per_stream: Optional[int] = None,
+        instruments: Optional[ExplainInstruments] = None,
+    ):
+        explain_cfg = catalog.config.explain
+        self._catalog = catalog
+        self._top_k = top_k if top_k is not None else explain_cfg.top_k
+        self._max_mixes = (
+            max_mixes if max_mixes is not None else explain_cfg.root_cause_mixes
+        )
+        self._samples = samples_per_stream
+        self._instruments = instruments
+        self._cache: Dict[Tuple[int, Tuple[Mix, ...]], Dict[str, object]] = {}
+
+    def analyze(
+        self, template_id: int, mixes: Sequence[Sequence[int]]
+    ) -> Dict[str, object]:
+        """Blame doc for *template_id* across its recent *mixes*.
+
+        Args:
+            template_id: The drifted template.
+            mixes: Recently observed mixes containing the template, most
+                recent last; only the trailing ``root_cause_mixes`` are
+                replayed.
+
+        Returns:
+            ``{"template_id", "mixes", "top", "max_residual"}`` where
+            ``top`` ranks co-runner templates by mean net attributed
+            seconds, descending, truncated to ``top_k``.
+
+        Raises:
+            ExplainError: No usable mix contains the template.
+        """
+        usable = tuple(
+            tuple(mix) for mix in mixes if template_id in tuple(mix)
+        )
+        if not usable:
+            raise ExplainError(
+                f"no observed mix contains template {template_id}; "
+                "cannot attribute its drift"
+            )
+        usable = usable[-self._max_mixes:]
+        key = (template_id, usable)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        reports: List[BlameReport] = [
+            explain_mix(
+                self._catalog,
+                mix,
+                samples_per_stream=self._samples,
+                instruments=self._instruments,
+            )
+            for mix in usable
+        ]
+        totals: Dict[int, float] = {}
+        by_resource: Dict[int, Dict[str, float]] = {}
+        worst = 0.0
+        for report in reports:
+            worst = max(worst, report.max_residual)
+            entry = report.for_template(template_id)
+            for co_template, row in entry.rows.items():
+                totals[co_template] = (
+                    totals.get(co_template, 0.0)
+                    + sum(row.values()) / len(reports)
+                )
+                target = by_resource.setdefault(co_template, {})
+                for resource, seconds in row.items():
+                    target[resource] = (
+                        target.get(resource, 0.0) + seconds / len(reports)
+                    )
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+        doc: Dict[str, object] = {
+            "template_id": template_id,
+            "mixes": [list(mix) for mix in usable],
+            "top": [
+                {
+                    "template_id": co_template,
+                    "seconds": seconds,
+                    "resources": {
+                        resource: value
+                        for resource, value in sorted(
+                            by_resource[co_template].items()
+                        )
+                    },
+                }
+                for co_template, seconds in ranked[: self._top_k]
+            ],
+            "max_residual": worst,
+        }
+        self._cache[key] = doc
+        return doc

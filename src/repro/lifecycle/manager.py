@@ -22,6 +22,7 @@ fingerprint exactly.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -30,7 +31,7 @@ from ..config import LifecycleConfig, SystemConfig
 from ..core.campaign import task_rng
 from ..core.contender import Contender
 from ..core.training import collect_training_data
-from ..errors import LifecycleError, ModelError
+from ..errors import LifecycleError, ModelError, ReproError
 from ..metrics.errors import mean_relative_error
 from ..obs.metrics import NULL_REGISTRY
 from ..obs.tracing import NULL_TRACE
@@ -111,9 +112,63 @@ class LifecycleManager:
     def promotion(self) -> PromotionManager:
         return self._promotion
 
-    def observe(self, template_id: int, predicted: float, observed: float):
-        """Feed one serving observation; returns a verdict if one fired."""
-        return self._monitor.ingest(template_id, predicted, observed)
+    def observe(
+        self,
+        template_id: int,
+        predicted: float,
+        observed: float,
+        mix: Optional[Sequence[int]] = None,
+    ):
+        """Feed one serving observation; returns a verdict if one fired.
+
+        Passing the *mix* the latency was observed under lets a later
+        drift reaction attribute the drift to specific co-runners.
+        """
+        return self._monitor.ingest(template_id, predicted, observed, mix=mix)
+
+    def root_cause(
+        self,
+        catalog: TemplateCatalog,
+        top_k: Optional[int] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Blame-attribute the currently drifted templates' slowdowns.
+
+        For every drifted template with observed mixes, replays its
+        recent mixes through :func:`repro.explain.explain_mix` and ranks
+        co-runner templates by net attributed seconds.  The result is
+        persisted as a ``root_cause.json`` sidecar next to the deployed
+        artifact so ``lifecycle status`` can surface it later, after the
+        drift flags have been reset by a promotion.
+
+        Returns:
+            ``{"templates": {tid: analysis}}`` (string keys, JSON-ready)
+            or ``None`` when nothing is drifted or no drifted template
+            has an observed mix.
+        """
+        # Deferred import: repro.explain pulls the sampling stack, which
+        # lifecycle monitoring itself never needs.
+        from ..explain.rootcause import RootCauseAnalyzer
+
+        drifted = self._monitor.drifted_templates()
+        analyzer = RootCauseAnalyzer(catalog, top_k=top_k)
+        analyses: Dict[str, Any] = {}
+        for template_id in drifted:
+            mixes = self._monitor.recent_mixes(template_id)
+            if not mixes:
+                continue
+            try:
+                analyses[str(template_id)] = analyzer.analyze(
+                    template_id, mixes
+                )
+            except ReproError as exc:
+                analyses[str(template_id)] = {"error": str(exc)}
+        if not analyses:
+            return None
+        doc = {"templates": analyses}
+        sidecar = self._promotion.root_cause_path
+        sidecar.parent.mkdir(parents=True, exist_ok=True)
+        sidecar.write_text(json.dumps(doc, indent=2, sort_keys=True))
+        return doc
 
     def rollback(self) -> PromotionRecord:
         """Roll the deployment back one step (and count it)."""
@@ -169,6 +224,13 @@ class LifecycleManager:
         seed = incumbent.data.config_seed
         scope = self._retrain_scope(drifted, incumbent)
 
+        # Attribute the drift while its flags (and recorded mixes) are
+        # still latched — the promotion below resets the detectors.
+        with self._trace.span(
+            "lifecycle.root_cause", key=("root_cause", seed, ordinal)
+        ):
+            root_cause = self.root_cause(catalog)
+
         with self._trace.span(
             "lifecycle.retrain", key=("retrain", seed, ordinal),
             templates=list(scope),
@@ -204,6 +266,8 @@ class LifecycleManager:
             "scope": list(scope),
             "shadow": report.to_doc(),
         }
+        if root_cause is not None:
+            event["root_cause"] = root_cause
         if not report.passed:
             self._rejections.inc()
             event["action"] = "rejected"
@@ -315,7 +379,7 @@ def _stream_phase(
                 except ModelError:
                     skipped += 1
                     continue
-                manager.observe(primary, pred, obs)
+                manager.observe(primary, pred, obs, mix=mix)
                 observed.append(obs)
                 predicted.append(pred)
     if not observed:

@@ -21,7 +21,16 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..config import LifecycleConfig
 from ..errors import LifecycleError
@@ -39,17 +48,23 @@ class TemplateState:
         "count",
         "window",
         "window_sum",
+        "mixes",
         "mean_shift",
         "page_hinkley",
         "drifted",
         "last_verdict",
     )
 
+    #: Distinct recent mixes retained per template for root-cause
+    #: attribution (small: drift analysis replays a handful of mixes).
+    MIX_HISTORY = 8
+
     def __init__(self, template_id: int, config: LifecycleConfig):
         self.template_id = template_id
         self.count = 0
         self.window: Deque[float] = deque(maxlen=config.residual_window)
         self.window_sum = 0.0
+        self.mixes: Deque[Tuple[int, ...]] = deque(maxlen=self.MIX_HISTORY)
         self.mean_shift = MeanShiftDetector(
             reference_window=config.reference_window,
             test_window=config.test_window,
@@ -100,6 +115,9 @@ class ResidualMonitor:
         self._lock = threading.Lock()
         self._templates: Dict[int, TemplateState] = {}
         self._verdicts: List[DriftVerdict] = []
+        self._root_cause_analyzer: Optional[
+            Callable[[int, Sequence[Tuple[int, ...]]], Dict[str, Any]]
+        ] = None
         registry = metrics if metrics is not None else NULL_REGISTRY
         self._registry = registry
         # Hot-path instruments: unlabelled, one .inc() per ingest.
@@ -139,13 +157,20 @@ class ResidualMonitor:
         return self._config
 
     def ingest(
-        self, template_id: int, predicted: float, observed: float
+        self,
+        template_id: int,
+        predicted: float,
+        observed: float,
+        mix: Optional[Sequence[int]] = None,
     ) -> Optional[DriftVerdict]:
         """Feed one serving observation; the verdict if a detector fired.
 
         The residual is the signed relative error
         ``(observed - predicted) / observed`` — positive when the model
         under-predicts, which is the direction database growth pushes.
+        The optional *mix* is remembered (bounded, most recent last) so
+        drift root-cause attribution can replay the mixes that produced
+        the drifting residuals.
         """
         if observed <= 0:
             raise LifecycleError(
@@ -159,6 +184,14 @@ class ResidualMonitor:
                 state = TemplateState(template_id, self._config)
                 self._templates[template_id] = state
             state.count += 1
+            if mix is not None:
+                mix_key = tuple(mix)
+                # O(history) dedup keeps the deque a set of *distinct*
+                # recent mixes; history is tiny so this stays hot-path
+                # cheap.
+                if mix_key in state.mixes:
+                    state.mixes.remove(mix_key)
+                state.mixes.append(mix_key)
             if len(state.window) == state.window.maxlen:
                 state.window_sum -= state.window[0]
             state.window.append(residual)
@@ -191,6 +224,30 @@ class ResidualMonitor:
             return sorted(
                 t for t, s in self._templates.items() if s.drifted
             )
+
+    def recent_mixes(self, template_id: int) -> List[Tuple[int, ...]]:
+        """Distinct recent mixes observed for a template, oldest first."""
+        with self._lock:
+            state = self._templates.get(template_id)
+            return list(state.mixes) if state is not None else []
+
+    def set_root_cause_analyzer(
+        self,
+        analyzer: Optional[
+            Callable[[int, Sequence[Tuple[int, ...]]], Dict[str, Any]]
+        ],
+    ) -> None:
+        """Attach ``analyzer(template_id, mixes) -> doc`` for snapshots.
+
+        When set, :meth:`snapshot` adds a ``root_cause`` section for
+        every currently drifted template that has observed mixes —
+        the blame-attribution view of *who* caused the drift (see
+        :class:`repro.explain.RootCauseAnalyzer`).  Analyzer failures
+        degrade to an ``{"error": ...}`` entry rather than failing the
+        stats endpoint.
+        """
+        with self._lock:
+            self._root_cause_analyzer = analyzer
 
     def verdicts(self) -> List[DriftVerdict]:
         """Every verdict fired so far, in ingestion order."""
@@ -243,7 +300,13 @@ class ResidualMonitor:
                 self._templates[t].to_doc() for t in sorted(self._templates)
             ]
             verdicts = [v.to_doc() for v in self._verdicts]
-        return {
+            analyzer = self._root_cause_analyzer
+            mixes_of = {
+                t: list(s.mixes)
+                for t, s in self._templates.items()
+                if s.drifted and s.mixes
+            }
+        doc: Dict[str, Any] = {
             "templates": states,
             "drifted": [s["template_id"] for s in states if s["drifted"]],
             "verdicts": verdicts,
@@ -256,3 +319,17 @@ class ResidualMonitor:
                 "min_samples": self._config.min_samples,
             },
         }
+        if analyzer is not None and mixes_of:
+            # Outside the lock: the analyzer simulates mixes, which is
+            # far too slow to hold the ingest path hostage (results are
+            # cached analyzer-side, so repeat scrapes are cheap).
+            root_cause: Dict[str, Any] = {}
+            for template_id in sorted(mixes_of):
+                try:
+                    root_cause[str(template_id)] = analyzer(
+                        template_id, mixes_of[template_id]
+                    )
+                except Exception as exc:  # noqa: BLE001 — stats must render
+                    root_cause[str(template_id)] = {"error": str(exc)}
+            doc["root_cause"] = root_cause
+        return doc

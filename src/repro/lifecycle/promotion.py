@@ -130,6 +130,17 @@ class PromotionManager:
             return None
         return load_artifact(self._path).info
 
+    @property
+    def root_cause_path(self) -> Path:
+        """Sidecar file holding the latest drift root-cause analysis.
+
+        Written by :meth:`LifecycleManager.root_cause
+        <repro.lifecycle.manager.LifecycleManager.root_cause>` when a
+        drift reaction runs; read back generically here so ``lifecycle
+        status`` surfaces it without importing the explain subsystem.
+        """
+        return self._path.parent / "root_cause.json"
+
     def status_doc(self) -> Dict[str, Any]:
         """JSON-ready deployment state (the ``lifecycle status`` CLI)."""
         info = self.current_info()
@@ -138,7 +149,7 @@ class PromotionManager:
             previous = load_artifact(self._previous).info.fingerprint
         with self._lock:
             records = [r.to_doc() for r in self._records]
-        return {
+        doc = {
             "model_name": self._name,
             "artifact_path": str(self._path),
             "current_fingerprint": info.fingerprint if info else None,
@@ -146,6 +157,13 @@ class PromotionManager:
             "previous_fingerprint": previous,
             "promotions": records,
         }
+        root_cause = self.root_cause_path
+        if root_cause.exists():
+            try:
+                doc["root_cause"] = json.loads(root_cause.read_text())
+            except ValueError as exc:
+                doc["root_cause"] = {"error": f"malformed sidecar: {exc}"}
+        return doc
 
     # -- transitions ---------------------------------------------------
 

@@ -13,11 +13,14 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..engine.executor import ConcurrentExecutor, RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..explain.recorder import ExplainRecorder
 from ..engine.profile import ResourceProfile
 from ..engine.stats import QueryStats
 from ..errors import SamplingError
@@ -169,6 +172,7 @@ def run_steady_state(
     mix: Sequence[int],
     config: Optional[SteadyStateConfig] = None,
     rng: Optional[np.random.Generator] = None,
+    recorder: Optional["ExplainRecorder"] = None,
 ) -> SteadyStateResult:
     """Execute *mix* in steady state and return trimmed per-slot samples.
 
@@ -178,6 +182,8 @@ def run_steady_state(
             several concurrent instances of that template.
         config: Steady-state parameters; defaults are the paper's.
         rng: Randomness for instance jitter (deterministic default).
+        recorder: Optional blame-attribution recorder forwarded to the
+            executor (see :mod:`repro.explain`).
 
     Returns:
         Trimmed samples per slot plus the raw run.
@@ -187,7 +193,7 @@ def run_steady_state(
         catalog.config.simulation.seed
     )
     streams = mix_streams(catalog, mix, cfg, rng)
-    executor = ConcurrentExecutor(catalog.config, rng=rng)
+    executor = ConcurrentExecutor(catalog.config, rng=rng, recorder=recorder)
     run = executor.run(streams)
     samples = trimmed_samples(streams, cfg, run)
     return SteadyStateResult(mix=tuple(mix), samples=samples, run=run)

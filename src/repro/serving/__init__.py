@@ -10,7 +10,8 @@ prediction is what makes this affordable, Sec. 5.5):
 * :mod:`repro.serving.app` — the transport-agnostic serving core
   (routing, caching, batching, instrumentation, error mapping) shared by
   both front ends (``predict``, ``predict-batch``, ``predict-new``,
-  ``admit``, ``observe``, ``health``, ``stats``, ``reload``);
+  ``admit``, ``observe``, ``explain``, ``health``, ``stats``,
+  ``reload``);
 * :mod:`repro.serving.server` — a threaded stdlib-HTTP front end over a
   batching worker pool;
 * :mod:`repro.serving.frontend` — the pre-fork multi-worker asyncio
@@ -38,6 +39,8 @@ from .client import (
 from .protocol import (
     AdmitRequest,
     AdmitResponse,
+    ExplainRequest,
+    ExplainResponse,
     HealthResponse,
     ObserveRequest,
     ObserveResponse,
@@ -71,6 +74,8 @@ __all__ = [
     "CacheStats",
     "ControlBlock",
     "DEFAULT_MODEL_NAME",
+    "ExplainRequest",
+    "ExplainResponse",
     "HealthResponse",
     "LoadGenerator",
     "LoadReport",

@@ -62,6 +62,8 @@ from .protocol import (
     AdmitResponse,
     BatchPredictRequest,
     BatchPredictResponse,
+    ExplainRequest,
+    ExplainResponse,
     HealthResponse,
     ObserveRequest,
     ObserveResponse,
@@ -263,11 +265,14 @@ class _ServingInstruments:
             )
 
 
-#: ``observe_sink(primary, predicted, observed)`` → ``(verdict_doc,
+#: ``observe_sink(primary, predicted, observed, mix)`` → ``(verdict_doc,
 #: drifted)`` when ingested locally, or ``None`` when queued for
-#: asynchronous ingestion elsewhere (the multi-worker fan-in).
+#: asynchronous ingestion elsewhere (the multi-worker fan-in).  The mix
+#: rides along so the drift monitor can remember which mixes produced
+#: the residuals and hand them to root-cause attribution.
 ObserveSink = Callable[
-    [int, float, float], Optional[Tuple[Optional[Dict[str, Any]], bool]]
+    [int, float, float, Tuple[int, ...]],
+    Optional[Tuple[Optional[Dict[str, Any]], bool]],
 ]
 
 
@@ -335,10 +340,20 @@ class ServingApp:
             self._monitor = ResidualMonitor(
                 self._lifecycle_config, self._metrics
             )
+            # Drifted templates get a blame-attribution root-cause
+            # section in /v1/stats; the analyzer (and its catalog) is
+            # only built if drift actually latches with observed mixes.
+            self._monitor.set_root_cause_analyzer(self._root_cause_analyze)
         self._observe_sink = observe_sink
         self._worker_info = worker_info
         self._counters: Dict[str, int] = {}
         self._counter_lock = threading.Lock()
+        # The /v1/explain simulation backend: a TemplateCatalog plus the
+        # explain_* instruments, built on first use (catalog construction
+        # is too heavy for server startup and most deployments never
+        # call the endpoint).
+        self._explain_lock = threading.Lock()
+        self._explain_backend: Optional[Tuple[Any, Any]] = None
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -542,13 +557,94 @@ class ServingApp:
             model_version=snap.version,
         )
 
+    def _explain_parts(self) -> Tuple[Any, Any, Any]:
+        """``(catalog, instruments, analyzer)`` for explain, lazily."""
+        with self._explain_lock:
+            if self._explain_backend is None:
+                # Deferred import: repro.explain pulls in the sampling
+                # and workload layers, which the serving hot path never
+                # needs.
+                from ..explain.rootcause import RootCauseAnalyzer
+                from ..explain.simulate import ExplainInstruments
+                from ..workload.catalog import TemplateCatalog
+
+                catalog = TemplateCatalog()
+                instruments = (
+                    ExplainInstruments(self._metrics)
+                    if self._metrics is not None
+                    else None
+                )
+                analyzer = RootCauseAnalyzer(
+                    catalog, instruments=instruments
+                )
+                self._explain_backend = (catalog, instruments, analyzer)
+            return self._explain_backend
+
+    def _root_cause_analyze(
+        self, template_id: int, mixes: Sequence[Tuple[int, ...]]
+    ) -> Dict[str, Any]:
+        """Monitor hook: blame analysis for one drifted template."""
+        _, _, analyzer = self._explain_parts()
+        return analyzer.analyze(template_id, mixes)
+
+    def _explain(self, request: ExplainRequest) -> ExplainResponse:
+        """Serve a blame decomposition for one mix.
+
+        The report is computed by simulating the mix with the blame
+        recorder attached and cached under the artifact fingerprint with
+        the same generation fence as predictions: a model flip landing
+        mid-simulation drops this write instead of letting a stale
+        explanation outlive the reload.
+        """
+        from ..explain.simulate import explain_mix
+
+        snap = self._provider.snapshot()
+        generation = self._cache.generation
+        catalog, instruments, _ = self._explain_parts()
+        top_k = (
+            request.top_k
+            if request.top_k is not None
+            else catalog.config.explain.top_k
+        )
+        key = (snap.fingerprint, "explain", mix_signature(request.mix))
+        report_doc = self._cache.get(key)
+        cached = report_doc is not None
+        if report_doc is None:
+            report = explain_mix(
+                catalog, request.mix, instruments=instruments
+            )
+            report_doc = report.to_doc()
+            self._cache.put(key, report_doc, generation=generation)
+        top = {
+            int(entry["template_id"]): tuple(
+                sorted(
+                    (int(co) for co in entry["rows"]),
+                    key=lambda co: (
+                        -sum(entry["rows"][str(co)].values()),
+                        co,
+                    ),
+                )[:top_k]
+            )
+            for entry in report_doc["templates"]
+        }
+        return ExplainResponse(
+            report=report_doc,
+            top=top,
+            cached=cached,
+            model_version=snap.version,
+        )
+
     def ingest_observation(
-        self, primary: int, predicted: float, observed: float
+        self,
+        primary: int,
+        predicted: float,
+        observed: float,
+        mix: Optional[Tuple[int, ...]] = None,
     ) -> Tuple[Optional[Dict[str, Any]], bool]:
         """Feed one residual to the local monitor; ``(verdict, drifted)``."""
         if self._monitor is None:
             raise ServingError("lifecycle monitoring is disabled")
-        verdict = self._monitor.ingest(primary, predicted, observed)
+        verdict = self._monitor.ingest(primary, predicted, observed, mix=mix)
         drifted = primary in self._monitor.drifted_templates()
         return (verdict.to_doc() if verdict is not None else None, drifted)
 
@@ -566,11 +662,17 @@ class ServingApp:
         )
         if self._observe_sink is not None:
             outcome = self._observe_sink(
-                request.primary, prediction.latency, request.observed_latency
+                request.primary,
+                prediction.latency,
+                request.observed_latency,
+                request.mix,
             )
         else:
             outcome = self.ingest_observation(
-                request.primary, prediction.latency, request.observed_latency
+                request.primary,
+                prediction.latency,
+                request.observed_latency,
+                mix=request.mix,
             )
         verdict, drifted = outcome if outcome is not None else (None, False)
         residual = (
@@ -744,6 +846,7 @@ class ServingApp:
             "/v1/predict-new",
             "/v1/admit",
             "/v1/observe",
+            "/v1/explain",
         ):
             return None
         doc = decode_json(body)
@@ -771,6 +874,12 @@ class ServingApp:
             self.count("observe")
             return AppResponse.from_doc(
                 200, self._observe(ObserveRequest.from_doc(doc)).to_doc()
+            )
+        if path == "/v1/explain":
+            op[0] = "explain"
+            self.count("explain")
+            return AppResponse.from_doc(
+                200, self._explain(ExplainRequest.from_doc(doc)).to_doc()
             )
         op[0] = "admit"
         self.count("admit")

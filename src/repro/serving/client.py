@@ -37,6 +37,8 @@ from .protocol import (
     AdmitResponse,
     BatchPredictRequest,
     BatchPredictResponse,
+    ExplainRequest,
+    ExplainResponse,
     HealthResponse,
     ObserveRequest,
     ObserveResponse,
@@ -232,6 +234,15 @@ class PredictionClient:
         )
         return ObserveResponse.from_doc(
             self._request("POST", "/v1/observe", request.to_doc())
+        )
+
+    def explain(
+        self, mix: Sequence[int], top_k: Optional[int] = None
+    ) -> ExplainResponse:
+        """Served blame decomposition: who slows whom down in *mix*."""
+        request = ExplainRequest(mix=tuple(mix), top_k=top_k)
+        return ExplainResponse.from_doc(
+            self._request("POST", "/v1/explain", request.to_doc())
         )
 
     def health(self) -> HealthResponse:

@@ -421,10 +421,12 @@ async def _worker_async(
     if index != 0 and lifecycle_cfg.enabled:
         my_queue = observe_queues[index]
 
-        def observe_sink(primary: int, predicted: float, observed: float):
+        def observe_sink(
+            primary: int, predicted: float, observed: float, mix
+        ):
             # Fan-in: enqueue for worker 0's monitor; the verdict is not
             # known synchronously, so the response reports null.
-            my_queue.put((primary, predicted, observed))
+            my_queue.put((primary, predicted, observed, tuple(mix)))
             return None
 
     app = ServingApp(
@@ -470,13 +472,15 @@ async def _worker_async(
             for q in observe_queues:
                 while True:
                     try:
-                        primary, predicted, observed = q.get_nowait()
+                        primary, predicted, observed, mix = q.get_nowait()
                     except queue_mod.Empty:
                         break
                     except (EOFError, OSError):
                         return
                     try:
-                        app.ingest_observation(primary, predicted, observed)
+                        app.ingest_observation(
+                            primary, predicted, observed, mix=mix
+                        )
                     except Exception:  # noqa: BLE001 — never kill the drain
                         pass
             await asyncio.sleep(_OBSERVE_DRAIN_INTERVAL)

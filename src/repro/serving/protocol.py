@@ -16,6 +16,7 @@ path                      verb  body
 ``/v1/predict-new``       POST  :class:`PredictNewRequest`
 ``/v1/admit``             POST  :class:`AdmitRequest`
 ``/v1/observe``           POST  :class:`ObserveRequest`
+``/v1/explain``           POST  :class:`ExplainRequest`
 ``/v1/health``            GET   — (returns :class:`HealthResponse`)
 ``/v1/stats``             GET   — (cache/batch/request + lifecycle state)
 ``/v1/reload``            POST  — (hot-reload the registry artifact)
@@ -37,6 +38,8 @@ __all__ = [
     "AdmitResponse",
     "BatchPredictRequest",
     "BatchPredictResponse",
+    "ExplainRequest",
+    "ExplainResponse",
     "HealthResponse",
     "ObserveRequest",
     "ObserveResponse",
@@ -315,6 +318,46 @@ class ObserveRequest:
         }
 
 
+@dataclass(frozen=True)
+class ExplainRequest:
+    """Decompose each mix member's predicted slowdown into blame.
+
+    The server simulates the mix with the blame recorder attached and
+    returns a per-(co-runner template, resource) matrix for every
+    primary of the mix — the *why* behind a ``/v1/predict`` number.
+
+    Attributes:
+        mix: The full concurrent mix to explain.
+        top_k: Truncate each primary's ranked co-runner list in the
+            response summary; server default when None.
+    """
+
+    mix: Tuple[int, ...]
+    top_k: Optional[int] = None
+
+    @staticmethod
+    def from_doc(doc: Mapping[str, Any]) -> "ExplainRequest":
+        top_k = doc.get("top_k")
+        if top_k is not None:
+            if isinstance(top_k, bool) or not isinstance(top_k, int):
+                raise ProtocolError("'top_k' must be an integer")
+            if top_k < 1:
+                raise ProtocolError("'top_k' must be >= 1")
+        req = ExplainRequest(
+            mix=_as_mix(_require(doc, "mix"), "mix"),
+            top_k=top_k,
+        )
+        if not req.mix:
+            raise ProtocolError("'mix' must not be empty")
+        return req
+
+    def to_doc(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"mix": list(self.mix)}
+        if self.top_k is not None:
+            doc["top_k"] = self.top_k
+        return doc
+
+
 # ----------------------------------------------------------------------
 # Responses.
 
@@ -456,6 +499,60 @@ class ObserveResponse:
             "residual": self.residual,
             "drifted": self.drifted,
             "verdict": self.verdict,
+            "model_version": self.model_version,
+        }
+
+
+@dataclass(frozen=True)
+class ExplainResponse:
+    """A served blame decomposition for one mix.
+
+    Attributes:
+        report: The :class:`repro.explain.BlameReport` document — per
+            primary template: mean latency/baseline/slowdown and the
+            per-(co-runner template, resource) blame rows.
+        top: Per primary template (stringified id, JSON objects cannot
+            key on ints), the ``top_k`` co-runner template ids ranked by
+            net attributed seconds.
+        cached: Whether the report came from the prediction cache.
+        model_version: Version tag of the active artifact (the report
+            explains the simulator the artifact was trained from).
+    """
+
+    report: Dict[str, Any]
+    top: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    cached: bool = False
+    model_version: str = ""
+
+    @staticmethod
+    def from_doc(doc: Mapping[str, Any]) -> "ExplainResponse":
+        report = _require(doc, "report")
+        if not isinstance(report, Mapping):
+            raise ProtocolError("'report' must be a JSON object")
+        top = doc.get("top", {})
+        if not isinstance(top, Mapping):
+            raise ProtocolError("'top' must be a JSON object")
+        try:
+            return ExplainResponse(
+                report=dict(report),
+                top={
+                    int(template): tuple(int(c) for c in ranked)
+                    for template, ranked in top.items()
+                },
+                cached=bool(doc.get("cached", False)),
+                model_version=str(doc.get("model_version", "")),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed explain response: {exc}") from exc
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "report": self.report,
+            "top": {
+                str(template): list(ranked)
+                for template, ranked in self.top.items()
+            },
+            "cached": self.cached,
             "model_version": self.model_version,
         }
 

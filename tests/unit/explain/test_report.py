@@ -1,0 +1,160 @@
+"""Blame aggregation and report rendering over synthetic attributions."""
+
+import pytest
+
+from repro.errors import ExplainError
+from repro.explain import QueryAttribution, RESOURCES, aggregate
+
+
+def _attr(instance_id, template_id, latency, baseline, blame=None, self_adjust=None):
+    return QueryAttribution(
+        instance_id=instance_id,
+        template_id=template_id,
+        latency=latency,
+        baseline=baseline,
+        blame=blame or {},
+        self_adjust=self_adjust or {},
+    )
+
+
+def test_aggregate_means_rows_over_samples():
+    # Two samples of template 26 blaming instance 10 (template 71) by
+    # different amounts: the report row is the per-sample mean.
+    attrs = [
+        _attr(1, 26, 10.0, 6.0, blame={10: {"seq": 4.0}}),
+        _attr(2, 26, 12.0, 6.0, blame={10: {"seq": 6.0}}),
+        _attr(10, 71, 8.0, 8.0),
+    ]
+    report = aggregate((26, 71), attrs, {1: 26, 2: 26, 10: 71})
+    entry = report.for_template(26)
+    assert entry.samples == 2
+    assert entry.mean_latency == pytest.approx(11.0)
+    assert entry.mean_baseline == pytest.approx(6.0)
+    assert entry.slowdown == pytest.approx(5.0)
+    assert entry.rows[71]["seq"] == pytest.approx(5.0)
+
+
+def test_aggregate_rekeys_instances_by_template():
+    # Two co-runner instances of the same template merge into one row.
+    attrs = [
+        _attr(1, 26, 10.0, 6.0, blame={10: {"seq": 1.0}, 11: {"seq": 2.0}}),
+        _attr(10, 71, 8.0, 8.0),
+        _attr(11, 71, 8.0, 8.0),
+    ]
+    report = aggregate((26, 71, 71), attrs, {1: 26, 10: 71, 11: 71})
+    assert report.for_template(26).rows[71]["seq"] == pytest.approx(3.0)
+
+
+def test_aggregate_requires_samples_for_every_mix_template():
+    attrs = [_attr(1, 26, 10.0, 6.0)]
+    with pytest.raises(ExplainError, match="no attributed samples"):
+        aggregate((26, 71), attrs, {1: 26})
+
+
+def test_aggregate_rejects_unknown_blamed_instance():
+    attrs = [_attr(1, 26, 10.0, 6.0, blame={99: {"seq": 1.0}})]
+    with pytest.raises(ExplainError, match="unknown instance"):
+        aggregate((26,), attrs, {1: 26})
+
+
+def test_aggregate_tracks_background_and_residual():
+    attrs = [
+        _attr(
+            1,
+            26,
+            10.0,
+            6.0,
+            blame={10: {"seq": 3.0}, 20: {"rand": 1.5}},
+        ),
+        _attr(10, 71, 8.0, 8.0),
+    ]
+    report = aggregate(
+        (26, 71),
+        attrs,
+        {1: 26, 10: 71, 20: -2},
+        background_of={20: True},
+    )
+    entry = report.for_template(26)
+    assert entry.background == (-2,)
+    # slowdown 4.0, attributed 4.5 -> residual -0.5 relative to latency.
+    assert entry.max_residual == pytest.approx(0.05)
+    assert report.max_residual == pytest.approx(0.05)
+
+
+def test_residual_scale_floors_at_one_second():
+    attrs = [_attr(1, 26, 0.5, 0.4, blame={10: {"seq": 0.2}})]
+    report = aggregate((26,), attrs, {1: 26, 10: 71})
+    # latency < 1s: the relative scale floors at 1.0 (absolute error).
+    assert report.for_template(26).max_residual == pytest.approx(0.1)
+
+
+def _ranked_entry():
+    attrs = [
+        _attr(
+            1,
+            26,
+            10.0,
+            4.0,
+            blame={
+                10: {"seq": -1.0},
+                20: {"seq": 2.0, "cpu": 1.0},
+                30: {"rand": 2.5},
+            },
+            self_adjust={"seq": 1.5},
+        ),
+        _attr(10, 62, 1.0, 1.0),
+        _attr(20, 71, 1.0, 1.0),
+        _attr(30, 65, 1.0, 1.0),
+    ]
+    report = aggregate((26, 62, 71, 65), attrs, {1: 26, 10: 62, 20: 71, 30: 65})
+    return report, report.for_template(26)
+
+
+def test_ranked_orders_by_net_blame_descending():
+    _, entry = _ranked_entry()
+    assert entry.ranked() == [(71, 3.0), (65, 2.5), (62, -1.0)]
+    assert entry.top_blamed(2) == [71, 65]
+    assert [co for co, _ in entry.ranked_rows()] == [71, 65, 62]
+
+
+def test_for_template_rejects_non_primary():
+    report, _ = _ranked_entry()
+    with pytest.raises(ExplainError, match="not a primary"):
+        report.for_template(99)
+
+
+def test_to_doc_stringifies_rows_and_fills_resources():
+    report, entry = _ranked_entry()
+    doc = entry.to_doc()
+    assert set(doc["rows"]) == {"62", "65", "71"}
+    for row in doc["rows"].values():
+        assert tuple(row) == RESOURCES  # every resource key present
+    assert doc["self"]["seq"] == pytest.approx(1.5)
+    assert doc["self"]["cpu"] == 0.0
+    assert doc["slowdown"] == pytest.approx(6.0)
+    top = report.to_doc()
+    assert top["mix"] == [26, 62, 71, 65]
+    assert top["max_residual"] == report.max_residual
+
+
+def test_format_table_renders_rows_and_background_legend():
+    attrs = [
+        _attr(1, 26, 10.0, 6.0, blame={10: {"seq": 3.0}, 20: {"rand": 1.0}}),
+        _attr(10, 71, 8.0, 8.0),
+    ]
+    report = aggregate(
+        (26, 71), attrs, {1: 26, 10: 71, 20: -2}, background_of={20: True}
+    )
+    table = report.format_table()
+    assert "template 26:" in table
+    assert "t71" in table
+    assert "t-2*" in table  # background marker
+    assert "self" in table
+    assert "(* background profile)" in table
+
+
+def test_format_table_without_background_omits_legend():
+    attrs = [_attr(1, 26, 10.0, 6.0, blame={10: {"seq": 3.0}}),
+             _attr(10, 71, 8.0, 8.0)]
+    report = aggregate((26, 71), attrs, {1: 26, 10: 71})
+    assert "background profile" not in report.format_table()

@@ -1,0 +1,67 @@
+"""RootCauseAnalyzer: mix filtering, truncation, caching, ranking."""
+
+import pytest
+
+from repro.errors import ExplainError
+from repro.explain import RootCauseAnalyzer
+from repro.explain import rootcause as rootcause_module
+
+
+def test_analyze_requires_a_mix_containing_the_template(small_catalog):
+    analyzer = RootCauseAnalyzer(small_catalog)
+    with pytest.raises(ExplainError, match="no observed mix"):
+        analyzer.analyze(26, [(71, 65), (22, 62)])
+
+
+def test_analyze_ranks_co_runners(small_catalog):
+    analyzer = RootCauseAnalyzer(small_catalog)
+    doc = analyzer.analyze(26, [(26, 71)])
+    assert doc["template_id"] == 26
+    assert doc["mixes"] == [[26, 71]]
+    assert doc["max_residual"] <= 1e-6
+    assert doc["top"], "co-runner 71 must receive blame"
+    top = doc["top"][0]
+    assert top["template_id"] == 71
+    assert set(top["resources"]) <= {"seq", "rand", "cpu"}
+    # Ranked descending by net seconds.
+    seconds = [entry["seconds"] for entry in doc["top"]]
+    assert seconds == sorted(seconds, reverse=True)
+
+
+def test_analyze_filters_and_truncates_mixes(small_catalog):
+    analyzer = RootCauseAnalyzer(small_catalog, max_mixes=1)
+    doc = analyzer.analyze(26, [(26, 65), (71, 22), (26, 71)])
+    # (71, 22) lacks the template; truncation keeps the trailing mix.
+    assert doc["mixes"] == [[26, 71]]
+
+
+def test_analyze_caches_by_template_and_mixes(small_catalog, monkeypatch):
+    analyzer = RootCauseAnalyzer(small_catalog)
+    calls = []
+    real = rootcause_module.explain_mix
+
+    def counting(catalog, mix, **kwargs):
+        calls.append(tuple(mix))
+        return real(catalog, mix, **kwargs)
+
+    monkeypatch.setattr(rootcause_module, "explain_mix", counting)
+    first = analyzer.analyze(26, [(26, 71)])
+    assert calls == [(26, 71)]
+    second = analyzer.analyze(26, [(26, 71)])
+    assert calls == [(26, 71)]  # cache hit: no new simulation
+    assert second is first
+
+
+def test_top_k_truncates_ranking(small_catalog):
+    wide = RootCauseAnalyzer(small_catalog)
+    narrow = RootCauseAnalyzer(small_catalog, top_k=1)
+    mixes = [(26, 71, 65)]
+    assert len(narrow.analyze(26, mixes)["top"]) == 1
+    assert len(wide.analyze(26, mixes)["top"]) >= 2
+
+
+def test_defaults_come_from_catalog_config(small_catalog):
+    explain_cfg = small_catalog.config.explain
+    analyzer = RootCauseAnalyzer(small_catalog)
+    assert analyzer._top_k == explain_cfg.top_k
+    assert analyzer._max_mixes == explain_cfg.root_cause_mixes

@@ -1,0 +1,68 @@
+"""explain_mix: simulation-backed reports, determinism, instruments."""
+
+import pytest
+
+from repro.explain import ExplainInstruments, explain_mix
+from repro.obs.metrics import Registry
+from repro.sampling.steady_state import SteadyStateConfig
+
+MIX = (26, 71)
+
+
+@pytest.fixture(scope="module")
+def report(small_catalog):
+    return explain_mix(small_catalog, MIX)
+
+
+def test_report_covers_every_primary(report):
+    assert report.mix == MIX
+    assert [t.template_id for t in report.templates] == sorted(set(MIX))
+    for entry in report.templates:
+        assert entry.samples > 0
+        assert entry.mean_latency > 0.0
+
+
+def test_report_conserves_slowdown(report):
+    assert report.max_residual <= 1e-6
+    for entry in report.templates:
+        attributed = sum(
+            sum(row.values()) for row in entry.rows.values()
+        ) + sum(entry.self_adjust.values())
+        assert entry.slowdown == pytest.approx(attributed, abs=1e-6)
+
+
+def test_explain_mix_is_deterministic(small_catalog, report):
+    again = explain_mix(small_catalog, MIX)
+    assert again.to_doc() == report.to_doc()
+
+
+def test_samples_per_stream_defaults_from_config(small_catalog, report):
+    configured = small_catalog.config.explain.samples_per_stream
+    assert all(t.samples >= configured for t in report.templates)
+
+
+def test_samples_override_changes_sample_count(small_catalog, report):
+    fewer = explain_mix(small_catalog, MIX, samples_per_stream=2)
+    assert fewer.for_template(26).samples < report.for_template(26).samples
+
+
+def test_explicit_config_wins_over_samples(small_catalog):
+    config = SteadyStateConfig(samples_per_stream=2)
+    via_config = explain_mix(small_catalog, MIX, config=config)
+    via_kwarg = explain_mix(small_catalog, MIX, samples_per_stream=2)
+    assert via_config.to_doc() == via_kwarg.to_doc()
+
+
+def test_instruments_record_report_and_residual(small_catalog):
+    registry = Registry()
+    instruments = ExplainInstruments(registry)
+    report = explain_mix(small_catalog, MIX, instruments=instruments)
+    families = {f.name: f for f in registry.collect()}
+    assert families["explain_reports_total"].value == 1.0
+    attributed = families["explain_queries_attributed_total"].value
+    assert attributed == sum(t.samples for t in report.templates)
+    assert families["explain_conservation_residual"].snapshot().count == 1
+    assert (
+        families["explain_slowdown_seconds"].snapshot().count
+        == len(report.templates)
+    )

@@ -1,0 +1,188 @@
+"""Drift root-cause wiring: monitor mix history, the manager's blame
+analysis sidecar, and the ``lifecycle status`` surfacing path."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import LifecycleConfig
+from repro.core.contender import Contender
+from repro.core.training import collect_training_data
+from repro.lifecycle.manager import LifecycleManager
+from repro.lifecycle.monitor import ResidualMonitor
+from repro.lifecycle.promotion import PromotionManager
+from repro.sampling.steady_state import SteadyStateConfig
+
+FAST = LifecycleConfig(
+    reference_window=4,
+    test_window=2,
+    min_samples=4,
+    residual_window=16,
+)
+MIX = (26, 71)
+
+
+# -- monitor mix history ----------------------------------------------
+
+
+def test_monitor_records_distinct_recent_mixes():
+    monitor = ResidualMonitor(FAST)
+    monitor.ingest(26, predicted=100.0, observed=100.0, mix=(26, 71))
+    monitor.ingest(26, predicted=100.0, observed=100.0, mix=(26, 65))
+    monitor.ingest(26, predicted=100.0, observed=100.0, mix=(26, 71))
+    # Dedup moves the repeated mix to the most-recent slot.
+    assert monitor.recent_mixes(26) == [(26, 65), (26, 71)]
+    assert monitor.recent_mixes(99) == []
+
+
+def test_monitor_mix_history_is_bounded():
+    monitor = ResidualMonitor(FAST)
+    limit = monitor.MIX_HISTORY if hasattr(monitor, "MIX_HISTORY") else 8
+    for other in range(100, 100 + limit + 4):
+        monitor.ingest(26, predicted=1.0, observed=1.0, mix=(26, other))
+    mixes = monitor.recent_mixes(26)
+    assert len(mixes) == limit
+    assert mixes[-1] == (26, 100 + limit + 3)  # newest kept
+
+
+def _drift(monitor_or_manager, template_id, mix=None):
+    observe = (
+        monitor_or_manager.observe
+        if hasattr(monitor_or_manager, "observe")
+        else monitor_or_manager.ingest
+    )
+    for _ in range(6):
+        observe(template_id, 100.0, 101.0, mix=mix)
+    for _ in range(6):
+        observe(template_id, 100.0, 160.0, mix=mix)
+
+
+def test_snapshot_attaches_analyzer_root_cause():
+    monitor = ResidualMonitor(FAST)
+    monitor.set_root_cause_analyzer(
+        lambda template_id, mixes: {"template_id": template_id,
+                                    "mixes": [list(m) for m in mixes]}
+    )
+    _drift(monitor, 26, mix=MIX)
+    doc = monitor.snapshot()
+    assert doc["root_cause"]["26"]["mixes"] == [list(MIX)]
+
+
+def test_snapshot_degrades_analyzer_failures():
+    monitor = ResidualMonitor(FAST)
+
+    def broken(template_id, mixes):
+        raise RuntimeError("simulator exploded")
+
+    monitor.set_root_cause_analyzer(broken)
+    _drift(monitor, 26, mix=MIX)
+    doc = monitor.snapshot()
+    assert "simulator exploded" in doc["root_cause"]["26"]["error"]
+
+
+def test_snapshot_skips_root_cause_without_mixes_or_analyzer():
+    monitor = ResidualMonitor(FAST)
+    _drift(monitor, 26)  # drifted, but no mix history
+    monitor.set_root_cause_analyzer(lambda t, m: {"t": t})
+    assert "root_cause" not in monitor.snapshot()
+    bare = ResidualMonitor(FAST)  # no analyzer at all
+    _drift(bare, 26, mix=MIX)
+    assert "root_cause" not in bare.snapshot()
+
+
+# -- manager sidecar ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def incumbent(small_catalog):
+    data = collect_training_data(
+        small_catalog.subset(MIX),
+        mpls=(2,),
+        lhs_runs_per_mpl=1,
+        steady_config=SteadyStateConfig(samples_per_stream=3),
+    )
+    return Contender(data)
+
+
+def _manager(tmp_path, incumbent):
+    promotion = PromotionManager(tmp_path / "model.json")
+    promotion.initialize(incumbent)
+    return LifecycleManager(
+        monitor=ResidualMonitor(FAST), promotion=promotion, config=FAST
+    )
+
+
+def test_root_cause_writes_sidecar_and_names_co_runner(
+    tmp_path, incumbent, small_catalog
+):
+    manager = _manager(tmp_path, incumbent)
+    _drift(manager, 26, mix=MIX)
+    doc = manager.root_cause(small_catalog)
+    assert doc is not None
+    analysis = doc["templates"]["26"]
+    assert analysis["top"][0]["template_id"] == 71
+    sidecar = manager.promotion.root_cause_path
+    assert sidecar.exists()
+    assert json.loads(sidecar.read_text()) == doc
+    # The status doc picks the sidecar up generically.
+    status = manager.promotion.status_doc()
+    assert status["root_cause"] == doc
+
+
+def test_root_cause_skips_templates_without_mixes(
+    tmp_path, incumbent, small_catalog
+):
+    manager = _manager(tmp_path, incumbent)
+    _drift(manager, 26)  # no mix attached
+    assert manager.root_cause(small_catalog) is None
+    assert not manager.promotion.root_cause_path.exists()
+
+
+def test_root_cause_degrades_per_template_errors(
+    tmp_path, incumbent, small_catalog
+):
+    manager = _manager(tmp_path, incumbent)
+    # Observed under a mix the template is not part of: the analyzer
+    # raises ExplainError, captured per template.
+    _drift(manager, 26, mix=(65, 71))
+    doc = manager.root_cause(small_catalog)
+    assert "error" in doc["templates"]["26"]
+
+
+def test_status_doc_degrades_malformed_sidecar(tmp_path, incumbent):
+    manager = _manager(tmp_path, incumbent)
+    manager.promotion.root_cause_path.write_text("{not json")
+    status = manager.promotion.status_doc()
+    assert "malformed sidecar" in status["root_cause"]["error"]
+
+
+# -- regression: drift surfaces the blamed co-runner in the CLI --------
+
+
+def test_lifecycle_status_surfaces_top_blamed_co_runner(
+    tmp_path, incumbent, small_catalog, capsys
+):
+    state = tmp_path / "state"
+    state.mkdir()
+    promotion = PromotionManager(state / "model.json")
+    promotion.initialize(incumbent)
+    manager = LifecycleManager(
+        monitor=ResidualMonitor(FAST), promotion=promotion, config=FAST
+    )
+    _drift(manager, 26, mix=MIX)
+    manager.root_cause(small_catalog)
+
+    assert main(
+        ["lifecycle", "status", "--state-dir", str(state), "--json"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    analysis = doc["root_cause"]["templates"]["26"]
+    assert analysis["top"][0]["template_id"] == 71
+    assert analysis["mixes"] == [list(MIX)]
+
+    # The human-readable rendering names the same culprit.
+    assert main(["lifecycle", "status", "--state-dir", str(state)]) == 0
+    text = capsys.readouterr().out
+    assert "root cause (latest drift reaction):" in text
+    assert "t26 blames: t71" in text

@@ -1,0 +1,214 @@
+"""Wire forms for explain plus the response-side parsers.
+
+The original protocol tests cover the request-side hot paths; these pin
+the explain request/response pair and the ``from_doc`` parsers the
+client exercises (batch, observe, health), including their rejection
+branches.
+"""
+
+import pytest
+
+from repro.core.training import TemplateProfile
+from repro.errors import ProtocolError
+from repro.serving.protocol import (
+    BatchPredictRequest,
+    BatchPredictResponse,
+    ExplainRequest,
+    ExplainResponse,
+    HealthResponse,
+    ObserveRequest,
+    ObserveResponse,
+    PredictResponse,
+    profile_from_doc,
+    profile_to_doc,
+)
+
+
+# -- ExplainRequest ----------------------------------------------------
+
+
+def test_explain_request_roundtrip():
+    request = ExplainRequest(mix=(26, 71), top_k=3)
+    doc = request.to_doc()
+    assert doc == {"mix": [26, 71], "top_k": 3}
+    assert ExplainRequest.from_doc(doc) == request
+
+
+def test_explain_request_top_k_is_optional():
+    request = ExplainRequest.from_doc({"mix": [26]})
+    assert request.top_k is None
+    assert "top_k" not in request.to_doc()
+
+
+@pytest.mark.parametrize(
+    "doc, message",
+    [
+        ({"mix": []}, "must not be empty"),
+        ({"mix": [26], "top_k": 0}, "must be >= 1"),
+        ({"mix": [26], "top_k": True}, "must be an integer"),
+        ({"mix": [26], "top_k": "two"}, "must be an integer"),
+        ({"mix": "26"}, "'mix'"),
+        ({}, "missing required field"),
+    ],
+)
+def test_explain_request_rejections(doc, message):
+    with pytest.raises(ProtocolError, match=message):
+        ExplainRequest.from_doc(doc)
+
+
+# -- ExplainResponse ---------------------------------------------------
+
+
+def test_explain_response_roundtrip_restores_int_keys():
+    response = ExplainResponse(
+        report={"mix": [26, 71], "templates": []},
+        top={26: (71,), 71: (26,)},
+        cached=True,
+        model_version="v1",
+    )
+    doc = response.to_doc()
+    assert doc["top"] == {"26": [71], "71": [26]}
+    parsed = ExplainResponse.from_doc(doc)
+    assert parsed == response
+
+
+@pytest.mark.parametrize(
+    "doc, message",
+    [
+        ({}, "missing required field"),
+        ({"report": "nope"}, "'report' must be a JSON object"),
+        ({"report": {}, "top": []}, "'top' must be a JSON object"),
+        ({"report": {}, "top": {"x": [1]}}, "malformed explain response"),
+    ],
+)
+def test_explain_response_rejections(doc, message):
+    with pytest.raises(ProtocolError, match=message):
+        ExplainResponse.from_doc(doc)
+
+
+# -- response parsers the client leans on ------------------------------
+
+
+def test_batch_predict_response_roundtrip():
+    response = BatchPredictResponse(
+        items=(
+            PredictResponse(latency=1.0, cached=False, model_version="v1"),
+            PredictResponse(latency=2.0, cached=True, model_version="v1"),
+        )
+    )
+    assert BatchPredictResponse.from_doc(response.to_doc()) == response
+
+
+@pytest.mark.parametrize(
+    "doc, message",
+    [
+        ({"items": "nope"}, "'items' must be a list"),
+        ({"items": ["nope"]}, "must be a JSON object"),
+    ],
+)
+def test_batch_predict_response_rejections(doc, message):
+    with pytest.raises(ProtocolError, match=message):
+        BatchPredictResponse.from_doc(doc)
+
+
+def test_batch_predict_request_rejects_empty_and_non_objects():
+    with pytest.raises(ProtocolError, match="non-empty list"):
+        BatchPredictRequest.from_doc({"items": []})
+    with pytest.raises(ProtocolError, match="JSON object"):
+        BatchPredictRequest.from_doc({"items": [5]})
+
+
+def test_observe_response_roundtrip_with_and_without_verdict():
+    with_verdict = ObserveResponse(
+        predicted=1.5,
+        residual=0.1,
+        drifted=True,
+        verdict={"detector": "mean_shift"},
+        model_version="v1",
+    )
+    assert ObserveResponse.from_doc(with_verdict.to_doc()) == with_verdict
+    silent = ObserveResponse(
+        predicted=1.5, residual=0.1, drifted=False, verdict=None
+    )
+    assert ObserveResponse.from_doc(silent.to_doc()).verdict is None
+
+
+def test_observe_response_rejects_non_object_verdict():
+    with pytest.raises(ProtocolError, match="'verdict'"):
+        ObserveResponse.from_doc(
+            {"predicted": 1.0, "residual": 0.0, "drifted": False,
+             "verdict": "yes"}
+        )
+
+
+def test_observe_request_rejections():
+    with pytest.raises(ProtocolError, match="must be a number"):
+        ObserveRequest.from_doc(
+            {"primary": 26, "mix": [26], "observed_latency": "slow"}
+        )
+    with pytest.raises(ProtocolError, match="occupy a slot"):
+        ObserveRequest.from_doc(
+            {"primary": 26, "mix": [71], "observed_latency": 1.0}
+        )
+    with pytest.raises(ProtocolError, match="positive"):
+        ObserveRequest.from_doc(
+            {"primary": 26, "mix": [26], "observed_latency": 0.0}
+        )
+    with pytest.raises(ProtocolError, match="template id"):
+        ObserveRequest.from_doc(
+            {"primary": True, "mix": [26], "observed_latency": 1.0}
+        )
+
+
+def test_health_response_roundtrip():
+    response = HealthResponse(
+        status="ok",
+        model_version="v1",
+        template_ids=(26, 71),
+        uptime_seconds=1.0,
+        requests_served=3,
+        isolated_latencies={26: 10.0},
+        workers={"count": 2},
+    )
+    parsed = HealthResponse.from_doc(response.to_doc())
+    assert parsed == response
+    bare = HealthResponse(
+        status="ok",
+        model_version="v1",
+        template_ids=(),
+        uptime_seconds=0.0,
+        requests_served=0,
+    )
+    assert HealthResponse.from_doc(bare.to_doc()).workers is None
+
+
+def test_health_response_rejections():
+    with pytest.raises(ProtocolError, match="'workers'"):
+        HealthResponse.from_doc({"workers": "nope"})
+    with pytest.raises(ProtocolError, match="malformed health response"):
+        HealthResponse.from_doc(
+            {
+                "status": "ok",
+                "model_version": "v1",
+                "template_ids": [26],
+                "uptime_seconds": "soon",
+                "requests_served": 0,
+            }
+        )
+
+
+def test_profile_roundtrip_and_rejections():
+    profile = TemplateProfile(
+        template_id=99,
+        isolated_latency=12.0,
+        io_fraction=0.5,
+        working_set_bytes=1e9,
+        records_accessed=1e6,
+        plan_steps=7,
+        fact_scans=frozenset({"facts"}),
+    )
+    assert profile_from_doc(profile_to_doc(profile)) == profile
+    with pytest.raises(ProtocolError, match="JSON object"):
+        profile_from_doc("nope")
+    with pytest.raises(ProtocolError, match="malformed profile"):
+        profile_from_doc({**profile_to_doc(profile), "plan_steps": "many"})
